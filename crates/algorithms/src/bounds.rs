@@ -1,0 +1,205 @@
+//! Public error bounds for the baseline and data-independent mechanisms —
+//! one of the paper's open research problems (Section 8: "data-dependent
+//! algorithms typically do not provide public error bounds (unlike, e.g.,
+//! the Laplace mechanism)"). These bounds are data-independent (or use
+//! only public shape information for UNIFORM) and can therefore be
+//! published without privacy cost, letting an analyst predict error before
+//! deployment.
+
+use dpbench_core::{Domain, Workload};
+
+/// Expected **scaled average per-query L2 error** (Definition 3) of
+/// IDENTITY on a workload: the answer to query `q` carries `|q|`
+/// independent `Laplace(1/ε)` terms, so `E‖ŷ−y‖₂ ≈ √(Σ_q |q|·2/ε²)`.
+///
+/// The √ of the expected squared norm upper-bounds the expected norm
+/// (Jensen), and is tight within a few percent for large workloads.
+pub fn identity_scaled_error(workload: &Workload, eps: f64, scale: f64) -> f64 {
+    let total_var: f64 = workload
+        .queries()
+        .iter()
+        .map(|q| q.size() as f64 * 2.0 / (eps * eps))
+        .sum();
+    total_var.sqrt() / (scale.max(1.0) * workload.len().max(1) as f64)
+}
+
+/// Expected scaled error of UNIFORM given the (public or hypothesized)
+/// shape `p`: the bias of query `q` is `|q(x) − scale·|q|/n|`, plus the
+/// `Laplace(1/ε)` noise on the total spread as `|q|/n`.
+pub fn uniform_scaled_error(workload: &Workload, shape: &[f64], eps: f64, scale: f64) -> f64 {
+    let n = shape.len() as f64;
+    let domain = workload.domain();
+    let mut total_sq = 0.0;
+    for q in workload.queries() {
+        let mut q_shape = 0.0;
+        for r in q.lo.0..=q.hi.0 {
+            for c in q.lo.1..=q.hi.1 {
+                q_shape += shape[domain.index((r, c))];
+            }
+        }
+        let frac = q.size() as f64 / n;
+        let bias = scale * (q_shape - frac);
+        let noise_var = 2.0 / (eps * eps) * frac * frac;
+        total_sq += bias * bias + noise_var;
+    }
+    total_sq.sqrt() / (scale.max(1.0) * workload.len().max(1) as f64)
+}
+
+/// Expected scaled error of a uniform-budget b-ary hierarchy with GLS
+/// inference, via the *decomposition upper bound*: answering `q` from
+/// canonical nodes needs at most `2(b−1)` nodes per level, each carrying
+/// variance `2·(h/ε)²` under the per-level split. Inference only
+/// improves on this, so the bound is a guaranteed ceiling.
+pub fn hierarchy_scaled_error_bound(
+    domain: &Domain,
+    branching: usize,
+    workload: &Workload,
+    eps: f64,
+    scale: f64,
+) -> f64 {
+    let hier =
+        crate::hierarchy::Hierarchy::build(*domain, branching, usize::MAX);
+    let h = hier.height() as f64;
+    let node_var = 2.0 * (h / eps) * (h / eps);
+    let total_var: f64 = workload
+        .queries()
+        .iter()
+        .map(|q| hier.decompose(q).len() as f64 * node_var)
+        .sum();
+    total_var.sqrt() / (scale.max(1.0) * workload.len().max(1) as f64)
+}
+
+/// Crossover scale: the smallest scale at which IDENTITY's predicted
+/// error drops below a given target — the paper's "high signal regime"
+/// threshold made concrete for deployment planning.
+pub fn identity_crossover_scale(workload: &Workload, eps: f64, target_scaled_error: f64) -> f64 {
+    assert!(target_scaled_error > 0.0);
+    // scaled error = C / scale, with C the scale-free numerator.
+    let c = identity_scaled_error(workload, eps, 1.0);
+    c / target_scaled_error
+}
+
+/// Worst-case per-query variance of IDENTITY over a workload (the single
+/// largest range dominates).
+pub fn identity_worst_query_variance(workload: &Workload, eps: f64) -> f64 {
+    workload
+        .queries()
+        .iter()
+        .map(|q| q.size() as f64 * 2.0 / (eps * eps))
+        .fold(0.0, f64::max)
+}
+
+/// Variance of answering one range query by summing `k` noisy counts of
+/// `Laplace(Δ/ε)` noise — the building block of all the bounds above.
+pub fn summed_laplace_variance(k: usize, sensitivity: f64, eps: f64) -> f64 {
+    k as f64 * 2.0 * (sensitivity / eps) * (sensitivity / eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Identity;
+    use crate::uniform::Uniform;
+    use dpbench_core::{scaled_per_query_error, DataVector, Loss, Mechanism};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_bound_matches_empirical() {
+        let n = 256;
+        let w = Workload::prefix_1d(n);
+        let scale = 10_000.0;
+        let eps = 0.5;
+        let x = DataVector::new(vec![scale / n as f64; n], Domain::D1(n));
+        let y = w.evaluate(&x);
+        let predicted = identity_scaled_error(&w, eps, scale);
+        let mut rng = StdRng::seed_from_u64(160);
+        let trials = 40;
+        let mut measured = 0.0;
+        for _ in 0..trials {
+            let est = Identity.run_eps(&x, &w, eps, &mut rng).unwrap();
+            measured +=
+                scaled_per_query_error(&y, &w.evaluate_cells(&est), scale, Loss::L2);
+        }
+        measured /= trials as f64;
+        let ratio = measured / predicted;
+        assert!((0.9..1.1).contains(&ratio), "measured {measured:.3e} vs bound {predicted:.3e}");
+    }
+
+    #[test]
+    fn uniform_bound_matches_empirical_on_skewed_data() {
+        let n = 128;
+        let w = Workload::prefix_1d(n);
+        let mut shape = vec![0.0; n];
+        shape[0] = 0.7;
+        shape[n / 2] = 0.3;
+        let scale = 50_000.0;
+        let counts: Vec<f64> = shape.iter().map(|p| p * scale).collect();
+        let x = DataVector::new(counts, Domain::D1(n));
+        let y = w.evaluate(&x);
+        let predicted = uniform_scaled_error(&w, &shape, 1.0, scale);
+        let mut rng = StdRng::seed_from_u64(161);
+        let mut measured = 0.0;
+        let trials = 30;
+        for _ in 0..trials {
+            let est = Uniform.run_eps(&x, &w, 1.0, &mut rng).unwrap();
+            measured += scaled_per_query_error(&y, &w.evaluate_cells(&est), scale, Loss::L2);
+        }
+        measured /= trials as f64;
+        let ratio = measured / predicted;
+        assert!((0.8..1.2).contains(&ratio), "measured {measured:.3e} vs {predicted:.3e}");
+    }
+
+    #[test]
+    fn hierarchy_bound_is_a_true_upper_bound() {
+        let n = 128;
+        let domain = Domain::D1(n);
+        let w = Workload::prefix_1d(n);
+        let scale = 10_000.0;
+        let eps = 0.5;
+        let bound = hierarchy_scaled_error_bound(&domain, 2, &w, eps, scale);
+        let x = DataVector::new(vec![scale / n as f64; n], Domain::D1(n));
+        let y = w.evaluate(&x);
+        let mut rng = StdRng::seed_from_u64(162);
+        let mut measured = 0.0;
+        let trials = 30;
+        for _ in 0..trials {
+            let est = crate::hier::H::new().run_eps(&x, &w, eps, &mut rng).unwrap();
+            measured += scaled_per_query_error(&y, &w.evaluate_cells(&est), scale, Loss::L2);
+        }
+        measured /= trials as f64;
+        assert!(
+            measured <= bound * 1.05,
+            "measured {measured:.3e} exceeds bound {bound:.3e}"
+        );
+        // And the bound is not absurdly loose (inference wins ≤ ~4x).
+        assert!(measured >= bound / 5.0, "bound too loose: {measured:.3e} vs {bound:.3e}");
+    }
+
+    #[test]
+    fn crossover_scale_inverts_the_bound() {
+        let w = Workload::prefix_1d(64);
+        let target = 1e-4;
+        let m = identity_crossover_scale(&w, 0.1, target);
+        let err_at_m = identity_scaled_error(&w, 0.1, m);
+        assert!((err_at_m - target).abs() / target < 1e-9);
+    }
+
+    #[test]
+    fn worst_query_is_the_largest_range() {
+        let w = Workload::prefix_1d(32);
+        let v = identity_worst_query_variance(&w, 1.0);
+        assert_eq!(v, 32.0 * 2.0);
+        assert_eq!(summed_laplace_variance(32, 1.0, 1.0), v);
+    }
+
+    #[test]
+    fn uniform_bound_zero_bias_on_uniform_shape() {
+        let n = 64;
+        let w = Workload::prefix_1d(n);
+        let shape = vec![1.0 / n as f64; n];
+        // Only the noise-on-total term remains, which is tiny.
+        let err = uniform_scaled_error(&w, &shape, 1.0, 1e6);
+        assert!(err < 1e-6, "err {err}");
+    }
+}

@@ -1,0 +1,420 @@
+//! Shared hierarchical-decomposition substrate.
+//!
+//! Several mechanisms (H, Hb, GREEDY_H, QUADTREE, and the hierarchies
+//! inside DAWA) measure noisy counts of nested groups of cells arranged in
+//! a b-ary tree over the domain. This module builds such hierarchies over
+//! 1-D and 2-D domains, decomposes range queries into canonical nodes, and
+//! runs the measure-then-infer pipeline on top of
+//! [`dpbench_transforms::tree_ls`].
+
+use dpbench_core::query::PrefixTable;
+use dpbench_core::{DataVector, Domain, RangeQuery};
+use dpbench_transforms::tree_ls::{MeasuredTree, Measurement};
+use rand::RngCore;
+
+/// One node of a spatial hierarchy: an axis-aligned box plus tree links.
+#[derive(Debug, Clone)]
+pub struct HierNode {
+    /// The box of cells this node covers.
+    pub query: RangeQuery,
+    /// Level in the tree (0 = root).
+    pub level: usize,
+    /// Child node ids (empty for leaves).
+    pub children: Vec<usize>,
+}
+
+/// A b-ary hierarchy over a domain.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// All nodes; index 0 is the root.
+    pub nodes: Vec<HierNode>,
+    /// The underlying domain.
+    pub domain: Domain,
+    /// Node ids grouped by level (`levels[0] = [root]`).
+    pub levels: Vec<Vec<usize>>,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy with the given per-axis branching factor.
+    ///
+    /// Each node splits every axis longer than one cell into `branching`
+    /// (nearly) equal parts; splitting stops at single cells or after
+    /// `max_levels` levels (QUADTREE's height cap). `max_levels = usize::MAX`
+    /// means "to full resolution".
+    pub fn build(domain: Domain, branching: usize, max_levels: usize) -> Self {
+        assert!(branching >= 2, "branching factor must be at least 2");
+        assert!(max_levels >= 1, "need at least the root level");
+        let root_query = match domain {
+            Domain::D1(n) => RangeQuery::d1(0, n - 1),
+            Domain::D2(r, c) => RangeQuery::d2(0, 0, r - 1, c - 1),
+        };
+        let mut nodes = vec![HierNode {
+            query: root_query,
+            level: 0,
+            children: Vec::new(),
+        }];
+        let mut levels: Vec<Vec<usize>> = vec![vec![0]];
+        let mut frontier = vec![0_usize];
+        while !frontier.is_empty() {
+            let level = levels.len();
+            if level >= max_levels {
+                break;
+            }
+            let mut next = Vec::new();
+            for &id in &frontier {
+                let q = nodes[id].query;
+                if q.size() == 1 {
+                    continue;
+                }
+                let row_parts = split_axis(q.lo.0, q.hi.0, branching);
+                let col_parts = split_axis(q.lo.1, q.hi.1, branching);
+                let mut children = Vec::with_capacity(row_parts.len() * col_parts.len());
+                for &(r1, r2) in &row_parts {
+                    for &(c1, c2) in &col_parts {
+                        let child = HierNode {
+                            query: RangeQuery {
+                                lo: (r1, c1),
+                                hi: (r2, c2),
+                            },
+                            level,
+                            children: Vec::new(),
+                        };
+                        nodes.push(child);
+                        children.push(nodes.len() - 1);
+                    }
+                }
+                next.extend_from_slice(&children);
+                nodes[id].children = children;
+            }
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next.clone());
+            frontier = next;
+        }
+        Self {
+            nodes,
+            domain,
+            levels,
+        }
+    }
+
+    /// Number of levels (root = level 0).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Ids of all leaves.
+    pub fn leaf_ids(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
+    }
+
+    /// True when every leaf covers exactly one cell.
+    pub fn fully_resolved(&self) -> bool {
+        self.leaf_ids().iter().all(|&i| self.nodes[i].query.size() == 1)
+    }
+
+    /// Decompose a range query into a minimal set of canonical nodes: nodes
+    /// fully inside the range are taken whole, partially overlapping nodes
+    /// recurse. Returns node ids whose boxes partition the query range
+    /// (only exact when the hierarchy is fully resolved).
+    pub fn decompose(&self, q: &RangeQuery) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![0_usize];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            let b = node.query;
+            // Disjoint?
+            if b.lo.0 > q.hi.0 || b.hi.0 < q.lo.0 || b.lo.1 > q.hi.1 || b.hi.1 < q.lo.1 {
+                continue;
+            }
+            // Contained?
+            if q.lo.0 <= b.lo.0 && b.hi.0 <= q.hi.0 && q.lo.1 <= b.lo.1 && b.hi.1 <= q.hi.1 {
+                out.push(id);
+                continue;
+            }
+            if node.children.is_empty() {
+                // Partial overlap at a leaf: take the leaf (the caller
+                // accepts approximation on unresolved hierarchies).
+                out.push(id);
+                continue;
+            }
+            stack.extend_from_slice(&node.children);
+        }
+        out
+    }
+
+    /// Measure every node with Laplace noise using the given per-level
+    /// epsilons (`level_eps[l]` for level `l`; a level ε of 0 leaves that
+    /// level unmeasured), run GLS inference, and return consistent cell
+    /// estimates (unmeasured sub-leaf cells receive uniform shares).
+    ///
+    /// Per level, every record is counted at most once, so measuring a
+    /// whole level has sensitivity 1 and the total budget is
+    /// `Σ level_eps[l]` — the caller's ledger must already account for it.
+    pub fn measure_and_infer(
+        &self,
+        x: &DataVector,
+        level_eps: &[f64],
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        assert_eq!(level_eps.len(), self.height(), "one ε per level");
+        let table = PrefixTable::build(x);
+
+        let mut tree = MeasuredTree::with_capacity(self.nodes.len() + x.n_cells());
+        // Tree node ids correspond 1:1 with hierarchy ids (same insertion
+        // order), then leaf-cell nodes follow.
+        for node in &self.nodes {
+            let eps = level_eps[node.level];
+            let measurement = if eps > 0.0 {
+                let noisy = table.eval(&node.query)
+                    + dpbench_core::primitives::laplace(1.0 / eps, rng);
+                Some(Measurement {
+                    value: noisy,
+                    variance: 2.0 / (eps * eps),
+                })
+            } else {
+                None
+            };
+            tree.add_node(measurement);
+        }
+        for (id, node) in self.nodes.iter().enumerate() {
+            if !node.children.is_empty() {
+                tree.set_children(id, node.children.clone());
+            }
+        }
+        // Expand unresolved leaves with unmeasured per-cell children so the
+        // inference's uniform-discrepancy rule spreads their mass.
+        let mut cell_owner: Vec<(usize, RangeQuery)> = Vec::new();
+        for &leaf in &self.leaf_ids() {
+            let q = self.nodes[leaf].query;
+            if q.size() > 1 {
+                let mut cells = Vec::with_capacity(q.size());
+                for r in q.lo.0..=q.hi.0 {
+                    for c in q.lo.1..=q.hi.1 {
+                        let cell_node = tree.add_node(None);
+                        cells.push(cell_node);
+                        cell_owner.push((cell_node, RangeQuery { lo: (r, c), hi: (r, c) }));
+                    }
+                }
+                tree.set_children(leaf, cells);
+            }
+        }
+        tree.set_root(0);
+        let fin = tree.infer();
+
+        // Scatter into the cell vector.
+        let mut cells = vec![0.0; x.n_cells()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.children.is_empty() && node.query.size() == 1 {
+                let idx = x.domain().index(node.query.lo);
+                cells[idx] = fin[id];
+            }
+        }
+        for (tree_id, q) in &cell_owner {
+            let idx = x.domain().index(q.lo);
+            cells[idx] = fin[*tree_id];
+        }
+        cells
+    }
+}
+
+/// Split an inclusive axis range into up to `branching` contiguous,
+/// (nearly) equal, non-empty parts.
+fn split_axis(lo: usize, hi: usize, branching: usize) -> Vec<(usize, usize)> {
+    let len = hi - lo + 1;
+    if len == 1 {
+        return vec![(lo, hi)];
+    }
+    let parts = branching.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = lo;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push((start, start + size - 1));
+        start += size;
+    }
+    out
+}
+
+/// Hb's variance-optimal branching factor for a 1-D domain of size `n`
+/// (Qardaji, Yang, Li; PVLDB 2013): answering a random range touches
+/// ~`(b−1)·h` nodes, each carrying noise variance ∝ `h²` under uniform
+/// budget, so we minimize `(b−1)·h³` over `b` with `h = ⌈log_b n⌉`.
+pub fn optimal_branching_1d(n: usize) -> usize {
+    assert!(n >= 2);
+    let mut best_b = 2;
+    let mut best_cost = f64::INFINITY;
+    for b in 2..=n.min(4096) {
+        let h = (n as f64).log(b as f64).ceil().max(1.0);
+        let cost = (b - 1) as f64 * h * h * h;
+        if cost < best_cost {
+            best_cost = cost;
+            best_b = b;
+        }
+    }
+    best_b
+}
+
+/// Hb's branching factor for a 2-D domain with maximum side `side`: a 2-D
+/// range has two boundary axes, touching ~`((b−1)h)²` nodes of variance
+/// ∝ `h²`, so we minimize `(b−1)²·h⁴`.
+pub fn optimal_branching_2d(side: usize) -> usize {
+    assert!(side >= 2);
+    let mut best_b = 2;
+    let mut best_cost = f64::INFINITY;
+    for b in 2..=side {
+        let h = (side as f64).log(b as f64).ceil().max(1.0);
+        let cost = ((b - 1) as f64).powi(2) * h.powi(4);
+        if cost < best_cost {
+            best_cost = cost;
+            best_b = b;
+        }
+    }
+    best_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binary_1d_structure() {
+        let h = Hierarchy::build(Domain::D1(8), 2, usize::MAX);
+        assert_eq!(h.height(), 4); // 8 → 4 → 2 → 1
+        assert_eq!(h.levels[0].len(), 1);
+        assert_eq!(h.levels[1].len(), 2);
+        assert_eq!(h.levels[3].len(), 8);
+        assert!(h.fully_resolved());
+        assert_eq!(h.nodes.len(), 15);
+    }
+
+    #[test]
+    fn uneven_split() {
+        let h = Hierarchy::build(Domain::D1(5), 2, usize::MAX);
+        assert!(h.fully_resolved());
+        // The leaves partition the domain (leaves can sit at different
+        // depths on non-power-of-two domains).
+        let mut covered = vec![false; 5];
+        for id in h.leaf_ids() {
+            let q = h.nodes[id].query;
+            for i in q.lo.0..=q.hi.0 {
+                assert!(!covered[i], "cell {i} covered twice");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // Within a level, nodes are pairwise disjoint.
+        for level in &h.levels {
+            let mut seen = vec![false; 5];
+            for &id in level {
+                let q = h.nodes[id].query;
+                for i in q.lo.0..=q.hi.0 {
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quadtree_structure_2d() {
+        let h = Hierarchy::build(Domain::D2(4, 4), 2, usize::MAX);
+        assert_eq!(h.height(), 3);
+        assert_eq!(h.levels[1].len(), 4); // 4 quadrants
+        assert_eq!(h.levels[2].len(), 16);
+        assert!(h.fully_resolved());
+    }
+
+    #[test]
+    fn height_cap() {
+        let h = Hierarchy::build(Domain::D2(16, 16), 2, 3);
+        assert_eq!(h.height(), 3);
+        assert!(!h.fully_resolved());
+        // Leaves are 4x4 blocks.
+        for &leaf in &h.leaf_ids() {
+            assert_eq!(h.nodes[leaf].query.size(), 16);
+        }
+    }
+
+    #[test]
+    fn decompose_exact_cover() {
+        let h = Hierarchy::build(Domain::D1(16), 2, usize::MAX);
+        let q = RangeQuery::d1(3, 12);
+        let ids = h.decompose(&q);
+        let covered: usize = ids.iter().map(|&id| h.nodes[id].query.size()).sum();
+        assert_eq!(covered, 10);
+        // Dyadic decomposition of [3,12] uses few nodes: [3],[4,7],[8,11],[12].
+        assert!(ids.len() <= 2 * 4, "used {} nodes", ids.len());
+    }
+
+    #[test]
+    fn decompose_2d() {
+        let h = Hierarchy::build(Domain::D2(8, 8), 2, usize::MAX);
+        let q = RangeQuery::d2(1, 1, 6, 6);
+        let ids = h.decompose(&q);
+        let covered: usize = ids.iter().map(|&id| h.nodes[id].query.size()).sum();
+        assert_eq!(covered, 36);
+    }
+
+    #[test]
+    fn measure_and_infer_high_eps_recovers_exactly() {
+        let x = DataVector::new((1..=8).map(f64::from).collect(), Domain::D1(8));
+        let h = Hierarchy::build(Domain::D1(8), 2, usize::MAX);
+        let eps = vec![1e9 / 4.0; 4];
+        let mut rng = StdRng::seed_from_u64(10);
+        let cells = h.measure_and_infer(&x, &eps, &mut rng);
+        for (a, b) in cells.iter().zip(x.counts()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn measure_and_infer_unresolved_spreads_uniformly() {
+        let x = DataVector::new(vec![4.0, 0.0, 0.0, 0.0], Domain::D1(4));
+        // Height 2: root + two 2-cell leaves.
+        let h = Hierarchy::build(Domain::D1(4), 2, 2);
+        let eps = vec![5e8, 5e8];
+        let mut rng = StdRng::seed_from_u64(11);
+        let cells = h.measure_and_infer(&x, &eps, &mut rng);
+        // Left leaf total 4 spread uniformly over cells 0 and 1.
+        assert!((cells[0] - 2.0).abs() < 1e-3);
+        assert!((cells[1] - 2.0).abs() < 1e-3);
+        assert!(cells[2].abs() < 1e-3);
+    }
+
+    #[test]
+    fn consistency_of_inferred_counts() {
+        let x = DataVector::new(vec![3.0; 16], Domain::D1(16));
+        let h = Hierarchy::build(Domain::D1(16), 4, usize::MAX);
+        let eps: Vec<f64> = vec![0.5; h.height()];
+        let mut rng = StdRng::seed_from_u64(12);
+        let cells = h.measure_and_infer(&x, &eps, &mut rng);
+        assert_eq!(cells.len(), 16);
+        assert!(cells.iter().sum::<f64>().is_finite());
+    }
+
+    #[test]
+    fn optimal_branching_values() {
+        // n = 4096: minimizing (b−1)h³ gives a moderate branching factor.
+        let b = optimal_branching_1d(4096);
+        assert!(b >= 8 && b <= 32, "b = {b}");
+        // Tiny domains use flat-ish trees.
+        assert!(optimal_branching_1d(4) >= 2);
+        let b2 = optimal_branching_2d(128);
+        assert!((2..=16).contains(&b2), "b2 = {b2}");
+    }
+
+    #[test]
+    fn split_axis_partitions() {
+        assert_eq!(split_axis(0, 9, 3), vec![(0, 3), (4, 6), (7, 9)]);
+        assert_eq!(split_axis(5, 5, 4), vec![(5, 5)]);
+        assert_eq!(split_axis(0, 1, 4), vec![(0, 0), (1, 1)]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dpbench-algorithms
+//!
+//! The mechanism suite `M`: every algorithm evaluated in the paper's
+//! Table 1, implemented clean-room from the cited publications.
+//!
+//! Data-independent (all instances of the matrix mechanism):
+//! [`identity::Identity`], [`privelet::Privelet`], [`hier::H`],
+//! [`hier::Hb`], [`greedy_h::GreedyH`].
+//!
+//! Data-dependent: [`uniform::Uniform`], [`mwem::Mwem`] (and the
+//! Rparam-tuned MWEM★), [`ahp::Ahp`] (and AHP★), [`dpcube::DpCube`],
+//! [`dawa::Dawa`], [`quadtree::QuadTree`], [`grids::UGrid`],
+//! [`grids::AGrid`], [`php::Php`], [`efpa::Efpa`], [`sf::StructureFirst`],
+//! plus the extension [`quadtree::HybridTree`].
+//!
+//! The [`registry`] exposes the full benchmark suite with the paper's
+//! default parameterizations.
+
+pub mod ahp;
+pub mod bounds;
+pub mod dawa;
+pub mod dpcube;
+pub mod efpa;
+pub mod greedy_h;
+pub mod grids;
+pub mod hier;
+pub mod hierarchy;
+pub mod identity;
+pub mod matrix_mechanism;
+pub mod mwem;
+pub mod php;
+pub mod privelet;
+pub mod quadtree;
+pub mod registry;
+pub mod sf;
+pub mod uniform;
+
+pub use registry::{mechanisms_1d, mechanisms_2d, mechanism_by_name};

@@ -1,0 +1,359 @@
+//! MWEM — Multiplicative Weights / Exponential Mechanism (Hardt, Ligett,
+//! McSherry; NIPS 2012), plus the benchmark's repaired variant MWEM★.
+//!
+//! MWEM maintains a synthetic distribution over the domain, initialized
+//! uniform at the (assumed known) dataset scale. For `T` rounds it (a)
+//! privately selects the workload query on which the synthetic data is most
+//! wrong (exponential mechanism, budget `ε/2T`), (b) measures that query
+//! with Laplace noise (budget `ε/2T`), and (c) applies multiplicative
+//! weights updates over the measurement history.
+//!
+//! Paper findings reproduced here:
+//! * `T` is a **free parameter** (Principle 6 violation in the original):
+//!   the pre-print used the best `T` per task. [`Mwem::original`] fixes
+//!   `T = 10` as in the paper's evaluation.
+//! * **MWEM★** ([`Mwem::star`]) applies the benchmark's `Rparam` repair: it
+//!   estimates scale with a 5 % budget slice (removing the side-information
+//!   assumption, Principle 7) and picks `T` from a trained lookup on the
+//!   ε·scale product — the paper reports up to 27.9× error reduction at
+//!   scale 10⁸ (Finding 7).
+//! * MWEM is **inconsistent** (Theorem 8): with fixed `T`, at most `T`
+//!   measured queries constrain the estimate, leaving bias that never
+//!   vanishes as ε → ∞.
+
+use dpbench_core::mechanism::DimSupport;
+use dpbench_core::primitives::{exponential_mechanism, laplace};
+use dpbench_core::query::PrefixTable;
+use dpbench_core::{
+    BudgetLedger, DataVector, MechError, MechInfo, Mechanism, RangeQuery, Workload,
+};
+use rand::RngCore;
+
+/// How MWEM learns the dataset scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleSource {
+    /// Use the true scale as free side information (the original
+    /// algorithm; flagged in Table 1).
+    SideInfo,
+    /// Spend this fraction of ε on a Laplace estimate of the scale
+    /// (the benchmark's `Rside` repair; the paper uses ρ_total = 0.05).
+    Estimate(f64),
+}
+
+/// How the number of rounds `T` is chosen.
+#[derive(Debug, Clone)]
+pub enum Rounds {
+    /// Fixed `T` (original MWEM uses 10 for 1-D range queries).
+    Fixed(usize),
+    /// Lookup `T` from the ε·scale product using a trained table of
+    /// `(signal upper bound, T)` rows, last row catching everything above.
+    /// This is the `Rparam`-learned schedule of MWEM★.
+    Tuned(Vec<(f64, usize)>),
+}
+
+/// The MWEM mechanism.
+#[derive(Debug, Clone)]
+pub struct Mwem {
+    name: String,
+    rounds: Rounds,
+    scale_source: ScaleSource,
+    /// Multiplicative-weights sweeps over the measurement history per
+    /// round (Hardt et al.'s practical implementations iterate history).
+    pub mw_sweeps: usize,
+}
+
+/// Default MWEM★ schedule: `T` grows with the signal strength ε·scale —
+/// stronger signal supports more (and therefore finer) measurements.
+/// Trained with `dpbench_harness::tuning` on synthetic power-law and
+/// normal shapes (paper Section 6.4); `T` ranges 2…100 as in the paper.
+pub fn default_star_schedule() -> Vec<(f64, usize)> {
+    vec![
+        (30.0, 2),
+        (300.0, 5),
+        (3_000.0, 10),
+        (30_000.0, 30),
+        (300_000.0, 60),
+        (f64::INFINITY, 100),
+    ]
+}
+
+impl Mwem {
+    /// The original MWEM: `T = 10`, true scale as side information.
+    pub fn original() -> Self {
+        Self {
+            name: "MWEM".into(),
+            rounds: Rounds::Fixed(10),
+            scale_source: ScaleSource::SideInfo,
+            mw_sweeps: 3,
+        }
+    }
+
+    /// MWEM★: repaired per Principles 6–7 — scale estimated with 5 % of ε,
+    /// `T` selected from the trained schedule.
+    pub fn star() -> Self {
+        Self {
+            name: "MWEM*".into(),
+            rounds: Rounds::Tuned(default_star_schedule()),
+            scale_source: ScaleSource::Estimate(0.05),
+            mw_sweeps: 3,
+        }
+    }
+
+    /// The original MWEM with the side-information repair only: `T = 10`
+    /// stays fixed but the scale is estimated with a 5 % budget slice
+    /// (the paper's Section 6.4 experiment quantifying what MWEM gains
+    /// from knowing the scale for free).
+    pub fn original_repaired() -> Self {
+        Self {
+            name: "MWEM(Rside)".into(),
+            rounds: Rounds::Fixed(10),
+            scale_source: ScaleSource::Estimate(0.05),
+            mw_sweeps: 3,
+        }
+    }
+
+    /// MWEM with an explicit fixed `T` (used by the tuning harness).
+    pub fn with_rounds(t: usize) -> Self {
+        assert!(t >= 1);
+        Self {
+            name: format!("MWEM[T={t}]"),
+            rounds: Rounds::Fixed(t),
+            scale_source: ScaleSource::SideInfo,
+            mw_sweeps: 3,
+        }
+    }
+
+    /// MWEM★ with a custom trained schedule.
+    pub fn star_with_schedule(schedule: Vec<(f64, usize)>) -> Self {
+        assert!(!schedule.is_empty());
+        Self {
+            name: "MWEM*".into(),
+            rounds: Rounds::Tuned(schedule),
+            scale_source: ScaleSource::Estimate(0.05),
+            mw_sweeps: 3,
+        }
+    }
+
+    fn pick_rounds(&self, signal: f64) -> usize {
+        match &self.rounds {
+            Rounds::Fixed(t) => *t,
+            Rounds::Tuned(table) => table
+                .iter()
+                .find(|(bound, _)| signal <= *bound)
+                .or(table.last())
+                .map(|(_, t)| *t)
+                .expect("non-empty schedule"),
+        }
+    }
+}
+
+impl Mechanism for Mwem {
+    fn info(&self) -> MechInfo {
+        let mut info = MechInfo::new(self.name.clone(), DimSupport::MultiD);
+        info.data_dependent = true;
+        info.workload_aware = true;
+        info.consistent = false; // Theorem 8
+        info.side_info = match self.scale_source {
+            ScaleSource::SideInfo => Some("scale".into()),
+            ScaleSource::Estimate(_) => None,
+        };
+        info
+    }
+
+    fn run(
+        &self,
+        x: &DataVector,
+        workload: &Workload,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, MechError> {
+        if workload.is_empty() {
+            return Err(MechError::InvalidConfig("MWEM needs a non-empty workload".into()));
+        }
+        let n = x.n_cells();
+        // Scale: side info or noisy estimate.
+        let total = match self.scale_source {
+            ScaleSource::SideInfo => x.scale(),
+            ScaleSource::Estimate(rho) => {
+                let eps_scale = budget.spend_fraction(rho)?;
+                (x.scale() + laplace(1.0 / eps_scale, rng)).max(1.0)
+            }
+        };
+        let eps = budget.spend_all();
+        let t_rounds = self.pick_rounds(eps * total).max(1);
+        let eps_round = eps / t_rounds as f64;
+
+        let y_true = workload.evaluate(x);
+        let queries = workload.queries();
+
+        // Synthetic estimate: uniform at the (noisy) scale.
+        let mut est = vec![total / n as f64; n];
+        let mut history: Vec<(RangeQuery, f64)> = Vec::with_capacity(t_rounds);
+
+        for _ in 0..t_rounds {
+            // (a) Select the worst query via the exponential mechanism.
+            let est_answers = answers(&est, x, queries);
+            let scores: Vec<f64> = y_true
+                .iter()
+                .zip(&est_answers)
+                .map(|(t, e)| (t - e).abs())
+                .collect();
+            let chosen = exponential_mechanism(&scores, 1.0, eps_round / 2.0, rng);
+            // (b) Measure it with Laplace noise.
+            let measured = y_true[chosen] + laplace(2.0 / eps_round, rng);
+            history.push((queries[chosen], measured));
+            // (c) Multiplicative-weights sweeps over the history.
+            for _ in 0..self.mw_sweeps {
+                for &(q, m) in &history {
+                    mw_update(&mut est, x, &q, m, total);
+                }
+            }
+        }
+        Ok(est)
+    }
+}
+
+/// Evaluate all workload queries against the current estimate.
+fn answers(est: &[f64], x: &DataVector, queries: &[RangeQuery]) -> Vec<f64> {
+    let v = DataVector::new(est.to_vec(), x.domain());
+    let table = PrefixTable::build(&v);
+    queries.iter().map(|q| table.eval(q)).collect()
+}
+
+/// One multiplicative-weights update for measurement `(q, m)`.
+fn mw_update(est: &mut [f64], x: &DataVector, q: &RangeQuery, m: f64, total: f64) {
+    let domain = x.domain();
+    // Current answer of the estimate on q.
+    let mut cur = 0.0;
+    for r in q.lo.0..=q.hi.0 {
+        for c in q.lo.1..=q.hi.1 {
+            cur += est[domain.index((r, c))];
+        }
+    }
+    // exp(q_i · (m − cur) / (2·total)) applied to cells inside q; clamp the
+    // exponent to keep the update numerically safe under huge noise.
+    let exponent = ((m - cur) / (2.0 * total)).clamp(-20.0, 20.0);
+    let factor = exponent.exp();
+    for r in q.lo.0..=q.hi.0 {
+        for c in q.lo.1..=q.hi.1 {
+            est[domain.index((r, c))] *= factor;
+        }
+    }
+    // Renormalize to the known total.
+    let sum: f64 = est.iter().sum();
+    if sum > 0.0 {
+        let scale = total / sum;
+        for e in est.iter_mut() {
+            *e *= scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbench_core::{Domain, Loss};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spiky(n: usize, scale: f64) -> DataVector {
+        let mut counts = vec![0.0; n];
+        counts[0] = scale * 0.6;
+        counts[n / 3] = scale * 0.4;
+        DataVector::new(counts, Domain::D1(n))
+    }
+
+    #[test]
+    fn preserves_total_scale_with_side_info() {
+        let x = spiky(64, 1000.0);
+        let w = Workload::prefix_1d(64);
+        let mut rng = StdRng::seed_from_u64(50);
+        let est = Mwem::original().run_eps(&x, &w, 1.0, &mut rng).unwrap();
+        let total: f64 = est.iter().sum();
+        assert!((total - 1000.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn improves_over_uniform_start() {
+        let x = spiky(64, 10_000.0);
+        let w = Workload::prefix_1d(64);
+        let y = w.evaluate(&x);
+        let uniform_est = vec![10_000.0 / 64.0; 64];
+        let uniform_err = Loss::L2.eval(&y, &w.evaluate_cells(&uniform_est));
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut got_better = 0;
+        for _ in 0..5 {
+            let est = Mwem::original().run_eps(&x, &w, 1.0, &mut rng).unwrap();
+            let err = Loss::L2.eval(&y, &w.evaluate_cells(&est));
+            if err < uniform_err {
+                got_better += 1;
+            }
+        }
+        assert!(got_better >= 4, "MWEM beat UNIFORM only {got_better}/5 times");
+    }
+
+    #[test]
+    fn inconsistent_fixed_t_leaves_bias_at_high_eps() {
+        // n distinct cell values with prefix workload and T=3 rounds: three
+        // measured queries cannot resolve 32 cells.
+        let counts: Vec<f64> = (1..=32).map(f64::from).collect();
+        let x = DataVector::new(counts, Domain::D1(32));
+        let w = Workload::prefix_1d(32);
+        let y = w.evaluate(&x);
+        let mut rng = StdRng::seed_from_u64(52);
+        let est = Mwem::with_rounds(3).run_eps(&x, &w, 1e7, &mut rng).unwrap();
+        let err = Loss::L2.eval(&y, &w.evaluate_cells(&est));
+        assert!(err > 1.0, "bias should persist: err {err}");
+    }
+
+    #[test]
+    fn star_estimates_scale_within_budget() {
+        let x = spiky(64, 100_000.0);
+        let w = Workload::prefix_1d(64);
+        let mut rng = StdRng::seed_from_u64(53);
+        // run_eps debug-asserts the ledger; success implies correct accounting.
+        let est = Mwem::star().run_eps(&x, &w, 0.5, &mut rng).unwrap();
+        let total: f64 = est.iter().sum();
+        // Noisy scale should still be near the truth at this ε.
+        assert!((total - 100_000.0).abs() < 2000.0, "total {total}");
+    }
+
+    #[test]
+    fn schedule_lookup() {
+        let m = Mwem::star();
+        assert_eq!(m.pick_rounds(10.0), 2);
+        assert_eq!(m.pick_rounds(1_000.0), 10);
+        assert_eq!(m.pick_rounds(1e9), 100);
+    }
+
+    #[test]
+    fn star_uses_more_rounds_at_higher_signal() {
+        let m = Mwem::star();
+        let low = m.pick_rounds(100.0);
+        let high = m.pick_rounds(1e7);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn rejects_empty_workload() {
+        let x = spiky(8, 10.0);
+        let w = Workload::new(Domain::D1(8), vec![]);
+        let mut rng = StdRng::seed_from_u64(54);
+        assert!(matches!(
+            Mwem::original().run_eps(&x, &w, 1.0, &mut rng),
+            Err(MechError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn runs_2d() {
+        let mut counts = vec![0.0; 8 * 8];
+        counts[9] = 500.0;
+        let x = DataVector::new(counts, Domain::D2(8, 8));
+        let mut rng = StdRng::seed_from_u64(55);
+        let w = Workload::random_ranges(Domain::D2(8, 8), 100, &mut rng);
+        let est = Mwem::original().run_eps(&x, &w, 1.0, &mut rng).unwrap();
+        assert_eq!(est.len(), 64);
+        assert!((est.iter().sum::<f64>() - 500.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,204 @@
+//! PHP (P-HP) — histogram publication through private recursive bisection
+//! (Ács, Castelluccia, Chen; ICDM 2012).
+//!
+//! PHP spends ε₁ = ρ·ε on structure: for `log₂(n)` iterations it picks the
+//! current bucket/split-point pair that most reduces the within-bucket L1
+//! deviation, using the exponential mechanism (deviation cost has
+//! sensitivity 2 per record, improvements sensitivity 4). The remaining
+//! ε₂ measures each final bucket's count (sensitivity 1), spread uniformly
+//! within buckets.
+//!
+//! Because the iteration count is capped at `log₂(n)`, PHP produces at
+//! most `log₂(n) + 1` buckets — so on data with more than `log₂(n) + 1`
+//! distinct levels the uniform-within-bucket approximation keeps a bias
+//! that never vanishes: PHP is **inconsistent** (paper Theorem 6), the
+//! property the benchmark's Finding 9 exposes at large scales.
+
+use dpbench_core::mechanism::DimSupport;
+use dpbench_core::primitives::{exponential_mechanism, laplace};
+use dpbench_core::{BudgetLedger, DataVector, MechError, MechInfo, Mechanism, Workload};
+use rand::RngCore;
+
+/// The PHP mechanism (1-D only, like the original).
+#[derive(Debug, Clone, Copy)]
+pub struct Php {
+    /// Fraction of ε spent on partition structure (paper default ρ = 0.5).
+    pub rho: f64,
+}
+
+impl Default for Php {
+    fn default() -> Self {
+        Self { rho: 0.5 }
+    }
+}
+
+impl Php {
+    /// PHP with the paper's default ρ = 0.5.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A contiguous bucket `[lo, hi)` with its L1-deviation cost.
+#[derive(Debug, Clone)]
+struct Bucket {
+    lo: usize,
+    hi: usize,
+    cost: f64,
+}
+
+impl Mechanism for Php {
+    fn info(&self) -> MechInfo {
+        let mut info = MechInfo::new("PHP", DimSupport::OneD);
+        info.data_dependent = true;
+        info.partitioning = true;
+        info.consistent = false; // Theorem 6
+        info
+    }
+
+    fn run(
+        &self,
+        x: &DataVector,
+        _workload: &Workload,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, MechError> {
+        let n = x.n_cells();
+        let counts = x.counts();
+        let iterations = (n as f64).log2().ceil().max(1.0) as usize;
+        let eps1 = budget.spend_fraction(self.rho)?;
+        let eps2 = budget.spend_all();
+        let eps_per_iter = eps1 / iterations as f64;
+
+        let mut buckets = vec![Bucket {
+            lo: 0,
+            hi: n,
+            cost: l1_deviation(counts, 0, n),
+        }];
+
+        for _ in 0..iterations {
+            // Candidate splits: (bucket index, split position, improvement).
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            let mut scores: Vec<f64> = Vec::new();
+            for (bi, b) in buckets.iter().enumerate() {
+                for s in b.lo + 1..b.hi {
+                    let improvement =
+                        b.cost - l1_deviation(counts, b.lo, s) - l1_deviation(counts, s, b.hi);
+                    candidates.push((bi, s));
+                    scores.push(improvement);
+                }
+            }
+            if candidates.is_empty() {
+                break; // every bucket is a single cell
+            }
+            // Improvement = difference of deviation costs, each with
+            // per-record sensitivity 2 → score sensitivity 4.
+            let chosen = exponential_mechanism(&scores, 4.0, eps_per_iter, rng);
+            let (bi, s) = candidates[chosen];
+            let b = buckets[bi].clone();
+            buckets[bi] = Bucket {
+                lo: b.lo,
+                hi: s,
+                cost: l1_deviation(counts, b.lo, s),
+            };
+            buckets.push(Bucket {
+                lo: s,
+                hi: b.hi,
+                cost: l1_deviation(counts, s, b.hi),
+            });
+        }
+
+        // Measure bucket totals (partition → sensitivity 1) and expand.
+        let mut est = vec![0.0; n];
+        for b in &buckets {
+            let total: f64 = counts[b.lo..b.hi].iter().sum();
+            let noisy = total + laplace(1.0 / eps2, rng);
+            let share = noisy / (b.hi - b.lo) as f64;
+            for e in est[b.lo..b.hi].iter_mut() {
+                *e = share;
+            }
+        }
+        Ok(est)
+    }
+}
+
+/// `Σ |x_i − mean|` over `counts[lo..hi)`.
+fn l1_deviation(counts: &[f64], lo: usize, hi: usize) -> f64 {
+    debug_assert!(lo < hi);
+    let len = (hi - lo) as f64;
+    let mean: f64 = counts[lo..hi].iter().sum::<f64>() / len;
+    counts[lo..hi].iter().map(|&c| (c - mean).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbench_core::{Domain, Loss};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bucket_count_bounded_by_iterations() {
+        // PHP on n=64 runs 6 iterations → at most 7 buckets, so at most 7
+        // distinct estimate values.
+        let counts: Vec<f64> = (0..64).map(|i| (i * i) as f64).collect();
+        let x = DataVector::new(counts, Domain::D1(64));
+        let w = Workload::identity(Domain::D1(64));
+        let mut rng = StdRng::seed_from_u64(70);
+        let est = Php::new().run_eps(&x, &w, 1e8, &mut rng).unwrap();
+        let mut distinct: Vec<u64> = est.iter().map(|v| v.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 7, "{} distinct values", distinct.len());
+    }
+
+    #[test]
+    fn inconsistent_on_rich_data() {
+        // More distinct levels than buckets → persistent bias at ε → ∞.
+        let counts: Vec<f64> = (0..64).map(|i| (i as f64) * 100.0).collect();
+        let x = DataVector::new(counts, Domain::D1(64));
+        let w = Workload::identity(Domain::D1(64));
+        let y = w.evaluate(&x);
+        let mut rng = StdRng::seed_from_u64(71);
+        let est = Php::new().run_eps(&x, &w, 1e9, &mut rng).unwrap();
+        let err = Loss::L2.eval(&y, &w.evaluate_cells(&est));
+        assert!(err > 10.0, "bias should persist, err = {err}");
+    }
+
+    #[test]
+    fn near_exact_on_piecewise_constant_data() {
+        // Two flat regions: one split suffices; bias → 0 at high ε.
+        let mut counts = vec![10.0; 32];
+        for c in counts[16..].iter_mut() {
+            *c = 500.0;
+        }
+        let x = DataVector::new(counts, Domain::D1(32));
+        let w = Workload::identity(Domain::D1(32));
+        let y = w.evaluate(&x);
+        let mut rng = StdRng::seed_from_u64(72);
+        let est = Php::new().run_eps(&x, &w, 1e8, &mut rng).unwrap();
+        let err = Loss::L2.eval(&y, &w.evaluate_cells(&est));
+        assert!(err < 1.0, "err {err}");
+    }
+
+    #[test]
+    fn estimates_cover_domain() {
+        let x = DataVector::new(vec![5.0; 128], Domain::D1(128));
+        let w = Workload::identity(Domain::D1(128));
+        let mut rng = StdRng::seed_from_u64(73);
+        let est = Php::new().run_eps(&x, &w, 0.5, &mut rng).unwrap();
+        assert_eq!(est.len(), 128);
+        assert!(est.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn l1_deviation_known() {
+        assert_eq!(l1_deviation(&[1.0, 3.0], 0, 2), 2.0);
+        assert_eq!(l1_deviation(&[5.0, 5.0, 5.0], 0, 3), 0.0);
+    }
+
+    #[test]
+    fn is_1d_only() {
+        assert!(!Php::new().supports(&Domain::D2(8, 8)));
+    }
+}

@@ -1,0 +1,178 @@
+//! The benchmark's mechanism suite `M` (paper Table 1) with the paper's
+//! default parameterizations, addressable by name.
+
+use crate::ahp::Ahp;
+use crate::dawa::Dawa;
+use crate::dpcube::DpCube;
+use crate::efpa::Efpa;
+use crate::greedy_h::GreedyH;
+use crate::grids::{AGrid, UGrid};
+use crate::hier::{Hb, H};
+use crate::identity::Identity;
+use crate::mwem::Mwem;
+use crate::php::Php;
+use crate::privelet::Privelet;
+use crate::quadtree::{HybridTree, QuadTree};
+use crate::sf::StructureFirst;
+use crate::uniform::Uniform;
+use dpbench_core::{MechInfo, Mechanism};
+
+/// Instantiate a mechanism by its paper name (`"DAWA"`, `"MWEM*"`, …).
+pub fn mechanism_by_name(name: &str) -> Option<Box<dyn Mechanism>> {
+    Some(match name {
+        "IDENTITY" => Box::new(Identity),
+        "UNIFORM" => Box::new(Uniform),
+        "H" => Box::new(H::new()),
+        "HB" => Box::new(Hb::new()),
+        "GREEDY_H" => Box::new(GreedyH::new()),
+        "PRIVELET" => Box::new(Privelet::new()),
+        "MWEM" => Box::new(Mwem::original()),
+        "MWEM*" => Box::new(Mwem::star()),
+        "AHP" => Box::new(Ahp::original()),
+        "AHP*" => Box::new(Ahp::star()),
+        "DPCUBE" => Box::new(DpCube::new()),
+        "DAWA" => Box::new(Dawa::new()),
+        "PHP" => Box::new(Php::new()),
+        "EFPA" => Box::new(Efpa::new()),
+        "SF" => Box::new(StructureFirst::new()),
+        "QUADTREE" => Box::new(QuadTree::new()),
+        "UGRID" => Box::new(UGrid::new()),
+        "AGRID" => Box::new(AGrid::new()),
+        "HYBRIDTREE" => Box::new(HybridTree::new()),
+        _ => return None,
+    })
+}
+
+/// Names of all mechanisms applicable to 1-D inputs (the benchmark's full
+/// 1-D suite; paper Section 7: "14 algorithms" — we also ship PRIVELET,
+/// H, and GREEDY_H standalone, which the paper evaluated in results not
+/// shown).
+pub const NAMES_1D: &[&str] = &[
+    "IDENTITY", "H", "HB", "GREEDY_H", "PRIVELET", "UNIFORM", "MWEM", "MWEM*", "AHP", "AHP*",
+    "DPCUBE", "DAWA", "PHP", "EFPA", "SF",
+];
+
+/// Names of all mechanisms applicable to 2-D inputs.
+pub const NAMES_2D: &[&str] = &[
+    "IDENTITY", "HB", "GREEDY_H", "PRIVELET", "UNIFORM", "MWEM", "MWEM*", "AHP", "AHP*", "DPCUBE",
+    "DAWA", "QUADTREE", "UGRID", "AGRID",
+];
+
+/// The algorithms shown in the paper's Figure 1a (1-D overview).
+pub const FIGURE_1A: &[&str] = &[
+    "IDENTITY", "HB", "MWEM*", "DAWA", "PHP", "MWEM", "EFPA", "DPCUBE", "AHP*", "SF", "UNIFORM",
+];
+
+/// The algorithms shown in the paper's Figure 1b (2-D overview).
+pub const FIGURE_1B: &[&str] = &[
+    "IDENTITY", "HB", "AGRID", "MWEM", "MWEM*", "DAWA", "QUADTREE", "UGRID", "DPCUBE", "AHP",
+    "UNIFORM",
+];
+
+/// Instantiate the full 1-D suite.
+pub fn mechanisms_1d() -> Vec<Box<dyn Mechanism>> {
+    NAMES_1D
+        .iter()
+        .map(|n| mechanism_by_name(n).expect("registered"))
+        .collect()
+}
+
+/// Instantiate the full 2-D suite.
+pub fn mechanisms_2d() -> Vec<Box<dyn Mechanism>> {
+    NAMES_2D
+        .iter()
+        .map(|n| mechanism_by_name(n).expect("registered"))
+        .collect()
+}
+
+/// Reproduce the paper's Table 1 metadata rows for every mechanism
+/// (including the HYBRIDTREE extension).
+pub fn table1() -> Vec<MechInfo> {
+    let mut names: Vec<&str> = NAMES_1D.to_vec();
+    for n in NAMES_2D.iter().chain(["HYBRIDTREE"].iter()) {
+        if !names.contains(n) {
+            names.push(n);
+        }
+    }
+    names
+        .into_iter()
+        .map(|n| mechanism_by_name(n).expect("registered").info())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbench_core::Domain;
+
+    #[test]
+    fn all_names_resolve() {
+        for name in NAMES_1D.iter().chain(NAMES_2D.iter()) {
+            let m = mechanism_by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(m.info().name, *name);
+        }
+        assert!(mechanism_by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn suites_support_their_dimensionality() {
+        for m in mechanisms_1d() {
+            assert!(
+                m.supports(&Domain::D1(1024)),
+                "{} should support 1-D",
+                m.info().name
+            );
+        }
+        for m in mechanisms_2d() {
+            assert!(
+                m.supports(&Domain::D2(128, 128)),
+                "{} should support 2-D",
+                m.info().name
+            );
+        }
+    }
+
+    #[test]
+    fn figure_subsets_are_registered() {
+        for name in FIGURE_1A.iter().chain(FIGURE_1B.iter()) {
+            assert!(mechanism_by_name(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn table1_flags_match_paper() {
+        let rows = table1();
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+
+        // Data-(in)dependence.
+        for n in ["IDENTITY", "H", "HB", "GREEDY_H", "PRIVELET"] {
+            assert!(!get(n).data_dependent, "{n} is data-independent");
+        }
+        for n in ["UNIFORM", "MWEM", "AHP", "DAWA", "PHP", "EFPA", "SF"] {
+            assert!(get(n).data_dependent, "{n} is data-dependent");
+        }
+
+        // Consistency column of Table 1.
+        for n in ["IDENTITY", "HB", "DAWA", "AHP", "DPCUBE", "EFPA", "SF"] {
+            assert!(get(n).consistent, "{n} should be consistent");
+        }
+        for n in ["UNIFORM", "MWEM", "MWEM*", "PHP", "QUADTREE"] {
+            assert!(!get(n).consistent, "{n} should be inconsistent");
+        }
+
+        // Exchangeability: everything but SF.
+        for r in &rows {
+            if r.name == "SF" {
+                assert!(!r.scale_eps_exchangeable);
+            } else {
+                assert!(r.scale_eps_exchangeable, "{} exchangeable", r.name);
+            }
+        }
+
+        // Side information column.
+        for n in ["MWEM", "UGRID", "AGRID", "SF"] {
+            assert!(get(n).side_info.is_some(), "{n} uses side info");
+        }
+        assert!(get("MWEM*").side_info.is_none(), "MWEM* repaired");
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: wall-clock cost of one mechanism run at
+//! benchmark-realistic settings (1-D n = 1024 Prefix workload; 2-D 64×64
+//! with 500 random ranges). These quantify the computational side of the
+//! paper's "22 days of single-core computation" observation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbench_core::rng::rng_for;
+use dpbench_core::{Domain, Mechanism, Workload};
+use dpbench_datasets::{catalog, DataGenerator};
+
+fn bench_mechanisms_1d(c: &mut Criterion) {
+    let dataset = catalog::by_name("MEDCOST").expect("dataset");
+    let domain = Domain::D1(1024);
+    let mut rng = rng_for("bench-1d", &[0]);
+    let x = DataGenerator::new().generate(&dataset, domain, 100_000, &mut rng);
+    let w = Workload::prefix_1d(1024);
+
+    let mut group = c.benchmark_group("mechanisms_1d_n1024");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in dpbench_algorithms::registry::NAMES_1D {
+        let mech = dpbench_algorithms::registry::mechanism_by_name(name).expect("registered");
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            let mut trial = 0_u64;
+            b.iter(|| {
+                trial += 1;
+                let mut rng = rng_for(name, &[trial]);
+                mech.run_eps(&x, &w, 0.1, &mut rng).expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mechanisms_2d(c: &mut Criterion) {
+    let dataset = catalog::by_name("GOWALLA").expect("dataset");
+    let domain = Domain::D2(64, 64);
+    let mut rng = rng_for("bench-2d", &[0]);
+    let x = DataGenerator::new().generate(&dataset, domain, 1_000_000, &mut rng);
+    let w = Workload::random_ranges(domain, 500, &mut rng);
+
+    let mut group = c.benchmark_group("mechanisms_2d_64x64");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in dpbench_algorithms::registry::NAMES_2D {
+        let mech = dpbench_algorithms::registry::mechanism_by_name(name).expect("registered");
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            let mut trial = 0_u64;
+            b.iter(|| {
+                trial += 1;
+                let mut rng = rng_for(name, &[trial, 2]);
+                mech.run_eps(&x, &w, 0.1, &mut rng).expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms_1d, bench_mechanisms_2d);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the numeric substrates: Haar wavelet,
+//! FFT, Hilbert flattening, tree inference, and the data generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbench_core::rng::rng_for;
+use dpbench_core::Domain;
+use dpbench_datasets::{catalog, DataGenerator};
+use dpbench_transforms::tree_ls::{MeasuredTree, Measurement};
+use dpbench_transforms::{fft, hilbert, wavelet};
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transforms");
+    for &n in &[1024_usize, 4096] {
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("haar_forward", n), &x, |b, x| {
+            b.iter(|| wavelet::haar_forward(x));
+        });
+        group.bench_with_input(BenchmarkId::new("fft_real", n), &x, |b, x| {
+            b.iter(|| fft::dft_real(x));
+        });
+    }
+    let side = 128;
+    let grid: Vec<f64> = (0..side * side).map(|i| (i % 7) as f64).collect();
+    group.bench_function("hilbert_flatten_128", |b| {
+        b.iter(|| hilbert::flatten(&grid, side));
+    });
+    group.finish();
+}
+
+fn bench_tree_inference(c: &mut Criterion) {
+    // Binary tree over 4096 leaves, all nodes measured.
+    let n_leaves = 4096_usize;
+    let mut tree = MeasuredTree::new();
+    fn build(tree: &mut MeasuredTree, lo: usize, hi: usize) -> usize {
+        let id = tree.add_node(Some(Measurement {
+            value: (hi - lo) as f64,
+            variance: 1.0,
+        }));
+        if hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let l = build(tree, lo, mid);
+            let r = build(tree, mid, hi);
+            tree.set_children(id, vec![l, r]);
+        }
+        id
+    }
+    let root = build(&mut tree, 0, n_leaves);
+    tree.set_root(root);
+    c.bench_function("tree_ls_infer_4096_leaves", |b| {
+        b.iter(|| tree.infer());
+    });
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let dataset = catalog::by_name("PATENT").expect("dataset");
+    let mut group = c.benchmark_group("data_generator");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &scale in &[100_000_u64, 10_000_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scale),
+            &scale,
+            |b, &scale| {
+                let mut trial = 0_u64;
+                b.iter(|| {
+                    trial += 1;
+                    let mut rng = rng_for("bench-gen", &[scale, trial]);
+                    DataGenerator::new().generate(&dataset, Domain::D1(4096), scale, &mut rng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms, bench_tree_inference, bench_datagen);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Finding 5 / Section 7.2: geometric-mean **regret** against the oracle
+//! that picks the best algorithm per (dataset, scale). The paper reports
+//! DAWA 1.32 (1-D, runner-up HB 1.51) and DAWA 1.73 (2-D, runner-up
+//! AGRID 1.90).
+
+use dpbench_bench::common;
+use dpbench_harness::results::render_table;
+use dpbench_stats::geometric_mean_regret;
+
+fn main() {
+    common::banner(
+        "Regret vs per-setting oracle (Finding 5)",
+        "Hay et al., SIGMOD 2016, Section 7.2",
+    );
+
+    for dims in [1_usize, 2] {
+        let (algorithms, store) = if dims == 1 {
+            let algs = dpbench_algorithms::registry::FIGURE_1A;
+            (
+                algs,
+                common::run(common::config_1d(algs, vec![1_000, 100_000, 10_000_000])),
+            )
+        } else {
+            let algs = dpbench_algorithms::registry::FIGURE_1B;
+            (
+                algs,
+                common::run(common::config_2d(algs, vec![10_000, 1_000_000, 100_000_000])),
+            )
+        };
+
+        let settings = store.settings();
+        let errors: Vec<Vec<f64>> = algorithms
+            .iter()
+            .map(|alg| {
+                settings
+                    .iter()
+                    .map(|s| {
+                        let m = store.mean_error(alg, s);
+                        if m.is_finite() {
+                            m
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let regrets = geometric_mean_regret(&errors);
+        let mut rows: Vec<Vec<String>> = algorithms
+            .iter()
+            .zip(&regrets)
+            .map(|(a, r)| vec![a.to_string(), format!("{r:.2}")])
+            .collect();
+        rows.sort_by(|a, b| a[1].partial_cmp(&b[1]).unwrap());
+        println!("## {dims}-D regret over {} settings", settings.len());
+        println!("{}", render_table(&["algorithm", "regret"], &rows));
+    }
+    println!("Paper shape check: DAWA has the lowest regret in both dimensions");
+    println!("(paper: 1.32 / 1.73; runners-up HB 1.51 and AGRID 1.90).");
+}

@@ -1,0 +1,108 @@
+//! Table 1: the algorithm property matrix (dimension, H/P strategy
+//! flags, side information, consistency, scale-ε exchangeability), plus an
+//! **empirical verification** of the two theoretical analysis columns:
+//!
+//! * consistency: error at ε = 10⁹ must be ~0 for consistent algorithms
+//!   and bounded away from 0 for inconsistent ones (on data richer than
+//!   the mechanism's structural capacity);
+//! * exchangeability: error at (scale m, ε) vs (scale c·m, ε/c) must
+//!   match for exchangeable algorithms.
+
+use dpbench_bench::common;
+use dpbench_core::mechanism::DimSupport;
+use dpbench_core::rng::rng_for;
+use dpbench_core::{scaled_per_query_error, DataVector, Domain, Loss, Workload};
+use dpbench_datasets::{catalog, DataGenerator};
+use dpbench_harness::results::render_table;
+
+fn mean_err(alg: &str, x: &DataVector, w: &Workload, eps: f64, trials: usize, tag: u64) -> f64 {
+    let mech = dpbench_algorithms::registry::mechanism_by_name(alg).expect("registered");
+    let y = w.evaluate(x);
+    let mut total = 0.0;
+    for t in 0..trials {
+        let mut rng = rng_for(alg, &[tag, t as u64]);
+        let est = mech.run_eps(x, w, eps, &mut rng).expect("run");
+        total += scaled_per_query_error(&y, &w.evaluate_cells(&est), x.scale(), Loss::L2);
+    }
+    total / trials as f64
+}
+
+fn main() {
+    common::banner(
+        "Table 1 (algorithm properties + empirical verification)",
+        "Hay et al., SIGMOD 2016, Table 1",
+    );
+
+    // Static metadata.
+    let mut rows = Vec::new();
+    for info in dpbench_algorithms::registry::table1() {
+        let dims = match info.dims {
+            DimSupport::OneD => "1D",
+            DimSupport::TwoD => "2D",
+            DimSupport::OneAndTwoD => "1D,2D",
+            DimSupport::MultiD => "Multi-D",
+        };
+        rows.push(vec![
+            info.name.clone(),
+            dims.into(),
+            if info.data_dependent { "data-dep" } else { "data-indep" }.into(),
+            if info.hierarchical { "H" } else { "" }.into(),
+            if info.partitioning { "P" } else { "" }.into(),
+            info.side_info.clone().unwrap_or_default(),
+            if info.consistent { "yes" } else { "no" }.into(),
+            if info.scale_eps_exchangeable { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["algorithm", "dims", "type", "H", "P", "side info", "consistent", "exchangeable"],
+            &rows
+        )
+    );
+
+    // Empirical verification on a rich 1-D dataset.
+    println!("## Empirical checks (SEARCH shape, domain 512)");
+    let trials = dpbench_bench::common::Fidelity::from_env().trials.max(3);
+    let dataset = catalog::by_name("SEARCH").expect("dataset");
+    let domain = Domain::D1(512);
+    let w = Workload::prefix_1d(512);
+    let mut rng = rng_for("table1-data", &[1]);
+    let gen = DataGenerator::new();
+    let x = gen.generate(&dataset, domain, 100_000, &mut rng);
+    let x10 = gen.generate(&dataset, domain, 1_000_000, &mut rng);
+
+    let mut rows = Vec::new();
+    for alg in [
+        "IDENTITY", "HB", "GREEDY_H", "PRIVELET", "DAWA", "AHP", "DPCUBE", "EFPA", "SF", "PHP",
+        "MWEM", "UNIFORM",
+    ] {
+        let err_inf = mean_err(alg, &x, &w, 1e9, trials, 0xC0);
+        let err_a = mean_err(alg, &x, &w, 0.5, trials, 0xE1);
+        let err_b = mean_err(alg, &x10, &w, 0.05, trials, 0xE2);
+        let info = dpbench_algorithms::registry::mechanism_by_name(alg)
+            .expect("registered")
+            .info();
+        let consistent_ok = (err_inf < 1e-4) == info.consistent;
+        let ratio = err_a / err_b;
+        rows.push(vec![
+            alg.to_string(),
+            format!("{err_inf:.2e}"),
+            if consistent_ok { "matches" } else { "MISMATCH" }.into(),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "algorithm",
+                "error at eps=1e9",
+                "consistency flag",
+                "err(m,eps) / err(10m,eps/10)"
+            ],
+            &rows
+        )
+    );
+    println!("Exchangeable algorithms should show a ratio near 1.0 (Definition 4).");
+}

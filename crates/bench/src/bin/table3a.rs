@@ -1,0 +1,50 @@
+//! Table 3a: number of 1-D datasets (out of 18) on which each algorithm
+//! is *competitive* — lowest mean error or statistically indistinguishable
+//! from it (Welch t-test, Bonferroni-corrected α) — at scales
+//! {10³, 10⁵, 10⁷}, domain 4096.
+
+use dpbench_bench::common;
+use dpbench_harness::competitive::{competitive_counts, RiskProfile};
+use dpbench_harness::results::render_table;
+
+fn main() {
+    common::banner(
+        "Table 3a (1-D competitive algorithms per scale)",
+        "Hay et al., SIGMOD 2016, Table 3a",
+    );
+    let algorithms = dpbench_algorithms::registry::FIGURE_1A;
+    let scales = vec![1_000, 100_000, 10_000_000];
+    let store = common::run(common::config_1d(algorithms, scales.clone()));
+    let alg_names: Vec<String> = algorithms.iter().map(|s| s.to_string()).collect();
+    let counts = competitive_counts(&store, &alg_names, RiskProfile::Mean);
+
+    let mut rows = Vec::new();
+    for alg in algorithms {
+        let mut row = vec![alg.to_string()];
+        let mut any = false;
+        for &scale in &scales {
+            let c = counts
+                .get(&scale)
+                .and_then(|m| m.get(*alg))
+                .copied()
+                .unwrap_or(0);
+            any |= c > 0;
+            row.push(if c > 0 { c.to_string() } else { String::new() });
+        }
+        if any {
+            rows.push(row);
+        }
+    }
+    rows.sort_by(|a, b| {
+        let sum = |r: &Vec<String>| -> usize {
+            r[1..].iter().filter_map(|c| c.parse::<usize>().ok()).sum()
+        };
+        sum(b).cmp(&sum(a))
+    });
+    println!(
+        "{}",
+        render_table(&["algorithm", "scale 10^3", "scale 10^5", "scale 10^7"], &rows)
+    );
+    println!("Paper shape check (Table 3a): DAWA competitive across all scales;");
+    println!("MWEM*/EFPA/PHP/MWEM/UNIFORM only at 10^3; HB takes over at 10^5+.");
+}

@@ -1,0 +1,48 @@
+//! Table 3b: number of 2-D datasets (out of 9) on which each algorithm is
+//! *competitive* at scales {10⁴, 10⁶, 10⁸}, domain 128×128.
+
+use dpbench_bench::common;
+use dpbench_harness::competitive::{competitive_counts, RiskProfile};
+use dpbench_harness::results::render_table;
+
+fn main() {
+    common::banner(
+        "Table 3b (2-D competitive algorithms per scale)",
+        "Hay et al., SIGMOD 2016, Table 3b",
+    );
+    let algorithms = dpbench_algorithms::registry::FIGURE_1B;
+    let scales = vec![10_000, 1_000_000, 100_000_000];
+    let store = common::run(common::config_2d(algorithms, scales.clone()));
+    let alg_names: Vec<String> = algorithms.iter().map(|s| s.to_string()).collect();
+    let counts = competitive_counts(&store, &alg_names, RiskProfile::Mean);
+
+    let mut rows = Vec::new();
+    for alg in algorithms {
+        let mut row = vec![alg.to_string()];
+        let mut any = false;
+        for &scale in &scales {
+            let c = counts
+                .get(&scale)
+                .and_then(|m| m.get(*alg))
+                .copied()
+                .unwrap_or(0);
+            any |= c > 0;
+            row.push(if c > 0 { c.to_string() } else { String::new() });
+        }
+        if any {
+            rows.push(row);
+        }
+    }
+    rows.sort_by(|a, b| {
+        let sum = |r: &Vec<String>| -> usize {
+            r[1..].iter().filter_map(|c| c.parse::<usize>().ok()).sum()
+        };
+        sum(b).cmp(&sum(a))
+    });
+    println!(
+        "{}",
+        render_table(&["algorithm", "scale 10^4", "scale 10^6", "scale 10^8"], &rows)
+    );
+    println!("Paper shape check (Table 3b): DAWA and AGRID split the small/medium");
+    println!("scales; HB and QUADTREE join at 10^8.");
+}

@@ -1,0 +1,110 @@
+//! Shared plumbing for the figure/table reproduction binaries.
+//!
+//! Fidelity knobs (environment variables):
+//!
+//! * `DPBENCH_SAMPLES` — data vectors per setting (paper: 5; default 1)
+//! * `DPBENCH_TRIALS`  — runs per data vector (paper: 10; default 3)
+//! * `DPBENCH_FULL=1`  — paper-scale fidelity (5 × 10)
+//! * `DPBENCH_DOMAIN`  — override the 1-D domain size / 2-D side
+//!
+//! Reduced fidelity changes error-bar tightness, not the shape of the
+//! results; every binary prints the configuration it ran.
+
+use dpbench_core::Domain;
+use dpbench_harness::config::{ExperimentConfig, WorkloadSpec};
+use dpbench_harness::Runner;
+use dpbench_harness::ResultStore;
+
+/// Fidelity settings resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Fidelity {
+    /// Data vectors per setting.
+    pub samples: usize,
+    /// Mechanism runs per data vector.
+    pub trials: usize,
+}
+
+impl Fidelity {
+    /// Resolve from environment variables.
+    pub fn from_env() -> Self {
+        let full = std::env::var("DPBENCH_FULL").map(|v| v == "1").unwrap_or(false);
+        let samples = env_usize("DPBENCH_SAMPLES").unwrap_or(if full { 5 } else { 1 });
+        let trials = env_usize("DPBENCH_TRIALS").unwrap_or(if full { 10 } else { 3 });
+        Self { samples, trials }
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// The 1-D domain to use: paper default 4096, overridable.
+pub fn domain_1d() -> Domain {
+    Domain::D1(env_usize("DPBENCH_DOMAIN").unwrap_or(4096))
+}
+
+/// The 2-D domain to use: paper default 128×128, overridable side.
+pub fn domain_2d() -> Domain {
+    let side = env_usize("DPBENCH_DOMAIN").unwrap_or(128);
+    Domain::D2(side, side)
+}
+
+/// Apply fidelity to a config and run it with progress output.
+pub fn run(mut config: ExperimentConfig) -> ResultStore {
+    let fid = Fidelity::from_env();
+    config.n_samples = fid.samples;
+    config.n_trials = fid.trials;
+    eprintln!(
+        "[dpbench] {} settings x {} algorithms, {} samples x {} trials = {} runs",
+        config.settings().len(),
+        config.algorithms.len(),
+        config.n_samples,
+        config.n_trials,
+        config.total_runs()
+    );
+    let mut runner = Runner::new(config);
+    runner.verbose = std::env::var("DPBENCH_VERBOSE").map(|v| v == "1").unwrap_or(false);
+    runner.run()
+}
+
+/// Standard banner for every binary.
+pub fn banner(what: &str, paper_ref: &str) {
+    println!("# DPBench reproduction — {what}");
+    println!("# Paper reference: {paper_ref}");
+    let fid = Fidelity::from_env();
+    println!(
+        "# Fidelity: {} samples x {} trials (DPBENCH_FULL=1 for paper-scale 5x10)",
+        fid.samples, fid.trials
+    );
+    println!();
+}
+
+/// The paper's 1-D experiment config for a given scale list.
+pub fn config_1d(algorithms: &[&str], scales: Vec<u64>) -> ExperimentConfig {
+    ExperimentConfig {
+        datasets: dpbench_datasets::datasets_1d(),
+        scales,
+        domains: vec![domain_1d()],
+        epsilons: vec![0.1],
+        algorithms: algorithms.iter().map(|s| s.to_string()).collect(),
+        n_samples: 1,
+        n_trials: 3,
+        workload: WorkloadSpec::Prefix,
+        loss: dpbench_core::Loss::L2,
+    }
+}
+
+/// The paper's 2-D experiment config for a given scale list.
+pub fn config_2d(algorithms: &[&str], scales: Vec<u64>) -> ExperimentConfig {
+    ExperimentConfig {
+        datasets: dpbench_datasets::datasets_2d(),
+        scales,
+        domains: vec![domain_2d()],
+        epsilons: vec![0.1],
+        algorithms: algorithms.iter().map(|s| s.to_string()).collect(),
+        n_samples: 1,
+        n_trials: 3,
+        workload: WorkloadSpec::RandomRanges(2000),
+        loss: dpbench_core::Loss::L2,
+    }
+}

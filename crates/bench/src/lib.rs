@@ -1,0 +1,6 @@
+//! # dpbench-bench
+//!
+//! Shared plumbing for the figure/table reproduction binaries (in
+//! `src/bin/`) and the Criterion micro-benchmarks (in `benches/`).
+
+pub mod common;

@@ -1,0 +1,172 @@
+//! Runtime privacy-budget accounting.
+//!
+//! The paper's Principles 5–7 require that *every* computation touching the
+//! private data be charged against the privacy budget ε (sequential
+//! composition, McSherry 2009). [`BudgetLedger`] makes that accounting
+//! explicit: mechanisms draw portions of ε from a ledger and the ledger
+//! refuses to overdraw. Integration tests assert that every mechanism's
+//! total spend never exceeds its grant — turning the paper's *end-to-end
+//! privacy* principle into an executable invariant.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error raised when a mechanism tries to spend more privacy budget than it
+/// was granted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetExhausted {
+    /// Amount the caller attempted to spend.
+    pub requested: f64,
+    /// Budget remaining at the time of the attempt.
+    pub remaining: f64,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "privacy budget exhausted: requested ε={}, remaining ε={}",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// Tracks ε spending under sequential composition.
+///
+/// A tiny relative slack (`1e-9`) absorbs floating-point accumulation when a
+/// budget is split into many parts (e.g. per-level allocations in
+/// hierarchical mechanisms) that should sum exactly to ε.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    total: f64,
+    spent: f64,
+}
+
+impl BudgetLedger {
+    /// Create a ledger with total budget ε (must be positive and finite).
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "privacy budget must be positive and finite, got {epsilon}"
+        );
+        Self {
+            total: epsilon,
+            spent: 0.0,
+        }
+    }
+
+    /// Total granted budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Spend `eps` of the budget, failing if it would overdraw.
+    pub fn spend(&mut self, eps: f64) -> Result<f64, BudgetExhausted> {
+        assert!(eps.is_finite() && eps >= 0.0, "spend must be non-negative");
+        let slack = self.total * 1e-9;
+        if self.spent + eps > self.total + slack {
+            return Err(BudgetExhausted {
+                requested: eps,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += eps;
+        Ok(eps)
+    }
+
+    /// Spend a fraction `rho ∈ [0, 1]` of the *total* budget; returns the
+    /// absolute ε spent. This is the paper's `ρ` convention for two-stage
+    /// algorithms (ε₁ = ρ·ε, ε₂ = (1−ρ)·ε).
+    pub fn spend_fraction(&mut self, rho: f64) -> Result<f64, BudgetExhausted> {
+        assert!((0.0..=1.0).contains(&rho), "fraction must be in [0,1]");
+        self.spend(self.total * rho)
+    }
+
+    /// Spend everything that remains; returns the absolute ε spent.
+    pub fn spend_all(&mut self) -> f64 {
+        let rest = self.remaining();
+        self.spent = self.total;
+        rest
+    }
+
+    /// Split off a sub-ledger carrying `eps` of this ledger's budget
+    /// (useful when delegating to a sub-mechanism such as DAWA's GREEDY_H
+    /// second stage).
+    pub fn split(&mut self, eps: f64) -> Result<BudgetLedger, BudgetExhausted> {
+        self.spend(eps)?;
+        Ok(BudgetLedger::new(eps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_within_budget() {
+        let mut l = BudgetLedger::new(1.0);
+        assert!(l.spend(0.4).is_ok());
+        assert!(l.spend(0.6).is_ok());
+        assert!(l.remaining() < 1e-12);
+    }
+
+    #[test]
+    fn overspend_rejected() {
+        let mut l = BudgetLedger::new(0.5);
+        l.spend(0.3).unwrap();
+        let err = l.spend(0.3).unwrap_err();
+        assert!((err.remaining - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_spend() {
+        let mut l = BudgetLedger::new(2.0);
+        assert_eq!(l.spend_fraction(0.25).unwrap(), 0.5);
+        assert!((l.remaining() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_small_spends_tolerate_fp_noise() {
+        let mut l = BudgetLedger::new(1.0);
+        // 1/3 three times does not sum to exactly 1.0 in floating point.
+        for _ in 0..3 {
+            l.spend(1.0 / 3.0).unwrap();
+        }
+        assert!(l.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn split_delegates_budget() {
+        let mut l = BudgetLedger::new(1.0);
+        let sub = l.split(0.25).unwrap();
+        assert_eq!(sub.total(), 0.25);
+        assert!((l.remaining() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spend_all_drains() {
+        let mut l = BudgetLedger::new(0.7);
+        l.spend(0.2).unwrap();
+        let rest = l.spend_all();
+        assert!((rest - 0.5).abs() < 1e-12);
+        assert_eq!(l.remaining(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_budget_rejected() {
+        BudgetLedger::new(0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic seeding utilities.
+//!
+//! The benchmark runs thousands of (dataset, scale, domain, ε, algorithm,
+//! sample, trial) cells; each gets an independent, *reproducible* RNG stream
+//! derived by hashing its coordinates with SplitMix64. This keeps results
+//! stable across runs and across thread schedules.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 step — a high-quality 64-bit mixer used to derive seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Mix an arbitrary list of 64-bit coordinates into one seed.
+pub fn mix_seed(parts: &[u64]) -> u64 {
+    let mut state = 0x5DEECE66D_u64;
+    let mut acc = 0_u64;
+    for &p in parts {
+        state ^= p;
+        acc ^= splitmix64(&mut state).rotate_left(17);
+    }
+    // One final avalanche so similar coordinate lists diverge fully.
+    state ^= acc;
+    splitmix64(&mut state)
+}
+
+/// Hash a string into a 64-bit coordinate (FNV-1a).
+pub fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325_u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A reproducible RNG for an experiment cell identified by string and
+/// integer coordinates.
+pub fn rng_for(label: &str, coords: &[u64]) -> StdRng {
+    let mut parts = Vec::with_capacity(coords.len() + 1);
+    parts.push(hash_str(label));
+    parts.extend_from_slice(coords);
+    StdRng::seed_from_u64(mix_seed(&parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic() {
+        let a: u64 = rng_for("DAWA", &[1, 2, 3]).gen();
+        let b: u64 = rng_for("DAWA", &[1, 2, 3]).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coordinates_matter() {
+        let a: u64 = rng_for("DAWA", &[1, 2, 3]).gen();
+        let b: u64 = rng_for("DAWA", &[1, 2, 4]).gen();
+        let c: u64 = rng_for("MWEM", &[1, 2, 3]).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn order_matters() {
+        assert_ne!(mix_seed(&[1, 2]), mix_seed(&[2, 1]));
+    }
+
+    #[test]
+    fn hash_str_distinguishes() {
+        assert_ne!(hash_str("MWEM"), hash_str("MWEM*"));
+        assert_ne!(hash_str(""), hash_str("a"));
+    }
+
+    #[test]
+    fn splitmix_known_sequence_is_stable() {
+        let mut s = 0_u64;
+        let first = splitmix64(&mut s);
+        let second = splitmix64(&mut s);
+        assert_ne!(first, second);
+        // Regression pin: derived streams must not silently change.
+        let mut s2 = 0_u64;
+        assert_eq!(splitmix64(&mut s2), first);
+    }
+}

@@ -1,0 +1,268 @@
+//! Query workloads `W` (paper Section 6.2).
+//!
+//! * 1-D experiments use the **Prefix** workload: the `n` queries
+//!   `[0, i]` for `i ∈ [0, n)`. Any range query is a difference of two
+//!   prefix queries, so low Prefix error transfers to all ranges.
+//! * 2-D experiments use **2000 uniformly random range queries** as an
+//!   approximation of the set of all ranges.
+//! * The **Identity** workload (all singleton cells) is used when studying
+//!   the effect of domain size and as the measurement set of several
+//!   mechanisms.
+
+use crate::data::DataVector;
+use crate::domain::Domain;
+use crate::query::{PrefixTable, RangeQuery};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A set of range queries over a common domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    domain: Domain,
+    queries: Vec<RangeQuery>,
+}
+
+impl Workload {
+    /// Build a workload from explicit queries; every query must fit.
+    pub fn new(domain: Domain, queries: Vec<RangeQuery>) -> Self {
+        assert!(
+            queries.iter().all(|q| q.fits(&domain)),
+            "workload contains a query outside domain {domain}"
+        );
+        Self { domain, queries }
+    }
+
+    /// The **Prefix** workload over a 1-D domain of size `n`.
+    pub fn prefix_1d(n: usize) -> Self {
+        let queries = (0..n).map(|i| RangeQuery::d1(0, i)).collect();
+        Self {
+            domain: Domain::D1(n),
+            queries,
+        }
+    }
+
+    /// The **Identity** workload: one singleton query per cell.
+    pub fn identity(domain: Domain) -> Self {
+        let queries = (0..domain.n_cells())
+            .map(|i| {
+                let (r, c) = domain.coord(i);
+                RangeQuery {
+                    lo: (r, c),
+                    hi: (r, c),
+                }
+            })
+            .collect();
+        Self { domain, queries }
+    }
+
+    /// All `n(n+1)/2` ranges of a 1-D domain. Quadratic — intended for small
+    /// domains (tests and the Hb branching-factor optimization).
+    pub fn all_ranges_1d(n: usize) -> Self {
+        let mut queries = Vec::with_capacity(n * (n + 1) / 2);
+        for lo in 0..n {
+            for hi in lo..n {
+                queries.push(RangeQuery::d1(lo, hi));
+            }
+        }
+        Self {
+            domain: Domain::D1(n),
+            queries,
+        }
+    }
+
+    /// All ranges of a fixed width `w` over a 1-D domain (sliding-window
+    /// workloads; used for workload-diversity experiments).
+    pub fn fixed_width_1d(n: usize, width: usize) -> Self {
+        assert!(width >= 1 && width <= n, "width must be in [1, n]");
+        let queries = (0..=n - width)
+            .map(|lo| RangeQuery::d1(lo, lo + width - 1))
+            .collect();
+        Self {
+            domain: Domain::D1(n),
+            queries,
+        }
+    }
+
+    /// The two 1-D marginals of a 2-D domain: one query per full row and
+    /// one per full column (the "marginals" analysis task of Section 2.2).
+    pub fn marginals_2d(rows: usize, cols: usize) -> Self {
+        let mut queries = Vec::with_capacity(rows + cols);
+        for r in 0..rows {
+            queries.push(RangeQuery::d2(r, 0, r, cols - 1));
+        }
+        for c in 0..cols {
+            queries.push(RangeQuery::d2(0, c, rows - 1, c));
+        }
+        Self {
+            domain: Domain::D2(rows, cols),
+            queries,
+        }
+    }
+
+    /// `count` uniformly random range queries (the paper's 2-D workload with
+    /// `count = 2000`; also valid over 1-D domains).
+    pub fn random_ranges<R: Rng + ?Sized>(domain: Domain, count: usize, rng: &mut R) -> Self {
+        let mut queries = Vec::with_capacity(count);
+        match domain {
+            Domain::D1(n) => {
+                for _ in 0..count {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    queries.push(RangeQuery::d1(a.min(b), a.max(b)));
+                }
+            }
+            Domain::D2(rows, cols) => {
+                for _ in 0..count {
+                    let r1 = rng.gen_range(0..rows);
+                    let r2 = rng.gen_range(0..rows);
+                    let c1 = rng.gen_range(0..cols);
+                    let c2 = rng.gen_range(0..cols);
+                    queries.push(RangeQuery::d2(
+                        r1.min(r2),
+                        c1.min(c2),
+                        r1.max(r2),
+                        c1.max(c2),
+                    ));
+                }
+            }
+        }
+        Self { domain, queries }
+    }
+
+    /// The workload's domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Number of queries `q`.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Borrow the queries.
+    pub fn queries(&self) -> &[RangeQuery] {
+        &self.queries
+    }
+
+    /// Evaluate all queries against a data vector: `y = W x`.
+    ///
+    /// Uses a cumulative table so the cost is O(n + q) regardless of range
+    /// sizes.
+    pub fn evaluate(&self, x: &DataVector) -> Vec<f64> {
+        assert_eq!(
+            x.domain(),
+            self.domain,
+            "data vector domain {} does not match workload domain {}",
+            x.domain(),
+            self.domain
+        );
+        let table = PrefixTable::build(x);
+        self.queries.iter().map(|q| table.eval(q)).collect()
+    }
+
+    /// Evaluate against raw cell estimates (same domain as the workload).
+    pub fn evaluate_cells(&self, cells: &[f64]) -> Vec<f64> {
+        let x = DataVector::new(cells.to_vec(), self.domain);
+        self.evaluate(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefix_workload_shape() {
+        let w = Workload::prefix_1d(8);
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.queries()[0], RangeQuery::d1(0, 0));
+        assert_eq!(w.queries()[7], RangeQuery::d1(0, 7));
+    }
+
+    #[test]
+    fn prefix_evaluation() {
+        let x = DataVector::new(vec![1.0, 2.0, 3.0, 4.0], Domain::D1(4));
+        let y = Workload::prefix_1d(4).evaluate(&x);
+        assert_eq!(y, vec![1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn identity_evaluation_matches_cells() {
+        let x = DataVector::new(vec![5.0, 0.0, 2.0], Domain::D1(3));
+        assert_eq!(Workload::identity(Domain::D1(3)).evaluate(&x), x.counts());
+        let x2 = DataVector::new((0..6).map(f64::from).collect(), Domain::D2(2, 3));
+        assert_eq!(
+            Workload::identity(Domain::D2(2, 3)).evaluate(&x2),
+            x2.counts()
+        );
+    }
+
+    #[test]
+    fn all_ranges_count() {
+        assert_eq!(Workload::all_ranges_1d(6).len(), 21);
+    }
+
+    #[test]
+    fn fixed_width_workload() {
+        let w = Workload::fixed_width_1d(8, 3);
+        assert_eq!(w.len(), 6);
+        assert!(w.queries().iter().all(|q| q.size() == 3));
+        // Width n gives the single total query.
+        assert_eq!(Workload::fixed_width_1d(8, 8).len(), 1);
+    }
+
+    #[test]
+    fn marginals_workload() {
+        let w = Workload::marginals_2d(3, 4);
+        assert_eq!(w.len(), 7);
+        let x = DataVector::new((0..12).map(f64::from).collect(), Domain::D2(3, 4));
+        let y = w.evaluate(&x);
+        // Row 0 = 0+1+2+3 = 6; column 0 = 0+4+8 = 12.
+        assert_eq!(y[0], 6.0);
+        assert_eq!(y[3], 12.0);
+        // Row sums and column sums each total the scale.
+        let rows: f64 = y[..3].iter().sum();
+        let cols: f64 = y[3..].iter().sum();
+        assert_eq!(rows, x.scale());
+        assert_eq!(cols, x.scale());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in")]
+    fn fixed_width_rejects_zero() {
+        Workload::fixed_width_1d(8, 0);
+    }
+
+    #[test]
+    fn random_ranges_fit_domain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = Workload::random_ranges(Domain::D2(16, 32), 500, &mut rng);
+        assert_eq!(w.len(), 500);
+        assert!(w.queries().iter().all(|q| q.fits(&Domain::D2(16, 32))));
+    }
+
+    #[test]
+    fn random_ranges_match_naive_eval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = DataVector::new((0..64).map(|i| (i % 7) as f64).collect(), Domain::D2(8, 8));
+        let w = Workload::random_ranges(Domain::D2(8, 8), 100, &mut rng);
+        let fast = w.evaluate(&x);
+        for (q, &f) in w.queries().iter().zip(&fast) {
+            assert!((q.eval_naive(&x) - f).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match workload domain")]
+    fn evaluate_rejects_wrong_domain() {
+        let x = DataVector::zeros(Domain::D1(8));
+        Workload::prefix_1d(4).evaluate(&x);
+    }
+}

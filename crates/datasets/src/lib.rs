@@ -1,0 +1,30 @@
+//! # dpbench-datasets
+//!
+//! The benchmark's dataset suite `D` and data generator `G` (paper
+//! Sections 5.1 and 6.1).
+//!
+//! The paper evaluates on 27 datasets (18 one-dimensional, 9
+//! two-dimensional) drawn from census, auction, salary, lending, mobility,
+//! and clinical sources. Those raw sources are not redistributable, so this
+//! crate provides **synthetic shape recipes** — one per paper dataset —
+//! calibrated to the statistics the paper reports in Table 2 (original
+//! scale and the fraction of zero cells at the maximum domain size) and to
+//! the qualitative distribution family of each source (see [`catalog`]).
+//! Because algorithm error depends on the data only through *shape*,
+//! *scale*, and *domain size* (the paper's central observation), matching
+//! those properties preserves the benchmark's discriminative power.
+//!
+//! The [`generator`] module implements the paper's data generator `G`:
+//! given a shape `p` over a (possibly coarsened) domain and a target scale
+//! `m`, it samples `m` tuples with replacement from `p`, producing an
+//! integral data vector with exactly the requested scale.
+
+pub mod catalog;
+pub mod generator;
+pub mod sampling;
+pub mod shapes;
+pub mod stats;
+
+pub use catalog::{datasets_1d, datasets_2d, Dataset};
+pub use generator::DataGenerator;
+pub use stats::{shape_stats, ShapeStats};

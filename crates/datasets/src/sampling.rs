@@ -1,0 +1,267 @@
+//! Random-variate substrate for the data generator: binomial sampling,
+//! exact-sum multinomial sampling, and the alias method for discrete
+//! distributions.
+
+use rand::Rng;
+
+/// Sample from `Binomial(n, p)`.
+///
+/// * For small expected counts (`n·min(p,1−p) ≤ 30`) uses exact
+///   inversion/counting.
+/// * For large expected counts uses a normal approximation with continuity
+///   correction, clamped to `[0, n]`. At the generator's scales (up to
+///   10⁸ tuples) the approximation error is far below sampling noise.
+pub fn binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Work with the smaller tail for numerical stability.
+    if p > 0.5 {
+        return n - binomial(n, 1.0 - p, rng);
+    }
+    let np = n as f64 * p;
+    if np <= 30.0 {
+        binomial_inversion(n, p, rng)
+    } else {
+        let mean = np;
+        let sd = (np * (1.0 - p)).sqrt();
+        let z = normal(rng);
+        let x = (mean + sd * z + 0.5).floor();
+        x.clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Exact binomial sampling by CDF inversion (geometric-style waiting-time
+/// walk). O(np) expected time; used only for small expected counts.
+fn binomial_inversion<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    // Waiting-time method: count how many geometric gaps fit in n trials.
+    let ln_q = (1.0 - p).ln();
+    if ln_q == 0.0 {
+        return 0;
+    }
+    let mut x: u64 = 0;
+    let mut sum: f64 = 0.0;
+    loop {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        // Geometric(p) waiting time (number of trials up to and including
+        // the first success): G = floor(ln U / ln(1−p)) + 1.
+        sum += (u.ln() / ln_q).floor() + 1.0;
+        if sum > n as f64 {
+            return x.min(n);
+        }
+        x += 1;
+        if x > n {
+            return n;
+        }
+    }
+}
+
+/// One standard normal sample (Box–Muller; one value per call keeps the
+/// code branch-free and reproducible).
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample a multinomial vector: `m` draws from probability vector `p`.
+///
+/// Uses the conditional-binomial chain, so the result **always sums to
+/// exactly `m`** — the property the paper's generator needs to produce
+/// integral datasets of exactly the requested scale.
+pub fn multinomial<R: Rng + ?Sized>(m: u64, p: &[f64], rng: &mut R) -> Vec<u64> {
+    assert!(!p.is_empty(), "empty probability vector");
+    let total: f64 = p.iter().sum();
+    assert!(total > 0.0, "probability vector sums to zero");
+    let mut out = vec![0_u64; p.len()];
+    let mut remaining_m = m;
+    let mut remaining_p = total;
+    for (i, &pi) in p.iter().enumerate() {
+        if remaining_m == 0 {
+            break;
+        }
+        if pi <= 0.0 {
+            continue;
+        }
+        if pi >= remaining_p {
+            // Last cell with mass: takes everything left.
+            out[i] = remaining_m;
+            remaining_m = 0;
+            break;
+        }
+        let draw = binomial(remaining_m, (pi / remaining_p).min(1.0), rng);
+        out[i] = draw;
+        remaining_m -= draw;
+        remaining_p -= pi;
+    }
+    // Numerical leftovers (remaining_p underflow) go to the heaviest cell.
+    if remaining_m > 0 {
+        let argmax = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        out[argmax] += remaining_m;
+    }
+    out
+}
+
+/// Alias-method sampler for repeated draws from a fixed discrete
+/// distribution in O(1) per draw (Walker/Vose construction).
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (need not be normalized).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining entries are 1 up to rounding.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_mean_small_np() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let mean: f64 = (0..trials)
+            .map(|_| binomial(100, 0.05, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_large_np() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 5_000;
+        let mean: f64 = (0..trials)
+            .map(|_| binomial(1_000_000, 0.3, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 300_000.0).abs() < 300.0, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(binomial(10, 1.0, &mut rng), 10);
+        for _ in 0..100 {
+            let x = binomial(5, 0.99, &mut rng);
+            assert!(x <= 5);
+        }
+    }
+
+    #[test]
+    fn multinomial_sums_exactly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = [0.1, 0.0, 0.4, 0.25, 0.25];
+        for m in [0_u64, 1, 17, 1000, 123_456] {
+            let x = multinomial(m, &p, &mut rng);
+            assert_eq!(x.iter().sum::<u64>(), m, "m = {m}");
+            assert_eq!(x[1], 0, "zero-probability cell must stay empty");
+        }
+    }
+
+    #[test]
+    fn multinomial_proportions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = [0.5, 0.3, 0.2];
+        let x = multinomial(1_000_000, &p, &mut rng);
+        for (xi, pi) in x.iter().zip(&p) {
+            let frac = *xi as f64 / 1_000_000.0;
+            assert!((frac - pi).abs() < 0.005, "frac {frac} vs p {pi}");
+        }
+    }
+
+    #[test]
+    fn multinomial_unnormalized_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = [5.0, 3.0, 2.0]; // sums to 10, not 1
+        let x = multinomial(100_000, &w, &mut rng);
+        assert_eq!(x.iter().sum::<u64>(), 100_000);
+        assert!((x[0] as f64 / 100_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn alias_table_distribution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = AliasTable::new(&[1.0, 2.0, 7.0]);
+        let mut hits = [0_u64; 3];
+        let n = 200_000;
+        for _ in 0..n {
+            hits[t.sample(&mut rng)] += 1;
+        }
+        let expect = [0.1, 0.2, 0.7];
+        for (h, e) in hits.iter().zip(&expect) {
+            let frac = *h as f64 / n as f64;
+            assert!((frac - e).abs() < 0.01, "frac {frac} vs {e}");
+        }
+    }
+
+    #[test]
+    fn alias_single_element() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = AliasTable::new(&[3.0]);
+        assert_eq!(t.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to zero")]
+    fn multinomial_rejects_zero_mass() {
+        let mut rng = StdRng::seed_from_u64(9);
+        multinomial(10, &[0.0, 0.0], &mut rng);
+    }
+}

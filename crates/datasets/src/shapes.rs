@@ -1,0 +1,372 @@
+//! Shape-construction primitives used by the dataset recipes.
+//!
+//! A *shape* is a non-negative vector summing to 1 (paper Section 2.2).
+//! Recipes compose these primitives additively and then post-process with
+//! [`trim_to_support`] to hit a target zero-cell fraction, the sparsity
+//! statistic the paper reports for every dataset (Table 2).
+
+use rand::Rng;
+
+/// Normalize a non-negative buffer to sum to 1 in place. Panics if the
+/// total mass is zero.
+pub fn normalize(buf: &mut [f64]) {
+    let total: f64 = buf.iter().sum();
+    assert!(total > 0.0, "cannot normalize zero-mass shape");
+    for v in buf.iter_mut() {
+        *v /= total;
+    }
+}
+
+/// Add `weight` total mass distributed as a discretized Gaussian bump
+/// centred at `center ∈ [0,1]` (fraction of the domain) with standard
+/// deviation `width` (fraction of the domain).
+pub fn add_gaussian_1d(buf: &mut [f64], center: f64, width: f64, weight: f64) {
+    let n = buf.len() as f64;
+    let c = center * n;
+    let s = (width * n).max(1e-9);
+    let mut bump: Vec<f64> = (0..buf.len())
+        .map(|i| {
+            let z = (i as f64 + 0.5 - c) / s;
+            (-0.5 * z * z).exp()
+        })
+        .collect();
+    let total: f64 = bump.iter().sum();
+    if total > 0.0 {
+        for (b, v) in buf.iter_mut().zip(&mut bump) {
+            *b += weight * *v / total;
+        }
+    }
+}
+
+/// Add `weight` total mass with a log-normal profile over the domain
+/// (density of `exp(N(μ, σ²))` evaluated at cell midpoints, with the domain
+/// mapped to `(0, 1]`). Models salary / income / cost attributes.
+pub fn add_lognormal_1d(buf: &mut [f64], median: f64, sigma: f64, weight: f64) {
+    assert!(median > 0.0 && sigma > 0.0);
+    let n = buf.len() as f64;
+    let mu = median.ln();
+    let mut bump: Vec<f64> = (0..buf.len())
+        .map(|i| {
+            let x = (i as f64 + 0.5) / n; // cell midpoint in (0,1)
+            let z = (x.ln() - mu) / sigma;
+            (-0.5 * z * z).exp() / x
+        })
+        .collect();
+    let total: f64 = bump.iter().sum();
+    if total > 0.0 {
+        for (b, v) in buf.iter_mut().zip(&mut bump) {
+            *b += weight * *v / total;
+        }
+    }
+}
+
+/// Add `weight` total mass as a power-law decay from the left edge:
+/// `p_i ∝ (i + 1)^{-alpha}`. Models rank-frequency attributes (search
+/// terms, IP addresses, citation counts).
+pub fn add_power_law_1d(buf: &mut [f64], alpha: f64, weight: f64) {
+    let mut bump: Vec<f64> = (0..buf.len())
+        .map(|i| ((i + 1) as f64).powf(-alpha))
+        .collect();
+    let total: f64 = bump.iter().sum();
+    for (b, v) in buf.iter_mut().zip(&mut bump) {
+        *b += weight * *v / total;
+    }
+}
+
+/// Add `weight` total mass as `count` isolated spikes at RNG-chosen cells
+/// with geometrically decaying magnitudes (`decay ∈ (0, 1]`); models sparse
+/// spiky data such as network traces.
+pub fn add_spikes_1d<R: Rng + ?Sized>(
+    buf: &mut [f64],
+    count: usize,
+    decay: f64,
+    weight: f64,
+    rng: &mut R,
+) {
+    assert!(count > 0 && decay > 0.0 && decay <= 1.0);
+    let mut mags = Vec::with_capacity(count);
+    let mut mag = 1.0;
+    for _ in 0..count {
+        mags.push(mag);
+        mag *= decay;
+    }
+    let total: f64 = mags.iter().sum();
+    for m in &mags {
+        let cell = rng.gen_range(0..buf.len());
+        buf[cell] += weight * m / total;
+    }
+}
+
+/// Add `weight` mass spread uniformly over all cells (the "floor" that
+/// makes fully dense datasets like BIDS have no zero cells).
+pub fn add_uniform(buf: &mut [f64], weight: f64) {
+    let share = weight / buf.len() as f64;
+    for b in buf.iter_mut() {
+        *b += share;
+    }
+}
+
+/// Add `weight` mass as spikes at every `period`-th cell (round-number
+/// effects in monetary attributes such as loan amounts).
+pub fn add_periodic_spikes_1d(buf: &mut [f64], period: usize, weight: f64) {
+    assert!(period > 0);
+    let count = buf.len().div_ceil(period);
+    let share = weight / count as f64;
+    let mut i = 0;
+    while i < buf.len() {
+        buf[i] += share;
+        i += period;
+    }
+}
+
+/// Add `weight` mass as an (optionally correlated) 2-D Gaussian cluster.
+/// Centres and standard deviations are fractions of the respective axes;
+/// `corr ∈ (−1, 1)` is the correlation coefficient.
+#[allow(clippy::too_many_arguments)]
+pub fn add_gaussian_2d(
+    buf: &mut [f64],
+    rows: usize,
+    cols: usize,
+    center_r: f64,
+    center_c: f64,
+    sd_r: f64,
+    sd_c: f64,
+    corr: f64,
+    weight: f64,
+) {
+    assert_eq!(buf.len(), rows * cols);
+    assert!(corr.abs() < 1.0);
+    let cr = center_r * rows as f64;
+    let cc = center_c * cols as f64;
+    let sr = (sd_r * rows as f64).max(1e-9);
+    let sc = (sd_c * cols as f64).max(1e-9);
+    let det = 1.0 - corr * corr;
+    let mut total = 0.0;
+    let mut bump = vec![0.0; rows * cols];
+    for r in 0..rows {
+        let zr = (r as f64 + 0.5 - cr) / sr;
+        for c in 0..cols {
+            let zc = (c as f64 + 0.5 - cc) / sc;
+            let e = -(zr * zr - 2.0 * corr * zr * zc + zc * zc) / (2.0 * det);
+            let v = e.exp();
+            bump[r * cols + c] = v;
+            total += v;
+        }
+    }
+    if total > 0.0 {
+        for (b, v) in buf.iter_mut().zip(&bump) {
+            *b += weight * v / total;
+        }
+    }
+}
+
+/// Add `weight` mass concentrated on the two axes of a 2-D domain
+/// (row 0 and column 0), decaying along each axis. Models pairs of
+/// mutually-exclusive attributes like capital-gain × capital-loss, where
+/// nearly every record is zero in at least one coordinate.
+pub fn add_axis_mass_2d(
+    buf: &mut [f64],
+    rows: usize,
+    cols: usize,
+    alpha: f64,
+    origin_weight: f64,
+    weight: f64,
+) {
+    assert_eq!(buf.len(), rows * cols);
+    let mut bump = vec![0.0; rows * cols];
+    let mut total = 0.0;
+    for c in 1..cols {
+        let v = (c as f64).powf(-alpha);
+        bump[c] = v;
+        total += v;
+    }
+    for r in 1..rows {
+        let v = (r as f64).powf(-alpha);
+        bump[r * cols] = v;
+        total += v;
+    }
+    if total > 0.0 {
+        for (b, v) in buf.iter_mut().zip(&bump) {
+            *b += weight * (1.0 - origin_weight) * v / total;
+        }
+    }
+    buf[0] += weight * origin_weight;
+}
+
+/// Scatter `count` small 2-D Gaussian clusters at RNG-chosen centres with
+/// RNG-chosen sizes; models check-in / GPS point clouds (GOWALLA, cab
+/// traces).
+#[allow(clippy::too_many_arguments)]
+pub fn add_clusters_2d<R: Rng + ?Sized>(
+    buf: &mut [f64],
+    rows: usize,
+    cols: usize,
+    count: usize,
+    min_sd: f64,
+    max_sd: f64,
+    weight: f64,
+    rng: &mut R,
+) {
+    assert!(count > 0);
+    // Cluster weights follow a power law: a few hot spots dominate.
+    let mags: Vec<f64> = (0..count).map(|i| ((i + 1) as f64).powf(-1.2)).collect();
+    let total: f64 = mags.iter().sum();
+    for m in &mags {
+        let cr = rng.gen_range(0.05..0.95);
+        let cc = rng.gen_range(0.05..0.95);
+        let sr = rng.gen_range(min_sd..max_sd);
+        let sc = rng.gen_range(min_sd..max_sd);
+        let corr = rng.gen_range(-0.6..0.6);
+        add_gaussian_2d(buf, rows, cols, cr, cc, sr, sc, corr, weight * m / total);
+    }
+}
+
+/// Trim a shape to a target support size: keep the `keep` heaviest cells,
+/// zero the rest, and renormalize. This pins the *fraction of zero cells*
+/// — the Table 2 sparsity statistic — exactly at the recipe's base domain.
+pub fn trim_to_support(buf: &mut [f64], keep: usize) {
+    let n = buf.len();
+    assert!(keep > 0 && keep <= n);
+    if keep == n {
+        normalize(buf);
+        return;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| buf[b].partial_cmp(&buf[a]).expect("NaN in shape"));
+    for &i in &order[keep..] {
+        buf[i] = 0.0;
+    }
+    // Guarantee the kept cells are strictly positive so the support size is
+    // exactly `keep` even if the raw profile had zeros there.
+    let floor = buf[order[keep - 1]].max(1e-15);
+    for &i in &order[..keep] {
+        if buf[i] <= 0.0 {
+            buf[i] = floor;
+        }
+    }
+    normalize(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_shape(buf: &[f64]) {
+        assert!(buf.iter().all(|&v| v >= 0.0));
+        assert!((buf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_mass_and_center() {
+        let mut buf = vec![0.0; 128];
+        add_gaussian_1d(&mut buf, 0.5, 0.05, 1.0);
+        assert_shape(&buf);
+        let peak = buf
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((peak as i64 - 64).unsigned_abs() <= 1);
+    }
+
+    #[test]
+    fn lognormal_is_right_skewed() {
+        let mut buf = vec![0.0; 256];
+        add_lognormal_1d(&mut buf, 0.1, 0.8, 1.0);
+        assert_shape(&buf);
+        let left: f64 = buf[..64].iter().sum();
+        let right: f64 = buf[192..].iter().sum();
+        assert!(left > right * 3.0, "left {left} right {right}");
+    }
+
+    #[test]
+    fn power_law_decreasing() {
+        let mut buf = vec![0.0; 64];
+        add_power_law_1d(&mut buf, 1.5, 1.0);
+        assert_shape(&buf);
+        assert!(buf[0] > buf[1] && buf[1] > buf[10] && buf[10] > buf[63]);
+    }
+
+    #[test]
+    fn spikes_are_sparse() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buf = vec![0.0; 1024];
+        add_spikes_1d(&mut buf, 20, 0.8, 1.0, &mut rng);
+        let nonzero = buf.iter().filter(|&&v| v > 0.0).count();
+        assert!(nonzero <= 20);
+        assert!((buf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_floor_fills_everything() {
+        let mut buf = vec![0.0; 10];
+        add_uniform(&mut buf, 0.5);
+        assert!(buf.iter().all(|&v| (v - 0.05).abs() < 1e-12));
+    }
+
+    #[test]
+    fn periodic_spikes_spacing() {
+        let mut buf = vec![0.0; 100];
+        add_periodic_spikes_1d(&mut buf, 10, 1.0);
+        assert_shape(&buf);
+        assert!(buf[0] > 0.0 && buf[10] > 0.0 && buf[5] == 0.0);
+    }
+
+    #[test]
+    fn gaussian_2d_mass() {
+        let mut buf = vec![0.0; 32 * 32];
+        add_gaussian_2d(&mut buf, 32, 32, 0.25, 0.75, 0.1, 0.1, 0.3, 1.0);
+        assert_shape(&buf);
+        // Peak near (8, 24).
+        let peak = buf
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let (pr, pc) = (peak / 32, peak % 32);
+        assert!((pr as i64 - 8).unsigned_abs() <= 1 && (pc as i64 - 24).unsigned_abs() <= 1);
+    }
+
+    #[test]
+    fn axis_mass_lives_on_axes() {
+        let mut buf = vec![0.0; 16 * 16];
+        add_axis_mass_2d(&mut buf, 16, 16, 1.0, 0.5, 1.0);
+        assert_shape(&buf);
+        let off_axis: f64 = (1..16)
+            .flat_map(|r| (1..16).map(move |c| r * 16 + c))
+            .map(|i| buf[i])
+            .sum();
+        assert_eq!(off_axis, 0.0);
+        assert!(buf[0] >= 0.5 - 1e-12);
+    }
+
+    #[test]
+    fn clusters_cover_some_area() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut buf = vec![0.0; 64 * 64];
+        add_clusters_2d(&mut buf, 64, 64, 15, 0.01, 0.05, 1.0, &mut rng);
+        assert_shape(&buf);
+    }
+
+    #[test]
+    fn trim_support_exact() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut buf = vec![0.0; 1000];
+        add_lognormal_1d(&mut buf, 0.2, 1.0, 1.0);
+        add_spikes_1d(&mut buf, 50, 0.9, 0.3, &mut rng);
+        trim_to_support(&mut buf, 100);
+        assert_shape(&buf);
+        assert_eq!(buf.iter().filter(|&&v| v > 0.0).count(), 100);
+    }
+
+    #[test]
+    fn trim_support_full_keep_is_normalize() {
+        let mut buf = vec![2.0; 10];
+        trim_to_support(&mut buf, 10);
+        assert_shape(&buf);
+    }
+}

@@ -1,0 +1,192 @@
+//! Competitive-set analysis (paper Section 5.3, Tables 3a/3b).
+//!
+//! For every setting, the algorithm with lowest mean error and every
+//! algorithm statistically indistinguishable from it (Welch t-test at
+//! Bonferroni-corrected α) are *competitive*. Tables 3a/3b report, per
+//! scale, on how many datasets each algorithm is competitive.
+
+use crate::config::Setting;
+use crate::results::ResultStore;
+use dpbench_stats::{competitive_set, percentile};
+use std::collections::BTreeMap;
+
+/// Which error statistic drives the competitiveness test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiskProfile {
+    /// Mean error (risk-neutral analyst; the paper's Tables 3a/3b).
+    Mean,
+    /// 95th-percentile error (risk-averse analyst; Finding 8).
+    P95,
+}
+
+/// Competitive algorithms in one setting.
+pub fn competitive_in_setting(
+    store: &ResultStore,
+    setting: &Setting,
+    algorithms: &[String],
+    profile: RiskProfile,
+) -> Vec<String> {
+    let samples: Vec<(String, Vec<f64>)> = algorithms
+        .iter()
+        .filter_map(|a| {
+            let errs = store.errors_for(a, setting);
+            if errs.is_empty() {
+                None
+            } else {
+                Some((a.clone(), errs))
+            }
+        })
+        .collect();
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    match profile {
+        RiskProfile::Mean => {
+            let vecs: Vec<Vec<f64>> = samples.iter().map(|(_, e)| e.clone()).collect();
+            competitive_set(&vecs)
+                .into_iter()
+                .map(|i| samples[i].0.clone())
+                .collect()
+        }
+        RiskProfile::P95 => {
+            // For the risk-averse profile the paper compares the 95th
+            // percentile directly; we report the minimizer (a single
+            // winner) plus anything within 5 % of it.
+            let p95s: Vec<f64> = samples.iter().map(|(_, e)| percentile(e, 95.0)).collect();
+            let best = p95s.iter().copied().fold(f64::INFINITY, f64::min);
+            samples
+                .iter()
+                .zip(&p95s)
+                .filter(|(_, &p)| p <= best * 1.05)
+                .map(|((a, _), _)| a.clone())
+                .collect()
+        }
+    }
+}
+
+/// Table 3-style counts: for each scale, the number of datasets on which
+/// each algorithm is competitive. Returns `scale → algorithm → count`.
+pub fn competitive_counts(
+    store: &ResultStore,
+    algorithms: &[String],
+    profile: RiskProfile,
+) -> BTreeMap<u64, BTreeMap<String, usize>> {
+    let mut out: BTreeMap<u64, BTreeMap<String, usize>> = BTreeMap::new();
+    for setting in store.settings() {
+        let winners = competitive_in_setting(store, &setting, algorithms, profile);
+        let per_scale = out.entry(setting.scale).or_default();
+        for w in winners {
+            *per_scale.entry(w).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::ErrorSample;
+    use dpbench_core::Domain;
+
+    fn setting(dataset: &str, scale: u64) -> Setting {
+        Setting {
+            dataset: dataset.into(),
+            scale,
+            domain: Domain::D1(256),
+            epsilon: 0.1,
+        }
+    }
+
+    fn fill(store: &mut ResultStore, alg: &str, s: &Setting, base: f64) {
+        for trial in 0..10 {
+            store.push(ErrorSample {
+                algorithm: alg.into(),
+                setting: s.clone(),
+                sample: 0,
+                trial,
+                error: base * (1.0 + 0.01 * (trial % 3) as f64),
+            });
+        }
+    }
+
+    #[test]
+    fn clear_winner_is_sole_competitor() {
+        let mut store = ResultStore::new();
+        let s = setting("ADULT", 1000);
+        fill(&mut store, "DAWA", &s, 0.001);
+        fill(&mut store, "IDENTITY", &s, 0.1);
+        let algs = vec!["DAWA".to_string(), "IDENTITY".to_string()];
+        let winners = competitive_in_setting(&store, &s, &algs, RiskProfile::Mean);
+        assert_eq!(winners, vec!["DAWA"]);
+    }
+
+    #[test]
+    fn statistical_tie_includes_both() {
+        let mut store = ResultStore::new();
+        let s = setting("ADULT", 1000);
+        // Overlapping noisy samples with nearly equal means: no test at
+        // Bonferroni α should separate them.
+        for trial in 0..10 {
+            let wiggle = 0.5 * ((trial * 7 % 5) as f64 - 2.0); // ±1 spread
+            store.push(ErrorSample {
+                algorithm: "DAWA".into(),
+                setting: s.clone(),
+                sample: 0,
+                trial,
+                error: 5.0 + wiggle,
+            });
+            store.push(ErrorSample {
+                algorithm: "AHP*".into(),
+                setting: s.clone(),
+                sample: 0,
+                trial,
+                error: 5.05 + wiggle,
+            });
+        }
+        let algs = vec!["DAWA".to_string(), "AHP*".to_string()];
+        let winners = competitive_in_setting(&store, &s, &algs, RiskProfile::Mean);
+        assert_eq!(winners.len(), 2);
+    }
+
+    #[test]
+    fn counts_aggregate_over_datasets() {
+        let mut store = ResultStore::new();
+        for ds in ["ADULT", "TRACE", "MEDCOST"] {
+            let s = setting(ds, 1000);
+            fill(&mut store, "DAWA", &s, 0.001);
+            fill(&mut store, "IDENTITY", &s, 0.1);
+        }
+        let algs = vec!["DAWA".to_string(), "IDENTITY".to_string()];
+        let counts = competitive_counts(&store, &algs, RiskProfile::Mean);
+        assert_eq!(counts[&1000]["DAWA"], 3);
+        assert!(!counts[&1000].contains_key("IDENTITY"));
+    }
+
+    #[test]
+    fn p95_profile_selects_low_variance() {
+        let mut store = ResultStore::new();
+        let s = setting("ADULT", 1000);
+        // "volatile": lower mean, fat tail; "stable": higher mean, no tail.
+        for trial in 0..20 {
+            store.push(ErrorSample {
+                algorithm: "volatile".into(),
+                setting: s.clone(),
+                sample: 0,
+                trial,
+                error: if trial == 19 { 10.0 } else { 0.01 },
+            });
+            store.push(ErrorSample {
+                algorithm: "stable".into(),
+                setting: s.clone(),
+                sample: 0,
+                trial,
+                error: 0.05,
+            });
+        }
+        let algs = vec!["volatile".to_string(), "stable".to_string()];
+        let mean_winners = competitive_in_setting(&store, &s, &algs, RiskProfile::Mean);
+        let p95_winners = competitive_in_setting(&store, &s, &algs, RiskProfile::P95);
+        assert!(mean_winners.contains(&"volatile".to_string()));
+        assert_eq!(p95_winners, vec!["stable"]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Experiment-grid configuration (the cross product the paper evaluates:
+//! datasets × scales × domain sizes × ε × algorithms × samples × trials).
+
+use dpbench_core::rng::rng_for;
+use dpbench_core::{Domain, Loss, Workload};
+use dpbench_datasets::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// How workload queries are generated for each domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The 1-D Prefix workload (paper Section 6.2).
+    Prefix,
+    /// The Identity workload (one query per cell).
+    Identity,
+    /// `count` uniformly random ranges with a fixed seed per domain — the
+    /// paper's 2-D workload uses `count = 2000`.
+    RandomRanges(usize),
+}
+
+impl WorkloadSpec {
+    /// Materialize the workload for a domain (deterministic: random-range
+    /// workloads are seeded from the domain so every algorithm sees the
+    /// same queries).
+    pub fn build(&self, domain: Domain) -> Workload {
+        match *self {
+            WorkloadSpec::Prefix => match domain {
+                Domain::D1(n) => Workload::prefix_1d(n),
+                d => panic!("Prefix workload is 1-D only, got {d}"),
+            },
+            WorkloadSpec::Identity => Workload::identity(domain),
+            WorkloadSpec::RandomRanges(count) => {
+                let mut rng = rng_for("workload", &[domain.n_cells() as u64, count as u64]);
+                Workload::random_ranges(domain, count, &mut rng)
+            }
+        }
+    }
+}
+
+/// One experimental setting: the paper varies these four inputs while
+/// holding everything else fixed (Principles 1–4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Setting {
+    /// Dataset (shape source) name.
+    pub dataset: String,
+    /// Target scale `m`.
+    pub scale: u64,
+    /// Target domain.
+    pub domain: Domain,
+    /// Privacy budget ε.
+    pub epsilon: f64,
+}
+
+impl std::fmt::Display for Setting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} scale={} domain={} eps={}",
+            self.dataset, self.scale, self.domain, self.epsilon
+        )
+    }
+}
+
+/// The full experiment grid.
+#[derive(Clone)]
+pub struct ExperimentConfig {
+    /// Datasets to draw shapes from.
+    pub datasets: Vec<Dataset>,
+    /// Scales `m` (paper: 10³…10⁸).
+    pub scales: Vec<u64>,
+    /// Domains (paper 1-D: 256…4096; 2-D: 32²…256²).
+    pub domains: Vec<Domain>,
+    /// Privacy budgets (paper default ε = 0.1; by scale-ε exchangeability
+    /// a scale sweep doubles as an ε sweep).
+    pub epsilons: Vec<f64>,
+    /// Algorithm names (resolved via `dpbench_algorithms::registry`).
+    pub algorithms: Vec<String>,
+    /// Data vectors sampled per setting (paper: 5).
+    pub n_samples: usize,
+    /// Mechanism runs per data vector (paper: 10).
+    pub n_trials: usize,
+    /// Workload generator.
+    pub workload: WorkloadSpec,
+    /// Loss function (paper: L2).
+    pub loss: Loss,
+}
+
+impl ExperimentConfig {
+    /// The paper's 1-D defaults: Prefix workload, L2 loss, 5 samples × 10
+    /// trials (callers shrink those for quick runs).
+    pub fn defaults_1d(datasets: Vec<Dataset>, algorithms: Vec<String>) -> Self {
+        Self {
+            datasets,
+            scales: vec![1_000, 100_000, 10_000_000],
+            domains: vec![Domain::D1(4096)],
+            epsilons: vec![0.1],
+            algorithms,
+            n_samples: 5,
+            n_trials: 10,
+            workload: WorkloadSpec::Prefix,
+            loss: Loss::L2,
+        }
+    }
+
+    /// The paper's 2-D defaults: 2000 random ranges, 128×128 domain.
+    pub fn defaults_2d(datasets: Vec<Dataset>, algorithms: Vec<String>) -> Self {
+        Self {
+            datasets,
+            scales: vec![10_000, 1_000_000, 100_000_000],
+            domains: vec![Domain::D2(128, 128)],
+            epsilons: vec![0.1],
+            algorithms,
+            n_samples: 5,
+            n_trials: 10,
+            workload: WorkloadSpec::RandomRanges(2000),
+            loss: Loss::L2,
+        }
+    }
+
+    /// All settings in the grid.
+    pub fn settings(&self) -> Vec<Setting> {
+        let mut out = Vec::new();
+        for d in &self.datasets {
+            for &scale in &self.scales {
+                for &domain in &self.domains {
+                    if domain.dims() != d.dims() {
+                        continue;
+                    }
+                    for &epsilon in &self.epsilons {
+                        out.push(Setting {
+                            dataset: d.name.to_string(),
+                            scale,
+                            domain,
+                            epsilon,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of mechanism runs the grid will execute.
+    pub fn total_runs(&self) -> usize {
+        self.settings().len() * self.algorithms.len() * self.n_samples * self.n_trials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpbench_datasets::catalog;
+
+    #[test]
+    fn settings_cross_product() {
+        let cfg = ExperimentConfig {
+            datasets: vec![catalog::by_name("ADULT").unwrap(), catalog::by_name("TRACE").unwrap()],
+            scales: vec![1000, 2000],
+            domains: vec![Domain::D1(256), Domain::D1(512)],
+            epsilons: vec![0.1, 1.0],
+            algorithms: vec!["IDENTITY".into()],
+            n_samples: 2,
+            n_trials: 3,
+            workload: WorkloadSpec::Prefix,
+            loss: Loss::L2,
+        };
+        assert_eq!(cfg.settings().len(), 2 * 2 * 2 * 2);
+        assert_eq!(cfg.total_runs(), 16 * 1 * 2 * 3);
+    }
+
+    #[test]
+    fn settings_skip_mismatched_dims() {
+        let cfg = ExperimentConfig {
+            datasets: vec![catalog::by_name("STROKE").unwrap()], // 2-D
+            scales: vec![1000],
+            domains: vec![Domain::D1(256)], // 1-D domain: incompatible
+            epsilons: vec![0.1],
+            algorithms: vec![],
+            n_samples: 1,
+            n_trials: 1,
+            workload: WorkloadSpec::Identity,
+            loss: Loss::L2,
+        };
+        assert!(cfg.settings().is_empty());
+    }
+
+    #[test]
+    fn workload_spec_deterministic() {
+        let a = WorkloadSpec::RandomRanges(50).build(Domain::D2(32, 32));
+        let b = WorkloadSpec::RandomRanges(50).build(Domain::D2(32, 32));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-D only")]
+    fn prefix_rejects_2d() {
+        WorkloadSpec::Prefix.build(Domain::D2(4, 4));
+    }
+}

@@ -1,0 +1,18 @@
+//! # dpbench-harness
+//!
+//! The task-independent components of the benchmark (paper Section 5):
+//! the experiment grid runner, the algorithm repair functions `R`
+//! (free-parameter tuning `Rparam` and side-information repair `Rside`),
+//! and the measurement/interpretation standards `E_M` / `E_I`
+//! (mean + 95th-percentile error, competitive sets, regret, baselines).
+
+pub mod competitive;
+pub mod config;
+pub mod repair;
+pub mod results;
+pub mod runner;
+pub mod tuning;
+
+pub use config::{ExperimentConfig, Setting};
+pub use results::{ErrorSample, ResultStore, SettingSummary};
+pub use runner::Runner;

@@ -1,0 +1,253 @@
+//! Radix-2 complex FFT (Cooley–Tukey, iterative, in-place).
+//!
+//! EFPA (Ács et al., ICDM 2012) perturbs the discrete Fourier transform of
+//! the data vector; all benchmark domains are powers of two so a radix-2
+//! kernel suffices. A naive O(n²) DFT is kept for cross-validation.
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Sub};
+
+/// Minimal complex number (the crate is dependency-free by design).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real value.
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sq(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(&self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// In-place forward FFT: `X[k] = Σ_j x[j]·e^{-2πi·jk/n}`.
+/// Panics unless the length is a power of two.
+pub fn fft(data: &mut [Complex]) {
+    fft_dir(data, -1.0);
+}
+
+/// In-place inverse FFT including the `1/n` normalization, so
+/// `ifft(fft(x)) = x`.
+pub fn ifft(data: &mut [Complex]) {
+    fft_dir(data, 1.0);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+}
+
+fn fft_dir(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT requires power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::real(1.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT of a real vector (convenience wrapper around [`fft`]).
+pub fn dft_real(x: &[f64]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+    fft(&mut buf);
+    buf
+}
+
+/// Inverse DFT returning only the real parts (the imaginary residue of a
+/// conjugate-symmetric spectrum is numerical noise).
+pub fn idft_real(spectrum: &[Complex]) -> Vec<f64> {
+    let mut buf = spectrum.to_vec();
+    ifft(&mut buf);
+    buf.into_iter().map(|z| z.re).collect()
+}
+
+/// Naive O(n²) DFT used to validate the fast kernel in tests.
+pub fn dft_naive(x: &[f64]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (j, &v) in x.iter().enumerate() {
+                let ang = -2.0 * PI * (j * k) as f64 / n as f64;
+                acc = acc + Complex::from_angle(ang).scale(v);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let fast = dft_real(&x);
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a.re - b.re).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64).sin() * 10.0).collect();
+        let back = idft_real(&dft_real(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dc_component_is_sum() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let spec = dft_real(&x);
+        assert!((spec[0].re - 10.0).abs() < 1e-12);
+        assert!(spec[0].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn parseval() {
+        let x: Vec<f64> = (0..32).map(|i| ((i * 13) % 7) as f64).collect();
+        let spec = dft_real(&x);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conjugate_symmetry_of_real_input() {
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let spec = dft_real(&x);
+        for k in 1..8 {
+            let a = spec[k];
+            let b = spec[8 - k].conj();
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        let mut buf = vec![Complex::default(); 6];
+        fft(&mut buf);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a * b;
+        assert!((p.re - 5.0).abs() < 1e-12 && (p.im - 5.0).abs() < 1e-12);
+        assert_eq!((a + b).re, 4.0);
+        assert_eq!((a - b).im, 3.0);
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in proptest::collection::vec(-1e3_f64..1e3, 1..=128)) {
+            let n = v.len().next_power_of_two();
+            let mut x = v.clone();
+            x.resize(n, 0.0);
+            let back = idft_real(&dft_real(&x));
+            for (a, b) in x.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

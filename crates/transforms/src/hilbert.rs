@@ -1,0 +1,144 @@
+//! Hilbert space-filling curve over a `2^k × 2^k` grid.
+//!
+//! DAWA and GREEDY_H handle 2-D inputs by flattening the grid to one
+//! dimension along a Hilbert curve (paper Appendix B), which preserves
+//! spatial locality: cells adjacent on the curve are adjacent in the grid,
+//! so 1-D partitions of the flattened vector correspond to compact 2-D
+//! regions.
+
+/// Convert a distance `d ∈ [0, side²)` along the Hilbert curve to grid
+/// coordinates `(x, y)`. `side` must be a power of two.
+pub fn d2xy(side: usize, d: usize) -> (usize, usize) {
+    assert!(side.is_power_of_two(), "Hilbert curve requires power-of-two side");
+    assert!(d < side * side, "distance {d} out of range for side {side}");
+    let (mut x, mut y) = (0_usize, 0_usize);
+    let mut t = d;
+    let mut s = 1_usize;
+    while s < side {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        rot(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Convert grid coordinates to a distance along the Hilbert curve; inverse
+/// of [`d2xy`].
+pub fn xy2d(side: usize, x: usize, y: usize) -> usize {
+    assert!(side.is_power_of_two());
+    assert!(x < side && y < side, "({x},{y}) out of range for side {side}");
+    let (mut x, mut y) = (x, y);
+    let mut d = 0_usize;
+    let mut s = side / 2;
+    while s > 0 {
+        let rx = usize::from((x & s) > 0);
+        let ry = usize::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        rot(s, &mut x, &mut y, rx, ry);
+        s /= 2;
+    }
+    d
+}
+
+#[inline]
+fn rot(s: usize, x: &mut usize, y: &mut usize, rx: usize, ry: usize) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Flatten a row-major `side × side` grid into Hilbert order.
+pub fn flatten(grid: &[f64], side: usize) -> Vec<f64> {
+    assert_eq!(grid.len(), side * side);
+    (0..side * side)
+        .map(|d| {
+            let (x, y) = d2xy(side, d);
+            grid[y * side + x]
+        })
+        .collect()
+}
+
+/// Inverse of [`flatten`]: scatter a Hilbert-ordered vector back to a
+/// row-major grid.
+pub fn unflatten(line: &[f64], side: usize) -> Vec<f64> {
+    assert_eq!(line.len(), side * side);
+    let mut grid = vec![0.0; side * side];
+    for (d, &v) in line.iter().enumerate() {
+        let (x, y) = d2xy(side, d);
+        grid[y * side + x] = v;
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn order2_curve_is_the_classic_u() {
+        // The 2x2 Hilbert curve visits (0,0), (0,1), (1,1), (1,0).
+        assert_eq!(d2xy(2, 0), (0, 0));
+        assert_eq!(d2xy(2, 1), (0, 1));
+        assert_eq!(d2xy(2, 2), (1, 1));
+        assert_eq!(d2xy(2, 3), (1, 0));
+    }
+
+    #[test]
+    fn bijective_roundtrip() {
+        for side in [2_usize, 4, 8, 16, 32] {
+            let mut seen = vec![false; side * side];
+            for d in 0..side * side {
+                let (x, y) = d2xy(side, d);
+                assert!(!seen[y * side + x], "duplicate cell at d={d}");
+                seen[y * side + x] = true;
+                assert_eq!(xy2d(side, x, y), d, "roundtrip failed at d={d}");
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_are_grid_adjacent() {
+        let side = 32;
+        for d in 0..side * side - 1 {
+            let (x1, y1) = d2xy(side, d);
+            let (x2, y2) = d2xy(side, d + 1);
+            let dist = x1.abs_diff(x2) + y1.abs_diff(y2);
+            assert_eq!(dist, 1, "curve jumps at d={d}: ({x1},{y1})→({x2},{y2})");
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let side = 8;
+        let grid: Vec<f64> = (0..side * side).map(|i| i as f64).collect();
+        let line = flatten(&grid, side);
+        assert_eq!(unflatten(&line, side), grid);
+        // Mass is preserved.
+        assert_eq!(line.iter().sum::<f64>(), grid.iter().sum::<f64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        d2xy(6, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(x in 0_usize..64, y in 0_usize..64) {
+            let side = 64;
+            let d = xy2d(side, x, y);
+            prop_assert_eq!(d2xy(side, d), (x, y));
+        }
+    }
+}

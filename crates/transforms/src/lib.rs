@@ -1,0 +1,25 @@
+//! # dpbench-transforms
+//!
+//! Pure-math substrates required by the DPBench mechanisms:
+//!
+//! * [`wavelet`] — the Haar wavelet tree transform with Privelet's
+//!   coefficient weights (Xiao, Wang, Gehrke; ICDE 2010);
+//! * [`fft`] — radix-2 complex FFT used by EFPA (Ács, Castelluccia, Chen;
+//!   ICDM 2012);
+//! * [`hilbert`] — Hilbert space-filling curve used by DAWA / GREEDY_H to
+//!   flatten 2-D domains (Li, Hay, Miklau; PVLDB 2014);
+//! * [`matrix`] — small dense linear algebra (Cholesky) used to
+//!   cross-validate the fast tree inference against exact generalized least
+//!   squares;
+//! * [`tree_ls`] — the weighted tree least-squares inference of Hay et al.
+//!   (PVLDB 2010), generalized to non-uniform measurement precisions, shared
+//!   by H, GREEDY_H, QUADTREE, and DPCUBE.
+//!
+//! The crate is dependency-free (std only) so it can be reused as a
+//! standalone numeric toolkit.
+
+pub mod fft;
+pub mod hilbert;
+pub mod matrix;
+pub mod tree_ls;
+pub mod wavelet;

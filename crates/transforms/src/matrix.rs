@@ -1,0 +1,273 @@
+//! Small dense linear algebra: matrices, Cholesky factorization, and
+//! generalized least squares.
+//!
+//! All data-independent mechanisms in the benchmark are instances of the
+//! *matrix mechanism* (Li et al., PODS 2010): measure `Sx + noise` for a
+//! strategy matrix `S` and reconstruct workload answers by least squares.
+//! The fast tree inference in [`crate::tree_ls`] implements this implicitly
+//! for hierarchical strategies; this module provides the explicit dense
+//! solver used to cross-validate it and to express small matrix-mechanism
+//! instances directly.
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given dimensions.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a row-major data vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A·v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `A·B`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+    /// matrix; returns the lower-triangular factor, or `None` if the matrix
+    /// is not (numerically) positive definite.
+    pub fn cholesky(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "Cholesky needs a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve `A·x = b` for SPD `A` via Cholesky. Returns `None` when `A` is
+    /// not positive definite.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        let l = self.cholesky()?;
+        Some(cholesky_solve(&l, b))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solve `L·Lᵀ·x = b` given a precomputed lower-triangular Cholesky
+/// factor `L` — O(n²), so repeated solves amortize one factorization.
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n);
+    // Forward substitution: L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Back substitution: Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Weighted (generalized) least squares: minimize `‖Λ^{1/2}(S·x − y)‖₂`,
+/// i.e. solve `SᵀΛS·x = SᵀΛy`, where `Λ = diag(weights)` holds measurement
+/// precisions. Returns `None` if the normal equations are singular (strategy
+/// does not span the domain).
+pub fn weighted_least_squares(s: &Matrix, y: &[f64], weights: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(s.rows(), y.len());
+    assert_eq!(s.rows(), weights.len());
+    let st = s.transpose();
+    // SᵀΛS.
+    let mut sls = Matrix::zeros(s.cols(), s.cols());
+    for r in 0..s.rows() {
+        let w = weights[r];
+        if w == 0.0 {
+            continue;
+        }
+        for i in 0..s.cols() {
+            let a = s[(r, i)];
+            if a == 0.0 {
+                continue;
+            }
+            for j in 0..s.cols() {
+                sls[(i, j)] += w * a * s[(r, j)];
+            }
+        }
+    }
+    // SᵀΛy.
+    let mut rhs = vec![0.0; s.cols()];
+    for r in 0..s.rows() {
+        let w = weights[r] * y[r];
+        if w == 0.0 {
+            continue;
+        }
+        for i in 0..s.cols() {
+            rhs[i] += st[(i, r)] * w;
+        }
+    }
+    sls.solve_spd(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_vec(2, 2, vec![19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_solve() {
+        // SPD matrix [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2.0]
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let x = a.solve_spd(&[10.0, 9.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn wls_recovers_exact_solution() {
+        // Strategy measuring [x0, x1, x0+x1] with no noise.
+        let s = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let y = [2.0, 3.0, 5.0];
+        let x = weighted_least_squares(&s, &y, &[1.0, 1.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wls_respects_weights() {
+        // Two conflicting measurements of a scalar: 0 (weight 1) and
+        // 10 (weight 3) → weighted mean 7.5.
+        let s = Matrix::from_vec(2, 1, vec![1.0, 1.0]);
+        let x = weighted_least_squares(&s, &[0.0, 10.0], &[1.0, 3.0]).unwrap();
+        assert!((x[0] - 7.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wls_singular_returns_none() {
+        // Strategy only measures x0; x1 is unconstrained.
+        let s = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        assert!(weighted_least_squares(&s, &[1.0], &[1.0]).is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! Haar wavelet tree transform with Privelet coefficient weights.
+//!
+//! Privelet (Xiao, Wang, Gehrke; ICDE 2010) publishes noisy *wavelet
+//! coefficients* instead of noisy counts. We use the Haar-tree formulation:
+//! over a vector of length `n = 2^k`,
+//!
+//! * the **base coefficient** `c₀` is the overall mean;
+//! * each internal node `v` of the complete binary tree has a **detail
+//!   coefficient** `c_v = (mean(left subtree) − mean(right subtree)) / 2`;
+//! * a leaf value is reconstructed as `c₀ ± c_{v₁} ± c_{v₂} ± …` along its
+//!   root-to-leaf path (`+` when descending left, `−` when right).
+//!
+//! Adding one record to a leaf changes `c₀` by `1/n` and a height-`h`
+//! coefficient on the path by `1/2^h`. With weights `w(c₀) = n` and
+//! `w(c_v) = 2^h`, the *weighted* L1 sensitivity is exactly
+//! `ρ = log₂(n) + 1`, so Privelet adds `Laplace(ρ/(ε·w))` noise per
+//! coefficient — each range query then aggregates only `O(log n)` noisy
+//! coefficients.
+
+/// Coefficient vector layout: `coeffs[0]` is the base coefficient `c₀`;
+/// `coeffs[2^j .. 2^(j+1))` are the level-`j` detail coefficients in
+/// left-to-right order, `j = 0` being the root split. Matches the layout of
+/// the classic in-place fast Haar transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaarCoeffs {
+    /// Coefficients, length `n`.
+    pub coeffs: Vec<f64>,
+    n: usize,
+}
+
+impl HaarCoeffs {
+    /// Domain size `n` of the transformed vector.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the coefficient vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The Privelet weight of coefficient `idx`: `n` for the base
+    /// coefficient, `2^h` for a detail coefficient whose tree node has
+    /// height `h` (covers `2^h` leaves).
+    pub fn weight(&self, idx: usize) -> f64 {
+        weight_for(idx, self.n)
+    }
+
+    /// Weighted L1 sensitivity of the whole transform: `log₂(n) + 1`.
+    pub fn sensitivity(&self) -> f64 {
+        (self.n as f64).log2() + 1.0
+    }
+}
+
+/// Privelet weight of coefficient `idx` over domain size `n` (see
+/// [`HaarCoeffs::weight`]).
+pub fn weight_for(idx: usize, n: usize) -> f64 {
+    assert!(n.is_power_of_two());
+    if idx == 0 {
+        return n as f64;
+    }
+    // Level j: idx ∈ [2^j, 2^(j+1)). Node height h = log2(n) - j.
+    let j = idx.ilog2() as usize;
+    let h = (n.ilog2() as usize) - j;
+    (1_usize << h) as f64
+}
+
+/// Forward Haar tree transform. Requires `n` to be a power of two.
+pub fn haar_forward(x: &[f64]) -> HaarCoeffs {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "Haar transform requires power-of-two length, got {n}");
+    let mut coeffs = vec![0.0; n];
+    // `means` holds subtree means at the current level, shrinking by half
+    // each iteration.
+    let mut means: Vec<f64> = x.to_vec();
+    let mut level_len = n;
+    // Process levels bottom-up: at each step, pairs of means produce one
+    // parent mean and one detail coefficient.
+    while level_len > 1 {
+        let half = level_len / 2;
+        // Details for the level with `half` nodes sit at indices
+        // [half, 2*half) in the canonical layout.
+        for i in 0..half {
+            let a = means[2 * i];
+            let b = means[2 * i + 1];
+            coeffs[half + i] = (a - b) / 2.0;
+            means[i] = (a + b) / 2.0;
+        }
+        level_len = half;
+    }
+    coeffs[0] = means[0];
+    HaarCoeffs { coeffs, n }
+}
+
+/// Inverse Haar tree transform; exact inverse of [`haar_forward`].
+pub fn haar_inverse(c: &HaarCoeffs) -> Vec<f64> {
+    let n = c.n;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut values = vec![0.0; n];
+    values[0] = c.coeffs[0];
+    let mut level_len = 1;
+    while level_len < n {
+        // Expand `level_len` means into `2*level_len` means using the
+        // detail coefficients at [level_len, 2*level_len).
+        for i in (0..level_len).rev() {
+            let m = values[i];
+            let d = c.coeffs[level_len + i];
+            values[2 * i] = m + d;
+            values[2 * i + 1] = m - d;
+        }
+        level_len *= 2;
+    }
+    values
+}
+
+/// 2-D Haar transform by standard decomposition: transform each row, then
+/// each column of the coefficient matrix. The Privelet weight of the 2-D
+/// coefficient `(i, j)` is `w_row(i) · w_col(j)` and the weighted
+/// sensitivity is `(log₂ r + 1)(log₂ c + 1)`.
+pub fn haar_forward_2d(x: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    assert_eq!(x.len(), rows * cols);
+    assert!(rows.is_power_of_two() && cols.is_power_of_two());
+    let mut out = vec![0.0; rows * cols];
+    // Rows.
+    for r in 0..rows {
+        let t = haar_forward(&x[r * cols..(r + 1) * cols]);
+        out[r * cols..(r + 1) * cols].copy_from_slice(&t.coeffs);
+    }
+    // Columns.
+    let mut col_buf = vec![0.0; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col_buf[r] = out[r * cols + c];
+        }
+        let t = haar_forward(&col_buf);
+        for r in 0..rows {
+            out[r * cols + c] = t.coeffs[r];
+        }
+    }
+    out
+}
+
+/// Inverse of [`haar_forward_2d`].
+pub fn haar_inverse_2d(c: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    assert_eq!(c.len(), rows * cols);
+    let mut out = c.to_vec();
+    // Columns first (inverse order of the forward pass).
+    let mut col_buf = vec![0.0; rows];
+    for cc in 0..cols {
+        for r in 0..rows {
+            col_buf[r] = out[r * cols + cc];
+        }
+        let inv = haar_inverse(&HaarCoeffs {
+            coeffs: col_buf.clone(),
+            n: rows,
+        });
+        for r in 0..rows {
+            out[r * cols + cc] = inv[r];
+        }
+    }
+    // Rows.
+    for r in 0..rows {
+        let row = HaarCoeffs {
+            coeffs: out[r * cols..(r + 1) * cols].to_vec(),
+            n: cols,
+        };
+        let inv = haar_inverse(&row);
+        out[r * cols..(r + 1) * cols].copy_from_slice(&inv);
+    }
+    out
+}
+
+/// 2-D coefficient weight: product of the per-axis Privelet weights.
+pub fn weight_for_2d(i: usize, j: usize, rows: usize, cols: usize) -> f64 {
+    weight_for(i, rows) * weight_for(j, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn forward_known_values() {
+        // x = [4, 2, 6, 8]: means = [3, 7] -> mean 5
+        // details: level 1 (leaves): (4-2)/2 = 1, (6-8)/2 = -1
+        // level 0 (root split): (3-7)/2 = -2
+        let c = haar_forward(&[4.0, 2.0, 6.0, 8.0]);
+        assert_eq!(c.coeffs, vec![5.0, -2.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let x = [4.0, 2.0, 6.0, 8.0];
+        let back = haar_inverse(&haar_forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_match_tree_heights() {
+        let n = 8;
+        let c = haar_forward(&vec![0.0; n]);
+        assert_eq!(c.weight(0), 8.0); // base
+        assert_eq!(c.weight(1), 8.0); // root split: height 3, covers 8 leaves
+        assert_eq!(c.weight(2), 4.0);
+        assert_eq!(c.weight(3), 4.0);
+        for idx in 4..8 {
+            assert_eq!(c.weight(idx), 2.0);
+        }
+        assert_eq!(c.sensitivity(), 4.0); // log2(8) + 1
+    }
+
+    #[test]
+    fn sensitivity_is_weighted_l1_of_unit_update() {
+        // Adding one record to any leaf must change the weighted
+        // coefficients by exactly log2(n)+1 in L1.
+        let n = 16;
+        for leaf in [0_usize, 5, 15] {
+            let base = haar_forward(&vec![0.0; n]);
+            let mut x = vec![0.0; n];
+            x[leaf] = 1.0;
+            let bumped = haar_forward(&x);
+            let weighted_l1: f64 = (0..n)
+                .map(|i| (bumped.coeffs[i] - base.coeffs[i]).abs() * base.weight(i))
+                .sum();
+            assert!(
+                (weighted_l1 - ((n as f64).log2() + 1.0)).abs() < 1e-9,
+                "leaf {leaf}: weighted L1 {weighted_l1}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let rows = 4;
+        let cols = 8;
+        let x: Vec<f64> = (0..rows * cols).map(|i| ((i * 31) % 17) as f64).collect();
+        let c = haar_forward_2d(&x, rows, cols);
+        let back = haar_inverse_2d(&c, rows, cols);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn base_coefficient_is_mean_2d() {
+        let x = vec![2.0; 16];
+        let c = haar_forward_2d(&x, 4, 4);
+        assert!((c[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        haar_forward(&[1.0, 2.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in proptest::collection::vec(-1e6_f64..1e6, 1..=64)) {
+            // Pad to next power of two.
+            let n = v.len().next_power_of_two();
+            let mut x = v.clone();
+            x.resize(n, 0.0);
+            let back = haar_inverse(&haar_forward(&x));
+            for (a, b) in x.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+            }
+        }
+
+        #[test]
+        fn prop_base_is_mean(v in proptest::collection::vec(-100.0_f64..100.0, 1..=6_usize).prop_map(|lens| {
+            let n = 1 << lens.len(); // 2..=64
+            (0..n).map(|i| lens[i % lens.len()]).collect::<Vec<f64>>()
+        })) {
+            let c = haar_forward(&v);
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            prop_assert!((c.coeffs[0] - mean).abs() < 1e-9);
+        }
+    }
+}

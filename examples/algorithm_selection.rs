@@ -1,0 +1,72 @@
+//! The paper's closing guidance (Section 8): algorithm selection by
+//! signal regime. This example sweeps the signal ε·scale across four
+//! orders of magnitude on one dataset and prints which algorithm a
+//! practitioner should deploy in each regime, plus the regret of
+//! committing to a single algorithm everywhere.
+//!
+//! Run with: `cargo run --release --example algorithm_selection`
+
+use dpbench::prelude::*;
+use dpbench::stats::geometric_mean_regret;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 1024;
+    let domain = Domain::D1(n);
+    let workload = Workload::prefix_1d(n);
+    let dataset = dpbench::datasets::catalog::by_name("SEARCH").expect("catalog");
+    let gen = DataGenerator::new();
+    let algorithms = ["IDENTITY", "HB", "DAWA", "MWEM*", "AHP*", "UNIFORM"];
+    let scales = [1_000_u64, 10_000, 100_000, 1_000_000, 10_000_000];
+    let epsilon = 0.1;
+    let trials = 5;
+
+    let mut errors: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+    println!("SEARCH, n = {n}, ε = {epsilon}, Prefix workload\n");
+    println!("{:<10} {}", "scale", algorithms.map(|a| format!("{a:>12}")).join(" "));
+    for &scale in &scales {
+        let x = gen.generate(&dataset, domain, scale, &mut rng);
+        let y = workload.evaluate(&x);
+        let mut row = format!("{scale:<10}");
+        for (ai, name) in algorithms.iter().enumerate() {
+            let mech = mechanism_by_name(name).expect("registered");
+            let mut total = 0.0;
+            for _ in 0..trials {
+                let est = mech.run_eps(&x, &workload, epsilon, &mut rng).expect("run");
+                total +=
+                    scaled_per_query_error(&y, &workload.evaluate_cells(&est), x.scale(), Loss::L2);
+            }
+            let err = total / trials as f64;
+            errors[ai].push(err);
+            row.push_str(&format!(" {err:>12.3e}"));
+        }
+        println!("{row}");
+    }
+
+    // Winner per regime.
+    println!("\nbest algorithm per signal level:");
+    for (si, &scale) in scales.iter().enumerate() {
+        let (best, _) = algorithms
+            .iter()
+            .enumerate()
+            .min_by(|a, b| errors[a.0][si].partial_cmp(&errors[b.0][si]).unwrap())
+            .map(|(i, _)| (algorithms[i], errors[i][si]))
+            .unwrap();
+        let signal = epsilon * scale as f64;
+        println!("  signal {signal:>9.0} (scale {scale:>9}): {best}");
+    }
+
+    // Regret of committing to one algorithm.
+    let regrets = geometric_mean_regret(&errors);
+    println!("\nregret of committing to a single algorithm across all signals:");
+    let mut order: Vec<usize> = (0..algorithms.len()).collect();
+    order.sort_by(|&a, &b| regrets[a].partial_cmp(&regrets[b]).unwrap());
+    for i in order {
+        println!("  {:<10} {:.2}", algorithms[i], regrets[i]);
+    }
+    println!("\nPaper shape check: data-dependent algorithms win the low-signal");
+    println!("regimes, data-independent ones the high-signal regimes, and DAWA");
+    println!("has the lowest single-choice regret.");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: release a differentially private 1-D histogram and compare
+//! a few algorithms on it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dpbench::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2016);
+
+    // 1. A dataset: the MEDCOST shape (medical costs, 75% empty cells)
+    //    at scale 10,000 over a 1024-cell domain.
+    let dataset = dpbench::datasets::catalog::by_name("MEDCOST").expect("catalog entry");
+    let x = DataGenerator::new().generate(&dataset, Domain::D1(1024), 10_000, &mut rng);
+    println!(
+        "dataset: {} | scale = {} | domain = {} | zero cells = {:.1}%",
+        dataset.name,
+        x.scale(),
+        x.domain(),
+        100.0 * x.zero_fraction()
+    );
+
+    // 2. A workload: all prefix range queries (any 1-D range is the
+    //    difference of two prefixes).
+    let workload = Workload::prefix_1d(1024);
+    let y_true = workload.evaluate(&x);
+
+    // 3. Run several mechanisms at the same privacy level and compare
+    //    their scaled per-query L2 error (paper Definition 3).
+    let epsilon = 0.1;
+    println!("\nε = {epsilon}, workload = Prefix({})\n", workload.len());
+    println!("{:<10} {:>14} {:>10}", "algorithm", "scaled L2 err", "vs IDENTITY");
+
+    let mut identity_err = None;
+    for name in ["IDENTITY", "UNIFORM", "HB", "DAWA", "MWEM*", "AHP*"] {
+        let mech = mechanism_by_name(name).expect("registered mechanism");
+        // Average a few trials: DP outputs are random variables.
+        let trials = 5;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let estimate = mech.run_eps(&x, &workload, epsilon, &mut rng).expect("mechanism run");
+            let y_hat = workload.evaluate_cells(&estimate);
+            total += scaled_per_query_error(&y_true, &y_hat, x.scale(), Loss::L2);
+        }
+        let err = total / trials as f64;
+        let baseline = *identity_err.get_or_insert(err);
+        println!("{name:<10} {err:>14.6e} {:>9.2}x", err / baseline);
+    }
+
+    println!("\nAt this low-signal setting (small scale, small ε) the data-dependent");
+    println!("algorithms should beat the IDENTITY baseline by a wide margin —");
+    println!("the paper's Finding 1.");
+}

@@ -1,0 +1,63 @@
+//! Publishing a private spatial heat map: Beijing-taxi-style GPS start
+//! points on a 64×64 grid, comparing the spatial-decomposition algorithms
+//! (UGRID, AGRID, QUADTREE) against DAWA and the baselines — the paper's
+//! 2-D evaluation in miniature, rendered as ASCII density maps.
+//!
+//! Run with: `cargo run --release --example taxi_heatmap`
+
+use dpbench::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Render a 2-D histogram as a coarse ASCII density map.
+fn ascii_heatmap(cells: &[f64], side: usize, rows: usize) -> String {
+    let block = side / rows;
+    let mut out = String::new();
+    let max: f64 = cells.iter().copied().fold(0.0, f64::max).max(1e-9);
+    let glyphs = [' ', '.', ':', '+', '*', '#', '@'];
+    for br in 0..rows {
+        for bc in 0..rows {
+            let mut sum = 0.0;
+            for r in br * block..(br + 1) * block {
+                for c in bc * block..(bc + 1) * block {
+                    sum += cells[r * side + c].max(0.0);
+                }
+            }
+            let avg = sum / (block * block) as f64;
+            let idx = ((avg / max * (glyphs.len() - 1) as f64 * 3.0).round() as usize)
+                .min(glyphs.len() - 1);
+            out.push(glyphs[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let side = 64;
+    let domain = Domain::D2(side, side);
+    let dataset = dpbench::datasets::catalog::by_name("BJ-CABS-S").expect("catalog");
+    let x = DataGenerator::new().generate(&dataset, domain, 500_000, &mut rng);
+    let workload = Workload::random_ranges(domain, 2000, &mut rng);
+    let y_true = workload.evaluate(&x);
+    let epsilon = 0.05;
+
+    println!("true density ({} trips):", x.scale());
+    println!("{}", ascii_heatmap(x.counts(), side, 16));
+
+    for name in ["IDENTITY", "UGRID", "AGRID", "QUADTREE", "DAWA"] {
+        let mech = mechanism_by_name(name).expect("registered");
+        let est = mech.run_eps(&x, &workload, epsilon, &mut rng).expect("run");
+        let err = scaled_per_query_error(
+            &y_true,
+            &workload.evaluate_cells(&est),
+            x.scale(),
+            Loss::L2,
+        );
+        println!("{name} (ε = {epsilon}): scaled L2 error = {err:.4e}");
+        println!("{}", ascii_heatmap(&est, side, 16));
+    }
+    println!("The grid/tree methods should preserve the hot spots visibly better");
+    println!("than IDENTITY at this privacy level (paper Figures 1b/2b).");
+}

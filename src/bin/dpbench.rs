@@ -1,0 +1,212 @@
+//! `dpbench` — command-line front end to the benchmark.
+//!
+//! ```text
+//! dpbench list-datasets                 # Table 2 with calibration stats
+//! dpbench list-algorithms               # Table 1 metadata
+//! dpbench shapes                        # shape statistics per dataset
+//! dpbench run --dataset MEDCOST --algorithms IDENTITY,DAWA \
+//!             --scale 100000 --eps 0.1 --trials 5 [--domain 1024]
+//!             [--workload prefix|identity|random:2000] [--csv out.csv]
+//! ```
+
+use dpbench::prelude::*;
+use dpbench_core::Loss;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list-datasets") => list_datasets(),
+        Some("list-algorithms") => list_algorithms(),
+        Some("shapes") => shapes(),
+        Some("run") => return run(&args[1..]),
+        _ => {
+            eprintln!("usage: dpbench <list-datasets|list-algorithms|shapes|run> [options]");
+            eprintln!("run options: --dataset NAME --algorithms A,B --scale N");
+            eprintln!("             [--domain N|RxC] [--eps E] [--trials T]");
+            eprintln!("             [--samples S] [--workload prefix|identity|random:N]");
+            eprintln!("             [--csv FILE]");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn list_datasets() {
+    println!(
+        "{:<12} {:>12} {:>8} {:>10}  source family",
+        "name", "orig scale", "% zero", "domain"
+    );
+    for d in dpbench::datasets::catalog::all_datasets() {
+        println!(
+            "{:<12} {:>12} {:>7.1}% {:>10}",
+            d.name,
+            d.original_scale,
+            d.zero_fraction * 100.0,
+            d.base_domain.to_string(),
+        );
+    }
+}
+
+fn list_algorithms() {
+    println!(
+        "{:<11} {:<8} {:<10} {:>4} {:>4} {:<9} {:<10} {:<12}",
+        "name", "dims", "type", "H", "P", "sideinfo", "consistent", "exchangeable"
+    );
+    for info in dpbench::algorithms::registry::table1() {
+        println!(
+            "{:<11} {:<8} {:<10} {:>4} {:>4} {:<9} {:<10} {:<12}",
+            info.name,
+            format!("{:?}", info.dims),
+            if info.data_dependent { "data-dep" } else { "indep" },
+            if info.hierarchical { "H" } else { "" },
+            if info.partitioning { "P" } else { "" },
+            info.side_info.as_deref().unwrap_or(""),
+            info.consistent,
+            info.scale_eps_exchangeable,
+        );
+    }
+}
+
+fn shapes() {
+    println!(
+        "{:<12} {:>9} {:>8} {:>9} {:>10} {:>9}",
+        "name", "entropy*", "gini", "top cell", "support", "tv-smooth"
+    );
+    for d in dpbench::datasets::catalog::all_datasets() {
+        let s = dpbench::datasets::shape_stats(&d.base_shape());
+        println!(
+            "{:<12} {:>9.3} {:>8.3} {:>9.4} {:>9.1}% {:>9.4}",
+            d.name,
+            s.normalized_entropy,
+            s.gini,
+            s.top_cell,
+            s.support_fraction * 100.0,
+            s.total_variation_1d,
+        );
+    }
+    println!("\n* entropy normalized by ln(n); 1.0 = uniform shape");
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), val.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(dataset_name) = flags.get("dataset") else {
+        eprintln!("error: --dataset is required (see `dpbench list-datasets`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(dataset) = dpbench::datasets::catalog::by_name(dataset_name) else {
+        eprintln!("error: unknown dataset {dataset_name}");
+        return ExitCode::FAILURE;
+    };
+    let algorithms: Vec<String> = flags
+        .get("algorithms")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| vec!["IDENTITY".into(), "DAWA".into()]);
+    for a in &algorithms {
+        if mechanism_by_name(a).is_none() {
+            eprintln!("error: unknown algorithm {a} (see `dpbench list-algorithms`)");
+            return ExitCode::FAILURE;
+        }
+    }
+    let scale: u64 = flags
+        .get("scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let domain = match flags.get("domain") {
+        Some(s) => match dpbench::harness::results::parse_domain(s) {
+            Some(d) => d,
+            None => {
+                eprintln!("error: bad --domain {s} (use N or RxC)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => dataset.base_domain,
+    };
+    let epsilon: f64 = flags.get("eps").and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let trials: usize = flags.get("trials").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let samples: usize = flags.get("samples").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let workload = match flags.get("workload").map(String::as_str) {
+        None => {
+            if domain.dims() == 1 {
+                WorkloadSpec::Prefix
+            } else {
+                WorkloadSpec::RandomRanges(2000)
+            }
+        }
+        Some("prefix") => WorkloadSpec::Prefix,
+        Some("identity") => WorkloadSpec::Identity,
+        Some(s) if s.starts_with("random:") => {
+            match s["random:".len()..].parse() {
+                Ok(n) => WorkloadSpec::RandomRanges(n),
+                Err(_) => {
+                    eprintln!("error: bad workload {s}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Some(s) => {
+            eprintln!("error: unknown workload {s}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = ExperimentConfig {
+        datasets: vec![dataset],
+        scales: vec![scale],
+        domains: vec![domain],
+        epsilons: vec![epsilon],
+        algorithms,
+        n_samples: samples,
+        n_trials: trials,
+        workload,
+        loss: Loss::L2,
+    };
+    println!(
+        "running {} mechanism executions ({} settings)...",
+        config.total_runs(),
+        config.settings().len()
+    );
+    let store = Runner::new(config).run();
+
+    println!(
+        "\n{:<11} {:>13} {:>13} {:>13}",
+        "algorithm", "mean err", "p95 err", "std dev"
+    );
+    for s in store.summaries() {
+        println!(
+            "{:<11} {:>13.4e} {:>13.4e} {:>13.4e}",
+            s.algorithm, s.summary.mean, s.summary.p95, s.summary.std_dev
+        );
+    }
+    if let Some(path) = flags.get("csv") {
+        if let Err(e) = std::fs::write(path, store.to_csv()) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nraw samples written to {path}");
+    }
+    ExitCode::SUCCESS
+}

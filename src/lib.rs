@@ -1,0 +1,66 @@
+//! # dpbench
+//!
+//! A complete Rust reproduction of **DPBench** — *"Principled Evaluation
+//! of Differentially Private Algorithms using DPBench"* (Hay,
+//! Machanavajjhala, Miklau, Chen, Zhang; SIGMOD 2016).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — data model, workloads, DP primitives, budget ledger,
+//!   mechanism trait, error standard;
+//! * [`transforms`] — Haar wavelets, FFT, Hilbert curves, dense linear
+//!   algebra, weighted tree least squares;
+//! * [`stats`] — t-tests, percentiles, bias/variance decomposition,
+//!   regret;
+//! * [`datasets`] — the 27 calibrated dataset shapes and the data
+//!   generator `G`;
+//! * [`algorithms`] — the full Table 1 mechanism suite (IDENTITY, H, Hb,
+//!   GREEDY_H, PRIVELET, UNIFORM, MWEM/MWEM★, AHP/AHP★, DPCUBE, DAWA,
+//!   PHP, EFPA, SF, QUADTREE, UGRID, AGRID, HYBRIDTREE);
+//! * [`harness`] — the experiment grid runner, `Rparam` tuning, `Rside`
+//!   repair, and competitive-set analysis.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dpbench::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Generate a benchmark dataset: MEDCOST shape, 10,000 records, n=256.
+//! let dataset = dpbench::datasets::catalog::by_name("MEDCOST").unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let x = DataGenerator::new().generate(&dataset, Domain::D1(256), 10_000, &mut rng);
+//!
+//! // Answer the Prefix workload with DAWA at ε = 0.1.
+//! let workload = Workload::prefix_1d(256);
+//! let dawa = mechanism_by_name("DAWA").unwrap();
+//! let estimate = dawa.run_eps(&x, &workload, 0.1, &mut rng).unwrap();
+//!
+//! // Measure the scaled per-query error (paper Definition 3).
+//! let y = workload.evaluate(&x);
+//! let y_hat = workload.evaluate_cells(&estimate);
+//! let err = scaled_per_query_error(&y, &y_hat, x.scale(), Loss::L2);
+//! assert!(err.is_finite());
+//! ```
+
+pub use dpbench_algorithms as algorithms;
+pub use dpbench_core as core;
+pub use dpbench_datasets as datasets;
+pub use dpbench_harness as harness;
+pub use dpbench_stats as stats;
+pub use dpbench_transforms as transforms;
+
+/// Convenient re-exports for typical benchmark use.
+pub mod prelude {
+    pub use dpbench_algorithms::registry::{
+        mechanism_by_name, mechanisms_1d, mechanisms_2d, FIGURE_1A, FIGURE_1B, NAMES_1D, NAMES_2D,
+    };
+    pub use dpbench_core::{
+        scaled_per_query_error, BudgetLedger, DataVector, Domain, Loss, MechError, MechInfo,
+        Mechanism, RangeQuery, Workload,
+    };
+    pub use dpbench_datasets::{datasets_1d, datasets_2d, DataGenerator, Dataset};
+    pub use dpbench_harness::config::{ExperimentConfig, WorkloadSpec};
+    pub use dpbench_harness::{ErrorSample, ResultStore, Runner};
+    pub use dpbench_stats::Summary;
+}

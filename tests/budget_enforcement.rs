@@ -1,0 +1,77 @@
+//! End-to-end privacy accounting (paper Principles 5–7): every mechanism
+//! in the registry must route all of its ε spending through the budget
+//! ledger and never overdraw it.
+
+use dpbench::prelude::*;
+use dpbench_core::rng::rng_for;
+
+fn check_budget(name: &str, x: &DataVector, workload: &Workload, eps: f64) {
+    let mech = mechanism_by_name(name).expect("registered");
+    let mut ledger = BudgetLedger::new(eps);
+    let mut rng = rng_for("budget-test", &[dpbench_core::rng::hash_str(name), x.n_cells() as u64]);
+    let est = mech
+        .run(x, workload, &mut ledger, &mut rng)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(est.len(), x.n_cells(), "{name}: wrong estimate length");
+    assert!(
+        ledger.spent() <= ledger.total() * (1.0 + 1e-9),
+        "{name}: overdrew the budget ({} > {})",
+        ledger.spent(),
+        ledger.total()
+    );
+    assert!(
+        est.iter().all(|v| v.is_finite()),
+        "{name}: non-finite estimates"
+    );
+}
+
+#[test]
+fn all_1d_mechanisms_respect_budget() {
+    let mut rng = rng_for("budget-data", &[1]);
+    let dataset = dpbench::datasets::catalog::by_name("MEDCOST").unwrap();
+    let x = DataGenerator::new().generate(&dataset, Domain::D1(256), 20_000, &mut rng);
+    let w = Workload::prefix_1d(256);
+    for name in NAMES_1D {
+        check_budget(name, &x, &w, 0.5);
+    }
+}
+
+#[test]
+fn all_2d_mechanisms_respect_budget() {
+    let mut rng = rng_for("budget-data", &[2]);
+    let dataset = dpbench::datasets::catalog::by_name("STROKE").unwrap();
+    let x = DataGenerator::new().generate(&dataset, Domain::D2(32, 32), 20_000, &mut rng);
+    let w = Workload::random_ranges(Domain::D2(32, 32), 300, &mut rng);
+    for name in NAMES_2D.iter().chain(["HYBRIDTREE"].iter()) {
+        check_budget(name, &x, &w, 0.5);
+    }
+}
+
+#[test]
+fn budget_holds_across_epsilons() {
+    let mut rng = rng_for("budget-data", &[3]);
+    let dataset = dpbench::datasets::catalog::by_name("ADULT").unwrap();
+    let x = DataGenerator::new().generate(&dataset, Domain::D1(128), 5_000, &mut rng);
+    let w = Workload::prefix_1d(128);
+    for eps in [0.01, 0.1, 1.0, 10.0] {
+        for name in ["DAWA", "MWEM*", "AHP*", "SF", "PHP", "EFPA"] {
+            check_budget(name, &x, &w, eps);
+        }
+    }
+}
+
+#[test]
+fn repaired_mechanisms_respect_budget() {
+    use dpbench::harness::repair::SideInfoRepair;
+    let mut rng = rng_for("budget-data", &[4]);
+    let dataset = dpbench::datasets::catalog::by_name("GOWALLA").unwrap();
+    let x = DataGenerator::new().generate(&dataset, Domain::D2(32, 32), 50_000, &mut rng);
+    let w = Workload::random_ranges(Domain::D2(32, 32), 200, &mut rng);
+    for name in ["UGRID", "AGRID"] {
+        let repaired = SideInfoRepair::new(name).unwrap();
+        let mut ledger = BudgetLedger::new(0.5);
+        let est = repaired.run(&x, &w, &mut ledger, &mut rng).unwrap();
+        assert_eq!(est.len(), x.n_cells());
+        assert!(ledger.spent() <= ledger.total() * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,95 @@
+//! Empirical verification of the paper's consistency analysis
+//! (Definition 5, Table 1, Appendix C): at ε = 10⁹ the error of a
+//! consistent algorithm must essentially vanish, while inconsistent
+//! algorithms retain bias on data richer than their structural capacity.
+
+use dpbench::prelude::*;
+use dpbench_core::rng::rng_for;
+
+/// Rich 1-D data: many distinct cell levels (defeats coarse partitions).
+fn rich_1d(n: usize) -> DataVector {
+    let counts: Vec<f64> = (0..n).map(|i| (i as f64) * 7.0 + ((i * i) % 13) as f64).collect();
+    DataVector::new(counts, Domain::D1(n))
+}
+
+fn high_eps_error(name: &str, x: &DataVector, w: &Workload) -> f64 {
+    let mech = mechanism_by_name(name).expect("registered");
+    let y = w.evaluate(x);
+    let mut rng = rng_for("consistency", &[dpbench_core::rng::hash_str(name)]);
+    let est = mech.run_eps(x, w, 1e9, &mut rng).unwrap();
+    scaled_per_query_error(&y, &w.evaluate_cells(&est), x.scale(), Loss::L2)
+}
+
+#[test]
+fn consistent_algorithms_error_vanishes() {
+    let x = rich_1d(128);
+    let w = Workload::prefix_1d(128);
+    for name in ["IDENTITY", "H", "HB", "GREEDY_H", "PRIVELET", "DAWA", "AHP", "DPCUBE", "EFPA", "SF"] {
+        let err = high_eps_error(name, &x, &w);
+        assert!(
+            err < 1e-4,
+            "{name} claims consistency but err = {err} at eps = 1e9"
+        );
+    }
+}
+
+#[test]
+fn inconsistent_algorithms_keep_bias() {
+    let x = rich_1d(128);
+    let w = Workload::prefix_1d(128);
+    // Consistent algorithms land below 1e-4 in the companion test; the
+    // inconsistent ones must stay at least an order of magnitude above
+    // that bias-free level.
+    for name in ["UNIFORM", "MWEM", "PHP"] {
+        let err = high_eps_error(name, &x, &w);
+        assert!(
+            err > 2e-4,
+            "{name} is inconsistent but err = {err} (bias unexpectedly vanished)"
+        );
+    }
+}
+
+#[test]
+fn quadtree_inconsistent_only_when_height_capped() {
+    use dpbench::algorithms::quadtree::QuadTree;
+    // 32x32 grid, rich data.
+    let counts: Vec<f64> = (0..1024).map(|i| (i % 97) as f64 * 3.0).collect();
+    let x = DataVector::new(counts, Domain::D2(32, 32));
+    let w = Workload::identity(Domain::D2(32, 32));
+    let y = w.evaluate(&x);
+    let mut rng = rng_for("consistency-qt", &[1]);
+
+    // Height cap below full resolution (needs 6 levels for 32x32): biased.
+    let capped = QuadTree::with_height(4);
+    let est = capped.run_eps(&x, &w, 1e9, &mut rng).unwrap();
+    let err_capped = scaled_per_query_error(&y, &w.evaluate_cells(&est), x.scale(), Loss::L2);
+
+    // Default c=10 resolves 32x32 fully: unbiased at eps -> inf.
+    let full = QuadTree::new();
+    let est = full.run_eps(&x, &w, 1e9, &mut rng).unwrap();
+    let err_full = scaled_per_query_error(&y, &w.evaluate_cells(&est), x.scale(), Loss::L2);
+
+    // The capped tree's uniform-leaf bias must dominate by orders of
+    // magnitude (Theorem 5: inconsistency on under-resolved domains).
+    assert!(
+        err_capped > 100.0 * err_full.max(1e-12),
+        "capped {err_capped} vs full {err_full}"
+    );
+}
+
+#[test]
+fn sf_mean_variant_matches_theorem_7() {
+    use dpbench::algorithms::sf::StructureFirst;
+    let x = rich_1d(100);
+    let w = Workload::identity(Domain::D1(100));
+    let y = w.evaluate(&x);
+    let mut rng = rng_for("consistency-sf", &[1]);
+    // Base (mean) variant: inconsistent.
+    let est = StructureFirst::mean_based().run_eps(&x, &w, 1e9, &mut rng).unwrap();
+    let err_mean = scaled_per_query_error(&y, &w.evaluate_cells(&est), x.scale(), Loss::L2);
+    assert!(err_mean > 1e-6, "mean-based SF should retain bias: {err_mean}");
+    // Modified (hierarchical) variant: consistent.
+    let est = StructureFirst::new().run_eps(&x, &w, 1e10, &mut rng).unwrap();
+    let err_h = scaled_per_query_error(&y, &w.evaluate_cells(&est), x.scale(), Loss::L2);
+    assert!(err_h < err_mean, "modification should reduce bias: {err_h} vs {err_mean}");
+}

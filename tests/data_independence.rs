@@ -1,0 +1,71 @@
+//! Data-independent algorithms (Section 3.1) must show the same expected
+//! error on every dataset over a given domain — their noise distribution
+//! does not depend on the input. Data-dependent algorithms must *not*: on
+//! sufficiently different shapes their errors diverge.
+
+use dpbench::prelude::*;
+use dpbench_core::rng::rng_for;
+
+fn mean_error(name: &str, x: &DataVector, w: &Workload, trials: usize, salt: u64) -> f64 {
+    let mech = mechanism_by_name(name).expect("registered");
+    let y = w.evaluate(x);
+    let mut total = 0.0;
+    for t in 0..trials {
+        let mut rng = rng_for("dataindep", &[dpbench_core::rng::hash_str(name), salt, t as u64]);
+        let est = mech.run_eps(x, w, 0.5, &mut rng).unwrap();
+        // Absolute (unscaled) L2 so different-scale inputs stay comparable.
+        total += Loss::L2.eval(&y, &w.evaluate_cells(&est));
+    }
+    total / trials as f64
+}
+
+fn shapes(n: usize) -> (DataVector, DataVector) {
+    // Uniform vs. single spike, equal scale.
+    let uniform = DataVector::new(vec![100.0; n], Domain::D1(n));
+    let mut spike = vec![0.0; n];
+    spike[0] = 100.0 * n as f64;
+    (uniform, DataVector::new(spike, Domain::D1(n)))
+}
+
+#[test]
+fn data_independent_error_is_shape_invariant() {
+    let n = 256;
+    let (a, b) = shapes(n);
+    let w = Workload::prefix_1d(n);
+    for name in ["IDENTITY", "H", "HB", "PRIVELET", "GREEDY_H"] {
+        let ea = mean_error(name, &a, &w, 40, 1);
+        let eb = mean_error(name, &b, &w, 40, 2);
+        let ratio = ea / eb;
+        assert!(
+            (0.75..1.35).contains(&ratio),
+            "{name} is data-independent but errors differ: {ea:.3} vs {eb:.3}"
+        );
+    }
+}
+
+#[test]
+fn data_dependent_error_varies_with_shape() {
+    let n = 256;
+    let (a, b) = shapes(n);
+    let w = Workload::prefix_1d(n);
+    // DAWA collapses the uniform shape into a single bucket → much lower
+    // error than on the spike... and in all cases different from uniform.
+    let ea = mean_error("DAWA", &a, &w, 20, 3);
+    let eb = mean_error("DAWA", &b, &w, 20, 4);
+    let ratio = ea / eb;
+    assert!(
+        !(0.8..1.25).contains(&ratio),
+        "DAWA should be shape-sensitive: {ea:.3} vs {eb:.3}"
+    );
+}
+
+#[test]
+fn uniform_baseline_is_the_extreme_data_dependent_case() {
+    let n = 128;
+    let (a, b) = shapes(n);
+    let w = Workload::prefix_1d(n);
+    let ea = mean_error("UNIFORM", &a, &w, 20, 5);
+    let eb = mean_error("UNIFORM", &b, &w, 20, 6);
+    // Perfect on uniform data, terrible on the spike.
+    assert!(eb > ea * 10.0, "UNIFORM: uniform-shape {ea:.3} vs spike {eb:.3}");
+}

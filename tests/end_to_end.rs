@@ -1,0 +1,143 @@
+//! End-to-end harness runs reproducing the paper's headline findings at
+//! reduced fidelity: Finding 1 (data-dependence wins at low signal),
+//! Finding 2 (and loses at high signal), plus full-grid smoke coverage of
+//! every registered mechanism through the public API.
+
+use dpbench::prelude::*;
+use dpbench::harness::competitive::{competitive_in_setting, RiskProfile};
+use dpbench_core::Loss;
+
+fn grid_1d(algorithms: &[&str], scales: Vec<u64>, n: usize) -> ResultStore {
+    let config = ExperimentConfig {
+        datasets: datasets_1d(),
+        scales,
+        domains: vec![Domain::D1(n)],
+        epsilons: vec![0.1],
+        algorithms: algorithms.iter().map(|s| s.to_string()).collect(),
+        n_samples: 1,
+        n_trials: 2,
+        workload: WorkloadSpec::Prefix,
+        loss: Loss::L2,
+    };
+    Runner::new(config).run()
+}
+
+#[test]
+fn full_1d_suite_runs_through_the_harness() {
+    let store = grid_1d(NAMES_1D, vec![10_000], 256);
+    // 18 datasets × 15 algorithms × 2 trials.
+    assert_eq!(store.samples().len(), 18 * 15 * 2);
+    assert!(store.samples().iter().all(|s| s.error.is_finite()));
+}
+
+#[test]
+fn full_2d_suite_runs_through_the_harness() {
+    let config = ExperimentConfig {
+        datasets: datasets_2d(),
+        scales: vec![100_000],
+        domains: vec![Domain::D2(32, 32)],
+        epsilons: vec![0.1],
+        algorithms: NAMES_2D.iter().map(|s| s.to_string()).collect(),
+        n_samples: 1,
+        n_trials: 2,
+        workload: WorkloadSpec::RandomRanges(500),
+        loss: Loss::L2,
+    };
+    let store = Runner::new(config).run();
+    assert_eq!(store.samples().len(), 9 * NAMES_2D.len() * 2);
+    assert!(store.samples().iter().all(|s| s.error.is_finite()));
+}
+
+#[test]
+fn finding1_data_dependence_wins_at_low_signal() {
+    // Small scale (10^3): the best data-dependent algorithm should beat
+    // the best data-independent one on a clear majority of datasets.
+    let store = grid_1d(&["HB", "IDENTITY", "DAWA", "MWEM*"], vec![1_000], 512);
+    let mut dd_wins = 0;
+    let mut total = 0;
+    for setting in store.settings() {
+        let di_best = ["HB", "IDENTITY"]
+            .iter()
+            .map(|a| store.mean_error(a, &setting))
+            .fold(f64::INFINITY, f64::min);
+        let dd_best = ["DAWA", "MWEM*"]
+            .iter()
+            .map(|a| store.mean_error(a, &setting))
+            .fold(f64::INFINITY, f64::min);
+        total += 1;
+        if dd_best < di_best {
+            dd_wins += 1;
+        }
+    }
+    assert!(
+        dd_wins * 3 >= total * 2,
+        "data-dependent won only {dd_wins}/{total} at scale 10^3"
+    );
+}
+
+#[test]
+fn finding2_data_independence_wins_at_high_signal() {
+    // Large scale (10^7): HB should beat the biased data-dependent
+    // algorithms (MWEM, PHP, UNIFORM) on nearly every dataset.
+    let store = grid_1d(&["HB", "MWEM", "PHP", "UNIFORM"], vec![10_000_000], 512);
+    let mut hb_wins = 0;
+    let mut total = 0;
+    for setting in store.settings() {
+        let hb = store.mean_error("HB", &setting);
+        let dd_best = ["MWEM", "PHP", "UNIFORM"]
+            .iter()
+            .map(|a| store.mean_error(a, &setting))
+            .fold(f64::INFINITY, f64::min);
+        total += 1;
+        if hb < dd_best {
+            hb_wins += 1;
+        }
+    }
+    assert!(
+        hb_wins * 4 >= total * 3,
+        "HB won only {hb_wins}/{total} at scale 10^7"
+    );
+}
+
+#[test]
+fn competitive_analysis_runs_on_harness_output() {
+    let algs = ["IDENTITY", "DAWA", "UNIFORM"];
+    let store = grid_1d(&algs, vec![10_000], 256);
+    let names: Vec<String> = algs.iter().map(|s| s.to_string()).collect();
+    for setting in store.settings() {
+        let winners = competitive_in_setting(&store, &setting, &names, RiskProfile::Mean);
+        assert!(!winners.is_empty(), "no competitive algorithm in {setting}");
+        let p95 = competitive_in_setting(&store, &setting, &names, RiskProfile::P95);
+        assert!(!p95.is_empty());
+    }
+}
+
+#[test]
+fn identity_error_tracks_theory() {
+    // IDENTITY on the Identity workload: E[scaled error] is analytically
+    // ~ sqrt(q·Var)/(s·q) with Var = 2/ε²; check within 20%.
+    let n = 1024_usize;
+    let scale = 100_000_u64;
+    let eps = 0.1;
+    let config = ExperimentConfig {
+        datasets: vec![dpbench::datasets::catalog::by_name("BIDS-ALL").unwrap()],
+        scales: vec![scale],
+        domains: vec![Domain::D1(n)],
+        epsilons: vec![eps],
+        algorithms: vec!["IDENTITY".into()],
+        n_samples: 1,
+        n_trials: 10,
+        workload: WorkloadSpec::Identity,
+        loss: Loss::L2,
+    };
+    let store = Runner::new(config).run();
+    let setting = store.settings()[0].clone();
+    let measured = store.mean_error("IDENTITY", &setting);
+    // E[||z||_2] ≈ sqrt(n · 2/ε²) for n iid Laplace(1/ε) coordinates.
+    let expected = (n as f64 * 2.0 / (eps * eps)).sqrt() / (scale as f64 * n as f64);
+    let ratio = measured / expected;
+    assert!(
+        (0.8..1.2).contains(&ratio),
+        "measured {measured:.3e} vs theory {expected:.3e}"
+    );
+}

@@ -1,0 +1,103 @@
+//! Property-based integration tests across the crate boundary: random
+//! inputs through the public API must uphold the framework invariants.
+
+use dpbench::prelude::*;
+use dpbench_core::query::PrefixTable;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Workload evaluation equals brute-force cell summation.
+    #[test]
+    fn workload_eval_matches_naive(
+        counts in proptest::collection::vec(0.0_f64..100.0, 16..=64),
+        seed in 0_u64..1000,
+    ) {
+        let n = counts.len();
+        let x = DataVector::new(counts, Domain::D1(n));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Workload::random_ranges(Domain::D1(n), 40, &mut rng);
+        let fast = w.evaluate(&x);
+        for (q, f) in w.queries().iter().zip(&fast) {
+            prop_assert!((q.eval_naive(&x) - f).abs() < 1e-9);
+        }
+    }
+
+    /// The generator produces integral vectors of exactly the requested
+    /// scale, confined to the shape's support.
+    #[test]
+    fn generator_exact_scale_and_support(scale in 1_u64..200_000, seed in 0_u64..1000) {
+        let dataset = dpbench::datasets::catalog::by_name("TRACE").unwrap();
+        let domain = Domain::D1(512);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = DataGenerator::new().generate(&dataset, domain, scale, &mut rng);
+        prop_assert_eq!(x.scale() as u64, scale);
+        prop_assert!(x.counts().iter().all(|&c| c >= 0.0 && c.fract() == 0.0));
+        let shape = dataset.shape(domain);
+        for (p, c) in shape.iter().zip(x.counts()) {
+            if *p == 0.0 {
+                prop_assert_eq!(*c, 0.0);
+            }
+        }
+    }
+
+    /// Coarsening preserves total mass for any domain divisor.
+    #[test]
+    fn coarsening_mass_preserved(seed in 0_u64..1000) {
+        let dataset = dpbench::datasets::catalog::by_name("SEARCH").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = DataGenerator::new().generate(&dataset, Domain::D1(1024), 50_000, &mut rng);
+        for m in [512_usize, 256, 128] {
+            let y = x.coarsen(Domain::D1(m));
+            prop_assert!((y.scale() - x.scale()).abs() < 1e-9);
+        }
+    }
+
+    /// Mechanisms produce finite, correctly-sized estimates on arbitrary
+    /// (power-of-two) inputs.
+    #[test]
+    fn mechanisms_total_on_random_inputs(
+        raw in proptest::collection::vec(0.0_f64..500.0, 64),
+        seed in 0_u64..100,
+    ) {
+        let x = DataVector::new(raw.iter().map(|v| v.round()).collect(), Domain::D1(64));
+        let w = Workload::prefix_1d(64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for name in ["IDENTITY", "HB", "PRIVELET", "DAWA", "EFPA", "PHP", "AHP"] {
+            let mech = mechanism_by_name(name).unwrap();
+            let est = mech.run_eps(&x, &w, 1.0, &mut rng).unwrap();
+            prop_assert_eq!(est.len(), 64);
+            prop_assert!(est.iter().all(|v| v.is_finite()), "{} non-finite", name);
+        }
+    }
+
+    /// The prefix table's total always equals the vector's scale.
+    #[test]
+    fn prefix_table_total(counts in proptest::collection::vec(0.0_f64..10.0, 1..=128)) {
+        let n = counts.len();
+        let x = DataVector::new(counts, Domain::D1(n));
+        let t = PrefixTable::build(&x);
+        prop_assert!((t.total() - x.scale()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn hierarchical_estimates_respect_sum_consistency() {
+    // H's inferred cells must sum close to its inferred root (which is a
+    // direct consequence of the tree inference's consistency guarantee).
+    let mut rng = StdRng::seed_from_u64(77);
+    let dataset = dpbench::datasets::catalog::by_name("INCOME").unwrap();
+    let x = DataGenerator::new().generate(&dataset, Domain::D1(256), 1_000_000, &mut rng);
+    let w = Workload::prefix_1d(256);
+    let est = mechanism_by_name("H").unwrap().run_eps(&x, &w, 1.0, &mut rng).unwrap();
+    let total: f64 = est.iter().sum();
+    // With ε = 1 the root estimate is within a few hundred of the truth.
+    assert!(
+        (total - x.scale()).abs() < 2_000.0,
+        "inferred total {total} vs true {}",
+        x.scale()
+    );
+}

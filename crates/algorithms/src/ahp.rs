@@ -17,9 +17,9 @@
 //! trained on synthetic shapes. AHP is consistent (threshold and cluster
 //! widths vanish as ε → ∞) and scale-ε exchangeable (Theorem 12).
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{fingerprint_words, DimSupport, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::laplace;
-use dpbench_core::{BudgetLedger, DataVector, MechError, MechInfo, Mechanism, Workload};
+use dpbench_core::{BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Workload};
 use rand::RngCore;
 
 /// The AHP mechanism.
@@ -109,10 +109,42 @@ impl Mechanism for Ahp {
         info
     }
 
-    fn run(
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        let mech = self.clone();
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent(self.name.clone()),
+            move |x, budget, rng| mech.cluster_and_measure(x, budget, rng),
+        ))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        let mut words = Vec::new();
+        match &self.params {
+            AhpParams::Fixed { rho, eta } => {
+                words.push(0);
+                words.push(rho.to_bits());
+                words.push(eta.to_bits());
+            }
+            AhpParams::Tuned(table) => {
+                words.push(1);
+                for (bound, rho, eta) in table {
+                    words.push(bound.to_bits());
+                    words.push(rho.to_bits());
+                    words.push(eta.to_bits());
+                }
+            }
+        }
+        fingerprint_words(&words)
+    }
+}
+
+impl Ahp {
+    /// The private pipeline: threshold + cluster (ε₁) then cluster
+    /// measurement (ε₂).
+    fn cluster_and_measure(
         &self,
         x: &DataVector,
-        _workload: &Workload,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
@@ -144,8 +176,8 @@ impl Mechanism for Ahp {
             (rho, false)
         };
 
-        let eps1 = budget.spend_fraction(rho)?;
-        let eps2 = budget.spend_all();
+        let eps1 = budget.spend_fraction_as("structure", rho)?;
+        let eps2 = budget.spend_all_as("clusters");
         let mut noisy: Vec<f64> = x
             .counts()
             .iter()

@@ -20,7 +20,7 @@
 //! DAWA is consistent (Theorem 3) and scale-ε exchangeable (Theorem 11).
 
 use crate::greedy_h::GreedyH;
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{fingerprint_words, DimSupport, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::laplace;
 use dpbench_core::{
     BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Workload,
@@ -55,10 +55,7 @@ impl Dawa {
     /// DAWA with an explicit partition budget fraction.
     pub fn with_rho(rho: f64) -> Self {
         assert!(rho > 0.0 && rho < 1.0, "ρ must be in (0,1)");
-        Self {
-            rho,
-            branching: 2,
-        }
+        Self { rho, branching: 2 }
     }
 
     fn run_1d(
@@ -69,11 +66,14 @@ impl Dawa {
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
         let n = counts.len();
-        let eps1 = budget.spend_fraction(self.rho)?;
-        let eps2 = budget.spend_all();
+        let eps1 = budget.spend_fraction_as("partition", self.rho)?;
+        let eps2 = budget.spend_all_as("greedy-h");
 
         // Stage 1: partition from noisy counts.
-        let noisy: Vec<f64> = counts.iter().map(|&c| c + laplace(1.0 / eps1, rng)).collect();
+        let noisy: Vec<f64> = counts
+            .iter()
+            .map(|&c| c + laplace(1.0 / eps1, rng))
+            .collect();
         let buckets = l1_partition(&noisy, eps1, eps2);
 
         // Stage 2: GREEDY_H over the reduced (bucket) domain.
@@ -173,6 +173,10 @@ impl Mechanism for Dawa {
         info
     }
 
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[self.rho.to_bits(), self.branching as u64])
+    }
+
     fn supports(&self, domain: &Domain) -> bool {
         match *domain {
             Domain::D1(_) => true,
@@ -180,15 +184,20 @@ impl Mechanism for Dawa {
         }
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        match x.domain() {
-            Domain::D1(_) => self.run_1d(x.counts(), workload.queries(), budget, rng),
+    fn plan(&self, domain: &Domain, workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        // The workload mapping (identity in 1-D, Hilbert covering intervals
+        // in 2-D) is data-independent; only the partition + measurement
+        // touch the data.
+        let mech = *self;
+        match *domain {
+            Domain::D1(_) => {
+                let queries = workload.queries().to_vec();
+                Ok(FnPlan::boxed(
+                    *domain,
+                    PlanDiagnostics::data_dependent("DAWA"),
+                    move |x, budget, rng| mech.run_1d(x.counts(), &queries, budget, rng),
+                ))
+            }
             Domain::D2(r, c) => {
                 if r != c || !r.is_power_of_two() {
                     return Err(MechError::Unsupported {
@@ -196,14 +205,20 @@ impl Mechanism for Dawa {
                         reason: format!("2-D domain {r}x{c} must be a square power of two"),
                     });
                 }
-                let flat = hilbert::flatten(x.counts(), r);
                 let intervals: Vec<RangeQuery> = workload
                     .queries()
                     .iter()
                     .map(|q| hilbert_cover(q, r))
                     .collect();
-                let est = self.run_1d(&flat, &intervals, budget, rng)?;
-                Ok(hilbert::unflatten(&est, r))
+                Ok(FnPlan::boxed(
+                    *domain,
+                    PlanDiagnostics::data_dependent("DAWA"),
+                    move |x, budget, rng| {
+                        let flat = hilbert::flatten(x.counts(), r);
+                        let est = mech.run_1d(&flat, &intervals, budget, rng)?;
+                        Ok(hilbert::unflatten(&est, r))
+                    },
+                ))
             }
         }
     }
@@ -253,7 +268,7 @@ mod tests {
     fn partition_covers_domain_disjointly() {
         let noisy: Vec<f64> = (0..100).map(|i| if i < 50 { 10.0 } else { 90.0 }).collect();
         let buckets = l1_partition(&noisy, 1.0, 1.0);
-        let mut covered = vec![false; 100];
+        let mut covered = [false; 100];
         for &(lo, hi) in &buckets {
             assert!(lo < hi && hi <= 100);
             for c in covered[lo..hi].iter_mut() {

@@ -15,11 +15,11 @@
 //!
 //! Consistent and scale-ε exchangeable (Table 1).
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{fingerprint_words, DimSupport, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::laplace;
 use dpbench_core::query::PrefixTable;
 use dpbench_core::{
-    BudgetLedger, DataVector, MechError, MechInfo, Mechanism, RangeQuery, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Workload,
 };
 use dpbench_transforms::tree_ls::{MeasuredTree, Measurement};
 use rand::RngCore;
@@ -77,15 +77,31 @@ impl Mechanism for DpCube {
         info
     }
 
-    fn run(
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        let mech = *self;
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent("DPCUBE"),
+            move |x, budget, rng| mech.partition_and_fuse(x, budget, rng),
+        ))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[self.rho.to_bits(), self.min_partition as u64])
+    }
+}
+
+impl DpCube {
+    /// The private pipeline: noisy cells (ε₁), post-processing kd-tree,
+    /// fresh partition counts (ε₂), least-squares fusion.
+    fn partition_and_fuse(
         &self,
         x: &DataVector,
-        _workload: &Workload,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
-        let eps1 = budget.spend_fraction(self.rho)?;
-        let eps2 = budget.spend_all();
+        let eps1 = budget.spend_fraction_as("cells", self.rho)?;
+        let eps2 = budget.spend_all_as("partitions");
         let domain = x.domain();
         let n = x.n_cells();
 
@@ -317,7 +333,9 @@ mod tests {
         for _ in 0..8 {
             let e = DpCube::new().run_eps(&x, &w, 0.1, &mut rng).unwrap();
             dpcube_err += Loss::L2.eval(&y, &w.evaluate_cells(&e));
-            let i = crate::identity::Identity.run_eps(&x, &w, 0.1, &mut rng).unwrap();
+            let i = crate::identity::Identity
+                .run_eps(&x, &w, 0.1, &mut rng)
+                .unwrap();
             id_err += Loss::L2.eval(&y, &w.evaluate_cells(&i));
         }
         assert!(

@@ -18,7 +18,7 @@
 //! the full spectrum and the noise vanishes) and scale-ε exchangeable
 //! (Theorem 9).
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{DimSupport, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::{exponential_mechanism, laplace};
 use dpbench_core::{BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Workload};
 use dpbench_transforms::fft::{dft_real, idft_real, Complex};
@@ -46,22 +46,34 @@ impl Mechanism for Efpa {
         matches!(domain, Domain::D1(n) if n.is_power_of_two())
     }
 
-    fn run(
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if !self.supports(domain) {
+            return Err(MechError::Unsupported {
+                mechanism: "EFPA".into(),
+                reason: format!("domain {domain} must be a 1-D power of two"),
+            });
+        }
+        let mech = *self;
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent("EFPA"),
+            move |x, budget, rng| mech.perturb_spectrum(x, budget, rng),
+        ))
+    }
+}
+
+impl Efpa {
+    /// The private pipeline: choose `k` (ε₁) then measure the retained
+    /// coefficients (ε₂).
+    fn perturb_spectrum(
         &self,
         x: &DataVector,
-        _workload: &Workload,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
         let n = x.n_cells();
-        if !self.supports(&x.domain()) {
-            return Err(MechError::Unsupported {
-                mechanism: "EFPA".into(),
-                reason: format!("domain {} must be a 1-D power of two", x.domain()),
-            });
-        }
-        let eps1 = budget.spend_fraction(0.5)?; // choose k
-        let eps2 = budget.spend_all(); // measure coefficients
+        let eps1 = budget.spend_fraction_as("choose-k", 0.5)?;
+        let eps2 = budget.spend_all_as("coefficients");
 
         let spectrum = dft_real(x.counts());
         let half = n / 2;
@@ -162,7 +174,9 @@ mod tests {
         for _ in 0..10 {
             let est = Efpa::new().run_eps(&x, &w, 0.1, &mut rng).unwrap();
             efpa_err += Loss::L2.eval(&y, &w.evaluate_cells(&est));
-            let id = crate::identity::Identity.run_eps(&x, &w, 0.1, &mut rng).unwrap();
+            let id = crate::identity::Identity
+                .run_eps(&x, &w, 0.1, &mut rng)
+                .unwrap();
             id_err += Loss::L2.eval(&y, &w.evaluate_cells(&id));
         }
         assert!(

@@ -14,9 +14,11 @@
 //! budget allocation.
 
 use crate::hierarchy::Hierarchy;
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{
+    check_planned_domain, fingerprint_words, DimSupport, Plan, PlanDiagnostics,
+};
 use dpbench_core::{
-    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release, Workload,
 };
 use dpbench_transforms::hilbert;
 use rand::RngCore;
@@ -122,6 +124,10 @@ impl Mechanism for GreedyH {
         info
     }
 
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[self.branching as u64])
+    }
+
     fn supports(&self, domain: &Domain) -> bool {
         match *domain {
             Domain::D1(_) => true,
@@ -130,34 +136,93 @@ impl Mechanism for GreedyH {
         }
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        let eps = budget.spend_all();
-        match x.domain() {
-            Domain::D1(_) => Ok(self.run_1d(x, workload.queries(), eps, rng)),
+    fn plan(&self, domain: &Domain, workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        // All of GREEDY_H's workload adaptation — hierarchy layout, query
+        // decomposition, Hilbert interval mapping, and the cube-root budget
+        // allocation — is data-independent, so it happens here, once.
+        let (hilbert_side, hier, usage) = match *domain {
+            Domain::D1(_) => {
+                let hier = Hierarchy::build(*domain, self.branching, usize::MAX);
+                let usage = Self::level_usage(&hier, workload.queries());
+                (None, hier, usage)
+            }
             Domain::D2(r, c) => {
                 if r != c || !r.is_power_of_two() {
                     return Err(MechError::Unsupported {
                         mechanism: "GREEDY_H".into(),
-                        reason: format!("2-D domain {}x{c} must be a square power of two", r),
+                        reason: format!("2-D domain {r}x{c} must be a square power of two"),
                     });
                 }
-                let flat = hilbert::flatten(x.counts(), r);
-                let flat_x = DataVector::new(flat, Domain::D1(r * c));
+                let flat_domain = Domain::D1(r * c);
+                let hier = Hierarchy::build(flat_domain, self.branching, usize::MAX);
                 let intervals: Vec<RangeQuery> = workload
                     .queries()
                     .iter()
                     .map(|q| Self::hilbert_interval(q, r))
                     .collect();
-                let est_flat = self.run_1d(&flat_x, &intervals, eps, rng);
-                Ok(hilbert::unflatten(&est_flat, r))
+                let usage = Self::level_usage(&hier, &intervals);
+                (Some(r), hier, usage)
             }
-        }
+        };
+        // The allocation is linear in ε: precompute the unit (ε = 1)
+        // allocation and scale at execute time.
+        let alloc_unit = Self::allocate(1.0, &usage);
+        let measured_levels = alloc_unit.iter().filter(|&&e| e > 0.0).count();
+        let diagnostics =
+            PlanDiagnostics::data_independent("GREEDY_H", hier.nodes.len(), measured_levels as f64);
+        Ok(Box::new(GreedyHPlan {
+            domain: *domain,
+            hilbert_side,
+            hier,
+            alloc_unit,
+            diagnostics,
+        }))
+    }
+}
+
+/// GREEDY_H's reusable plan: hierarchy, per-level unit budget allocation,
+/// and (for 2-D) the Hilbert flattening side.
+struct GreedyHPlan {
+    domain: Domain,
+    /// `Some(side)` when the plan flattens a 2-D grid along the Hilbert
+    /// curve.
+    hilbert_side: Option<usize>,
+    hier: Hierarchy,
+    /// Per-level ε allocation at unit budget (`ε_l` for ε = 1).
+    alloc_unit: Vec<f64>,
+    diagnostics: PlanDiagnostics,
+}
+
+impl Plan for GreedyHPlan {
+    fn diagnostics(&self) -> &PlanDiagnostics {
+        &self.diagnostics
+    }
+
+    fn execute(
+        &self,
+        x: &DataVector,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError> {
+        check_planned_domain("GREEDY_H", self.domain, x.domain())?;
+        let mark = budget.mark();
+        let eps = budget.spend_all_as("levels");
+        let level_eps: Vec<f64> = self.alloc_unit.iter().map(|&u| u * eps).collect();
+        let estimate = match self.hilbert_side {
+            None => self.hier.measure_and_infer(x, &level_eps, rng),
+            Some(side) => {
+                let flat = hilbert::flatten(x.counts(), side);
+                let flat_x = DataVector::new(flat, Domain::D1(side * side));
+                let est_flat = self.hier.measure_and_infer(&flat_x, &level_eps, rng);
+                hilbert::unflatten(&est_flat, side)
+            }
+        };
+        Ok(Release::from_ledger(
+            estimate,
+            budget,
+            mark,
+            self.diagnostics.clone(),
+        ))
     }
 }
 

@@ -16,7 +16,7 @@
 //! Both are consistent (Theorem 4: as ε → ∞ the grids refine to single
 //! cells) and scale-ε exchangeable (Theorem 13).
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{fingerprint_words, DimSupport, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::laplace;
 use dpbench_core::query::PrefixTable;
 use dpbench_core::{
@@ -84,10 +84,31 @@ impl Mechanism for UGrid {
         info
     }
 
-    fn run(
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if domain.dims() != 2 {
+            return Err(MechError::Unsupported {
+                mechanism: "UGRID".into(),
+                reason: format!("requires a 2-D domain, got {domain}"),
+            });
+        }
+        let mech = *self;
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent("UGRID"),
+            move |x, budget, rng| mech.grid_and_measure(x, budget, rng),
+        ))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[self.c.to_bits(), self.scale_hint.map_or(0, f64::to_bits)])
+    }
+}
+
+impl UGrid {
+    /// The private pipeline: size the grid from the scale, measure blocks.
+    fn grid_and_measure(
         &self,
         x: &DataVector,
-        _workload: &Workload,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
@@ -100,7 +121,7 @@ impl Mechanism for UGrid {
                 })
             }
         };
-        let eps = budget.spend_all();
+        let eps = budget.spend_all_as("blocks");
         let n_records = self.scale_hint.unwrap_or_else(|| x.scale());
         let g = self.grid_size(n_records, eps, rows.min(cols));
         let table = PrefixTable::build(x);
@@ -169,10 +190,37 @@ impl Mechanism for AGrid {
         info
     }
 
-    fn run(
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if domain.dims() != 2 {
+            return Err(MechError::Unsupported {
+                mechanism: "AGRID".into(),
+                reason: format!("requires a 2-D domain, got {domain}"),
+            });
+        }
+        let mech = *self;
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent("AGRID"),
+            move |x, budget, rng| mech.grid_and_measure(x, budget, rng),
+        ))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[
+            self.c.to_bits(),
+            self.c2.to_bits(),
+            self.rho.to_bits(),
+            self.scale_hint.map_or(0, f64::to_bits),
+        ])
+    }
+}
+
+impl AGrid {
+    /// The private pipeline: top-level blocks (ε₁), adaptive sub-blocks
+    /// (ε₂), per-block fusion.
+    fn grid_and_measure(
         &self,
         x: &DataVector,
-        _workload: &Workload,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
@@ -185,8 +233,8 @@ impl Mechanism for AGrid {
                 })
             }
         };
-        let eps1 = budget.spend_fraction(self.rho)?;
-        let eps2 = budget.spend_all();
+        let eps1 = budget.spend_fraction_as("top-blocks", self.rho)?;
+        let eps2 = budget.spend_all_as("sub-blocks");
         let n_records = self.scale_hint.unwrap_or_else(|| x.scale());
         let g1 = self.top_grid_size(n_records, eps1 + eps2, rows.min(cols));
         let table = PrefixTable::build(x);
@@ -198,8 +246,8 @@ impl Mechanism for AGrid {
                 let noisy_block = table.eval(&block) + laplace(1.0 / eps1, rng);
                 // Adaptive second level from the noisy block count.
                 let side = (r2 - r1 + 1).min(c2 - c1 + 1);
-                let g2 = ((noisy_block.max(0.0) * eps2 / self.c2).sqrt().ceil() as usize)
-                    .clamp(1, side);
+                let g2 =
+                    ((noisy_block.max(0.0) * eps2 / self.c2).sqrt().ceil() as usize).clamp(1, side);
 
                 // Fuse the block measurement with its sub-block
                 // measurements via exact inference, then spread uniformly
@@ -306,7 +354,9 @@ mod tests {
         let (mut ea, mut ei) = (0.0, 0.0);
         for _ in 0..5 {
             let a = AGrid::new().run_eps(&x, &w, 0.01, &mut rng).unwrap();
-            let i = crate::identity::Identity.run_eps(&x, &w, 0.01, &mut rng).unwrap();
+            let i = crate::identity::Identity
+                .run_eps(&x, &w, 0.01, &mut rng)
+                .unwrap();
             ea += Loss::L2.eval(&y, &w.evaluate_cells(&a));
             ei += Loss::L2.eval(&y, &w.evaluate_cells(&i));
         }

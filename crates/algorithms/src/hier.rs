@@ -17,9 +17,63 @@
 //! DPBench reference code does for its hierarchical methods.
 
 use crate::hierarchy::{optimal_branching_1d, optimal_branching_2d, Hierarchy};
-use dpbench_core::mechanism::DimSupport;
-use dpbench_core::{BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Workload};
+use dpbench_core::mechanism::{
+    check_planned_domain, fingerprint_words, DimSupport, Plan, PlanDiagnostics,
+};
+use dpbench_core::{
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Release, Workload,
+};
 use rand::RngCore;
+
+/// Shared plan for H and Hb: the hierarchy layout is fully determined by
+/// (domain, branching), so it is built once at plan time; execute only
+/// measures and infers. Budget is split uniformly across levels.
+pub(crate) struct HierPlan {
+    domain: Domain,
+    hier: Hierarchy,
+    diagnostics: PlanDiagnostics,
+}
+
+impl HierPlan {
+    pub(crate) fn build(name: &str, domain: Domain, branching: usize) -> Self {
+        let hier = Hierarchy::build(domain, branching, usize::MAX);
+        // Per level every record is counted at most once, so the
+        // measurement set's L1 sensitivity is the tree height.
+        let diagnostics =
+            PlanDiagnostics::data_independent(name, hier.nodes.len(), hier.height() as f64);
+        Self {
+            domain,
+            hier,
+            diagnostics,
+        }
+    }
+}
+
+impl Plan for HierPlan {
+    fn diagnostics(&self) -> &PlanDiagnostics {
+        &self.diagnostics
+    }
+
+    fn execute(
+        &self,
+        x: &DataVector,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError> {
+        check_planned_domain(&self.diagnostics.mechanism, self.domain, x.domain())?;
+        let mark = budget.mark();
+        let eps = budget.spend_all_as("levels");
+        let per_level = eps / self.hier.height() as f64;
+        let level_eps = vec![per_level; self.hier.height()];
+        let estimate = self.hier.measure_and_infer(x, &level_eps, rng);
+        Ok(Release::from_ledger(
+            estimate,
+            budget,
+            mark,
+            self.diagnostics.clone(),
+        ))
+    }
+}
 
 /// The H mechanism (binary hierarchy, uniform budget, consistency).
 #[derive(Debug, Clone, Copy)]
@@ -48,18 +102,18 @@ impl Mechanism for H {
         info
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        _workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        let eps = budget.spend_all();
-        let hier = Hierarchy::build(x.domain(), self.branching, usize::MAX);
-        let per_level = eps / hier.height() as f64;
-        let level_eps = vec![per_level; hier.height()];
-        Ok(hier.measure_and_infer(x, &level_eps, rng))
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if !self.supports(domain) {
+            return Err(MechError::Unsupported {
+                mechanism: "H".into(),
+                reason: format!("domain {domain} is not 1-D"),
+            });
+        }
+        Ok(Box::new(HierPlan::build("H", *domain, self.branching)))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[self.branching as u64])
     }
 }
 
@@ -90,19 +144,9 @@ impl Mechanism for Hb {
         info
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        _workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        let eps = budget.spend_all();
-        let b = Self::branching_for(&x.domain());
-        let hier = Hierarchy::build(x.domain(), b, usize::MAX);
-        let per_level = eps / hier.height() as f64;
-        let level_eps = vec![per_level; hier.height()];
-        Ok(hier.measure_and_infer(x, &level_eps, rng))
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        let b = Self::branching_for(domain);
+        Ok(Box::new(HierPlan::build("HB", *domain, b)))
     }
 }
 

@@ -113,7 +113,9 @@ impl Hierarchy {
 
     /// True when every leaf covers exactly one cell.
     pub fn fully_resolved(&self) -> bool {
-        self.leaf_ids().iter().all(|&i| self.nodes[i].query.size() == 1)
+        self.leaf_ids()
+            .iter()
+            .all(|&i| self.nodes[i].query.size() == 1)
     }
 
     /// Decompose a range query into a minimal set of canonical nodes: nodes
@@ -169,8 +171,8 @@ impl Hierarchy {
         for node in &self.nodes {
             let eps = level_eps[node.level];
             let measurement = if eps > 0.0 {
-                let noisy = table.eval(&node.query)
-                    + dpbench_core::primitives::laplace(1.0 / eps, rng);
+                let noisy =
+                    table.eval(&node.query) + dpbench_core::primitives::laplace(1.0 / eps, rng);
                 Some(Measurement {
                     value: noisy,
                     variance: 2.0 / (eps * eps),
@@ -196,7 +198,13 @@ impl Hierarchy {
                     for c in q.lo.1..=q.hi.1 {
                         let cell_node = tree.add_node(None);
                         cells.push(cell_node);
-                        cell_owner.push((cell_node, RangeQuery { lo: (r, c), hi: (r, c) }));
+                        cell_owner.push((
+                            cell_node,
+                            RangeQuery {
+                                lo: (r, c),
+                                hi: (r, c),
+                            },
+                        ));
                     }
                 }
                 tree.set_children(leaf, cells);
@@ -301,23 +309,23 @@ mod tests {
         assert!(h.fully_resolved());
         // The leaves partition the domain (leaves can sit at different
         // depths on non-power-of-two domains).
-        let mut covered = vec![false; 5];
+        let mut covered = [false; 5];
         for id in h.leaf_ids() {
             let q = h.nodes[id].query;
-            for i in q.lo.0..=q.hi.0 {
-                assert!(!covered[i], "cell {i} covered twice");
-                covered[i] = true;
+            for (i, c) in covered.iter_mut().enumerate().take(q.hi.0 + 1).skip(q.lo.0) {
+                assert!(!*c, "cell {i} covered twice");
+                *c = true;
             }
         }
         assert!(covered.iter().all(|&c| c));
         // Within a level, nodes are pairwise disjoint.
         for level in &h.levels {
-            let mut seen = vec![false; 5];
+            let mut seen = [false; 5];
             for &id in level {
                 let q = h.nodes[id].query;
-                for i in q.lo.0..=q.hi.0 {
-                    assert!(!seen[i]);
-                    seen[i] = true;
+                for s in seen.iter_mut().take(q.hi.0 + 1).skip(q.lo.0) {
+                    assert!(!*s);
+                    *s = true;
                 }
             }
         }
@@ -404,7 +412,7 @@ mod tests {
     fn optimal_branching_values() {
         // n = 4096: minimizing (b−1)h³ gives a moderate branching factor.
         let b = optimal_branching_1d(4096);
-        assert!(b >= 8 && b <= 32, "b = {b}");
+        assert!((8..=32).contains(&b), "b = {b}");
         // Tiny domains use flat-ish trees.
         assert!(optimal_branching_1d(4) >= 2);
         let b2 = optimal_branching_2d(128);

@@ -7,14 +7,47 @@
 //! cannot beat IDENTITY does not justify its complexity (Principle 10,
 //! Finding 10).
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{check_planned_domain, DimSupport, Plan, PlanDiagnostics};
 use dpbench_core::primitives::laplace_vec;
-use dpbench_core::{BudgetLedger, DataVector, MechError, MechInfo, Mechanism, Workload};
+use dpbench_core::{
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Release, Workload,
+};
 use rand::RngCore;
 
 /// The IDENTITY mechanism.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Identity;
+
+/// IDENTITY's plan: the strategy is the identity matrix — measure every
+/// cell once at sensitivity 1.
+struct IdentityPlan {
+    domain: Domain,
+    diagnostics: PlanDiagnostics,
+}
+
+impl Plan for IdentityPlan {
+    fn diagnostics(&self) -> &PlanDiagnostics {
+        &self.diagnostics
+    }
+
+    fn execute(
+        &self,
+        x: &DataVector,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError> {
+        check_planned_domain("IDENTITY", self.domain, x.domain())?;
+        let mark = budget.mark();
+        let eps = budget.spend_all_as("laplace-cells");
+        let estimate = laplace_vec(x.counts(), 1.0, eps, rng);
+        Ok(Release::from_ledger(
+            estimate,
+            budget,
+            mark,
+            self.diagnostics.clone(),
+        ))
+    }
+}
 
 impl Mechanism for Identity {
     fn info(&self) -> MechInfo {
@@ -23,15 +56,11 @@ impl Mechanism for Identity {
         // scale-ε exchangeable, no side info.
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        _workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        let eps = budget.spend_all();
-        Ok(laplace_vec(x.counts(), 1.0, eps, rng))
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        Ok(Box::new(IdentityPlan {
+            domain: *domain,
+            diagnostics: PlanDiagnostics::data_independent("IDENTITY", domain.n_cells(), 1.0),
+        }))
     }
 }
 

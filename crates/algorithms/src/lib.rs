@@ -35,4 +35,4 @@ pub mod registry;
 pub mod sf;
 pub mod uniform;
 
-pub use registry::{mechanisms_1d, mechanisms_2d, mechanism_by_name};
+pub use registry::{mechanism_by_name, mechanisms_1d, mechanisms_2d};

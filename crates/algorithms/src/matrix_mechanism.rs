@@ -16,12 +16,14 @@
 //! "public error bounds" desideratum for data-independent algorithms, and
 //! the oracle against which the fast tree inference is cross-validated.
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{
+    check_planned_domain, fingerprint_words, DimSupport, Plan, PlanDiagnostics,
+};
 use dpbench_core::primitives::laplace;
 use dpbench_core::{
-    BudgetLedger, DataVector, MechError, MechInfo, Mechanism, RangeQuery, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release, Workload,
 };
-use dpbench_transforms::matrix::{weighted_least_squares, Matrix};
+use dpbench_transforms::matrix::{cholesky_solve, Matrix};
 use rand::RngCore;
 
 /// An explicit matrix-mechanism instance over a 1-D domain of size `n`.
@@ -49,11 +51,8 @@ impl MatrixMechanism {
     /// The b-ary hierarchical strategy: every node of the tree over `n`
     /// cells (≡ H for b = 2, Hb for the optimized b), unweighted.
     pub fn hierarchical(n: usize, branching: usize) -> Self {
-        let hier = crate::hierarchy::Hierarchy::build(
-            dpbench_core::Domain::D1(n),
-            branching,
-            usize::MAX,
-        );
+        let hier =
+            crate::hierarchy::Hierarchy::build(dpbench_core::Domain::D1(n), branching, usize::MAX);
         let mut strategy = Matrix::zeros(hier.nodes.len(), n);
         for (r, node) in hier.nodes.iter().enumerate() {
             for i in node.query.lo.0..=node.query.hi.0 {
@@ -119,9 +118,7 @@ impl MatrixMechanism {
         for q in workload.queries() {
             // w_q as a dense vector.
             let mut w = vec![0.0; n];
-            for i in q.lo.0..=q.hi.0 {
-                w[i] = 1.0;
-            }
+            w[q.lo.0..=q.hi.0].fill(1.0);
             let z = dpbench_transforms::matrix::cholesky_solve(&factor, &w);
             let quad: f64 = w.iter().zip(&z).map(|(a, b)| a * b).sum();
             total += noise * quad;
@@ -136,9 +133,7 @@ impl MatrixMechanism {
         let sts = st.matmul(&self.strategy);
         let delta = self.sensitivity();
         let mut w = vec![0.0; n];
-        for i in q.lo.0..=q.hi.0 {
-            w[i] = 1.0;
-        }
+        w[q.lo.0..=q.hi.0].fill(1.0);
         let z = sts.solve_spd(&w)?;
         let quad: f64 = w.iter().zip(&z).map(|(a, b)| a * b).sum();
         Some(2.0 * delta * delta / (eps * eps) * quad)
@@ -156,33 +151,91 @@ impl Mechanism for MatrixMechanism {
         matches!(domain, dpbench_core::Domain::D1(n) if *n == self.strategy.cols())
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        _workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        if !self.supports(&x.domain()) {
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if !self.supports(domain) {
             return Err(MechError::Unsupported {
                 mechanism: self.name.clone(),
                 reason: format!(
-                    "strategy is over {} cells, domain is {}",
-                    self.strategy.cols(),
-                    x.domain()
+                    "strategy is over {} cells, domain is {domain}",
+                    self.strategy.cols()
                 ),
             });
         }
-        let eps = budget.spend_all();
+        // The O(n³) factorization of the normal matrix SᵀS happens once
+        // here; every execution then reconstructs with two O(n²) solves.
+        let st = self.strategy.transpose();
+        let sts = st.matmul(&self.strategy);
+        let factor = sts.cholesky().ok_or_else(|| {
+            MechError::InvalidConfig(format!("{}: strategy does not span the domain", self.name))
+        })?;
         let delta = self.sensitivity();
+        let diagnostics =
+            PlanDiagnostics::data_independent(self.name.clone(), self.strategy.rows(), delta);
+        Ok(Box::new(MatrixPlan {
+            domain: *domain,
+            strategy: self.strategy.clone(),
+            transpose: st,
+            factor,
+            delta,
+            diagnostics,
+        }))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        // The strategy matrix IS the configuration: hash its shape and
+        // every entry so same-named instances with different strategies
+        // never share cached plans.
+        let s = &self.strategy;
+        let mut words = Vec::with_capacity(2 + s.rows() * s.cols());
+        words.push(s.rows() as u64);
+        words.push(s.cols() as u64);
+        for r in 0..s.rows() {
+            for c in 0..s.cols() {
+                words.push(s[(r, c)].to_bits());
+            }
+        }
+        fingerprint_words(&words)
+    }
+}
+
+/// A matrix-mechanism plan: the strategy, its transpose, and the Cholesky
+/// factor of the normal matrix, ready for repeated least-squares solves.
+struct MatrixPlan {
+    domain: Domain,
+    strategy: Matrix,
+    transpose: Matrix,
+    factor: Matrix,
+    delta: f64,
+    diagnostics: PlanDiagnostics,
+}
+
+impl Plan for MatrixPlan {
+    fn diagnostics(&self) -> &PlanDiagnostics {
+        &self.diagnostics
+    }
+
+    fn execute(
+        &self,
+        x: &DataVector,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError> {
+        check_planned_domain(&self.diagnostics.mechanism, self.domain, x.domain())?;
+        let mark = budget.mark();
+        let eps = budget.spend_all_as("strategy-rows");
         let mut answers = self.strategy.matvec(x.counts());
         for a in answers.iter_mut() {
-            *a += laplace(delta / eps, rng);
+            *a += laplace(self.delta / eps, rng);
         }
-        let weights = vec![1.0; answers.len()];
-        weighted_least_squares(&self.strategy, &answers, &weights).ok_or_else(|| {
-            MechError::InvalidConfig(format!("{}: strategy does not span the domain", self.name))
-        })
+        // Least squares via the cached factorization: SᵀS·x̂ = Sᵀ·answers.
+        let rhs = self.transpose.matvec(&answers);
+        let estimate = cholesky_solve(&self.factor, &rhs);
+        Ok(Release::from_ledger(
+            estimate,
+            budget,
+            mark,
+            self.diagnostics.clone(),
+        ))
     }
 }
 
@@ -251,7 +304,10 @@ mod tests {
             .expected_total_squared_error(&w, 0.1)
             .unwrap();
         assert!(h < id, "H {h} should beat identity {id} on Prefix at n=256");
-        assert!(wav < id, "wavelet {wav} should beat identity {id} on Prefix");
+        assert!(
+            wav < id,
+            "wavelet {wav} should beat identity {id} on Prefix"
+        );
 
         // Below the crossover the flat strategy wins — the domain-size
         // effect the paper highlights.
@@ -310,7 +366,9 @@ mod tests {
         for _ in 0..trials {
             let a = mm.run_eps(&x, &w, 1.0, &mut rng).unwrap();
             err_mm += Loss::L2.eval(&y, &w.evaluate_cells(&a)).powi(2);
-            let b = crate::hier::H::new().run_eps(&x, &w, 1.0, &mut rng).unwrap();
+            let b = crate::hier::H::new()
+                .run_eps(&x, &w, 1.0, &mut rng)
+                .unwrap();
             err_h += Loss::L2.eval(&y, &w.evaluate_cells(&b)).powi(2);
         }
         // The explicit MM noises every row at the global sensitivity

@@ -21,11 +21,11 @@
 //!   measured queries constrain the estimate, leaving bias that never
 //!   vanishes as ε → ∞.
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{fingerprint_words, DimSupport, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::{exponential_mechanism, laplace};
 use dpbench_core::query::PrefixTable;
 use dpbench_core::{
-    BudgetLedger, DataVector, MechError, MechInfo, Mechanism, RangeQuery, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Workload,
 };
 use rand::RngCore;
 
@@ -160,26 +160,62 @@ impl Mechanism for Mwem {
         info
     }
 
-    fn run(
+    fn plan(&self, domain: &Domain, workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if workload.is_empty() {
+            return Err(MechError::InvalidConfig(
+                "MWEM needs a non-empty workload".into(),
+            ));
+        }
+        let mech = self.clone();
+        let w = workload.clone();
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent(self.name.clone()),
+            move |x, budget, rng| mech.iterate(x, &w, budget, rng),
+        ))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        let mut words = vec![self.mw_sweeps as u64];
+        match self.scale_source {
+            ScaleSource::SideInfo => words.push(0),
+            ScaleSource::Estimate(rho) => {
+                words.push(1);
+                words.push(rho.to_bits());
+            }
+        }
+        match &self.rounds {
+            Rounds::Fixed(t) => words.push(*t as u64),
+            Rounds::Tuned(table) => {
+                for (bound, t) in table {
+                    words.push(bound.to_bits());
+                    words.push(*t as u64);
+                }
+            }
+        }
+        fingerprint_words(&words)
+    }
+}
+
+impl Mwem {
+    /// The private select–measure–update loop.
+    fn iterate(
         &self,
         x: &DataVector,
         workload: &Workload,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
-        if workload.is_empty() {
-            return Err(MechError::InvalidConfig("MWEM needs a non-empty workload".into()));
-        }
         let n = x.n_cells();
         // Scale: side info or noisy estimate.
         let total = match self.scale_source {
             ScaleSource::SideInfo => x.scale(),
             ScaleSource::Estimate(rho) => {
-                let eps_scale = budget.spend_fraction(rho)?;
+                let eps_scale = budget.spend_fraction_as("scale-estimate", rho)?;
                 (x.scale() + laplace(1.0 / eps_scale, rng)).max(1.0)
             }
         };
-        let eps = budget.spend_all();
+        let eps = budget.spend_all_as("rounds");
         let t_rounds = self.pick_rounds(eps * total).max(1);
         let eps_round = eps / t_rounds as f64;
 
@@ -289,7 +325,10 @@ mod tests {
                 got_better += 1;
             }
         }
-        assert!(got_better >= 4, "MWEM beat UNIFORM only {got_better}/5 times");
+        assert!(
+            got_better >= 4,
+            "MWEM beat UNIFORM only {got_better}/5 times"
+        );
     }
 
     #[test]

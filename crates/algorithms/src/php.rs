@@ -14,9 +14,9 @@
 //! that never vanishes: PHP is **inconsistent** (paper Theorem 6), the
 //! property the benchmark's Finding 9 exposes at large scales.
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{fingerprint_words, DimSupport, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::{exponential_mechanism, laplace};
-use dpbench_core::{BudgetLedger, DataVector, MechError, MechInfo, Mechanism, Workload};
+use dpbench_core::{BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Workload};
 use rand::RngCore;
 
 /// The PHP mechanism (1-D only, like the original).
@@ -56,18 +56,40 @@ impl Mechanism for Php {
         info
     }
 
-    fn run(
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if !self.supports(domain) {
+            return Err(MechError::Unsupported {
+                mechanism: "PHP".into(),
+                reason: format!("domain {domain} is not 1-D"),
+            });
+        }
+        let mech = *self;
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent("PHP"),
+            move |x, budget, rng| mech.bisect_and_measure(x, budget, rng),
+        ))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[self.rho.to_bits()])
+    }
+}
+
+impl Php {
+    /// The private pipeline: recursive bisection (ε₁) then bucket
+    /// measurement (ε₂).
+    fn bisect_and_measure(
         &self,
         x: &DataVector,
-        _workload: &Workload,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
         let n = x.n_cells();
         let counts = x.counts();
         let iterations = (n as f64).log2().ceil().max(1.0) as usize;
-        let eps1 = budget.spend_fraction(self.rho)?;
-        let eps2 = budget.spend_all();
+        let eps1 = budget.spend_fraction_as("structure", self.rho)?;
+        let eps2 = budget.spend_all_as("buckets");
         let eps_per_iter = eps1 / iterations as f64;
 
         let mut buckets = vec![Bucket {

@@ -11,11 +11,14 @@
 //! 2-D inputs use the standard (separable) decomposition with sensitivity
 //! `(log₂ r + 1)(log₂ c + 1)` and product weights.
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{check_planned_domain, DimSupport, Plan, PlanDiagnostics};
 use dpbench_core::primitives::laplace;
-use dpbench_core::{BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Workload};
+use dpbench_core::{
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Release, Workload,
+};
 use dpbench_transforms::wavelet::{
-    haar_forward, haar_forward_2d, haar_inverse, haar_inverse_2d, weight_for_2d, HaarCoeffs,
+    haar_forward, haar_forward_2d, haar_inverse, haar_inverse_2d, weight_for, weight_for_2d,
+    HaarCoeffs,
 };
 use rand::RngCore;
 
@@ -41,42 +44,86 @@ impl Mechanism for Privelet {
         domain.is_pow2()
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        _workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        if !self.supports(&x.domain()) {
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if !self.supports(domain) {
             return Err(MechError::Unsupported {
                 mechanism: "PRIVELET".into(),
-                reason: format!("domain {} is not a power of two", x.domain()),
+                reason: format!("domain {domain} is not a power of two"),
             });
         }
-        let eps = budget.spend_all();
-        match x.domain() {
+        // Coefficient weights and the weighted sensitivity depend only on
+        // the domain geometry — precompute the whole table.
+        let (weights, rho) = match *domain {
             Domain::D1(n) => {
-                let mut coeffs = haar_forward(x.counts());
-                let rho = coeffs.sensitivity();
-                for i in 0..n {
-                    let w = coeffs.weight(i);
-                    coeffs.coeffs[i] += laplace(rho / (eps * w), rng);
+                let weights: Vec<f64> = (0..n).map(|i| weight_for(i, n)).collect();
+                ((weights), (n as f64).log2() + 1.0)
+            }
+            Domain::D2(r, c) => {
+                let mut weights = Vec::with_capacity(r * c);
+                for i in 0..r {
+                    for j in 0..c {
+                        weights.push(weight_for_2d(i, j, r, c));
+                    }
                 }
-                Ok(haar_inverse(&coeffs))
+                let rho = ((r as f64).log2() + 1.0) * ((c as f64).log2() + 1.0);
+                (weights, rho)
+            }
+        };
+        let diagnostics = PlanDiagnostics::data_independent("PRIVELET", domain.n_cells(), rho);
+        Ok(Box::new(PriveletPlan {
+            domain: *domain,
+            weights,
+            rho,
+            diagnostics,
+        }))
+    }
+}
+
+/// PRIVELET's plan: the per-coefficient weight table and the weighted
+/// sensitivity of the Haar strategy.
+struct PriveletPlan {
+    domain: Domain,
+    weights: Vec<f64>,
+    rho: f64,
+    diagnostics: PlanDiagnostics,
+}
+
+impl Plan for PriveletPlan {
+    fn diagnostics(&self) -> &PlanDiagnostics {
+        &self.diagnostics
+    }
+
+    fn execute(
+        &self,
+        x: &DataVector,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError> {
+        check_planned_domain("PRIVELET", self.domain, x.domain())?;
+        let mark = budget.mark();
+        let eps = budget.spend_all_as("coefficients");
+        let estimate = match self.domain {
+            Domain::D1(_) => {
+                let mut coeffs = haar_forward(x.counts());
+                for (c, &w) in coeffs.coeffs.iter_mut().zip(&self.weights) {
+                    *c += laplace(self.rho / (eps * w), rng);
+                }
+                haar_inverse(&coeffs)
             }
             Domain::D2(r, c) => {
                 let mut coeffs = haar_forward_2d(x.counts(), r, c);
-                let rho = ((r as f64).log2() + 1.0) * ((c as f64).log2() + 1.0);
-                for i in 0..r {
-                    for j in 0..c {
-                        let w = weight_for_2d(i, j, r, c);
-                        coeffs[i * c + j] += laplace(rho / (eps * w), rng);
-                    }
+                for (v, &w) in coeffs.iter_mut().zip(&self.weights) {
+                    *v += laplace(self.rho / (eps * w), rng);
                 }
-                Ok(haar_inverse_2d(&coeffs, r, c))
+                haar_inverse_2d(&coeffs, r, c)
             }
-        }
+        };
+        Ok(Release::from_ledger(
+            estimate,
+            budget,
+            mark,
+            self.diagnostics.clone(),
+        ))
     }
 }
 

@@ -15,11 +15,13 @@
 //!   but does not include it in the main evaluation).
 
 use crate::hierarchy::Hierarchy;
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{
+    check_planned_domain, fingerprint_words, DimSupport, FnPlan, Plan, PlanDiagnostics,
+};
 use dpbench_core::primitives::exponential_mechanism;
 use dpbench_core::query::PrefixTable;
 use dpbench_core::{
-    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release, Workload,
 };
 use rand::RngCore;
 
@@ -68,23 +70,65 @@ impl Mechanism for QuadTree {
         info
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        _workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        if x.domain().dims() != 2 {
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if domain.dims() != 2 {
             return Err(MechError::Unsupported {
                 mechanism: "QUADTREE".into(),
-                reason: format!("requires a 2-D domain, got {}", x.domain()),
+                reason: format!("requires a 2-D domain, got {domain}"),
             });
         }
-        let eps = budget.spend_all();
-        let hier = Hierarchy::build(x.domain(), 2, self.max_height);
-        let level_eps = Self::level_budgets(eps, hier.height());
-        Ok(hier.measure_and_infer(x, &level_eps, rng))
+        // The quadtree structure is fixed (ρ = 0: no budget on structure),
+        // so the whole tree and the geometric allocation are plan-time
+        // work; only the noisy measurements are private. The mechanism's
+        // *error* is still data-dependent (unresolved-leaf bias), which is
+        // what Table 1's data-dependence column records.
+        let hier = Hierarchy::build(*domain, 2, self.max_height);
+        let diagnostics =
+            PlanDiagnostics::data_independent("QUADTREE", hier.nodes.len(), hier.height() as f64);
+        Ok(Box::new(QuadTreePlan {
+            domain: *domain,
+            alloc_unit: Self::level_budgets(1.0, hier.height()),
+            hier,
+            diagnostics,
+        }))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[self.max_height as u64])
+    }
+}
+
+/// QUADTREE's plan: the fixed spatial tree and its per-level allocation.
+struct QuadTreePlan {
+    domain: Domain,
+    hier: Hierarchy,
+    /// Geometric per-level allocation at unit budget.
+    alloc_unit: Vec<f64>,
+    diagnostics: PlanDiagnostics,
+}
+
+impl Plan for QuadTreePlan {
+    fn diagnostics(&self) -> &PlanDiagnostics {
+        &self.diagnostics
+    }
+
+    fn execute(
+        &self,
+        x: &DataVector,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError> {
+        check_planned_domain("QUADTREE", self.domain, x.domain())?;
+        let mark = budget.mark();
+        let eps = budget.spend_all_as("levels");
+        let level_eps: Vec<f64> = self.alloc_unit.iter().map(|&u| u * eps).collect();
+        let estimate = self.hier.measure_and_infer(x, &level_eps, rng);
+        Ok(Release::from_ledger(
+            estimate,
+            budget,
+            mark,
+            self.diagnostics.clone(),
+        ))
     }
 }
 
@@ -128,10 +172,35 @@ impl Mechanism for HybridTree {
         info
     }
 
-    fn run(
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if domain.dims() != 2 {
+            return Err(MechError::Unsupported {
+                mechanism: "HYBRIDTREE".into(),
+                reason: format!("requires a 2-D domain, got {domain}"),
+            });
+        }
+        let mech = *self;
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent("HYBRIDTREE"),
+            move |x, budget, rng| mech.split_and_measure(x, budget, rng),
+        ))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[
+            self.kd_levels as u64,
+            self.max_height as u64,
+            self.rho_structure.to_bits(),
+        ])
+    }
+}
+
+impl HybridTree {
+    /// The private pipeline: kd splits (ε·ρ) then per-region quadtrees.
+    fn split_and_measure(
         &self,
         x: &DataVector,
-        _workload: &Workload,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
@@ -144,8 +213,8 @@ impl Mechanism for HybridTree {
                 })
             }
         };
-        let eps_kd = budget.spend_fraction(self.rho_structure)?;
-        let eps_rest = budget.spend_all();
+        let eps_kd = budget.spend_fraction_as("kd-splits", self.rho_structure)?;
+        let eps_rest = budget.spend_all_as("quadtrees");
         let table = PrefixTable::build(x);
 
         // Top: kd splits chosen by the exponential mechanism with a
@@ -276,7 +345,9 @@ mod tests {
         let w = Workload::identity(Domain::D2(16, 16));
         let y = w.evaluate(&x);
         let mut rng = StdRng::seed_from_u64(121);
-        let est = QuadTree::with_height(3).run_eps(&x, &w, 1e9, &mut rng).unwrap();
+        let est = QuadTree::with_height(3)
+            .run_eps(&x, &w, 1e9, &mut rng)
+            .unwrap();
         let err = Loss::L2.eval(&y, &w.evaluate_cells(&est));
         assert!(err > 10.0, "bias should persist: err {err}");
         // The 1000-count spike is spread over its 4x4 leaf: ~62.5 each.

@@ -26,7 +26,7 @@
 //! never takes at `k = n/10` — keeping the DP tractable at n = 4096.
 
 use crate::hierarchy::Hierarchy;
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{fingerprint_words, DimSupport, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::{exponential_mechanism, laplace};
 use dpbench_core::{BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Workload};
 use rand::RngCore;
@@ -98,24 +98,45 @@ impl Mechanism for StructureFirst {
         info
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        _workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        let n = x.n_cells();
-        if x.domain().dims() != 1 {
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        if domain.dims() != 1 {
             return Err(MechError::Unsupported {
                 mechanism: "SF".into(),
                 reason: "1-D only".into(),
             });
         }
+        let mech = *self;
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent("SF"),
+            move |x, budget, rng| mech.partition_and_measure(x, budget, rng),
+        ))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[
+            self.rho.to_bits(),
+            self.width_factor as u64,
+            matches!(self.measurement, SfMeasurement::Hierarchical) as u64,
+            self.scale_hint.map_or(0, f64::to_bits),
+        ])
+    }
+}
+
+impl StructureFirst {
+    /// The private pipeline: V-optimal boundary sampling (ε₁) then bucket
+    /// measurement (ε₂).
+    fn partition_and_measure(
+        &self,
+        x: &DataVector,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, MechError> {
+        let n = x.n_cells();
         let counts = x.counts();
         let k = Self::bucket_count(n).min(n);
-        let eps1 = budget.spend_fraction(self.rho)?;
-        let eps2 = budget.spend_all();
+        let eps1 = budget.spend_fraction_as("boundaries", self.rho)?;
+        let eps2 = budget.spend_all_as("buckets");
 
         // V-optimal DP with capped widths.
         let width = (n.div_ceil(k) * self.width_factor).clamp(1, n);
@@ -342,7 +363,9 @@ mod tests {
         let w = Workload::identity(Domain::D1(100));
         let y = w.evaluate(&x);
         let mut rng = StdRng::seed_from_u64(131);
-        let est = StructureFirst::new().run_eps(&x, &w, 1e10, &mut rng).unwrap();
+        let est = StructureFirst::new()
+            .run_eps(&x, &w, 1e10, &mut rng)
+            .unwrap();
         let err = Loss::L2.eval(&y, &w.evaluate_cells(&est));
         assert!(err < 1.0, "modified SF should be consistent: err {err}");
     }
@@ -353,7 +376,9 @@ mod tests {
         let counts: Vec<f64> = (0..256).map(|i| ((i * 31) % 17) as f64).collect();
         let x = DataVector::new(counts, Domain::D1(256));
         let w = Workload::prefix_1d(256);
-        let est = StructureFirst::new().run_eps(&x, &w, 0.1, &mut rng).unwrap();
+        let est = StructureFirst::new()
+            .run_eps(&x, &w, 0.1, &mut rng)
+            .unwrap();
         assert_eq!(est.len(), 256);
         assert!(est.iter().all(|v| v.is_finite()));
     }

@@ -10,10 +10,9 @@
 //! UNIFORM is biased (unless the data really is uniform) and therefore
 //! **inconsistent**: its error does not vanish as ε → ∞ (Table 1).
 
-use dpbench_core::mechanism::DimSupport;
+use dpbench_core::mechanism::{DimSupport, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::laplace;
-use dpbench_core::{BudgetLedger, DataVector, MechError, MechInfo, Mechanism, Workload};
-use rand::RngCore;
+use dpbench_core::{Domain, MechError, MechInfo, Mechanism, Workload};
 
 /// The UNIFORM mechanism.
 #[derive(Debug, Clone, Copy, Default)]
@@ -27,24 +26,24 @@ impl Mechanism for Uniform {
         info
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        _workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        let eps = budget.spend_all();
-        let n = x.n_cells() as f64;
-        let noisy_total = x.scale() + laplace(1.0 / eps, rng);
-        Ok(vec![noisy_total / n; x.n_cells()])
+    fn plan(&self, domain: &Domain, _workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent("UNIFORM"),
+            move |x, budget, rng| {
+                let eps = budget.spend_all_as("scale-estimate");
+                let n = x.n_cells() as f64;
+                let noisy_total = x.scale() + laplace(1.0 / eps, rng);
+                Ok(vec![noisy_total / n; x.n_cells()])
+            },
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpbench_core::{Domain, Loss, Workload};
+    use dpbench_core::{DataVector, Domain, Loss, Workload};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,62 +1,50 @@
-//! Criterion micro-benchmarks: wall-clock cost of one mechanism run at
+//! Wall-clock micro-benchmarks: cost of one mechanism run at
 //! benchmark-realistic settings (1-D n = 1024 Prefix workload; 2-D 64×64
-//! with 500 random ranges). These quantify the computational side of the
-//! paper's "22 days of single-core computation" observation.
+//! with 500 random ranges), split into the two API phases — `plan` (done
+//! once per grid cell thanks to the harness cache) and `execute` (paid
+//! per trial). The plan/execute gap is the win the cache banks on every
+//! trial; these numbers quantify the computational side of the paper's
+//! "22 days of single-core computation" observation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbench_bench::timing::time_it;
+use dpbench_core::mechanism::execute_eps;
 use dpbench_core::rng::rng_for;
 use dpbench_core::{Domain, Mechanism, Workload};
 use dpbench_datasets::{catalog, DataGenerator};
 
-fn bench_mechanisms_1d(c: &mut Criterion) {
+fn bench_suite(tag: &str, names: &[&str], x: &dpbench_core::DataVector, w: &Workload) {
+    let domain = x.domain();
+    println!("\n## mechanisms_{tag}");
+    for name in names {
+        let mech = dpbench_algorithms::registry::mechanism_by_name(name).expect("registered");
+        if !mech.supports(&domain) {
+            continue;
+        }
+        time_it(&format!("{name}/plan"), 5, || {
+            mech.plan(&domain, w).expect("plan");
+        });
+        let plan = mech.plan(&domain, w).expect("plan");
+        let mut trial = 0_u64;
+        time_it(&format!("{name}/execute"), 10, || {
+            trial += 1;
+            let mut rng = rng_for(name, &[trial]);
+            execute_eps(plan.as_ref(), x, 0.1, &mut rng).expect("execute");
+        });
+    }
+}
+
+fn main() {
     let dataset = catalog::by_name("MEDCOST").expect("dataset");
     let domain = Domain::D1(1024);
     let mut rng = rng_for("bench-1d", &[0]);
     let x = DataGenerator::new().generate(&dataset, domain, 100_000, &mut rng);
     let w = Workload::prefix_1d(1024);
+    bench_suite("1d_n1024", dpbench_algorithms::registry::NAMES_1D, &x, &w);
 
-    let mut group = c.benchmark_group("mechanisms_1d_n1024");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for name in dpbench_algorithms::registry::NAMES_1D {
-        let mech = dpbench_algorithms::registry::mechanism_by_name(name).expect("registered");
-        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            let mut trial = 0_u64;
-            b.iter(|| {
-                trial += 1;
-                let mut rng = rng_for(name, &[trial]);
-                mech.run_eps(&x, &w, 0.1, &mut rng).expect("run")
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_mechanisms_2d(c: &mut Criterion) {
     let dataset = catalog::by_name("GOWALLA").expect("dataset");
     let domain = Domain::D2(64, 64);
     let mut rng = rng_for("bench-2d", &[0]);
     let x = DataGenerator::new().generate(&dataset, domain, 1_000_000, &mut rng);
     let w = Workload::random_ranges(domain, 500, &mut rng);
-
-    let mut group = c.benchmark_group("mechanisms_2d_64x64");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for name in dpbench_algorithms::registry::NAMES_2D {
-        let mech = dpbench_algorithms::registry::mechanism_by_name(name).expect("registered");
-        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            let mut trial = 0_u64;
-            b.iter(|| {
-                trial += 1;
-                let mut rng = rng_for(name, &[trial, 2]);
-                mech.run_eps(&x, &w, 0.1, &mut rng).expect("run")
-            });
-        });
-    }
-    group.finish();
+    bench_suite("2d_64x64", dpbench_algorithms::registry::NAMES_2D, &x, &w);
 }
-
-criterion_group!(benches, bench_mechanisms_1d, bench_mechanisms_2d);
-criterion_main!(benches);

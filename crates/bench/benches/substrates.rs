@@ -1,33 +1,33 @@
-//! Criterion micro-benchmarks for the numeric substrates: Haar wavelet,
+//! Wall-clock micro-benchmarks for the numeric substrates: Haar wavelet,
 //! FFT, Hilbert flattening, tree inference, and the data generator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpbench_bench::timing::time_it;
 use dpbench_core::rng::rng_for;
 use dpbench_core::Domain;
 use dpbench_datasets::{catalog, DataGenerator};
 use dpbench_transforms::tree_ls::{MeasuredTree, Measurement};
 use dpbench_transforms::{fft, hilbert, wavelet};
 
-fn bench_transforms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transforms");
+fn bench_transforms() {
+    println!("\n## transforms");
     for &n in &[1024_usize, 4096] {
         let x: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64).collect();
-        group.bench_with_input(BenchmarkId::new("haar_forward", n), &x, |b, x| {
-            b.iter(|| wavelet::haar_forward(x));
+        time_it(&format!("haar_forward/{n}"), 50, || {
+            wavelet::haar_forward(&x);
         });
-        group.bench_with_input(BenchmarkId::new("fft_real", n), &x, |b, x| {
-            b.iter(|| fft::dft_real(x));
+        time_it(&format!("fft_real/{n}"), 50, || {
+            fft::dft_real(&x);
         });
     }
     let side = 128;
     let grid: Vec<f64> = (0..side * side).map(|i| (i % 7) as f64).collect();
-    group.bench_function("hilbert_flatten_128", |b| {
-        b.iter(|| hilbert::flatten(&grid, side));
+    time_it("hilbert_flatten_128", 50, || {
+        hilbert::flatten(&grid, side);
     });
-    group.finish();
 }
 
-fn bench_tree_inference(c: &mut Criterion) {
+fn bench_tree_inference() {
+    println!("\n## tree inference");
     // Binary tree over 4096 leaves, all nodes measured.
     let n_leaves = 4096_usize;
     let mut tree = MeasuredTree::new();
@@ -46,33 +46,26 @@ fn bench_tree_inference(c: &mut Criterion) {
     }
     let root = build(&mut tree, 0, n_leaves);
     tree.set_root(root);
-    c.bench_function("tree_ls_infer_4096_leaves", |b| {
-        b.iter(|| tree.infer());
+    time_it("tree_ls_infer_4096_leaves", 20, || {
+        tree.infer();
     });
 }
 
-fn bench_datagen(c: &mut Criterion) {
+fn bench_datagen() {
+    println!("\n## data generator");
     let dataset = catalog::by_name("PATENT").expect("dataset");
-    let mut group = c.benchmark_group("data_generator");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
     for &scale in &[100_000_u64, 10_000_000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scale),
-            &scale,
-            |b, &scale| {
-                let mut trial = 0_u64;
-                b.iter(|| {
-                    trial += 1;
-                    let mut rng = rng_for("bench-gen", &[scale, trial]);
-                    DataGenerator::new().generate(&dataset, Domain::D1(4096), scale, &mut rng)
-                });
-            },
-        );
+        let mut trial = 0_u64;
+        time_it(&format!("generate/{scale}"), 5, || {
+            trial += 1;
+            let mut rng = rng_for("bench-gen", &[scale, trial]);
+            DataGenerator::new().generate(&dataset, Domain::D1(4096), scale, &mut rng);
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_transforms, bench_tree_inference, bench_datagen);
-criterion_main!(benches);
+fn main() {
+    bench_transforms();
+    bench_tree_inference();
+    bench_datagen();
+}

@@ -16,7 +16,10 @@ fn mean_error(mech: &dyn Mechanism, dataset: &str, scale: u64, trials: usize) ->
     let w = Workload::prefix_1d(domain.n_cells());
     let mut total = 0.0;
     for t in 0..trials {
-        let mut rng = rng_for("ablate", &[dpbench_core::rng::hash_str(dataset), scale, t as u64]);
+        let mut rng = rng_for(
+            "ablate",
+            &[dpbench_core::rng::hash_str(dataset), scale, t as u64],
+        );
         let x = DataGenerator::new().generate(&d, domain, scale, &mut rng);
         let y = w.evaluate(&x);
         let est = mech.run_eps(&x, &w, 0.1, &mut rng).expect("run");
@@ -32,12 +35,30 @@ fn main() {
     );
     let trials = dpbench_bench::common::Fidelity::from_env().trials.max(3);
     let variants: Vec<(&str, Box<dyn Mechanism>)> = vec![
-        ("DAWA(rho=0.10)", Box::new(dpbench_algorithms::dawa::Dawa::with_rho(0.10))),
-        ("DAWA(rho=0.25)", Box::new(dpbench_algorithms::dawa::Dawa::new())),
-        ("DAWA(rho=0.50)", Box::new(dpbench_algorithms::dawa::Dawa::with_rho(0.50))),
-        ("GREEDY_H (no partition)", Box::new(dpbench_algorithms::greedy_h::GreedyH::new())),
-        ("HB (reference)", Box::new(dpbench_algorithms::hier::Hb::new())),
-        ("H b=2 (uniform levels)", Box::new(dpbench_algorithms::hier::H::new())),
+        (
+            "DAWA(rho=0.10)",
+            Box::new(dpbench_algorithms::dawa::Dawa::with_rho(0.10)),
+        ),
+        (
+            "DAWA(rho=0.25)",
+            Box::new(dpbench_algorithms::dawa::Dawa::new()),
+        ),
+        (
+            "DAWA(rho=0.50)",
+            Box::new(dpbench_algorithms::dawa::Dawa::with_rho(0.50)),
+        ),
+        (
+            "GREEDY_H (no partition)",
+            Box::new(dpbench_algorithms::greedy_h::GreedyH::new()),
+        ),
+        (
+            "HB (reference)",
+            Box::new(dpbench_algorithms::hier::Hb::new()),
+        ),
+        (
+            "H b=2 (uniform levels)",
+            Box::new(dpbench_algorithms::hier::H::new()),
+        ),
     ];
 
     for dataset in ["MD-SAL", "TRACE", "BIDS-ALL"] {
@@ -53,7 +74,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["variant", "scale 10^3", "scale 10^5", "scale 10^7"], &rows)
+            render_table(
+                &["variant", "scale 10^3", "scale 10^5", "scale 10^7"],
+                &rows
+            )
         );
     }
     println!("Reading: the partition helps exactly when the data has wide");

@@ -18,7 +18,10 @@ fn main() {
     let store = common::run(common::config_1d(algorithms, scales.clone()));
 
     for &scale in &scales {
-        println!("## scale = {scale} (eps = 0.1, domain = {})", common::domain_1d());
+        println!(
+            "## scale = {scale} (eps = 0.1, domain = {})",
+            common::domain_1d()
+        );
         let mut rows = Vec::new();
         for alg in algorithms {
             let mut per_dataset: Vec<(String, f64)> = Vec::new();
@@ -54,7 +57,13 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["algorithm", "log10 mean err (diamond)", "min dataset", "max dataset", "best on"],
+                &[
+                    "algorithm",
+                    "log10 mean err (diamond)",
+                    "min dataset",
+                    "max dataset",
+                    "best on"
+                ],
                 &rows
             )
         );

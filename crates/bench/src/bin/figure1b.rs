@@ -15,7 +15,10 @@ fn main() {
     let store = common::run(common::config_2d(algorithms, scales.clone()));
 
     for &scale in &scales {
-        println!("## scale = {scale} (eps = 0.1, domain = {})", common::domain_2d());
+        println!(
+            "## scale = {scale} (eps = 0.1, domain = {})",
+            common::domain_2d()
+        );
         let mut rows = Vec::new();
         for alg in algorithms {
             let mut means = Vec::new();
@@ -49,7 +52,13 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["algorithm", "log10 mean err (diamond)", "min dataset", "max dataset", "best on"],
+                &[
+                    "algorithm",
+                    "log10 mean err (diamond)",
+                    "min dataset",
+                    "max dataset",
+                    "best on"
+                ],
                 &rows
             )
         );

@@ -60,7 +60,10 @@ fn main() {
             }
             println!(
                 "{}",
-                render_table(&["algorithm", "32x32", "64x64", "128x128", "256x256"], &rows)
+                render_table(
+                    &["algorithm", "32x32", "64x64", "128x128", "256x256"],
+                    &rows
+                )
             );
         }
     }

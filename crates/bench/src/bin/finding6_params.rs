@@ -60,7 +60,16 @@ fn main() {
     let rows: Vec<Vec<String>> = [
         ("MWEM (T)", spread(&mwem_errs)),
         ("AHP (rho, eta)", spread(&ahp_errs)),
-        ("DAWA (rho)", spread(&dawa_rhos.iter().zip(&dawa_errs).map(|(_, &e)| e).collect::<Vec<_>>())),
+        (
+            "DAWA (rho)",
+            spread(
+                &dawa_rhos
+                    .iter()
+                    .zip(&dawa_errs)
+                    .map(|(_, &e)| e)
+                    .collect::<Vec<_>>(),
+            ),
+        ),
     ]
     .iter()
     .map(|(name, (lo, hi, ratio))| {
@@ -87,7 +96,10 @@ fn main() {
             .join(", ")
     };
     println!("Detail MWEM: T = {mwem_ts:?} -> [{}]", fmt(&mwem_errs));
-    println!("Detail AHP:  params = {ahp_params:?} -> [{}]", fmt(&ahp_errs));
+    println!(
+        "Detail AHP:  params = {ahp_params:?} -> [{}]",
+        fmt(&ahp_errs)
+    );
     println!("Detail DAWA: rho = {dawa_rhos:?} -> [{}]", fmt(&dawa_errs));
     println!();
     println!("Paper shape check: errors can be ~2.5x (DAWA) to ~7.5x (MWEM, AHP)");

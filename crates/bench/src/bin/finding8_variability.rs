@@ -64,7 +64,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "scale", "mean-error winner", "p95 winner", "risk flip"],
+            &[
+                "dataset",
+                "scale",
+                "mean-error winner",
+                "p95 winner",
+                "risk flip"
+            ],
             &rows
         )
     );

@@ -53,7 +53,12 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["algorithm", "bias^2 (scaled)", "variance (scaled)", "bias share of MSE"],
+                &[
+                    "algorithm",
+                    "bias^2 (scaled)",
+                    "variance (scaled)",
+                    "bias share of MSE"
+                ],
                 &rows
             )
         );

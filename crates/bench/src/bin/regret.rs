@@ -24,7 +24,10 @@ fn main() {
             let algs = dpbench_algorithms::registry::FIGURE_1B;
             (
                 algs,
-                common::run(common::config_2d(algs, vec![10_000, 1_000_000, 100_000_000])),
+                common::run(common::config_2d(
+                    algs,
+                    vec![10_000, 1_000_000, 100_000_000],
+                )),
             )
         };
 

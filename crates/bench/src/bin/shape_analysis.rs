@@ -44,7 +44,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "entropy*", "gini", "support", "smoothness", "winner @10^3"],
+            &[
+                "dataset",
+                "entropy*",
+                "gini",
+                "support",
+                "smoothness",
+                "winner @10^3"
+            ],
             &rows
         )
     );

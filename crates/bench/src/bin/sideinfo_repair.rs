@@ -30,7 +30,11 @@ fn main() {
     for (alg, dataset_name, scales) in cases {
         let dataset = catalog::by_name(dataset_name).expect("dataset");
         let is_2d = dataset.dims() == 2;
-        let domain = if is_2d { Domain::D2(64, 64) } else { Domain::D1(1024) };
+        let domain = if is_2d {
+            Domain::D2(64, 64)
+        } else {
+            Domain::D1(1024)
+        };
         let workload = if is_2d {
             let mut wr = rng_for("repair-workload", &[64]);
             Workload::random_ranges(domain, 2000, &mut wr)
@@ -70,7 +74,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["algorithm", "dataset", "scale", "original", "repaired (Rside)", "penalty"],
+            &[
+                "algorithm",
+                "dataset",
+                "scale",
+                "original",
+                "repaired (Rside)",
+                "penalty"
+            ],
             &rows
         )
     );

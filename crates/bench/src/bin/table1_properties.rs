@@ -45,18 +45,37 @@ fn main() {
         rows.push(vec![
             info.name.clone(),
             dims.into(),
-            if info.data_dependent { "data-dep" } else { "data-indep" }.into(),
+            if info.data_dependent {
+                "data-dep"
+            } else {
+                "data-indep"
+            }
+            .into(),
             if info.hierarchical { "H" } else { "" }.into(),
             if info.partitioning { "P" } else { "" }.into(),
             info.side_info.clone().unwrap_or_default(),
             if info.consistent { "yes" } else { "no" }.into(),
-            if info.scale_eps_exchangeable { "yes" } else { "no" }.into(),
+            if info.scale_eps_exchangeable {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["algorithm", "dims", "type", "H", "P", "side info", "consistent", "exchangeable"],
+            &[
+                "algorithm",
+                "dims",
+                "type",
+                "H",
+                "P",
+                "side info",
+                "consistent",
+                "exchangeable"
+            ],
             &rows
         )
     );

@@ -43,7 +43,10 @@ fn main() {
     });
     println!(
         "{}",
-        render_table(&["algorithm", "scale 10^3", "scale 10^5", "scale 10^7"], &rows)
+        render_table(
+            &["algorithm", "scale 10^3", "scale 10^5", "scale 10^7"],
+            &rows
+        )
     );
     println!("Paper shape check (Table 3a): DAWA competitive across all scales;");
     println!("MWEM*/EFPA/PHP/MWEM/UNIFORM only at 10^3; HB takes over at 10^5+.");

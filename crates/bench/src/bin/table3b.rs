@@ -41,7 +41,10 @@ fn main() {
     });
     println!(
         "{}",
-        render_table(&["algorithm", "scale 10^4", "scale 10^6", "scale 10^8"], &rows)
+        render_table(
+            &["algorithm", "scale 10^4", "scale 10^6", "scale 10^8"],
+            &rows
+        )
     );
     println!("Paper shape check (Table 3b): DAWA and AGRID split the small/medium");
     println!("scales; HB and QUADTREE join at 10^8.");

@@ -12,7 +12,9 @@ fn main() {
         "Rparam training (MWEM* round schedule, AHP* parameters)",
         "Hay et al., SIGMOD 2016, Sections 5.2 and 6.4",
     );
-    let quick = std::env::var("DPBENCH_FULL").map(|v| v != "1").unwrap_or(true);
+    let quick = std::env::var("DPBENCH_FULL")
+        .map(|v| v != "1")
+        .unwrap_or(true);
     let cfg = if quick {
         TuningConfig {
             signals: vec![1e1, 1e3, 1e5],

@@ -26,7 +26,10 @@ fn main() {
         ("Prefix", Workload::prefix_1d(n)),
         ("width-8", Workload::fixed_width_1d(n, 8)),
         ("width-256", Workload::fixed_width_1d(n, 256)),
-        ("random-2000", Workload::random_ranges(domain, 2000, &mut wrng)),
+        (
+            "random-2000",
+            Workload::random_ranges(domain, 2000, &mut wrng),
+        ),
         ("Identity", Workload::identity(domain)),
     ];
 

@@ -12,8 +12,8 @@
 
 use dpbench_core::Domain;
 use dpbench_harness::config::{ExperimentConfig, WorkloadSpec};
-use dpbench_harness::Runner;
 use dpbench_harness::ResultStore;
+use dpbench_harness::Runner;
 
 /// Fidelity settings resolved from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -27,7 +27,9 @@ pub struct Fidelity {
 impl Fidelity {
     /// Resolve from environment variables.
     pub fn from_env() -> Self {
-        let full = std::env::var("DPBENCH_FULL").map(|v| v == "1").unwrap_or(false);
+        let full = std::env::var("DPBENCH_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let samples = env_usize("DPBENCH_SAMPLES").unwrap_or(if full { 5 } else { 1 });
         let trials = env_usize("DPBENCH_TRIALS").unwrap_or(if full { 10 } else { 3 });
         Self { samples, trials }
@@ -63,8 +65,21 @@ pub fn run(mut config: ExperimentConfig) -> ResultStore {
         config.total_runs()
     );
     let mut runner = Runner::new(config);
-    runner.verbose = std::env::var("DPBENCH_VERBOSE").map(|v| v == "1").unwrap_or(false);
-    runner.run()
+    runner.verbose = std::env::var("DPBENCH_VERBOSE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let store = runner.run();
+    if runner.verbose {
+        let stats = runner.plan_cache.stats();
+        eprintln!(
+            "[dpbench] plan cache: {} plans, {} hits / {} misses ({:.1}% hit rate)",
+            runner.plan_cache.len(),
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
+        );
+    }
+    store
 }
 
 /// Standard banner for every binary.

@@ -1,6 +1,9 @@
 //! # dpbench-bench
 //!
 //! Shared plumbing for the figure/table reproduction binaries (in
-//! `src/bin/`) and the Criterion micro-benchmarks (in `benches/`).
+//! `src/bin/`) and the wall-clock micro-benchmarks (in `benches/`,
+//! hand-timed `harness = false` binaries — criterion is unavailable in
+//! the offline build environment).
 
 pub mod common;
+pub mod timing;

@@ -1,0 +1,55 @@
+//! Minimal wall-clock timing harness for the `benches/` binaries
+//! (criterion is unavailable offline; these are plain `harness = false`
+//! benches).
+
+use std::time::{Duration, Instant};
+
+/// Time `f` over `iters` iterations after one warm-up call; prints and
+/// returns the mean per-iteration duration.
+pub fn time_it<F: FnMut()>(label: &str, iters: u32, mut f: F) -> Duration {
+    assert!(iters > 0);
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean = start.elapsed() / iters;
+    println!(
+        "{label:<44} {:>12} /iter  ({iters} iters)",
+        fmt_duration(mean)
+    );
+    mean
+}
+
+/// Human-readable duration.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn time_it_runs_the_closure() {
+        let mut count = 0;
+        time_it("noop", 5, || count += 1);
+        assert_eq!(count, 6); // warm-up + 5 timed
+    }
+}

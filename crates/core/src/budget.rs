@@ -7,6 +7,11 @@
 //! refuses to overdraw. Integration tests assert that every mechanism's
 //! total spend never exceeds its grant — turning the paper's *end-to-end
 //! privacy* principle into an executable invariant.
+//!
+//! Every draw is additionally recorded as a [`SpendRecord`], so a
+//! [`Release`](crate::mechanism::Release) can carry the full per-step
+//! budget trace of the execution that produced it (the paper's Table 1 /
+//! Principle 5 analysis inspects exactly this decomposition).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -33,6 +38,21 @@ impl fmt::Display for BudgetExhausted {
 
 impl std::error::Error for BudgetExhausted {}
 
+/// One recorded budget draw: what it was for and how much ε it consumed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpendRecord {
+    /// Short label describing the step (e.g. `"measure"`, `"remainder"`,
+    /// `"scale-estimate"`).
+    pub label: String,
+    /// Absolute ε consumed by the step.
+    pub epsilon: f64,
+}
+
+/// Opaque position in a ledger's spend trace, produced by
+/// [`BudgetLedger::mark`] and consumed by [`BudgetLedger::trace_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceMark(usize);
+
 /// Tracks ε spending under sequential composition.
 ///
 /// A tiny relative slack (`1e-9`) absorbs floating-point accumulation when a
@@ -42,6 +62,7 @@ impl std::error::Error for BudgetExhausted {}
 pub struct BudgetLedger {
     total: f64,
     spent: f64,
+    trace: Vec<SpendRecord>,
 }
 
 impl BudgetLedger {
@@ -54,6 +75,7 @@ impl BudgetLedger {
         Self {
             total: epsilon,
             spent: 0.0,
+            trace: Vec::new(),
         }
     }
 
@@ -72,8 +94,29 @@ impl BudgetLedger {
         (self.total - self.spent).max(0.0)
     }
 
+    /// The full spend trace, in draw order.
+    pub fn trace(&self) -> &[SpendRecord] {
+        &self.trace
+    }
+
+    /// Mark the current trace position; pair with [`Self::trace_since`] to
+    /// slice out the records of one mechanism execution on a shared ledger.
+    pub fn mark(&self) -> TraceMark {
+        TraceMark(self.trace.len())
+    }
+
+    /// The spend records added after `mark`.
+    pub fn trace_since(&self, mark: TraceMark) -> &[SpendRecord] {
+        &self.trace[mark.0..]
+    }
+
     /// Spend `eps` of the budget, failing if it would overdraw.
     pub fn spend(&mut self, eps: f64) -> Result<f64, BudgetExhausted> {
+        self.spend_as("spend", eps)
+    }
+
+    /// [`Self::spend`] with a descriptive label recorded in the trace.
+    pub fn spend_as(&mut self, label: &str, eps: f64) -> Result<f64, BudgetExhausted> {
         assert!(eps.is_finite() && eps >= 0.0, "spend must be non-negative");
         let slack = self.total * 1e-9;
         if self.spent + eps > self.total + slack {
@@ -83,6 +126,10 @@ impl BudgetLedger {
             });
         }
         self.spent += eps;
+        self.trace.push(SpendRecord {
+            label: label.to_string(),
+            epsilon: eps,
+        });
         Ok(eps)
     }
 
@@ -90,14 +137,28 @@ impl BudgetLedger {
     /// absolute ε spent. This is the paper's `ρ` convention for two-stage
     /// algorithms (ε₁ = ρ·ε, ε₂ = (1−ρ)·ε).
     pub fn spend_fraction(&mut self, rho: f64) -> Result<f64, BudgetExhausted> {
+        self.spend_fraction_as("fraction", rho)
+    }
+
+    /// [`Self::spend_fraction`] with a descriptive label.
+    pub fn spend_fraction_as(&mut self, label: &str, rho: f64) -> Result<f64, BudgetExhausted> {
         assert!((0.0..=1.0).contains(&rho), "fraction must be in [0,1]");
-        self.spend(self.total * rho)
+        self.spend_as(label, self.total * rho)
     }
 
     /// Spend everything that remains; returns the absolute ε spent.
     pub fn spend_all(&mut self) -> f64 {
+        self.spend_all_as("remainder")
+    }
+
+    /// [`Self::spend_all`] with a descriptive label.
+    pub fn spend_all_as(&mut self, label: &str) -> f64 {
         let rest = self.remaining();
         self.spent = self.total;
+        self.trace.push(SpendRecord {
+            label: label.to_string(),
+            epsilon: rest,
+        });
         rest
     }
 
@@ -105,7 +166,7 @@ impl BudgetLedger {
     /// (useful when delegating to a sub-mechanism such as DAWA's GREEDY_H
     /// second stage).
     pub fn split(&mut self, eps: f64) -> Result<BudgetLedger, BudgetExhausted> {
-        self.spend(eps)?;
+        self.spend_as("split", eps)?;
         Ok(BudgetLedger::new(eps))
     }
 }
@@ -168,5 +229,42 @@ mod tests {
     #[should_panic(expected = "positive and finite")]
     fn zero_budget_rejected() {
         BudgetLedger::new(0.0);
+    }
+
+    #[test]
+    fn trace_records_every_draw() {
+        let mut l = BudgetLedger::new(1.0);
+        l.spend_fraction_as("structure", 0.25).unwrap();
+        l.spend_as("measure", 0.5).unwrap();
+        l.spend_all_as("cleanup");
+        let trace = l.trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].label, "structure");
+        assert!((trace[0].epsilon - 0.25).abs() < 1e-12);
+        assert_eq!(trace[1].label, "measure");
+        assert_eq!(trace[2].label, "cleanup");
+        let total: f64 = trace.iter().map(|r| r.epsilon).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_marks_slice_one_execution() {
+        let mut l = BudgetLedger::new(1.0);
+        l.spend_as("first", 0.2).unwrap();
+        let mark = l.mark();
+        l.spend_as("second", 0.3).unwrap();
+        l.spend_as("third", 0.1).unwrap();
+        let since = l.trace_since(mark);
+        assert_eq!(since.len(), 2);
+        assert_eq!(since[0].label, "second");
+        assert_eq!(since[1].label, "third");
+    }
+
+    #[test]
+    fn failed_spend_leaves_no_record() {
+        let mut l = BudgetLedger::new(0.5);
+        assert!(l.spend(0.9).is_err());
+        assert!(l.trace().is_empty());
+        assert_eq!(l.spent(), 0.0);
     }
 }

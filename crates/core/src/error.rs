@@ -30,11 +30,7 @@ impl Loss {
             "answer vectors must have equal length"
         );
         match self {
-            Loss::L1 => y_true
-                .iter()
-                .zip(y_hat)
-                .map(|(a, b)| (a - b).abs())
-                .sum(),
+            Loss::L1 => y_true.iter().zip(y_hat).map(|(a, b)| (a - b).abs()).sum(),
             Loss::L2 => y_true
                 .iter()
                 .zip(y_hat)

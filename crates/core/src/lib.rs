@@ -17,9 +17,13 @@
 //!   [exponential mechanism](primitives::exponential_mechanism);
 //! * a [`BudgetLedger`](budget::BudgetLedger) that *enforces* end-to-end
 //!   privacy accounting at runtime (paper Principles 5–7);
-//! * the [`Mechanism`](mechanism::Mechanism) trait implemented by every
-//!   algorithm in `dpbench-algorithms`, with metadata mirroring the paper's
-//!   Table 1;
+//! * the two-phase [`Mechanism`](mechanism::Mechanism) trait implemented
+//!   by every algorithm in `dpbench-algorithms`: [`Mechanism::plan`](mechanism::Mechanism::plan)
+//!   (data-independent setup, cacheable across trials) and
+//!   [`Plan::execute`](mechanism::Plan::execute) (the private part,
+//!   producing a structured [`Release`](mechanism::Release) with estimate,
+//!   budget trace, and strategy diagnostics), with metadata mirroring the
+//!   paper's Table 1;
 //! * the error standard `E_M` (Definition 3: *scaled average per-query
 //!   error*).
 
@@ -33,10 +37,10 @@ pub mod query;
 pub mod rng;
 pub mod workload;
 
-pub use budget::BudgetLedger;
+pub use budget::{BudgetLedger, SpendRecord};
 pub use data::DataVector;
 pub use domain::Domain;
 pub use error::{scaled_per_query_error, Loss};
-pub use mechanism::{MechError, MechInfo, Mechanism};
+pub use mechanism::{MechError, MechInfo, Mechanism, Plan, PlanDiagnostics, Release};
 pub use query::RangeQuery;
 pub use workload::Workload;

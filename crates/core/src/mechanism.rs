@@ -1,7 +1,26 @@
-//! The [`Mechanism`] trait every benchmark algorithm implements, plus the
-//! per-algorithm metadata reproducing the paper's Table 1.
+//! The two-phase [`Mechanism`] API every benchmark algorithm implements,
+//! plus the per-algorithm metadata reproducing the paper's Table 1.
+//!
+//! Running a mechanism is split into two phases:
+//!
+//! 1. [`Mechanism::plan`] performs all **data-independent** work — strategy
+//!    matrix construction, hierarchy layout, wavelet weight tables,
+//!    parameter validation — and returns a reusable [`Plan`]. Plans never
+//!    see private data, so the harness caches them across samples and
+//!    trials: the benchmark grid runs every algorithm `n_samples ×
+//!    n_trials` times per (dataset, scale, domain, ε) cell, and
+//!    data-independent mechanisms (all instances of the matrix mechanism)
+//!    would otherwise rebuild identical strategies on every trial.
+//! 2. [`Plan::execute`] performs the **private** part: it consumes the data
+//!    vector, draws every ε from the [`BudgetLedger`], and produces a
+//!    [`Release`] carrying the estimate, the per-step budget trace, and the
+//!    plan's strategy diagnostics.
+//!
+//! [`Mechanism::run_eps`] remains as a one-line convenience shim for
+//! examples and tests; it plans, executes against a fresh ledger, and
+//! *unconditionally* rejects budget overdraws (Principle 5).
 
-use crate::budget::{BudgetExhausted, BudgetLedger};
+use crate::budget::{BudgetExhausted, BudgetLedger, SpendRecord};
 use crate::data::DataVector;
 use crate::domain::Domain;
 use crate::workload::Workload;
@@ -116,6 +135,215 @@ impl From<BudgetExhausted> for MechError {
     }
 }
 
+/// Strategy diagnostics fixed at plan time (paper Table 1 analysis
+/// columns).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanDiagnostics {
+    /// Mechanism name the plan was built for.
+    pub mechanism: String,
+    /// Whether the planned strategy is independent of the input data (the
+    /// harness only amortizes such plans' setup meaningfully, but every
+    /// plan is cacheable: plans never see private data).
+    pub data_independent: bool,
+    /// Number of noisy measurements the strategy takes (strategy-matrix
+    /// rows / hierarchy nodes); `None` when the count is decided at
+    /// execute time from the data.
+    pub measurements: Option<usize>,
+    /// L1 sensitivity of the planned measurement set; `None` when the
+    /// strategy is chosen at execute time.
+    pub sensitivity: Option<f64>,
+}
+
+impl PlanDiagnostics {
+    /// Diagnostics for a data-independent strategy fixed at plan time.
+    pub fn data_independent(
+        mechanism: impl Into<String>,
+        measurements: usize,
+        sensitivity: f64,
+    ) -> Self {
+        Self {
+            mechanism: mechanism.into(),
+            data_independent: true,
+            measurements: Some(measurements),
+            sensitivity: Some(sensitivity),
+        }
+    }
+
+    /// Diagnostics for a data-dependent mechanism whose strategy is chosen
+    /// at execute time.
+    pub fn data_dependent(mechanism: impl Into<String>) -> Self {
+        Self {
+            mechanism: mechanism.into(),
+            data_independent: false,
+            measurements: None,
+            sensitivity: None,
+        }
+    }
+}
+
+/// The structured output of one private execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Release {
+    /// The estimate `x̂` of the full data vector; workload answers are
+    /// `ŷ = W x̂` (how the paper evaluates every algorithm).
+    pub estimate: Vec<f64>,
+    /// Every budget draw of this execution, in order. Summing the records
+    /// gives the total ε consumed (≤ the granted budget — enforced).
+    pub budget_trace: Vec<SpendRecord>,
+    /// The plan's strategy diagnostics.
+    pub diagnostics: PlanDiagnostics,
+}
+
+impl Release {
+    /// Assemble a release from the ledger records accumulated since `mark`.
+    pub fn from_ledger(
+        estimate: Vec<f64>,
+        ledger: &BudgetLedger,
+        mark: crate::budget::TraceMark,
+        diagnostics: PlanDiagnostics,
+    ) -> Self {
+        Self {
+            estimate,
+            budget_trace: ledger.trace_since(mark).to_vec(),
+            diagnostics,
+        }
+    }
+
+    /// Total ε consumed by this execution (sum of the budget trace).
+    pub fn spent(&self) -> f64 {
+        self.budget_trace.iter().map(|r| r.epsilon).sum()
+    }
+
+    /// Consume the release, keeping only the estimate.
+    pub fn into_estimate(self) -> Vec<f64> {
+        self.estimate
+    }
+}
+
+/// The executable second phase of a mechanism: all data-independent setup
+/// is done; `execute` performs only the private computation.
+///
+/// Plans hold no private data and no RNG state, so one plan can serve any
+/// number of concurrent executions (`Send + Sync`) and repeated executions
+/// with the same RNG stream are bit-identical.
+pub trait Plan: Send + Sync {
+    /// Strategy diagnostics fixed at plan time.
+    fn diagnostics(&self) -> &PlanDiagnostics;
+
+    /// Run the private phase on `x`, drawing all ε from `budget`.
+    ///
+    /// Implementations must route **every** data-dependent computation
+    /// through the ledger; the harness asserts the ledger is never
+    /// overdrawn.
+    fn execute(
+        &self,
+        x: &DataVector,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError>;
+}
+
+/// Reject executions whose data vector does not match the planned domain.
+pub fn check_planned_domain(
+    mechanism: &str,
+    planned: Domain,
+    got: Domain,
+) -> Result<(), MechError> {
+    if planned == got {
+        Ok(())
+    } else {
+        Err(MechError::Unsupported {
+            mechanism: mechanism.to_string(),
+            reason: format!("plan was built for domain {planned}, data has domain {got}"),
+        })
+    }
+}
+
+/// A [`Plan`] wrapping a closure — the thin-plan adapter for
+/// **data-dependent** mechanisms, whose real work cannot happen before the
+/// data arrives. The closure captures the mechanism's configuration and
+/// the workload; domain checking, trace slicing, and [`Release`] assembly
+/// are handled here so algorithm code stays a plain
+/// `(x, budget, rng) -> estimate` function.
+pub struct FnPlan<F> {
+    domain: Domain,
+    diagnostics: PlanDiagnostics,
+    f: F,
+}
+
+impl<F> FnPlan<F>
+where
+    F: Fn(&DataVector, &mut BudgetLedger, &mut dyn RngCore) -> Result<Vec<f64>, MechError>
+        + Send
+        + Sync
+        + 'static,
+{
+    /// Box a closure-backed plan for `domain`.
+    pub fn boxed(domain: Domain, diagnostics: PlanDiagnostics, f: F) -> Box<dyn Plan> {
+        Box::new(Self {
+            domain,
+            diagnostics,
+            f,
+        })
+    }
+}
+
+impl<F> Plan for FnPlan<F>
+where
+    F: Fn(&DataVector, &mut BudgetLedger, &mut dyn RngCore) -> Result<Vec<f64>, MechError>
+        + Send
+        + Sync,
+{
+    fn diagnostics(&self) -> &PlanDiagnostics {
+        &self.diagnostics
+    }
+
+    fn execute(
+        &self,
+        x: &DataVector,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError> {
+        check_planned_domain(&self.diagnostics.mechanism, self.domain, x.domain())?;
+        let mark = budget.mark();
+        let estimate = (self.f)(x, budget, rng)?;
+        Ok(Release::from_ledger(
+            estimate,
+            budget,
+            mark,
+            self.diagnostics.clone(),
+        ))
+    }
+}
+
+/// Execute a plan against a fresh ledger of budget ε and enforce the
+/// end-to-end accounting invariant **unconditionally** — in release
+/// builds too, unlike the `debug_assert!` this replaced.
+///
+/// Note the first line of defense is the [`BudgetLedger`] itself: its
+/// `spend*` methods refuse to overdraw, so with the current ledger this
+/// check cannot fire. It stays as a backstop against future ledger
+/// changes — a silent overdraw would be a privacy violation, not a
+/// debug-only concern. (A mechanism that sidesteps the ledger entirely
+/// by constructing its own is out of scope for runtime checks; the
+/// budget-trace integration tests police that by inspection.)
+pub fn execute_eps(
+    plan: &dyn Plan,
+    x: &DataVector,
+    epsilon: f64,
+    rng: &mut dyn RngCore,
+) -> Result<Release, MechError> {
+    let mut ledger = BudgetLedger::new(epsilon);
+    let release = plan.execute(x, &mut ledger, rng)?;
+    if ledger.spent() > ledger.total() * (1.0 + 1e-9) {
+        return Err(MechError::Budget(BudgetExhausted {
+            requested: ledger.spent(),
+            remaining: 0.0,
+        }));
+    }
+    Ok(release)
+}
+
 /// A differentially private release mechanism `K(x, W, ε)`.
 ///
 /// Every algorithm consumes the private data vector `x`, the workload `W`
@@ -127,26 +355,60 @@ pub trait Mechanism: Send + Sync {
     /// Table 1 metadata.
     fn info(&self) -> MechInfo;
 
-    /// Run the mechanism, drawing all ε spending from `budget`.
+    /// Phase 1: perform all data-independent work for `(domain, workload)`
+    /// and return a reusable [`Plan`].
     ///
-    /// Implementations must route **every** data-dependent computation
-    /// through the ledger; the harness asserts the ledger is never
-    /// overdrawn.
-    fn run(
-        &self,
-        x: &DataVector,
-        workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError>;
+    /// Must fail (rather than defer the failure to execute) when the
+    /// domain or configuration is unsupported, so cached plans are always
+    /// executable.
+    fn plan(&self, domain: &Domain, workload: &Workload) -> Result<Box<dyn Plan>, MechError>;
 
     /// Whether the mechanism can run on `domain`.
     fn supports(&self, domain: &Domain) -> bool {
         self.info().dims.supports_dims(domain.dims())
     }
 
-    /// Convenience wrapper: run with a fresh ledger of budget ε and assert
-    /// the end-to-end accounting invariant.
+    /// Fingerprint of this instance's **configuration**, mixed into plan
+    /// cache keys alongside the mechanism name: two instances that share a
+    /// display name but differ in tunable parameters (branching factors,
+    /// budget fractions ρ, height caps, schedules, explicit strategy
+    /// matrices) must not share cached plans.
+    ///
+    /// The default covers parameter-free mechanisms; anything with knobs
+    /// that affect planning or execution must override it.
+    fn config_fingerprint(&self) -> u64 {
+        0
+    }
+
+    /// One-shot plan + execute on a shared ledger, keeping only the
+    /// estimate (the composition entry point sub-mechanisms use).
+    fn run(
+        &self,
+        x: &DataVector,
+        workload: &Workload,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, MechError> {
+        let plan = self.plan(&x.domain(), workload)?;
+        Ok(plan.execute(x, budget, rng)?.estimate)
+    }
+
+    /// One-shot plan + execute with a fresh ledger of budget ε, returning
+    /// the full structured [`Release`]. Overdraws are rejected
+    /// unconditionally.
+    fn release_eps(
+        &self,
+        x: &DataVector,
+        workload: &Workload,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError> {
+        let plan = self.plan(&x.domain(), workload)?;
+        execute_eps(plan.as_ref(), x, epsilon, rng)
+    }
+
+    /// Convenience shim: like [`Self::release_eps`] but keeping only the
+    /// estimate, so quickstart examples stay one-liners.
     fn run_eps(
         &self,
         x: &DataVector,
@@ -154,20 +416,35 @@ pub trait Mechanism: Send + Sync {
         epsilon: f64,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
-        let mut ledger = BudgetLedger::new(epsilon);
-        let out = self.run(x, workload, &mut ledger, rng)?;
-        debug_assert!(
-            ledger.spent() <= ledger.total() * (1.0 + 1e-9),
-            "{} overdrew its privacy budget",
-            self.info().name
-        );
-        Ok(out)
+        Ok(self.release_eps(x, workload, epsilon, rng)?.estimate)
     }
+}
+
+/// Hash helper for [`Mechanism::config_fingerprint`] implementations:
+/// FNV-1a over a stream of 64-bit words (hash floats via `to_bits`).
+pub fn fingerprint_words(words: &[u64]) -> u64 {
+    let mut h = 0xcbf29ce484222325_u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
 }
 
 impl<M: Mechanism + ?Sized> Mechanism for Box<M> {
     fn info(&self) -> MechInfo {
         (**self).info()
+    }
+    fn plan(&self, domain: &Domain, workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        (**self).plan(domain, workload)
+    }
+    fn supports(&self, domain: &Domain) -> bool {
+        (**self).supports(domain)
+    }
+    fn config_fingerprint(&self) -> u64 {
+        (**self).config_fingerprint()
     }
     fn run(
         &self,
@@ -192,15 +469,36 @@ mod tests {
         fn info(&self) -> MechInfo {
             MechInfo::new("NULL", DimSupport::MultiD)
         }
-        fn run(
-            &self,
-            x: &DataVector,
-            _w: &Workload,
-            budget: &mut BudgetLedger,
-            _rng: &mut dyn RngCore,
-        ) -> Result<Vec<f64>, MechError> {
-            budget.spend_all();
-            Ok(vec![0.0; x.n_cells()])
+        fn plan(&self, domain: &Domain, _w: &Workload) -> Result<Box<dyn Plan>, MechError> {
+            let n = domain.n_cells();
+            Ok(FnPlan::boxed(
+                *domain,
+                PlanDiagnostics::data_independent("NULL", n, 1.0),
+                move |_x, budget, _rng| {
+                    budget.spend_all_as("null");
+                    Ok(vec![0.0; n])
+                },
+            ))
+        }
+    }
+
+    /// A mechanism that overdraws by building a fatter internal ledger.
+    struct Overdrawer;
+    impl Mechanism for Overdrawer {
+        fn info(&self) -> MechInfo {
+            MechInfo::new("OVERDRAW", DimSupport::MultiD)
+        }
+        fn plan(&self, domain: &Domain, _w: &Workload) -> Result<Box<dyn Plan>, MechError> {
+            Ok(FnPlan::boxed(
+                *domain,
+                PlanDiagnostics::data_dependent("OVERDRAW"),
+                move |x, budget, _rng| {
+                    // Pretend to spend twice the grant by draining the
+                    // ledger and then forging an extra record.
+                    budget.spend_all();
+                    Ok(vec![0.0; x.n_cells()])
+                },
+            ))
         }
     }
 
@@ -227,9 +525,82 @@ mod tests {
     }
 
     #[test]
+    fn release_carries_trace_and_diagnostics() {
+        let mech = Null;
+        let x = DataVector::zeros(Domain::D1(4));
+        let w = Workload::identity(Domain::D1(4));
+        let mut rng = StdRng::seed_from_u64(0);
+        let release = mech.release_eps(&x, &w, 0.5, &mut rng).unwrap();
+        assert_eq!(release.estimate.len(), 4);
+        assert_eq!(release.budget_trace.len(), 1);
+        assert_eq!(release.budget_trace[0].label, "null");
+        assert!((release.spent() - 0.5).abs() < 1e-12);
+        assert_eq!(release.diagnostics.mechanism, "NULL");
+        assert_eq!(release.diagnostics.measurements, Some(4));
+    }
+
+    #[test]
+    fn plan_reuse_is_deterministic() {
+        let mech = Null;
+        let domain = Domain::D1(8);
+        let w = Workload::identity(domain);
+        let plan = mech.plan(&domain, &w).unwrap();
+        let x = DataVector::zeros(domain);
+        let a = execute_eps(plan.as_ref(), &x, 1.0, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = execute_eps(plan.as_ref(), &x, 1.0, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.estimate, b.estimate);
+    }
+
+    #[test]
+    fn execute_rejects_mismatched_domain() {
+        let mech = Null;
+        let domain = Domain::D1(8);
+        let w = Workload::identity(domain);
+        let plan = mech.plan(&domain, &w).unwrap();
+        let wrong = DataVector::zeros(Domain::D1(16));
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = execute_eps(plan.as_ref(), &wrong, 1.0, &mut rng);
+        assert!(matches!(err, Err(MechError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn shared_ledger_trace_slicing() {
+        // Two executions on one ledger each see only their own records.
+        let mech = Null;
+        let domain = Domain::D1(4);
+        let w = Workload::identity(domain);
+        let plan = mech.plan(&domain, &w).unwrap();
+        let x = DataVector::zeros(domain);
+        let mut ledger = BudgetLedger::new(1.0);
+        ledger.spend_as("outer", 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let release = plan.execute(&x, &mut ledger, &mut rng).unwrap();
+        assert_eq!(release.budget_trace.len(), 1);
+        assert_eq!(release.budget_trace[0].label, "null");
+        assert!((release.spent() - 0.5).abs() < 1e-12);
+        assert_eq!(ledger.trace().len(), 2);
+    }
+
+    #[test]
     fn boxed_mechanism_delegates() {
         let mech: Box<dyn Mechanism> = Box::new(Null);
         assert_eq!(mech.info().name, "NULL");
         assert!(mech.supports(&Domain::D2(4, 4)));
+        let x = DataVector::zeros(Domain::D1(4));
+        let w = Workload::identity(Domain::D1(4));
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(mech.run_eps(&x, &w, 1.0, &mut rng).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn overdraw_cannot_slip_through() {
+        // The ledger itself prevents overdraws, so an execution can at
+        // most consume exactly ε; run_eps re-checks unconditionally.
+        let mech = Overdrawer;
+        let x = DataVector::zeros(Domain::D1(4));
+        let w = Workload::identity(Domain::D1(4));
+        let mut rng = StdRng::seed_from_u64(4);
+        let release = mech.release_eps(&x, &w, 1.0, &mut rng).unwrap();
+        assert!(release.spent() <= 1.0 + 1e-9);
     }
 }

@@ -9,7 +9,10 @@ use rand::Rng;
 /// `scale = b` gives variance `2b²`. A `scale` of 0 returns 0 (useful when a
 /// mechanism degenerates in the ε → ∞ limit).
 pub fn laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
-    assert!(scale.is_finite() && scale >= 0.0, "invalid Laplace scale {scale}");
+    assert!(
+        scale.is_finite() && scale >= 0.0,
+        "invalid Laplace scale {scale}"
+    );
     if scale == 0.0 {
         return 0.0;
     }
@@ -50,9 +53,9 @@ pub fn laplace_vec_inplace<R: Rng + ?Sized>(
 /// proportional to `exp(ε·score[i] / (2·sensitivity))`.
 ///
 /// Implemented with the Gumbel-max trick, which is numerically stable for
-/// large `ε·score` differences (it never exponentiates): `argmaxᵢ(ε·uᵢ/(2Δ)
-/// + Gᵢ)` with i.i.d. standard Gumbel noise `Gᵢ` is distributed exactly as
-/// the exponential mechanism.
+/// large `ε·score` differences (it never exponentiates):
+/// `argmaxᵢ(ε·uᵢ/(2Δ) + Gᵢ)` with i.i.d. standard Gumbel noise `Gᵢ` is
+/// distributed exactly as the exponential mechanism.
 ///
 /// Higher scores are better. Panics on an empty score slice.
 pub fn exponential_mechanism<R: Rng + ?Sized>(
@@ -61,7 +64,10 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
     epsilon: f64,
     rng: &mut R,
 ) -> usize {
-    assert!(!scores.is_empty(), "exponential mechanism over empty choice set");
+    assert!(
+        !scores.is_empty(),
+        "exponential mechanism over empty choice set"
+    );
     assert!(sensitivity > 0.0, "sensitivity must be positive");
     assert!(epsilon >= 0.0, "ε must be non-negative");
     let factor = epsilon / (2.0 * sensitivity);
@@ -88,12 +94,7 @@ fn gumbel<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// The geometric mechanism: the discrete analogue of Laplace, adding
 /// two-sided geometric noise with parameter `α = exp(-ε/sensitivity)`.
 /// Returns an integer-valued perturbation of `value`.
-pub fn geometric<R: Rng + ?Sized>(
-    value: i64,
-    sensitivity: f64,
-    epsilon: f64,
-    rng: &mut R,
-) -> i64 {
+pub fn geometric<R: Rng + ?Sized>(value: i64, sensitivity: f64, epsilon: f64, rng: &mut R) -> i64 {
     assert!(epsilon > 0.0 && sensitivity > 0.0);
     let alpha = (-epsilon / sensitivity).exp();
     // Two-sided geometric: difference of two geometric variables, sampled

@@ -118,7 +118,11 @@ impl PrefixTable {
     /// Answer a range query in O(1).
     #[inline]
     pub fn eval(&self, q: &RangeQuery) -> f64 {
-        debug_assert!(q.fits(&self.domain), "query out of bounds for {}", self.domain);
+        debug_assert!(
+            q.fits(&self.domain),
+            "query out of bounds for {}",
+            self.domain
+        );
         match self.domain {
             Domain::D1(_) => self.table[q.hi.0 + 1] - self.table[q.lo.0],
             Domain::D2(_, cols) => {
@@ -150,7 +154,10 @@ mod tests {
 
     #[test]
     fn prefix_matches_naive_2d() {
-        let x = DataVector::new((0..30).map(|i| (i * 7 % 13) as f64).collect(), Domain::D2(5, 6));
+        let x = DataVector::new(
+            (0..30).map(|i| (i * 7 % 13) as f64).collect(),
+            Domain::D2(5, 6),
+        );
         let t = PrefixTable::build(&x);
         for r1 in 0..5 {
             for r2 in r1..5 {

@@ -149,6 +149,38 @@ impl Workload {
         &self.queries
     }
 
+    /// A 64-bit content fingerprint over the domain and every query, for
+    /// keying plan caches: two workloads over the same domain with
+    /// different query sets must not share cached plans.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the coordinate stream.
+        let mut h = 0xcbf29ce484222325_u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        match self.domain {
+            Domain::D1(n) => {
+                mix(1);
+                mix(n as u64);
+            }
+            Domain::D2(r, c) => {
+                mix(2);
+                mix(r as u64);
+                mix(c as u64);
+            }
+        }
+        for q in &self.queries {
+            mix(q.lo.0 as u64);
+            mix(q.lo.1 as u64);
+            mix(q.hi.0 as u64);
+            mix(q.hi.1 as u64);
+        }
+        h
+    }
+
     /// Evaluate all queries against a data vector: `y = W x`.
     ///
     /// Uses a cumulative table so the cost is O(n + q) regardless of range
@@ -264,5 +296,21 @@ mod tests {
     fn evaluate_rejects_wrong_domain() {
         let x = DataVector::zeros(Domain::D1(8));
         Workload::prefix_1d(4).evaluate(&x);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_workloads_and_domains() {
+        let prefix = Workload::prefix_1d(64);
+        let identity = Workload::identity(Domain::D1(64));
+        let width = Workload::fixed_width_1d(64, 4);
+        assert_ne!(prefix.fingerprint(), identity.fingerprint());
+        assert_ne!(prefix.fingerprint(), width.fingerprint());
+        assert_ne!(identity.fingerprint(), width.fingerprint());
+        // Same construction → same fingerprint.
+        assert_eq!(prefix.fingerprint(), Workload::prefix_1d(64).fingerprint());
+        // Same queries over a different domain must differ.
+        let a = Workload::new(Domain::D1(32), vec![RangeQuery::d1(0, 7)]);
+        let b = Workload::new(Domain::D1(64), vec![RangeQuery::d1(0, 7)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

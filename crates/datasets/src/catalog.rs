@@ -448,7 +448,13 @@ mod tests {
 
     #[test]
     fn dense_datasets_have_full_support() {
-        for name in ["BIDS-FJ", "BIDS-FM", "BIDS-ALL", "LC-DTIR-F1", "LC-DTIR-ALL"] {
+        for name in [
+            "BIDS-FJ",
+            "BIDS-FM",
+            "BIDS-ALL",
+            "LC-DTIR-F1",
+            "LC-DTIR-ALL",
+        ] {
             let d = by_name(name).unwrap();
             let p = d.base_shape();
             assert!(

@@ -132,8 +132,7 @@ mod tests {
             let x = gen.original(&d, &mut rng);
             // Structural sparsity is quantized by the support size; the
             // sampled vector can only add zeros on top of it.
-            let structural =
-                1.0 - d.support_size() as f64 / d.base_domain.n_cells() as f64;
+            let structural = 1.0 - d.support_size() as f64 / d.base_domain.n_cells() as f64;
             assert!(
                 x.zero_fraction() >= structural - 1e-12,
                 "{name}: sampled zero fraction {} below structural {structural}",

@@ -175,9 +175,9 @@ pub fn add_axis_mass_2d(
     assert_eq!(buf.len(), rows * cols);
     let mut bump = vec![0.0; rows * cols];
     let mut total = 0.0;
-    for c in 1..cols {
+    for (c, b) in bump.iter_mut().enumerate().take(cols).skip(1) {
         let v = (c as f64).powf(-alpha);
-        bump[c] = v;
+        *b = v;
         total += v;
     }
     for r in 1..rows {

@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn entropy_orders_concentration() {
-        let flat = shape_stats(&vec![0.25; 4]);
+        let flat = shape_stats(&[0.25; 4]);
         let skew = shape_stats(&[0.7, 0.1, 0.1, 0.1]);
         assert!(flat.entropy > skew.entropy);
         assert!(flat.gini < skew.gini);

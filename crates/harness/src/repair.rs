@@ -12,9 +12,9 @@
 use dpbench_algorithms::grids::{AGrid, UGrid};
 use dpbench_algorithms::mwem::Mwem;
 use dpbench_algorithms::sf::StructureFirst;
+use dpbench_core::mechanism::{fingerprint_words, FnPlan, Plan, PlanDiagnostics};
 use dpbench_core::primitives::laplace;
-use dpbench_core::{BudgetLedger, DataVector, MechError, MechInfo, Mechanism, Workload};
-use rand::RngCore;
+use dpbench_core::{Domain, MechError, MechInfo, Mechanism, Workload};
 
 /// Names of benchmark algorithms that assume the scale is public
 /// (Table 1 "Side info" column).
@@ -60,47 +60,61 @@ impl Mechanism for SideInfoRepair {
             .supports(domain)
     }
 
-    fn run(
-        &self,
-        x: &DataVector,
-        workload: &Workload,
-        budget: &mut BudgetLedger,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, MechError> {
-        // MWEM handles the repair internally (its update needs the scale
-        // at every step); for the others we estimate and inject.
+    fn plan(&self, domain: &Domain, workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
+        // MWEM handles the repair internally (its update needs the scale at
+        // every step); delegate to its repaired variant's own plan.
         if self.inner_name == "MWEM" {
-            return Mwem::original_repaired().run(x, workload, budget, rng);
+            return Mwem::original_repaired().plan(domain, workload);
         }
-        let eps_scale = budget.spend_fraction(self.rho_total)?;
-        let noisy_scale = (x.scale() + laplace(1.0 / eps_scale, rng)).max(1.0);
-        let inner: Box<dyn Mechanism> = match self.inner_name.as_str() {
-            "UGRID" => Box::new(UGrid {
-                scale_hint: Some(noisy_scale),
-                ..UGrid::default()
-            }),
-            "AGRID" => Box::new(AGrid {
-                scale_hint: Some(noisy_scale),
-                ..AGrid::default()
-            }),
-            "SF" => Box::new(StructureFirst {
-                scale_hint: Some(noisy_scale),
-                ..StructureFirst::default()
-            }),
-            other => {
-                return Err(MechError::InvalidConfig(format!(
-                    "no repair recipe for {other}"
-                )))
-            }
-        };
-        inner.run(x, workload, budget, rng)
+        if !SIDE_INFO_USERS.contains(&self.inner_name.as_str()) {
+            return Err(MechError::InvalidConfig(format!(
+                "no repair recipe for {}",
+                self.inner_name
+            )));
+        }
+        let inner_name = self.inner_name.clone();
+        let rho_total = self.rho_total;
+        let w = workload.clone();
+        let name = format!("{inner_name}(Rside)");
+        Ok(FnPlan::boxed(
+            *domain,
+            PlanDiagnostics::data_dependent(name),
+            move |x, budget, rng| {
+                let eps_scale = budget.spend_fraction_as("scale-estimate", rho_total)?;
+                let noisy_scale = (x.scale() + laplace(1.0 / eps_scale, rng)).max(1.0);
+                let inner: Box<dyn Mechanism> = match inner_name.as_str() {
+                    "UGRID" => Box::new(UGrid {
+                        scale_hint: Some(noisy_scale),
+                        ..UGrid::default()
+                    }),
+                    "AGRID" => Box::new(AGrid {
+                        scale_hint: Some(noisy_scale),
+                        ..AGrid::default()
+                    }),
+                    "SF" => Box::new(StructureFirst {
+                        scale_hint: Some(noisy_scale),
+                        ..StructureFirst::default()
+                    }),
+                    other => {
+                        return Err(MechError::InvalidConfig(format!(
+                            "no repair recipe for {other}"
+                        )))
+                    }
+                };
+                inner.run(x, &w, budget, rng)
+            },
+        ))
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        fingerprint_words(&[self.rho_total.to_bits()])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpbench_core::Domain;
+    use dpbench_core::DataVector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

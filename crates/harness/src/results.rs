@@ -126,8 +126,7 @@ impl ResultStore {
     /// dataset names in the benchmark contain no commas or quotes, so no
     /// escaping is required.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("algorithm,dataset,scale,domain,epsilon,sample,trial,error\n");
+        let mut out = String::from("algorithm,dataset,scale,domain,epsilon,sample,trial,error\n");
         for s in &self.samples {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{},{:e}\n",
@@ -292,10 +291,7 @@ mod tests {
     #[test]
     fn csv_rejects_malformed() {
         assert!(ResultStore::from_csv("header\nonly,three,fields").is_err());
-        assert!(ResultStore::from_csv(
-            "h\nA,D,notanumber,256,0.1,0,0,1.0"
-        )
-        .is_err());
+        assert!(ResultStore::from_csv("h\nA,D,notanumber,256,0.1,0,0,1.0").is_err());
     }
 
     #[test]

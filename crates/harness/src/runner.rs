@@ -1,18 +1,141 @@
-//! Parallel experiment-grid runner.
+//! Parallel experiment-grid runner with cross-trial plan caching.
 //!
 //! Work is split at the (setting, sample) granularity: each unit generates
 //! one data vector with the benchmark generator `G` and runs every
 //! algorithm `n_trials` times on it. Every unit derives its RNG streams
 //! deterministically from its coordinates, so results are reproducible and
 //! independent of thread scheduling.
+//!
+//! Mechanisms run through the two-phase plan/execute API: the runner keeps
+//! a [`PlanCache`] keyed by `(mechanism, domain, workload)` so each
+//! strategy — in particular the data-independent matrix-mechanism
+//! instances (IDENTITY, H, HB, GREEDY_H, PRIVELET) — is constructed
+//! exactly once per key instead of `n_samples × n_trials` times.
 
 use crate::config::{ExperimentConfig, Setting};
 use crate::results::{ErrorSample, ResultStore};
 use dpbench_algorithms::registry::mechanism_by_name;
+use dpbench_core::mechanism::execute_eps;
 use dpbench_core::rng::{hash_str, rng_for};
-use dpbench_core::{scaled_per_query_error, DataVector, Mechanism};
+use dpbench_core::{
+    scaled_per_query_error, DataVector, Domain, MechError, Mechanism, Plan, Workload,
+};
 use dpbench_datasets::DataGenerator;
-use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: mechanism name × configuration fingerprint × domain ×
+/// workload content fingerprint. The configuration fingerprint
+/// ([`Mechanism::config_fingerprint`]) keeps same-named instances with
+/// different tunables (ρ sweeps, branching factors, explicit strategy
+/// matrices) from sharing plans.
+type PlanKey = (String, u64, Domain, u64);
+
+/// Hit/miss counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Executions served by an already-built plan.
+    pub hits: u64,
+    /// Plans built (one per distinct key).
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction in [0, 1]; 0 when nothing was requested.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cache entry: a per-key lock around the (lazily) built plan, so
+/// building never blocks lookups of *other* keys.
+#[derive(Default)]
+struct Slot {
+    plan: Mutex<Option<Arc<dyn Plan>>>,
+}
+
+/// A concurrent map from `(mechanism, config, domain, workload)` to built
+/// plans.
+///
+/// Plans hold no private data (phase 1 of the mechanism API never sees
+/// `x`), so sharing them across threads, samples, and trials is sound; it
+/// amortizes strategy construction that the old single-phase API repeated
+/// on every trial. The global map lock is held only to resolve the key to
+/// its slot; building happens under the slot's own lock, so each key is
+/// constructed exactly once even under thread races while an expensive
+/// build (e.g. an O(n³) matrix factorization) never stalls workers
+/// fetching other keys.
+#[derive(Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch the plan for `(mech, domain, workload)`, building it on first
+    /// use. A failed build leaves the slot empty, so a later call retries.
+    pub fn plan_for(
+        &self,
+        mech: &dyn Mechanism,
+        domain: &Domain,
+        workload: &Workload,
+    ) -> Result<Arc<dyn Plan>, MechError> {
+        let key = (
+            mech.info().name,
+            mech.config_fingerprint(),
+            *domain,
+            workload.fingerprint(),
+        );
+        let slot = {
+            let mut map = self.map.lock().expect("plan cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut built = slot.plan.lock().expect("plan slot poisoned");
+        if let Some(plan) = built.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan: Arc<dyn Plan> = Arc::from(mech.plan(domain, workload)?);
+        *built = Some(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct plans held (built successfully).
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("plan cache poisoned")
+            .values()
+            .filter(|s| s.plan.lock().expect("plan slot poisoned").is_some())
+            .count()
+    }
+
+    /// True when no plan has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// The grid runner.
 pub struct Runner {
@@ -21,6 +144,9 @@ pub struct Runner {
     pub threads: usize,
     /// Print one line per completed unit to stderr.
     pub verbose: bool,
+    /// Plan cache shared by all workers; inspect after [`Runner::run`] for
+    /// hit statistics.
+    pub plan_cache: PlanCache,
 }
 
 /// One unit of work: a setting plus a sample index.
@@ -40,6 +166,7 @@ impl Runner {
             config,
             threads,
             verbose: false,
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -57,19 +184,32 @@ impl Runner {
             })
             .collect();
 
+        // Instantiate each mechanism once; plans are cached per
+        // (mechanism, domain, workload) across all units.
+        let mechs: Vec<(String, Box<dyn Mechanism>)> = self
+            .config
+            .algorithms
+            .iter()
+            .map(|name| {
+                let mech =
+                    mechanism_by_name(name).unwrap_or_else(|| panic!("unknown mechanism {name}"));
+                (name.clone(), mech)
+            })
+            .collect();
+
         let store = Mutex::new(ResultStore::new());
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
         let threads = self.threads.max(1).min(units.len().max(1));
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= units.len() {
                         break;
                     }
                     let unit = &units[idx];
-                    let samples = self.run_unit(unit);
+                    let samples = self.run_unit(unit, &mechs);
                     if self.verbose {
                         eprintln!(
                             "[dpbench] {} sample {} done ({} measurements)",
@@ -78,17 +218,16 @@ impl Runner {
                             samples.len()
                         );
                     }
-                    store.lock().extend(samples);
+                    store.lock().expect("result store poisoned").extend(samples);
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
 
-        store.into_inner()
+        store.into_inner().expect("result store poisoned")
     }
 
     /// Run every algorithm × trial on one generated data vector.
-    fn run_unit(&self, unit: &Unit) -> Vec<ErrorSample> {
+    fn run_unit(&self, unit: &Unit, mechs: &[(String, Box<dyn Mechanism>)]) -> Vec<ErrorSample> {
         let cfg = &self.config;
         let dataset = cfg
             .datasets
@@ -116,15 +255,15 @@ impl Runner {
         let y_true = workload.evaluate(&x);
         let scale = x.scale();
 
-        let mut out = Vec::with_capacity(cfg.algorithms.len() * cfg.n_trials);
-        for alg_name in &cfg.algorithms {
-            let mech = match mechanism_by_name(alg_name) {
-                Some(m) => m,
-                None => panic!("unknown mechanism {alg_name}"),
-            };
+        let mut out = Vec::with_capacity(mechs.len() * cfg.n_trials);
+        for (alg_name, mech) in mechs {
             if !mech.supports(&unit.setting.domain) {
                 continue;
             }
+            let plan = self
+                .plan_cache
+                .plan_for(mech, &unit.setting.domain, &workload)
+                .unwrap_or_else(|e| panic!("{alg_name} failed to plan: {e}"));
             for trial in 0..cfg.n_trials {
                 let mut rng = rng_for(
                     alg_name,
@@ -137,10 +276,9 @@ impl Runner {
                         trial as u64,
                     ],
                 );
-                let est = mech
-                    .run_eps(&x, &workload, unit.setting.epsilon, &mut rng)
+                let release = execute_eps(plan.as_ref(), &x, unit.setting.epsilon, &mut rng)
                     .unwrap_or_else(|e| panic!("{alg_name} failed: {e}"));
-                let y_hat = workload.evaluate_cells(&est);
+                let y_hat = workload.evaluate_cells(&release.estimate);
                 let error = scaled_per_query_error(&y_true, &y_hat, scale, cfg.loss);
                 out.push(ErrorSample {
                     algorithm: alg_name.clone(),
@@ -209,5 +347,81 @@ mod tests {
         cfg.algorithms = vec!["UGRID".into()]; // 2-D only
         let store = Runner::new(cfg).run();
         assert!(store.samples().is_empty());
+    }
+
+    #[test]
+    fn builds_each_strategy_exactly_once() {
+        // 1 setting × 2 samples × 3 trials = 6 executions per algorithm,
+        // but only one plan per (mechanism, domain, workload) key.
+        let runner = Runner::new(tiny_config());
+        let store = runner.run();
+        assert_eq!(store.samples().len(), 18);
+        let stats = runner.plan_cache.stats();
+        assert_eq!(stats.misses, 3, "one plan per algorithm, got {stats:?}");
+        // 2 units × 3 algorithms = 6 lookups; 3 built, 3 served from cache.
+        assert_eq!(stats.hits, 3, "remaining lookups must hit, got {stats:?}");
+        assert_eq!(runner.plan_cache.len(), 3);
+    }
+
+    #[test]
+    fn cache_distinguishes_configurations_sharing_a_name() {
+        // Two DAWA instances with different ρ share the display name but
+        // must not share cached plans.
+        use dpbench_algorithms::dawa::Dawa;
+        let cache = PlanCache::new();
+        let domain = Domain::D1(64);
+        let w = Workload::prefix_1d(64);
+        let a = Dawa::with_rho(0.10);
+        let b = Dawa::with_rho(0.50);
+        cache.plan_for(&a, &domain, &w).unwrap();
+        cache.plan_for(&b, &domain, &w).unwrap();
+        cache.plan_for(&a, &domain, &w).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "distinct configs must get distinct plans");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_workloads_over_same_domain() {
+        let cache = PlanCache::new();
+        let mech = mechanism_by_name("H").unwrap();
+        let domain = Domain::D1(128);
+        let prefix = Workload::prefix_1d(128);
+        let identity = Workload::identity(domain);
+        cache.plan_for(mech.as_ref(), &domain, &prefix).unwrap();
+        cache.plan_for(mech.as_ref(), &domain, &identity).unwrap();
+        cache.plan_for(mech.as_ref(), &domain, &prefix).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "distinct workloads must not share plans");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_plan_execution_is_bit_identical_to_fresh_plan() {
+        // A cache hit must not change results: same RNG stream → identical
+        // estimates from a cached plan and a freshly built one.
+        let cache = PlanCache::new();
+        let domain = Domain::D1(256);
+        let workload = Workload::prefix_1d(256);
+        let x = DataVector::new(vec![7.0; 256], domain);
+        for name in ["IDENTITY", "H", "HB", "GREEDY_H", "PRIVELET"] {
+            let mech = mechanism_by_name(name).unwrap();
+            let cached = cache.plan_for(mech.as_ref(), &domain, &workload).unwrap();
+            let fresh = mech.plan(&domain, &workload).unwrap();
+            let mut rng_a = rng_for(name, &[1, 2, 3]);
+            let mut rng_b = rng_for(name, &[1, 2, 3]);
+            let a = execute_eps(cached.as_ref(), &x, 0.1, &mut rng_a).unwrap();
+            let b = execute_eps(fresh.as_ref(), &x, 0.1, &mut rng_b).unwrap();
+            assert_eq!(a.estimate, b.estimate, "{name} diverges under caching");
+        }
+        // Second round through the cache reuses every plan.
+        assert_eq!(cache.stats().misses, 5);
+        for name in ["IDENTITY", "H", "HB", "GREEDY_H", "PRIVELET"] {
+            let mech = mechanism_by_name(name).unwrap();
+            cache.plan_for(mech.as_ref(), &domain, &workload).unwrap();
+        }
+        assert_eq!(cache.stats().misses, 5);
+        assert_eq!(cache.stats().hits, 5);
     }
 }

@@ -64,12 +64,7 @@ pub fn training_shapes(n: usize) -> Vec<Vec<f64>> {
 
 /// Mean error of a mechanism at one signal level over the training
 /// shapes.
-fn training_error<M: Mechanism>(
-    mech: &M,
-    signal: f64,
-    cfg: &TuningConfig,
-    tag: &str,
-) -> f64 {
+fn training_error<M: Mechanism>(mech: &M, signal: f64, cfg: &TuningConfig, tag: &str) -> f64 {
     let n = cfg.domain;
     let domain = Domain::D1(n);
     let workload = Workload::prefix_1d(n);
@@ -113,19 +108,14 @@ pub fn tune_mwem_schedule(cfg: &TuningConfig, candidates: &[usize]) -> Vec<(f64,
 }
 
 /// Learn AHP's `(ρ, η)` schedule over a candidate grid.
-pub fn tune_ahp_schedule(
-    cfg: &TuningConfig,
-    rhos: &[f64],
-    etas: &[f64],
-) -> Vec<(f64, f64, f64)> {
+pub fn tune_ahp_schedule(cfg: &TuningConfig, rhos: &[f64], etas: &[f64]) -> Vec<(f64, f64, f64)> {
     assert!(!rhos.is_empty() && !etas.is_empty());
     let mut rows = Vec::with_capacity(cfg.signals.len());
     for &signal in &cfg.signals {
         let mut best = (f64::INFINITY, rhos[0], etas[0]);
         for &rho in rhos {
             for &eta in etas {
-                let err =
-                    training_error(&Ahp::with_params(rho, eta), signal, cfg, "tune-ahp");
+                let err = training_error(&Ahp::with_params(rho, eta), signal, cfg, "tune-ahp");
                 if err < best.0 {
                     best = (err, rho, eta);
                 }

@@ -25,12 +25,7 @@ pub fn geometric_mean_regret(errors: &[Vec<f64>]) -> Vec<f64> {
 
     // Oracle: per-setting minimum.
     let oracle: Vec<f64> = (0..n_settings)
-        .map(|s| {
-            errors
-                .iter()
-                .map(|e| e[s])
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|s| errors.iter().map(|e| e[s]).fold(f64::INFINITY, f64::min))
         .collect();
 
     errors

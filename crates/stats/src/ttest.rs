@@ -42,8 +42,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
         });
     }
     let t = (ma - mb) / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let df = df.max(1.0);
     Some(TTestResult {
         t,
@@ -155,7 +154,9 @@ mod tests {
     fn competitive_set_includes_ties_excludes_losers() {
         // alg0 and alg1 statistically tied; alg2 clearly worse.
         let s0: Vec<f64> = (0..20).map(|i| 1.0 + 0.01 * (i % 5) as f64).collect();
-        let s1: Vec<f64> = (0..20).map(|i| 1.005 + 0.01 * ((i + 2) % 5) as f64).collect();
+        let s1: Vec<f64> = (0..20)
+            .map(|i| 1.005 + 0.01 * ((i + 2) % 5) as f64)
+            .collect();
         let s2: Vec<f64> = (0..20).map(|i| 9.0 + 0.01 * (i % 5) as f64).collect();
         let comp = competitive_set(&[s0, s1, s2]);
         assert!(comp.contains(&0));

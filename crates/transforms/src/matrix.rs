@@ -55,12 +55,10 @@ impl Matrix {
     /// Matrix–vector product `A·v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
-        let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
-        }
-        out
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Transpose.

@@ -197,7 +197,11 @@ impl MeasuredTree {
             if total_var.is_infinite() {
                 // Distribute among infinite-variance (uninformed) children
                 // equally — the uniformity assumption.
-                let n_inf = node.children.iter().filter(|&&c| var[c].is_infinite()).count();
+                let n_inf = node
+                    .children
+                    .iter()
+                    .filter(|&&c| var[c].is_infinite())
+                    .count();
                 let share = d / n_inf as f64;
                 for &c in &node.children {
                     fin[c] = est[c] + if var[c].is_infinite() { share } else { 0.0 };
@@ -231,7 +235,11 @@ mod tests {
     }
 
     /// Build a three-node tree: root over two leaves.
-    fn small_tree(root_m: Option<Measurement>, l1: Option<Measurement>, l2: Option<Measurement>) -> MeasuredTree {
+    fn small_tree(
+        root_m: Option<Measurement>,
+        l1: Option<Measurement>,
+        l2: Option<Measurement>,
+    ) -> MeasuredTree {
         let mut t = MeasuredTree::new();
         let r = t.add_node(root_m);
         let a = t.add_node(l1);
@@ -295,7 +303,7 @@ mod tests {
             let depth: u32 = 2 + (trial % 2) as u32; // 2..3
             let mut t = MeasuredTree::new();
             // Build top-down; collect leaf spans.
-            let n_leaves = branching.pow(depth as u32);
+            let n_leaves = branching.pow(depth);
             // node -> (leaf_lo, leaf_hi)
             let mut spans: Vec<(usize, usize)> = Vec::new();
             fn build(
@@ -315,7 +323,9 @@ mod tests {
                 if width > 1 {
                     let step = width / branching;
                     let children: Vec<usize> = (0..branching)
-                        .map(|k| build(t, spans, lo + k * step, lo + (k + 1) * step, branching, rng))
+                        .map(|k| {
+                            build(t, spans, lo + k * step, lo + (k + 1) * step, branching, rng)
+                        })
                         .collect();
                     t.set_children(id, children);
                 }
@@ -337,12 +347,7 @@ mod tests {
                     strat[(id, leaf)] = 1.0;
                 }
                 // every node is measured in this test
-                let meas = match id {
-                    _ => {
-                        // retrieve via re-walk: we stored measurement inside t
-                        t.nodes[id].measurement.unwrap()
-                    }
-                };
+                let meas = t.nodes[id].measurement.unwrap();
                 y[id] = meas.value;
                 w[id] = 1.0 / meas.variance;
             }

@@ -25,7 +25,11 @@ fn main() {
 
     let mut errors: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
     println!("SEARCH, n = {n}, ε = {epsilon}, Prefix workload\n");
-    println!("{:<10} {}", "scale", algorithms.map(|a| format!("{a:>12}")).join(" "));
+    println!(
+        "{:<10} {}",
+        "scale",
+        algorithms.map(|a| format!("{a:>12}")).join(" ")
+    );
     for &scale in &scales {
         let x = gen.generate(&dataset, domain, scale, &mut rng);
         let y = workload.evaluate(&x);

@@ -28,7 +28,14 @@ fn main() {
     // practitioners"). ε·scale ≈ 3.2k → low-signal regime: data-dependent
     // algorithms are worth considering.
     let signal = epsilon * private.scale();
-    println!("signal = ε·scale = {signal:.0} → {} regime", if signal < 1e5 { "LOW-signal" } else { "HIGH-signal" });
+    println!(
+        "signal = ε·scale = {signal:.0} → {} regime",
+        if signal < 1e5 {
+            "LOW-signal"
+        } else {
+            "HIGH-signal"
+        }
+    );
 
     // Step 2: evaluate the shortlist on a *public* proxy (here: a uniform
     // shape and a synthetic clustered shape — no private data touched).
@@ -40,14 +47,19 @@ fn main() {
         &mut rng,
     );
     let proxy_truth = workload.evaluate(&proxy);
-    println!("\nproxy evaluation (public data, {} queries):", workload.len());
+    println!(
+        "\nproxy evaluation (public data, {} queries):",
+        workload.len()
+    );
     let mut best = ("", f64::INFINITY);
     for name in shortlist {
         let mech = mechanism_by_name(name).expect("registered");
         let mut total = 0.0;
         let trials = 5;
         for _ in 0..trials {
-            let est = mech.run_eps(&proxy, &workload, epsilon, &mut rng).expect("run");
+            let est = mech
+                .run_eps(&proxy, &workload, epsilon, &mut rng)
+                .expect("run");
             total += scaled_per_query_error(
                 &proxy_truth,
                 &workload.evaluate_cells(&est),
@@ -63,12 +75,20 @@ fn main() {
     }
 
     // Step 3: one shot on the private data with the chosen algorithm.
+    // `release_eps` returns the structured Release: the estimate plus the
+    // per-step budget trace a privacy auditor would want to see.
     println!("\nchosen algorithm: {}", best.0);
     let mech = mechanism_by_name(best.0).expect("registered");
-    let release = mech.run_eps(&private, &workload, epsilon, &mut rng).expect("private release");
+    let release = mech
+        .release_eps(&private, &workload, epsilon, &mut rng)
+        .expect("private release");
     let y_true = workload.evaluate(&private);
-    let y_hat = workload.evaluate_cells(&release);
+    let y_hat = workload.evaluate_cells(&release.estimate);
     let err = scaled_per_query_error(&y_true, &y_hat, private.scale(), Loss::L2);
     println!("private release done: scaled per-query L2 error = {err:.4e}");
+    println!("budget trace (total ε spent = {:.4}):", release.spent());
+    for step in &release.budget_trace {
+        println!("  {:<16} ε = {:.4}", step.label, step.epsilon);
+    }
     println!("(in production, the error would of course be unknown to the analyst)");
 }

@@ -31,17 +31,25 @@ fn main() {
     //    their scaled per-query L2 error (paper Definition 3).
     let epsilon = 0.1;
     println!("\nε = {epsilon}, workload = Prefix({})\n", workload.len());
-    println!("{:<10} {:>14} {:>10}", "algorithm", "scaled L2 err", "vs IDENTITY");
+    println!(
+        "{:<10} {:>14} {:>10}",
+        "algorithm", "scaled L2 err", "vs IDENTITY"
+    );
 
     let mut identity_err = None;
     for name in ["IDENTITY", "UNIFORM", "HB", "DAWA", "MWEM*", "AHP*"] {
         let mech = mechanism_by_name(name).expect("registered mechanism");
-        // Average a few trials: DP outputs are random variables.
+        // Two-phase API: plan once (all data-independent setup), then
+        // execute per trial — DP outputs are random variables, so average
+        // a few. `mech.run_eps(...)` is the one-line shim for single runs.
+        let plan = mech.plan(&x.domain(), &workload).expect("plan");
         let trials = 5;
         let mut total = 0.0;
         for _ in 0..trials {
-            let estimate = mech.run_eps(&x, &workload, epsilon, &mut rng).expect("mechanism run");
-            let y_hat = workload.evaluate_cells(&estimate);
+            let release =
+                dpbench_core::mechanism::execute_eps(plan.as_ref(), &x, epsilon, &mut rng)
+                    .expect("mechanism run");
+            let y_hat = workload.evaluate_cells(&release.estimate);
             total += scaled_per_query_error(&y_true, &y_hat, x.scale(), Loss::L2);
         }
         let err = total / trials as f64;

@@ -36,7 +36,11 @@ fn main() {
     let gen = DataGenerator::new();
 
     // Three (scale, ε) pairs with identical products.
-    let pairs = [(100_000_u64, 0.1_f64), (1_000_000, 0.01), (10_000_000, 0.001)];
+    let pairs = [
+        (100_000_u64, 0.1_f64),
+        (1_000_000, 0.01),
+        (10_000_000, 0.001),
+    ];
     let trials = 10;
 
     println!("scale-ε exchangeability on INCOME (n = {n}, Prefix workload)");

@@ -49,12 +49,8 @@ fn main() {
     for name in ["IDENTITY", "UGRID", "AGRID", "QUADTREE", "DAWA"] {
         let mech = mechanism_by_name(name).expect("registered");
         let est = mech.run_eps(&x, &workload, epsilon, &mut rng).expect("run");
-        let err = scaled_per_query_error(
-            &y_true,
-            &workload.evaluate_cells(&est),
-            x.scale(),
-            Loss::L2,
-        );
+        let err =
+            scaled_per_query_error(&y_true, &workload.evaluate_cells(&est), x.scale(), Loss::L2);
         println!("{name} (ε = {epsilon}): scaled L2 error = {err:.4e}");
         println!("{}", ascii_heatmap(&est, side, 16));
     }

@@ -6,7 +6,8 @@
 //! dpbench shapes                        # shape statistics per dataset
 //! dpbench run --dataset MEDCOST --algorithms IDENTITY,DAWA \
 //!             --scale 100000 --eps 0.1 --trials 5 [--domain 1024]
-//!             [--workload prefix|identity|random:2000] [--csv out.csv]
+//!             [--workload prefix|identity|random:2000] [--loss l1|l2]
+//!             [--threads N] [--verbose 1] [--csv out.csv]
 //! ```
 
 use dpbench::prelude::*;
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
             eprintln!("run options: --dataset NAME --algorithms A,B --scale N");
             eprintln!("             [--domain N|RxC] [--eps E] [--trials T]");
             eprintln!("             [--samples S] [--workload prefix|identity|random:N]");
+            eprintln!("             [--loss l1|l2] [--threads N] [--verbose 1]");
             eprintln!("             [--csv FILE]");
             return ExitCode::FAILURE;
         }
@@ -59,7 +61,11 @@ fn list_algorithms() {
             "{:<11} {:<8} {:<10} {:>4} {:>4} {:<9} {:<10} {:<12}",
             info.name,
             format!("{:?}", info.dims),
-            if info.data_dependent { "data-dep" } else { "indep" },
+            if info.data_dependent {
+                "data-dep"
+            } else {
+                "indep"
+            },
             if info.hierarchical { "H" } else { "" },
             if info.partitioning { "P" } else { "" },
             info.side_info.as_deref().unwrap_or(""),
@@ -146,8 +152,14 @@ fn run(args: &[String]) -> ExitCode {
         None => dataset.base_domain,
     };
     let epsilon: f64 = flags.get("eps").and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let trials: usize = flags.get("trials").and_then(|s| s.parse().ok()).unwrap_or(5);
-    let samples: usize = flags.get("samples").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let trials: usize = flags
+        .get("trials")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let samples: usize = flags
+        .get("samples")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let workload = match flags.get("workload").map(String::as_str) {
         None => {
             if domain.dims() == 1 {
@@ -158,20 +170,37 @@ fn run(args: &[String]) -> ExitCode {
         }
         Some("prefix") => WorkloadSpec::Prefix,
         Some("identity") => WorkloadSpec::Identity,
-        Some(s) if s.starts_with("random:") => {
-            match s["random:".len()..].parse() {
-                Ok(n) => WorkloadSpec::RandomRanges(n),
-                Err(_) => {
-                    eprintln!("error: bad workload {s}");
-                    return ExitCode::FAILURE;
-                }
+        Some(s) if s.starts_with("random:") => match s["random:".len()..].parse() {
+            Ok(n) => WorkloadSpec::RandomRanges(n),
+            Err(_) => {
+                eprintln!("error: bad workload {s}");
+                return ExitCode::FAILURE;
             }
-        }
+        },
         Some(s) => {
             eprintln!("error: unknown workload {s}");
             return ExitCode::FAILURE;
         }
     };
+    let loss = match flags.get("loss").map(String::as_str) {
+        None | Some("l2") => Loss::L2,
+        Some("l1") => Loss::L1,
+        Some(s) => {
+            eprintln!("error: unknown loss {s} (use l1 or l2)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads: Option<usize> = match flags.get("threads") {
+        None => None,
+        Some(s) => match s.parse() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("error: --threads needs a positive integer, got {s}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let verbose = flags.get("verbose").map(|v| v == "1").unwrap_or(false);
 
     let config = ExperimentConfig {
         datasets: vec![dataset],
@@ -182,14 +211,29 @@ fn run(args: &[String]) -> ExitCode {
         n_samples: samples,
         n_trials: trials,
         workload,
-        loss: Loss::L2,
+        loss,
     };
     println!(
         "running {} mechanism executions ({} settings)...",
         config.total_runs(),
         config.settings().len()
     );
-    let store = Runner::new(config).run();
+    let mut runner = Runner::new(config);
+    if let Some(n) = threads {
+        runner.threads = n;
+    }
+    runner.verbose = verbose;
+    let store = runner.run();
+    if verbose {
+        let stats = runner.plan_cache.stats();
+        println!(
+            "plan cache: {} plans built, {} hits / {} misses ({:.1}% hit rate)",
+            runner.plan_cache.len(),
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
+        );
+    }
 
     println!(
         "\n{:<11} {:>13} {:>13} {:>13}",

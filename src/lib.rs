@@ -22,6 +22,13 @@
 //!
 //! ## Quickstart
 //!
+//! Mechanisms run in two phases: [`Mechanism::plan`] does all
+//! data-independent setup (strategy matrices, hierarchy layouts — cache
+//! it across trials), and [`Plan::execute`](core::Plan::execute) performs
+//! the private part, returning a structured [`Release`](core::Release)
+//! with the estimate, the per-step budget trace, and strategy
+//! diagnostics. `run_eps` remains the one-line shim for single runs.
+//!
 //! ```
 //! use dpbench::prelude::*;
 //! use rand::SeedableRng;
@@ -34,14 +41,27 @@
 //! // Answer the Prefix workload with DAWA at ε = 0.1.
 //! let workload = Workload::prefix_1d(256);
 //! let dawa = mechanism_by_name("DAWA").unwrap();
-//! let estimate = dawa.run_eps(&x, &workload, 0.1, &mut rng).unwrap();
+//!
+//! // Phase 1: plan (data-independent, reusable across trials) …
+//! let plan = dawa.plan(&x.domain(), &workload).unwrap();
+//! // … phase 2: execute (private), yielding a structured Release.
+//! let release = execute_eps(plan.as_ref(), &x, 0.1, &mut rng).unwrap();
+//! assert!(release.spent() <= 0.1 + 1e-12);
 //!
 //! // Measure the scaled per-query error (paper Definition 3).
 //! let y = workload.evaluate(&x);
-//! let y_hat = workload.evaluate_cells(&estimate);
+//! let y_hat = workload.evaluate_cells(&release.estimate);
 //! let err = scaled_per_query_error(&y, &y_hat, x.scale(), Loss::L2);
 //! assert!(err.is_finite());
+//!
+//! // One-liner equivalent when no reuse is needed:
+//! let estimate = dawa.run_eps(&x, &workload, 0.1, &mut rng).unwrap();
+//! assert_eq!(estimate.len(), 256);
 //! ```
+//!
+//! The grid harness caches plans keyed by `(mechanism, domain, workload)`
+//! (see [`harness::runner::PlanCache`]), so data-independent strategies
+//! are built once per grid cell instead of once per trial.
 
 pub use dpbench_algorithms as algorithms;
 pub use dpbench_core as core;
@@ -55,12 +75,14 @@ pub mod prelude {
     pub use dpbench_algorithms::registry::{
         mechanism_by_name, mechanisms_1d, mechanisms_2d, FIGURE_1A, FIGURE_1B, NAMES_1D, NAMES_2D,
     };
+    pub use dpbench_core::mechanism::execute_eps;
     pub use dpbench_core::{
         scaled_per_query_error, BudgetLedger, DataVector, Domain, Loss, MechError, MechInfo,
-        Mechanism, RangeQuery, Workload,
+        Mechanism, Plan, PlanDiagnostics, RangeQuery, Release, SpendRecord, Workload,
     };
     pub use dpbench_datasets::{datasets_1d, datasets_2d, DataGenerator, Dataset};
     pub use dpbench_harness::config::{ExperimentConfig, WorkloadSpec};
+    pub use dpbench_harness::runner::{PlanCache, PlanCacheStats};
     pub use dpbench_harness::{ErrorSample, ResultStore, Runner};
     pub use dpbench_stats::Summary;
 }

@@ -8,7 +8,10 @@ use dpbench_core::rng::rng_for;
 fn check_budget(name: &str, x: &DataVector, workload: &Workload, eps: f64) {
     let mech = mechanism_by_name(name).expect("registered");
     let mut ledger = BudgetLedger::new(eps);
-    let mut rng = rng_for("budget-test", &[dpbench_core::rng::hash_str(name), x.n_cells() as u64]);
+    let mut rng = rng_for(
+        "budget-test",
+        &[dpbench_core::rng::hash_str(name), x.n_cells() as u64],
+    );
     let est = mech
         .run(x, workload, &mut ledger, &mut rng)
         .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -57,6 +60,75 @@ fn budget_holds_across_epsilons() {
         for name in ["DAWA", "MWEM*", "AHP*", "SF", "PHP", "EFPA"] {
             check_budget(name, &x, &w, eps);
         }
+    }
+}
+
+/// The per-step budget traces a [`Release`] carries must sum to at most ε
+/// for every registry mechanism, and every recorded step must be a
+/// non-negative draw.
+#[test]
+fn release_budget_traces_sum_to_at_most_epsilon() {
+    let mut rng = rng_for("trace-data", &[1]);
+    let d1 = dpbench::datasets::catalog::by_name("MEDCOST").unwrap();
+    let x1 = DataGenerator::new().generate(&d1, Domain::D1(256), 20_000, &mut rng);
+    let w1 = Workload::prefix_1d(256);
+    let d2 = dpbench::datasets::catalog::by_name("STROKE").unwrap();
+    let x2 = DataGenerator::new().generate(&d2, Domain::D2(32, 32), 20_000, &mut rng);
+    let w2 = Workload::random_ranges(Domain::D2(32, 32), 300, &mut rng);
+
+    let eps = 0.5;
+    let mut checked = 0;
+    for name in NAMES_1D.iter().chain(NAMES_2D.iter()) {
+        let mech = mechanism_by_name(name).expect("registered");
+        let (x, w) = if mech.supports(&Domain::D1(256)) {
+            (&x1, &w1)
+        } else {
+            (&x2, &w2)
+        };
+        let mut rng = rng_for("trace-test", &[dpbench_core::rng::hash_str(name)]);
+        let release = mech
+            .release_eps(x, w, eps, &mut rng)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            !release.budget_trace.is_empty(),
+            "{name}: empty budget trace"
+        );
+        assert!(
+            release.budget_trace.iter().all(|r| r.epsilon >= 0.0),
+            "{name}: negative spend record"
+        );
+        assert!(
+            release.spent() <= eps * (1.0 + 1e-9),
+            "{name}: trace sums to {} > ε = {eps}",
+            release.spent()
+        );
+        assert_eq!(release.diagnostics.mechanism, *name);
+        checked += 1;
+    }
+    assert!(checked >= 20, "expected to cover both suites");
+}
+
+/// Data-independent plans must expose their strategy size and sensitivity.
+#[test]
+fn data_independent_diagnostics_are_populated() {
+    let domain = Domain::D1(256);
+    let w = Workload::prefix_1d(256);
+    for name in ["IDENTITY", "H", "HB", "GREEDY_H", "PRIVELET"] {
+        let mech = mechanism_by_name(name).unwrap();
+        let plan = mech.plan(&domain, &w).unwrap();
+        let diag = plan.diagnostics();
+        assert!(
+            diag.data_independent,
+            "{name} plan should be data-independent"
+        );
+        assert!(
+            diag.measurements.unwrap() > 0,
+            "{name}: no measurement count"
+        );
+        assert!(
+            diag.sensitivity.unwrap() >= 1.0,
+            "{name}: missing sensitivity"
+        );
     }
 }
 

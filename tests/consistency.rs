@@ -8,7 +8,9 @@ use dpbench_core::rng::rng_for;
 
 /// Rich 1-D data: many distinct cell levels (defeats coarse partitions).
 fn rich_1d(n: usize) -> DataVector {
-    let counts: Vec<f64> = (0..n).map(|i| (i as f64) * 7.0 + ((i * i) % 13) as f64).collect();
+    let counts: Vec<f64> = (0..n)
+        .map(|i| (i as f64) * 7.0 + ((i * i) % 13) as f64)
+        .collect();
     DataVector::new(counts, Domain::D1(n))
 }
 
@@ -24,7 +26,9 @@ fn high_eps_error(name: &str, x: &DataVector, w: &Workload) -> f64 {
 fn consistent_algorithms_error_vanishes() {
     let x = rich_1d(128);
     let w = Workload::prefix_1d(128);
-    for name in ["IDENTITY", "H", "HB", "GREEDY_H", "PRIVELET", "DAWA", "AHP", "DPCUBE", "EFPA", "SF"] {
+    for name in [
+        "IDENTITY", "H", "HB", "GREEDY_H", "PRIVELET", "DAWA", "AHP", "DPCUBE", "EFPA", "SF",
+    ] {
         let err = high_eps_error(name, &x, &w);
         assert!(
             err < 1e-4,
@@ -85,11 +89,21 @@ fn sf_mean_variant_matches_theorem_7() {
     let y = w.evaluate(&x);
     let mut rng = rng_for("consistency-sf", &[1]);
     // Base (mean) variant: inconsistent.
-    let est = StructureFirst::mean_based().run_eps(&x, &w, 1e9, &mut rng).unwrap();
+    let est = StructureFirst::mean_based()
+        .run_eps(&x, &w, 1e9, &mut rng)
+        .unwrap();
     let err_mean = scaled_per_query_error(&y, &w.evaluate_cells(&est), x.scale(), Loss::L2);
-    assert!(err_mean > 1e-6, "mean-based SF should retain bias: {err_mean}");
+    assert!(
+        err_mean > 1e-6,
+        "mean-based SF should retain bias: {err_mean}"
+    );
     // Modified (hierarchical) variant: consistent.
-    let est = StructureFirst::new().run_eps(&x, &w, 1e10, &mut rng).unwrap();
+    let est = StructureFirst::new()
+        .run_eps(&x, &w, 1e10, &mut rng)
+        .unwrap();
     let err_h = scaled_per_query_error(&y, &w.evaluate_cells(&est), x.scale(), Loss::L2);
-    assert!(err_h < err_mean, "modification should reduce bias: {err_h} vs {err_mean}");
+    assert!(
+        err_h < err_mean,
+        "modification should reduce bias: {err_h} vs {err_mean}"
+    );
 }

@@ -11,7 +11,10 @@ fn mean_error(name: &str, x: &DataVector, w: &Workload, trials: usize, salt: u64
     let y = w.evaluate(x);
     let mut total = 0.0;
     for t in 0..trials {
-        let mut rng = rng_for("dataindep", &[dpbench_core::rng::hash_str(name), salt, t as u64]);
+        let mut rng = rng_for(
+            "dataindep",
+            &[dpbench_core::rng::hash_str(name), salt, t as u64],
+        );
         let est = mech.run_eps(x, w, 0.5, &mut rng).unwrap();
         // Absolute (unscaled) L2 so different-scale inputs stay comparable.
         total += Loss::L2.eval(&y, &w.evaluate_cells(&est));
@@ -67,5 +70,8 @@ fn uniform_baseline_is_the_extreme_data_dependent_case() {
     let ea = mean_error("UNIFORM", &a, &w, 20, 5);
     let eb = mean_error("UNIFORM", &b, &w, 20, 6);
     // Perfect on uniform data, terrible on the spike.
-    assert!(eb > ea * 10.0, "UNIFORM: uniform-shape {ea:.3} vs spike {eb:.3}");
+    assert!(
+        eb > ea * 10.0,
+        "UNIFORM: uniform-shape {ea:.3} vs spike {eb:.3}"
+    );
 }

@@ -3,8 +3,8 @@
 //! Finding 2 (and loses at high signal), plus full-grid smoke coverage of
 //! every registered mechanism through the public API.
 
-use dpbench::prelude::*;
 use dpbench::harness::competitive::{competitive_in_setting, RiskProfile};
+use dpbench::prelude::*;
 use dpbench_core::Loss;
 
 fn grid_1d(algorithms: &[&str], scales: Vec<u64>, n: usize) -> ResultStore {
@@ -51,16 +51,22 @@ fn full_2d_suite_runs_through_the_harness() {
 #[test]
 fn finding1_data_dependence_wins_at_low_signal() {
     // Small scale (10^3): the best data-dependent algorithm should beat
-    // the best data-independent one on a clear majority of datasets.
-    let store = grid_1d(&["HB", "IDENTITY", "DAWA", "MWEM*"], vec![1_000], 512);
+    // the best data-independent one on a clear majority of datasets. The
+    // paper's claim ranges over the full suite, so both pools include
+    // every applicable algorithm (the winner at this signal level varies
+    // by dataset shape).
+    const DI: &[&str] = &["HB", "IDENTITY", "H", "GREEDY_H", "PRIVELET"];
+    const DD: &[&str] = &["DAWA", "MWEM*", "AHP*", "PHP", "EFPA", "DPCUBE", "UNIFORM"];
+    let all: Vec<&str> = DI.iter().chain(DD.iter()).copied().collect();
+    let store = grid_1d(&all, vec![1_000], 512);
     let mut dd_wins = 0;
     let mut total = 0;
     for setting in store.settings() {
-        let di_best = ["HB", "IDENTITY"]
+        let di_best = DI
             .iter()
             .map(|a| store.mean_error(a, &setting))
             .fold(f64::INFINITY, f64::min);
-        let dd_best = ["DAWA", "MWEM*"]
+        let dd_best = DD
             .iter()
             .map(|a| store.mean_error(a, &setting))
             .fold(f64::INFINITY, f64::min);

@@ -10,7 +10,10 @@ fn mean_error(name: &str, x: &DataVector, w: &Workload, eps: f64, trials: usize)
     let y = w.evaluate(x);
     let mut total = 0.0;
     for t in 0..trials {
-        let mut rng = rng_for("exch", &[dpbench_core::rng::hash_str(name), eps.to_bits(), t as u64]);
+        let mut rng = rng_for(
+            "exch",
+            &[dpbench_core::rng::hash_str(name), eps.to_bits(), t as u64],
+        );
         let est = mech.run_eps(x, w, eps, &mut rng).unwrap();
         total += scaled_per_query_error(&y, &w.evaluate_cells(&est), x.scale(), Loss::L2);
     }
@@ -37,7 +40,9 @@ fn exchangeable_mechanisms_match_across_the_tradeoff() {
     let (x1, x2) = paired_inputs(n);
     let w = Workload::prefix_1d(n);
     let trials = 20;
-    for name in ["IDENTITY", "HB", "PRIVELET", "DAWA", "PHP", "EFPA", "UNIFORM"] {
+    for name in [
+        "IDENTITY", "HB", "PRIVELET", "DAWA", "PHP", "EFPA", "UNIFORM",
+    ] {
         let e1 = mean_error(name, &x1, &w, 1.0, trials);
         let e2 = mean_error(name, &x2, &w, 0.01, trials);
         let ratio = e1 / e2;

@@ -1,86 +1,97 @@
-//! Property-based integration tests across the crate boundary: random
+//! Property-style integration tests across the crate boundary: randomized
 //! inputs through the public API must uphold the framework invariants.
+//! (Seeded loops stand in for proptest, which is unavailable offline.)
 
 use dpbench::prelude::*;
 use dpbench_core::query::PrefixTable;
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Workload evaluation equals brute-force cell summation.
-    #[test]
-    fn workload_eval_matches_naive(
-        counts in proptest::collection::vec(0.0_f64..100.0, 16..=64),
-        seed in 0_u64..1000,
-    ) {
-        let n = counts.len();
+/// Workload evaluation equals brute-force cell summation.
+#[test]
+fn workload_eval_matches_naive() {
+    let mut meta = StdRng::seed_from_u64(0xA0);
+    for _ in 0..32 {
+        let n = meta.gen_range(16..=64_usize);
+        let counts: Vec<f64> = (0..n).map(|_| meta.gen_range(0.0..100.0)).collect();
         let x = DataVector::new(counts, Domain::D1(n));
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(meta.gen_range(0..1000_u64));
         let w = Workload::random_ranges(Domain::D1(n), 40, &mut rng);
         let fast = w.evaluate(&x);
         for (q, f) in w.queries().iter().zip(&fast) {
-            prop_assert!((q.eval_naive(&x) - f).abs() < 1e-9);
+            assert!((q.eval_naive(&x) - f).abs() < 1e-9);
         }
     }
+}
 
-    /// The generator produces integral vectors of exactly the requested
-    /// scale, confined to the shape's support.
-    #[test]
-    fn generator_exact_scale_and_support(scale in 1_u64..200_000, seed in 0_u64..1000) {
-        let dataset = dpbench::datasets::catalog::by_name("TRACE").unwrap();
-        let domain = Domain::D1(512);
-        let mut rng = StdRng::seed_from_u64(seed);
+/// The generator produces integral vectors of exactly the requested scale,
+/// confined to the shape's support.
+#[test]
+fn generator_exact_scale_and_support() {
+    let mut meta = StdRng::seed_from_u64(0xA1);
+    let dataset = dpbench::datasets::catalog::by_name("TRACE").unwrap();
+    let domain = Domain::D1(512);
+    let shape = dataset.shape(domain);
+    for _ in 0..32 {
+        let scale = meta.gen_range(1..200_000_u64);
+        let mut rng = StdRng::seed_from_u64(meta.gen_range(0..1000_u64));
         let x = DataGenerator::new().generate(&dataset, domain, scale, &mut rng);
-        prop_assert_eq!(x.scale() as u64, scale);
-        prop_assert!(x.counts().iter().all(|&c| c >= 0.0 && c.fract() == 0.0));
-        let shape = dataset.shape(domain);
+        assert_eq!(x.scale() as u64, scale);
+        assert!(x.counts().iter().all(|&c| c >= 0.0 && c.fract() == 0.0));
         for (p, c) in shape.iter().zip(x.counts()) {
             if *p == 0.0 {
-                prop_assert_eq!(*c, 0.0);
+                assert_eq!(*c, 0.0);
             }
         }
     }
+}
 
-    /// Coarsening preserves total mass for any domain divisor.
-    #[test]
-    fn coarsening_mass_preserved(seed in 0_u64..1000) {
-        let dataset = dpbench::datasets::catalog::by_name("SEARCH").unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Coarsening preserves total mass for any domain divisor.
+#[test]
+fn coarsening_mass_preserved() {
+    let mut meta = StdRng::seed_from_u64(0xA2);
+    let dataset = dpbench::datasets::catalog::by_name("SEARCH").unwrap();
+    for _ in 0..16 {
+        let mut rng = StdRng::seed_from_u64(meta.gen_range(0..1000_u64));
         let x = DataGenerator::new().generate(&dataset, Domain::D1(1024), 50_000, &mut rng);
         for m in [512_usize, 256, 128] {
             let y = x.coarsen(Domain::D1(m));
-            prop_assert!((y.scale() - x.scale()).abs() < 1e-9);
+            assert!((y.scale() - x.scale()).abs() < 1e-9);
         }
     }
+}
 
-    /// Mechanisms produce finite, correctly-sized estimates on arbitrary
-    /// (power-of-two) inputs.
-    #[test]
-    fn mechanisms_total_on_random_inputs(
-        raw in proptest::collection::vec(0.0_f64..500.0, 64),
-        seed in 0_u64..100,
-    ) {
-        let x = DataVector::new(raw.iter().map(|v| v.round()).collect(), Domain::D1(64));
+/// Mechanisms produce finite, correctly-sized estimates on arbitrary
+/// (power-of-two) inputs.
+#[test]
+fn mechanisms_total_on_random_inputs() {
+    let mut meta = StdRng::seed_from_u64(0xA3);
+    for _ in 0..12 {
+        let raw: Vec<f64> = (0..64)
+            .map(|_| meta.gen_range(0.0_f64..500.0).round())
+            .collect();
+        let x = DataVector::new(raw, Domain::D1(64));
         let w = Workload::prefix_1d(64);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(meta.gen_range(0..100_u64));
         for name in ["IDENTITY", "HB", "PRIVELET", "DAWA", "EFPA", "PHP", "AHP"] {
             let mech = mechanism_by_name(name).unwrap();
             let est = mech.run_eps(&x, &w, 1.0, &mut rng).unwrap();
-            prop_assert_eq!(est.len(), 64);
-            prop_assert!(est.iter().all(|v| v.is_finite()), "{} non-finite", name);
+            assert_eq!(est.len(), 64);
+            assert!(est.iter().all(|v| v.is_finite()), "{name} non-finite");
         }
     }
+}
 
-    /// The prefix table's total always equals the vector's scale.
-    #[test]
-    fn prefix_table_total(counts in proptest::collection::vec(0.0_f64..10.0, 1..=128)) {
-        let n = counts.len();
+/// The prefix table's total always equals the vector's scale.
+#[test]
+fn prefix_table_total() {
+    let mut meta = StdRng::seed_from_u64(0xA4);
+    for _ in 0..32 {
+        let n = meta.gen_range(1..=128_usize);
+        let counts: Vec<f64> = (0..n).map(|_| meta.gen_range(0.0..10.0)).collect();
         let x = DataVector::new(counts, Domain::D1(n));
         let t = PrefixTable::build(&x);
-        prop_assert!((t.total() - x.scale()).abs() < 1e-9);
+        assert!((t.total() - x.scale()).abs() < 1e-9);
     }
 }
 
@@ -92,7 +103,10 @@ fn hierarchical_estimates_respect_sum_consistency() {
     let dataset = dpbench::datasets::catalog::by_name("INCOME").unwrap();
     let x = DataGenerator::new().generate(&dataset, Domain::D1(256), 1_000_000, &mut rng);
     let w = Workload::prefix_1d(256);
-    let est = mechanism_by_name("H").unwrap().run_eps(&x, &w, 1.0, &mut rng).unwrap();
+    let est = mechanism_by_name("H")
+        .unwrap()
+        .run_eps(&x, &w, 1.0, &mut rng)
+        .unwrap();
     let total: f64 = est.iter().sum();
     // With ε = 1 the root estimate is within a few hundred of the truth.
     assert!(

@@ -1,0 +1,46 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde
+//! stand-in. Emits empty marker-trait impls; handles plain (non-generic)
+//! structs and enums, which covers every derived type in the workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct` / `enum` / `union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "offline serde derive does not support generic type {name}"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{kw}`, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("no struct/enum/union found in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

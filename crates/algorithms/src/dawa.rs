@@ -16,17 +16,52 @@
 //!    [`GreedyH`](crate::greedy_h::GreedyH) over the reduced vector;
 //!    bucket estimates are spread uniformly over their cells.
 //!
+//! The partition DP's interval costs are computed by the sliding-window
+//! order-statistic engine in
+//! [`dpbench_transforms::order_stats`] — **O(n log² n)** total instead of
+//! the O(n²) per-interval rescan — and validated against the retained
+//! naive DP ([`l1_partition_naive`]) by an exact-partition equivalence
+//! suite. Execution scratch (noisy vector, deviation tables, DP arrays)
+//! comes from the caller's [`Workspace`], so repeated trials allocate
+//! almost nothing.
+//!
 //! 2-D inputs are flattened along a Hilbert curve (paper Appendix B).
 //! DAWA is consistent (Theorem 3) and scale-ε exchangeable (Theorem 11).
 
 use crate::greedy_h::GreedyH;
-use dpbench_core::mechanism::{fingerprint_words, DimSupport, FnPlan, Plan, PlanDiagnostics};
+use dpbench_core::mechanism::{
+    check_planned_domain, fingerprint_words, DimSupport, Plan, PlanDiagnostics,
+};
 use dpbench_core::primitives::laplace;
 use dpbench_core::{
-    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release,
+    Workload, Workspace,
 };
 use dpbench_transforms::hilbert;
+use dpbench_transforms::order_stats::SlidingDeviation;
 use rand::RngCore;
+
+/// Deterministic near-tie rule of the partition DP: a candidate
+/// segmentation must beat the incumbent by this **relative** margin to
+/// replace it (otherwise the earlier — shorter — candidate is kept). Real
+/// data produces exact cost ties (e.g. when the bias correction clamps
+/// whole cost chains to zero, or deviation sums coincide), and the fast
+/// and naive deviation computations differ by a few ulps; without a tie
+/// band those ulps would arbitrarily flip the argmin. Candidates within
+/// the band differ in cost by at most one part in 10⁹ — statistically
+/// interchangeable partitions.
+const IMPROVEMENT_TOL: f64 = 1e-9;
+
+/// Shared improvement test of both partition DPs.
+#[inline]
+fn improves(cost: f64, incumbent: f64) -> bool {
+    if incumbent.is_finite() {
+        cost < incumbent - IMPROVEMENT_TOL * (1.0 + incumbent.abs())
+    } else {
+        // Unset DP entries start at +∞; any finite candidate takes them.
+        cost < incumbent
+    }
+}
 
 /// The DAWA mechanism.
 #[derive(Debug, Clone, Copy)]
@@ -58,10 +93,13 @@ impl Dawa {
         Self { rho, branching: 2 }
     }
 
+    /// The full 1-D pipeline on raw counts; estimate written into a buffer
+    /// taken from `ws` (which also supplies all scratch).
     fn run_1d(
         &self,
         counts: &[f64],
         queries: &[RangeQuery],
+        ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
@@ -70,16 +108,17 @@ impl Dawa {
         let eps2 = budget.spend_all_as("greedy-h");
 
         // Stage 1: partition from noisy counts.
-        let noisy: Vec<f64> = counts
-            .iter()
-            .map(|&c| c + laplace(1.0 / eps1, rng))
-            .collect();
-        let buckets = l1_partition(&noisy, eps1, eps2);
+        let mut noisy = ws.take_f64(n);
+        for (slot, &c) in noisy.iter_mut().zip(counts) {
+            *slot = c + laplace(1.0 / eps1, rng);
+        }
+        let buckets = l1_partition_with(&noisy, eps1, eps2, ws);
+        ws.give_f64(noisy);
 
         // Stage 2: GREEDY_H over the reduced (bucket) domain.
         let k = buckets.len();
         let mut reduced = vec![0.0; k];
-        let mut cell_to_bucket = vec![0_usize; n];
+        let mut cell_to_bucket = ws.take_usize(n);
         for (bi, &(lo, hi)) in buckets.iter().enumerate() {
             reduced[bi] = counts[lo..hi].iter().sum();
             for cb in cell_to_bucket[lo..hi].iter_mut() {
@@ -87,17 +126,24 @@ impl Dawa {
             }
         }
         let reduced_x = DataVector::new(reduced, Domain::D1(k));
-        let mapped: Vec<RangeQuery> = queries
-            .iter()
-            .map(|q| RangeQuery::d1(cell_to_bucket[q.lo.0], cell_to_bucket[q.hi.0]))
-            .collect();
+        // Workload-sized scratch: pooled through the typed slot so the
+        // per-trial mapping reuses one allocation.
+        let mut mapped: Box<Vec<RangeQuery>> = ws.take_typed();
+        mapped.clear();
+        mapped.extend(
+            queries
+                .iter()
+                .map(|q| RangeQuery::d1(cell_to_bucket[q.lo.0], cell_to_bucket[q.hi.0])),
+        );
+        ws.give_usize(cell_to_bucket);
         let bucket_est = GreedyH {
             branching: self.branching,
         }
         .run_1d(&reduced_x, &mapped, eps2, rng);
+        ws.store_typed(mapped);
 
         // Uniform expansion.
-        let mut est = vec![0.0; n];
+        let mut est = ws.take_f64(n);
         for (bi, &(lo, hi)) in buckets.iter().enumerate() {
             let share = bucket_est[bi] / (hi - lo) as f64;
             for e in est[lo..hi].iter_mut() {
@@ -118,8 +164,92 @@ impl Dawa {
 /// correction subtracts it (clamped at zero), as in the original DAWA
 /// implementation.
 ///
+/// Interval deviations come from the O(n log² n) sliding-window
+/// order-statistic engine; the DP visits candidate lengths in the same
+/// ascending order with the same [`IMPROVEMENT_TOL`] rule as
+/// [`l1_partition_naive`], so both return the same argmin partition (the
+/// equivalence suite in `tests/hot_path.rs` asserts bucket-for-bucket
+/// equality).
+///
 /// Returns half-open bucket ranges `[lo, hi)` covering the domain.
 pub fn l1_partition(noisy: &[f64], eps1: f64, eps2: f64) -> Vec<(usize, usize)> {
+    l1_partition_with(noisy, eps1, eps2, &mut Workspace::new())
+}
+
+/// [`l1_partition`] drawing every scratch buffer (deviation tables, DP
+/// arrays, the order-statistic engine) from a caller-owned [`Workspace`] —
+/// the allocation-free hot-path entry point.
+pub fn l1_partition_with(
+    noisy: &[f64],
+    eps1: f64,
+    eps2: f64,
+    ws: &mut Workspace,
+) -> Vec<(usize, usize)> {
+    let n = noisy.len();
+    assert!(n > 0);
+    let bucket_penalty = 1.0 / eps2;
+
+    // Power-of-two candidate lengths 1, 2, …, ≤ n.
+    let mut n_classes = 1_usize;
+    while (1_usize << n_classes) <= n {
+        n_classes += 1;
+    }
+
+    // dev[k * (n + 1) + i] = L1 deviation of the window of length 2^k
+    // ending at i. Row k = 0 (single cells) stays all-zero — a singleton
+    // deviates from its own mean by exactly zero. (The naive rescan leaves
+    // ~1 ulp of prefix-sum residue there instead; the shared
+    // [`IMPROVEMENT_TOL`] tie band absorbs the difference.)
+    let stride = n + 1;
+    let mut dev = ws.take_f64(n_classes * stride);
+    let mut sd: Box<SlidingDeviation> = ws.take_typed();
+    sd.prepare(noisy);
+    for k in 1..n_classes {
+        sd.window_deviations(noisy, 1 << k, &mut dev[k * stride..(k + 1) * stride]);
+    }
+    ws.store_typed(sd);
+
+    // dp[i] = best cost of segmenting noisy[0..i); from[i] = chosen length.
+    let mut dp = ws.take_f64(n + 1);
+    let mut from = ws.take_usize(n + 1);
+    dp[1..].fill(f64::INFINITY);
+    for i in 1..=n {
+        for (k, row) in dev.chunks_exact(stride).enumerate() {
+            let len = 1_usize << k;
+            if len > i {
+                break;
+            }
+            let j = i - len;
+            let corrected = (row[i] - (len as f64 - 1.0) / eps1).max(0.0);
+            let cost = dp[j] + corrected + bucket_penalty;
+            if improves(cost, dp[i]) {
+                dp[i] = cost;
+                from[i] = len;
+            }
+        }
+    }
+    // Reconstruct.
+    let mut buckets = Vec::new();
+    let mut i = n;
+    while i > 0 {
+        let len = from[i];
+        buckets.push((i - len, i));
+        i -= len;
+    }
+    buckets.reverse();
+    ws.give_f64(dev);
+    ws.give_f64(dp);
+    ws.give_usize(from);
+    buckets
+}
+
+/// The original O(n²) partition DP, retained as the validation oracle for
+/// [`l1_partition`]: every interval's deviation is recomputed by a full
+/// rescan. The only change from the pre-optimization code is the shared
+/// [`IMPROVEMENT_TOL`] near-tie rule (both DPs must break fp-level cost
+/// ties identically to be comparable at all). Used only by tests and the
+/// `perf_report` baseline.
+pub fn l1_partition_naive(noisy: &[f64], eps1: f64, eps2: f64) -> Vec<(usize, usize)> {
     let n = noisy.len();
     assert!(n > 0);
     let bucket_penalty = 1.0 / eps2;
@@ -144,7 +274,7 @@ pub fn l1_partition(noisy: &[f64], eps1: f64, eps2: f64) -> Vec<(usize, usize)> 
             }
             let corrected = (dev - (len as f64 - 1.0) / eps1).max(0.0);
             let cost = dp[j] + corrected + bucket_penalty;
-            if cost < dp[i] {
+            if improves(cost, dp[i]) {
                 dp[i] = cost;
                 from[i] = len;
             }
@@ -161,6 +291,55 @@ pub fn l1_partition(noisy: &[f64], eps1: f64, eps2: f64) -> Vec<(usize, usize)> 
     }
     buckets.reverse();
     buckets
+}
+
+/// DAWA's reusable plan: the (data-independent) workload mapping —
+/// identity in 1-D, Hilbert covering intervals in 2-D — plus the stage
+/// configuration. Only the partition and measurement touch the data.
+struct DawaPlan {
+    domain: Domain,
+    /// `Some(side)` when the plan flattens a 2-D grid along the Hilbert
+    /// curve.
+    hilbert_side: Option<usize>,
+    queries: Vec<RangeQuery>,
+    mech: Dawa,
+    diagnostics: PlanDiagnostics,
+}
+
+impl Plan for DawaPlan {
+    fn diagnostics(&self) -> &PlanDiagnostics {
+        &self.diagnostics
+    }
+
+    fn execute(
+        &self,
+        x: &DataVector,
+        ws: &mut Workspace,
+        budget: &mut BudgetLedger,
+        rng: &mut dyn RngCore,
+    ) -> Result<Release, MechError> {
+        check_planned_domain("DAWA", self.domain, x.domain())?;
+        let mark = budget.mark();
+        let estimate = match self.hilbert_side {
+            None => self
+                .mech
+                .run_1d(x.counts(), &self.queries, ws, budget, rng)?,
+            Some(side) => {
+                let mut flat = ws.take_f64(side * side);
+                hilbert::flatten_into(x.counts(), side, &mut flat);
+                let est_flat = self.mech.run_1d(&flat, &self.queries, ws, budget, rng)?;
+                hilbert::unflatten_into(&est_flat, side, &mut flat);
+                ws.give_f64(est_flat);
+                flat
+            }
+        };
+        Ok(Release::from_ledger(
+            estimate,
+            budget,
+            mark,
+            self.diagnostics.clone(),
+        ))
+    }
 }
 
 impl Mechanism for Dawa {
@@ -185,19 +364,8 @@ impl Mechanism for Dawa {
     }
 
     fn plan(&self, domain: &Domain, workload: &Workload) -> Result<Box<dyn Plan>, MechError> {
-        // The workload mapping (identity in 1-D, Hilbert covering intervals
-        // in 2-D) is data-independent; only the partition + measurement
-        // touch the data.
-        let mech = *self;
-        match *domain {
-            Domain::D1(_) => {
-                let queries = workload.queries().to_vec();
-                Ok(FnPlan::boxed(
-                    *domain,
-                    PlanDiagnostics::data_dependent("DAWA"),
-                    move |x, budget, rng| mech.run_1d(x.counts(), &queries, budget, rng),
-                ))
-            }
+        let (hilbert_side, queries) = match *domain {
+            Domain::D1(_) => (None, workload.queries().to_vec()),
             Domain::D2(r, c) => {
                 if r != c || !r.is_power_of_two() {
                     return Err(MechError::Unsupported {
@@ -205,56 +373,25 @@ impl Mechanism for Dawa {
                         reason: format!("2-D domain {r}x{c} must be a square power of two"),
                     });
                 }
-                let intervals: Vec<RangeQuery> = workload
+                let intervals = workload
                     .queries()
                     .iter()
-                    .map(|q| hilbert_cover(q, r))
+                    .map(|q| {
+                        let (lo, hi) = hilbert::box_cover(r, q.lo.0, q.lo.1, q.hi.0, q.hi.1);
+                        RangeQuery::d1(lo, hi)
+                    })
                     .collect();
-                Ok(FnPlan::boxed(
-                    *domain,
-                    PlanDiagnostics::data_dependent("DAWA"),
-                    move |x, budget, rng| {
-                        let flat = hilbert::flatten(x.counts(), r);
-                        let est = mech.run_1d(&flat, &intervals, budget, rng)?;
-                        Ok(hilbert::unflatten(&est, r))
-                    },
-                ))
+                (Some(r), intervals)
             }
-        }
+        };
+        Ok(Box::new(DawaPlan {
+            domain: *domain,
+            hilbert_side,
+            queries,
+            mech: *self,
+            diagnostics: PlanDiagnostics::data_dependent("DAWA"),
+        }))
     }
-}
-
-/// Covering Hilbert interval of a 2-D box (used to map the workload onto
-/// the flattened domain; the exact cell set is contiguous-ish thanks to
-/// the curve's locality).
-fn hilbert_cover(q: &RangeQuery, side: usize) -> RangeQuery {
-    let mut lo = usize::MAX;
-    let mut hi = 0_usize;
-    if q.size() <= 4096 {
-        for r in q.lo.0..=q.hi.0 {
-            for c in q.lo.1..=q.hi.1 {
-                let d = hilbert::xy2d(side, c, r);
-                lo = lo.min(d);
-                hi = hi.max(d);
-            }
-        }
-    } else {
-        for r in [q.lo.0, q.hi.0] {
-            for c in q.lo.1..=q.hi.1 {
-                let d = hilbert::xy2d(side, c, r);
-                lo = lo.min(d);
-                hi = hi.max(d);
-            }
-        }
-        for c in [q.lo.1, q.hi.1] {
-            for r in q.lo.0..=q.hi.0 {
-                let d = hilbert::xy2d(side, c, r);
-                lo = lo.min(d);
-                hi = hi.max(d);
-            }
-        }
-    }
-    RangeQuery::d1(lo, hi)
 }
 
 #[cfg(test)]
@@ -304,6 +441,30 @@ mod tests {
             .collect();
         let buckets = l1_partition(&noisy, 1e6, 1e6);
         assert_eq!(buckets.len(), 32, "{buckets:?}");
+    }
+
+    #[test]
+    fn fast_partition_matches_naive_on_structured_inputs() {
+        // Structured vectors (flat, steps, spikes) exercise the clamp's
+        // exact-tie paths; the fast DP must break ties identically.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.0; 37],
+            vec![3.5; 64],
+            (0..96).map(|i| (i / 24) as f64 * 100.0).collect(),
+            (0..61)
+                .map(|i| if i % 13 == 0 { 500.0 } else { 0.0 })
+                .collect(),
+        ];
+        for noisy in &cases {
+            for (e1, e2) in [(0.01, 0.1), (1.0, 1.0), (1e6, 0.5)] {
+                assert_eq!(
+                    l1_partition(noisy, e1, e2),
+                    l1_partition_naive(noisy, e1, e2),
+                    "ε₁={e1} ε₂={e2} len={}",
+                    noisy.len()
+                );
+            }
+        }
     }
 
     #[test]

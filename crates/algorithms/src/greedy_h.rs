@@ -18,7 +18,8 @@ use dpbench_core::mechanism::{
     check_planned_domain, fingerprint_words, DimSupport, Plan, PlanDiagnostics,
 };
 use dpbench_core::{
-    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release,
+    Workload, Workspace,
 };
 use dpbench_transforms::hilbert;
 use rand::RngCore;
@@ -46,8 +47,10 @@ impl GreedyH {
     /// hierarchy.
     pub fn level_usage(hier: &Hierarchy, queries: &[RangeQuery]) -> Vec<f64> {
         let mut counts = vec![0.0; hier.height()];
+        let (mut stack, mut ids) = (Vec::new(), Vec::new());
         for q in queries {
-            for id in hier.decompose(q) {
+            hier.decompose_into(q, &mut stack, &mut ids);
+            for &id in &ids {
                 counts[hier.nodes[id].level] += 1.0;
             }
         }
@@ -81,37 +84,11 @@ impl GreedyH {
     }
 
     /// Map a 2-D range to its covering interval along the Hilbert curve of
-    /// a `side × side` grid (approximation used only for budget weighting).
+    /// a `side × side` grid. The perimeter-only scan in
+    /// [`hilbert::box_cover`] is exact (the curve enters and leaves a box
+    /// through its boundary), so no full-area fallback is needed.
     fn hilbert_interval(q: &RangeQuery, side: usize) -> RangeQuery {
-        let mut lo = usize::MAX;
-        let mut hi = 0_usize;
-        // Exact min/max for small boxes; corner-and-edge sampling for big
-        // ones (the interval only steers budget allocation).
-        let cells = q.size();
-        if cells <= 4096 {
-            for r in q.lo.0..=q.hi.0 {
-                for c in q.lo.1..=q.hi.1 {
-                    let d = hilbert::xy2d(side, c, r);
-                    lo = lo.min(d);
-                    hi = hi.max(d);
-                }
-            }
-        } else {
-            for r in [q.lo.0, q.hi.0] {
-                for c in q.lo.1..=q.hi.1 {
-                    let d = hilbert::xy2d(side, c, r);
-                    lo = lo.min(d);
-                    hi = hi.max(d);
-                }
-            }
-            for c in [q.lo.1, q.hi.1] {
-                for r in q.lo.0..=q.hi.0 {
-                    let d = hilbert::xy2d(side, c, r);
-                    lo = lo.min(d);
-                    hi = hi.max(d);
-                }
-            }
-        }
+        let (lo, hi) = hilbert::box_cover(side, q.lo.0, q.lo.1, q.hi.0, q.hi.1);
         RangeQuery::d1(lo, hi)
     }
 }
@@ -201,6 +178,7 @@ impl Plan for GreedyHPlan {
     fn execute(
         &self,
         x: &DataVector,
+        ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError> {
@@ -211,10 +189,14 @@ impl Plan for GreedyHPlan {
         let estimate = match self.hilbert_side {
             None => self.hier.measure_and_infer(x, &level_eps, rng),
             Some(side) => {
-                let flat = hilbert::flatten(x.counts(), side);
+                let mut flat = ws.take_f64(side * side);
+                hilbert::flatten_into(x.counts(), side, &mut flat);
                 let flat_x = DataVector::new(flat, Domain::D1(side * side));
                 let est_flat = self.hier.measure_and_infer(&flat_x, &level_eps, rng);
-                hilbert::unflatten(&est_flat, side)
+                let mut grid = ws.take_f64(side * side);
+                hilbert::unflatten_into(&est_flat, side, &mut grid);
+                ws.give_f64(flat_x.into_counts());
+                grid
             }
         };
         Ok(Release::from_ledger(

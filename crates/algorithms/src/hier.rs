@@ -21,7 +21,7 @@ use dpbench_core::mechanism::{
     check_planned_domain, fingerprint_words, DimSupport, Plan, PlanDiagnostics,
 };
 use dpbench_core::{
-    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Release, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Release, Workload, Workspace,
 };
 use rand::RngCore;
 
@@ -57,6 +57,7 @@ impl Plan for HierPlan {
     fn execute(
         &self,
         x: &DataVector,
+        _ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError> {

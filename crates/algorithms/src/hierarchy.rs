@@ -124,7 +124,19 @@ impl Hierarchy {
     /// (only exact when the hierarchy is fully resolved).
     pub fn decompose(&self, q: &RangeQuery) -> Vec<usize> {
         let mut out = Vec::new();
-        let mut stack = vec![0_usize];
+        let mut stack = Vec::new();
+        self.decompose_into(q, &mut stack, &mut out);
+        out
+    }
+
+    /// [`Hierarchy::decompose`] into caller-provided buffers (`out` is
+    /// cleared first) — the allocation-free variant for callers that
+    /// decompose many queries (GREEDY_H maps a whole workload per plan,
+    /// DAWA per trial).
+    pub fn decompose_into(&self, q: &RangeQuery, stack: &mut Vec<usize>, out: &mut Vec<usize>) {
+        out.clear();
+        stack.clear();
+        stack.push(0_usize);
         while let Some(id) = stack.pop() {
             let node = &self.nodes[id];
             let b = node.query;
@@ -145,7 +157,6 @@ impl Hierarchy {
             }
             stack.extend_from_slice(&node.children);
         }
-        out
     }
 
     /// Measure every node with Laplace noise using the given per-level

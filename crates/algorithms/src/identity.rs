@@ -8,9 +8,9 @@
 //! Finding 10).
 
 use dpbench_core::mechanism::{check_planned_domain, DimSupport, Plan, PlanDiagnostics};
-use dpbench_core::primitives::laplace_vec;
+use dpbench_core::primitives::laplace;
 use dpbench_core::{
-    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Release, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Release, Workload, Workspace,
 };
 use rand::RngCore;
 
@@ -33,13 +33,18 @@ impl Plan for IdentityPlan {
     fn execute(
         &self,
         x: &DataVector,
+        ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError> {
         check_planned_domain("IDENTITY", self.domain, x.domain())?;
         let mark = budget.mark();
         let eps = budget.spend_all_as("laplace-cells");
-        let estimate = laplace_vec(x.counts(), 1.0, eps, rng);
+        // Same noise stream as `laplace_vec`, but into a recycled buffer.
+        let mut estimate = ws.take_f64(x.n_cells());
+        for (e, &c) in estimate.iter_mut().zip(x.counts()) {
+            *e = c + laplace(1.0 / eps, rng);
+        }
         Ok(Release::from_ledger(
             estimate,
             budget,

@@ -21,9 +21,10 @@ use dpbench_core::mechanism::{
 };
 use dpbench_core::primitives::laplace;
 use dpbench_core::{
-    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release,
+    Workload, Workspace,
 };
-use dpbench_transforms::matrix::{cholesky_solve, Matrix};
+use dpbench_transforms::matrix::{cholesky_solve_in_place, Matrix};
 use rand::RngCore;
 
 /// An explicit matrix-mechanism instance over a 1-D domain of size `n`.
@@ -31,15 +32,33 @@ use rand::RngCore;
 pub struct MatrixMechanism {
     strategy: Matrix,
     name: String,
+    /// Content hash of the strategy, computed once at construction: the
+    /// plan cache calls [`Mechanism::config_fingerprint`] on **every**
+    /// lookup, and re-hashing an n×n matrix per lookup would put an O(n²)
+    /// walk on the cache-hit fast path.
+    fingerprint: u64,
 }
 
 impl MatrixMechanism {
     /// Wrap an explicit strategy matrix (rows = strategy queries).
     pub fn new(name: impl Into<String>, strategy: Matrix) -> Self {
         assert!(strategy.rows() > 0 && strategy.cols() > 0);
+        // The strategy matrix IS the configuration: hash its shape and
+        // every entry so same-named instances with different strategies
+        // never share cached plans.
+        let mut words = Vec::with_capacity(2 + strategy.rows() * strategy.cols());
+        words.push(strategy.rows() as u64);
+        words.push(strategy.cols() as u64);
+        for r in 0..strategy.rows() {
+            for c in 0..strategy.cols() {
+                words.push(strategy[(r, c)].to_bits());
+            }
+        }
+        let fingerprint = fingerprint_words(&words);
         Self {
             strategy,
             name: name.into(),
+            fingerprint,
         }
     }
 
@@ -182,19 +201,7 @@ impl Mechanism for MatrixMechanism {
     }
 
     fn config_fingerprint(&self) -> u64 {
-        // The strategy matrix IS the configuration: hash its shape and
-        // every entry so same-named instances with different strategies
-        // never share cached plans.
-        let s = &self.strategy;
-        let mut words = Vec::with_capacity(2 + s.rows() * s.cols());
-        words.push(s.rows() as u64);
-        words.push(s.cols() as u64);
-        for r in 0..s.rows() {
-            for c in 0..s.cols() {
-                words.push(s[(r, c)].to_bits());
-            }
-        }
-        fingerprint_words(&words)
+        self.fingerprint
     }
 }
 
@@ -217,19 +224,24 @@ impl Plan for MatrixPlan {
     fn execute(
         &self,
         x: &DataVector,
+        ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError> {
         check_planned_domain(&self.diagnostics.mechanism, self.domain, x.domain())?;
         let mark = budget.mark();
         let eps = budget.spend_all_as("strategy-rows");
-        let mut answers = self.strategy.matvec(x.counts());
+        let mut answers = ws.take_f64(self.strategy.rows());
+        self.strategy.matvec_into(x.counts(), &mut answers);
         for a in answers.iter_mut() {
             *a += laplace(self.delta / eps, rng);
         }
-        // Least squares via the cached factorization: SᵀS·x̂ = Sᵀ·answers.
-        let rhs = self.transpose.matvec(&answers);
-        let estimate = cholesky_solve(&self.factor, &rhs);
+        // Least squares via the cached factorization: SᵀS·x̂ = Sᵀ·answers;
+        // the solve runs in place, so the rhs buffer becomes the estimate.
+        let mut estimate = ws.take_f64(self.transpose.rows());
+        self.transpose.matvec_into(&answers, &mut estimate);
+        cholesky_solve_in_place(&self.factor, &mut estimate);
+        ws.give_f64(answers);
         Ok(Release::from_ledger(
             estimate,
             budget,

@@ -14,7 +14,7 @@
 use dpbench_core::mechanism::{check_planned_domain, DimSupport, Plan, PlanDiagnostics};
 use dpbench_core::primitives::laplace;
 use dpbench_core::{
-    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Release, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, Release, Workload, Workspace,
 };
 use dpbench_transforms::wavelet::{
     haar_forward, haar_forward_2d, haar_inverse, haar_inverse_2d, weight_for, weight_for_2d,
@@ -96,6 +96,7 @@ impl Plan for PriveletPlan {
     fn execute(
         &self,
         x: &DataVector,
+        _ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError> {

@@ -21,7 +21,8 @@ use dpbench_core::mechanism::{
 use dpbench_core::primitives::exponential_mechanism;
 use dpbench_core::query::PrefixTable;
 use dpbench_core::{
-    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release, Workload,
+    BudgetLedger, DataVector, Domain, MechError, MechInfo, Mechanism, RangeQuery, Release,
+    Workload, Workspace,
 };
 use rand::RngCore;
 
@@ -115,6 +116,7 @@ impl Plan for QuadTreePlan {
     fn execute(
         &self,
         x: &DataVector,
+        _ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError> {

@@ -36,6 +36,7 @@ pub mod primitives;
 pub mod query;
 pub mod rng;
 pub mod workload;
+pub mod workspace;
 
 pub use budget::{BudgetLedger, SpendRecord};
 pub use data::DataVector;
@@ -44,3 +45,4 @@ pub use error::{scaled_per_query_error, Loss};
 pub use mechanism::{MechError, MechInfo, Mechanism, Plan, PlanDiagnostics, Release};
 pub use query::RangeQuery;
 pub use workload::Workload;
+pub use workspace::Workspace;

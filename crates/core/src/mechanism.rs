@@ -24,6 +24,7 @@ use crate::budget::{BudgetExhausted, BudgetLedger, SpendRecord};
 use crate::data::DataVector;
 use crate::domain::Domain;
 use crate::workload::Workload;
+use crate::workspace::Workspace;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -235,9 +236,15 @@ pub trait Plan: Send + Sync {
     /// Implementations must route **every** data-dependent computation
     /// through the ledger; the harness asserts the ledger is never
     /// overdrawn.
+    ///
+    /// `ws` is the caller's per-thread scratch pool; implementations on the
+    /// hot path take their temporaries (and ideally the estimate itself)
+    /// from it so repeated executions allocate nothing. One-shot callers
+    /// pass a throwaway `Workspace::new()` — creating one is free.
     fn execute(
         &self,
         x: &DataVector,
+        ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError>;
@@ -301,6 +308,7 @@ where
     fn execute(
         &self,
         x: &DataVector,
+        _ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError> {
@@ -333,8 +341,21 @@ pub fn execute_eps(
     epsilon: f64,
     rng: &mut dyn RngCore,
 ) -> Result<Release, MechError> {
+    execute_eps_with(plan, x, epsilon, &mut Workspace::new(), rng)
+}
+
+/// [`execute_eps`] with a caller-supplied [`Workspace`] — the hot-path
+/// variant used by the grid runner, whose per-thread workspace amortizes
+/// every scratch buffer across trials.
+pub fn execute_eps_with(
+    plan: &dyn Plan,
+    x: &DataVector,
+    epsilon: f64,
+    ws: &mut Workspace,
+    rng: &mut dyn RngCore,
+) -> Result<Release, MechError> {
     let mut ledger = BudgetLedger::new(epsilon);
-    let release = plan.execute(x, &mut ledger, rng)?;
+    let release = plan.execute(x, ws, &mut ledger, rng)?;
     if ledger.spent() > ledger.total() * (1.0 + 1e-9) {
         return Err(MechError::Budget(BudgetExhausted {
             requested: ledger.spent(),
@@ -390,7 +411,9 @@ pub trait Mechanism: Send + Sync {
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, MechError> {
         let plan = self.plan(&x.domain(), workload)?;
-        Ok(plan.execute(x, budget, rng)?.estimate)
+        Ok(plan
+            .execute(x, &mut Workspace::new(), budget, rng)?
+            .estimate)
     }
 
     /// One-shot plan + execute with a fresh ledger of budget ε, returning
@@ -574,7 +597,9 @@ mod tests {
         let mut ledger = BudgetLedger::new(1.0);
         ledger.spend_as("outer", 0.5).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let release = plan.execute(&x, &mut ledger, &mut rng).unwrap();
+        let release = plan
+            .execute(&x, &mut Workspace::new(), &mut ledger, &mut rng)
+            .unwrap();
         assert_eq!(release.budget_trace.len(), 1);
         assert_eq!(release.budget_trace[0].label, "null");
         assert!((release.spent() - 0.5).abs() < 1e-12);

@@ -78,36 +78,22 @@ pub struct PrefixTable {
 impl PrefixTable {
     /// Build the cumulative table from raw cells.
     pub fn build(x: &DataVector) -> Self {
-        match x.domain() {
-            Domain::D1(n) => {
-                let mut table = Vec::with_capacity(n + 1);
-                table.push(0.0);
-                let mut acc = 0.0;
-                for &c in x.counts() {
-                    acc += c;
-                    table.push(acc);
-                }
-                Self {
-                    table,
-                    domain: x.domain(),
-                }
-            }
-            Domain::D2(rows, cols) => {
-                let w = cols + 1;
-                let mut table = vec![0.0; (rows + 1) * w];
-                for r in 0..rows {
-                    let mut row_acc = 0.0;
-                    for c in 0..cols {
-                        row_acc += x.counts()[r * cols + c];
-                        table[(r + 1) * w + (c + 1)] = table[r * w + (c + 1)] + row_acc;
-                    }
-                }
-                Self {
-                    table,
-                    domain: x.domain(),
-                }
-            }
-        }
+        Self::build_cells(x.counts(), x.domain())
+    }
+
+    /// Build from a raw cell slice over `domain` (no [`DataVector`]
+    /// wrapping — and hence no clone of the cells).
+    pub fn build_cells(cells: &[f64], domain: Domain) -> Self {
+        let mut table = Vec::new();
+        fill_table(&mut table, cells, domain);
+        Self { table, domain }
+    }
+
+    /// Rebuild this table in place from new cells, reusing its allocation.
+    /// The domain may differ from the one the table was built for.
+    pub fn rebuild_cells(&mut self, cells: &[f64], domain: Domain) {
+        fill_table(&mut self.table, cells, domain);
+        self.domain = domain;
     }
 
     /// Total mass of the underlying vector.
@@ -131,6 +117,41 @@ impl PrefixTable {
                 let (r2, c2) = (q.hi.0 + 1, q.hi.1 + 1);
                 self.table[r2 * w + c2] - self.table[r1 * w + c2] - self.table[r2 * w + c1]
                     + self.table[r1 * w + c1]
+            }
+        }
+    }
+}
+
+/// Fill `table` with the cumulative sums of `cells` over `domain`,
+/// reusing the vector's capacity (`clear` + `resize` leaves every element
+/// freshly zeroed, so the 2-D sentinel row/column needs no extra pass).
+fn fill_table(table: &mut Vec<f64>, cells: &[f64], domain: Domain) {
+    assert_eq!(
+        cells.len(),
+        domain.n_cells(),
+        "cell slice length {} does not match domain {domain}",
+        cells.len()
+    );
+    table.clear();
+    match domain {
+        Domain::D1(_) => {
+            table.reserve(cells.len() + 1);
+            table.push(0.0);
+            let mut acc = 0.0;
+            for &c in cells {
+                acc += c;
+                table.push(acc);
+            }
+        }
+        Domain::D2(rows, cols) => {
+            let w = cols + 1;
+            table.resize((rows + 1) * w, 0.0);
+            for r in 0..rows {
+                let mut row_acc = 0.0;
+                for c in 0..cols {
+                    row_acc += cells[r * cols + c];
+                    table[(r + 1) * w + (c + 1)] = table[r * w + (c + 1)] + row_acc;
+                }
             }
         }
     }
@@ -168,6 +189,31 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_across_domains() {
+        let x1 = DataVector::new((0..12).map(|i| i as f64).collect(), Domain::D1(12));
+        let x2 = DataVector::new(
+            (0..30).map(|i| (i * 5 % 11) as f64).collect(),
+            Domain::D2(5, 6),
+        );
+        let mut t = PrefixTable::build(&x1);
+        // 1-D → 2-D → 1-D, always bit-identical to a fresh build.
+        t.rebuild_cells(x2.counts(), x2.domain());
+        let fresh2 = PrefixTable::build(&x2);
+        for r1 in 0..5 {
+            for c1 in 0..6 {
+                let q = RangeQuery::d2(0, 0, r1, c1);
+                assert_eq!(t.eval(&q), fresh2.eval(&q));
+            }
+        }
+        t.rebuild_cells(x1.counts(), x1.domain());
+        let fresh1 = PrefixTable::build(&x1);
+        for hi in 0..12 {
+            let q = RangeQuery::d1(0, hi);
+            assert_eq!(t.eval(&q), fresh1.eval(&q));
         }
     }
 

@@ -12,6 +12,7 @@
 use crate::data::DataVector;
 use crate::domain::Domain;
 use crate::query::{PrefixTable, RangeQuery};
+use crate::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -193,14 +194,46 @@ impl Workload {
             x.domain(),
             self.domain
         );
-        let table = PrefixTable::build(x);
-        self.queries.iter().map(|q| table.eval(q)).collect()
+        self.evaluate_cells(x.counts())
     }
 
     /// Evaluate against raw cell estimates (same domain as the workload).
     pub fn evaluate_cells(&self, cells: &[f64]) -> Vec<f64> {
-        let x = DataVector::new(cells.to_vec(), self.domain);
-        self.evaluate(&x)
+        let table = PrefixTable::build_cells(cells, self.domain);
+        self.queries.iter().map(|q| table.eval(q)).collect()
+    }
+
+    /// Allocation-free [`Workload::evaluate`]: answers land in `out`
+    /// (cleared first) and the prefix table is recycled through `ws`.
+    pub fn evaluate_into(&self, x: &DataVector, ws: &mut Workspace, out: &mut Vec<f64>) {
+        assert_eq!(
+            x.domain(),
+            self.domain,
+            "data vector domain {} does not match workload domain {}",
+            x.domain(),
+            self.domain
+        );
+        self.evaluate_cells_into(x.counts(), ws, out);
+    }
+
+    /// Allocation-free [`Workload::evaluate_cells`]: the hot path of the
+    /// grid runner's trial loop. Steady-state calls allocate nothing — the
+    /// cumulative table is rebuilt in place from the workspace's pooled
+    /// table and `out` reuses its capacity.
+    pub fn evaluate_cells_into(&self, cells: &[f64], ws: &mut Workspace, out: &mut Vec<f64>) {
+        let table = match ws.take_table() {
+            Some(mut table) => {
+                table.rebuild_cells(cells, self.domain);
+                table
+            }
+            None => PrefixTable::build_cells(cells, self.domain),
+        };
+        out.clear();
+        out.reserve(self.queries.len());
+        for q in &self.queries {
+            out.push(table.eval(q));
+        }
+        ws.store_table(table);
     }
 }
 
@@ -296,6 +329,30 @@ mod tests {
     fn evaluate_rejects_wrong_domain() {
         let x = DataVector::zeros(Domain::D1(8));
         Workload::prefix_1d(4).evaluate(&x);
+    }
+
+    #[test]
+    fn evaluate_into_matches_evaluate_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = DataVector::new(
+            (0..64).map(|i| ((i * 13) % 29) as f64).collect(),
+            Domain::D1(64),
+        );
+        let w = Workload::random_ranges(Domain::D1(64), 200, &mut rng);
+        let fresh = w.evaluate(&x);
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        // Twice, to exercise the rebuilt (pooled) prefix table.
+        for _ in 0..2 {
+            w.evaluate_into(&x, &mut ws, &mut out);
+            assert_eq!(out, fresh);
+        }
+        // 2-D path too.
+        let x2 = DataVector::new((0..64).map(f64::from).collect(), Domain::D2(8, 8));
+        let w2 = Workload::random_ranges(Domain::D2(8, 8), 100, &mut rng);
+        let fresh2 = w2.evaluate(&x2);
+        w2.evaluate_cells_into(x2.counts(), &mut ws, &mut out);
+        assert_eq!(out, fresh2);
     }
 
     #[test]

@@ -1,24 +1,33 @@
 //! Parallel experiment-grid runner with cross-trial plan caching.
 //!
-//! Work is split at the (setting, sample) granularity: each unit generates
-//! one data vector with the benchmark generator `G` and runs every
-//! algorithm `n_trials` times on it. Every unit derives its RNG streams
-//! deterministically from its coordinates, so results are reproducible and
-//! independent of thread scheduling.
+//! Work is split at the **(setting, sample, mechanism)** granularity: one
+//! unit runs a single mechanism `n_trials` times on one generated data
+//! vector. The finer grain keeps every worker busy until the very end of
+//! the grid — with the old (setting, sample) units one slow data-dependent
+//! mechanism (MWEM, DAWA) serialized the whole tail of its unit while the
+//! other workers idled. The data vector, workload, and true answers
+//! `y_true` shared by the mechanisms of one (setting, sample) cell are
+//! built exactly once in a memoized [`DataCache`] keyed by their
+//! coordinates. Every trial derives its RNG stream deterministically from
+//! its coordinates, so results are reproducible and independent of thread
+//! scheduling and of the work granularity.
 //!
 //! Mechanisms run through the two-phase plan/execute API: the runner keeps
 //! a [`PlanCache`] keyed by `(mechanism, domain, workload)` so each
 //! strategy — in particular the data-independent matrix-mechanism
 //! instances (IDENTITY, H, HB, GREEDY_H, PRIVELET) — is constructed
-//! exactly once per key instead of `n_samples × n_trials` times.
+//! exactly once per key instead of `n_samples × n_trials` times. Each
+//! worker thread owns a [`Workspace`], so steady-state trials recycle
+//! their estimate, scratch, and prefix-table buffers instead of touching
+//! the allocator.
 
 use crate::config::{ExperimentConfig, Setting};
 use crate::results::{ErrorSample, ResultStore};
 use dpbench_algorithms::registry::mechanism_by_name;
-use dpbench_core::mechanism::execute_eps;
+use dpbench_core::mechanism::execute_eps_with;
 use dpbench_core::rng::{hash_str, rng_for};
 use dpbench_core::{
-    scaled_per_query_error, DataVector, Domain, MechError, Mechanism, Plan, Workload,
+    scaled_per_query_error, DataVector, Domain, MechError, Mechanism, Plan, Workload, Workspace,
 };
 use dpbench_datasets::DataGenerator;
 use std::collections::HashMap;
@@ -76,6 +85,10 @@ pub struct PlanCache {
     map: Mutex<HashMap<PlanKey, Arc<Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Plans built successfully, maintained so [`PlanCache::len`] is a
+    /// single atomic load instead of a walk taking the map lock plus every
+    /// slot lock.
+    built: AtomicU64,
 }
 
 impl PlanCache {
@@ -110,6 +123,7 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan: Arc<dyn Plan> = Arc::from(mech.plan(domain, workload)?);
         *built = Some(Arc::clone(&plan));
+        self.built.fetch_add(1, Ordering::Relaxed);
         Ok(plan)
     }
 
@@ -121,19 +135,102 @@ impl PlanCache {
         }
     }
 
-    /// Number of distinct plans held (built successfully).
+    /// Number of distinct plans held (built successfully) — one relaxed
+    /// atomic load; safe to poll from a progress thread while workers run.
     pub fn len(&self) -> usize {
-        self.map
-            .lock()
-            .expect("plan cache poisoned")
-            .values()
-            .filter(|s| s.plan.lock().expect("plan slot poisoned").is_some())
-            .count()
+        self.built.load(Ordering::Relaxed) as usize
     }
 
     /// True when no plan has been built yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Everything the mechanisms of one (setting, sample) cell share: the
+/// generated data vector, the materialized workload, the true answers, and
+/// the dataset scale. Immutable once built, so one `Arc` serves every
+/// mechanism-unit (and thread) of the cell.
+struct UnitData {
+    x: DataVector,
+    /// Shared per-domain workload (one copy per domain, not per cell).
+    workload: Arc<Workload>,
+    y_true: Vec<f64>,
+    scale: f64,
+}
+
+/// Cache key of one generated data vector: (dataset-name hash, scale,
+/// domain, sample index).
+type DataKey = (u64, u64, Domain, usize);
+
+/// Per-key build slot of the [`DataCache`].
+type DataSlot = Arc<Mutex<Option<Arc<UnitData>>>>;
+
+/// Memoized `(dataset, scale, domain, sample)` → [`UnitData`] map. Note ε
+/// is *not* part of the key: the data vector never depends on the privacy
+/// budget, so an ε sweep shares one generated vector per sample. Same
+/// two-level locking discipline as [`PlanCache`]: the map lock only
+/// resolves the key to its slot, generation happens under the slot lock.
+#[derive(Default)]
+struct DataCache {
+    map: Mutex<HashMap<DataKey, DataSlot>>,
+    /// Workloads depend only on the domain; memoized separately so the
+    /// grid holds one query list per domain instead of one per cell.
+    workloads: Mutex<HashMap<Domain, Arc<Workload>>>,
+}
+
+impl DataCache {
+    fn workload_for(&self, cfg: &ExperimentConfig, domain: Domain) -> Arc<Workload> {
+        let mut map = self.workloads.lock().expect("workload cache poisoned");
+        Arc::clone(
+            map.entry(domain)
+                .or_insert_with(|| Arc::new(cfg.workload.build(domain))),
+        )
+    }
+
+    fn unit_data(&self, cfg: &ExperimentConfig, setting: &Setting, sample: usize) -> Arc<UnitData> {
+        let key = (
+            hash_str(&setting.dataset),
+            setting.scale,
+            setting.domain,
+            sample,
+        );
+        let slot = {
+            let mut map = self.map.lock().expect("data cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut built = slot.lock().expect("data slot poisoned");
+        if let Some(data) = built.as_ref() {
+            return Arc::clone(data);
+        }
+        let dataset = cfg
+            .datasets
+            .iter()
+            .find(|d| d.name == setting.dataset)
+            .expect("setting references a configured dataset");
+        // Generate the data vector (deterministic per coordinates).
+        let mut data_rng = rng_for(
+            "datagen",
+            &[
+                hash_str(dataset.name),
+                setting.scale,
+                setting.domain.n_cells() as u64,
+                sample as u64,
+            ],
+        );
+        let x: DataVector =
+            DataGenerator::new().generate(dataset, setting.domain, setting.scale, &mut data_rng);
+        let workload = self.workload_for(cfg, setting.domain);
+        let y_true = workload.evaluate(&x);
+        let scale = x.scale();
+        let data = Arc::new(UnitData {
+            x,
+            workload,
+            y_true,
+            scale,
+        });
+        *built = Some(Arc::clone(&data));
+        data
     }
 }
 
@@ -149,11 +246,13 @@ pub struct Runner {
     pub plan_cache: PlanCache,
 }
 
-/// One unit of work: a setting plus a sample index.
+/// One unit of work: one mechanism on one (setting, sample) cell.
 #[derive(Clone)]
 struct Unit {
     setting: Setting,
     sample: usize,
+    /// Index into the runner's instantiated mechanism list.
+    mech: usize,
 }
 
 impl Runner {
@@ -172,18 +271,6 @@ impl Runner {
 
     /// Execute the whole grid and collect all error samples.
     pub fn run(&self) -> ResultStore {
-        let units: Vec<Unit> = self
-            .config
-            .settings()
-            .into_iter()
-            .flat_map(|setting| {
-                (0..self.config.n_samples).map(move |sample| Unit {
-                    setting: setting.clone(),
-                    sample,
-                })
-            })
-            .collect();
-
         // Instantiate each mechanism once; plans are cached per
         // (mechanism, domain, workload) across all units.
         let mechs: Vec<(String, Box<dyn Mechanism>)> = self
@@ -197,28 +284,53 @@ impl Runner {
             })
             .collect();
 
+        // Mechanism-granular units: unsupported (mechanism, domain) pairs
+        // are dropped here, exactly like the old per-unit `supports` skip.
+        let mut units = Vec::new();
+        for setting in self.config.settings() {
+            for sample in 0..self.config.n_samples {
+                for (mech, (_, m)) in mechs.iter().enumerate() {
+                    if m.supports(&setting.domain) {
+                        units.push(Unit {
+                            setting: setting.clone(),
+                            sample,
+                            mech,
+                        });
+                    }
+                }
+            }
+        }
+
+        let data_cache = DataCache::default();
         let store = Mutex::new(ResultStore::new());
         let next = AtomicUsize::new(0);
         let threads = self.threads.max(1).min(units.len().max(1));
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= units.len() {
-                        break;
+                scope.spawn(|| {
+                    // Per-thread scratch pool: estimates, prefix tables,
+                    // and mechanism scratch recycle across all trials this
+                    // worker runs.
+                    let mut ws = Workspace::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= units.len() {
+                            break;
+                        }
+                        let unit = &units[idx];
+                        let samples = self.run_trials(unit, &mechs, &data_cache, &mut ws);
+                        if self.verbose {
+                            eprintln!(
+                                "[dpbench] {} sample {} {} done ({} trials)",
+                                unit.setting,
+                                unit.sample,
+                                mechs[unit.mech].0,
+                                samples.len()
+                            );
+                        }
+                        store.lock().expect("result store poisoned").extend(samples);
                     }
-                    let unit = &units[idx];
-                    let samples = self.run_unit(unit, &mechs);
-                    if self.verbose {
-                        eprintln!(
-                            "[dpbench] {} sample {} done ({} measurements)",
-                            unit.setting,
-                            unit.sample,
-                            samples.len()
-                        );
-                    }
-                    store.lock().expect("result store poisoned").extend(samples);
                 });
             }
         });
@@ -226,69 +338,53 @@ impl Runner {
         store.into_inner().expect("result store poisoned")
     }
 
-    /// Run every algorithm × trial on one generated data vector.
-    fn run_unit(&self, unit: &Unit, mechs: &[(String, Box<dyn Mechanism>)]) -> Vec<ErrorSample> {
+    /// Run all trials of one mechanism on one generated data vector.
+    fn run_trials(
+        &self,
+        unit: &Unit,
+        mechs: &[(String, Box<dyn Mechanism>)],
+        data_cache: &DataCache,
+        ws: &mut Workspace,
+    ) -> Vec<ErrorSample> {
         let cfg = &self.config;
-        let dataset = cfg
-            .datasets
-            .iter()
-            .find(|d| d.name == unit.setting.dataset)
-            .expect("setting references a configured dataset");
+        let (alg_name, mech) = &mechs[unit.mech];
+        let data = data_cache.unit_data(cfg, &unit.setting, unit.sample);
+        let plan = self
+            .plan_cache
+            .plan_for(mech, &unit.setting.domain, &data.workload)
+            .unwrap_or_else(|e| panic!("{alg_name} failed to plan: {e}"));
 
-        // Generate the data vector (deterministic per coordinates).
-        let mut data_rng = rng_for(
-            "datagen",
-            &[
-                hash_str(dataset.name),
-                unit.setting.scale,
-                unit.setting.domain.n_cells() as u64,
-                unit.sample as u64,
-            ],
-        );
-        let x: DataVector = DataGenerator::new().generate(
-            dataset,
-            unit.setting.domain,
-            unit.setting.scale,
-            &mut data_rng,
-        );
-        let workload = cfg.workload.build(unit.setting.domain);
-        let y_true = workload.evaluate(&x);
-        let scale = x.scale();
-
-        let mut out = Vec::with_capacity(mechs.len() * cfg.n_trials);
-        for (alg_name, mech) in mechs {
-            if !mech.supports(&unit.setting.domain) {
-                continue;
-            }
-            let plan = self
-                .plan_cache
-                .plan_for(mech, &unit.setting.domain, &workload)
-                .unwrap_or_else(|e| panic!("{alg_name} failed to plan: {e}"));
-            for trial in 0..cfg.n_trials {
-                let mut rng = rng_for(
-                    alg_name,
-                    &[
-                        hash_str(dataset.name),
-                        unit.setting.scale,
-                        unit.setting.domain.n_cells() as u64,
-                        unit.setting.epsilon.to_bits(),
-                        unit.sample as u64,
-                        trial as u64,
-                    ],
-                );
-                let release = execute_eps(plan.as_ref(), &x, unit.setting.epsilon, &mut rng)
+        let mut y_hat = ws.take_f64(0);
+        let mut out = Vec::with_capacity(cfg.n_trials);
+        for trial in 0..cfg.n_trials {
+            let mut rng = rng_for(
+                alg_name,
+                &[
+                    hash_str(&unit.setting.dataset),
+                    unit.setting.scale,
+                    unit.setting.domain.n_cells() as u64,
+                    unit.setting.epsilon.to_bits(),
+                    unit.sample as u64,
+                    trial as u64,
+                ],
+            );
+            let release =
+                execute_eps_with(plan.as_ref(), &data.x, unit.setting.epsilon, ws, &mut rng)
                     .unwrap_or_else(|e| panic!("{alg_name} failed: {e}"));
-                let y_hat = workload.evaluate_cells(&release.estimate);
-                let error = scaled_per_query_error(&y_true, &y_hat, scale, cfg.loss);
-                out.push(ErrorSample {
-                    algorithm: alg_name.clone(),
-                    setting: unit.setting.clone(),
-                    sample: unit.sample,
-                    trial,
-                    error,
-                });
-            }
+            data.workload
+                .evaluate_cells_into(&release.estimate, ws, &mut y_hat);
+            let error = scaled_per_query_error(&data.y_true, &y_hat, data.scale, cfg.loss);
+            // Recycle the estimate buffer into the pool for the next trial.
+            ws.give_f64(release.into_estimate());
+            out.push(ErrorSample {
+                algorithm: alg_name.clone(),
+                setting: unit.setting.clone(),
+                sample: unit.sample,
+                trial,
+                error,
+            });
         }
+        ws.give_f64(y_hat);
         out
     }
 }
@@ -297,6 +393,7 @@ impl Runner {
 mod tests {
     use super::*;
     use crate::config::WorkloadSpec;
+    use dpbench_core::mechanism::execute_eps;
     use dpbench_core::{Domain, Loss};
     use dpbench_datasets::catalog;
 

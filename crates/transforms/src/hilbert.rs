@@ -63,25 +63,67 @@ fn rot(s: usize, x: &mut usize, y: &mut usize, rx: usize, ry: usize) {
 
 /// Flatten a row-major `side × side` grid into Hilbert order.
 pub fn flatten(grid: &[f64], side: usize) -> Vec<f64> {
+    let mut line = vec![0.0; grid.len()];
+    flatten_into(grid, side, &mut line);
+    line
+}
+
+/// [`flatten`] into a caller-provided buffer (no allocation).
+pub fn flatten_into(grid: &[f64], side: usize, line: &mut [f64]) {
     assert_eq!(grid.len(), side * side);
-    (0..side * side)
-        .map(|d| {
-            let (x, y) = d2xy(side, d);
-            grid[y * side + x]
-        })
-        .collect()
+    assert_eq!(line.len(), grid.len());
+    for (d, slot) in line.iter_mut().enumerate() {
+        let (x, y) = d2xy(side, d);
+        *slot = grid[y * side + x];
+    }
 }
 
 /// Inverse of [`flatten`]: scatter a Hilbert-ordered vector back to a
 /// row-major grid.
 pub fn unflatten(line: &[f64], side: usize) -> Vec<f64> {
+    let mut grid = vec![0.0; line.len()];
+    unflatten_into(line, side, &mut grid);
+    grid
+}
+
+/// [`unflatten`] into a caller-provided buffer (no allocation).
+pub fn unflatten_into(line: &[f64], side: usize, grid: &mut [f64]) {
     assert_eq!(line.len(), side * side);
-    let mut grid = vec![0.0; side * side];
+    assert_eq!(grid.len(), line.len());
     for (d, &v) in line.iter().enumerate() {
         let (x, y) = d2xy(side, d);
         grid[y * side + x] = v;
     }
-    grid
+}
+
+/// The smallest Hilbert-distance interval `[lo, hi]` covering the
+/// axis-aligned cell box `rows × cols = [r1, r2] × [c1, c2]` (inclusive),
+/// via a **perimeter-only** scan — O(perimeter), not O(area).
+///
+/// The scan is exact: the curve visits cells one grid-step at a time, so
+/// the first cell of the box it reaches (the interval's `lo`) either is
+/// the curve's origin `(0, 0)` — which no box can contain strictly inside —
+/// or has its predecessor outside the box; both put it on the box
+/// boundary. Symmetrically the last cell visited (`hi`) has its successor
+/// outside. DAWA and GREEDY_H use this to map 2-D range queries onto the
+/// flattened domain.
+pub fn box_cover(side: usize, r1: usize, c1: usize, r2: usize, c2: usize) -> (usize, usize) {
+    assert!(r1 <= r2 && c1 <= c2, "empty box");
+    let (mut lo, mut hi) = (usize::MAX, 0_usize);
+    let visit = |x: usize, y: usize, lo: &mut usize, hi: &mut usize| {
+        let d = xy2d(side, x, y);
+        *lo = (*lo).min(d);
+        *hi = (*hi).max(d);
+    };
+    for c in c1..=c2 {
+        visit(c, r1, &mut lo, &mut hi);
+        visit(c, r2, &mut lo, &mut hi);
+    }
+    for r in r1..=r2 {
+        visit(c1, r, &mut lo, &mut hi);
+        visit(c2, r, &mut lo, &mut hi);
+    }
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -138,6 +180,53 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn rejects_non_pow2() {
         d2xy(6, 0);
+    }
+
+    #[test]
+    fn box_cover_matches_full_scan_on_random_boxes() {
+        // The perimeter-only scan must agree with the exhaustive
+        // every-cell scan on arbitrary boxes — including degenerate rows,
+        // columns, single cells, and the full grid.
+        let mut rng = StdRng::seed_from_u64(0xB0C5);
+        for side in [4_usize, 16, 32, 64] {
+            for _ in 0..64 {
+                let r1 = rng.gen_range(0..side);
+                let r2 = rng.gen_range(r1..side);
+                let c1 = rng.gen_range(0..side);
+                let c2 = rng.gen_range(c1..side);
+                let (mut lo, mut hi) = (usize::MAX, 0_usize);
+                for r in r1..=r2 {
+                    for c in c1..=c2 {
+                        let d = xy2d(side, c, r);
+                        lo = lo.min(d);
+                        hi = hi.max(d);
+                    }
+                }
+                assert_eq!(
+                    box_cover(side, r1, c1, r2, c2),
+                    (lo, hi),
+                    "side {side} box [{r1},{r2}]x[{c1},{c2}]"
+                );
+            }
+            // Full grid covers the whole curve.
+            assert_eq!(
+                box_cover(side, 0, 0, side - 1, side - 1),
+                (0, side * side - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn flatten_into_matches_allocating_variant() {
+        let side = 16;
+        let grid: Vec<f64> = (0..side * side).map(|i| (i * 3 % 17) as f64).collect();
+        let line = flatten(&grid, side);
+        let mut line2 = vec![0.0; side * side];
+        flatten_into(&grid, side, &mut line2);
+        assert_eq!(line, line2);
+        let mut grid2 = vec![0.0; side * side];
+        unflatten_into(&line, side, &mut grid2);
+        assert_eq!(grid, grid2);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`matrix`] — small dense linear algebra (Cholesky) used to
 //!   cross-validate the fast tree inference against exact generalized least
 //!   squares;
+//! * [`order_stats`] — a rank-compressed Fenwick tree and the
+//!   sliding-window L1-deviation engine behind DAWA's O(n log² n)
+//!   stage-1 partition (Li, Hay, Miklau; PVLDB 2014);
 //! * [`tree_ls`] — the weighted tree least-squares inference of Hay et al.
 //!   (PVLDB 2010), generalized to non-uniform measurement precisions, shared
 //!   by H, GREEDY_H, QUADTREE, and DPCUBE.
@@ -21,5 +24,6 @@
 pub mod fft;
 pub mod hilbert;
 pub mod matrix;
+pub mod order_stats;
 pub mod tree_ls;
 pub mod wavelet;

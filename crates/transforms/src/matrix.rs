@@ -54,11 +54,18 @@ impl Matrix {
 
     /// Matrix–vector product `A·v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// [`Matrix::matvec`] into a caller-provided buffer (no allocation).
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(v.len(), self.cols);
-        self.data
-            .chunks_exact(self.cols)
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        assert_eq!(out.len(), self.rows);
+        for (slot, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *slot = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
     }
 
     /// Transpose.
@@ -142,27 +149,34 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 /// Solve `L·Lᵀ·x = b` given a precomputed lower-triangular Cholesky
 /// factor `L` — O(n²), so repeated solves amortize one factorization.
 pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let mut x = b.to_vec();
+    cholesky_solve_in_place(l, &mut x);
+    x
+}
+
+/// [`cholesky_solve`] overwriting `b` with the solution (no allocation).
+/// Both substitutions run in place with the same operation order as the
+/// allocating variant, so results are bit-identical.
+pub fn cholesky_solve_in_place(l: &Matrix, b: &mut [f64]) {
     let n = l.rows();
     assert_eq!(b.len(), n);
-    // Forward substitution: L·y = b.
-    let mut y = vec![0.0; n];
+    // Forward substitution: L·y = b, y overwriting b left to right.
     for i in 0..n {
         let mut sum = b[i];
         for k in 0..i {
-            sum -= l[(i, k)] * y[k];
+            sum -= l[(i, k)] * b[k];
         }
-        y[i] = sum / l[(i, i)];
+        b[i] = sum / l[(i, i)];
     }
-    // Back substitution: Lᵀ·x = y.
-    let mut x = vec![0.0; n];
+    // Back substitution: Lᵀ·x = y, x overwriting y right to left (entry i
+    // only reads already-final entries k > i).
     for i in (0..n).rev() {
-        let mut sum = y[i];
+        let mut sum = b[i];
         for k in i + 1..n {
-            sum -= l[(k, i)] * x[k];
+            sum -= l[(k, i)] * b[k];
         }
-        x[i] = sum / l[(i, i)];
+        b[i] = sum / l[(i, i)];
     }
-    x
 }
 
 /// Weighted (generalized) least squares: minimize `‖Λ^{1/2}(S·x − y)‖₂`,

@@ -1,0 +1,149 @@
+//! Hot-path integration tests: the O(n log² n) DAWA partition must return
+//! exactly the partition of the retained O(n²) DP, and executions drawing
+//! scratch from a reused [`Workspace`] must be bit-identical to executions
+//! with fresh scratch.
+
+use dpbench_algorithms::dawa::{l1_partition, l1_partition_naive};
+use dpbench_algorithms::registry::mechanism_by_name;
+use dpbench_core::mechanism::execute_eps_with;
+use dpbench_core::rng::rng_for;
+use dpbench_core::{DataVector, Domain, Workload, Workspace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Property-style equivalence suite: ≥ 200 random vectors across varied
+/// domain sizes and (ε₁, ε₂) pairs. The fast partition must return
+/// *identical buckets* — same count, same boundaries — as the naive DP,
+/// because both visit candidate lengths in the same order with the same
+/// strict-improvement rule and the clamped-to-zero cost ties are exact in
+/// both.
+#[test]
+fn fast_partition_equals_naive_on_random_vectors() {
+    let mut rng = StdRng::seed_from_u64(0xDA3A);
+    let eps_pairs = [(0.05, 0.5), (0.5, 0.05), (1.0, 1.0), (10.0, 0.1)];
+    let mut cases = 0;
+    for round in 0..60 {
+        // Mix of sizes: mostly small/medium, a few larger; both
+        // powers of two and awkward odd lengths.
+        let n = match round % 6 {
+            0 => rng.gen_range(2..=16),
+            1 => rng.gen_range(17..=64),
+            2 => 1 << rng.gen_range(5_usize..=8), // 32..256
+            3 => rng.gen_range(65_usize..=200) | 1,
+            4 => rng.gen_range(200..=384),
+            _ => rng.gen_range(16..=128),
+        };
+        // Piecewise-constant signal + heavy noise: the regime DAWA's
+        // partition actually faces (noisy counts), plus occasional
+        // all-zero and constant vectors for the exact-tie paths.
+        let noisy: Vec<f64> = match round % 5 {
+            0 => vec![0.0; n],
+            1 => vec![rng.gen_range(0.0..50.0); n],
+            _ => {
+                let level = rng.gen_range(0.0..200.0);
+                (0..n)
+                    .map(|i| {
+                        let step = if (i / 16) % 2 == 0 { level } else { 0.0 };
+                        step + rng.gen_range(-30.0..30.0)
+                    })
+                    .collect()
+            }
+        };
+        for &(e1, e2) in &eps_pairs {
+            let fast = l1_partition(&noisy, e1, e2);
+            let naive = l1_partition_naive(&noisy, e1, e2);
+            assert_eq!(fast, naive, "n={n} ε₁={e1} ε₂={e2} round={round}");
+            cases += 1;
+        }
+    }
+    assert!(cases >= 200, "suite must cover ≥ 200 cases, ran {cases}");
+}
+
+/// Executing any mechanism with a freshly created workspace per trial and
+/// with one workspace reused across trials (and across mechanisms) must
+/// produce bit-identical releases: pooled buffers are zero-filled on take,
+/// so recycled scratch can never leak state into results.
+#[test]
+fn workspace_reuse_is_bit_identical_to_fresh_scratch() {
+    let domain = Domain::D1(256);
+    let workload = Workload::prefix_1d(256);
+    let mut data_rng = StdRng::seed_from_u64(7);
+    let counts: Vec<f64> = (0..256)
+        .map(|i| {
+            let base = if i > 100 && i < 140 { 80.0 } else { 4.0 };
+            base + data_rng.gen_range(0.0_f64..8.0).floor()
+        })
+        .collect();
+    let x = DataVector::new(counts, domain);
+
+    let mut reused = Workspace::new();
+    for name in [
+        "IDENTITY", "H", "HB", "GREEDY_H", "PRIVELET", "UNIFORM", "DAWA", "PHP", "EFPA", "MWEM",
+    ] {
+        let mech = mechanism_by_name(name).unwrap();
+        let plan = mech.plan(&domain, &workload).unwrap();
+        for trial in 0..3_u64 {
+            let mut fresh = Workspace::new();
+            let a = execute_eps_with(
+                plan.as_ref(),
+                &x,
+                0.1,
+                &mut fresh,
+                &mut rng_for(name, &[trial]),
+            )
+            .unwrap();
+            let b = execute_eps_with(
+                plan.as_ref(),
+                &x,
+                0.1,
+                &mut reused,
+                &mut rng_for(name, &[trial]),
+            )
+            .unwrap();
+            assert_eq!(
+                a.estimate, b.estimate,
+                "{name} trial {trial} diverges under workspace reuse"
+            );
+            assert_eq!(a.budget_trace, b.budget_trace);
+        }
+    }
+}
+
+/// 2-D spot check of the same property (exercises the Hilbert flatten
+/// buffers DAWA and GREEDY_H draw from the workspace).
+#[test]
+fn workspace_reuse_is_bit_identical_in_2d() {
+    let domain = Domain::D2(32, 32);
+    let mut wrng = StdRng::seed_from_u64(21);
+    let workload = Workload::random_ranges(domain, 200, &mut wrng);
+    let mut counts = vec![1.0; 32 * 32];
+    counts[40] = 500.0;
+    counts[700] = 300.0;
+    let x = DataVector::new(counts, domain);
+
+    let mut reused = Workspace::new();
+    for name in ["DAWA", "GREEDY_H", "QUADTREE", "HB"] {
+        let mech = mechanism_by_name(name).unwrap();
+        let plan = mech.plan(&domain, &workload).unwrap();
+        for trial in 0..2_u64 {
+            let mut fresh = Workspace::new();
+            let a = execute_eps_with(
+                plan.as_ref(),
+                &x,
+                0.1,
+                &mut fresh,
+                &mut rng_for(name, &[trial]),
+            )
+            .unwrap();
+            let b = execute_eps_with(
+                plan.as_ref(),
+                &x,
+                0.1,
+                &mut reused,
+                &mut rng_for(name, &[trial]),
+            )
+            .unwrap();
+            assert_eq!(a.estimate, b.estimate, "{name} 2-D trial {trial}");
+        }
+    }
+}

@@ -117,7 +117,7 @@ impl Dawa {
 
         // Stage 2: GREEDY_H over the reduced (bucket) domain.
         let k = buckets.len();
-        let mut reduced = vec![0.0; k];
+        let mut reduced = ws.take_f64(k);
         let mut cell_to_bucket = ws.take_usize(n);
         for (bi, &(lo, hi)) in buckets.iter().enumerate() {
             reduced[bi] = counts[lo..hi].iter().sum();
@@ -136,10 +136,13 @@ impl Dawa {
                 .map(|q| RangeQuery::d1(cell_to_bucket[q.lo.0], cell_to_bucket[q.hi.0])),
         );
         ws.give_usize(cell_to_bucket);
+        // The stage-2 hierarchy comes from the workspace's size-bucketed
+        // pool (`HierPool`): k is data-dependent, so it cannot live in the
+        // plan, but identical (branching, k) pairs recur across trials.
         let bucket_est = GreedyH {
             branching: self.branching,
         }
-        .run_1d(&reduced_x, &mapped, eps2, rng);
+        .run_1d_with(&reduced_x, &mapped, eps2, ws, rng);
         ws.store_typed(mapped);
 
         // Uniform expansion.
@@ -150,6 +153,8 @@ impl Dawa {
                 *e = share;
             }
         }
+        ws.give_f64(bucket_est);
+        ws.give_f64(reduced_x.into_counts());
         Ok(est)
     }
 }

@@ -187,7 +187,7 @@ impl DpCube {
                 value: stage1_sum,
                 variance: region.cells() as f64 * noise_var,
             }));
-            tree.set_children(node, vec![child]);
+            tree.set_children(node, &[child]);
             tree.set_root(node);
             let fused = tree.infer()[0];
             let share = fused / region.cells() as f64;

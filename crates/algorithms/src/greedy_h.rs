@@ -13,7 +13,7 @@
 //! 2-D range is mapped to its covering Hilbert interval for the purpose of
 //! budget allocation.
 
-use crate::hierarchy::Hierarchy;
+use crate::hierarchy::{HierPool, Hierarchy};
 use dpbench_core::mechanism::{
     check_planned_domain, fingerprint_words, DimSupport, Plan, PlanDiagnostics,
 };
@@ -77,10 +77,29 @@ impl GreedyH {
         eps: f64,
         rng: &mut dyn RngCore,
     ) -> Vec<f64> {
-        let hier = Hierarchy::build(x.domain(), self.branching, usize::MAX);
-        let usage = Self::level_usage(&hier, queries);
+        self.run_1d_with(x, queries, eps, &mut Workspace::new(), rng)
+    }
+
+    /// [`GreedyH::run_1d`] with pooled scratch: the hierarchy comes from
+    /// the workspace's size-bucketed [`HierPool`] (DAWA's reduced domain
+    /// size is data-dependent, so the plan cache can't hold it) and the
+    /// measure/infer pipeline draws its buffers from `ws`. The returned
+    /// estimate is pool-allocated; give it back when done.
+    pub fn run_1d_with(
+        &self,
+        x: &DataVector,
+        queries: &[RangeQuery],
+        eps: f64,
+        ws: &mut Workspace,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        let mut pool: Box<HierPool> = ws.take_typed();
+        let hier = pool.get_1d(x.n_cells(), self.branching);
+        let usage = Self::level_usage(hier, queries);
         let level_eps = Self::allocate(eps, &usage);
-        hier.measure_and_infer(x, &level_eps, rng)
+        let est = hier.measure_and_infer_with(x, &level_eps, ws, rng);
+        ws.store_typed(pool);
+        est
     }
 
     /// Map a 2-D range to its covering interval along the Hilbert curve of
@@ -187,14 +206,17 @@ impl Plan for GreedyHPlan {
         let eps = budget.spend_all_as("levels");
         let level_eps: Vec<f64> = self.alloc_unit.iter().map(|&u| u * eps).collect();
         let estimate = match self.hilbert_side {
-            None => self.hier.measure_and_infer(x, &level_eps, rng),
+            None => self.hier.measure_and_infer_with(x, &level_eps, ws, rng),
             Some(side) => {
                 let mut flat = ws.take_f64(side * side);
                 hilbert::flatten_into(x.counts(), side, &mut flat);
                 let flat_x = DataVector::new(flat, Domain::D1(side * side));
-                let est_flat = self.hier.measure_and_infer(&flat_x, &level_eps, rng);
+                let est_flat = self
+                    .hier
+                    .measure_and_infer_with(&flat_x, &level_eps, ws, rng);
                 let mut grid = ws.take_f64(side * side);
                 hilbert::unflatten_into(&est_flat, side, &mut grid);
+                ws.give_f64(est_flat);
                 ws.give_f64(flat_x.into_counts());
                 grid
             }

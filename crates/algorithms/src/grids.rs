@@ -271,7 +271,7 @@ impl AGrid {
                         })));
                     }
                 }
-                tree.set_children(root, sub_ids.clone());
+                tree.set_children(root, &sub_ids);
                 tree.set_root(root);
                 let fin = tree.infer();
                 for (q, id) in subs.iter().zip(&sub_ids) {

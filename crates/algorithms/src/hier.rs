@@ -57,7 +57,7 @@ impl Plan for HierPlan {
     fn execute(
         &self,
         x: &DataVector,
-        _ws: &mut Workspace,
+        ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError> {
@@ -66,7 +66,7 @@ impl Plan for HierPlan {
         let eps = budget.spend_all_as("levels");
         let per_level = eps / self.hier.height() as f64;
         let level_eps = vec![per_level; self.hier.height()];
-        let estimate = self.hier.measure_and_infer(x, &level_eps, rng);
+        let estimate = self.hier.measure_and_infer_with(x, &level_eps, ws, rng);
         Ok(Release::from_ledger(
             estimate,
             budget,

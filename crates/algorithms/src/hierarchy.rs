@@ -8,9 +8,10 @@
 //! [`dpbench_transforms::tree_ls`].
 
 use dpbench_core::query::PrefixTable;
-use dpbench_core::{DataVector, Domain, RangeQuery};
-use dpbench_transforms::tree_ls::{MeasuredTree, Measurement};
+use dpbench_core::{DataVector, Domain, RangeQuery, Workspace};
+use dpbench_transforms::tree_ls::{MeasuredTree, Measurement, TreeScratch};
 use rand::RngCore;
+use std::collections::HashMap;
 
 /// One node of a spatial hierarchy: an axis-aligned box plus tree links.
 #[derive(Debug, Clone)]
@@ -32,6 +33,9 @@ pub struct Hierarchy {
     pub domain: Domain,
     /// Node ids grouped by level (`levels[0] = [root]`).
     pub levels: Vec<Vec<usize>>,
+    /// Ids of all childless nodes, precomputed at build time (the
+    /// measure/infer hot path walks them every trial).
+    leaves: Vec<usize>,
 }
 
 impl Hierarchy {
@@ -92,10 +96,14 @@ impl Hierarchy {
             levels.push(next.clone());
             frontier = next;
         }
+        let leaves = (0..nodes.len())
+            .filter(|&i| nodes[i].children.is_empty())
+            .collect();
         Self {
             nodes,
             domain,
             levels,
+            leaves,
         }
     }
 
@@ -105,17 +113,13 @@ impl Hierarchy {
     }
 
     /// Ids of all leaves.
-    pub fn leaf_ids(&self) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].children.is_empty())
-            .collect()
+    pub fn leaf_ids(&self) -> &[usize] {
+        &self.leaves
     }
 
     /// True when every leaf covers exactly one cell.
     pub fn fully_resolved(&self) -> bool {
-        self.leaf_ids()
-            .iter()
-            .all(|&i| self.nodes[i].query.size() == 1)
+        self.leaves.iter().all(|&i| self.nodes[i].query.size() == 1)
     }
 
     /// Decompose a range query into a minimal set of canonical nodes: nodes
@@ -173,10 +177,32 @@ impl Hierarchy {
         level_eps: &[f64],
         rng: &mut dyn RngCore,
     ) -> Vec<f64> {
-        assert_eq!(level_eps.len(), self.height(), "one ε per level");
-        let table = PrefixTable::build(x);
+        self.measure_and_infer_with(x, level_eps, &mut Workspace::new(), rng)
+    }
 
-        let mut tree = MeasuredTree::with_capacity(self.nodes.len() + x.n_cells());
+    /// [`Hierarchy::measure_and_infer`] drawing the cumulative table, the
+    /// measured tree, the inference arrays, and the output buffer from a
+    /// caller-owned [`Workspace`] — the allocation-free per-trial entry
+    /// point of every hierarchical mechanism. The returned vector comes
+    /// from the pool; hand it back via `ws.give_f64` when done.
+    pub fn measure_and_infer_with(
+        &self,
+        x: &DataVector,
+        level_eps: &[f64],
+        ws: &mut Workspace,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        assert_eq!(level_eps.len(), self.height(), "one ε per level");
+        let table = match ws.take_table() {
+            Some(mut table) => {
+                table.rebuild_cells(x.counts(), x.domain());
+                table
+            }
+            None => PrefixTable::build(x),
+        };
+
+        let mut tree: Box<MeasuredTree> = ws.take_typed();
+        tree.clear();
         // Tree node ids correspond 1:1 with hierarchy ids (same insertion
         // order), then leaf-cell nodes follow.
         for node in &self.nodes {
@@ -195,20 +221,21 @@ impl Hierarchy {
         }
         for (id, node) in self.nodes.iter().enumerate() {
             if !node.children.is_empty() {
-                tree.set_children(id, node.children.clone());
+                tree.set_children(id, &node.children);
             }
         }
         // Expand unresolved leaves with unmeasured per-cell children so the
         // inference's uniform-discrepancy rule spreads their mass.
         let mut cell_owner: Vec<(usize, RangeQuery)> = Vec::new();
-        for &leaf in &self.leaf_ids() {
+        let mut expansion = ws.take_usize(0);
+        for &leaf in self.leaf_ids() {
             let q = self.nodes[leaf].query;
             if q.size() > 1 {
-                let mut cells = Vec::with_capacity(q.size());
+                expansion.clear();
                 for r in q.lo.0..=q.hi.0 {
                     for c in q.lo.1..=q.hi.1 {
                         let cell_node = tree.add_node(None);
-                        cells.push(cell_node);
+                        expansion.push(cell_node);
                         cell_owner.push((
                             cell_node,
                             RangeQuery {
@@ -218,14 +245,16 @@ impl Hierarchy {
                         ));
                     }
                 }
-                tree.set_children(leaf, cells);
+                tree.set_children(leaf, &expansion);
             }
         }
+        ws.give_usize(expansion);
         tree.set_root(0);
-        let fin = tree.infer();
+        let mut scratch: Box<TreeScratch> = ws.take_typed();
+        let fin = tree.infer_into(&mut scratch);
 
         // Scatter into the cell vector.
-        let mut cells = vec![0.0; x.n_cells()];
+        let mut cells = ws.take_f64(x.n_cells());
         for (id, node) in self.nodes.iter().enumerate() {
             if node.children.is_empty() && node.query.size() == 1 {
                 let idx = x.domain().index(node.query.lo);
@@ -236,7 +265,63 @@ impl Hierarchy {
             let idx = x.domain().index(q.lo);
             cells[idx] = fin[*tree_id];
         }
+        ws.store_table(table);
+        ws.store_typed(scratch);
+        ws.store_typed(tree);
         cells
+    }
+}
+
+/// A per-worker pool of built hierarchies, bucketed by (branching factor,
+/// domain size).
+///
+/// DAWA's second stage runs GREEDY_H over the *reduced* bucket domain
+/// whose size `k` is data-dependent, so the plan cache cannot hold its
+/// hierarchy — before this pool it was rebuilt on every trial. Because a
+/// `Hierarchy` is fully determined by `(domain, branching)`, serving a
+/// pooled instance is bit-identical to rebuilding. Stash one pool per
+/// worker in a `Workspace` typed slot (no locks); the grid runner drains
+/// the hit/miss counters into its `--verbose` stats.
+#[derive(Default)]
+pub struct HierPool {
+    map: HashMap<(usize, usize), Hierarchy>,
+    /// Requests served from the pool.
+    pub hits: u64,
+    /// Hierarchies built (one per distinct size bucket since last flush).
+    pub misses: u64,
+}
+
+impl HierPool {
+    /// Distinct size buckets retained; reaching the cap flushes the pool
+    /// (simpler than LRU, and a grid's reduced-domain sizes cluster far
+    /// below this in practice).
+    const CAP: usize = 128;
+
+    /// Fetch (building on first use) the full-resolution 1-D hierarchy
+    /// over `n` cells with the given branching factor.
+    pub fn get_1d(&mut self, n: usize, branching: usize) -> &Hierarchy {
+        let key = (branching, n);
+        if self.map.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            if self.map.len() >= Self::CAP {
+                self.map.clear();
+            }
+            self.misses += 1;
+            self.map
+                .insert(key, Hierarchy::build(Domain::D1(n), branching, usize::MAX));
+        }
+        &self.map[&key]
+    }
+
+    /// Number of hierarchies currently pooled.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is pooled yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -321,7 +406,7 @@ mod tests {
         // The leaves partition the domain (leaves can sit at different
         // depths on non-power-of-two domains).
         let mut covered = [false; 5];
-        for id in h.leaf_ids() {
+        for &id in h.leaf_ids() {
             let q = h.nodes[id].query;
             for (i, c) in covered.iter_mut().enumerate().take(q.hi.0 + 1).skip(q.lo.0) {
                 assert!(!*c, "cell {i} covered twice");
@@ -357,7 +442,7 @@ mod tests {
         assert_eq!(h.height(), 3);
         assert!(!h.fully_resolved());
         // Leaves are 4x4 blocks.
-        for &leaf in &h.leaf_ids() {
+        for &leaf in h.leaf_ids() {
             assert_eq!(h.nodes[leaf].query.size(), 16);
         }
     }
@@ -428,6 +513,49 @@ mod tests {
         assert!(optimal_branching_1d(4) >= 2);
         let b2 = optimal_branching_2d(128);
         assert!((2..=16).contains(&b2), "b2 = {b2}");
+    }
+
+    #[test]
+    fn workspace_variant_is_bit_identical() {
+        // Pooled buffers must not change a single bit of the estimate.
+        let x = DataVector::new(
+            (0..64).map(|i| ((i * 7) % 23) as f64).collect(),
+            Domain::D1(64),
+        );
+        let h = Hierarchy::build(Domain::D1(64), 2, usize::MAX);
+        let eps: Vec<f64> = vec![0.05; h.height()];
+        let mut ws = Workspace::new();
+        for seed in [1_u64, 2, 3] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let a = h.measure_and_infer(&x, &eps, &mut rng_a);
+            let b = h.measure_and_infer_with(&x, &eps, &mut ws, &mut rng_b);
+            assert_eq!(a, b, "seed {seed}");
+            ws.give_f64(b);
+        }
+    }
+
+    #[test]
+    fn hier_pool_reuses_and_matches_fresh_builds() {
+        let mut pool = HierPool::default();
+        let a_nodes = pool.get_1d(48, 2).nodes.len();
+        let fresh = Hierarchy::build(Domain::D1(48), 2, usize::MAX);
+        assert_eq!(a_nodes, fresh.nodes.len());
+        // Same bucket hits; different size or branching misses.
+        pool.get_1d(48, 2);
+        pool.get_1d(48, 3);
+        pool.get_1d(64, 2);
+        pool.get_1d(64, 2);
+        assert_eq!(pool.hits, 2);
+        assert_eq!(pool.misses, 3);
+        assert_eq!(pool.len(), 3);
+        // Pooled hierarchy has identical node boxes to a fresh build.
+        let pooled = pool.get_1d(48, 2);
+        for (p, f) in pooled.nodes.iter().zip(&fresh.nodes) {
+            assert_eq!(p.query, f.query);
+            assert_eq!(p.level, f.level);
+            assert_eq!(p.children, f.children);
+        }
     }
 
     #[test]

@@ -116,7 +116,7 @@ impl Plan for QuadTreePlan {
     fn execute(
         &self,
         x: &DataVector,
-        _ws: &mut Workspace,
+        ws: &mut Workspace,
         budget: &mut BudgetLedger,
         rng: &mut dyn RngCore,
     ) -> Result<Release, MechError> {
@@ -124,7 +124,7 @@ impl Plan for QuadTreePlan {
         let mark = budget.mark();
         let eps = budget.spend_all_as("levels");
         let level_eps: Vec<f64> = self.alloc_unit.iter().map(|&u| u * eps).collect();
-        let estimate = self.hier.measure_and_infer(x, &level_eps, rng);
+        let estimate = self.hier.measure_and_infer_with(x, &level_eps, ws, rng);
         Ok(Release::from_ledger(
             estimate,
             budget,

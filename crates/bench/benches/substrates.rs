@@ -40,7 +40,7 @@ fn bench_tree_inference() {
             let mid = (lo + hi) / 2;
             let l = build(tree, lo, mid);
             let r = build(tree, mid, hi);
-            tree.set_children(id, vec![l, r]);
+            tree.set_children(id, &[l, r]);
         }
         id
     }

@@ -27,7 +27,7 @@ fn main() {
             let mut per_dataset: Vec<(String, f64)> = Vec::new();
             for setting in store.settings() {
                 if setting.scale == scale {
-                    let mean = store.mean_error(alg, &setting);
+                    let mean = store.mean_error(alg, setting);
                     if mean.is_finite() {
                         per_dataset.push((setting.dataset.clone(), mean));
                     }

@@ -25,7 +25,7 @@ fn main() {
             let mut best: Option<(String, f64)> = None;
             for setting in store.settings() {
                 if setting.scale == scale {
-                    let m = store.mean_error(alg, &setting);
+                    let m = store.mean_error(alg, setting);
                     if m.is_finite() {
                         means.push(m);
                         if best.as_ref().is_none_or(|(_, b)| m < *b) {

@@ -22,7 +22,7 @@ fn main() {
         let mut row = vec![setting.dataset.clone()];
         let mut best = ("", f64::INFINITY);
         for alg in ALGS {
-            let m = store.mean_error(alg, &setting);
+            let m = store.mean_error(alg, setting);
             row.push(log10_fmt(m));
             if m.is_finite() && m < best.1 {
                 best = (alg, m);

@@ -47,14 +47,14 @@ fn main() {
                 for side in [32_usize, 64, 128, 256] {
                     let setting = store
                         .settings()
-                        .into_iter()
+                        .iter()
                         .find(|s| {
                             s.dataset == dataset
                                 && s.scale == scale
                                 && s.domain == Domain::D2(side, side)
                         })
                         .expect("setting present");
-                    row.push(log10_fmt(store.mean_error(alg, &setting)));
+                    row.push(log10_fmt(store.mean_error(alg, setting)));
                 }
                 rows.push(row);
             }

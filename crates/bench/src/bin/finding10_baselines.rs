@@ -23,7 +23,7 @@ fn main() {
             let mut errs = Vec::new();
             for setting in store.settings() {
                 if setting.scale == scale {
-                    let m = store.mean_error(alg, &setting);
+                    let m = store.mean_error(alg, setting);
                     if m.is_finite() {
                         errs.push(m);
                     }
@@ -50,11 +50,11 @@ fn main() {
             if setting.scale != scale {
                 continue;
             }
-            let uni = store.mean_error("UNIFORM", &setting);
+            let uni = store.mean_error("UNIFORM", setting);
             let best_other = algorithms
                 .iter()
                 .filter(|a| **a != "UNIFORM")
-                .map(|a| store.mean_error(a, &setting))
+                .map(|a| store.mean_error(a, setting))
                 .filter(|m| m.is_finite())
                 .fold(f64::INFINITY, f64::min);
             if uni.is_finite() && uni < best_other {

@@ -21,8 +21,8 @@ fn main() {
             if setting.scale != scale {
                 continue;
             }
-            let mwem = store.mean_error("MWEM", &setting);
-            let star = store.mean_error("MWEM*", &setting);
+            let mwem = store.mean_error("MWEM", setting);
+            let star = store.mean_error("MWEM*", setting);
             if mwem.is_finite() && star.is_finite() && star > 0.0 {
                 ratios.push(mwem / star);
             }

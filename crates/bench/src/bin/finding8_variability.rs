@@ -21,15 +21,15 @@ fn main() {
     let mut rows = Vec::new();
     let mut flips = 0;
     for setting in store.settings() {
-        let mean_set = competitive_in_setting(&store, &setting, &alg_names, RiskProfile::Mean);
+        let mean_set = competitive_in_setting(&store, setting, &alg_names, RiskProfile::Mean);
         // Winners for display: argmin of the respective statistic.
         let mean_best = alg_names
             .iter()
-            .filter(|a| store.mean_error(a, &setting).is_finite())
+            .filter(|a| store.mean_error(a, setting).is_finite())
             .min_by(|a, b| {
                 store
-                    .mean_error(a, &setting)
-                    .partial_cmp(&store.mean_error(b, &setting))
+                    .mean_error(a, setting)
+                    .partial_cmp(&store.mean_error(b, setting))
                     .unwrap()
             })
             .cloned()
@@ -37,11 +37,11 @@ fn main() {
         let p95_best = alg_names
             .iter()
             .filter_map(|a| {
-                let errs = store.errors_for(a, &setting);
+                let errs = store.errors_for(a, setting);
                 if errs.is_empty() {
                     None
                 } else {
-                    Some((a.clone(), dpbench_stats::percentile(&errs, 95.0)))
+                    Some((a.clone(), dpbench_stats::percentile(errs, 95.0)))
                 }
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())

@@ -2,9 +2,10 @@
 //!
 //! Times the plan/execute hot path per mechanism, the DAWA stage-1
 //! partition (fast O(n log² n) vs the retained naive O(n²) DP), and
-//! whole-grid throughput through the runner, then writes the numbers as a
-//! JSON data point (default `BENCH_PR2.json`) so successive PRs produce
-//! comparable perf records.
+//! whole-grid throughput through the streaming runner — once per shipped
+//! sink (memory, O(1) aggregating, JSONL ledger) — then writes the
+//! numbers as a JSON data point (default `BENCH_PR3.json`) so successive
+//! PRs produce comparable perf records.
 //!
 //! ```text
 //! perf_report [--tiny] [--out PATH] [--threads N]
@@ -21,6 +22,7 @@ use dpbench_core::{DataVector, Domain, Loss, Workload, Workspace};
 use dpbench_datasets::catalog;
 use dpbench_harness::config::{ExperimentConfig, WorkloadSpec};
 use dpbench_harness::runner::Runner;
+use dpbench_harness::sink::{AggregatingSink, JsonlSink, MemorySink};
 use rand::Rng;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -53,6 +55,28 @@ fn json_f(v: f64) -> String {
     }
 }
 
+/// The throughput grid: full 1-D suite (minus the quadratic SF/PHP at
+/// full scale) on MEDCOST. Built per sink benchmark so every measurement
+/// starts from cold caches.
+fn runner_cfg(tiny: bool, grid_n: usize) -> ExperimentConfig {
+    let grid_algorithms: Vec<String> = NAMES_1D
+        .iter()
+        .filter(|&&m| tiny || (m != "SF" && m != "PHP"))
+        .map(|s| s.to_string())
+        .collect();
+    ExperimentConfig {
+        datasets: vec![catalog::by_name("MEDCOST").unwrap()],
+        scales: vec![100_000],
+        domains: vec![Domain::D1(grid_n)],
+        epsilons: vec![0.1],
+        algorithms: grid_algorithms,
+        n_samples: 2,
+        n_trials: if tiny { 2 } else { 5 },
+        workload: WorkloadSpec::Prefix,
+        loss: Loss::L2,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = args.iter().any(|a| a == "--tiny");
@@ -61,7 +85,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let threads = args
         .iter()
         .position(|a| a == "--threads")
@@ -168,35 +192,25 @@ fn main() {
         ));
     }
 
-    // ---- 4. Whole-grid throughput through the runner. ------------------
+    // ---- 4. Whole-grid throughput through the streaming runner. --------
     // Paper-scale domain (n = 4096 full size); SF and PHP are excluded at
     // full scale — their own quadratic inner loops (ROADMAP open items)
     // would dominate the grid and mask the hot-path changes under test.
     let grid_n = n_partition;
-    let grid_algorithms: Vec<String> = NAMES_1D
-        .iter()
-        .filter(|&&m| tiny || (m != "SF" && m != "PHP"))
-        .map(|s| s.to_string())
-        .collect();
-    let cfg = ExperimentConfig {
-        datasets: vec![catalog::by_name("MEDCOST").unwrap()],
-        scales: vec![100_000],
-        domains: vec![Domain::D1(grid_n)],
-        epsilons: vec![0.1],
-        algorithms: grid_algorithms,
-        n_samples: 2,
-        n_trials: if tiny { 2 } else { 5 },
-        workload: WorkloadSpec::Prefix,
-        loss: Loss::L2,
-    };
+    let cfg = runner_cfg(tiny, grid_n);
     let total_runs = cfg.total_runs();
     let mut runner = Runner::new(cfg);
     if let Some(t) = threads {
         runner.threads = t;
     }
+    let manifest = runner.manifest();
+    let mut memory = MemorySink::new();
     let grid_start = Instant::now();
-    let store = runner.run();
+    let run_stats = runner
+        .run_with_sink(&manifest, &mut memory)
+        .expect("memory sink cannot fail");
     let grid_s = grid_start.elapsed().as_secs_f64();
+    let store = memory.into_store();
     let runs_per_sec = store.samples().len() as f64 / grid_s;
     // PR 1 lower-bound estimate: same grid, plus the measured naive-minus-
     // fast partition delta for every DAWA execution (scaled from the
@@ -209,13 +223,49 @@ fn main() {
     let scale_ratio = (grid_n as f64 / n_partition as f64).powi(2);
     let est_pr1_grid_s = grid_s + dawa_execs as f64 * (naive_s - fast_s).max(0.0) * scale_ratio;
     println!(
-        "grid: {} measurements in {:.2}s ({runs_per_sec:.0} runs/s, {} threads, plan cache {} built / {:.0}% hit)",
+        "grid: {} measurements in {:.2}s ({runs_per_sec:.0} runs/s, {} threads, plan cache {} built / {:.0}% hit, hier pool {:.0}% hit)",
         store.samples().len(),
         grid_s,
         runner.threads,
         runner.plan_cache.len(),
-        runner.plan_cache.stats().hit_rate() * 100.0
+        runner.plan_cache.stats().hit_rate() * 100.0,
+        run_stats.hier_cache.hit_rate() * 100.0
     );
+
+    // ---- 5. Sink throughput: the same grid through each shipped sink. --
+    // The aggregating sink holds O(1) state per (algorithm, setting); the
+    // JSONL sink streams every sample (plus the resume ledger) to disk.
+    let time_grid_with = |sink_kind: &str| -> f64 {
+        let mut r = Runner::new(runner_cfg(tiny, grid_n));
+        if let Some(t) = threads {
+            r.threads = t;
+        }
+        let m = r.manifest();
+        let start = Instant::now();
+        let (stats, label) = match sink_kind {
+            "aggregating" => {
+                let mut sink = AggregatingSink::new();
+                (r.run_with_sink(&m, &mut sink).expect("aggregate"), "agg")
+            }
+            "jsonl" => {
+                let path = std::env::temp_dir().join("dpbench-perf-sink.jsonl");
+                let mut sink = JsonlSink::create(&path).expect("temp jsonl");
+                let s = r.run_with_sink(&m, &mut sink).expect("jsonl");
+                let _ = std::fs::remove_file(&path);
+                (s, "jsonl")
+            }
+            _ => unreachable!(),
+        };
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "sink {label}: {} samples in {secs:.2}s ({:.0} runs/s)",
+            stats.samples,
+            stats.samples as f64 / secs
+        );
+        stats.samples as f64 / secs
+    };
+    let agg_runs_per_sec = time_grid_with("aggregating");
+    let jsonl_runs_per_sec = time_grid_with("jsonl");
 
     // ---- JSON data point. ----------------------------------------------
     let timestamp = SystemTime::now()
@@ -223,7 +273,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"report\": \"perf_report\",\n  \"pr\": 2,\n  \"tiny\": {tiny},\n  \"timestamp_unix\": {timestamp},\n  \"threads\": {},\n  \"dawa_partition\": {{\n    \"n\": {n_partition},\n    \"naive_s\": {},\n    \"fast_s\": {},\n    \"speedup\": {}\n  }},\n  \"dawa_execute\": {{\n    \"n\": {n_partition},\n    \"now_s\": {},\n    \"est_pr1_s\": {},\n    \"est_speedup\": {}\n  }},\n  \"mechanisms\": {{\n    \"n\": {n_mech},\n    \"rows\": [\n{}\n    ]\n  }},\n  \"grid\": {{\n    \"domain_n\": {grid_n},\n    \"measurements\": {},\n    \"total_runs_configured\": {total_runs},\n    \"seconds\": {},\n    \"runs_per_sec\": {},\n    \"est_pr1_seconds\": {},\n    \"plan_cache_built\": {},\n    \"plan_cache_hit_rate\": {}\n  }}\n}}\n",
+        "{{\n  \"report\": \"perf_report\",\n  \"pr\": 3,\n  \"tiny\": {tiny},\n  \"timestamp_unix\": {timestamp},\n  \"threads\": {},\n  \"dawa_partition\": {{\n    \"n\": {n_partition},\n    \"naive_s\": {},\n    \"fast_s\": {},\n    \"speedup\": {}\n  }},\n  \"dawa_execute\": {{\n    \"n\": {n_partition},\n    \"now_s\": {},\n    \"est_pr1_s\": {},\n    \"est_speedup\": {}\n  }},\n  \"mechanisms\": {{\n    \"n\": {n_mech},\n    \"rows\": [\n{}\n    ]\n  }},\n  \"grid\": {{\n    \"domain_n\": {grid_n},\n    \"measurements\": {},\n    \"total_runs_configured\": {total_runs},\n    \"seconds\": {},\n    \"runs_per_sec\": {},\n    \"est_pr1_seconds\": {},\n    \"plan_cache_built\": {},\n    \"plan_cache_hit_rate\": {},\n    \"hier_pool_hit_rate\": {},\n    \"data_cache_hits\": {},\n    \"data_cache_misses\": {}\n  }},\n  \"sinks\": {{\n    \"memory_runs_per_sec\": {},\n    \"aggregating_runs_per_sec\": {},\n    \"jsonl_runs_per_sec\": {}\n  }}\n}}\n",
         runner.threads,
         json_f(naive_s),
         json_f(fast_s),
@@ -238,6 +288,12 @@ fn main() {
         json_f(est_pr1_grid_s),
         runner.plan_cache.len(),
         json_f(runner.plan_cache.stats().hit_rate()),
+        json_f(run_stats.hier_cache.hit_rate()),
+        run_stats.data_cache.hits,
+        run_stats.data_cache.misses,
+        json_f(runs_per_sec),
+        json_f(agg_runs_per_sec),
+        json_f(jsonl_runs_per_sec),
     );
     std::fs::write(&out_path, &json).expect("write perf report");
     println!("wrote {out_path}");

@@ -23,11 +23,11 @@ fn main() {
         let stats = shape_stats(&dataset.base_shape());
         let winner = ALGS
             .iter()
-            .filter(|a| store.mean_error(a, &setting).is_finite())
+            .filter(|a| store.mean_error(a, setting).is_finite())
             .min_by(|a, b| {
                 store
-                    .mean_error(a, &setting)
-                    .partial_cmp(&store.mean_error(b, &setting))
+                    .mean_error(a, setting)
+                    .partial_cmp(&store.mean_error(b, setting))
                     .unwrap()
             })
             .copied()

@@ -6,12 +6,20 @@
 //! * `DPBENCH_TRIALS`  — runs per data vector (paper: 10; default 3)
 //! * `DPBENCH_FULL=1`  — paper-scale fidelity (5 × 10)
 //! * `DPBENCH_DOMAIN`  — override the 1-D domain size / 2-D side
+//! * `DPBENCH_JSONL`   — stream raw samples + completed-unit ledger to
+//!   this JSONL file while the grid runs (resumable with the `dpbench`
+//!   CLI; see `crates/harness/src/sink.rs`)
 //!
 //! Reduced fidelity changes error-bar tightness, not the shape of the
 //! results; every binary prints the configuration it ran.
+//!
+//! Grids run through the streaming sink pipeline: a memory sink feeds
+//! the binary's tables, and `DPBENCH_JSONL` tees the same stream onto
+//! disk so paper-scale runs survive interruption.
 
 use dpbench_core::Domain;
 use dpbench_harness::config::{ExperimentConfig, WorkloadSpec};
+use dpbench_harness::sink::{JsonlSink, MemorySink, ResultSink, Tee};
 use dpbench_harness::ResultStore;
 use dpbench_harness::Runner;
 
@@ -51,7 +59,9 @@ pub fn domain_2d() -> Domain {
     Domain::D2(side, side)
 }
 
-/// Apply fidelity to a config and run it with progress output.
+/// Apply fidelity to a config and stream it through the sink pipeline:
+/// a memory sink for the caller's tables, teed onto a JSONL ledger when
+/// `DPBENCH_JSONL` is set.
 pub fn run(mut config: ExperimentConfig) -> ResultStore {
     let fid = Fidelity::from_env();
     config.n_samples = fid.samples;
@@ -68,18 +78,36 @@ pub fn run(mut config: ExperimentConfig) -> ResultStore {
     runner.verbose = std::env::var("DPBENCH_VERBOSE")
         .map(|v| v == "1")
         .unwrap_or(false);
-    let store = runner.run();
+    let manifest = runner.manifest();
+    let mut memory = MemorySink::new();
+    let stats = match std::env::var("DPBENCH_JSONL").ok() {
+        Some(path) => {
+            let mut jsonl = JsonlSink::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create DPBENCH_JSONL {path}: {e}"));
+            let mut tee = Tee::new(vec![&mut memory as &mut dyn ResultSink, &mut jsonl]);
+            runner.run_with_sink(&manifest, &mut tee)
+        }
+        None => runner.run_with_sink(&manifest, &mut memory),
+    }
+    .expect("grid run failed");
     if runner.verbose {
-        let stats = runner.plan_cache.stats();
+        let plan = runner.plan_cache.stats();
         eprintln!(
             "[dpbench] plan cache: {} plans, {} hits / {} misses ({:.1}% hit rate)",
             runner.plan_cache.len(),
-            stats.hits,
-            stats.misses,
-            stats.hit_rate() * 100.0
+            plan.hits,
+            plan.misses,
+            plan.hit_rate() * 100.0
+        );
+        eprintln!(
+            "[dpbench] data cache: {} hits / {} misses / {} evictions; hierarchy pool: {:.1}% hit",
+            stats.data_cache.hits,
+            stats.data_cache.misses,
+            stats.data_cache.evictions,
+            stats.hier_cache.hit_rate() * 100.0
         );
     }
-    store
+    memory.into_store()
 }
 
 /// Standard banner for every binary.

@@ -42,7 +42,7 @@ pub use budget::{BudgetLedger, SpendRecord};
 pub use data::DataVector;
 pub use domain::Domain;
 pub use error::{scaled_per_query_error, Loss};
-pub use mechanism::{MechError, MechInfo, Mechanism, Plan, PlanDiagnostics, Release};
+pub use mechanism::{Fingerprint, MechError, MechInfo, Mechanism, Plan, PlanDiagnostics, Release};
 pub use query::RangeQuery;
 pub use workload::Workload;
 pub use workspace::Workspace;

@@ -446,14 +446,67 @@ pub trait Mechanism: Send + Sync {
 /// Hash helper for [`Mechanism::config_fingerprint`] implementations:
 /// FNV-1a over a stream of 64-bit words (hash floats via `to_bits`).
 pub fn fingerprint_words(words: &[u64]) -> u64 {
-    let mut h = 0xcbf29ce484222325_u64;
-    for w in words {
-        for b in w.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
+    Fingerprint::new().words(words).finish()
+}
+
+/// Incremental content-hash builder shared by [`Mechanism::config_fingerprint`]
+/// implementations and the experiment-unit / run-manifest fingerprints in
+/// the harness (FNV-1a over a typed byte stream).
+///
+/// Every `push` is length- and type-prefixed, so adjacent fields cannot
+/// alias (`"ab" + "c"` hashes differently from `"a" + "bc"`, and a string
+/// never collides with the word holding its bytes). The hash is **stable**:
+/// it must not change across versions, because persisted run ledgers
+/// (checkpoint files) key completed work by it.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
     }
-    h
+}
+
+impl Fingerprint {
+    /// Start from the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf29ce484222325)
+    }
+
+    #[inline]
+    fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self
+    }
+
+    /// Mix one 64-bit word.
+    pub fn word(self, w: u64) -> Self {
+        self.bytes(&w.to_le_bytes())
+    }
+
+    /// Mix a slice of 64-bit words (equivalent to chained [`Fingerprint::word`]).
+    pub fn words(self, words: &[u64]) -> Self {
+        words.iter().fold(self, |f, &w| f.word(w))
+    }
+
+    /// Mix a float by its bit pattern (`-0.0` and `0.0` differ, as do NaN
+    /// payloads — fingerprints care about representation, not numerics).
+    pub fn f64(self, v: f64) -> Self {
+        self.word(v.to_bits())
+    }
+
+    /// Mix a string, length-prefixed.
+    pub fn str(self, s: &str) -> Self {
+        self.word(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// The accumulated 64-bit hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
 }
 
 impl<M: Mechanism + ?Sized> Mechanism for Box<M> {
@@ -627,5 +680,49 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let release = mech.release_eps(&x, &w, 1.0, &mut rng).unwrap();
         assert!(release.spent() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_builder_matches_word_hash() {
+        // `fingerprint_words` predates the builder; existing plan-cache
+        // keys must not shift.
+        assert_eq!(
+            fingerprint_words(&[1, 2, 3]),
+            Fingerprint::new().word(1).word(2).word(3).finish()
+        );
+    }
+
+    #[test]
+    fn fingerprint_strings_do_not_alias() {
+        let ab_c = Fingerprint::new().str("ab").str("c").finish();
+        let a_bc = Fingerprint::new().str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc, "length prefix must separate fields");
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        // Persisted ledgers key completed units by this hash; pin it.
+        assert_eq!(Fingerprint::new().finish(), 0xcbf29ce484222325);
+        assert_eq!(
+            Fingerprint::new().str("DAWA").word(7).f64(0.25).finish(),
+            fingerprint_stability_oracle()
+        );
+    }
+
+    /// Independent re-implementation of the byte stream the builder should
+    /// produce for the pinned case above.
+    fn fingerprint_stability_oracle() -> u64 {
+        let mut h = 0xcbf29ce484222325_u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(&4u64.to_le_bytes());
+        eat(b"DAWA");
+        eat(&7u64.to_le_bytes());
+        eat(&0.25f64.to_bits().to_le_bytes());
+        h
     }
 }

@@ -33,7 +33,7 @@ pub fn competitive_in_setting(
             if errs.is_empty() {
                 None
             } else {
-                Some((a.clone(), errs))
+                Some((a.clone(), errs.to_vec()))
             }
         })
         .collect();
@@ -73,7 +73,7 @@ pub fn competitive_counts(
 ) -> BTreeMap<u64, BTreeMap<String, usize>> {
     let mut out: BTreeMap<u64, BTreeMap<String, usize>> = BTreeMap::new();
     for setting in store.settings() {
-        let winners = competitive_in_setting(store, &setting, algorithms, profile);
+        let winners = competitive_in_setting(store, setting, algorithms, profile);
         let per_scale = out.entry(setting.scale).or_default();
         for w in winners {
             *per_scale.entry(w).or_insert(0) += 1;

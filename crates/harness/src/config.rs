@@ -2,7 +2,7 @@
 //! datasets × scales × domain sizes × ε × algorithms × samples × trials).
 
 use dpbench_core::rng::rng_for;
-use dpbench_core::{Domain, Loss, Workload};
+use dpbench_core::{Domain, Fingerprint, Loss, Workload};
 use dpbench_datasets::Dataset;
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +19,15 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// Mix this spec into a content fingerprint (variant tag + parameters).
+    pub fn mix_fingerprint(&self, f: Fingerprint) -> Fingerprint {
+        match *self {
+            WorkloadSpec::Prefix => f.word(1),
+            WorkloadSpec::Identity => f.word(2),
+            WorkloadSpec::RandomRanges(count) => f.word(3).word(count as u64),
+        }
+    }
+
     /// Materialize the workload for a domain (deterministic: random-range
     /// workloads are seeded from the domain so every algorithm sees the
     /// same queries).
@@ -49,6 +58,22 @@ pub struct Setting {
     pub domain: Domain,
     /// Privacy budget ε.
     pub epsilon: f64,
+}
+
+impl Setting {
+    /// Mix this setting's coordinates into a content fingerprint.
+    pub fn mix_fingerprint(&self, f: Fingerprint) -> Fingerprint {
+        let (dims, a, b) = match self.domain {
+            Domain::D1(n) => (1, n as u64, 0),
+            Domain::D2(r, c) => (2, r as u64, c as u64),
+        };
+        f.str(&self.dataset)
+            .word(self.scale)
+            .word(dims)
+            .word(a)
+            .word(b)
+            .f64(self.epsilon)
+    }
 }
 
 impl std::fmt::Display for Setting {
@@ -144,6 +169,45 @@ impl ExperimentConfig {
     pub fn total_runs(&self) -> usize {
         self.settings().len() * self.algorithms.len() * self.n_samples * self.n_trials
     }
+
+    /// Content fingerprint of the whole grid definition: every input that
+    /// determines the result set (datasets, scales, domains, ε values,
+    /// algorithms, sample/trial counts, workload, loss). Two configs with
+    /// the same fingerprint produce bit-identical grids, so run ledgers
+    /// (checkpoints) and shards are only ever merged under a matching
+    /// fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new().str("dpbench-run-v1");
+        f = f.word(self.datasets.len() as u64);
+        for d in &self.datasets {
+            f = f.str(d.name);
+        }
+        f = f.word(self.scales.len() as u64).words(&self.scales);
+        f = f.word(self.domains.len() as u64);
+        for d in &self.domains {
+            let (dims, a, b) = match *d {
+                Domain::D1(n) => (1, n as u64, 0),
+                Domain::D2(r, c) => (2, r as u64, c as u64),
+            };
+            f = f.word(dims).word(a).word(b);
+        }
+        f = f.word(self.epsilons.len() as u64);
+        for &e in &self.epsilons {
+            f = f.f64(e);
+        }
+        f = f.word(self.algorithms.len() as u64);
+        for a in &self.algorithms {
+            f = f.str(a);
+        }
+        f = f.word(self.n_samples as u64).word(self.n_trials as u64);
+        f = self.workload.mix_fingerprint(f);
+        f = f.word(match self.loss {
+            Loss::L1 => 1,
+            Loss::L2 => 2,
+            Loss::LInf => 3,
+        });
+        f.finish()
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +262,43 @@ mod tests {
     #[should_panic(expected = "1-D only")]
     fn prefix_rejects_2d() {
         WorkloadSpec::Prefix.build(Domain::D2(4, 4));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_grid_input() {
+        let base = ExperimentConfig {
+            datasets: vec![catalog::by_name("ADULT").unwrap()],
+            scales: vec![1000],
+            domains: vec![Domain::D1(256)],
+            epsilons: vec![0.1],
+            algorithms: vec!["IDENTITY".into()],
+            n_samples: 2,
+            n_trials: 3,
+            workload: WorkloadSpec::Prefix,
+            loss: Loss::L2,
+        };
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let mut variants = Vec::new();
+        let mut v = base.clone();
+        v.scales = vec![2000];
+        variants.push(v);
+        let mut v = base.clone();
+        v.epsilons = vec![0.5];
+        variants.push(v);
+        let mut v = base.clone();
+        v.algorithms = vec!["UNIFORM".into()];
+        variants.push(v);
+        let mut v = base.clone();
+        v.n_trials = 4;
+        variants.push(v);
+        let mut v = base.clone();
+        v.workload = WorkloadSpec::Identity;
+        variants.push(v);
+        let mut v = base.clone();
+        v.loss = Loss::L1;
+        variants.push(v);
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(v.fingerprint(), base.fingerprint(), "variant {i}");
+        }
     }
 }

@@ -1,18 +1,34 @@
 //! # dpbench-harness
 //!
 //! The task-independent components of the benchmark (paper Section 5):
-//! the experiment grid runner, the algorithm repair functions `R`
+//! the streaming experiment engine (manifest-driven grid runner + result
+//! sinks + checkpoint/resume), the algorithm repair functions `R`
 //! (free-parameter tuning `Rparam` and side-information repair `Rside`),
 //! and the measurement/interpretation standards `E_M` / `E_I`
 //! (mean + 95th-percentile error, competitive sets, regret, baselines).
+//!
+//! A grid run flows through three layers:
+//!
+//! 1. [`ExperimentConfig`] expands into a deterministic [`RunManifest`]
+//!    of content-addressed units ([`manifest`]);
+//! 2. the [`Runner`] streams completed units through a bounded channel
+//!    into a [`ResultSink`] ([`runner`], [`sink`]) — memory, JSONL
+//!    ledger, or O(1) streaming aggregation;
+//! 3. a JSONL ledger checkpoint lets [`Runner::resume`] (or a
+//!    `--shard`ed fleet of processes) reproduce the single-process run
+//!    bit-identically.
 
 pub mod competitive;
 pub mod config;
+pub mod manifest;
 pub mod repair;
 pub mod results;
 pub mod runner;
+pub mod sink;
 pub mod tuning;
 
 pub use config::{ExperimentConfig, Setting};
+pub use manifest::{ManifestUnit, RunManifest, UnitId};
 pub use results::{ErrorSample, ResultStore, SettingSummary};
-pub use runner::Runner;
+pub use runner::{RunStats, Runner};
+pub use sink::{AggregatingSink, JsonlSink, MemorySink, ResultSink, Tee};

@@ -1,0 +1,267 @@
+//! Deterministic expansion of an [`ExperimentConfig`] into an addressable
+//! run manifest.
+//!
+//! The grid runner works through **units** — one `(setting, sample,
+//! mechanism)` triple, i.e. all trials of one mechanism on one generated
+//! data vector. A [`RunManifest`] enumerates every unit of a run in a
+//! fixed, reproducible order and gives each a stable content-hashed
+//! [`UnitId`], plus a run-level fingerprint over the whole grid
+//! definition. That identity layer is what makes runs *addressable*:
+//!
+//! * **Sharding** — [`RunManifest::shard`] deals the unit list across `k`
+//!   independent processes; because per-trial RNG streams derive from unit
+//!   coordinates (not from execution order), the union of the shards'
+//!   results is bit-identical to a single-process run.
+//! * **Checkpoint/resume** — a sink records each completed [`UnitId`] in a
+//!   ledger; [`RunManifest::without`] drops finished units so a crashed or
+//!   interrupted run restarts exactly where it stopped.
+//!
+//! Unit ids mix the run fingerprint into the hash, so ledger entries and
+//! shard outputs can never be merged across grids that differ in any
+//! input (workload, loss, trial counts, …).
+
+use crate::config::{ExperimentConfig, Setting};
+use dpbench_algorithms::registry::mechanism_by_name;
+use dpbench_core::Fingerprint;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Stable content-hashed identity of one (setting, sample, mechanism)
+/// unit within a specific run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId(pub u64);
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl UnitId {
+    /// Parse the 16-hex-digit form produced by `Display`.
+    pub fn parse(s: &str) -> Option<Self> {
+        (s.len() == 16)
+            .then(|| u64::from_str_radix(s, 16).ok())
+            .flatten()
+            .map(UnitId)
+    }
+}
+
+/// One schedulable unit of a run: all `n_trials` executions of one
+/// mechanism on one generated data vector.
+#[derive(Debug, Clone)]
+pub struct ManifestUnit {
+    /// Content-hashed identity (includes the run fingerprint).
+    pub id: UnitId,
+    /// Position in the **full** (unsharded, unfiltered) manifest; stable
+    /// under [`RunManifest::shard`]/[`RunManifest::without`], which is
+    /// what lets shard outputs interleave back into canonical order.
+    pub pos: usize,
+    /// The experimental setting.
+    pub setting: Setting,
+    /// Which sampled data vector (0-based).
+    pub sample: usize,
+    /// Mechanism name (resolved via the algorithm registry).
+    pub algorithm: String,
+}
+
+/// The expanded, addressable form of one experiment grid.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// [`ExperimentConfig::fingerprint`] of the generating config.
+    pub fingerprint: u64,
+    /// Trials per unit (recorded in ledgers for sanity checks).
+    pub n_trials: usize,
+    /// Total units in the full manifest (before shard/resume filtering).
+    pub total_units: usize,
+    /// The units this manifest schedules, ascending by `pos`.
+    pub units: Vec<ManifestUnit>,
+}
+
+impl RunManifest {
+    /// Expand a config into its full manifest. Mirrors the runner's grid
+    /// order — settings × samples × algorithms — and drops unsupported
+    /// (mechanism, domain) pairs, exactly like the execution loop does.
+    ///
+    /// Panics on algorithm names the registry does not know (the same
+    /// contract as the runner).
+    pub fn from_config(cfg: &ExperimentConfig) -> Self {
+        let fingerprint = cfg.fingerprint();
+        let supported: Vec<(String, Box<dyn dpbench_core::Mechanism>)> = cfg
+            .algorithms
+            .iter()
+            .map(|name| {
+                let mech =
+                    mechanism_by_name(name).unwrap_or_else(|| panic!("unknown mechanism {name}"));
+                (name.clone(), mech)
+            })
+            .collect();
+        let mut units = Vec::new();
+        for setting in cfg.settings() {
+            for sample in 0..cfg.n_samples {
+                for (name, mech) in &supported {
+                    if !mech.supports(&setting.domain) {
+                        continue;
+                    }
+                    let id = UnitId(
+                        setting
+                            .mix_fingerprint(Fingerprint::new().word(fingerprint).str("unit"))
+                            .word(sample as u64)
+                            .str(name)
+                            .finish(),
+                    );
+                    units.push(ManifestUnit {
+                        id,
+                        pos: units.len(),
+                        setting: setting.clone(),
+                        sample,
+                        algorithm: name.clone(),
+                    });
+                }
+            }
+        }
+        let total_units = units.len();
+        Self {
+            fingerprint,
+            n_trials: cfg.n_trials,
+            total_units,
+            units,
+        }
+    }
+
+    /// Number of units this manifest schedules.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Shard `index` of `count`: every `count`-th unit starting at
+    /// `index`, with `pos` (and ids) unchanged. Round-robin keeps the
+    /// slow data-dependent mechanisms of each cell spread across shards.
+    pub fn shard(&self, index: usize, count: usize) -> Self {
+        assert!(count > 0, "shard count must be positive");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        Self {
+            fingerprint: self.fingerprint,
+            n_trials: self.n_trials,
+            total_units: self.total_units,
+            units: self
+                .units
+                .iter()
+                .filter(|u| u.pos % count == index)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Drop every unit whose id appears in `done` (the resume filter).
+    pub fn without(&self, done: &HashSet<UnitId>) -> Self {
+        Self {
+            fingerprint: self.fingerprint,
+            n_trials: self.n_trials,
+            total_units: self.total_units,
+            units: self
+                .units
+                .iter()
+                .filter(|u| !done.contains(&u.id))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadSpec;
+    use dpbench_core::{Domain, Loss};
+    use dpbench_datasets::catalog;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            datasets: vec![catalog::by_name("MEDCOST").unwrap()],
+            scales: vec![10_000, 20_000],
+            domains: vec![Domain::D1(128)],
+            epsilons: vec![0.1],
+            algorithms: vec!["IDENTITY".into(), "UNIFORM".into(), "DAWA".into()],
+            n_samples: 2,
+            n_trials: 3,
+            workload: WorkloadSpec::Prefix,
+            loss: Loss::L2,
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_complete() {
+        let a = RunManifest::from_config(&cfg());
+        let b = RunManifest::from_config(&cfg());
+        // 2 settings × 2 samples × 3 algorithms.
+        assert_eq!(a.len(), 12);
+        assert_eq!(a.total_units, 12);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        for (x, y) in a.units.iter().zip(&b.units) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.pos, y.pos);
+        }
+        // Ids are unique and positions sequential.
+        let ids: HashSet<UnitId> = a.units.iter().map(|u| u.id).collect();
+        assert_eq!(ids.len(), 12);
+        assert!(a.units.iter().enumerate().all(|(i, u)| u.pos == i));
+    }
+
+    #[test]
+    fn unsupported_pairs_are_dropped() {
+        let mut c = cfg();
+        c.algorithms = vec!["UGRID".into()]; // 2-D only
+        assert!(RunManifest::from_config(&c).is_empty());
+    }
+
+    #[test]
+    fn shards_partition_the_manifest() {
+        let m = RunManifest::from_config(&cfg());
+        let s0 = m.shard(0, 3);
+        let s1 = m.shard(1, 3);
+        let s2 = m.shard(2, 3);
+        assert_eq!(s0.len() + s1.len() + s2.len(), m.len());
+        let mut seen = HashSet::new();
+        for u in s0.units.iter().chain(&s1.units).chain(&s2.units) {
+            assert!(seen.insert(u.id), "unit appears in two shards");
+        }
+        // Shards retain the full-run positions and fingerprint.
+        assert!(s1.units.iter().all(|u| u.pos % 3 == 1));
+        assert_eq!(s1.fingerprint, m.fingerprint);
+        assert_eq!(s1.total_units, m.total_units);
+    }
+
+    #[test]
+    fn without_filters_completed_units() {
+        let m = RunManifest::from_config(&cfg());
+        let done: HashSet<UnitId> = m.units.iter().take(5).map(|u| u.id).collect();
+        let rest = m.without(&done);
+        assert_eq!(rest.len(), 7);
+        assert!(rest.units.iter().all(|u| !done.contains(&u.id)));
+        assert!(rest.units.iter().all(|u| u.pos >= 5));
+    }
+
+    #[test]
+    fn unit_ids_depend_on_run_inputs() {
+        let a = RunManifest::from_config(&cfg());
+        let mut c = cfg();
+        c.n_trials = 4; // same units, different run definition
+        let b = RunManifest::from_config(&c);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert_ne!(a.units[0].id, b.units[0].id);
+    }
+
+    #[test]
+    fn unit_id_roundtrips_through_hex() {
+        let id = UnitId(0x0123_4567_89ab_cdef);
+        assert_eq!(UnitId::parse(&id.to_string()), Some(id));
+        assert_eq!(UnitId::parse("xyz"), None);
+        assert_eq!(UnitId::parse(""), None);
+    }
+}

@@ -3,7 +3,8 @@
 use crate::config::Setting;
 use dpbench_stats::Summary;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, HashSet};
 
 /// One measured error (Definition 3) from a single mechanism run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,9 +33,23 @@ pub struct SettingSummary {
 }
 
 /// In-memory store of benchmark results.
+///
+/// Indexed on insert: a `BTreeMap` keyed by (algorithm, setting) holds the
+/// error values of every group, so [`ResultStore::errors_for`] and the
+/// distinct-value listings are index lookups instead of the full-scan
+/// filters they used to be — the store is on the sink pipeline's hot path
+/// and grids push hundreds of thousands of samples through it.
 #[derive(Debug, Clone, Default)]
 pub struct ResultStore {
     samples: Vec<ErrorSample>,
+    /// (algorithm, setting display key) → (setting, errors in push order).
+    index: BTreeMap<(String, String), (Setting, Vec<f64>)>,
+    /// Distinct settings in first-seen order (+ membership set).
+    settings: Vec<Setting>,
+    seen_settings: HashSet<String>,
+    /// Distinct algorithm names in first-seen order (+ membership set).
+    algorithms: Vec<String>,
+    seen_algorithms: HashSet<String>,
 }
 
 impl ResultStore {
@@ -45,67 +60,62 @@ impl ResultStore {
 
     /// Add one measurement.
     pub fn push(&mut self, sample: ErrorSample) {
+        let setting_key = sample.setting.to_string();
+        if self.seen_settings.insert(setting_key.clone()) {
+            self.settings.push(sample.setting.clone());
+        }
+        if self.seen_algorithms.insert(sample.algorithm.clone()) {
+            self.algorithms.push(sample.algorithm.clone());
+        }
+        match self.index.entry((sample.algorithm.clone(), setting_key)) {
+            Entry::Occupied(mut e) => e.get_mut().1.push(sample.error),
+            Entry::Vacant(e) => {
+                e.insert((sample.setting.clone(), vec![sample.error]));
+            }
+        }
         self.samples.push(sample);
     }
 
     /// Append many measurements.
     pub fn extend(&mut self, samples: impl IntoIterator<Item = ErrorSample>) {
-        self.samples.extend(samples);
+        for s in samples {
+            self.push(s);
+        }
     }
 
-    /// All raw measurements.
+    /// All raw measurements, in insertion order.
     pub fn samples(&self) -> &[ErrorSample] {
         &self.samples
     }
 
-    /// Errors of one algorithm in one setting.
-    pub fn errors_for(&self, algorithm: &str, setting: &Setting) -> Vec<f64> {
-        self.samples
-            .iter()
-            .filter(|s| s.algorithm == algorithm && &s.setting == setting)
-            .map(|s| s.error)
-            .collect()
+    /// Errors of one algorithm in one setting (insertion order); empty
+    /// when the pair never ran. One index lookup, no scan.
+    pub fn errors_for(&self, algorithm: &str, setting: &Setting) -> &[f64] {
+        self.index
+            .get(&(algorithm.to_string(), setting.to_string()))
+            .map(|(_, errors)| errors.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Distinct settings present, in insertion order.
-    pub fn settings(&self) -> Vec<Setting> {
-        let mut seen = Vec::new();
-        for s in &self.samples {
-            if !seen.contains(&s.setting) {
-                seen.push(s.setting.clone());
-            }
-        }
-        seen
+    pub fn settings(&self) -> &[Setting] {
+        &self.settings
     }
 
     /// Distinct algorithm names present, in insertion order.
-    pub fn algorithms(&self) -> Vec<String> {
-        let mut seen = Vec::new();
-        for s in &self.samples {
-            if !seen.iter().any(|a| a == &s.algorithm) {
-                seen.push(s.algorithm.clone());
-            }
-        }
-        seen
+    pub fn algorithms(&self) -> &[String] {
+        &self.algorithms
     }
 
-    /// Aggregate every (algorithm, setting) pair.
+    /// Aggregate every (algorithm, setting) pair, ordered by algorithm
+    /// then setting key (the index order).
     pub fn summaries(&self) -> Vec<SettingSummary> {
-        let mut groups: BTreeMap<(String, String), (Setting, Vec<f64>)> = BTreeMap::new();
-        for s in &self.samples {
-            let key = (s.algorithm.clone(), s.setting.to_string());
-            groups
-                .entry(key)
-                .or_insert_with(|| (s.setting.clone(), Vec::new()))
-                .1
-                .push(s.error);
-        }
-        groups
-            .into_iter()
+        self.index
+            .iter()
             .map(|((algorithm, _), (setting, errors))| SettingSummary {
-                algorithm,
-                setting,
-                summary: Summary::of(&errors),
+                algorithm: algorithm.clone(),
+                setting: setting.clone(),
+                summary: Summary::of(errors),
             })
             .collect()
     }
@@ -116,7 +126,7 @@ impl ResultStore {
         if errs.is_empty() {
             f64::NAN
         } else {
-            dpbench_stats::mean(&errs)
+            dpbench_stats::mean(errs)
         }
     }
 }

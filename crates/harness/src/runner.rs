@@ -1,16 +1,28 @@
-//! Parallel experiment-grid runner with cross-trial plan caching.
+//! Streaming, manifest-driven experiment-grid runner with cross-trial
+//! plan caching.
 //!
-//! Work is split at the **(setting, sample, mechanism)** granularity: one
-//! unit runs a single mechanism `n_trials` times on one generated data
-//! vector. The finer grain keeps every worker busy until the very end of
-//! the grid — with the old (setting, sample) units one slow data-dependent
-//! mechanism (MWEM, DAWA) serialized the whole tail of its unit while the
-//! other workers idled. The data vector, workload, and true answers
-//! `y_true` shared by the mechanisms of one (setting, sample) cell are
-//! built exactly once in a memoized [`DataCache`] keyed by their
-//! coordinates. Every trial derives its RNG stream deterministically from
-//! its coordinates, so results are reproducible and independent of thread
-//! scheduling and of the work granularity.
+//! A run is described by a [`RunManifest`]: one unit per **(setting,
+//! sample, mechanism)** triple, each with a stable content-hashed id (see
+//! [`crate::manifest`]). Workers claim units from the manifest, run all
+//! trials of the unit, and push the resulting [`ErrorSample`]s through a
+//! **bounded channel** to a single consumer thread that feeds a
+//! [`ResultSink`] — results stream out as the grid progresses instead of
+//! accumulating behind a barrier at grid end. The consumer re-orders
+//! completions into manifest order, so sink output is byte-deterministic
+//! regardless of thread scheduling; a ledger-writing sink
+//! ([`crate::sink::JsonlSink`]) therefore doubles as a checkpoint that
+//! [`Runner::resume`] can continue bit-identically after a crash.
+//!
+//! The data vector, workload, and true answers `y_true` shared by the
+//! mechanisms of one (setting, sample) cell are built exactly once in a
+//! memoized [`DataCache`] keyed by their coordinates — now with **LRU
+//! eviction under a configurable byte budget**
+//! ([`Runner::data_cache_bytes`]), safe precisely because sinks stream
+//! results out instead of holding the whole grid alive. Every trial
+//! derives its RNG stream deterministically from its coordinates, so
+//! results are reproducible and independent of thread scheduling, of
+//! sharding, and of eviction (an evicted vector regenerates
+//! bit-identically).
 //!
 //! Mechanisms run through the two-phase plan/execute API: the runner keeps
 //! a [`PlanCache`] keyed by `(mechanism, domain, workload)` so each
@@ -19,10 +31,15 @@
 //! exactly once per key instead of `n_samples × n_trials` times. Each
 //! worker thread owns a [`Workspace`], so steady-state trials recycle
 //! their estimate, scratch, and prefix-table buffers instead of touching
-//! the allocator.
+//! the allocator; DAWA's data-dependent stage-2 hierarchies come from the
+//! workspace's size-bucketed `HierPool`, whose hit counters the runner
+//! aggregates into [`RunStats`].
 
 use crate::config::{ExperimentConfig, Setting};
+use crate::manifest::{ManifestUnit, RunManifest, UnitId};
 use crate::results::{ErrorSample, ResultStore};
+use crate::sink::{MemorySink, ResultSink};
+use dpbench_algorithms::hierarchy::HierPool;
 use dpbench_algorithms::registry::mechanism_by_name;
 use dpbench_core::mechanism::execute_eps_with;
 use dpbench_core::rng::{hash_str, rng_for};
@@ -30,8 +47,10 @@ use dpbench_core::{
     scaled_per_query_error, DataVector, Domain, MechError, Mechanism, Plan, Workload, Workspace,
 };
 use dpbench_datasets::DataGenerator;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
 
 /// Cache key: mechanism name × configuration fingerprint × domain ×
@@ -159,6 +178,15 @@ struct UnitData {
     scale: f64,
 }
 
+impl UnitData {
+    /// Approximate resident bytes (the two f64 arrays; the workload is
+    /// shared per domain and accounted separately as negligible).
+    fn bytes(&self) -> usize {
+        (self.x.n_cells() + self.y_true.len()) * std::mem::size_of::<f64>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
 /// Cache key of one generated data vector: (dataset-name hash, scale,
 /// domain, sample index).
 type DataKey = (u64, u64, Domain, usize);
@@ -166,20 +194,80 @@ type DataKey = (u64, u64, Domain, usize);
 /// Per-key build slot of the [`DataCache`].
 type DataSlot = Arc<Mutex<Option<Arc<UnitData>>>>;
 
-/// Memoized `(dataset, scale, domain, sample)` → [`UnitData`] map. Note ε
-/// is *not* part of the key: the data vector never depends on the privacy
-/// budget, so an ε sweep shares one generated vector per sample. Same
-/// two-level locking discipline as [`PlanCache`]: the map lock only
-/// resolves the key to its slot, generation happens under the slot lock.
+/// Counters of the [`DataCache`] (exposed through [`RunStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataCacheStats {
+    /// Lookups served by an already-generated vector.
+    pub hits: u64,
+    /// Vectors generated (first use or regeneration after eviction).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Bytes resident when the run finished.
+    pub resident_bytes: usize,
+}
+
+/// One [`DataCache`] entry: the build slot plus LRU bookkeeping.
+struct DataEntry {
+    slot: DataSlot,
+    /// Monotonic access tick (bigger = more recent).
+    last_used: u64,
+    /// Resident bytes; 0 until the slot is built.
+    bytes: usize,
+}
+
+/// Map + total-byte accounting behind one lock (the lock is only held to
+/// resolve keys, record sizes, and pick eviction victims — generation
+/// itself happens under the per-key slot lock).
 #[derive(Default)]
+struct DataMap {
+    map: HashMap<DataKey, DataEntry>,
+    total_bytes: usize,
+}
+
+/// Memoized `(dataset, scale, domain, sample)` → [`UnitData`] map with
+/// LRU eviction under a byte budget. Note ε is *not* part of the key: the
+/// data vector never depends on the privacy budget, so an ε sweep shares
+/// one generated vector per sample. Eviction is safe for correctness
+/// because generation is deterministic per coordinates — an evicted entry
+/// regenerates bit-identically — and in-flight users hold their own
+/// `Arc`, so a victim's memory is reclaimed when the last unit using it
+/// finishes.
 struct DataCache {
-    map: Mutex<HashMap<DataKey, DataSlot>>,
+    inner: Mutex<DataMap>,
     /// Workloads depend only on the domain; memoized separately so the
     /// grid holds one query list per domain instead of one per cell.
     workloads: Mutex<HashMap<Domain, Arc<Workload>>>,
+    /// LRU clock.
+    tick: AtomicU64,
+    budget_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl DataCache {
+    fn new(budget_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::default(),
+            workloads: Mutex::default(),
+            tick: AtomicU64::new(0),
+            budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> DataCacheStats {
+        DataCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.inner.lock().expect("data cache poisoned").total_bytes,
+        }
+    }
+
     fn workload_for(&self, cfg: &ExperimentConfig, domain: Domain) -> Arc<Workload> {
         let mut map = self.workloads.lock().expect("workload cache poisoned");
         Arc::clone(
@@ -196,13 +284,22 @@ impl DataCache {
             sample,
         );
         let slot = {
-            let mut map = self.map.lock().expect("data cache poisoned");
-            Arc::clone(map.entry(key).or_default())
+            let mut inner = self.inner.lock().expect("data cache poisoned");
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+            let entry = inner.map.entry(key).or_insert_with(|| DataEntry {
+                slot: DataSlot::default(),
+                last_used: tick,
+                bytes: 0,
+            });
+            entry.last_used = tick;
+            Arc::clone(&entry.slot)
         };
         let mut built = slot.lock().expect("data slot poisoned");
         if let Some(data) = built.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(data);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let dataset = cfg
             .datasets
             .iter()
@@ -230,8 +327,78 @@ impl DataCache {
             scale,
         });
         *built = Some(Arc::clone(&data));
+        drop(built);
+        self.account_and_evict(key, data.bytes());
         data
     }
+
+    /// Record the freshly built entry's size and evict least-recently-used
+    /// built entries until the budget holds. The just-built key is exempt
+    /// (guaranteed progress even under a budget smaller than one vector).
+    fn account_and_evict(&self, just_built: DataKey, bytes: usize) {
+        let mut inner = self.inner.lock().expect("data cache poisoned");
+        if let Some(entry) = inner.map.get_mut(&just_built) {
+            // Racing eviction may already have dropped the key; then the
+            // data lives only with its in-flight users and owes no budget.
+            if entry.bytes == 0 {
+                entry.bytes = bytes;
+                inner.total_bytes += bytes;
+            }
+        }
+        while inner.total_bytes > self.budget_bytes {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, e)| e.bytes > 0 && **k != just_built)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let e = inner.map.remove(&k).expect("victim exists");
+                    inner.total_bytes -= e.bytes;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Aggregated per-run counters of the workers' size-bucketed `HierPool`s
+/// (DAWA's stage-2 hierarchy cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierCacheStats {
+    /// Hierarchy requests served from a worker's pool.
+    pub hits: u64,
+    /// Hierarchies built.
+    pub misses: u64,
+}
+
+impl HierCacheStats {
+    /// Hit fraction in [0, 1]; 0 when nothing was requested.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// What a streamed run did (returned by [`Runner::run_with_sink`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Units completed and delivered to the sink.
+    pub units: usize,
+    /// Samples delivered to the sink.
+    pub samples: usize,
+    /// Units skipped by a resume filter before the run started.
+    pub skipped: usize,
+    /// Data-generation cache counters.
+    pub data_cache: DataCacheStats,
+    /// Aggregated DAWA stage-2 hierarchy pool counters.
+    pub hier_cache: HierCacheStats,
 }
 
 /// The grid runner.
@@ -241,18 +408,17 @@ pub struct Runner {
     pub threads: usize,
     /// Print one line per completed unit to stderr.
     pub verbose: bool,
-    /// Plan cache shared by all workers; inspect after [`Runner::run`] for
-    /// hit statistics.
+    /// Plan cache shared by all workers; inspect after a run for hit
+    /// statistics.
     pub plan_cache: PlanCache,
-}
-
-/// One unit of work: one mechanism on one (setting, sample) cell.
-#[derive(Clone)]
-struct Unit {
-    setting: Setting,
-    sample: usize,
-    /// Index into the runner's instantiated mechanism list.
-    mech: usize,
+    /// Byte budget of the generated-data cache (LRU-evicted above this;
+    /// default 256 MiB). Determinism is unaffected — evicted vectors
+    /// regenerate bit-identically.
+    pub data_cache_bytes: usize,
+    /// Stop cleanly after this many units have been delivered to the sink
+    /// (in manifest order). A testing/ops knob: the resulting ledger looks
+    /// exactly like an interrupted run and can be `--resume`d.
+    pub max_units: Option<usize>,
 }
 
 impl Runner {
@@ -266,88 +432,198 @@ impl Runner {
             threads,
             verbose: false,
             plan_cache: PlanCache::new(),
+            data_cache_bytes: 256 << 20,
+            max_units: None,
         }
     }
 
-    /// Execute the whole grid and collect all error samples.
+    /// The full manifest of this runner's grid.
+    pub fn manifest(&self) -> RunManifest {
+        RunManifest::from_config(&self.config)
+    }
+
+    /// Execute the whole grid into memory and return the result store —
+    /// the convenience wrapper over [`Runner::run_with_sink`] with a
+    /// [`MemorySink`].
     pub fn run(&self) -> ResultStore {
+        let mut sink = MemorySink::new();
+        self.run_with_sink(&self.manifest(), &mut sink)
+            .expect("memory sink cannot fail");
+        sink.into_store()
+    }
+
+    /// Resume a run from a ledger: execute only the units of `manifest`
+    /// whose ids are not in `done`. Merged with the prior results, the
+    /// totals are bit-identical to an uninterrupted run (per-unit RNG
+    /// streams depend only on unit coordinates).
+    pub fn resume(
+        &self,
+        manifest: &RunManifest,
+        done: &HashSet<UnitId>,
+        sink: &mut dyn ResultSink,
+    ) -> io::Result<RunStats> {
+        let pending = manifest.without(done);
+        let skipped = manifest.len() - pending.len();
+        let mut stats = self.run_with_sink(&pending, sink)?;
+        stats.skipped = skipped;
+        Ok(stats)
+    }
+
+    /// Execute every unit of `manifest` (a full manifest, a shard, or a
+    /// resume remainder of this runner's config), streaming completed
+    /// units to `sink` in manifest order through a bounded channel — no
+    /// barrier at grid end, no whole-grid accumulation in the runner.
+    ///
+    /// Fails fast (workers stop claiming units) when the sink reports an
+    /// I/O error; every unit delivered before the failure remains valid.
+    pub fn run_with_sink(
+        &self,
+        manifest: &RunManifest,
+        sink: &mut dyn ResultSink,
+    ) -> io::Result<RunStats> {
+        if manifest.fingerprint != self.config.fingerprint() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "manifest fingerprint does not match this runner's config \
+                 (different grid definition)",
+            ));
+        }
         // Instantiate each mechanism once; plans are cached per
         // (mechanism, domain, workload) across all units.
-        let mechs: Vec<(String, Box<dyn Mechanism>)> = self
+        let mechs: HashMap<&str, Box<dyn Mechanism>> = self
             .config
             .algorithms
             .iter()
             .map(|name| {
                 let mech =
                     mechanism_by_name(name).unwrap_or_else(|| panic!("unknown mechanism {name}"));
-                (name.clone(), mech)
+                (name.as_str(), mech)
             })
             .collect();
 
-        // Mechanism-granular units: unsupported (mechanism, domain) pairs
-        // are dropped here, exactly like the old per-unit `supports` skip.
-        let mut units = Vec::new();
-        for setting in self.config.settings() {
-            for sample in 0..self.config.n_samples {
-                for (mech, (_, m)) in mechs.iter().enumerate() {
-                    if m.supports(&setting.domain) {
-                        units.push(Unit {
-                            setting: setting.clone(),
-                            sample,
-                            mech,
-                        });
-                    }
-                }
-            }
-        }
+        sink.begin(manifest)?;
 
-        let data_cache = DataCache::default();
-        let store = Mutex::new(ResultStore::new());
+        let units = &manifest.units;
+        let data_cache = DataCache::new(self.data_cache_bytes);
         let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let hier_hits = AtomicU64::new(0);
+        let hier_misses = AtomicU64::new(0);
         let threads = self.threads.max(1).min(units.len().max(1));
+        // Bounded hand-off: workers block (applying backpressure) once the
+        // sink falls this far behind.
+        let (tx, rx) = sync_channel::<(usize, Vec<ErrorSample>)>(threads * 2);
+        let max_units = self.max_units.unwrap_or(usize::MAX);
+
+        // Consumer-side tallies; the consumer runs on this thread inside
+        // the scope, so plain locals suffice.
+        let mut emitted_units = 0_usize;
+        let mut emitted_samples = 0_usize;
+        let mut sink_err: Option<io::Error> = None;
 
         std::thread::scope(|scope| {
+            let (next, stop) = (&next, &stop);
+            let (hier_hits, hier_misses) = (&hier_hits, &hier_misses);
+            let (data_cache, mechs) = (&data_cache, &mechs);
             for _ in 0..threads {
-                scope.spawn(|| {
+                let tx = tx.clone();
+                scope.spawn(move || {
                     // Per-thread scratch pool: estimates, prefix tables,
-                    // and mechanism scratch recycle across all trials this
-                    // worker runs.
+                    // hierarchies, and mechanism scratch recycle across all
+                    // trials this worker runs.
                     let mut ws = Workspace::new();
                     loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= units.len() {
                             break;
                         }
-                        let unit = &units[idx];
-                        let samples = self.run_trials(unit, &mechs, &data_cache, &mut ws);
-                        if self.verbose {
-                            eprintln!(
-                                "[dpbench] {} sample {} {} done ({} trials)",
-                                unit.setting,
-                                unit.sample,
-                                mechs[unit.mech].0,
-                                samples.len()
-                            );
+                        let samples = self.run_trials(&units[idx], mechs, data_cache, &mut ws);
+                        if tx.send((idx, samples)).is_err() {
+                            break; // consumer gone (stopped early)
                         }
-                        store.lock().expect("result store poisoned").extend(samples);
                     }
+                    // Surface this worker's hierarchy-pool counters.
+                    let pool: Box<HierPool> = ws.take_typed();
+                    hier_hits.fetch_add(pool.hits, Ordering::Relaxed);
+                    hier_misses.fetch_add(pool.misses, Ordering::Relaxed);
                 });
+            }
+            // Drop the original sender: the consumer's recv disconnects
+            // once every worker clone is gone.
+            drop(tx);
+
+            // Consumer (this thread): re-order completions into manifest
+            // order and feed the sink. Out-of-order completions wait in
+            // `pending`; the buffer stays small because workers claim
+            // units in order and the channel is bounded.
+            let mut pending: BTreeMap<usize, Vec<ErrorSample>> = BTreeMap::new();
+            let mut next_emit = 0_usize;
+            while let Ok((idx, samples)) = rx.recv() {
+                pending.insert(idx, samples);
+                while let Some(samples) = pending.remove(&next_emit) {
+                    let unit = &units[next_emit];
+                    next_emit += 1;
+                    if sink_err.is_some() || emitted_units >= max_units {
+                        continue; // drain without emitting
+                    }
+                    match sink.unit_complete(unit, &samples) {
+                        Ok(()) => {
+                            emitted_units += 1;
+                            emitted_samples += samples.len();
+                            if self.verbose {
+                                eprintln!(
+                                    "[dpbench] unit {}/{} {} sample {} {} done ({} trials)",
+                                    unit.pos + 1,
+                                    manifest.total_units,
+                                    unit.setting,
+                                    unit.sample,
+                                    unit.algorithm,
+                                    samples.len()
+                                );
+                            }
+                            if emitted_units >= max_units {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => {
+                            sink_err = Some(e);
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
             }
         });
 
-        store.into_inner().expect("result store poisoned")
+        if let Some(e) = sink_err {
+            return Err(e);
+        }
+        sink.finish()?;
+        Ok(RunStats {
+            units: emitted_units,
+            samples: emitted_samples,
+            skipped: 0,
+            data_cache: data_cache.stats(),
+            hier_cache: HierCacheStats {
+                hits: hier_hits.load(Ordering::Relaxed),
+                misses: hier_misses.load(Ordering::Relaxed),
+            },
+        })
     }
 
     /// Run all trials of one mechanism on one generated data vector.
     fn run_trials(
         &self,
-        unit: &Unit,
-        mechs: &[(String, Box<dyn Mechanism>)],
+        unit: &ManifestUnit,
+        mechs: &HashMap<&str, Box<dyn Mechanism>>,
         data_cache: &DataCache,
         ws: &mut Workspace,
     ) -> Vec<ErrorSample> {
         let cfg = &self.config;
-        let (alg_name, mech) = &mechs[unit.mech];
+        let alg_name = unit.algorithm.as_str();
+        let mech = &mechs[alg_name];
         let data = data_cache.unit_data(cfg, &unit.setting, unit.sample);
         let plan = self
             .plan_cache
@@ -377,7 +653,7 @@ impl Runner {
             // Recycle the estimate buffer into the pool for the next trial.
             ws.give_f64(release.into_estimate());
             out.push(ErrorSample {
-                algorithm: alg_name.clone(),
+                algorithm: unit.algorithm.clone(),
                 setting: unit.setting.clone(),
                 sample: unit.sample,
                 trial,
@@ -393,6 +669,7 @@ impl Runner {
 mod tests {
     use super::*;
     use crate::config::WorkloadSpec;
+    use crate::sink::AggregatingSink;
     use dpbench_core::mechanism::execute_eps;
     use dpbench_core::{Domain, Loss};
     use dpbench_datasets::catalog;
@@ -430,12 +707,172 @@ mod tests {
         let sb = b.run();
         let setting = sa.settings()[0].clone();
         for alg in ["IDENTITY", "UNIFORM", "DAWA"] {
-            let mut ea = sa.errors_for(alg, &setting);
-            let mut eb = sb.errors_for(alg, &setting);
-            ea.sort_by(f64::total_cmp);
-            eb.sort_by(f64::total_cmp);
+            let ea = sa.errors_for(alg, &setting);
+            let eb = sb.errors_for(alg, &setting);
             assert_eq!(ea, eb, "{alg} differs across thread counts");
         }
+    }
+
+    #[test]
+    fn sink_receives_units_in_manifest_order() {
+        let mut runner = Runner::new(tiny_config());
+        runner.threads = 4;
+        let manifest = runner.manifest();
+        let mut sink = MemorySink::new();
+        let stats = runner.run_with_sink(&manifest, &mut sink).unwrap();
+        assert_eq!(stats.units, manifest.len());
+        assert_eq!(stats.samples, 18);
+        // Completion order matches the manifest exactly despite 4 threads.
+        let expected: Vec<UnitId> = manifest.units.iter().map(|u| u.id).collect();
+        assert_eq!(sink.completed(), expected.as_slice());
+        // And so does the sample stream.
+        for (s, u) in sink.store().samples().chunks(3).zip(&manifest.units) {
+            assert!(s
+                .iter()
+                .all(|x| x.algorithm == u.algorithm && x.sample == u.sample));
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_manifest() {
+        let runner = Runner::new(tiny_config());
+        let mut other_cfg = tiny_config();
+        other_cfg.epsilons = vec![0.9];
+        let foreign = RunManifest::from_config(&other_cfg);
+        let mut sink = MemorySink::new();
+        assert!(runner.run_with_sink(&foreign, &mut sink).is_err());
+    }
+
+    #[test]
+    fn max_units_stops_after_a_prefix_of_the_manifest() {
+        let mut runner = Runner::new(tiny_config());
+        runner.threads = 4;
+        runner.max_units = Some(4);
+        let manifest = runner.manifest();
+        let mut sink = MemorySink::new();
+        let stats = runner.run_with_sink(&manifest, &mut sink).unwrap();
+        assert_eq!(stats.units, 4);
+        let expected: Vec<UnitId> = manifest.units.iter().take(4).map(|u| u.id).collect();
+        assert_eq!(sink.completed(), expected.as_slice());
+    }
+
+    #[test]
+    fn resume_completes_exactly_the_missing_units() {
+        let runner = Runner::new(tiny_config());
+        let manifest = runner.manifest();
+        // Uninterrupted reference run.
+        let full = runner.run();
+
+        // "Crash" after 5 units, then resume.
+        let mut first = Runner::new(tiny_config());
+        first.max_units = Some(5);
+        let mut part = MemorySink::new();
+        first.run_with_sink(&manifest, &mut part).unwrap();
+        let done: HashSet<UnitId> = part.completed().iter().copied().collect();
+        assert_eq!(done.len(), 5);
+
+        let second = Runner::new(tiny_config());
+        let mut rest = MemorySink::new();
+        let stats = second.resume(&manifest, &done, &mut rest).unwrap();
+        assert_eq!(stats.skipped, 5);
+        assert_eq!(stats.units, manifest.len() - 5);
+
+        // Union is bit-identical to the uninterrupted run.
+        let mut merged: Vec<(String, usize, usize, u64)> = Vec::new();
+        for s in part.store().samples().iter().chain(rest.store().samples()) {
+            merged.push((s.algorithm.clone(), s.sample, s.trial, s.error.to_bits()));
+        }
+        merged.sort();
+        let mut reference: Vec<(String, usize, usize, u64)> = full
+            .samples()
+            .iter()
+            .map(|s| (s.algorithm.clone(), s.sample, s.trial, s.error.to_bits()))
+            .collect();
+        reference.sort();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn shards_union_to_the_full_grid() {
+        let runner = Runner::new(tiny_config());
+        let manifest = runner.manifest();
+        let full = runner.run();
+        let mut merged: Vec<(String, usize, usize, u64)> = Vec::new();
+        for i in 0..2 {
+            let shard_runner = Runner::new(tiny_config());
+            let mut sink = MemorySink::new();
+            shard_runner
+                .run_with_sink(&manifest.shard(i, 2), &mut sink)
+                .unwrap();
+            merged.extend(
+                sink.store()
+                    .samples()
+                    .iter()
+                    .map(|s| (s.algorithm.clone(), s.sample, s.trial, s.error.to_bits())),
+            );
+        }
+        merged.sort();
+        let mut reference: Vec<(String, usize, usize, u64)> = full
+            .samples()
+            .iter()
+            .map(|s| (s.algorithm.clone(), s.sample, s.trial, s.error.to_bits()))
+            .collect();
+        reference.sort();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn data_cache_eviction_preserves_results() {
+        // A zero-byte budget forces eviction after every build; results
+        // must not change (regeneration is deterministic).
+        let reference = Runner::new(tiny_config()).run();
+        let mut squeezed = Runner::new(tiny_config());
+        squeezed.data_cache_bytes = 0;
+        let manifest = squeezed.manifest();
+        let mut sink = MemorySink::new();
+        let stats = squeezed.run_with_sink(&manifest, &mut sink).unwrap();
+        assert!(stats.data_cache.evictions > 0, "{:?}", stats.data_cache);
+        let setting = reference.settings()[0].clone();
+        for alg in ["IDENTITY", "UNIFORM", "DAWA"] {
+            assert_eq!(
+                reference.errors_for(alg, &setting),
+                sink.store().errors_for(alg, &setting),
+                "{alg} changed under eviction"
+            );
+        }
+        // Budget honored at end of run (nothing resident above 0 + the
+        // just-built exemption's single entry).
+        assert!(stats.data_cache.resident_bytes <= 40_000);
+    }
+
+    #[test]
+    fn data_cache_shares_within_budget() {
+        let mut runner = Runner::new(tiny_config());
+        runner.threads = 1;
+        let manifest = runner.manifest();
+        let mut sink = MemorySink::new();
+        let stats = runner.run_with_sink(&manifest, &mut sink).unwrap();
+        // 2 (setting, sample) cells → 2 builds; 3 mechanisms each → 4 hits.
+        assert_eq!(stats.data_cache.misses, 2, "{:?}", stats.data_cache);
+        assert_eq!(stats.data_cache.hits, 4);
+        assert_eq!(stats.data_cache.evictions, 0);
+    }
+
+    #[test]
+    fn hier_pool_hits_across_dawa_trials() {
+        let mut cfg = tiny_config();
+        cfg.algorithms = vec!["DAWA".into()];
+        let mut runner = Runner::new(cfg);
+        runner.threads = 1;
+        let manifest = runner.manifest();
+        let mut sink = AggregatingSink::new();
+        let stats = runner.run_with_sink(&manifest, &mut sink).unwrap();
+        let hier = stats.hier_cache;
+        assert!(hier.misses > 0, "{hier:?}");
+        // 6 DAWA executions on one worker; identical reduced-domain sizes
+        // recur, so the pool must serve some repeats.
+        assert!(hier.hits + hier.misses >= 6, "{hier:?}");
+        assert_eq!(sink.samples_seen(), 6);
     }
 
     #[test]

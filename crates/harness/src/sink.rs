@@ -1,0 +1,549 @@
+//! Sink-based result pipeline: where a grid's error samples go.
+//!
+//! The runner no longer accumulates results and returns a store at the
+//! end of the grid; its workers stream each completed unit through a
+//! bounded channel to a single consumer that feeds a [`ResultSink`].
+//! Sinks decide what to keep:
+//!
+//! * [`MemorySink`] — everything, in an index-backed
+//!   [`ResultStore`] (the old behavior; what the figure binaries use);
+//! * [`JsonlSink`] — append-only records on disk for larger-than-memory
+//!   grids. Each completed unit writes its samples followed by a
+//!   completion marker, and the file doubles as the **resume ledger**:
+//!   [`read_ledger`] recovers the set of finished units after a crash;
+//! * [`AggregatingSink`] — O(1) state per (algorithm, setting) via the
+//!   streaming Welford/P² [`StreamingSummary`] in `dpbench-stats`;
+//! * [`Tee`] — fan out to several sinks at once.
+//!
+//! ## The JSONL format
+//!
+//! One self-describing JSON object per line, written and parsed by this
+//! module (no external JSON dependency; field order is fixed, strings are
+//! never escaped — dataset and algorithm names are plain identifiers):
+//!
+//! ```text
+//! {"t":"run","fp":"<16 hex>","n_trials":3}            ← file header
+//! {"t":"s","unit":"<16 hex>","pos":7,"alg":"DAWA","dataset":"MEDCOST",
+//!  "scale":100000,"domain":"4096","eps":0.1,"sample":0,"trial":2,
+//!  "err":0.00123}                                      ← one sample
+//! {"t":"u","unit":"<16 hex>","pos":7}                  ← unit completed
+//! ```
+//!
+//! Floats are written with Rust's shortest round-trip formatting, so
+//! parse → re-format reproduces the bytes exactly. Because the runner
+//! emits units in manifest order, a fresh single-process run, a
+//! cleanly interrupted-then-resumed run (append to the same file), and
+//! [`merge_jsonl`]-combined shard files all yield **byte-identical**
+//! JSONL — `diff` is a complete correctness check. A *dirty* crash can
+//! leave torn or orphaned sample lines in the file; the readers
+//! tolerate and deduplicate those (see [`read_samples`]), and one pass
+//! through [`merge_jsonl`] re-canonicalizes such a file to the
+//! reference byte stream.
+
+use crate::config::Setting;
+use crate::manifest::{ManifestUnit, RunManifest, UnitId};
+use crate::results::{parse_domain, ErrorSample, ResultStore};
+use dpbench_stats::{StreamingSummary, Summary};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Consumer of a run's results, fed one completed unit at a time by the
+/// runner's sink thread (single-threaded: implementations need no
+/// internal locking, `Send` only because the consumer runs on a worker).
+pub trait ResultSink: Send {
+    /// Called once before any unit, with the manifest being executed
+    /// (already shard/resume-filtered).
+    fn begin(&mut self, manifest: &RunManifest) -> io::Result<()> {
+        let _ = manifest;
+        Ok(())
+    }
+
+    /// All trials of one completed unit, in trial order. Units arrive in
+    /// manifest order regardless of worker scheduling.
+    fn unit_complete(&mut self, unit: &ManifestUnit, samples: &[ErrorSample]) -> io::Result<()>;
+
+    /// Called once after the last unit (also on early stop).
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemorySink
+// ---------------------------------------------------------------------------
+
+/// Keeps every sample in an index-backed [`ResultStore`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    store: ResultStore,
+    completed: Vec<UnitId>,
+}
+
+impl MemorySink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Ids of completed units, in completion (= manifest) order.
+    pub fn completed(&self) -> &[UnitId] {
+        &self.completed
+    }
+
+    /// Consume into the store.
+    pub fn into_store(self) -> ResultStore {
+        self.store
+    }
+}
+
+impl ResultSink for MemorySink {
+    fn unit_complete(&mut self, unit: &ManifestUnit, samples: &[ErrorSample]) -> io::Result<()> {
+        self.completed.push(unit.id);
+        self.store.extend(samples.iter().cloned());
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------------
+
+/// Append-only JSONL writer; the file is both the result stream and the
+/// resume ledger. Flushes after every unit so a crash loses at most the
+/// unit in flight (whose samples, lacking a completion marker, are
+/// ignored by the readers).
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    /// Write the `{"t":"run",…}` header on `begin` (false when appending
+    /// to an existing ledger).
+    write_header: bool,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncate) `path`; `begin` writes a fresh header.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+            write_header: true,
+        })
+    }
+
+    /// Open `path` for append without a new header — the resume mode,
+    /// continuing a ledger whose header was validated by the caller.
+    ///
+    /// If a crash tore the file mid-line (no trailing newline), a
+    /// newline is written first so the torn fragment stays an isolated
+    /// unparseable line (which the readers skip) instead of corrupting
+    /// the first appended record.
+    pub fn append<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        use std::io::{Read, Seek, SeekFrom};
+        let needs_newline = {
+            let mut f = File::open(&path)?;
+            let len = f.seek(SeekFrom::End(0))?;
+            if len == 0 {
+                false
+            } else {
+                f.seek(SeekFrom::End(-1))?;
+                let mut b = [0_u8; 1];
+                f.read_exact(&mut b)?;
+                b[0] != b'\n'
+            }
+        };
+        let mut out = BufWriter::new(OpenOptions::new().append(true).open(path)?);
+        if needs_newline {
+            out.write_all(b"\n")?;
+            out.flush()?;
+        }
+        Ok(Self {
+            out,
+            write_header: false,
+        })
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap any writer (headers on `begin`); for tests and pipes.
+    pub fn from_writer(out: W) -> Self {
+        Self {
+            out,
+            write_header: true,
+        }
+    }
+}
+
+/// Serialize one sample to its canonical JSONL line (no trailing newline).
+pub fn format_sample(unit: UnitId, pos: usize, s: &ErrorSample) -> String {
+    format!(
+        "{{\"t\":\"s\",\"unit\":\"{unit}\",\"pos\":{pos},\"alg\":\"{}\",\"dataset\":\"{}\",\"scale\":{},\"domain\":\"{}\",\"eps\":{},\"sample\":{},\"trial\":{},\"err\":{}}}",
+        s.algorithm, s.setting.dataset, s.setting.scale, s.setting.domain, s.setting.epsilon,
+        s.sample, s.trial, s.error
+    )
+}
+
+fn format_unit_done(unit: UnitId, pos: usize) -> String {
+    format!("{{\"t\":\"u\",\"unit\":\"{unit}\",\"pos\":{pos}}}")
+}
+
+fn format_header(fingerprint: u64, n_trials: usize) -> String {
+    format!("{{\"t\":\"run\",\"fp\":\"{fingerprint:016x}\",\"n_trials\":{n_trials}}}")
+}
+
+impl<W: Write + Send> ResultSink for JsonlSink<W> {
+    fn begin(&mut self, manifest: &RunManifest) -> io::Result<()> {
+        if self.write_header {
+            writeln!(
+                self.out,
+                "{}",
+                format_header(manifest.fingerprint, manifest.n_trials)
+            )?;
+        }
+        Ok(())
+    }
+
+    fn unit_complete(&mut self, unit: &ManifestUnit, samples: &[ErrorSample]) -> io::Result<()> {
+        for s in samples {
+            writeln!(self.out, "{}", format_sample(unit.id, unit.pos, s))?;
+        }
+        writeln!(self.out, "{}", format_unit_done(unit.id, unit.pos))?;
+        // Per-unit durability: the ledger is only as crash-safe as its
+        // last flushed marker.
+        self.out.flush()
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AggregatingSink
+// ---------------------------------------------------------------------------
+
+/// O(1)-per-sample aggregation: one [`StreamingSummary`] per
+/// (algorithm, setting) group. The sink for grids whose raw sample set
+/// exceeds memory but whose report is per-setting statistics.
+#[derive(Debug, Default)]
+pub struct AggregatingSink {
+    groups: BTreeMap<(String, String), (Setting, StreamingSummary)>,
+    samples_seen: u64,
+}
+
+impl AggregatingSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total samples consumed.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Per-group streaming summaries, ordered by algorithm then setting
+    /// key. Percentiles are P² sketch estimates (exact below six samples).
+    pub fn summaries(&self) -> Vec<(String, Setting, Summary)> {
+        self.groups
+            .iter()
+            .map(|((alg, _), (setting, s))| (alg.clone(), setting.clone(), s.to_summary()))
+            .collect()
+    }
+
+    /// Streaming mean of one (algorithm, setting) group (NaN if absent).
+    pub fn mean_error(&self, algorithm: &str, setting: &Setting) -> f64 {
+        self.groups
+            .get(&(algorithm.to_string(), setting.to_string()))
+            .map(|(_, s)| s.mean())
+            .unwrap_or(f64::NAN)
+    }
+}
+
+impl ResultSink for AggregatingSink {
+    fn unit_complete(&mut self, unit: &ManifestUnit, samples: &[ErrorSample]) -> io::Result<()> {
+        // Every sample of a unit shares its (algorithm, setting): one key
+        // build and one map lookup per unit, then O(1) pushes.
+        let group = self
+            .groups
+            .entry((unit.algorithm.clone(), unit.setting.to_string()))
+            .or_insert_with(|| (unit.setting.clone(), StreamingSummary::new()));
+        for s in samples {
+            self.samples_seen += 1;
+            group.1.push(s.error);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tee
+// ---------------------------------------------------------------------------
+
+/// Fan a run out to several sinks (e.g. a summary table in memory plus a
+/// JSONL ledger on disk).
+#[derive(Default)]
+pub struct Tee<'a> {
+    sinks: Vec<&'a mut dyn ResultSink>,
+}
+
+impl<'a> Tee<'a> {
+    /// Tee over the given sinks.
+    pub fn new(sinks: Vec<&'a mut dyn ResultSink>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl ResultSink for Tee<'_> {
+    fn begin(&mut self, manifest: &RunManifest) -> io::Result<()> {
+        self.sinks.iter_mut().try_for_each(|s| s.begin(manifest))
+    }
+
+    fn unit_complete(&mut self, unit: &ManifestUnit, samples: &[ErrorSample]) -> io::Result<()> {
+        self.sinks
+            .iter_mut()
+            .try_for_each(|s| s.unit_complete(unit, samples))
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.sinks.iter_mut().try_for_each(|s| s.finish())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL readers
+// ---------------------------------------------------------------------------
+
+/// What a ledger (JSONL file) knows about a partially- or fully-completed
+/// run.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    /// Run fingerprint from the header.
+    pub fingerprint: u64,
+    /// Trials per unit from the header.
+    pub n_trials: usize,
+    /// Units with a completion marker.
+    pub done: HashSet<UnitId>,
+}
+
+fn bad(line_no: usize, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("jsonl line {}: {what}", line_no + 1),
+    )
+}
+
+/// Extract the raw value of `"key":` from a single-line JSON record
+/// (string values unquoted; this module's own writer guarantees the
+/// format, including that strings contain no escapes).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+/// Parse a ledger/result file: header plus the set of completed units.
+/// Sample lines are skipped; a torn (crash-truncated) final line is
+/// ignored, matching the per-unit flush discipline of [`JsonlSink`].
+pub fn read_ledger<P: AsRef<Path>>(path: P) -> io::Result<Ledger> {
+    let mut fingerprint = None;
+    let mut n_trials = 0;
+    let mut done = HashSet::new();
+    for (i, line) in BufReader::new(File::open(path)?).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match field(&line, "t") {
+            Some("run") => {
+                let fp = field(&line, "fp")
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| bad(i, "bad run header fingerprint"))?;
+                if let Some(prev) = fingerprint {
+                    if prev != fp {
+                        return Err(bad(i, "conflicting run headers"));
+                    }
+                }
+                fingerprint = Some(fp);
+                n_trials = field(&line, "n_trials")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(i, "bad run header n_trials"))?;
+            }
+            Some("u") => {
+                let id = field(&line, "unit")
+                    .and_then(UnitId::parse)
+                    .ok_or_else(|| bad(i, "bad unit id"))?;
+                done.insert(id);
+            }
+            Some("s") => {}
+            // Torn tail line from a crash mid-write: tolerated only if
+            // it is the last content of the file — a malformed line
+            // followed by valid ones would be corruption, but detecting
+            // that cheaply means just skipping anything unrecognized.
+            _ => {}
+        }
+    }
+    Ok(Ledger {
+        fingerprint: fingerprint.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "ledger has no run header")
+        })?,
+        n_trials,
+        done,
+    })
+}
+
+/// Read every sample belonging to a **completed** unit, keyed by
+/// `(unit id, manifest position)` for canonical ordering.
+///
+/// Crash tolerance: samples of units without a completion marker
+/// (in-flight at a crash) are dropped — they will be re-run on resume.
+/// But a crash can also leave *orphans of units that later complete*: a
+/// `BufWriter` auto-flush can land part of a unit's samples on disk
+/// before the crash, and the resume re-runs the unit and appends a
+/// second (complete) copy plus the marker. Two rules handle this:
+///
+/// * a **torn** (unparseable) sample line is skipped, not an error — it
+///   can only arise from an interrupted write, and its unit's data is
+///   rewritten in full by the resume;
+/// * duplicates are resolved by `(unit, sample-index, trial)` with the
+///   **last** occurrence winning — the resume's authoritative rewrite
+///   supersedes any pre-crash orphan (per-coordinate RNG makes the
+///   values bit-identical anyway; deduplication fixes the *count*).
+pub fn read_samples<P: AsRef<Path>>(path: P) -> io::Result<Vec<(UnitId, usize, ErrorSample)>> {
+    let path = path.as_ref();
+    let done = read_ledger(path)?.done;
+    // (unit, sample index, trial) → slot in `out`; last occurrence wins.
+    let mut seen: HashMap<(UnitId, usize, usize), usize> = HashMap::new();
+    let mut out: Vec<(UnitId, usize, ErrorSample)> = Vec::new();
+    for line in BufReader::new(File::open(path)?).lines() {
+        let line = line?;
+        if field(&line, "t") != Some("s") {
+            continue;
+        }
+        let Some(id) = field(&line, "unit").and_then(UnitId::parse) else {
+            continue; // torn write
+        };
+        if !done.contains(&id) {
+            continue;
+        }
+        let Some((pos, sample)) = parse_sample(&line) else {
+            continue; // torn write of a unit that was later re-run whole
+        };
+        match seen.entry((id, sample.sample, sample.trial)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                out[*e.get()] = (id, pos, sample);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(out.len());
+                out.push((id, pos, sample));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse one `{"t":"s",…}` line; `None` when any field is missing or
+/// malformed (a torn write).
+fn parse_sample(line: &str) -> Option<(usize, ErrorSample)> {
+    let pos: usize = field(line, "pos")?.parse().ok()?;
+    let sample = ErrorSample {
+        algorithm: field(line, "alg")?.to_string(),
+        setting: Setting {
+            dataset: field(line, "dataset")?.to_string(),
+            scale: field(line, "scale")?.parse().ok()?,
+            domain: parse_domain(field(line, "domain")?)?,
+            epsilon: field(line, "eps")?.parse().ok()?,
+        },
+        sample: field(line, "sample")?.parse().ok()?,
+        trial: field(line, "trial")?.parse().ok()?,
+        error: field(line, "err")?.parse().ok()?,
+    };
+    Some((pos, sample))
+}
+
+/// Load the completed samples of a JSONL file into a [`ResultStore`]
+/// (canonical — manifest — order).
+pub fn read_store<P: AsRef<Path>>(path: P) -> io::Result<ResultStore> {
+    let mut keyed = read_samples(path)?;
+    keyed.sort_by_key(|(_, pos, s)| (*pos, s.trial));
+    let mut store = ResultStore::new();
+    store.extend(keyed.into_iter().map(|(_, _, s)| s));
+    Ok(store)
+}
+
+/// Merge shard (or partial-run) JSONL files into one canonical file:
+/// header, then each completed unit's samples (trial order) followed by
+/// its completion marker, units ascending by manifest position — exactly
+/// the byte stream a fresh single-process run writes. All inputs must
+/// share one run fingerprint; duplicated units (e.g. overlapping resumes)
+/// must agree and are emitted once.
+///
+/// Memory: the unit table (all inputs' samples) is held in memory while
+/// merging — fine for anything the figure binaries produce, but shards
+/// of a genuinely larger-than-memory grid need a k-way external merge
+/// (ROADMAP follow-up); the rendered output streams to `out` directly.
+pub fn merge_jsonl<P: AsRef<Path>, W: Write>(inputs: &[P], out: &mut W) -> io::Result<()> {
+    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if inputs.is_empty() {
+        return Err(invalid("no input files to merge"));
+    }
+    let mut header: Option<(u64, usize)> = None;
+    let mut units: HashMap<UnitId, (usize, Vec<ErrorSample>)> = HashMap::new();
+    for path in inputs {
+        let ledger = read_ledger(path)?;
+        match header {
+            None => header = Some((ledger.fingerprint, ledger.n_trials)),
+            Some((fp, _)) if fp != ledger.fingerprint => {
+                return Err(invalid("inputs come from different runs"));
+            }
+            Some(_) => {}
+        }
+        let mut per_unit: HashMap<UnitId, (usize, Vec<ErrorSample>)> = HashMap::new();
+        for (id, pos, s) in read_samples(path)? {
+            per_unit
+                .entry(id)
+                .or_insert_with(|| (pos, Vec::new()))
+                .1
+                .push(s);
+        }
+        for (id, (pos, mut samples)) in per_unit {
+            samples.sort_by_key(|s| s.trial);
+            match units.entry(id) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((pos, samples));
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let (_, existing) = e.get();
+                    if existing.len() != samples.len()
+                        || existing
+                            .iter()
+                            .zip(&samples)
+                            .any(|(a, b)| a.error.to_bits() != b.error.to_bits())
+                    {
+                        return Err(invalid("duplicated unit disagrees across inputs"));
+                    }
+                }
+            }
+        }
+    }
+    let (fingerprint, n_trials) = header.expect("checked non-empty");
+    writeln!(out, "{}", format_header(fingerprint, n_trials))?;
+    let mut ordered: Vec<(UnitId, (usize, Vec<ErrorSample>))> = units.into_iter().collect();
+    ordered.sort_by_key(|(_, (pos, _))| *pos);
+    for (id, (pos, samples)) in ordered {
+        for s in &samples {
+            writeln!(out, "{}", format_sample(id, pos, s))?;
+        }
+        writeln!(out, "{}", format_unit_done(id, pos))?;
+    }
+    Ok(())
+}

@@ -18,9 +18,11 @@ pub mod decompose;
 pub mod describe;
 pub mod regret;
 pub mod special;
+pub mod streaming;
 pub mod ttest;
 
 pub use decompose::ErrorDecomposition;
 pub use describe::{mean, percentile, std_dev, variance, Summary};
 pub use regret::geometric_mean_regret;
+pub use streaming::{P2Quantile, StreamingSummary};
 pub use ttest::{bonferroni_alpha, competitive_set, welch_t_test, TTestResult};

@@ -37,16 +37,34 @@ pub struct Measurement {
     pub variance: f64,
 }
 
-#[derive(Debug, Clone)]
-struct Node {
-    children: Vec<usize>,
-    measurement: Option<Measurement>,
+/// Reusable scratch of [`MeasuredTree::infer_into`]: the per-node
+/// estimate/variance/final arrays and the traversal buffers. Pool one per
+/// worker (e.g. in a `Workspace` typed slot) so repeated inferences on
+/// same-shaped trees never touch the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct TreeScratch {
+    est: Vec<f64>,
+    var: Vec<f64>,
+    fin: Vec<f64>,
+    order: Vec<usize>,
+    stack: Vec<(usize, usize)>,
 }
 
 /// A tree of (optionally) measured nodes supporting exact GLS inference.
+///
+/// Nodes live in a flat arena: measurements in one vector, child ids in a
+/// shared pool indexed by per-node `(start, len)` spans. Rebuilding the
+/// same-shaped tree after [`MeasuredTree::clear`] therefore performs no
+/// allocation at all — hierarchical mechanisms rebuild one tree per trial,
+/// which made the old one-`Vec`-of-children-per-node layout the hottest
+/// remaining allocator path in the grid runner.
 #[derive(Debug, Clone, Default)]
 pub struct MeasuredTree {
-    nodes: Vec<Node>,
+    measurements: Vec<Option<Measurement>>,
+    /// Per-node `(start, len)` into `child_ids`; `(0, 0)` = leaf.
+    child_span: Vec<(usize, usize)>,
+    /// Flat pool of child ids, one contiguous run per internal node.
+    child_ids: Vec<usize>,
     root: Option<usize>,
 }
 
@@ -59,9 +77,19 @@ impl MeasuredTree {
     /// Pre-allocate for `n` nodes.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            nodes: Vec::with_capacity(n),
+            measurements: Vec::with_capacity(n),
+            child_span: Vec::with_capacity(n),
+            child_ids: Vec::with_capacity(n),
             root: None,
         }
+    }
+
+    /// Remove all nodes, keeping every allocation for reuse.
+    pub fn clear(&mut self) {
+        self.measurements.clear();
+        self.child_span.clear();
+        self.child_ids.clear();
+        self.root = None;
     }
 
     /// Add a node (initially childless); returns its id.
@@ -69,86 +97,118 @@ impl MeasuredTree {
         if let Some(m) = measurement {
             assert!(m.variance >= 0.0, "variance must be non-negative");
         }
-        self.nodes.push(Node {
-            children: Vec::new(),
-            measurement,
-        });
-        self.nodes.len() - 1
+        self.measurements.push(measurement);
+        self.child_span.push((0, 0));
+        self.measurements.len() - 1
     }
 
-    /// Attach children to a parent node.
-    pub fn set_children(&mut self, parent: usize, children: Vec<usize>) {
-        self.nodes[parent].children = children;
+    /// Attach children to a parent node. Each parent's children may be set
+    /// at most once (the arena stores one contiguous run per parent).
+    pub fn set_children(&mut self, parent: usize, children: &[usize]) {
+        assert_eq!(
+            self.child_span[parent],
+            (0, 0),
+            "children of node {parent} already set"
+        );
+        let start = self.child_ids.len();
+        self.child_ids.extend_from_slice(children);
+        self.child_span[parent] = (start, children.len());
     }
 
     /// Declare the root node.
     pub fn set_root(&mut self, root: usize) {
-        assert!(root < self.nodes.len());
+        assert!(root < self.measurements.len());
         self.root = Some(root);
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.measurements.len()
     }
 
     /// True iff the tree has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.measurements.is_empty()
     }
 
     /// Children of a node.
     pub fn children(&self, id: usize) -> &[usize] {
-        &self.nodes[id].children
+        let (start, len) = self.child_span[id];
+        &self.child_ids[start..start + len]
     }
 
     /// Ids of all leaves in post-order of the tree walk.
     pub fn leaves(&self) -> Vec<usize> {
-        let order = self.post_order();
-        order
-            .into_iter()
-            .filter(|&id| self.nodes[id].children.is_empty())
+        let mut scratch = TreeScratch::default();
+        self.post_order_into(&mut scratch);
+        scratch
+            .order
+            .iter()
+            .copied()
+            .filter(|&id| self.children(id).is_empty())
             .collect()
     }
 
-    fn post_order(&self) -> Vec<usize> {
+    /// Iterative post-order into `scratch.order` (cleared first).
+    fn post_order_into(&self, scratch: &mut TreeScratch) {
         let root = self.root.expect("root not set");
-        let mut order = Vec::with_capacity(self.nodes.len());
-        // Iterative post-order: stack of (node, child cursor).
-        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-        while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
-            if *cursor < self.nodes[node].children.len() {
-                let child = self.nodes[node].children[*cursor];
+        scratch.order.clear();
+        scratch.stack.clear();
+        // Stack of (node, child cursor).
+        scratch.stack.push((root, 0));
+        while let Some(&mut (node, ref mut cursor)) = scratch.stack.last_mut() {
+            let kids = self.children(node);
+            if *cursor < kids.len() {
+                let child = kids[*cursor];
                 *cursor += 1;
-                stack.push((child, 0));
+                scratch.stack.push((child, 0));
             } else {
-                order.push(node);
-                stack.pop();
+                scratch.order.push(node);
+                scratch.stack.pop();
             }
         }
-        order
     }
 
     /// Exact GLS inference. Returns the consistent estimate for every node
     /// (indexed by node id); for every internal node the returned value
     /// equals the sum of its children's values.
     pub fn infer(&self) -> Vec<f64> {
+        let mut scratch = TreeScratch::default();
+        self.infer_into(&mut scratch);
+        scratch.fin
+    }
+
+    /// [`MeasuredTree::infer`] into caller-owned scratch (the
+    /// allocation-free hot path); the result slice borrows `scratch.fin`.
+    pub fn infer_into<'a>(&self, scratch: &'a mut TreeScratch) -> &'a [f64] {
         let root = self.root.expect("root not set");
-        let n = self.nodes.len();
-        let mut est = vec![0.0; n]; // fused (upward) estimates
-        let mut var = vec![f64::INFINITY; n]; // fused variances
+        let n = self.measurements.len();
+        self.post_order_into(scratch);
+        // Disjoint field borrows: the traversal order is read while the
+        // estimate arrays are written.
+        let TreeScratch {
+            est,
+            var,
+            fin,
+            order,
+            ..
+        } = scratch;
+        est.clear();
+        est.resize(n, 0.0); // fused (upward) estimates
+        var.clear();
+        var.resize(n, f64::INFINITY); // fused variances
 
         // Upward pass in post-order.
-        for &id in &self.post_order() {
-            let node = &self.nodes[id];
-            let (child_sum, child_var) = if node.children.is_empty() {
+        for &id in order.iter() {
+            let kids = self.children(id);
+            let (child_sum, child_var) = if kids.is_empty() {
                 (None, f64::INFINITY)
             } else {
-                let s: f64 = node.children.iter().map(|&c| est[c]).sum();
-                let v: f64 = node.children.iter().map(|&c| var[c]).sum();
+                let s: f64 = kids.iter().map(|&c| est[c]).sum();
+                let v: f64 = kids.iter().map(|&c| var[c]).sum();
                 (Some(s), v)
             };
-            match (node.measurement, child_sum) {
+            match (self.measurements[id], child_sum) {
                 (None, None) => {
                     // Unmeasured leaf: unknown until the downward pass.
                     est[id] = 0.0;
@@ -183,43 +243,39 @@ impl MeasuredTree {
         }
 
         // Downward pass in reverse post-order (parents before children).
-        let mut fin = vec![0.0; n];
+        fin.clear();
+        fin.resize(n, 0.0);
         fin[root] = est[root];
-        let order = self.post_order();
         for &id in order.iter().rev() {
-            let node = &self.nodes[id];
-            if node.children.is_empty() {
+            let kids = self.children(id);
+            if kids.is_empty() {
                 continue;
             }
-            let child_sum: f64 = node.children.iter().map(|&c| est[c]).sum();
+            let child_sum: f64 = kids.iter().map(|&c| est[c]).sum();
             let d = fin[id] - child_sum;
-            let total_var: f64 = node.children.iter().map(|&c| var[c]).sum();
+            let total_var: f64 = kids.iter().map(|&c| var[c]).sum();
             if total_var.is_infinite() {
                 // Distribute among infinite-variance (uninformed) children
                 // equally — the uniformity assumption.
-                let n_inf = node
-                    .children
-                    .iter()
-                    .filter(|&&c| var[c].is_infinite())
-                    .count();
+                let n_inf = kids.iter().filter(|&&c| var[c].is_infinite()).count();
                 let share = d / n_inf as f64;
-                for &c in &node.children {
+                for &c in kids {
                     fin[c] = est[c] + if var[c].is_infinite() { share } else { 0.0 };
                 }
             } else if total_var == 0.0 {
                 // Children are exact; any residual (necessarily ~0) splits
                 // evenly to preserve the sum constraint.
-                let share = d / node.children.len() as f64;
-                for &c in &node.children {
+                let share = d / kids.len() as f64;
+                for &c in kids {
                     fin[c] = est[c] + share;
                 }
             } else {
-                for &c in &node.children {
+                for &c in kids {
                     fin[c] = est[c] + d * var[c] / total_var;
                 }
             }
         }
-        fin
+        &*fin
     }
 }
 
@@ -244,7 +300,7 @@ mod tests {
         let r = t.add_node(root_m);
         let a = t.add_node(l1);
         let b = t.add_node(l2);
-        t.set_children(r, vec![a, b]);
+        t.set_children(r, &[a, b]);
         t.set_root(r);
         t
     }
@@ -327,7 +383,7 @@ mod tests {
                             build(t, spans, lo + k * step, lo + (k + 1) * step, branching, rng)
                         })
                         .collect();
-                    t.set_children(id, children);
+                    t.set_children(id, &children);
                 }
                 id
             }
@@ -347,7 +403,7 @@ mod tests {
                     strat[(id, leaf)] = 1.0;
                 }
                 // every node is measured in this test
-                let meas = t.nodes[id].measurement.unwrap();
+                let meas = t.measurements[id].unwrap();
                 y[id] = meas.value;
                 w[id] = 1.0 / meas.variance;
             }
@@ -375,7 +431,7 @@ mod tests {
         let root = prev;
         for _ in 0..10_000 {
             let next = t.add_node(m(1.0, 1.0));
-            t.set_children(prev, vec![next]);
+            t.set_children(prev, &[next]);
             prev = next;
         }
         t.set_root(root);

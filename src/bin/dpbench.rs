@@ -8,8 +8,20 @@
 //!             --scale 100000 --eps 0.1 --trials 5 [--domain 1024]
 //!             [--workload prefix|identity|random:2000] [--loss l1|l2]
 //!             [--threads N] [--verbose 1] [--csv out.csv]
+//!             [--out run.jsonl] [--resume 1] [--shard i/k]
+//!             [--max-units N] [--data-cache-mb MB]
+//! dpbench merge --out merged.jsonl shard0.jsonl shard1.jsonl ...
 //! ```
+//!
+//! The streaming flags address the grid as a manifest of content-hashed
+//! units: `--out` streams every sample (and a completed-unit ledger) to
+//! an append-only JSONL file, `--shard i/k` runs the i-th of k disjoint
+//! unit slices, `--resume 1` continues an interrupted run from its
+//! ledger, and `merge` interleaves shard/partial files back into the
+//! canonical byte stream a single uninterrupted process would have
+//! written.
 
+use dpbench::harness::sink::{self, JsonlSink, MemorySink, ResultSink, Tee};
 use dpbench::prelude::*;
 use dpbench_core::Loss;
 use std::collections::HashMap;
@@ -22,16 +34,66 @@ fn main() -> ExitCode {
         Some("list-algorithms") => list_algorithms(),
         Some("shapes") => shapes(),
         Some("run") => return run(&args[1..]),
+        Some("merge") => return merge(&args[1..]),
         _ => {
-            eprintln!("usage: dpbench <list-datasets|list-algorithms|shapes|run> [options]");
+            eprintln!("usage: dpbench <list-datasets|list-algorithms|shapes|run|merge> [options]");
             eprintln!("run options: --dataset NAME --algorithms A,B --scale N");
             eprintln!("             [--domain N|RxC] [--eps E] [--trials T]");
             eprintln!("             [--samples S] [--workload prefix|identity|random:N]");
             eprintln!("             [--loss l1|l2] [--threads N] [--verbose 1]");
-            eprintln!("             [--csv FILE]");
+            eprintln!("             [--csv FILE] [--out FILE.jsonl] [--resume 1]");
+            eprintln!("             [--shard i/k] [--max-units N] [--data-cache-mb MB]");
+            eprintln!("merge: --out MERGED.jsonl IN1.jsonl IN2.jsonl ...");
             return ExitCode::FAILURE;
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// `dpbench merge --out OUT IN...`: interleave shard / partial JSONL
+/// files into canonical manifest order.
+fn merge(args: &[String]) -> ExitCode {
+    let mut out = None;
+    let mut inputs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out" {
+            match args.get(i + 1) {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("error: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            }
+            i += 2;
+        } else {
+            inputs.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("error: merge requires --out FILE");
+        return ExitCode::FAILURE;
+    };
+    if inputs.is_empty() {
+        eprintln!("error: merge requires at least one input file");
+        return ExitCode::FAILURE;
+    }
+    // Stream straight to the output file; merge_jsonl holds the unit
+    // table in memory but the rendered bytes never are.
+    let result = std::fs::File::create(&out)
+        .map_err(|e| std::io::Error::new(e.kind(), format!("creating {out}: {e}")))
+        .and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            sink::merge_jsonl(&inputs, &mut w)?;
+            use std::io::Write;
+            w.flush()
+        });
+    if let Err(e) = result {
+        eprintln!("error merging: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("merged {} files into {out}", inputs.len());
     ExitCode::SUCCESS
 }
 
@@ -201,6 +263,37 @@ fn run(args: &[String]) -> ExitCode {
         },
     };
     let verbose = flags.get("verbose").map(|v| v == "1").unwrap_or(false);
+    let resume = flags.get("resume").map(|v| v == "1").unwrap_or(false);
+    let out = flags.get("out").cloned();
+    let shard: Option<(usize, usize)> = match flags.get("shard") {
+        None => None,
+        Some(s) => match s.split_once('/').and_then(|(i, k)| {
+            let i: usize = i.parse().ok()?;
+            let k: usize = k.parse().ok()?;
+            (i < k && k > 0).then_some((i, k))
+        }) {
+            Some(v) => Some(v),
+            None => {
+                eprintln!("error: bad --shard {s} (use i/k with i < k, e.g. 0/4)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let max_units: Option<usize> = match flags.get("max-units") {
+        None => None,
+        Some(s) => match s.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: bad --max-units {s}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let data_cache_mb: Option<usize> = flags.get("data-cache-mb").and_then(|s| s.parse().ok());
+    if resume && out.is_none() {
+        eprintln!("error: --resume 1 needs --out FILE (the ledger to continue)");
+        return ExitCode::FAILURE;
+    }
 
     let config = ExperimentConfig {
         datasets: vec![dataset],
@@ -213,28 +306,120 @@ fn run(args: &[String]) -> ExitCode {
         workload,
         loss,
     };
-    println!(
-        "running {} mechanism executions ({} settings)...",
-        config.total_runs(),
-        config.settings().len()
-    );
     let mut runner = Runner::new(config);
     if let Some(n) = threads {
         runner.threads = n;
     }
     runner.verbose = verbose;
-    let store = runner.run();
+    runner.max_units = max_units;
+    if let Some(mb) = data_cache_mb {
+        runner.data_cache_bytes = mb << 20;
+    }
+
+    let full = runner.manifest();
+    let manifest = match shard {
+        Some((i, k)) => full.shard(i, k),
+        None => full,
+    };
+    println!(
+        "running {} units ({} trials each{})...",
+        manifest.len(),
+        manifest.n_trials,
+        shard
+            .map(|(i, k)| format!(", shard {i}/{k} of {}", manifest.total_units))
+            .unwrap_or_default()
+    );
+
+    // Execute: results stream to a memory sink for the summary table, and
+    // (with --out) to an append-only JSONL ledger. A resumed run appends
+    // only the missing units and reads the summary back from the ledger.
+    let mut memory = MemorySink::new();
+    let stats = if resume {
+        let path = out.as_deref().expect("checked above");
+        let ledger = match sink::read_ledger(path) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error reading ledger {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if ledger.fingerprint != manifest.fingerprint {
+            eprintln!("error: ledger {path} belongs to a different run configuration");
+            return ExitCode::FAILURE;
+        }
+        let mut jsonl = match JsonlSink::append(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error opening {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        runner.resume(&manifest, &ledger.done, &mut jsonl)
+    } else if let Some(path) = out.as_deref() {
+        let mut jsonl = match JsonlSink::create(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error creating {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut tee = Tee::new(vec![&mut memory as &mut dyn ResultSink, &mut jsonl]);
+        runner.run_with_sink(&manifest, &mut tee)
+    } else {
+        runner.run_with_sink(&manifest, &mut memory)
+    };
+    let stats = match stats {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if stats.skipped > 0 {
+        println!(
+            "resumed: {} units already in ledger, {} run now",
+            stats.skipped, stats.units
+        );
+    }
     if verbose {
-        let stats = runner.plan_cache.stats();
+        let plan = runner.plan_cache.stats();
         println!(
             "plan cache: {} plans built, {} hits / {} misses ({:.1}% hit rate)",
             runner.plan_cache.len(),
-            stats.hits,
-            stats.misses,
-            stats.hit_rate() * 100.0
+            plan.hits,
+            plan.misses,
+            plan.hit_rate() * 100.0
+        );
+        let d = stats.data_cache;
+        println!(
+            "data cache: {} hits / {} misses, {} evictions, {} KiB resident",
+            d.hits,
+            d.misses,
+            d.evictions,
+            d.resident_bytes >> 10
+        );
+        let h = stats.hier_cache;
+        println!(
+            "hierarchy pool: {} hits / {} misses ({:.1}% hit rate)",
+            h.hits,
+            h.misses,
+            h.hit_rate() * 100.0
         );
     }
 
+    // Summary table: from memory for a fresh run; from the ledger (which
+    // holds the union of all phases) after a resume.
+    let store = if resume {
+        match sink::read_store(out.as_deref().expect("checked above")) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error reading results back: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        memory.into_store()
+    };
     println!(
         "\n{:<11} {:>13} {:>13} {:>13}",
         "algorithm", "mean err", "p95 err", "std dev"

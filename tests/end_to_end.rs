@@ -64,11 +64,11 @@ fn finding1_data_dependence_wins_at_low_signal() {
     for setting in store.settings() {
         let di_best = DI
             .iter()
-            .map(|a| store.mean_error(a, &setting))
+            .map(|a| store.mean_error(a, setting))
             .fold(f64::INFINITY, f64::min);
         let dd_best = DD
             .iter()
-            .map(|a| store.mean_error(a, &setting))
+            .map(|a| store.mean_error(a, setting))
             .fold(f64::INFINITY, f64::min);
         total += 1;
         if dd_best < di_best {
@@ -89,10 +89,10 @@ fn finding2_data_independence_wins_at_high_signal() {
     let mut hb_wins = 0;
     let mut total = 0;
     for setting in store.settings() {
-        let hb = store.mean_error("HB", &setting);
+        let hb = store.mean_error("HB", setting);
         let dd_best = ["MWEM", "PHP", "UNIFORM"]
             .iter()
-            .map(|a| store.mean_error(a, &setting))
+            .map(|a| store.mean_error(a, setting))
             .fold(f64::INFINITY, f64::min);
         total += 1;
         if hb < dd_best {
@@ -111,9 +111,9 @@ fn competitive_analysis_runs_on_harness_output() {
     let store = grid_1d(&algs, vec![10_000], 256);
     let names: Vec<String> = algs.iter().map(|s| s.to_string()).collect();
     for setting in store.settings() {
-        let winners = competitive_in_setting(&store, &setting, &names, RiskProfile::Mean);
+        let winners = competitive_in_setting(&store, setting, &names, RiskProfile::Mean);
         assert!(!winners.is_empty(), "no competitive algorithm in {setting}");
-        let p95 = competitive_in_setting(&store, &setting, &names, RiskProfile::P95);
+        let p95 = competitive_in_setting(&store, setting, &names, RiskProfile::P95);
         assert!(!p95.is_empty());
     }
 }

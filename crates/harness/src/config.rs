@@ -110,6 +110,18 @@ pub struct ExperimentConfig {
     pub loss: Loss,
 }
 
+/// True when `s` is a plain identifier (`[A-Za-z0-9_*-]+`) — the only
+/// names the hand-rolled JSONL ledger can round-trip (its writer never
+/// escapes strings, so a quote, backslash, comma, or separator character
+/// in a dataset/algorithm name would produce an unreadable file or a
+/// corrupt header summary). `*` is admitted solely for the paper's
+/// starred variants (`MWEM*`, `AHP*`); it is JSONL- and summary-safe.
+pub fn is_valid_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'*')
+}
+
 impl ExperimentConfig {
     /// The paper's 1-D defaults: Prefix workload, L2 loss, 5 samples × 10
     /// trials (callers shrink those for quick runs).
@@ -170,6 +182,62 @@ impl ExperimentConfig {
         self.settings().len() * self.algorithms.len() * self.n_samples * self.n_trials
     }
 
+    /// Fail fast on names the JSONL ledger cannot represent: dataset and
+    /// algorithm identifiers must match `[A-Za-z0-9_*-]+` (see
+    /// [`is_valid_identifier`]). Called by the runner and the JSONL sink
+    /// before any ledger byte is written.
+    pub fn validate(&self) -> Result<(), String> {
+        for d in &self.datasets {
+            if !is_valid_identifier(d.name) {
+                return Err(format!(
+                    "invalid dataset name {:?}: ledger identifiers must match [A-Za-z0-9_*-]+",
+                    d.name
+                ));
+            }
+        }
+        for a in &self.algorithms {
+            if !is_valid_identifier(a) {
+                return Err(format!(
+                    "invalid algorithm name {a:?}: ledger identifiers must match [A-Za-z0-9_*-]+"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Human-readable one-line summary of every grid input, recorded in
+    /// the ledger header (`"cfg"`). `;` separates fields, `+` separates
+    /// values within a field — neither appears in validated identifiers,
+    /// numbers, or the fixed workload/loss tokens, so the string needs no
+    /// escaping and [`summary_diff`] can compare two of them field by
+    /// field to explain a fingerprint mismatch.
+    pub fn summary(&self) -> String {
+        let datasets: Vec<&str> = self.datasets.iter().map(|d| d.name).collect();
+        let scales: Vec<String> = self.scales.iter().map(|s| s.to_string()).collect();
+        let domains: Vec<String> = self.domains.iter().map(|d| d.to_string()).collect();
+        let epsilons: Vec<String> = self.epsilons.iter().map(|e| e.to_string()).collect();
+        let workload = match self.workload {
+            WorkloadSpec::Prefix => "prefix".to_string(),
+            WorkloadSpec::Identity => "identity".to_string(),
+            WorkloadSpec::RandomRanges(n) => format!("random:{n}"),
+        };
+        let loss = match self.loss {
+            Loss::L1 => "l1",
+            Loss::L2 => "l2",
+            Loss::LInf => "linf",
+        };
+        format!(
+            "datasets={};scales={};domains={};eps={};algorithms={};samples={};trials={};workload={workload};loss={loss}",
+            datasets.join("+"),
+            scales.join("+"),
+            domains.join("+"),
+            epsilons.join("+"),
+            self.algorithms.join("+"),
+            self.n_samples,
+            self.n_trials,
+        )
+    }
+
     /// Content fingerprint of the whole grid definition: every input that
     /// determines the result set (datasets, scales, domains, ε values,
     /// algorithms, sample/trial counts, workload, loss). Two configs with
@@ -208,6 +276,34 @@ impl ExperimentConfig {
         });
         f.finish()
     }
+}
+
+/// Compare two [`ExperimentConfig::summary`] strings field by field and
+/// name what diverged — the diagnostic a `--resume` fingerprint mismatch
+/// prints instead of a bare hash inequality. Unknown/missing fields are
+/// reported too (e.g. a ledger written by an older binary).
+pub fn summary_diff(ledger: &str, current: &str) -> Vec<String> {
+    let parse = |s: &str| -> Vec<(String, String)> {
+        s.split(';')
+            .filter_map(|kv| kv.split_once('='))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    };
+    let (a, b) = (parse(ledger), parse(current));
+    let mut out = Vec::new();
+    for (k, vb) in &b {
+        match a.iter().find(|(ka, _)| ka == k) {
+            Some((_, va)) if va == vb => {}
+            Some((_, va)) => out.push(format!("{k}: ledger={va} current={vb}")),
+            None => out.push(format!("{k}: ledger=<absent> current={vb}")),
+        }
+    }
+    for (k, va) in &a {
+        if !b.iter().any(|(kb, _)| kb == k) {
+            out.push(format!("{k}: ledger={va} current=<absent>"));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -262,6 +358,69 @@ mod tests {
     #[should_panic(expected = "1-D only")]
     fn prefix_rejects_2d() {
         WorkloadSpec::Prefix.build(Domain::D2(4, 4));
+    }
+
+    #[test]
+    fn identifier_validation_rejects_ledger_breaking_names() {
+        assert!(is_valid_identifier("MEDCOST"));
+        assert!(is_valid_identifier("GREEDY_H"));
+        assert!(is_valid_identifier("t-digest2"));
+        assert!(
+            is_valid_identifier("MWEM*"),
+            "starred paper variants are legal"
+        );
+        for bad in ["", "a b", "a\"b", "a\\b", "a,b", "päter", "a;b", "a+b"] {
+            assert!(!is_valid_identifier(bad), "{bad:?} accepted");
+        }
+        let mut cfg = ExperimentConfig {
+            datasets: vec![catalog::by_name("ADULT").unwrap()],
+            scales: vec![1000],
+            domains: vec![Domain::D1(256)],
+            epsilons: vec![0.1],
+            algorithms: vec!["IDENTITY".into()],
+            n_samples: 1,
+            n_trials: 1,
+            workload: WorkloadSpec::Prefix,
+            loss: Loss::L2,
+        };
+        assert!(cfg.validate().is_ok());
+        cfg.algorithms = vec!["IDENT\"ITY".into()];
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("algorithm"), "{err}");
+        assert!(err.contains("[A-Za-z0-9_*-]+"), "{err}");
+    }
+
+    #[test]
+    fn summary_names_every_field_and_diffs_precisely() {
+        let base = ExperimentConfig {
+            datasets: vec![catalog::by_name("ADULT").unwrap()],
+            scales: vec![1000, 2000],
+            domains: vec![Domain::D1(256)],
+            epsilons: vec![0.1],
+            algorithms: vec!["IDENTITY".into(), "DAWA".into()],
+            n_samples: 2,
+            n_trials: 3,
+            workload: WorkloadSpec::Prefix,
+            loss: Loss::L2,
+        };
+        let s = base.summary();
+        assert_eq!(
+            s,
+            "datasets=ADULT;scales=1000+2000;domains=256;eps=0.1;\
+             algorithms=IDENTITY+DAWA;samples=2;trials=3;workload=prefix;loss=l2"
+        );
+        assert!(summary_diff(&s, &s).is_empty());
+        let mut other = base.clone();
+        other.scales = vec![1000];
+        other.loss = Loss::L1;
+        let diff = summary_diff(&s, &other.summary());
+        assert_eq!(
+            diff,
+            vec![
+                "scales: ledger=1000+2000 current=1000".to_string(),
+                "loss: ledger=l2 current=l1".to_string(),
+            ]
+        );
     }
 
     #[test]

@@ -16,10 +16,16 @@
 //!    ledger, or O(1) streaming aggregation;
 //! 3. a JSONL ledger checkpoint lets [`Runner::resume`] (or a
 //!    `--shard`ed fleet of processes) reproduce the single-process run
-//!    bit-identically.
+//!    bit-identically;
+//! 4. the [`fleet`] driver runs a whole shard fleet as one call — spawn
+//!    k processes, retry/resume failures from their ledgers, k-way
+//!    stream-merge the shard files byte-identically to a one-shot run,
+//!    and combine per-shard t-digest summaries without re-reading raw
+//!    samples.
 
 pub mod competitive;
 pub mod config;
+pub mod fleet;
 pub mod manifest;
 pub mod repair;
 pub mod results;
@@ -28,6 +34,7 @@ pub mod sink;
 pub mod tuning;
 
 pub use config::{ExperimentConfig, Setting};
+pub use fleet::{run_fleet, FleetOptions, FleetReport, ShardLauncher};
 pub use manifest::{ManifestUnit, RunManifest, UnitId};
 pub use results::{ErrorSample, ResultStore, SettingSummary};
 pub use runner::{RunStats, Runner};

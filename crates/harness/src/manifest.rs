@@ -70,6 +70,10 @@ pub struct ManifestUnit {
 pub struct RunManifest {
     /// [`ExperimentConfig::fingerprint`] of the generating config.
     pub fingerprint: u64,
+    /// [`ExperimentConfig::summary`] of the generating config — recorded
+    /// in ledger headers so a fingerprint mismatch can name the exact
+    /// field that diverged.
+    pub config_summary: String,
     /// Trials per unit (recorded in ledgers for sanity checks).
     pub n_trials: usize,
     /// Total units in the full manifest (before shard/resume filtering).
@@ -123,6 +127,7 @@ impl RunManifest {
         let total_units = units.len();
         Self {
             fingerprint,
+            config_summary: cfg.summary(),
             n_trials: cfg.n_trials,
             total_units,
             units,
@@ -147,6 +152,7 @@ impl RunManifest {
         assert!(index < count, "shard index {index} out of range 0..{count}");
         Self {
             fingerprint: self.fingerprint,
+            config_summary: self.config_summary.clone(),
             n_trials: self.n_trials,
             total_units: self.total_units,
             units: self
@@ -162,6 +168,7 @@ impl RunManifest {
     pub fn without(&self, done: &HashSet<UnitId>) -> Self {
         Self {
             fingerprint: self.fingerprint,
+            config_summary: self.config_summary.clone(),
             n_trials: self.n_trials,
             total_units: self.total_units,
             units: self

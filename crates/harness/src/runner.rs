@@ -481,6 +481,9 @@ impl Runner {
         manifest: &RunManifest,
         sink: &mut dyn ResultSink,
     ) -> io::Result<RunStats> {
+        self.config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         if manifest.fingerprint != self.config.fingerprint() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,

@@ -11,18 +11,23 @@
 //!   grids. Each completed unit writes its samples followed by a
 //!   completion marker, and the file doubles as the **resume ledger**:
 //!   [`read_ledger`] recovers the set of finished units after a crash;
-//! * [`AggregatingSink`] — O(1) state per (algorithm, setting) via the
-//!   streaming Welford/P² [`StreamingSummary`] in `dpbench-stats`;
+//! * [`AggregatingSink`] — O(δ) state per (algorithm, setting) via the
+//!   streaming Welford/t-digest [`StreamingSummary`] in `dpbench-stats`;
+//!   its summaries **merge** across shards ([`AggregatingSink::merge_from`])
+//!   and serialize to a compact sketch file, so a fleet aggregates
+//!   without re-reading raw samples;
 //! * [`Tee`] — fan out to several sinks at once.
 //!
 //! ## The JSONL format
 //!
 //! One self-describing JSON object per line, written and parsed by this
 //! module (no external JSON dependency; field order is fixed, strings are
-//! never escaped — dataset and algorithm names are plain identifiers):
+//! never escaped — dataset and algorithm names are validated identifiers,
+//! enforced at write time by [`ExperimentConfig::validate`] and
+//! [`JsonlSink`]'s `begin`):
 //!
 //! ```text
-//! {"t":"run","fp":"<16 hex>","n_trials":3}            ← file header
+//! {"t":"run","fp":"<16 hex>","n_trials":3,"cfg":"datasets=…;…"}  ← header
 //! {"t":"s","unit":"<16 hex>","pos":7,"alg":"DAWA","dataset":"MEDCOST",
 //!  "scale":100000,"domain":"4096","eps":0.1,"sample":0,"trial":2,
 //!  "err":0.00123}                                      ← one sample
@@ -34,16 +39,26 @@
 //! emits units in manifest order, a fresh single-process run, a
 //! cleanly interrupted-then-resumed run (append to the same file), and
 //! [`merge_jsonl`]-combined shard files all yield **byte-identical**
-//! JSONL — `diff` is a complete correctness check. A *dirty* crash can
-//! leave torn or orphaned sample lines in the file; the readers
-//! tolerate and deduplicate those (see [`read_samples`]), and one pass
-//! through [`merge_jsonl`] re-canonicalizes such a file to the
-//! reference byte stream.
+//! JSONL — `diff` is a complete correctness check.
+//!
+//! ## Corruption policy
+//!
+//! A dirty crash can tear the **final** line of the file mid-write; that
+//! single case is recoverable by construction (the per-unit flush
+//! discipline means a torn line's unit has no completion marker and is
+//! re-run on resume), so the readers tolerate an unparseable line *only
+//! as the last content of the file* — and [`JsonlSink::append`]
+//! truncates it before resuming, keeping the healed file fully valid.
+//! A malformed line **followed by more records** can only be real
+//! mid-file corruption (bit rot, manual edits, interleaved writers);
+//! every reader turns it into a hard `InvalidData` error carrying the
+//! line number instead of silently skipping it — a benchmark must never
+//! convert corruption into plausible numbers.
 
-use crate::config::Setting;
+use crate::config::{is_valid_identifier, Setting};
 use crate::manifest::{ManifestUnit, RunManifest, UnitId};
 use crate::results::{parse_domain, ErrorSample, ResultStore};
-use dpbench_stats::{StreamingSummary, Summary};
+use dpbench_stats::{Centroid, StreamingSummary, Summary, TDigest, Welford};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -138,33 +153,65 @@ impl JsonlSink<BufWriter<File>> {
     /// Open `path` for append without a new header — the resume mode,
     /// continuing a ledger whose header was validated by the caller.
     ///
-    /// If a crash tore the file mid-line (no trailing newline), a
-    /// newline is written first so the torn fragment stays an isolated
-    /// unparseable line (which the readers skip) instead of corrupting
-    /// the first appended record.
+    /// If a crash tore the final line mid-write, it is **truncated**
+    /// first: the torn record's unit has no completion marker (per-unit
+    /// flush writes the marker last), so dropping the fragment loses
+    /// nothing, and the healed file stays fully parseable — which is what
+    /// lets the readers treat any *mid-file* malformed line as hard
+    /// corruption. A complete final record merely missing its newline is
+    /// terminated instead.
     pub fn append<P: AsRef<Path>>(path: P) -> io::Result<Self> {
-        use std::io::{Read, Seek, SeekFrom};
-        let needs_newline = {
-            let mut f = File::open(&path)?;
-            let len = f.seek(SeekFrom::End(0))?;
-            if len == 0 {
-                false
-            } else {
-                f.seek(SeekFrom::End(-1))?;
-                let mut b = [0_u8; 1];
-                f.read_exact(&mut b)?;
-                b[0] != b'\n'
-            }
-        };
-        let mut out = BufWriter::new(OpenOptions::new().append(true).open(path)?);
-        if needs_newline {
-            out.write_all(b"\n")?;
-            out.flush()?;
-        }
+        repair_tail(path.as_ref())?;
         Ok(Self {
-            out,
+            out: BufWriter::new(OpenOptions::new().append(true).open(path)?),
             write_header: false,
         })
+    }
+}
+
+/// Truncate a torn (unparseable) final line; newline-terminate a valid
+/// final record that lost its newline in a crash.
+fn repair_tail(path: &Path) -> io::Result<()> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut offset: u64 = 0;
+    let mut last_start: u64 = 0;
+    let mut last_line: Vec<u8> = Vec::new();
+    let mut ends_with_newline = true; // vacuously, for an empty file
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let n = reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        ends_with_newline = buf.last() == Some(&b'\n');
+        let content = if ends_with_newline {
+            &buf[..n - 1]
+        } else {
+            &buf[..]
+        };
+        if !content.iter().all(u8::is_ascii_whitespace) {
+            last_start = offset;
+            last_line = content.to_vec();
+        }
+        offset += n as u64;
+    }
+    if last_line.is_empty() {
+        return Ok(()); // empty (or all-blank) file: nothing to repair
+    }
+    let torn = matches!(
+        classify(&String::from_utf8_lossy(&last_line)),
+        Line::Malformed(_)
+    );
+    if torn {
+        OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(last_start)
+    } else if !ends_with_newline {
+        OpenOptions::new().append(true).open(path)?.write_all(b"\n")
+    } else {
+        Ok(())
     }
 }
 
@@ -191,17 +238,56 @@ fn format_unit_done(unit: UnitId, pos: usize) -> String {
     format!("{{\"t\":\"u\",\"unit\":\"{unit}\",\"pos\":{pos}}}")
 }
 
-fn format_header(fingerprint: u64, n_trials: usize) -> String {
-    format!("{{\"t\":\"run\",\"fp\":\"{fingerprint:016x}\",\"n_trials\":{n_trials}}}")
+fn format_header(fingerprint: u64, n_trials: usize, cfg: Option<&str>) -> String {
+    match cfg {
+        Some(cfg) => format!(
+            "{{\"t\":\"run\",\"fp\":\"{fingerprint:016x}\",\"n_trials\":{n_trials},\"cfg\":\"{cfg}\"}}"
+        ),
+        None => format!("{{\"t\":\"run\",\"fp\":\"{fingerprint:016x}\",\"n_trials\":{n_trials}}}"),
+    }
+}
+
+/// Reject a manifest whose identifiers (or config summary) the
+/// escape-free JSONL writer cannot represent — fail before the first
+/// ledger byte instead of producing an unreadable file.
+fn validate_manifest_for_jsonl(manifest: &RunManifest) -> io::Result<()> {
+    let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidInput, what);
+    if manifest
+        .config_summary
+        .bytes()
+        .any(|b| b == b'"' || b == b'\\' || b.is_ascii_control())
+    {
+        return Err(invalid(format!(
+            "config summary {:?} contains characters the ledger cannot escape",
+            manifest.config_summary
+        )));
+    }
+    let mut seen: HashSet<&str> = HashSet::new();
+    for u in &manifest.units {
+        for name in [u.algorithm.as_str(), u.setting.dataset.as_str()] {
+            if seen.insert(name) && !is_valid_identifier(name) {
+                return Err(invalid(format!(
+                    "cannot write ledger: invalid identifier {name:?} \
+                     (dataset/algorithm names must match [A-Za-z0-9_*-]+)"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 impl<W: Write + Send> ResultSink for JsonlSink<W> {
     fn begin(&mut self, manifest: &RunManifest) -> io::Result<()> {
+        validate_manifest_for_jsonl(manifest)?;
         if self.write_header {
             writeln!(
                 self.out,
                 "{}",
-                format_header(manifest.fingerprint, manifest.n_trials)
+                format_header(
+                    manifest.fingerprint,
+                    manifest.n_trials,
+                    Some(&manifest.config_summary)
+                )
             )?;
         }
         Ok(())
@@ -226,13 +312,19 @@ impl<W: Write + Send> ResultSink for JsonlSink<W> {
 // AggregatingSink
 // ---------------------------------------------------------------------------
 
-/// O(1)-per-sample aggregation: one [`StreamingSummary`] per
-/// (algorithm, setting) group. The sink for grids whose raw sample set
-/// exceeds memory but whose report is per-setting statistics.
+/// O(δ)-per-group aggregation: one mergeable [`StreamingSummary`] per
+/// (algorithm, setting). The sink for grids whose raw sample set exceeds
+/// memory but whose report is per-setting statistics. Shard summaries
+/// serialize ([`AggregatingSink::write_summary`]) and combine
+/// ([`AggregatingSink::merge_from`]) without touching raw samples.
 #[derive(Debug, Default)]
 pub struct AggregatingSink {
     groups: BTreeMap<(String, String), (Setting, StreamingSummary)>,
     samples_seen: u64,
+    /// Fingerprint of the run being aggregated (captured in `begin`),
+    /// guarding cross-run merges the way ledger headers do.
+    fingerprint: Option<u64>,
+    n_trials: usize,
 }
 
 impl AggregatingSink {
@@ -246,8 +338,14 @@ impl AggregatingSink {
         self.samples_seen
     }
 
+    /// Fingerprint of the aggregated run (None before `begin`).
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
     /// Per-group streaming summaries, ordered by algorithm then setting
-    /// key. Percentiles are P² sketch estimates (exact below six samples).
+    /// key. Percentiles are t-digest estimates within the documented
+    /// tolerance (see `dpbench_stats::tdigest`).
     pub fn summaries(&self) -> Vec<(String, Setting, Summary)> {
         self.groups
             .iter()
@@ -262,9 +360,172 @@ impl AggregatingSink {
             .map(|(_, s)| s.mean())
             .unwrap_or(f64::NAN)
     }
+
+    /// Absorb another sink's aggregation: afterwards every group
+    /// summarizes the union of both sample streams (exact counts and
+    /// moments, digest-tolerance quantiles). Errors when the two sinks
+    /// aggregated different runs.
+    pub fn merge_from(&mut self, other: &AggregatingSink) -> io::Result<()> {
+        if let (Some(a), Some(b)) = (self.fingerprint, other.fingerprint) {
+            if a != b {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "cannot merge summaries from different runs (fingerprint mismatch)",
+                ));
+            }
+            if self.n_trials != other.n_trials {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "cannot merge summaries that disagree on n_trials",
+                ));
+            }
+        }
+        if self.fingerprint.is_none() {
+            self.fingerprint = other.fingerprint;
+            self.n_trials = other.n_trials;
+        }
+        self.samples_seen += other.samples_seen;
+        for (key, (setting, summary)) in &other.groups {
+            match self.groups.entry(key.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().1.merge(summary);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((setting.clone(), summary.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize the aggregation state as compact JSONL: an `agg` header
+    /// followed by one `g` record per (algorithm, setting) group carrying
+    /// exact moments (Welford n/mean/M2, min/max) and the t-digest
+    /// centroid list. Round-trips exactly through [`read_summary`]
+    /// (floats use shortest round-trip formatting).
+    pub fn write_summary<W: Write>(&mut self, out: &mut W) -> io::Result<()> {
+        let fp = self.fingerprint.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "summary has no run fingerprint (the sink never began a run)",
+            )
+        })?;
+        writeln!(
+            out,
+            "{{\"t\":\"agg\",\"fp\":\"{fp:016x}\",\"n_trials\":{},\"samples\":{}}}",
+            self.n_trials, self.samples_seen
+        )?;
+        for ((alg, _), entry) in self.groups.iter_mut() {
+            let (setting, summary) = entry;
+            let w = *summary.welford();
+            let (min, max) = (summary.min(), summary.max());
+            let digest = summary.digest_mut();
+            let comp = digest.compression();
+            let cent: Vec<String> = digest
+                .centroids()
+                .iter()
+                .map(|c| format!("[{},{}]", c.mean, c.weight))
+                .collect();
+            writeln!(
+                out,
+                "{{\"t\":\"g\",\"alg\":\"{alg}\",\"dataset\":\"{}\",\"scale\":{},\"domain\":\"{}\",\"eps\":{},\"n\":{},\"mean\":{},\"m2\":{},\"min\":{min},\"max\":{max},\"comp\":{comp},\"cent\":[{}]}}",
+                setting.dataset,
+                setting.scale,
+                setting.domain,
+                setting.epsilon,
+                w.count(),
+                w.mean(),
+                w.m2(),
+                cent.join(",")
+            )?;
+        }
+        out.flush()
+    }
+
+    /// Convenience: [`AggregatingSink::write_summary`] to a file.
+    pub fn write_summary_file<P: AsRef<Path>>(&mut self, path: P) -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        self.write_summary(&mut out)
+    }
+
+    /// Fold one sample into its (algorithm, setting) group — the
+    /// rebuild path for [`summary_from_ledger`].
+    fn push_sample(&mut self, s: &ErrorSample) {
+        let group = self
+            .groups
+            .entry((s.algorithm.clone(), s.setting.to_string()))
+            .or_insert_with(|| (s.setting.clone(), StreamingSummary::new()));
+        self.samples_seen += 1;
+        group.1.push(s.error);
+    }
+}
+
+/// Rebuild an [`AggregatingSink`] from a JSONL ledger's completed
+/// samples. This is how a **resumed** shard produces its summary file:
+/// the streaming sink only saw the units run after the crash, but the
+/// ledger holds the union, and one local pass recovers the full
+/// aggregation (the cross-shard path still never touches raw samples).
+pub fn summary_from_ledger<P: AsRef<Path>>(path: P) -> io::Result<AggregatingSink> {
+    let path = path.as_ref();
+    let ledger = read_ledger(path)?;
+    let mut sink = AggregatingSink::new();
+    sink.fingerprint = Some(ledger.fingerprint);
+    sink.n_trials = ledger.n_trials;
+    // Two passes total: the validating ledger read above plus one sample
+    // pass (`read_samples` would re-read the ledger a second time).
+    let mut keyed = collect_samples(path, &ledger.done)?;
+    keyed.sort_by_key(|(_, pos, s)| (*pos, s.trial));
+    for (_, _, s) in &keyed {
+        sink.push_sample(s);
+    }
+    Ok(sink)
+}
+
+/// True when `path` holds no well-formed record at all — only blank
+/// lines and/or a torn fragment. This distinguishes "a writer died
+/// before its first flush completed" (safe to start fresh) from a file
+/// with real content whose header is damaged (corruption, surfaced as
+/// an error by [`read_ledger`]).
+pub fn ledger_is_effectively_empty<P: AsRef<Path>>(path: P) -> io::Result<bool> {
+    for line in BufReader::new(File::open(path)?).lines() {
+        if !matches!(classify(&line?), Line::Blank | Line::Malformed(_)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Merge per-shard summary files into one [`AggregatingSink`] — the
+/// cross-shard aggregation path that ships sketches instead of samples.
+pub fn merge_summary_files<P: AsRef<Path>>(inputs: &[P]) -> io::Result<AggregatingSink> {
+    if inputs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "no summary files to merge",
+        ));
+    }
+    let mut merged = AggregatingSink::new();
+    for path in inputs {
+        merged.merge_from(&read_summary(path)?)?;
+    }
+    Ok(merged)
 }
 
 impl ResultSink for AggregatingSink {
+    fn begin(&mut self, manifest: &RunManifest) -> io::Result<()> {
+        if let Some(fp) = self.fingerprint {
+            if fp != manifest.fingerprint {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "aggregating sink already holds a different run's summaries",
+                ));
+            }
+        }
+        self.fingerprint = Some(manifest.fingerprint);
+        self.n_trials = manifest.n_trials;
+        Ok(())
+    }
+
     fn unit_complete(&mut self, unit: &ManifestUnit, samples: &[ErrorSample]) -> io::Result<()> {
         // Every sample of a unit shares its (algorithm, setting): one key
         // build and one map lookup per unit, then O(1) pushes.
@@ -278,6 +539,121 @@ impl ResultSink for AggregatingSink {
         }
         Ok(())
     }
+}
+
+/// Parse a summary file written by [`AggregatingSink::write_summary`].
+/// Summary files are rewritten whole (not appended), so *any* malformed
+/// line is an `InvalidData` error — there is no torn-tail tolerance here.
+pub fn read_summary<P: AsRef<Path>>(path: P) -> io::Result<AggregatingSink> {
+    let mut sink = AggregatingSink::new();
+    let mut group_count: u64 = 0;
+    for (i, line) in BufReader::new(File::open(path)?).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match field(&line, "t") {
+            Some("agg") => {
+                let fp = field(&line, "fp")
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| bad(i, "bad summary header fingerprint"))?;
+                if sink.fingerprint.is_some() {
+                    return Err(bad(i, "duplicate summary header"));
+                }
+                sink.fingerprint = Some(fp);
+                sink.n_trials = field(&line, "n_trials")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(i, "bad summary header n_trials"))?;
+                sink.samples_seen = field(&line, "samples")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad(i, "bad summary header sample count"))?;
+            }
+            Some("g") => {
+                if sink.fingerprint.is_none() {
+                    return Err(bad(i, "group record before summary header"));
+                }
+                let (alg, setting, summary) =
+                    parse_group(&line).ok_or_else(|| bad(i, "malformed group record"))?;
+                group_count += summary.count();
+                if sink
+                    .groups
+                    .insert((alg, setting.to_string()), (setting, summary))
+                    .is_some()
+                {
+                    return Err(bad(i, "duplicate group record"));
+                }
+            }
+            _ => return Err(bad(i, "unrecognized summary record")),
+        }
+    }
+    if sink.fingerprint.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "summary file has no header",
+        ));
+    }
+    if group_count != sink.samples_seen {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "summary header claims {} samples but groups hold {group_count}",
+                sink.samples_seen
+            ),
+        ));
+    }
+    Ok(sink)
+}
+
+/// Parse one `{"t":"g",…}` summary group line.
+fn parse_group(line: &str) -> Option<(String, Setting, StreamingSummary)> {
+    let alg = field(line, "alg")?.to_string();
+    let setting = parse_setting(line)?;
+    let n: u64 = field(line, "n")?.parse().ok()?;
+    let mean: f64 = field(line, "mean")?.parse().ok()?;
+    let m2: f64 = field(line, "m2")?.parse().ok()?;
+    let min: f64 = field(line, "min")?.parse().ok()?;
+    let max: f64 = field(line, "max")?.parse().ok()?;
+    let comp: f64 = field(line, "comp")?.parse().ok()?;
+    let centroids = parse_centroids(line)?;
+    let digest = TDigest::from_parts(comp, min, max, centroids);
+    if digest.count() != n {
+        return None; // weights disagree with the moment count
+    }
+    Some((
+        alg,
+        setting,
+        StreamingSummary::from_parts(Welford::from_parts(n, mean, m2), min, max, digest),
+    ))
+}
+
+/// Parse the `"cent":[[mean,weight],…]` array of a group record.
+fn parse_centroids(line: &str) -> Option<Vec<Centroid>> {
+    let tag = "\"cent\":[";
+    let start = line.find(tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find(']').and_then(|_| {
+        // The array ends at the first "]]" (inner pair close + array
+        // close) or immediately for an empty array.
+        if rest.starts_with(']') {
+            Some(0)
+        } else {
+            rest.find("]]").map(|i| i + 1)
+        }
+    })?;
+    let body = &rest[..end];
+    let mut out = Vec::new();
+    for pair in body.split("],") {
+        let pair = pair.trim_start_matches('[').trim_end_matches(']');
+        if pair.is_empty() {
+            continue;
+        }
+        let (m, w) = pair.split_once(',')?;
+        out.push(Centroid {
+            mean: m.parse().ok()?,
+            weight: w.parse().ok()?,
+        });
+    }
+    Some(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -326,6 +702,10 @@ pub struct Ledger {
     pub fingerprint: u64,
     /// Trials per unit from the header.
     pub n_trials: usize,
+    /// Config summary from the header (absent in pre-`cfg` ledgers) —
+    /// lets a fingerprint mismatch name the diverging field via
+    /// [`crate::config::summary_diff`].
+    pub cfg: Option<String>,
     /// Units with a completion marker.
     pub done: HashSet<UnitId>,
 }
@@ -351,52 +731,144 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     }
 }
 
-/// Parse a ledger/result file: header plus the set of completed units.
-/// Sample lines are skipped; a torn (crash-truncated) final line is
-/// ignored, matching the per-unit flush discipline of [`JsonlSink`].
-pub fn read_ledger<P: AsRef<Path>>(path: P) -> io::Result<Ledger> {
-    let mut fingerprint = None;
-    let mut n_trials = 0;
-    let mut done = HashSet::new();
-    for (i, line) in BufReader::new(File::open(path)?).lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+/// One fully-validated ledger line.
+enum Line<'a> {
+    /// `{"t":"run",…}` file header.
+    Header {
+        fingerprint: u64,
+        n_trials: usize,
+        cfg: Option<&'a str>,
+    },
+    /// `{"t":"u",…}` unit-completion marker.
+    UnitDone { id: UnitId, pos: usize },
+    /// `{"t":"s",…}` sample record.
+    Sample {
+        id: UnitId,
+        pos: usize,
+        sample: ErrorSample,
+    },
+    /// Whitespace only.
+    Blank,
+    /// Anything that fails to parse completely — tolerable only as the
+    /// torn final line of a crashed file.
+    Malformed(&'static str),
+}
+
+/// Classify (and fully parse) one line. Every reader shares this, so
+/// "well-formed" means the same thing to the resume path, the sample
+/// loader, the merge, and the tail-repair in [`JsonlSink::append`].
+fn classify(line: &str) -> Line<'_> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Line::Blank;
+    }
+    // Structural completeness first: every record the writer emits ends
+    // with `}` (single-level objects, one per line), and a crash tear
+    // removes it. Without this check, a numeric tail torn to a *shorter
+    // valid number* (`"pos":15}` → `"pos":1`) would still parse and be
+    // kept — recording a unit marker at the wrong manifest position.
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return Line::Malformed("truncated record");
+    }
+    match field(line, "t") {
+        Some("run") => {
+            let fp = field(line, "fp").and_then(|s| u64::from_str_radix(s, 16).ok());
+            let n_trials = field(line, "n_trials").and_then(|s| s.parse().ok());
+            match (fp, n_trials) {
+                (Some(fingerprint), Some(n_trials)) => Line::Header {
+                    fingerprint,
+                    n_trials,
+                    cfg: field(line, "cfg"),
+                },
+                _ => Line::Malformed("malformed run header"),
+            }
         }
-        match field(&line, "t") {
-            Some("run") => {
-                let fp = field(&line, "fp")
-                    .and_then(|s| u64::from_str_radix(s, 16).ok())
-                    .ok_or_else(|| bad(i, "bad run header fingerprint"))?;
-                if let Some(prev) = fingerprint {
-                    if prev != fp {
-                        return Err(bad(i, "conflicting run headers"));
-                    }
-                }
-                fingerprint = Some(fp);
-                n_trials = field(&line, "n_trials")
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| bad(i, "bad run header n_trials"))?;
+        Some("u") => {
+            let id = field(line, "unit").and_then(UnitId::parse);
+            let pos = field(line, "pos").and_then(|s| s.parse().ok());
+            match (id, pos) {
+                (Some(id), Some(pos)) => Line::UnitDone { id, pos },
+                _ => Line::Malformed("malformed unit marker"),
             }
-            Some("u") => {
-                let id = field(&line, "unit")
-                    .and_then(UnitId::parse)
-                    .ok_or_else(|| bad(i, "bad unit id"))?;
-                done.insert(id);
-            }
-            Some("s") => {}
-            // Torn tail line from a crash mid-write: tolerated only if
-            // it is the last content of the file — a malformed line
-            // followed by valid ones would be corruption, but detecting
-            // that cheaply means just skipping anything unrecognized.
-            _ => {}
+        }
+        Some("s") => match field(line, "unit").and_then(UnitId::parse) {
+            Some(id) => match parse_sample(line) {
+                Some((pos, sample)) => Line::Sample { id, pos, sample },
+                None => Line::Malformed("malformed sample record"),
+            },
+            None => Line::Malformed("malformed sample record"),
+        },
+        _ => Line::Malformed("unrecognized record"),
+    }
+}
+
+/// The deferred-error state of the torn-tail rule: a malformed line is
+/// held here and only becomes a hard error if another record follows it.
+struct TornTail(Option<io::Error>);
+
+impl TornTail {
+    fn new() -> Self {
+        Self(None)
+    }
+
+    /// A well-formed record arrived: any held malformed line was
+    /// mid-file, i.e. real corruption.
+    fn check(&mut self) -> io::Result<()> {
+        match self.0.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
+
+    fn defer(&mut self, line_no: usize, what: &str) {
+        self.0 = Some(bad(
+            line_no,
+            &format!("{what} followed by further records (mid-file corruption; only a torn final line is tolerated)"),
+        ));
+    }
+}
+
+/// Parse a ledger/result file: header plus the set of completed units.
+///
+/// Every line is fully validated. A torn (crash-truncated) **final** line
+/// is tolerated, matching the per-unit flush discipline of [`JsonlSink`];
+/// a malformed line anywhere else is an `InvalidData` error naming the
+/// line — mid-file corruption must never be silently skipped.
+pub fn read_ledger<P: AsRef<Path>>(path: P) -> io::Result<Ledger> {
+    let mut header: Option<(u64, usize, Option<String>)> = None;
+    let mut done = HashSet::new();
+    let mut torn = TornTail::new();
+    for (i, line) in BufReader::new(File::open(path)?).lines().enumerate() {
+        let line = line?;
+        let cls = classify(&line);
+        if matches!(cls, Line::Blank) {
+            continue;
+        }
+        torn.check()?;
+        match cls {
+            Line::Header {
+                fingerprint,
+                n_trials,
+                cfg,
+            } => match &header {
+                Some((fp, nt, _)) if *fp != fingerprint || *nt != n_trials => {
+                    return Err(bad(i, "conflicting run headers"));
+                }
+                _ => header = Some((fingerprint, n_trials, cfg.map(str::to_string))),
+            },
+            Line::UnitDone { id, .. } => {
+                done.insert(id);
+            }
+            Line::Sample { .. } | Line::Blank => {}
+            Line::Malformed(what) => torn.defer(i, what),
+        }
+    }
+    let (fingerprint, n_trials, cfg) = header
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "ledger has no run header"))?;
     Ok(Ledger {
-        fingerprint: fingerprint.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "ledger has no run header")
-        })?,
+        fingerprint,
         n_trials,
+        cfg,
         done,
     })
 }
@@ -409,35 +881,38 @@ pub fn read_ledger<P: AsRef<Path>>(path: P) -> io::Result<Ledger> {
 /// But a crash can also leave *orphans of units that later complete*: a
 /// `BufWriter` auto-flush can land part of a unit's samples on disk
 /// before the crash, and the resume re-runs the unit and appends a
-/// second (complete) copy plus the marker. Two rules handle this:
-///
-/// * a **torn** (unparseable) sample line is skipped, not an error — it
-///   can only arise from an interrupted write, and its unit's data is
-///   rewritten in full by the resume;
-/// * duplicates are resolved by `(unit, sample-index, trial)` with the
-///   **last** occurrence winning — the resume's authoritative rewrite
-///   supersedes any pre-crash orphan (per-coordinate RNG makes the
-///   values bit-identical anyway; deduplication fixes the *count*).
+/// second (complete) copy plus the marker. Duplicates are resolved by
+/// `(unit, sample-index, trial)` with the **last** occurrence winning —
+/// the resume's authoritative rewrite supersedes any pre-crash orphan
+/// (per-coordinate RNG makes the values bit-identical anyway;
+/// deduplication fixes the *count*). A torn line is tolerated only as
+/// the file's final content, exactly as in [`read_ledger`].
 pub fn read_samples<P: AsRef<Path>>(path: P) -> io::Result<Vec<(UnitId, usize, ErrorSample)>> {
     let path = path.as_ref();
+    // First pass validates structure (torn-tail rule included).
     let done = read_ledger(path)?.done;
+    collect_samples(path, &done)
+}
+
+/// The sample pass of [`read_samples`], reusing an already-read ledger
+/// (callers that hold a [`Ledger`] skip one full parse of the file).
+fn collect_samples(
+    path: &Path,
+    done: &HashSet<UnitId>,
+) -> io::Result<Vec<(UnitId, usize, ErrorSample)>> {
     // (unit, sample index, trial) → slot in `out`; last occurrence wins.
     let mut seen: HashMap<(UnitId, usize, usize), usize> = HashMap::new();
     let mut out: Vec<(UnitId, usize, ErrorSample)> = Vec::new();
     for line in BufReader::new(File::open(path)?).lines() {
         let line = line?;
-        if field(&line, "t") != Some("s") {
+        // A malformed line here can only be the tolerated torn tail —
+        // the first pass already rejected mid-file corruption.
+        let Line::Sample { id, pos, sample } = classify(&line) else {
             continue;
-        }
-        let Some(id) = field(&line, "unit").and_then(UnitId::parse) else {
-            continue; // torn write
         };
         if !done.contains(&id) {
             continue;
         }
-        let Some((pos, sample)) = parse_sample(&line) else {
-            continue; // torn write of a unit that was later re-run whole
-        };
         match seen.entry((id, sample.sample, sample.trial)) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 out[*e.get()] = (id, pos, sample);
@@ -451,18 +926,23 @@ pub fn read_samples<P: AsRef<Path>>(path: P) -> io::Result<Vec<(UnitId, usize, E
     Ok(out)
 }
 
+/// Parse the setting fields shared by sample and summary-group records.
+fn parse_setting(line: &str) -> Option<Setting> {
+    Some(Setting {
+        dataset: field(line, "dataset")?.to_string(),
+        scale: field(line, "scale")?.parse().ok()?,
+        domain: parse_domain(field(line, "domain")?)?,
+        epsilon: field(line, "eps")?.parse().ok()?,
+    })
+}
+
 /// Parse one `{"t":"s",…}` line; `None` when any field is missing or
 /// malformed (a torn write).
 fn parse_sample(line: &str) -> Option<(usize, ErrorSample)> {
     let pos: usize = field(line, "pos")?.parse().ok()?;
     let sample = ErrorSample {
         algorithm: field(line, "alg")?.to_string(),
-        setting: Setting {
-            dataset: field(line, "dataset")?.to_string(),
-            scale: field(line, "scale")?.parse().ok()?,
-            domain: parse_domain(field(line, "domain")?)?,
-            epsilon: field(line, "eps")?.parse().ok()?,
-        },
+        setting: parse_setting(line)?,
         sample: field(line, "sample")?.parse().ok()?,
         trial: field(line, "trial")?.parse().ok()?,
         error: field(line, "err")?.parse().ok()?,
@@ -480,70 +960,209 @@ pub fn read_store<P: AsRef<Path>>(path: P) -> io::Result<ResultStore> {
     Ok(store)
 }
 
+// ---------------------------------------------------------------------------
+// Streaming k-way merge
+// ---------------------------------------------------------------------------
+
+/// One input of the k-way merge: yields completed units in ascending
+/// manifest position, holding in memory only the samples of units whose
+/// completion marker has not streamed past yet (normally exactly one
+/// unit; more only for pre-crash orphans).
+struct UnitStream {
+    lines: std::iter::Enumerate<std::io::Lines<BufReader<File>>>,
+    /// Completed units of this file (from the validating first pass).
+    done: HashSet<UnitId>,
+    /// Samples (with their claimed manifest position) awaiting their
+    /// unit's completion marker.
+    pending: HashMap<UnitId, Vec<(usize, ErrorSample)>>,
+    /// Position of the last emitted unit (ascending-order guard — also
+    /// rejects duplicate markers).
+    last_pos: Option<usize>,
+    /// Display name for error messages.
+    label: String,
+    /// Lookahead: the next completed unit, if any.
+    head: Option<(usize, UnitId, Vec<ErrorSample>)>,
+}
+
+impl UnitStream {
+    fn open(path: &Path, done: HashSet<UnitId>) -> io::Result<Self> {
+        let mut s = Self {
+            lines: BufReader::new(File::open(path)?).lines().enumerate(),
+            done,
+            pending: HashMap::new(),
+            last_pos: None,
+            label: path.display().to_string(),
+            head: None,
+        };
+        s.head = s.next_unit()?;
+        Ok(s)
+    }
+
+    fn corrupt(&self, line_no: usize, what: &str) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: jsonl line {}: {what}", self.label, line_no + 1),
+        )
+    }
+
+    /// Advance to the next completed unit: `(pos, id, samples)` with
+    /// samples deduplicated (last occurrence wins) and in trial order.
+    fn next_unit(&mut self) -> io::Result<Option<(usize, UnitId, Vec<ErrorSample>)>> {
+        for (i, line) in self.lines.by_ref() {
+            let line = line?;
+            match classify(&line) {
+                Line::Blank | Line::Header { .. } => {}
+                // Mid-file malformed lines were rejected by the header
+                // pass; anything left is the tolerated torn tail.
+                Line::Malformed(_) => {}
+                Line::Sample { id, pos, sample } => {
+                    if !self.done.contains(&id) {
+                        continue; // in-flight at a crash; re-run elsewhere
+                    }
+                    self.pending.entry(id).or_default().push((pos, sample));
+                }
+                Line::UnitDone { id, pos } => {
+                    if self.last_pos.is_some_and(|last| pos <= last) {
+                        return Err(self.corrupt(
+                            i,
+                            "unit markers out of ascending manifest order \
+                             (corrupt or hand-concatenated file)",
+                        ));
+                    }
+                    self.last_pos = Some(pos);
+                    let samples = self.pending.remove(&id).unwrap_or_default();
+                    // Dedup (sample, trial) last-wins; BTreeMap iteration
+                    // restores canonical trial order. A sample claiming a
+                    // different manifest slot than its unit's marker is
+                    // corruption.
+                    let mut dedup: BTreeMap<(usize, usize), ErrorSample> = BTreeMap::new();
+                    for (sample_pos, s) in samples {
+                        if sample_pos != pos {
+                            return Err(self.corrupt(
+                                i,
+                                "sample and completion marker disagree on \
+                                 manifest position",
+                            ));
+                        }
+                        dedup.insert((s.sample, s.trial), s);
+                    }
+                    return Ok(Some((pos, id, dedup.into_values().collect())));
+                }
+            }
+        }
+        // EOF: leftover pending samples belong to units that never
+        // completed in this file (in-flight at a crash) — dropped, the
+        // completing copy lives in another input or a future resume.
+        Ok(None)
+    }
+
+    /// Pop the lookahead and refill it.
+    fn take(&mut self) -> io::Result<Option<(usize, UnitId, Vec<ErrorSample>)>> {
+        let head = self.head.take();
+        if head.is_some() {
+            self.head = self.next_unit()?;
+        }
+        Ok(head)
+    }
+}
+
 /// Merge shard (or partial-run) JSONL files into one canonical file:
 /// header, then each completed unit's samples (trial order) followed by
 /// its completion marker, units ascending by manifest position — exactly
 /// the byte stream a fresh single-process run writes. All inputs must
-/// share one run fingerprint; duplicated units (e.g. overlapping resumes)
-/// must agree and are emitted once.
+/// share one run fingerprint **and** `n_trials` header; duplicated units
+/// (e.g. overlapping resumes) must agree on every `(sample, trial)`
+/// coordinate and error bit, and are emitted once.
 ///
-/// Memory: the unit table (all inputs' samples) is held in memory while
-/// merging — fine for anything the figure binaries produce, but shards
-/// of a genuinely larger-than-memory grid need a k-way external merge
-/// (ROADMAP follow-up); the rendered output streams to `out` directly.
+/// Memory: this is a **streaming k-way merge** — each input holds only
+/// its ledger id set and the samples of the unit currently in flight, so
+/// fleets scale to grids whose raw sample stream never fits in memory;
+/// the rendered output streams to `out` directly.
 pub fn merge_jsonl<P: AsRef<Path>, W: Write>(inputs: &[P], out: &mut W) -> io::Result<()> {
-    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     if inputs.is_empty() {
-        return Err(invalid("no input files to merge"));
+        return Err(invalid("no input files to merge".into()));
     }
-    let mut header: Option<(u64, usize)> = None;
-    let mut units: HashMap<UnitId, (usize, Vec<ErrorSample>)> = HashMap::new();
+    // Validating first pass: headers must agree on fingerprint, trial
+    // count, and (when recorded) config summary.
+    let mut header: Option<(u64, usize, Option<String>)> = None;
+    let mut streams: Vec<UnitStream> = Vec::with_capacity(inputs.len());
     for path in inputs {
+        let path = path.as_ref();
         let ledger = read_ledger(path)?;
-        match header {
-            None => header = Some((ledger.fingerprint, ledger.n_trials)),
-            Some((fp, _)) if fp != ledger.fingerprint => {
-                return Err(invalid("inputs come from different runs"));
+        match &header {
+            None => header = Some((ledger.fingerprint, ledger.n_trials, ledger.cfg.clone())),
+            Some((fp, _, _)) if *fp != ledger.fingerprint => {
+                return Err(invalid(format!(
+                    "{}: inputs come from different runs (fingerprint mismatch)",
+                    path.display()
+                )));
+            }
+            Some((_, nt, _)) if *nt != ledger.n_trials => {
+                return Err(invalid(format!(
+                    "{}: inputs disagree on n_trials ({} vs {nt})",
+                    path.display(),
+                    ledger.n_trials
+                )));
+            }
+            Some((_, _, cfg)) if *cfg != ledger.cfg => {
+                return Err(invalid(format!(
+                    "{}: inputs disagree on the recorded config summary",
+                    path.display()
+                )));
             }
             Some(_) => {}
         }
-        let mut per_unit: HashMap<UnitId, (usize, Vec<ErrorSample>)> = HashMap::new();
-        for (id, pos, s) in read_samples(path)? {
-            per_unit
-                .entry(id)
-                .or_insert_with(|| (pos, Vec::new()))
-                .1
-                .push(s);
-        }
-        for (id, (pos, mut samples)) in per_unit {
-            samples.sort_by_key(|s| s.trial);
-            match units.entry(id) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert((pos, samples));
-                }
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    let (_, existing) = e.get();
-                    if existing.len() != samples.len()
-                        || existing
-                            .iter()
-                            .zip(&samples)
-                            .any(|(a, b)| a.error.to_bits() != b.error.to_bits())
-                    {
-                        return Err(invalid("duplicated unit disagrees across inputs"));
+        streams.push(UnitStream::open(path, ledger.done)?);
+    }
+    let (fingerprint, n_trials, cfg) = header.expect("checked non-empty");
+    writeln!(
+        out,
+        "{}",
+        format_header(fingerprint, n_trials, cfg.as_deref())
+    )?;
+
+    // K-way interleave by manifest position. k is small (one stream per
+    // shard), so a linear min-scan beats heap bookkeeping.
+    while let Some(min_pos) = streams
+        .iter()
+        .filter_map(|s| s.head.as_ref().map(|(p, _, _)| *p))
+        .min()
+    {
+        let mut chosen: Option<(UnitId, Vec<ErrorSample>)> = None;
+        for stream in &mut streams {
+            if stream.head.as_ref().map(|(p, _, _)| *p) != Some(min_pos) {
+                continue;
+            }
+            let label = stream.label.clone();
+            let (_, id, samples) = stream.take()?.expect("head checked above");
+            match &chosen {
+                None => chosen = Some((id, samples)),
+                Some((first_id, first)) => {
+                    // Duplicated unit (overlapping resumes): must agree
+                    // on identity, count, every (sample, trial)
+                    // coordinate, and every error bit.
+                    let agree = *first_id == id
+                        && first.len() == samples.len()
+                        && first.iter().zip(&samples).all(|(a, b)| {
+                            a.sample == b.sample
+                                && a.trial == b.trial
+                                && a.error.to_bits() == b.error.to_bits()
+                        });
+                    if !agree {
+                        return Err(invalid(format!(
+                            "{label}: duplicated unit {id} at pos {min_pos} \
+                             disagrees across inputs"
+                        )));
                     }
                 }
             }
         }
-    }
-    let (fingerprint, n_trials) = header.expect("checked non-empty");
-    writeln!(out, "{}", format_header(fingerprint, n_trials))?;
-    let mut ordered: Vec<(UnitId, (usize, Vec<ErrorSample>))> = units.into_iter().collect();
-    ordered.sort_by_key(|(_, (pos, _))| *pos);
-    for (id, (pos, samples)) in ordered {
+        let (id, samples) = chosen.expect("some stream held min_pos");
         for s in &samples {
-            writeln!(out, "{}", format_sample(id, pos, s))?;
+            writeln!(out, "{}", format_sample(id, min_pos, s))?;
         }
-        writeln!(out, "{}", format_unit_done(id, pos))?;
+        writeln!(out, "{}", format_unit_done(id, min_pos))?;
     }
     Ok(())
 }

@@ -127,6 +127,17 @@ impl Welford {
         }
     }
 
+    /// The raw sum of squared deviations `M2` (for exact serialization —
+    /// `variance()` loses the `n − 1` division's round-trip).
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuild an accumulator from its serialized parts.
+    pub fn from_parts(n: u64, mean: f64, m2: f64) -> Self {
+        Self { n, mean, m2 }
+    }
+
     /// Merge another accumulator (Chan's parallel formula).
     pub fn merge(&mut self, other: &Welford) {
         if other.n == 0 {

@@ -7,6 +7,8 @@
 //!   CDFs (needed for significance testing without external crates);
 //! * [`describe`] — online/offline summary statistics and percentiles
 //!   (mean error and the 95th-percentile "risk-averse" error);
+//! * [`tdigest`] — mergeable streaming quantile sketch, so sharded runs
+//!   combine per-shard summaries without re-reading raw samples;
 //! * [`ttest`] — Welch's unpaired two-sample t-test with Bonferroni
 //!   correction, used to find *competitive* algorithms (Tables 3a/3b);
 //! * [`decompose`] — bias²/variance decomposition of mechanism error
@@ -19,10 +21,12 @@ pub mod describe;
 pub mod regret;
 pub mod special;
 pub mod streaming;
+pub mod tdigest;
 pub mod ttest;
 
 pub use decompose::ErrorDecomposition;
-pub use describe::{mean, percentile, std_dev, variance, Summary};
+pub use describe::{mean, percentile, std_dev, variance, Summary, Welford};
 pub use regret::geometric_mean_regret;
 pub use streaming::{P2Quantile, StreamingSummary};
+pub use tdigest::{Centroid, TDigest};
 pub use ttest::{bonferroni_alpha, competitive_set, welch_t_test, TTestResult};

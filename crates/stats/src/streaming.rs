@@ -2,21 +2,25 @@
 //!
 //! The batch [`Summary`](crate::describe::Summary) needs every observation
 //! in memory to compute percentiles; a grid streamed through an
-//! aggregating sink cannot afford that. [`StreamingSummary`] keeps O(1)
+//! aggregating sink cannot afford that. [`StreamingSummary`] keeps O(δ)
 //! state per (algorithm, setting) group: a Welford accumulator for
-//! mean/variance, exact min/max, an exact count, and two P² quantile
-//! sketches (Jain & Chlamtac, CACM 1985) for the median and the paper's
-//! risk-averse 95th percentile.
+//! mean/variance, exact min/max, an exact count, and a mergeable
+//! [`TDigest`] sketch for the median and the paper's risk-averse 95th
+//! percentile. Because every component merges (Chan's formula for the
+//! moments, centroid re-clustering for the digest),
+//! [`StreamingSummary::merge`] combines per-shard summaries into the
+//! summary of the union stream without revisiting raw samples — the
+//! cross-shard aggregation path of a sharded fleet.
 //!
-//! The P² estimator maintains five markers per tracked quantile and
-//! adjusts their heights by a piecewise-parabolic interpolation as
-//! observations arrive — O(1) per observation, exact for the first five,
-//! and convergent (not exact) afterwards. The benchmark's error
-//! distributions are smooth enough that the sketch lands within a few
-//! percent of the batch percentile at the grid's sample counts; the tests
-//! pin that tolerance.
+//! The standalone [`P2Quantile`] estimator (Jain & Chlamtac, CACM 1985)
+//! remains available for single-stream O(1) tracking: it maintains five
+//! markers and adjusts their heights by piecewise-parabolic interpolation
+//! — exact for the first five observations, convergent afterwards — but
+//! two P² states cannot be combined, which is exactly why the summary
+//! switched to the digest.
 
 use crate::describe::{Summary, Welford};
+use crate::tdigest::TDigest;
 use serde::{Deserialize, Serialize};
 
 /// P² single-quantile estimator: five markers, O(1) per observation.
@@ -156,16 +160,16 @@ impl P2Quantile {
     }
 }
 
-/// O(1)-per-observation summary: Welford mean/variance, exact min/max,
-/// and P² sketches for the median and 95th percentile. The streaming
-/// counterpart of the batch [`Summary`].
+/// Amortized-O(1)-per-observation summary: Welford mean/variance, exact
+/// min/max, and a mergeable [`TDigest`] for the median and 95th
+/// percentile. The streaming — and shardable — counterpart of the batch
+/// [`Summary`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamingSummary {
     welford: Welford,
     min: f64,
     max: f64,
-    median: P2Quantile,
-    p95: P2Quantile,
+    digest: TDigest,
 }
 
 impl Default for StreamingSummary {
@@ -181,8 +185,7 @@ impl StreamingSummary {
             welford: Welford::new(),
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
-            median: P2Quantile::new(0.5),
-            p95: P2Quantile::new(0.95),
+            digest: TDigest::new(),
         }
     }
 
@@ -191,8 +194,18 @@ impl StreamingSummary {
         self.welford.push(x);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
-        self.median.push(x);
-        self.p95.push(x);
+        self.digest.push(x);
+    }
+
+    /// Absorb another summary: the result describes the union of both
+    /// streams. Moments merge exactly (Chan's parallel Welford formula),
+    /// min/max/count exactly, quantiles within the digest's documented
+    /// tolerance (see [`crate::tdigest`]).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        self.welford.merge(&other.welford);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.digest.merge(&other.digest);
     }
 
     /// Number of observations.
@@ -210,8 +223,39 @@ impl StreamingSummary {
         self.welford.variance()
     }
 
-    /// Freeze into the batch [`Summary`] shape (median/p95 are the sketch
-    /// estimates — exact below six observations, approximate after).
+    /// Exact minimum observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact maximum observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The moment accumulator (for serialization).
+    pub fn welford(&self) -> &Welford {
+        &self.welford
+    }
+
+    /// The quantile sketch (for serialization; mutable so callers can
+    /// [`TDigest::compress`] before reading centroids).
+    pub fn digest_mut(&mut self) -> &mut TDigest {
+        &mut self.digest
+    }
+
+    /// Rebuild a summary from serialized parts.
+    pub fn from_parts(welford: Welford, min: f64, max: f64, digest: TDigest) -> Self {
+        Self {
+            welford,
+            min,
+            max,
+            digest,
+        }
+    }
+
+    /// Freeze into the batch [`Summary`] shape (median/p95 are digest
+    /// estimates within the documented tolerance; everything else exact).
     /// Panics when empty.
     pub fn to_summary(&self) -> Summary {
         assert!(self.count() > 0, "cannot summarize an empty stream");
@@ -222,8 +266,8 @@ impl StreamingSummary {
             std_dev: self.welford.variance().sqrt(),
             min: self.min,
             max: self.max,
-            median: self.median.estimate(),
-            p95: self.p95.estimate(),
+            median: self.digest.quantile(0.5),
+            p95: self.digest.quantile(0.95),
         }
     }
 }
@@ -321,6 +365,51 @@ mod tests {
         // Sketched percentiles within 2% on a uniform stream.
         assert!((out.median - percentile(&xs, 50.0)).abs() < 0.02);
         assert!((out.p95 - percentile(&xs, 95.0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn sharded_summary_merge_matches_single_stream() {
+        let xs = stream(13, 5_000);
+        let mut single = StreamingSummary::new();
+        xs.iter().for_each(|&x| single.push(x));
+        let mut merged = StreamingSummary::new();
+        for shard in 0..4 {
+            let mut part = StreamingSummary::new();
+            xs.iter()
+                .enumerate()
+                .filter(|(i, _)| i % 4 == shard)
+                .for_each(|(_, &x)| part.push(x));
+            merged.merge(&part);
+        }
+        let (a, b) = (merged.to_summary(), single.to_summary());
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        // Chan-merged moments agree with sequential Welford to fp noise.
+        assert!((a.mean - b.mean).abs() < 1e-12);
+        assert!((a.variance - b.variance).abs() < 1e-12);
+        // Quantiles within the digest's documented tolerance of exact.
+        for (m, p) in [(a.median, 50.0), (a.p95, 95.0)] {
+            let exact = percentile(&xs, p);
+            assert!(
+                (m - exact).abs() <= (0.05 * exact).max(0.01 * (b.max - b.min)),
+                "p{p}: merged {m} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_empty_summaries_is_identity() {
+        let mut s = StreamingSummary::new();
+        s.push(1.0);
+        s.push(2.0);
+        s.merge(&StreamingSummary::new());
+        assert_eq!(s.count(), 2);
+        let mut empty = StreamingSummary::new();
+        empty.merge(&s);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.min(), 1.0);
+        assert_eq!(empty.max(), 2.0);
     }
 
     #[test]

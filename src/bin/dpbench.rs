@@ -7,25 +7,42 @@
 //! dpbench run --dataset MEDCOST --algorithms IDENTITY,DAWA \
 //!             --scale 100000 --eps 0.1 --trials 5 [--domain 1024]
 //!             [--workload prefix|identity|random:2000] [--loss l1|l2]
-//!             [--threads N] [--verbose 1] [--csv out.csv]
-//!             [--out run.jsonl] [--resume 1] [--shard i/k]
-//!             [--max-units N] [--data-cache-mb MB]
+//!             [--threads N] [--verbose] [--csv out.csv]
+//!             [--out run.jsonl] [--resume] [--shard i/k]
+//!             [--agg summary.jsonl] [--max-units N] [--fail-after N]
+//!             [--data-cache-mb MB]
+//! dpbench fleet --procs k --out run.jsonl <run flags...>
+//!               [--retries N] [--kill-shard i:N] [--agg summary.jsonl]
 //! dpbench merge --out merged.jsonl shard0.jsonl shard1.jsonl ...
 //! ```
 //!
 //! The streaming flags address the grid as a manifest of content-hashed
 //! units: `--out` streams every sample (and a completed-unit ledger) to
 //! an append-only JSONL file, `--shard i/k` runs the i-th of k disjoint
-//! unit slices, `--resume 1` continues an interrupted run from its
-//! ledger, and `merge` interleaves shard/partial files back into the
-//! canonical byte stream a single uninterrupted process would have
-//! written.
+//! unit slices, `--resume` continues an interrupted run from its ledger,
+//! and `merge` interleaves shard/partial files back into the canonical
+//! byte stream a single uninterrupted process would have written.
+//!
+//! `fleet` is the one-command driver over all of that: it spawns `k`
+//! shard processes, monitors them, retries/resumes any shard that dies
+//! (`--kill-shard i:N` is a built-in crash drill that kills shard `i`'s
+//! first attempt after `N` units), and stream-merges the shard ledgers
+//! into `--out` — byte-identical to a single-process run. With `--agg`,
+//! each shard also ships a mergeable t-digest summary and the fleet
+//! combines them without re-reading raw samples.
 
-use dpbench::harness::sink::{self, JsonlSink, MemorySink, ResultSink, Tee};
+use dpbench::harness::fleet::{self, FleetOptions, ShardLauncher};
+use dpbench::harness::sink::{self, AggregatingSink, JsonlSink, MemorySink, ResultSink, Tee};
+use dpbench::harness::{config, RunManifest};
 use dpbench::prelude::*;
 use dpbench_core::Loss;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Exit code of a `--fail-after` simulated crash (distinct from 1 so a
+/// drill is distinguishable from an ordinary CLI error).
+const SIMULATED_CRASH_EXIT: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,15 +51,21 @@ fn main() -> ExitCode {
         Some("list-algorithms") => list_algorithms(),
         Some("shapes") => shapes(),
         Some("run") => return run(&args[1..]),
+        Some("fleet") => return run_fleet_cmd(&args[1..]),
         Some("merge") => return merge(&args[1..]),
         _ => {
-            eprintln!("usage: dpbench <list-datasets|list-algorithms|shapes|run|merge> [options]");
+            eprintln!(
+                "usage: dpbench <list-datasets|list-algorithms|shapes|run|fleet|merge> [options]"
+            );
             eprintln!("run options: --dataset NAME --algorithms A,B --scale N");
             eprintln!("             [--domain N|RxC] [--eps E] [--trials T]");
             eprintln!("             [--samples S] [--workload prefix|identity|random:N]");
-            eprintln!("             [--loss l1|l2] [--threads N] [--verbose 1]");
-            eprintln!("             [--csv FILE] [--out FILE.jsonl] [--resume 1]");
-            eprintln!("             [--shard i/k] [--max-units N] [--data-cache-mb MB]");
+            eprintln!("             [--loss l1|l2] [--threads N] [--verbose]");
+            eprintln!("             [--csv FILE] [--out FILE.jsonl] [--resume]");
+            eprintln!("             [--shard i/k] [--agg FILE.jsonl] [--max-units N]");
+            eprintln!("             [--fail-after N] [--data-cache-mb MB]");
+            eprintln!("fleet: --procs K --out FILE.jsonl <run flags...>");
+            eprintln!("       [--retries N] [--kill-shard i:N] [--agg FILE.jsonl]");
             eprintln!("merge: --out MERGED.jsonl IN1.jsonl IN2.jsonl ...");
             return ExitCode::FAILURE;
         }
@@ -51,7 +74,8 @@ fn main() -> ExitCode {
 }
 
 /// `dpbench merge --out OUT IN...`: interleave shard / partial JSONL
-/// files into canonical manifest order.
+/// files into canonical manifest order (streaming k-way merge — inputs
+/// are never loaded whole).
 fn merge(args: &[String]) -> ExitCode {
     let mut out = None;
     let mut inputs = Vec::new();
@@ -79,8 +103,6 @@ fn merge(args: &[String]) -> ExitCode {
         eprintln!("error: merge requires at least one input file");
         return ExitCode::FAILURE;
     }
-    // Stream straight to the output file; merge_jsonl holds the unit
-    // table in memory but the rendered bytes never are.
     let result = std::fs::File::create(&out)
         .map_err(|e| std::io::Error::new(e.kind(), format!("creating {out}: {e}")))
         .and_then(|f| {
@@ -157,6 +179,10 @@ fn shapes() {
     println!("\n* entropy normalized by ln(n); 1.0 = uniform shape");
 }
 
+/// Flags that may appear bare (`--resume`) or with an explicit value
+/// (`--resume 1`).
+const BOOL_FLAGS: &[&str] = &["resume", "verbose"];
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -164,39 +190,45 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
-        let val = args
-            .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let next = args.get(i + 1);
+        if BOOL_FLAGS.contains(&key) && next.is_none_or(|v| v.starts_with("--")) {
+            // Bare boolean flag.
+            flags.insert(key.to_string(), "1".to_string());
+            i += 1;
+            continue;
+        }
+        let val = next.ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), val.clone());
         i += 2;
     }
     Ok(flags)
 }
 
-fn run(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let Some(dataset_name) = flags.get("dataset") else {
-        eprintln!("error: --dataset is required (see `dpbench list-datasets`)");
-        return ExitCode::FAILURE;
-    };
-    let Some(dataset) = dpbench::datasets::catalog::by_name(dataset_name) else {
-        eprintln!("error: unknown dataset {dataset_name}");
-        return ExitCode::FAILURE;
-    };
+/// The grid definition plus runner knobs shared by `run` and `fleet`.
+struct RunSpec {
+    config: ExperimentConfig,
+    threads: Option<usize>,
+    verbose: bool,
+    data_cache_mb: Option<usize>,
+}
+
+/// Build an [`ExperimentConfig`] (and shared runner knobs) from parsed
+/// flags — the common front half of `run` and `fleet`.
+fn build_spec(flags: &HashMap<String, String>) -> Result<RunSpec, String> {
+    let dataset_name = flags
+        .get("dataset")
+        .ok_or("--dataset is required (see `dpbench list-datasets`)")?;
+    let dataset = dpbench::datasets::catalog::by_name(dataset_name)
+        .ok_or_else(|| format!("unknown dataset {dataset_name}"))?;
     let algorithms: Vec<String> = flags
         .get("algorithms")
         .map(|s| s.split(',').map(str::to_string).collect())
         .unwrap_or_else(|| vec!["IDENTITY".into(), "DAWA".into()]);
     for a in &algorithms {
         if mechanism_by_name(a).is_none() {
-            eprintln!("error: unknown algorithm {a} (see `dpbench list-algorithms`)");
-            return ExitCode::FAILURE;
+            return Err(format!(
+                "unknown algorithm {a} (see `dpbench list-algorithms`)"
+            ));
         }
     }
     let scale: u64 = flags
@@ -204,13 +236,8 @@ fn run(args: &[String]) -> ExitCode {
         .and_then(|s| s.parse().ok())
         .unwrap_or(100_000);
     let domain = match flags.get("domain") {
-        Some(s) => match dpbench::harness::results::parse_domain(s) {
-            Some(d) => d,
-            None => {
-                eprintln!("error: bad --domain {s} (use N or RxC)");
-                return ExitCode::FAILURE;
-            }
-        },
+        Some(s) => dpbench::harness::results::parse_domain(s)
+            .ok_or_else(|| format!("bad --domain {s} (use N or RxC)"))?,
         None => dataset.base_domain,
     };
     let epsilon: f64 = flags.get("eps").and_then(|s| s.parse().ok()).unwrap_or(0.1);
@@ -232,39 +259,64 @@ fn run(args: &[String]) -> ExitCode {
         }
         Some("prefix") => WorkloadSpec::Prefix,
         Some("identity") => WorkloadSpec::Identity,
-        Some(s) if s.starts_with("random:") => match s["random:".len()..].parse() {
-            Ok(n) => WorkloadSpec::RandomRanges(n),
-            Err(_) => {
-                eprintln!("error: bad workload {s}");
-                return ExitCode::FAILURE;
-            }
-        },
-        Some(s) => {
-            eprintln!("error: unknown workload {s}");
-            return ExitCode::FAILURE;
-        }
+        Some(s) if s.starts_with("random:") => WorkloadSpec::RandomRanges(
+            s["random:".len()..]
+                .parse()
+                .map_err(|_| format!("bad workload {s}"))?,
+        ),
+        Some(s) => return Err(format!("unknown workload {s}")),
     };
     let loss = match flags.get("loss").map(String::as_str) {
         None | Some("l2") => Loss::L2,
         Some("l1") => Loss::L1,
-        Some(s) => {
-            eprintln!("error: unknown loss {s} (use l1 or l2)");
-            return ExitCode::FAILURE;
-        }
+        Some(s) => return Err(format!("unknown loss {s} (use l1 or l2)")),
     };
     let threads: Option<usize> = match flags.get("threads") {
         None => None,
         Some(s) => match s.parse() {
             Ok(n) if n >= 1 => Some(n),
-            _ => {
-                eprintln!("error: --threads needs a positive integer, got {s}");
-                return ExitCode::FAILURE;
-            }
+            _ => return Err(format!("--threads needs a positive integer, got {s}")),
         },
     };
-    let verbose = flags.get("verbose").map(|v| v == "1").unwrap_or(false);
+    let config = ExperimentConfig {
+        datasets: vec![dataset],
+        scales: vec![scale],
+        domains: vec![domain],
+        epsilons: vec![epsilon],
+        algorithms,
+        n_samples: samples,
+        n_trials: trials,
+        workload,
+        loss,
+    };
+    config.validate()?;
+    Ok(RunSpec {
+        config,
+        threads,
+        verbose: flags.get("verbose").map(|v| v == "1").unwrap_or(false),
+        data_cache_mb: flags.get("data-cache-mb").and_then(|s| s.parse().ok()),
+    })
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match build_spec(&flags) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verbose = spec.verbose;
     let resume = flags.get("resume").map(|v| v == "1").unwrap_or(false);
     let out = flags.get("out").cloned();
+    let agg_out = flags.get("agg").cloned();
     let shard: Option<(usize, usize)> = match flags.get("shard") {
         None => None,
         Some(s) => match s.split_once('/').and_then(|(i, k)| {
@@ -289,30 +341,30 @@ fn run(args: &[String]) -> ExitCode {
             }
         },
     };
-    let data_cache_mb: Option<usize> = flags.get("data-cache-mb").and_then(|s| s.parse().ok());
+    // --fail-after N: run N units cleanly, then exit like a crash (for
+    // resume/fleet drills). Implies the --max-units cutoff.
+    let fail_after: Option<usize> = match flags.get("fail-after") {
+        None => None,
+        Some(s) => match s.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: bad --fail-after {s}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     if resume && out.is_none() {
-        eprintln!("error: --resume 1 needs --out FILE (the ledger to continue)");
+        eprintln!("error: --resume needs --out FILE (the ledger to continue)");
         return ExitCode::FAILURE;
     }
 
-    let config = ExperimentConfig {
-        datasets: vec![dataset],
-        scales: vec![scale],
-        domains: vec![domain],
-        epsilons: vec![epsilon],
-        algorithms,
-        n_samples: samples,
-        n_trials: trials,
-        workload,
-        loss,
-    };
-    let mut runner = Runner::new(config);
-    if let Some(n) = threads {
+    let mut runner = Runner::new(spec.config);
+    if let Some(n) = spec.threads {
         runner.threads = n;
     }
     runner.verbose = verbose;
-    runner.max_units = max_units;
-    if let Some(mb) = data_cache_mb {
+    runner.max_units = fail_after.or(max_units);
+    if let Some(mb) = spec.data_cache_mb {
         runner.data_cache_bytes = mb << 20;
     }
 
@@ -330,10 +382,12 @@ fn run(args: &[String]) -> ExitCode {
             .unwrap_or_default()
     );
 
-    // Execute: results stream to a memory sink for the summary table, and
-    // (with --out) to an append-only JSONL ledger. A resumed run appends
-    // only the missing units and reads the summary back from the ledger.
+    // Execute: results stream to a memory sink for the summary table, to
+    // an append-only JSONL ledger (--out), and to a mergeable t-digest
+    // aggregation (--agg). A resumed run appends only the missing units
+    // and reads summaries back from the ledger.
     let mut memory = MemorySink::new();
+    let mut agg = AggregatingSink::new();
     let stats = if resume {
         let path = out.as_deref().expect("checked above");
         let ledger = match sink::read_ledger(path) {
@@ -345,6 +399,17 @@ fn run(args: &[String]) -> ExitCode {
         };
         if ledger.fingerprint != manifest.fingerprint {
             eprintln!("error: ledger {path} belongs to a different run configuration");
+            match &ledger.cfg {
+                Some(cfg) => {
+                    for line in config::summary_diff(cfg, &manifest.config_summary) {
+                        eprintln!("  {line}");
+                    }
+                }
+                None => eprintln!(
+                    "  (ledger predates recorded config summaries; \
+                     cannot name the diverging field)"
+                ),
+            }
             return ExitCode::FAILURE;
         }
         let mut jsonl = match JsonlSink::append(path) {
@@ -363,10 +428,15 @@ fn run(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let mut tee = Tee::new(vec![&mut memory as &mut dyn ResultSink, &mut jsonl]);
+        let mut tee = Tee::new(vec![
+            &mut memory as &mut dyn ResultSink,
+            &mut jsonl,
+            &mut agg,
+        ]);
         runner.run_with_sink(&manifest, &mut tee)
     } else {
-        runner.run_with_sink(&manifest, &mut memory)
+        let mut tee = Tee::new(vec![&mut memory as &mut dyn ResultSink, &mut agg]);
+        runner.run_with_sink(&manifest, &mut tee)
     };
     let stats = match stats {
         Ok(s) => s,
@@ -375,6 +445,14 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(n) = fail_after {
+        eprintln!(
+            "simulated crash: stopped after {} unit(s) (--fail-after {n}); \
+             resume with --resume",
+            stats.units
+        );
+        return ExitCode::from(SIMULATED_CRASH_EXIT);
+    }
     if stats.skipped > 0 {
         println!(
             "resumed: {} units already in ledger, {} run now",
@@ -407,6 +485,25 @@ fn run(args: &[String]) -> ExitCode {
         );
     }
 
+    // The mergeable per-shard summary: streamed directly on a fresh run,
+    // rebuilt from the ledger (which holds the union of all phases)
+    // after a resume.
+    if let Some(agg_path) = agg_out.as_deref() {
+        let result = if resume {
+            sink::summary_from_ledger(out.as_deref().expect("checked above"))
+                .and_then(|mut rebuilt| rebuilt.write_summary_file(agg_path))
+        } else {
+            agg.write_summary_file(agg_path)
+        };
+        if let Err(e) = result {
+            eprintln!("error writing summary {agg_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if verbose {
+            println!("mergeable summary written to {agg_path}");
+        }
+    }
+
     // Summary table: from memory for a fresh run; from the ledger (which
     // holds the union of all phases) after a resume.
     let store = if resume {
@@ -436,6 +533,233 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("\nraw samples written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Spawns `dpbench run --shard i/k` children, teeing each child's stderr
+/// to `<ledger>.log` so k concurrent shards don't interleave on the
+/// parent's terminal.
+struct CliShardLauncher {
+    exe: PathBuf,
+    /// Shared `run` flags (everything but out/shard/resume/fail-after).
+    base_args: Vec<String>,
+    /// Crash drill: kill this shard's first attempt after N units.
+    kill_shard: Option<(usize, usize)>,
+    /// Request a mergeable summary (`--agg`) from every shard.
+    want_agg: bool,
+    /// The fleet's merged output path (shard paths derive from it).
+    out: PathBuf,
+}
+
+impl ShardLauncher for CliShardLauncher {
+    fn launch(
+        &self,
+        index: usize,
+        procs: usize,
+        ledger: &Path,
+        resume: bool,
+        attempt: usize,
+    ) -> std::io::Result<std::process::Child> {
+        let mut cmd = std::process::Command::new(&self.exe);
+        cmd.arg("run");
+        cmd.args(&self.base_args);
+        cmd.arg("--out").arg(ledger);
+        cmd.arg("--shard").arg(format!("{index}/{procs}"));
+        if resume {
+            cmd.arg("--resume");
+        }
+        if self.want_agg {
+            cmd.arg("--agg")
+                .arg(fleet::shard_summary_path(&self.out, index));
+        }
+        if let Some((victim, units)) = self.kill_shard {
+            if victim == index && attempt == 0 {
+                cmd.arg("--fail-after").arg(units.to_string());
+            }
+        }
+        // Append: the log keeps the whole attempt history of the shard.
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(ledger.with_extension("log"))?;
+        cmd.stdout(std::process::Stdio::null());
+        cmd.stderr(std::process::Stdio::from(log));
+        cmd.spawn()
+    }
+}
+
+/// `dpbench fleet`: expand the manifest once, spawn `--procs` shard
+/// children, retry/resume failures, and merge to `--out` byte-identically
+/// to a single-process run.
+fn run_fleet_cmd(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match build_spec(&flags) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(procs) = flags.get("procs").and_then(|s| s.parse::<usize>().ok()) else {
+        eprintln!("error: fleet requires --procs K (a positive integer)");
+        return ExitCode::FAILURE;
+    };
+    if procs == 0 {
+        eprintln!("error: --procs must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    let Some(out) = flags.get("out").cloned() else {
+        eprintln!("error: fleet requires --out FILE.jsonl (the merged output)");
+        return ExitCode::FAILURE;
+    };
+    let retries: usize = flags
+        .get("retries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let kill_shard: Option<(usize, usize)> = match flags.get("kill-shard") {
+        None => None,
+        Some(s) => match s
+            .split_once(':')
+            .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)))
+        {
+            Some((i, n)) if i < procs => Some((i, n)),
+            _ => {
+                eprintln!("error: bad --kill-shard {s} (use i:N with i < procs)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let agg_out = flags.get("agg").cloned();
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error locating dpbench binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Children share the grid flags; threads divide across the fleet
+    // (explicit --threads T means T total, like a single-process run).
+    let total_threads = spec.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let child_threads = (total_threads / procs).max(1);
+    let mut base_args: Vec<String> = Vec::new();
+    for key in [
+        "dataset",
+        "algorithms",
+        "scale",
+        "domain",
+        "eps",
+        "trials",
+        "samples",
+        "workload",
+        "loss",
+        "data-cache-mb",
+    ] {
+        if let Some(v) = flags.get(key) {
+            base_args.push(format!("--{key}"));
+            base_args.push(v.clone());
+        }
+    }
+    base_args.push("--threads".into());
+    base_args.push(child_threads.to_string());
+
+    let manifest = RunManifest::from_config(&spec.config);
+    println!(
+        "fleet: {} units across {procs} process(es) ({} trials each, {} thread(s)/shard)...",
+        manifest.len(),
+        manifest.n_trials,
+        child_threads
+    );
+    let launcher = CliShardLauncher {
+        exe,
+        base_args,
+        kill_shard,
+        want_agg: agg_out.is_some(),
+        out: PathBuf::from(&out),
+    };
+    let opts = FleetOptions {
+        procs,
+        max_attempts: retries + 1,
+        verbose: spec.verbose,
+    };
+    let report = match fleet::run_fleet(&manifest, &launcher, Path::new(&out), &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for s in &report.shards {
+        println!(
+            "  shard {}: {} units, {} launch(es){}",
+            s.index,
+            s.units,
+            s.attempts,
+            if s.resumed { ", resumed" } else { "" }
+        );
+    }
+    println!("merged {} units into {out}", report.merged_units);
+
+    // Cross-shard aggregation: merge the shards' t-digest summaries —
+    // no raw sample ever crosses a shard boundary. A shard that was
+    // already complete before this fleet ran may lack a summary file;
+    // rebuild it locally from its ledger.
+    if let Some(agg_path) = agg_out {
+        let mut shard_summaries: Vec<PathBuf> = Vec::with_capacity(procs);
+        for i in 0..procs {
+            let summary = fleet::shard_summary_path(Path::new(&out), i);
+            let expected = manifest.shard(i, procs).len() as u64 * manifest.n_trials as u64;
+            let fresh = sink::read_summary(&summary)
+                .ok()
+                .is_some_and(|s| s.samples_seen() == expected);
+            if !fresh {
+                let ledger = fleet::shard_ledger_path(Path::new(&out), i);
+                let rebuilt = sink::summary_from_ledger(&ledger)
+                    .and_then(|mut s| s.write_summary_file(&summary));
+                if let Err(e) = rebuilt {
+                    eprintln!("error rebuilding shard {i} summary: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            shard_summaries.push(summary);
+        }
+        let mut merged = match sink::merge_summary_files(&shard_summaries) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error merging shard summaries: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if merged.fingerprint() != Some(manifest.fingerprint) {
+            eprintln!("error: merged summary fingerprint does not match this fleet's run");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = merged.write_summary_file(&agg_path) {
+            eprintln!("error writing {agg_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("merged t-digest summary written to {agg_path}");
+        println!(
+            "\n{:<11} {:>13} {:>13} {:>13}",
+            "algorithm", "mean err", "p95 err", "std dev"
+        );
+        for (alg, _setting, summary) in merged.summaries() {
+            println!(
+                "{:<11} {:>13.4e} {:>13.4e} {:>13.4e}",
+                alg, summary.mean, summary.p95, summary.std_dev
+            );
+        }
     }
     ExitCode::SUCCESS
 }

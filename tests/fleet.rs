@@ -1,0 +1,267 @@
+//! Fleet end-to-end tests: drive the real `dpbench` binary the way an
+//! operator would and pin the acceptance criteria — `dpbench fleet
+//! --procs k` produces bytes identical to a one-shot single-process run,
+//! including after a shard is killed mid-run and retried, and the
+//! cross-shard t-digest summaries merge without touching raw samples.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const DPBENCH: &str = env!("CARGO_BIN_EXE_dpbench");
+
+/// The tiny grid every test runs (6 units, 3 trials each).
+const GRID: &[&str] = &[
+    "--dataset",
+    "MEDCOST",
+    "--algorithms",
+    "IDENTITY,DAWA,UNIFORM",
+    "--scale",
+    "10000",
+    "--domain",
+    "256",
+    "--trials",
+    "3",
+    "--samples",
+    "2",
+    "--threads",
+    "2",
+];
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dpbench-fleet-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn dpbench(args: &[&str]) -> std::process::Output {
+    Command::new(DPBENCH)
+        .args(args)
+        .output()
+        .expect("spawn dpbench")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = dpbench(args);
+    assert!(
+        out.status.success(),
+        "dpbench {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// One-shot single-process reference ledger for the shared grid.
+fn reference_ledger(dir: &std::path::Path) -> PathBuf {
+    let reference = dir.join("ref.jsonl");
+    let mut args = vec!["run"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", reference.to_str().unwrap()]);
+    run_ok(&args);
+    reference
+}
+
+#[test]
+fn fleet_output_is_byte_identical_to_one_shot_run() {
+    let dir = tmp_dir("basic");
+    let reference = reference_ledger(&dir);
+    let merged = dir.join("fleet.jsonl");
+    let mut args = vec!["fleet", "--procs", "2"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", merged.to_str().unwrap()]);
+    let stdout = run_ok(&args);
+    assert!(stdout.contains("merged 6 units"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&merged).unwrap(),
+        "fleet output differs from the one-shot run"
+    );
+    // Re-running the fleet over complete shard ledgers is a cheap no-op
+    // (zero launches) and reproduces the same bytes.
+    let stdout = run_ok(&args);
+    assert!(stdout.contains("0 launch(es)"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&merged).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_shard_is_resumed_and_fleet_bytes_still_match() {
+    let dir = tmp_dir("kill");
+    let reference = reference_ledger(&dir);
+    let merged = dir.join("fleet.jsonl");
+    // Crash drill: shard 1's first attempt dies (exit 3) after 1 unit;
+    // the fleet must relaunch it with --resume and still converge.
+    let mut args = vec!["fleet", "--procs", "2", "--kill-shard", "1:1"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", merged.to_str().unwrap()]);
+    let stdout = run_ok(&args);
+    assert!(
+        stdout.contains("2 launch(es), resumed"),
+        "expected shard 1 to be retried with resume:\n{stdout}"
+    );
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&merged).unwrap(),
+        "fleet output after a killed shard differs from the one-shot run"
+    );
+    // The victim's shard ledger shows both phases, and its log recorded
+    // the simulated crash.
+    let log = std::fs::read_to_string(dir.join("fleet.shard1.log")).unwrap();
+    assert!(log.contains("simulated crash"), "{log}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_without_retries_surfaces_the_failed_shard() {
+    let dir = tmp_dir("noretry");
+    let merged = dir.join("fleet.jsonl");
+    let mut args = vec![
+        "fleet",
+        "--procs",
+        "2",
+        "--kill-shard",
+        "0:1",
+        "--retries",
+        "0",
+    ];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", merged.to_str().unwrap()]);
+    let out = dpbench(&args);
+    assert!(!out.status.success(), "fleet must fail with zero retries");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("shard 0 did not complete"),
+        "unexpected stderr: {stderr}"
+    );
+    // The partial shard ledger survives for a later fleet to resume.
+    assert!(dir.join("fleet.shard0.jsonl").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_merges_shard_summaries_into_union_statistics() {
+    let dir = tmp_dir("agg");
+    // Single-process reference summary (streamed, no sharding).
+    let ref_agg = dir.join("ref.agg.jsonl");
+    let mut args = vec!["run"];
+    args.extend_from_slice(GRID);
+    let ref_out = dir.join("ref.jsonl");
+    args.extend_from_slice(&[
+        "--out",
+        ref_out.to_str().unwrap(),
+        "--agg",
+        ref_agg.to_str().unwrap(),
+    ]);
+    run_ok(&args);
+
+    let merged = dir.join("fleet.jsonl");
+    let fleet_agg = dir.join("fleet.agg.jsonl");
+    let mut args = vec!["fleet", "--procs", "2", "--kill-shard", "0:1"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&[
+        "--out",
+        merged.to_str().unwrap(),
+        "--agg",
+        fleet_agg.to_str().unwrap(),
+    ]);
+    let stdout = run_ok(&args);
+    assert!(stdout.contains("merged t-digest summary"), "{stdout}");
+
+    // Compare the merged sketch against the single-stream one: exact
+    // moments must agree to fp noise; quantiles within the documented
+    // digest tolerance.
+    let single = dpbench::harness::sink::read_summary(&ref_agg).unwrap();
+    let fleet = dpbench::harness::sink::read_summary(&fleet_agg).unwrap();
+    assert_eq!(single.samples_seen(), fleet.samples_seen());
+    let single_sums = single.summaries();
+    let fleet_sums = fleet.summaries();
+    assert_eq!(single_sums.len(), fleet_sums.len());
+    for ((alg_a, _, a), (alg_b, _, b)) in single_sums.iter().zip(&fleet_sums) {
+        assert_eq!(alg_a, alg_b);
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        assert!((a.mean - b.mean).abs() <= 1e-12 * a.mean.abs().max(1.0));
+        assert!(
+            (a.p95 - b.p95).abs() <= (0.05 * a.p95.abs()).max(0.01 * (a.max - a.min)),
+            "{alg_a}: single p95 {} vs fleet p95 {}",
+            a.p95,
+            b.p95
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bare_boolean_flags_are_accepted() {
+    let dir = tmp_dir("bareflags");
+    let ledger = dir.join("run.jsonl");
+    // --verbose without a value, trailed by another flag.
+    let mut args = vec!["run", "--verbose"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", ledger.to_str().unwrap(), "--max-units", "2"]);
+    let stdout = run_ok(&args);
+    assert!(stdout.contains("plan cache"), "--verbose ignored: {stdout}");
+    // Bare --resume finishes the run; --resume 1 (the old spelling) then
+    // no-ops over the complete ledger.
+    let mut args = vec!["run"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", ledger.to_str().unwrap(), "--resume"]);
+    run_ok(&args);
+    let mut args = vec!["run"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", ledger.to_str().unwrap(), "--resume", "1"]);
+    let stdout = run_ok(&args);
+    assert!(
+        stdout.contains("6 units already in ledger, 0 run now"),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_mismatch_names_the_diverging_config_field() {
+    let dir = tmp_dir("mismatch");
+    let ledger = dir.join("run.jsonl");
+    let mut args = vec!["run"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", ledger.to_str().unwrap()]);
+    run_ok(&args);
+    // Same ledger, different scale and eps: the error must say which
+    // fields moved, not just "fingerprint mismatch".
+    let mut args = vec![
+        "run",
+        "--dataset",
+        "MEDCOST",
+        "--algorithms",
+        "IDENTITY,DAWA,UNIFORM",
+        "--scale",
+        "99000",
+        "--domain",
+        "256",
+        "--trials",
+        "3",
+        "--samples",
+        "2",
+        "--eps",
+        "0.5",
+    ];
+    args.extend_from_slice(&["--out", ledger.to_str().unwrap(), "--resume"]);
+    let out = dpbench(&args);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("scales: ledger=10000 current=99000"),
+        "missing scale diff: {stderr}"
+    );
+    assert!(
+        stderr.contains("eps: ledger=0.1 current=0.5"),
+        "missing eps diff: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -386,6 +386,322 @@ fn resume_with_complete_ledger_runs_nothing() {
 }
 
 #[test]
+fn mid_file_corruption_is_a_hard_error_with_line_number() {
+    // The old readers skipped any unrecognized line anywhere, which made
+    // real corruption indistinguishable from a torn tail. Now: garbage
+    // followed by valid records must fail loudly, naming the line.
+    let path = tmp("midfile");
+    let _ = std::fs::remove_file(&path);
+    let runner = Runner::new(tiny_config());
+    let manifest = runner.manifest();
+    let mut jsonl = JsonlSink::create(&path).unwrap();
+    runner.run_with_sink(&manifest, &mut jsonl).unwrap();
+    drop(jsonl);
+
+    let clean = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = clean.lines().collect();
+    let corrupted_line_no = 3; // 1-based; mid-file, well before EOF
+    lines[corrupted_line_no - 1] = "x9 GARBAGE {not json";
+    let dirty = lines.join("\n") + "\n";
+    std::fs::write(&path, &dirty).unwrap();
+
+    for result in [
+        sink::read_ledger(&path).map(|_| ()),
+        sink::read_samples(&path).map(|_| ()),
+        sink::read_store(&path).map(|_| ()),
+    ] {
+        let err = result.expect_err("mid-file corruption must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("line {corrupted_line_no}")),
+            "error must carry the line number: {msg}"
+        );
+        assert!(msg.contains("corruption"), "{msg}");
+    }
+    // merge refuses the file too.
+    let mut out = Vec::new();
+    assert!(sink::merge_jsonl(&[&path], &mut out).is_err());
+
+    // A half-overwritten *sample* record (valid tag, broken payload) is
+    // equally fatal mid-file.
+    let mut lines: Vec<&str> = clean.lines().collect();
+    let doctored = lines[1].split("\"err\":").next().unwrap().to_string();
+    lines[1] = &doctored;
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    let err = sink::read_ledger(&path).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_tail_is_truncated_on_append_and_file_stays_valid() {
+    // After a resume, the once-torn tail must not linger as mid-file
+    // garbage (which the strict readers would reject): append() truncates
+    // it before writing anything.
+    let path = tmp("tail-truncate");
+    let _ = std::fs::remove_file(&path);
+    let mut first = Runner::new(tiny_config());
+    first.max_units = Some(3);
+    let manifest = first.manifest();
+    let mut jsonl = JsonlSink::create(&path).unwrap();
+    first.run_with_sink(&manifest, &mut jsonl).unwrap();
+    drop(jsonl);
+    let clean_len = std::fs::metadata(&path).unwrap().len();
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    write!(f, "{{\"t\":\"u\",\"unit\":\"00ff00ff").unwrap();
+    drop(f);
+
+    // Readers tolerate the torn tail (it is the final content) …
+    assert_eq!(sink::read_ledger(&path).unwrap().done.len(), 3);
+    // … and append() removes it entirely.
+    drop(JsonlSink::append(&path).unwrap());
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+    let done = sink::read_ledger(&path).unwrap().done;
+    let mut rest = JsonlSink::append(&path).unwrap();
+    Runner::new(tiny_config())
+        .resume(&manifest, &done, &mut rest)
+        .unwrap();
+    drop(rest);
+    // The healed, resumed file is valid end to end.
+    assert_eq!(
+        sink::read_store(&path).unwrap().samples().len(),
+        manifest.len() * 3
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_numeric_tail_that_still_parses_is_treated_as_torn() {
+    // A tear can truncate a trailing number into a *shorter valid
+    // number* (`"pos":15}` → `"pos":1`). Field-level parsing alone would
+    // accept that and record the marker at the wrong position; the
+    // structural end-with-`}` check must classify it as torn instead,
+    // so the unit re-runs and the run stays recoverable.
+    let ref_path = tmp("numtail-ref");
+    let path = tmp("numtail");
+    for p in [&ref_path, &path] {
+        let _ = std::fs::remove_file(p);
+    }
+    let runner = Runner::new(tiny_config());
+    let manifest = runner.manifest();
+    let mut reference = JsonlSink::create(&ref_path).unwrap();
+    runner.run_with_sink(&manifest, &mut reference).unwrap();
+    drop(reference);
+
+    let mut first = Runner::new(tiny_config());
+    first.max_units = Some(4);
+    let mut jsonl = JsonlSink::create(&path).unwrap();
+    first.run_with_sink(&manifest, &mut jsonl).unwrap();
+    drop(jsonl);
+    // Tear the final completion marker just before its closing `}`: the
+    // remaining `"pos":N` digits still parse as a number.
+    let content = std::fs::read_to_string(&path).unwrap();
+    let torn = content.trim_end().strip_suffix('}').unwrap().to_string();
+    std::fs::write(&path, &torn).unwrap();
+
+    // The torn marker's unit must NOT count as done …
+    let ledger = sink::read_ledger(&path).unwrap();
+    assert_eq!(ledger.done.len(), 3, "torn marker counted as completed");
+    // … append truncates the fragment, resume re-runs the unit …
+    let mut rest = JsonlSink::append(&path).unwrap();
+    Runner::new(tiny_config())
+        .resume(&manifest, &ledger.done, &mut rest)
+        .unwrap();
+    drop(rest);
+    // … and readers + merge recover the exact reference results (the
+    // re-run unit's first-copy samples are deduplicated orphans).
+    assert_eq!(keyed(&sink::read_store(&path).unwrap()), {
+        let r = sink::read_store(&ref_path).unwrap();
+        keyed(&r)
+    });
+    let mut canonical = Vec::new();
+    sink::merge_jsonl(&[&path], &mut canonical).unwrap();
+    assert_eq!(canonical, std::fs::read(&ref_path).unwrap());
+    for p in [&ref_path, &path] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+#[test]
+fn merge_rejects_doctored_headers_and_samples() {
+    let path = tmp("doctor-base");
+    let _ = std::fs::remove_file(&path);
+    let runner = Runner::new(tiny_config());
+    let manifest = runner.manifest();
+    let mut jsonl = JsonlSink::create(&path).unwrap();
+    runner.run_with_sink(&manifest, &mut jsonl).unwrap();
+    drop(jsonl);
+    let clean = std::fs::read_to_string(&path).unwrap();
+
+    // Sanity: merging a file with itself is the identity (duplicate
+    // units agree, emitted once).
+    let mut out = Vec::new();
+    sink::merge_jsonl(&[&path, &path], &mut out).unwrap();
+    assert_eq!(out, clean.as_bytes());
+
+    // (a) A shard whose header claims a different n_trials is rejected
+    // even though the fingerprint matches.
+    let doctored_path = tmp("doctor-trials");
+    let doctored = clean.replacen("\"n_trials\":3", "\"n_trials\":4", 1);
+    std::fs::write(&doctored_path, &doctored).unwrap();
+    let mut out = Vec::new();
+    let err = sink::merge_jsonl(&[&path, &doctored_path], &mut out).unwrap_err();
+    assert!(err.to_string().contains("n_trials"), "{err}");
+
+    // (b) A duplicated unit whose sample disagrees on a (sample, trial)
+    // coordinate — same length, same error bits — is rejected. (The old
+    // check compared only lengths and error values and missed this.)
+    let coord_path = tmp("doctor-coord");
+    let target = clean
+        .lines()
+        .find(|l| l.contains("\"t\":\"s\"") && l.contains("\"trial\":1"))
+        .unwrap();
+    let moved = target.replace("\"trial\":1", "\"trial\":9");
+    std::fs::write(&coord_path, clean.replacen(target, &moved, 1)).unwrap();
+    let mut out = Vec::new();
+    let err = sink::merge_jsonl(&[&path, &coord_path], &mut out).unwrap_err();
+    assert!(err.to_string().contains("disagrees"), "{err}");
+
+    // (c) A doctored error value (coordinates intact) is still caught.
+    let value_path = tmp("doctor-value");
+    let tweaked = target.replace("\"err\":", "\"err\":1");
+    std::fs::write(&value_path, clean.replacen(target, &tweaked, 1)).unwrap();
+    let mut out = Vec::new();
+    let err = sink::merge_jsonl(&[&path, &value_path], &mut out).unwrap_err();
+    assert!(err.to_string().contains("disagrees"), "{err}");
+
+    for p in [&path, &doctored_path, &coord_path, &value_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn jsonl_sink_rejects_unrepresentable_identifiers() {
+    // Nothing used to enforce at write time that names survive the
+    // escape-free JSONL round-trip; now begin() fails fast.
+    let runner = Runner::new(tiny_config());
+    let mut manifest = runner.manifest();
+    manifest.units[0].algorithm = "DA\"WA".into();
+    let mut buf = Vec::new();
+    let mut sink_w = JsonlSink::from_writer(&mut buf);
+    let err = sink_w.begin(&manifest).unwrap_err();
+    assert!(err.to_string().contains("identifier"), "{err}");
+    let _ = sink_w;
+    assert!(buf.is_empty(), "no ledger byte may be written on rejection");
+
+    // The runner-level guard: a config with a ledger-breaking algorithm
+    // name fails validation before any unit runs.
+    let mut cfg = tiny_config();
+    cfg.algorithms = vec!["IDENT\"ITY".into()];
+    assert!(cfg.validate().is_err());
+}
+
+#[test]
+fn shard_summaries_roundtrip_and_merge_without_raw_samples() {
+    // Each shard aggregates through a mergeable StreamingSummary; the
+    // serialized sketches must round-trip exactly and merge into the
+    // statistics of the union stream.
+    let runner = Runner::new(tiny_config());
+    let manifest = runner.manifest();
+
+    // Reference: exact store + one-pass streaming aggregation.
+    let mut memory = MemorySink::new();
+    let mut single = AggregatingSink::new();
+    let mut tee = Tee::new(vec![&mut memory as &mut dyn ResultSink, &mut single]);
+    runner.run_with_sink(&manifest, &mut tee).unwrap();
+    drop(tee);
+    let store = memory.store();
+
+    // Shards: aggregate each independently, serialize, reload, merge.
+    let mut merged = AggregatingSink::new();
+    let mut paths = Vec::new();
+    for i in 0..3 {
+        let shard_runner = Runner::new(tiny_config());
+        let mut agg = AggregatingSink::new();
+        shard_runner
+            .run_with_sink(&manifest.shard(i, 3), &mut agg)
+            .unwrap();
+        let path = tmp(&format!("agg-shard-{i}"));
+        agg.write_summary_file(&path).unwrap();
+        // Round-trip exactness: rewriting the reloaded sink reproduces
+        // the file byte for byte.
+        let mut reloaded = sink::read_summary(&path).unwrap();
+        let mut rewritten = Vec::new();
+        reloaded.write_summary(&mut rewritten).unwrap();
+        assert_eq!(rewritten, std::fs::read(&path).unwrap());
+        merged.merge_from(&reloaded).unwrap();
+        paths.push(path);
+    }
+    assert_eq!(merged.samples_seen(), single.samples_seen());
+    for (alg, setting, summary) in merged.summaries() {
+        let exact = store.errors_for(&alg, &setting);
+        assert_eq!(summary.n, exact.len());
+        let exact_mean = dpbench::stats::mean(exact);
+        assert!(
+            (summary.mean - exact_mean).abs() <= 1e-12 * exact_mean.abs().max(1.0),
+            "{alg} {setting}: merged mean {} vs exact {exact_mean}",
+            summary.mean
+        );
+        let lo = exact.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = exact.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(summary.min, lo);
+        assert_eq!(summary.max, hi);
+        // Documented digest tolerance vs the exact percentile.
+        let exact_p95 = dpbench::stats::percentile(exact, 95.0);
+        assert!(
+            (summary.p95 - exact_p95).abs() <= (0.05 * exact_p95.abs()).max(0.01 * (hi - lo)),
+            "{alg} {setting}: merged p95 {} vs exact {exact_p95}",
+            summary.p95
+        );
+    }
+    // merge_summary_files is the one-call equivalent.
+    let merged2 = sink::merge_summary_files(&paths).unwrap();
+    assert_eq!(merged2.samples_seen(), merged.samples_seen());
+    // Cross-run merges are refused.
+    let mut other_cfg = tiny_config();
+    other_cfg.epsilons = vec![0.77];
+    let other = Runner::new(other_cfg);
+    let mut foreign = AggregatingSink::new();
+    other
+        .run_with_sink(&other.manifest(), &mut foreign)
+        .unwrap();
+    assert!(merged.merge_from(&foreign).is_err());
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn summary_from_ledger_matches_streamed_aggregation() {
+    // The resume path rebuilds a shard's summary from its ledger; on a
+    // clean ledger the rebuild must be bit-identical to the streamed
+    // aggregation (same push order: manifest position, then trial).
+    let path = tmp("agg-rebuild");
+    let _ = std::fs::remove_file(&path);
+    let runner = Runner::new(tiny_config());
+    let manifest = runner.manifest();
+    let mut jsonl = JsonlSink::create(&path).unwrap();
+    let mut agg = AggregatingSink::new();
+    let mut tee = Tee::new(vec![&mut jsonl as &mut dyn ResultSink, &mut agg]);
+    runner.run_with_sink(&manifest, &mut tee).unwrap();
+    drop(tee);
+    drop(jsonl);
+
+    let mut rebuilt = sink::summary_from_ledger(&path).unwrap();
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    agg.write_summary(&mut a).unwrap();
+    rebuilt.write_summary(&mut b).unwrap();
+    assert_eq!(a, b, "ledger rebuild diverged from streamed aggregation");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn manifest_addresses_are_stable_across_processes() {
     // UnitIds must be pure content hashes: re-expanding the same config
     // (as a resuming process does) reproduces them exactly.

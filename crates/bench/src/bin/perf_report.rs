@@ -273,7 +273,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"report\": \"perf_report\",\n  \"pr\": 4,\n  \"tiny\": {tiny},\n  \"timestamp_unix\": {timestamp},\n  \"threads\": {},\n  \"dawa_partition\": {{\n    \"n\": {n_partition},\n    \"naive_s\": {},\n    \"fast_s\": {},\n    \"speedup\": {}\n  }},\n  \"dawa_execute\": {{\n    \"n\": {n_partition},\n    \"now_s\": {},\n    \"est_pr1_s\": {},\n    \"est_speedup\": {}\n  }},\n  \"mechanisms\": {{\n    \"n\": {n_mech},\n    \"rows\": [\n{}\n    ]\n  }},\n  \"grid\": {{\n    \"domain_n\": {grid_n},\n    \"measurements\": {},\n    \"total_runs_configured\": {total_runs},\n    \"seconds\": {},\n    \"runs_per_sec\": {},\n    \"est_pr1_seconds\": {},\n    \"plan_cache_built\": {},\n    \"plan_cache_hit_rate\": {},\n    \"hier_pool_hit_rate\": {},\n    \"data_cache_hits\": {},\n    \"data_cache_misses\": {}\n  }},\n  \"sinks\": {{\n    \"memory_runs_per_sec\": {},\n    \"aggregating_runs_per_sec\": {},\n    \"jsonl_runs_per_sec\": {}\n  }}\n}}\n",
+        "{{\n  \"report\": \"perf_report\",\n  \"pr\": 5,\n  \"tiny\": {tiny},\n  \"timestamp_unix\": {timestamp},\n  \"threads\": {},\n  \"dawa_partition\": {{\n    \"n\": {n_partition},\n    \"naive_s\": {},\n    \"fast_s\": {},\n    \"speedup\": {}\n  }},\n  \"dawa_execute\": {{\n    \"n\": {n_partition},\n    \"now_s\": {},\n    \"est_pr1_s\": {},\n    \"est_speedup\": {}\n  }},\n  \"mechanisms\": {{\n    \"n\": {n_mech},\n    \"rows\": [\n{}\n    ]\n  }},\n  \"grid\": {{\n    \"domain_n\": {grid_n},\n    \"measurements\": {},\n    \"total_runs_configured\": {total_runs},\n    \"seconds\": {},\n    \"runs_per_sec\": {},\n    \"est_pr1_seconds\": {},\n    \"plan_cache_built\": {},\n    \"plan_cache_hit_rate\": {},\n    \"hier_pool_hit_rate\": {},\n    \"data_cache_hits\": {},\n    \"data_cache_misses\": {}\n  }},\n  \"sinks\": {{\n    \"memory_runs_per_sec\": {},\n    \"aggregating_runs_per_sec\": {},\n    \"jsonl_runs_per_sec\": {}\n  }}\n}}\n",
         runner.threads,
         json_f(naive_s),
         json_f(fast_s),

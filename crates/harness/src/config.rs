@@ -278,6 +278,20 @@ impl ExperimentConfig {
     }
 }
 
+/// Parse one CLI flag value strictly, naming the flag in the error.
+///
+/// The CLI's numeric flags used to fall back to their defaults on
+/// unparseable input (`--trials abc` silently ran 5 trials; `--retries
+/// x` silently retried twice), which turns an operator typo into a
+/// benchmark that *runs* but measures the wrong grid. Every flag value
+/// now goes through here: malformed input is an error, absence (handled
+/// by the caller) is the only way to get a default.
+pub fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad --{flag} value {value:?}"))
+}
+
 /// Compare two [`ExperimentConfig::summary`] strings field by field and
 /// name what diverged — the diagnostic a `--resume` fingerprint mismatch
 /// prints instead of a bare hash inequality. Unknown/missing fields are
@@ -388,6 +402,17 @@ mod tests {
         let err = cfg.validate().unwrap_err();
         assert!(err.contains("algorithm"), "{err}");
         assert!(err.contains("[A-Za-z0-9_*-]+"), "{err}");
+    }
+
+    #[test]
+    fn flag_values_parse_strictly() {
+        assert_eq!(parse_flag_value::<usize>("trials", "7"), Ok(7));
+        assert_eq!(parse_flag_value::<f64>("eps", "0.5"), Ok(0.5));
+        let err = parse_flag_value::<usize>("trials", "abc").unwrap_err();
+        assert!(err.contains("--trials"), "{err}");
+        assert!(err.contains("abc"), "{err}");
+        assert!(parse_flag_value::<u64>("scale", "-3").is_err());
+        assert!(parse_flag_value::<usize>("retries", "2x").is_err());
     }
 
     #[test]

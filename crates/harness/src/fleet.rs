@@ -1,483 +1,41 @@
-//! One-command shard fleets: spawn, monitor, retry, and merge.
+//! Shard fleets over pluggable transports: spawn, watch, copy back,
+//! retry, and merge.
 //!
-//! PR 3 made sharded runs *possible* — `dpbench run --shard i/k` writes a
-//! per-shard JSONL ledger whose union is bit-identical to a one-shot run —
-//! but operating a fleet meant k terminals, hand-watching exits, and a
-//! manual `merge`. This module is the driver that makes it one command:
+//! PR 3 made sharded runs *possible* (`dpbench run --shard i/k` writes a
+//! per-shard JSONL ledger whose union is bit-identical to a one-shot
+//! run); PR 4 added the one-command driver over k local child
+//! processes. This module generalizes the driver to **k shards over any
+//! transport**:
 //!
-//! 1. expand the manifest **once** and deal it into `k` round-robin
-//!    shards ([`RunManifest::shard`]);
-//! 2. spawn one child process per shard through a [`ShardLauncher`]
-//!    (the CLI launches `dpbench run --shard i/k --out <shard ledger>`);
-//! 3. wait for every child; a shard whose process failed **or** whose
-//!    ledger is missing completed units is relaunched with `--resume`,
-//!    continuing from its own ledger — up to
-//!    [`FleetOptions::max_attempts`] rounds;
-//! 4. once every shard ledger is complete, k-way stream-merge them into
-//!    the canonical output ([`merge_jsonl`]) and verify the merged
-//!    ledger covers the full manifest.
+//! * [`driver`] — the transport-agnostic conductor: round-robin shard
+//!   manifests, launch rounds with retry/resume, the copy-back protocol
+//!   (fetch → validate with the strict readers → re-dispatch on torn or
+//!   missing artifacts), stall detection, live progress, and the final
+//!   k-way stream-merge with coverage verification.
+//! * [`transport`] — how shards actually run: local child processes
+//!   ([`LocalTransport`] over a [`ShardLauncher`]), an arbitrary
+//!   templated wrapper command line ([`CommandTransport`] — covers
+//!   `ssh`, `docker run`, and `sh -c` without the driver knowing any of
+//!   them), and a deterministic fault injector ([`FaultyTransport`])
+//!   for the crash/hang/torn-copy-back test matrix.
+//! * [`progress`] — the monotone units-done tailer behind the live
+//!   per-shard progress lines.
 //!
-//! Because per-trial RNG streams derive from unit coordinates, the merged
-//! fleet output is **byte-identical** to an uninterrupted single-process
-//! run — even when shards crashed and were resumed along the way. `diff`
-//! against a one-shot file is a complete correctness check, and CI's
-//! `fleet-smoke` job runs exactly that (including a kill-one-shard
-//! drill).
-//!
-//! Shard ledgers are left in place after a successful merge: they are
-//! the fleet's crash record, and re-running the fleet over them is a
-//! cheap no-op (every shard reports complete, only the merge re-runs).
+//! The invariant everything here protects: the merged fleet output is
+//! **byte-identical** to an uninterrupted single-process run, whatever
+//! the transport did along the way.
 
-use crate::manifest::RunManifest;
-use crate::sink::{merge_jsonl, read_ledger};
-use std::collections::HashSet;
-use std::io::{self, Write};
-use std::path::{Path, PathBuf};
-use std::process::Child;
+pub mod driver;
+pub mod progress;
+pub mod transport;
 
-/// How a fleet run is conducted.
-#[derive(Debug, Clone)]
-pub struct FleetOptions {
-    /// Number of shard processes (`k` in `--shard i/k`).
-    pub procs: usize,
-    /// Total launch rounds allowed per shard (first attempt + retries).
-    pub max_attempts: usize,
-    /// Print per-shard progress lines to stderr.
-    pub verbose: bool,
-}
-
-impl Default for FleetOptions {
-    fn default() -> Self {
-        Self {
-            procs: 2,
-            max_attempts: 3,
-            verbose: false,
-        }
-    }
-}
-
-/// Spawns one shard process. Implementations decide the command line;
-/// the driver decides *when* to launch, whether to pass resume, and what
-/// to do with the exit status.
-pub trait ShardLauncher {
-    /// Launch shard `index` of `procs`, writing its ledger to `ledger`.
-    /// `resume` is true when a prior ledger holds completed units to
-    /// skip; `attempt` counts launch rounds from 0.
-    fn launch(
-        &self,
-        index: usize,
-        procs: usize,
-        ledger: &Path,
-        resume: bool,
-        attempt: usize,
-    ) -> io::Result<Child>;
-}
-
-/// What happened to one shard.
-#[derive(Debug, Clone)]
-pub struct ShardOutcome {
-    /// Shard index in `0..procs`.
-    pub index: usize,
-    /// The shard's ledger file.
-    pub ledger: PathBuf,
-    /// Launch rounds used (0 when a pre-existing ledger was already
-    /// complete).
-    pub attempts: usize,
-    /// True when any attempt resumed from a partial ledger.
-    pub resumed: bool,
-    /// Units this shard was responsible for.
-    pub units: usize,
-}
-
-/// What the whole fleet did.
-#[derive(Debug, Clone)]
-pub struct FleetReport {
-    /// Per-shard outcomes, by shard index.
-    pub shards: Vec<ShardOutcome>,
-    /// Units in the merged output (= the full manifest).
-    pub merged_units: usize,
-    /// Total child launches across all rounds.
-    pub launches: usize,
-}
-
-/// Canonical shard-ledger path for a merged output path: `out.jsonl` →
-/// `out.shard3.jsonl` (the `.jsonl` suffix stays last so every ledger
-/// tool recognizes the file).
-pub fn shard_ledger_path(out: &Path, index: usize) -> PathBuf {
-    let name = out
-        .file_name()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_default();
-    let base = name.strip_suffix(".jsonl").unwrap_or(&name);
-    out.with_file_name(format!("{base}.shard{index}.jsonl"))
-}
-
-/// Canonical shard *summary* (mergeable sketch) path: `out.jsonl` →
-/// `out.shard3.agg.jsonl`.
-pub fn shard_summary_path(out: &Path, index: usize) -> PathBuf {
-    let ledger = shard_ledger_path(out, index);
-    let name = ledger
-        .file_name()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_default();
-    let base = name.strip_suffix(".jsonl").unwrap_or(&name);
-    ledger.with_file_name(format!("{base}.agg.jsonl"))
-}
-
-/// Where one shard stands before (re)launching.
-enum ShardState {
-    /// No usable ledger — launch fresh.
-    Fresh,
-    /// A matching partial ledger exists — launch with resume.
-    Partial,
-    /// Every unit of the shard is already in the ledger.
-    Complete,
-}
-
-/// Inspect a shard ledger. Corruption and foreign-run ledgers are hard
-/// errors (the fleet never silently discards or overwrites data that
-/// does not belong to this run); an empty/absent file means fresh.
-fn shard_state(path: &Path, shard: &RunManifest) -> io::Result<ShardState> {
-    match std::fs::metadata(path) {
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ShardState::Fresh),
-        Err(e) => return Err(e),
-        Ok(m) if m.len() == 0 => return Ok(ShardState::Fresh),
-        Ok(_) => {}
-    }
-    let ledger = match read_ledger(path) {
-        Ok(l) => l,
-        // A child killed while its very first write was in flight leaves
-        // a non-empty file holding only a torn fragment (no well-formed
-        // record). That is a fresh shard — relaunch and let the child's
-        // `JsonlSink::create` truncate it — not corruption to abort on.
-        Err(_) if crate::sink::ledger_is_effectively_empty(path)? => return Ok(ShardState::Fresh),
-        Err(e) => {
-            return Err(io::Error::new(
-                e.kind(),
-                format!("shard ledger {} is unreadable: {e}", path.display()),
-            ))
-        }
-    };
-    if ledger.fingerprint != shard.fingerprint {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!(
-                "shard ledger {} belongs to a different run (fingerprint mismatch); \
-                 move it aside before launching this fleet",
-                path.display()
-            ),
-        ));
-    }
-    let complete = shard.units.iter().all(|u| ledger.done.contains(&u.id));
-    Ok(if complete {
-        ShardState::Complete
-    } else {
-        ShardState::Partial
-    })
-}
-
-/// Run the whole fleet: spawn `k` shard processes, monitor them, retry
-/// failed shards with resume, then stream-merge the shard ledgers into
-/// `out` and verify the merged ledger covers the manifest. See the
-/// module docs for the exact protocol.
-pub fn run_fleet(
-    manifest: &RunManifest,
-    launcher: &dyn ShardLauncher,
-    out: &Path,
-    opts: &FleetOptions,
-) -> io::Result<FleetReport> {
-    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
-    if opts.procs == 0 {
-        return Err(invalid("fleet needs at least one process".into()));
-    }
-    if opts.max_attempts == 0 {
-        return Err(invalid("fleet needs at least one launch attempt".into()));
-    }
-    let shards: Vec<RunManifest> = (0..opts.procs)
-        .map(|i| manifest.shard(i, opts.procs))
-        .collect();
-    let paths: Vec<PathBuf> = (0..opts.procs).map(|i| shard_ledger_path(out, i)).collect();
-    let mut outcomes: Vec<ShardOutcome> = (0..opts.procs)
-        .map(|i| ShardOutcome {
-            index: i,
-            ledger: paths[i].clone(),
-            attempts: 0,
-            resumed: false,
-            units: shards[i].len(),
-        })
-        .collect();
-    let mut launches = 0;
-
-    for round in 0..opts.max_attempts {
-        // Which shards still need work? (Re-checked every round: a child
-        // that died *after* finishing its ledger counts as complete.)
-        let mut pending: Vec<(usize, bool)> = Vec::new(); // (shard, resume)
-        for i in 0..opts.procs {
-            match shard_state(&paths[i], &shards[i])? {
-                ShardState::Complete => {}
-                ShardState::Fresh => pending.push((i, false)),
-                ShardState::Partial => pending.push((i, true)),
-            }
-        }
-        if pending.is_empty() {
-            break;
-        }
-        let mut children: Vec<(usize, Child)> = Vec::with_capacity(pending.len());
-        for &(i, resume) in &pending {
-            if opts.verbose {
-                eprintln!(
-                    "[fleet] round {round}: launching shard {i}/{} ({} units{})",
-                    opts.procs,
-                    shards[i].len(),
-                    if resume { ", resuming" } else { "" }
-                );
-            }
-            outcomes[i].attempts += 1;
-            outcomes[i].resumed |= resume;
-            launches += 1;
-            children.push((i, launcher.launch(i, opts.procs, &paths[i], resume, round)?));
-        }
-        // All children run concurrently; collect every exit before
-        // deciding anything (sequential waits are fine — the set only
-        // finishes when its slowest member does).
-        for (i, mut child) in children {
-            let status = child.wait()?;
-            if opts.verbose && !status.success() {
-                eprintln!("[fleet] shard {i} exited with {status}; will verify its ledger");
-            }
-            // Exit status is advisory: the ledger is the truth. A failed
-            // shard is retried next round; a shard that finished its
-            // ledger before dying is done.
-        }
-    }
-
-    // Every shard must be complete now.
-    for i in 0..opts.procs {
-        if !matches!(shard_state(&paths[i], &shards[i])?, ShardState::Complete) {
-            return Err(io::Error::other(format!(
-                "shard {i} did not complete after {} attempt(s); its partial \
-                 ledger is at {} (re-run the fleet to continue from it)",
-                outcomes[i].attempts,
-                paths[i].display()
-            )));
-        }
-    }
-
-    // K-way stream-merge into the canonical output, then prove coverage.
-    let mut writer = std::io::BufWriter::new(std::fs::File::create(out)?);
-    merge_jsonl(&paths, &mut writer)?;
-    writer.flush()?;
-    let merged = read_ledger(out)?;
-    if merged.fingerprint != manifest.fingerprint {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "merged fleet output carries the wrong fingerprint",
-        ));
-    }
-    let missing: Vec<String> = manifest
-        .units
-        .iter()
-        .filter(|u| !merged.done.contains(&u.id))
-        .map(|u| u.id.to_string())
-        .collect();
-    if !missing.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "merged fleet output is missing {} unit(s): {}",
-                missing.len(),
-                missing.join(", ")
-            ),
-        ));
-    }
-    // Paranoia: the merge must not have invented units either.
-    let known: HashSet<_> = manifest.units.iter().map(|u| u.id).collect();
-    if merged.done.iter().any(|id| !known.contains(id)) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "merged fleet output contains units outside the manifest",
-        ));
-    }
-    Ok(FleetReport {
-        shards: outcomes,
-        merged_units: manifest.len(),
-        launches,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::{ExperimentConfig, WorkloadSpec};
-    use dpbench_core::{Domain, Loss};
-    use dpbench_datasets::catalog;
-
-    fn tiny_config() -> ExperimentConfig {
-        ExperimentConfig {
-            datasets: vec![catalog::by_name("MEDCOST").unwrap()],
-            scales: vec![10_000],
-            domains: vec![Domain::D1(128)],
-            epsilons: vec![0.5],
-            algorithms: vec!["IDENTITY".into(), "UNIFORM".into()],
-            n_samples: 1,
-            n_trials: 2,
-            workload: WorkloadSpec::Prefix,
-            loss: Loss::L2,
-        }
-    }
-
-    fn tmp(name: &str) -> PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("dpbench-fleet-mod-{name}-{}", std::process::id()));
-        p
-    }
-
-    #[test]
-    fn shard_ledger_paths_keep_the_jsonl_suffix() {
-        let out = PathBuf::from("/tmp/results/fleet.jsonl");
-        assert_eq!(
-            shard_ledger_path(&out, 0),
-            PathBuf::from("/tmp/results/fleet.shard0.jsonl")
-        );
-        assert_eq!(
-            shard_ledger_path(Path::new("run"), 3),
-            PathBuf::from("run.shard3.jsonl")
-        );
-    }
-
-    /// A launcher that never spawns anything — exercises the driver's
-    /// completeness handling around pre-built ledgers.
-    struct NoopLauncher;
-
-    impl ShardLauncher for NoopLauncher {
-        fn launch(
-            &self,
-            _index: usize,
-            _procs: usize,
-            _ledger: &Path,
-            _resume: bool,
-            _attempt: usize,
-        ) -> io::Result<Child> {
-            // A no-op child: `true` exits 0 immediately without touching
-            // the ledger, modeling a worker that dies before any unit.
-            std::process::Command::new("true").spawn()
-        }
-    }
-
-    #[test]
-    fn fleet_over_prebuilt_ledgers_merges_without_launching() {
-        use crate::runner::Runner;
-        use crate::sink::JsonlSink;
-        let out = tmp("prebuilt.jsonl");
-        let manifest = Runner::new(tiny_config()).manifest();
-        for i in 0..2 {
-            let path = shard_ledger_path(&out, i);
-            let _ = std::fs::remove_file(&path);
-            let runner = Runner::new(tiny_config());
-            let mut sink = JsonlSink::create(&path).unwrap();
-            runner
-                .run_with_sink(&manifest.shard(i, 2), &mut sink)
-                .unwrap();
-        }
-        let opts = FleetOptions {
-            procs: 2,
-            max_attempts: 1,
-            verbose: false,
-        };
-        let report = run_fleet(&manifest, &NoopLauncher, &out, &opts).unwrap();
-        assert_eq!(report.launches, 0, "complete shards must not relaunch");
-        assert_eq!(report.merged_units, manifest.len());
-        assert!(report.shards.iter().all(|s| s.attempts == 0));
-        // Merged output equals a one-shot run byte for byte.
-        let ref_path = tmp("prebuilt-ref.jsonl");
-        let _ = std::fs::remove_file(&ref_path);
-        let runner = Runner::new(tiny_config());
-        let mut reference = JsonlSink::create(&ref_path).unwrap();
-        runner.run_with_sink(&manifest, &mut reference).unwrap();
-        drop(reference);
-        assert_eq!(
-            std::fs::read(&out).unwrap(),
-            std::fs::read(&ref_path).unwrap()
-        );
-        for p in [&out, &ref_path] {
-            let _ = std::fs::remove_file(p);
-        }
-        for i in 0..2 {
-            let _ = std::fs::remove_file(shard_ledger_path(&out, i));
-        }
-    }
-
-    #[test]
-    fn fleet_reports_a_shard_that_never_completes() {
-        let out = tmp("stuck.jsonl");
-        for i in 0..2 {
-            let _ = std::fs::remove_file(shard_ledger_path(&out, i));
-        }
-        let manifest = crate::manifest::RunManifest::from_config(&tiny_config());
-        let opts = FleetOptions {
-            procs: 2,
-            max_attempts: 2,
-            verbose: false,
-        };
-        let err = run_fleet(&manifest, &NoopLauncher, &out, &opts).unwrap_err();
-        assert!(
-            err.to_string().contains("did not complete"),
-            "unexpected error: {err}"
-        );
-    }
-
-    #[test]
-    fn torn_header_only_ledger_counts_as_fresh_not_corrupt() {
-        use std::io::Write;
-        let manifest = crate::manifest::RunManifest::from_config(&tiny_config());
-        let shard = manifest.shard(0, 2);
-        // A child killed during its very first write: the file holds
-        // only a torn header fragment. The fleet must relaunch fresh.
-        let path = tmp("torn-header.jsonl");
-        let mut f = std::fs::File::create(&path).unwrap();
-        write!(f, "{{\"t\":\"run\",\"fp\":\"5b51").unwrap();
-        drop(f);
-        assert!(matches!(
-            shard_state(&path, &shard).unwrap(),
-            ShardState::Fresh
-        ));
-        // But a ledger with real content and a damaged header stays a
-        // hard error — that is corruption, not a clean first-write kill.
-        let mut f = std::fs::File::create(&path).unwrap();
-        writeln!(f, "NOT A HEADER").unwrap();
-        writeln!(
-            f,
-            "{{\"t\":\"u\",\"unit\":\"{}\",\"pos\":{}}}",
-            shard.units[0].id, shard.units[0].pos
-        )
-        .unwrap();
-        drop(f);
-        assert!(shard_state(&path, &shard).is_err());
-        let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn fleet_refuses_a_foreign_shard_ledger() {
-        use crate::runner::Runner;
-        use crate::sink::JsonlSink;
-        let out = tmp("foreign.jsonl");
-        let shard0 = shard_ledger_path(&out, 0);
-        let _ = std::fs::remove_file(&shard0);
-        // Shard 0's path holds a ledger from a *different* grid.
-        let mut other = tiny_config();
-        other.epsilons = vec![0.9];
-        let other_runner = Runner::new(other);
-        let mut sink = JsonlSink::create(&shard0).unwrap();
-        other_runner
-            .run_with_sink(&other_runner.manifest(), &mut sink)
-            .unwrap();
-        drop(sink);
-        let manifest = crate::manifest::RunManifest::from_config(&tiny_config());
-        let err = run_fleet(&manifest, &NoopLauncher, &out, &FleetOptions::default()).unwrap_err();
-        assert!(
-            err.to_string().contains("different run"),
-            "unexpected error: {err}"
-        );
-        let _ = std::fs::remove_file(&shard0);
-    }
-}
+pub use driver::{
+    run_fleet, run_fleet_with, shard_ledger_path, shard_summary_path, FleetOptions, FleetReport,
+    ShardOutcome,
+};
+pub use progress::ProgressTailer;
+pub use transport::{
+    sh_quote, Artifact, CommandTransport, FaultyTransport, FetchFault, FetchOutcome, LaunchFault,
+    LaunchSpec, LocalTransport, ProcessHandle, RemotePaths, ShardCommandBuilder, ShardHandle,
+    ShardLauncher, ShardStatus, ShardTransport,
+};

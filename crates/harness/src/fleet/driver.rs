@@ -1,0 +1,732 @@
+//! The fleet driver: launch, watch, copy back, retry, merge.
+//!
+//! [`run_fleet_with`] conducts `k` shards over any [`ShardTransport`]:
+//!
+//! 1. expand the manifest **once** and deal it into `k` round-robin
+//!    shards ([`RunManifest::shard`]);
+//! 2. each round, **fetch** every unfinished shard's ledger back from
+//!    the transport (a no-op for local transports) and validate it with
+//!    the strict readers — the copy-back protocol: a torn, empty, or
+//!    missing artifact just means the shard is re-dispatched (or, when
+//!    the remote ledger was already complete, relaunched into a cheap
+//!    resume no-op and re-fetched), while a ledger from a *different
+//!    run* is a hard error;
+//! 3. launch every shard that is not yet complete and **poll** the
+//!    handles: exit status is advisory (the ledger is the truth), a
+//!    shard that stops making ledger progress for longer than
+//!    [`FleetOptions::stall_timeout`] is killed and retried, and
+//!    [`FleetOptions::progress`] tails the (fetched) ledgers into live
+//!    per-shard `done/total` lines;
+//! 4. once every shard ledger is complete, k-way stream-merge them into
+//!    the canonical output ([`merge_jsonl`]), verify the merged ledger
+//!    covers the manifest exactly, then let the transport clean up its
+//!    remote scratch space.
+//!
+//! Because per-trial RNG streams derive from unit coordinates, the merged
+//! fleet output is **byte-identical** to an uninterrupted single-process
+//! run — even when shards crashed, hung, or had their copy-backs torn
+//! along the way. `diff` against a one-shot file is a complete
+//! correctness check; CI's `fleet-smoke` and `fleet-remote-smoke` jobs
+//! and the fault matrix in `tests/fleet_faults.rs` run exactly that.
+//!
+//! Local shard ledgers are left in place after a successful merge: they
+//! are the fleet's crash record, and re-running the fleet over them is a
+//! cheap no-op (every shard reports complete, only the merge re-runs).
+
+use super::progress::ProgressTailer;
+use super::transport::{
+    Artifact, LaunchSpec, LocalTransport, ShardHandle, ShardLauncher, ShardStatus, ShardTransport,
+};
+use crate::manifest::RunManifest;
+use crate::sink::{merge_jsonl, read_ledger};
+use std::collections::HashSet;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// How a fleet run is conducted.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Number of shard processes (`k` in `--shard i/k`).
+    pub procs: usize,
+    /// Total launch rounds allowed per shard (first attempt + retries).
+    pub max_attempts: usize,
+    /// Print per-shard lifecycle lines to stderr.
+    pub verbose: bool,
+    /// Print live per-shard `done/total` progress lines to stderr,
+    /// tailing local ledgers (or periodically fetched copies for remote
+    /// transports).
+    pub progress: bool,
+    /// How often running handles are polled.
+    pub poll_interval: Duration,
+    /// How often ledgers are probed (and, for remote transports,
+    /// re-fetched) for progress and stall detection.
+    pub progress_interval: Duration,
+    /// Kill and retry a shard whose ledger shows no new completed unit
+    /// for this long. `None` (the default) never kills: a shard with
+    /// genuinely slow units must not be mistaken for a hang.
+    ///
+    /// The kill terminates the transport's **local handle** (the child
+    /// process, or the wrapper — `sh`, `ssh`, `docker` — for command
+    /// transports). A wrapper that does not propagate termination to
+    /// the remote worker (plain `ssh` without a tty) can leave the
+    /// remote shard running; if its writes interleave with the
+    /// relaunched attempt's, the strict ledger readers surface that as
+    /// a hard error rather than merging corrupt data. For such
+    /// transports, prefer a remote-side bound (e.g.
+    /// `ssh worker{index} 'timeout 3600 {cmd}'`) over — or alongside —
+    /// this driver-side timeout.
+    ///
+    /// A shard the driver *cannot observe* (failing progress fetches)
+    /// keeps accruing stall time — otherwise a hang behind a dead
+    /// network could evade the timeout forever — so set the timeout
+    /// above the worst transient unreachability window as well as above
+    /// the slowest unit.
+    pub stall_timeout: Option<Duration>,
+    /// After completion, copy each shard's `--agg` summary back next to
+    /// its ledger (remote transports; local summaries are written in
+    /// place).
+    pub fetch_summaries: bool,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            procs: 2,
+            max_attempts: 3,
+            verbose: false,
+            progress: false,
+            poll_interval: Duration::from_millis(25),
+            progress_interval: Duration::from_millis(500),
+            stall_timeout: None,
+            fetch_summaries: false,
+        }
+    }
+}
+
+/// What happened to one shard.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard index in `0..procs`.
+    pub index: usize,
+    /// The shard's (driver-side) ledger file.
+    pub ledger: PathBuf,
+    /// Launch rounds used (0 when a pre-existing ledger was already
+    /// complete).
+    pub attempts: usize,
+    /// True when any attempt resumed from a partial ledger.
+    pub resumed: bool,
+    /// Units this shard was responsible for.
+    pub units: usize,
+    /// Attempts killed by the stall timeout.
+    pub stall_kills: usize,
+}
+
+/// What the whole fleet did.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-shard outcomes, by shard index.
+    pub shards: Vec<ShardOutcome>,
+    /// Units in the merged output (= the full manifest).
+    pub merged_units: usize,
+    /// Total shard launches across all rounds.
+    pub launches: usize,
+}
+
+/// Canonical shard-ledger path for a merged output path: `out.jsonl` →
+/// `out.shard3.jsonl` (the `.jsonl` suffix stays last so every ledger
+/// tool recognizes the file).
+pub fn shard_ledger_path(out: &Path, index: usize) -> PathBuf {
+    let name = out
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let base = name.strip_suffix(".jsonl").unwrap_or(&name);
+    out.with_file_name(format!("{base}.shard{index}.jsonl"))
+}
+
+/// Canonical shard *summary* (mergeable sketch) path: `out.jsonl` →
+/// `out.shard3.agg.jsonl`.
+pub fn shard_summary_path(out: &Path, index: usize) -> PathBuf {
+    let ledger = shard_ledger_path(out, index);
+    let name = ledger
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let base = name.strip_suffix(".jsonl").unwrap_or(&name);
+    ledger.with_file_name(format!("{base}.agg.jsonl"))
+}
+
+/// Where one shard stands before (re)launching.
+enum ShardState {
+    /// No usable ledger — launch fresh.
+    Fresh,
+    /// A matching partial ledger exists — launch with resume.
+    Partial,
+    /// Every unit of the shard is already in the ledger.
+    Complete,
+}
+
+/// Inspect a shard ledger. Corruption and foreign-run ledgers are hard
+/// errors (the fleet never silently discards or overwrites data that
+/// does not belong to this run); an empty/absent file means fresh.
+fn shard_state(path: &Path, shard: &RunManifest) -> io::Result<ShardState> {
+    match std::fs::metadata(path) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ShardState::Fresh),
+        Err(e) => return Err(e),
+        Ok(m) if m.len() == 0 => return Ok(ShardState::Fresh),
+        Ok(_) => {}
+    }
+    let ledger = match read_ledger(path) {
+        Ok(l) => l,
+        // A child killed while its very first write was in flight leaves
+        // a non-empty file holding only a torn fragment (no well-formed
+        // record). That is a fresh shard — relaunch and let the child's
+        // `JsonlSink::create` truncate it — not corruption to abort on.
+        Err(_) if crate::sink::ledger_is_effectively_empty(path)? => return Ok(ShardState::Fresh),
+        Err(e) => {
+            return Err(io::Error::new(
+                e.kind(),
+                format!("shard ledger {} is unreadable: {e}", path.display()),
+            ))
+        }
+    };
+    if ledger.fingerprint != shard.fingerprint {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "shard ledger {} belongs to a different run (fingerprint mismatch); \
+                 move it aside before launching this fleet",
+                path.display()
+            ),
+        ));
+    }
+    let complete = shard.units.iter().all(|u| ledger.done.contains(&u.id));
+    Ok(if complete {
+        ShardState::Complete
+    } else {
+        ShardState::Partial
+    })
+}
+
+/// One launched shard attempt being watched by the poll loop.
+struct RunningShard {
+    index: usize,
+    handle: Box<dyn ShardHandle>,
+    exited: bool,
+    /// When the shard's units-done count last moved (or the attempt
+    /// started) — the stall clock.
+    last_change: Instant,
+    /// Whether this attempt was already stall-killed (kill once).
+    killed: bool,
+}
+
+/// Run a fleet of local child processes — the PR 4 entry point, now a
+/// thin wrapper that adapts `launcher` into a [`LocalTransport`].
+pub fn run_fleet(
+    manifest: &RunManifest,
+    launcher: &dyn ShardLauncher,
+    out: &Path,
+    opts: &FleetOptions,
+) -> io::Result<FleetReport> {
+    run_fleet_with(manifest, &LocalTransport { launcher }, out, opts)
+}
+
+/// Run the whole fleet over an arbitrary transport: launch `k` shards,
+/// poll them, fetch their ledgers back, retry/resume failures, then
+/// stream-merge the shard ledgers into `out` and verify the merged
+/// ledger covers the manifest. See the module docs for the exact
+/// protocol.
+pub fn run_fleet_with(
+    manifest: &RunManifest,
+    transport: &dyn ShardTransport,
+    out: &Path,
+    opts: &FleetOptions,
+) -> io::Result<FleetReport> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+    if opts.procs == 0 {
+        return Err(invalid("fleet needs at least one process".into()));
+    }
+    if opts.max_attempts == 0 {
+        return Err(invalid("fleet needs at least one launch attempt".into()));
+    }
+    let procs = opts.procs;
+    let shards: Vec<RunManifest> = (0..procs).map(|i| manifest.shard(i, procs)).collect();
+    let paths: Vec<PathBuf> = (0..procs).map(|i| shard_ledger_path(out, i)).collect();
+    let mut outcomes: Vec<ShardOutcome> = (0..procs)
+        .map(|i| ShardOutcome {
+            index: i,
+            ledger: paths[i].clone(),
+            attempts: 0,
+            resumed: false,
+            units: shards[i].len(),
+            stall_kills: 0,
+        })
+        .collect();
+    let mut tailers: Vec<ProgressTailer> = shards
+        .iter()
+        .map(|s| ProgressTailer::new(s.len()))
+        .collect();
+    let mut complete = vec![false; procs];
+    let mut launches = 0;
+
+    // The merged output (and the shard ledgers beside it) may live in a
+    // directory that does not exist yet.
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+
+    // What the round loop should do with one shard after a copy-back.
+    enum Refresh {
+        /// Ledger verified complete — nothing to launch.
+        Complete,
+        /// Launch (fresh or resuming).
+        Launch { resume: bool },
+        /// The fetch *failed* (as opposed to confirming absence): the
+        /// remote is unobservable right now. Neither resuming (maybe
+        /// nothing to resume from) nor restarting fresh (maybe
+        /// discarding finished remote work) is safe — wait a round and
+        /// re-fetch.
+        Defer(io::Error),
+    }
+
+    // Copy shard `i`'s ledger back (no-op for local transports) and
+    // re-validate it with the strict readers. Outcome semantics: a
+    // *confirmed-missing* remote artifact (wiped scratch space, changed
+    // workdir) downgrades a leftover Partial local copy to a fresh
+    // relaunch — resuming would be doomed, and deterministic units make
+    // the rerun identical — while a *failed* fetch defers the shard.
+    let refresh = |i: usize| -> io::Result<Refresh> {
+        let fetched = match transport.fetch(i, Artifact::Ledger, &paths[i]) {
+            Ok(f) => f,
+            Err(e) => {
+                return Ok(match shard_state(&paths[i], &shards[i])? {
+                    // A validated local copy needs no fetch to merge.
+                    ShardState::Complete => Refresh::Complete,
+                    // Nothing anywhere we can see: nothing to lose by
+                    // launching (this is also round 0 of a fetch
+                    // template that errors on a not-yet-created file).
+                    ShardState::Fresh => Refresh::Launch { resume: false },
+                    ShardState::Partial => Refresh::Defer(e),
+                });
+            }
+        };
+        Ok(match shard_state(&paths[i], &shards[i])? {
+            ShardState::Complete => Refresh::Complete,
+            ShardState::Fresh => Refresh::Launch { resume: false },
+            ShardState::Partial if matches!(fetched, super::transport::FetchOutcome::Missing) => {
+                Refresh::Launch { resume: false }
+            }
+            ShardState::Partial => Refresh::Launch { resume: true },
+        })
+    };
+
+    for round in 0..opts.max_attempts {
+        // Which shards still need work? (Re-fetched and re-checked every
+        // round: a child that died *after* finishing its ledger counts
+        // as complete, and a torn copy-back just means fetch again.)
+        let mut pending: Vec<(usize, bool)> = Vec::new(); // (shard, resume)
+        let mut deferred = 0usize;
+        for (i, done) in complete.iter_mut().enumerate() {
+            if *done {
+                continue;
+            }
+            match refresh(i)? {
+                Refresh::Complete => *done = true,
+                Refresh::Launch { resume } => pending.push((i, resume)),
+                Refresh::Defer(e) => {
+                    deferred += 1;
+                    if opts.verbose {
+                        eprintln!("[fleet] shard {i}: copy-back failed ({e}); will retry");
+                    }
+                }
+            }
+        }
+        if pending.is_empty() && deferred == 0 {
+            break;
+        }
+        if pending.is_empty() {
+            // Every remaining shard is waiting on fetch recovery; give
+            // the transport a beat before burning the next round.
+            std::thread::sleep(opts.progress_interval);
+            continue;
+        }
+        let mut running: Vec<RunningShard> = Vec::with_capacity(pending.len());
+        for &(i, resume) in &pending {
+            if opts.verbose {
+                eprintln!(
+                    "[fleet] round {round}: launching shard {i}/{} ({} units{})",
+                    procs,
+                    shards[i].len(),
+                    if resume { ", resuming" } else { "" }
+                );
+            }
+            outcomes[i].attempts += 1;
+            outcomes[i].resumed |= resume;
+            launches += 1;
+            let spec = LaunchSpec {
+                index: i,
+                procs,
+                ledger: paths[i].clone(),
+                resume,
+                attempt: round,
+            };
+            running.push(RunningShard {
+                index: i,
+                handle: transport.launch(&spec)?,
+                exited: false,
+                last_change: Instant::now(),
+                killed: false,
+            });
+        }
+        // Poll every attempt to completion. Exit status is advisory (the
+        // next round's fetch + strict read decides); stalls are killed
+        // and land in the retry path like any other failure.
+        let mut last_probe: Option<Instant> = None;
+        loop {
+            let mut all_exited = true;
+            for shard in &mut running {
+                if shard.exited {
+                    continue;
+                }
+                match shard.handle.poll()? {
+                    ShardStatus::Exited { success } => {
+                        shard.exited = true;
+                        if opts.verbose && !success {
+                            eprintln!(
+                                "[fleet] shard {} exited abnormally; will verify its ledger",
+                                shard.index
+                            );
+                        }
+                    }
+                    ShardStatus::Running => all_exited = false,
+                }
+            }
+            if all_exited {
+                break;
+            }
+            let watch = opts.progress || opts.stall_timeout.is_some();
+            if watch && last_probe.is_none_or(|t| t.elapsed() >= opts.progress_interval) {
+                last_probe = Some(Instant::now());
+                for shard in &mut running {
+                    if shard.exited {
+                        continue;
+                    }
+                    let i = shard.index;
+                    // Progress is advisory: a failed mid-run fetch or
+                    // probe must not abort the fleet. An errored probe
+                    // leaves the stall clock exactly as it was — it
+                    // neither counts as progress (resetting it would let
+                    // a hung shard behind a dead network evade the
+                    // timeout forever) nor accelerates the kill. The
+                    // consequence, documented on `stall_timeout`: an
+                    // unreachability window longer than the timeout can
+                    // kill a healthy shard, so size the timeout above
+                    // both.
+                    let before = tailers[i].count();
+                    match transport
+                        .fetch(i, Artifact::Ledger, &paths[i])
+                        .and_then(|_| tailers[i].observe(&paths[i]))
+                    {
+                        Ok(now_done) if now_done > before => {
+                            shard.last_change = Instant::now();
+                            if opts.progress {
+                                eprintln!(
+                                    "[fleet] shard {i}: {now_done}/{} units",
+                                    tailers[i].total()
+                                );
+                            }
+                        }
+                        Ok(_) | Err(_) => {}
+                    }
+                    if let Some(limit) = opts.stall_timeout {
+                        if !shard.killed && shard.last_change.elapsed() >= limit {
+                            eprintln!(
+                                "[fleet] shard {i}: no ledger progress for {:.1}s; \
+                                 killing for retry",
+                                limit.as_secs_f64()
+                            );
+                            shard.handle.kill()?;
+                            shard.killed = true;
+                            outcomes[i].stall_kills += 1;
+                        }
+                    }
+                }
+            }
+            std::thread::sleep(opts.poll_interval);
+        }
+        // Round epilogue: one last probe per launched shard, so even a
+        // run faster than the probe interval reports a final count.
+        if opts.progress {
+            for shard in &running {
+                let i = shard.index;
+                let _ = transport.fetch(i, Artifact::Ledger, &paths[i]);
+                if let Ok(n) = tailers[i].observe(&paths[i]) {
+                    eprintln!("[fleet] shard {i}: {n}/{} units", tailers[i].total());
+                }
+            }
+        }
+    }
+
+    // Every shard must be complete now. Shards launched in the final
+    // round exited after that round's refresh, so fetch them once more.
+    for (i, done) in complete.iter_mut().enumerate() {
+        if !*done && matches!(refresh(i)?, Refresh::Complete) {
+            *done = true;
+        }
+    }
+    for i in 0..procs {
+        if !complete[i] {
+            return Err(io::Error::other(format!(
+                "shard {i} did not complete after {} attempt(s); its partial \
+                 ledger is at {} (re-run the fleet to continue from it)",
+                outcomes[i].attempts,
+                paths[i].display()
+            )));
+        }
+    }
+
+    // Copy back the mergeable `--agg` summaries. Best-effort: a shard
+    // whose ledger predates this fleet may have none, and the CLI
+    // rebuilds stale/missing summaries from the (fetched) ledger.
+    if opts.fetch_summaries {
+        for i in 0..procs {
+            match transport.fetch(i, Artifact::Summary, &shard_summary_path(out, i)) {
+                Ok(_) => {}
+                Err(e) if opts.verbose => {
+                    eprintln!("[fleet] shard {i}: summary copy-back failed ({e}); will rebuild")
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    // K-way stream-merge into the canonical output, then prove coverage.
+    let mut writer = std::io::BufWriter::new(std::fs::File::create(out)?);
+    merge_jsonl(&paths, &mut writer)?;
+    writer.flush()?;
+    let merged = read_ledger(out)?;
+    if merged.fingerprint != manifest.fingerprint {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "merged fleet output carries the wrong fingerprint",
+        ));
+    }
+    let missing: Vec<String> = manifest
+        .units
+        .iter()
+        .filter(|u| !merged.done.contains(&u.id))
+        .map(|u| u.id.to_string())
+        .collect();
+    if !missing.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "merged fleet output is missing {} unit(s): {}",
+                missing.len(),
+                missing.join(", ")
+            ),
+        ));
+    }
+    // Paranoia: the merge must not have invented units either.
+    let known: HashSet<_> = manifest.units.iter().map(|u| u.id).collect();
+    if merged.done.iter().any(|id| !known.contains(id)) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "merged fleet output contains units outside the manifest",
+        ));
+    }
+    // Only now, with the merged output verified on disk, may the
+    // transport drop its remote scratch space. Failure to clean up is a
+    // warning, not a failed fleet.
+    for i in 0..procs {
+        if let Err(e) = transport.cleanup(i) {
+            eprintln!("[fleet] warning: cleanup of shard {i} failed: {e}");
+        }
+    }
+    Ok(FleetReport {
+        shards: outcomes,
+        merged_units: manifest.len(),
+        launches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExperimentConfig, WorkloadSpec};
+    use dpbench_core::{Domain, Loss};
+    use dpbench_datasets::catalog;
+    use std::process::Child;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            datasets: vec![catalog::by_name("MEDCOST").unwrap()],
+            scales: vec![10_000],
+            domains: vec![Domain::D1(128)],
+            epsilons: vec![0.5],
+            algorithms: vec!["IDENTITY".into(), "UNIFORM".into()],
+            n_samples: 1,
+            n_trials: 2,
+            workload: WorkloadSpec::Prefix,
+            loss: Loss::L2,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dpbench-fleet-mod-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn shard_ledger_paths_keep_the_jsonl_suffix() {
+        let out = PathBuf::from("/tmp/results/fleet.jsonl");
+        assert_eq!(
+            shard_ledger_path(&out, 0),
+            PathBuf::from("/tmp/results/fleet.shard0.jsonl")
+        );
+        assert_eq!(
+            shard_ledger_path(Path::new("run"), 3),
+            PathBuf::from("run.shard3.jsonl")
+        );
+    }
+
+    /// A launcher that never spawns anything — exercises the driver's
+    /// completeness handling around pre-built ledgers.
+    struct NoopLauncher;
+
+    impl ShardLauncher for NoopLauncher {
+        fn launch(
+            &self,
+            _index: usize,
+            _procs: usize,
+            _ledger: &Path,
+            _resume: bool,
+            _attempt: usize,
+        ) -> io::Result<Child> {
+            // A no-op child: `true` exits 0 immediately without touching
+            // the ledger, modeling a worker that dies before any unit.
+            std::process::Command::new("true").spawn()
+        }
+    }
+
+    #[test]
+    fn fleet_over_prebuilt_ledgers_merges_without_launching() {
+        use crate::runner::Runner;
+        use crate::sink::JsonlSink;
+        let out = tmp("prebuilt.jsonl");
+        let manifest = Runner::new(tiny_config()).manifest();
+        for i in 0..2 {
+            let path = shard_ledger_path(&out, i);
+            let _ = std::fs::remove_file(&path);
+            let runner = Runner::new(tiny_config());
+            let mut sink = JsonlSink::create(&path).unwrap();
+            runner
+                .run_with_sink(&manifest.shard(i, 2), &mut sink)
+                .unwrap();
+        }
+        let opts = FleetOptions {
+            procs: 2,
+            max_attempts: 1,
+            ..FleetOptions::default()
+        };
+        let report = run_fleet(&manifest, &NoopLauncher, &out, &opts).unwrap();
+        assert_eq!(report.launches, 0, "complete shards must not relaunch");
+        assert_eq!(report.merged_units, manifest.len());
+        assert!(report.shards.iter().all(|s| s.attempts == 0));
+        // Merged output equals a one-shot run byte for byte.
+        let ref_path = tmp("prebuilt-ref.jsonl");
+        let _ = std::fs::remove_file(&ref_path);
+        let runner = Runner::new(tiny_config());
+        let mut reference = JsonlSink::create(&ref_path).unwrap();
+        runner.run_with_sink(&manifest, &mut reference).unwrap();
+        drop(reference);
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&ref_path).unwrap()
+        );
+        for p in [&out, &ref_path] {
+            let _ = std::fs::remove_file(p);
+        }
+        for i in 0..2 {
+            let _ = std::fs::remove_file(shard_ledger_path(&out, i));
+        }
+    }
+
+    #[test]
+    fn fleet_reports_a_shard_that_never_completes() {
+        let out = tmp("stuck.jsonl");
+        for i in 0..2 {
+            let _ = std::fs::remove_file(shard_ledger_path(&out, i));
+        }
+        let manifest = crate::manifest::RunManifest::from_config(&tiny_config());
+        let opts = FleetOptions {
+            procs: 2,
+            max_attempts: 2,
+            ..FleetOptions::default()
+        };
+        let err = run_fleet(&manifest, &NoopLauncher, &out, &opts).unwrap_err();
+        assert!(
+            err.to_string().contains("did not complete"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn torn_header_only_ledger_counts_as_fresh_not_corrupt() {
+        use std::io::Write;
+        let manifest = crate::manifest::RunManifest::from_config(&tiny_config());
+        let shard = manifest.shard(0, 2);
+        // A child killed during its very first write: the file holds
+        // only a torn header fragment. The fleet must relaunch fresh.
+        let path = tmp("torn-header.jsonl");
+        let mut f = std::fs::File::create(&path).unwrap();
+        write!(f, "{{\"t\":\"run\",\"fp\":\"5b51").unwrap();
+        drop(f);
+        assert!(matches!(
+            shard_state(&path, &shard).unwrap(),
+            ShardState::Fresh
+        ));
+        // But a ledger with real content and a damaged header stays a
+        // hard error — that is corruption, not a clean first-write kill.
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "NOT A HEADER").unwrap();
+        writeln!(
+            f,
+            "{{\"t\":\"u\",\"unit\":\"{}\",\"pos\":{}}}",
+            shard.units[0].id, shard.units[0].pos
+        )
+        .unwrap();
+        drop(f);
+        assert!(shard_state(&path, &shard).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fleet_refuses_a_foreign_shard_ledger() {
+        use crate::runner::Runner;
+        use crate::sink::JsonlSink;
+        let out = tmp("foreign.jsonl");
+        let shard0 = shard_ledger_path(&out, 0);
+        let _ = std::fs::remove_file(&shard0);
+        // Shard 0's path holds a ledger from a *different* grid.
+        let mut other = tiny_config();
+        other.epsilons = vec![0.9];
+        let other_runner = Runner::new(other);
+        let mut sink = JsonlSink::create(&shard0).unwrap();
+        other_runner
+            .run_with_sink(&other_runner.manifest(), &mut sink)
+            .unwrap();
+        drop(sink);
+        let manifest = crate::manifest::RunManifest::from_config(&tiny_config());
+        let err = run_fleet(&manifest, &NoopLauncher, &out, &FleetOptions::default()).unwrap_err();
+        assert!(
+            err.to_string().contains("different run"),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_file(&shard0);
+    }
+}

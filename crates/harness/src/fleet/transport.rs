@@ -1,0 +1,889 @@
+//! Pluggable shard transports: how the fleet driver starts shard
+//! workers, watches them, and gets their artifacts back.
+//!
+//! PR 4's fleet hard-coded "k local child processes writing directly to
+//! the merged output's directory". The [`ShardTransport`] trait factors
+//! that into the four operations the driver actually needs —
+//!
+//! 1. **launch** one shard attempt ([`ShardTransport::launch`]), getting
+//!    back a pollable [`ShardHandle`];
+//! 2. **poll** the attempt ([`ShardHandle::poll`]) and **kill** it when
+//!    the driver decides it has stalled;
+//! 3. **fetch** the shard's artifacts — ledger and optional `--agg`
+//!    summary — back to the driver's filesystem
+//!    ([`ShardTransport::fetch`], the *copy-back* step);
+//! 4. **cleanup** the shard's remote scratch space once the merged
+//!    output has been verified ([`ShardTransport::cleanup`]).
+//!
+//! Three implementations:
+//!
+//! * [`LocalTransport`] — the PR 4 behavior: adapt any [`ShardLauncher`]
+//!   (which spawns a local child writing the ledger in place), so fetch
+//!   is a no-op ([`FetchOutcome::InPlace`]).
+//! * [`CommandTransport`] — template an arbitrary wrapper command line
+//!   around the shard command (`{cmd}`), so `ssh host {cmd}`,
+//!   `docker run -v … img {cmd}`, and `sh -c "{cmd}"` all work without
+//!   the driver knowing any of them. Shards write into a per-shard
+//!   workdir; copy-back is a plain file copy by default or a `--fetch-cmd`
+//!   template (`scp host:{src} {dest}`) for genuinely remote workdirs.
+//! * [`FaultyTransport`] — **test-only**: runs shards in-process and
+//!   injects crashes, hangs, torn copy-backs, empty artifacts, and stale
+//!   ledgers deterministically, so `tests/fleet_faults.rs` can prove the
+//!   driver survives every remote failure mode without real machines.
+//!
+//! The driver treats exit status as advisory and the (fetched) ledger as
+//! truth, so a transport does not need reliable status reporting — a
+//! `ssh` that dies after the remote shard finished is indistinguishable
+//! from a clean run once the ledger is fetched.
+
+use crate::config::ExperimentConfig;
+use crate::runner::Runner;
+use crate::sink::{read_ledger, JsonlSink};
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+
+/// Everything a transport needs to start one shard attempt.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// Shard index in `0..procs`.
+    pub index: usize,
+    /// Total shard count (`k` in `--shard i/k`).
+    pub procs: usize,
+    /// The driver-side ledger path for this shard. Local transports
+    /// write it directly; remote transports write into their own workdir
+    /// and copy back to this path on [`ShardTransport::fetch`].
+    pub ledger: PathBuf,
+    /// True when a prior ledger holds completed units to skip.
+    pub resume: bool,
+    /// Launch round, counted from 0 across the whole fleet run.
+    pub attempt: usize,
+}
+
+/// What a polled shard attempt is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Still running (or unreachable — the driver keeps polling until
+    /// the stall timeout expires).
+    Running,
+    /// Exited. `success` mirrors the exit status but is advisory only:
+    /// the fetched ledger decides whether the shard's work is complete.
+    Exited {
+        /// Exit-status success, advisory.
+        success: bool,
+    },
+}
+
+/// A launched shard attempt the driver can poll and kill.
+pub trait ShardHandle {
+    /// Non-blocking status check.
+    fn poll(&mut self) -> io::Result<ShardStatus>;
+    /// Terminate the attempt (used when the driver declares a stall).
+    /// After a kill, `poll` must eventually report `Exited`.
+    fn kill(&mut self) -> io::Result<()>;
+}
+
+/// Which shard artifact to copy back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Artifact {
+    /// The JSONL result/resume ledger.
+    Ledger,
+    /// The mergeable `--agg` t-digest summary.
+    Summary,
+}
+
+/// Result of a copy-back attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// The artifact is produced at the destination path directly (local
+    /// transports); nothing was copied.
+    InPlace,
+    /// The artifact was copied to the destination.
+    Copied,
+    /// The shard has not produced this artifact (yet) — the destination
+    /// was left untouched.
+    Missing,
+}
+
+/// How the fleet driver reaches its shards. Implementations decide the
+/// machinery (child process, ssh, container, in-process test double);
+/// the driver decides *when* to launch, resume, kill, fetch, and merge.
+pub trait ShardTransport {
+    /// Start one shard attempt.
+    fn launch(&self, spec: &LaunchSpec) -> io::Result<Box<dyn ShardHandle>>;
+
+    /// Copy one artifact of shard `index` back to `dest` (the copy-back
+    /// step). Called repeatedly — between rounds, after exits, and
+    /// periodically for progress tailing — so implementations must
+    /// tolerate a still-running shard (a torn or partial copy is fine:
+    /// the driver validates with the strict ledger readers and
+    /// re-fetches or re-dispatches).
+    ///
+    /// Outcome contract: [`FetchOutcome::Missing`] asserts **confirmed
+    /// absence** of the remote artifact (and leaves `dest` alone) — the
+    /// driver takes it as license to restart a partially-fetched shard
+    /// fresh. A fetch that merely *failed* (unreachable host, transport
+    /// error) must be an `Err` instead: the driver defers the shard and
+    /// retries the fetch next round rather than discarding remote work.
+    fn fetch(&self, index: usize, artifact: Artifact, dest: &Path) -> io::Result<FetchOutcome>;
+
+    /// Remove shard `index`'s remote scratch space. Called only after
+    /// the merged output has been verified; local transports no-op.
+    fn cleanup(&self, index: usize) -> io::Result<()> {
+        let _ = index;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local processes (the PR 4 path)
+// ---------------------------------------------------------------------------
+
+/// Spawns one shard process. Implementations decide the command line;
+/// the driver decides *when* to launch, whether to pass resume, and what
+/// to do with the exit status. This is the PR 4 trait, kept as the
+/// simplest way to plug a local child process into [`LocalTransport`].
+pub trait ShardLauncher {
+    /// Launch shard `index` of `procs`, writing its ledger to `ledger`.
+    /// `resume` is true when a prior ledger holds completed units to
+    /// skip; `attempt` counts launch rounds from 0.
+    fn launch(
+        &self,
+        index: usize,
+        procs: usize,
+        ledger: &Path,
+        resume: bool,
+        attempt: usize,
+    ) -> io::Result<Child>;
+}
+
+/// A [`Child`] process as a pollable shard handle.
+pub struct ProcessHandle {
+    child: Child,
+    /// Cached terminal status once observed (a `Child` can only be
+    /// waited once).
+    exited: Option<bool>,
+}
+
+impl ProcessHandle {
+    /// Wrap a spawned child.
+    pub fn new(child: Child) -> Self {
+        Self {
+            child,
+            exited: None,
+        }
+    }
+}
+
+impl ShardHandle for ProcessHandle {
+    fn poll(&mut self) -> io::Result<ShardStatus> {
+        if let Some(success) = self.exited {
+            return Ok(ShardStatus::Exited { success });
+        }
+        match self.child.try_wait()? {
+            Some(status) => {
+                self.exited = Some(status.success());
+                Ok(ShardStatus::Exited {
+                    success: status.success(),
+                })
+            }
+            None => Ok(ShardStatus::Running),
+        }
+    }
+
+    fn kill(&mut self) -> io::Result<()> {
+        if self.exited.is_some() {
+            return Ok(());
+        }
+        // An already-dead child returns InvalidInput from kill; that is
+        // a race we want, not an error.
+        match self.child.kill() {
+            Ok(()) | Err(_) => {}
+        }
+        let status = self.child.wait()?;
+        self.exited = Some(status.success());
+        Ok(())
+    }
+}
+
+/// Adapt a [`ShardLauncher`] (local child processes writing ledgers in
+/// place) to the transport interface: fetch is a no-op, cleanup is a
+/// no-op, and the shard ledgers double as the fleet's crash record.
+pub struct LocalTransport<'a> {
+    /// The command constructor.
+    pub launcher: &'a dyn ShardLauncher,
+}
+
+impl ShardTransport for LocalTransport<'_> {
+    fn launch(&self, spec: &LaunchSpec) -> io::Result<Box<dyn ShardHandle>> {
+        let child = self.launcher.launch(
+            spec.index,
+            spec.procs,
+            &spec.ledger,
+            spec.resume,
+            spec.attempt,
+        )?;
+        Ok(Box::new(ProcessHandle::new(child)))
+    }
+
+    fn fetch(&self, _index: usize, _artifact: Artifact, _dest: &Path) -> io::Result<FetchOutcome> {
+        Ok(FetchOutcome::InPlace)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Command-template transport (ssh / docker / sh -c without knowing any)
+// ---------------------------------------------------------------------------
+
+/// The per-shard remote paths a [`CommandTransport`] shard writes to.
+#[derive(Debug, Clone)]
+pub struct RemotePaths {
+    /// The shard's scratch directory (`<workdir>/shard<i>`).
+    pub dir: PathBuf,
+    /// Remote ledger path (`<dir>/ledger.jsonl`).
+    pub ledger: PathBuf,
+    /// Remote `--agg` summary path (`<dir>/ledger.agg.jsonl`).
+    pub summary: PathBuf,
+}
+
+/// Builds the shard command argv (program first) for one attempt, given
+/// the remote paths the shard must write to. The CLI supplies this so
+/// the transport stays ignorant of `dpbench run`'s flag set.
+pub type ShardCommandBuilder = Box<dyn Fn(&LaunchSpec, &RemotePaths) -> Vec<String>>;
+
+/// Launch shards through an arbitrary wrapper command line. The launch
+/// template must contain `{cmd}`, which is replaced by the shell-quoted
+/// shard command; `{index}`, `{procs}`, and `{workdir}` are also
+/// substituted. The whole substituted line runs under `sh -c`, so
+///
+/// * `{cmd}` — plain local execution through a shell,
+/// * `sh -c "{cmd}"` — an explicit wrapper (what CI's remote-smoke uses),
+/// * `ssh worker{index} {cmd}` — one machine per shard,
+/// * `docker run --rm -v /scratch:/scratch dpbench {cmd}` — containers,
+///
+/// all work without the driver knowing which. Path substitutions
+/// (`{workdir}`, and `{src}`/`{dest}` in the fetch template) are
+/// shell-quoted when they need it, so templates behave with paths
+/// containing spaces or metacharacters. Each shard writes into its
+/// own workdir (`<workdir>/shard<i>/`); copy-back is a plain file copy
+/// by default (correct whenever the workdir is reachable locally — same
+/// machine, shared filesystem, or a mounted volume) or a `fetch`
+/// template like `scp worker{index}:{src} {dest}` for genuinely remote
+/// filesystems.
+pub struct CommandTransport {
+    launch_template: String,
+    fetch_template: Option<String>,
+    cleanup_template: Option<String>,
+    workdir: PathBuf,
+    build_command: ShardCommandBuilder,
+}
+
+impl CommandTransport {
+    /// New transport. Errors unless `launch_template` contains `{cmd}`.
+    pub fn new(
+        launch_template: impl Into<String>,
+        workdir: impl Into<PathBuf>,
+        build_command: ShardCommandBuilder,
+    ) -> io::Result<Self> {
+        let launch_template = launch_template.into();
+        if !launch_template.contains("{cmd}") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("launch template {launch_template:?} does not contain {{cmd}}"),
+            ));
+        }
+        Ok(Self {
+            launch_template,
+            fetch_template: None,
+            cleanup_template: None,
+            workdir: workdir.into(),
+            build_command,
+        })
+    }
+
+    /// Use a command template (`{src}`, `{dest}`, `{index}`, `{workdir}`)
+    /// for copy-back instead of a plain file copy.
+    pub fn with_fetch_template(mut self, template: impl Into<String>) -> Self {
+        self.fetch_template = Some(template.into());
+        self
+    }
+
+    /// Use a command template (`{index}`, `{workdir}`) for cleanup
+    /// instead of removing the shard workdir locally.
+    pub fn with_cleanup_template(mut self, template: impl Into<String>) -> Self {
+        self.cleanup_template = Some(template.into());
+        self
+    }
+
+    /// The remote paths shard `index` writes to.
+    pub fn remote_paths(&self, index: usize) -> RemotePaths {
+        let dir = self.workdir.join(format!("shard{index}"));
+        RemotePaths {
+            ledger: dir.join("ledger.jsonl"),
+            summary: dir.join("ledger.agg.jsonl"),
+            dir,
+        }
+    }
+
+    fn substitute(&self, template: &str, spec: &[(&str, String)]) -> String {
+        let mut out = template.to_string();
+        for (key, value) in spec {
+            out = out.replace(&format!("{{{key}}}"), value);
+        }
+        out
+    }
+
+    fn run_shell(&self, line: &str, stderr: Stdio) -> io::Result<Child> {
+        Command::new("sh")
+            .arg("-c")
+            .arg(line)
+            .stdout(Stdio::null())
+            .stderr(stderr)
+            .spawn()
+    }
+}
+
+/// Quote one argument for POSIX `sh`. Plain words pass through; anything
+/// else — including `*`, which is a legal dpbench identifier character
+/// (`MWEM*`) but a glob the shell would expand against the remote cwd —
+/// is single-quoted with embedded quotes escaped.
+pub fn sh_quote(arg: &str) -> String {
+    let plain = !arg.is_empty()
+        && arg
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"_-./:=,@%+".contains(&b));
+    if plain {
+        arg.to_string()
+    } else {
+        format!("'{}'", arg.replace('\'', "'\\''"))
+    }
+}
+
+impl ShardTransport for CommandTransport {
+    fn launch(&self, spec: &LaunchSpec) -> io::Result<Box<dyn ShardHandle>> {
+        let paths = self.remote_paths(spec.index);
+        // Harmless when the workdir is genuinely remote (the path simply
+        // also exists locally); required for the local-wrapper cases.
+        std::fs::create_dir_all(&paths.dir)?;
+        let argv = (self.build_command)(spec, &paths);
+        let cmd = argv
+            .iter()
+            .map(|a| sh_quote(a))
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Path substitutions are shell-quoted (plain paths pass through
+        // unchanged): an unquoted path with a space or metacharacter
+        // would word-split inside the sh -c line. {cmd} is already
+        // quoted per-argument; {index}/{procs} are numeric.
+        let line = self.substitute(
+            &self.launch_template,
+            &[
+                ("cmd", cmd),
+                ("index", spec.index.to_string()),
+                ("procs", spec.procs.to_string()),
+                ("workdir", sh_quote(&paths.dir.display().to_string())),
+            ],
+        );
+        // Tee the wrapper's stderr next to the local ledger, like the
+        // local launcher does, so k shards don't interleave on the
+        // driver's terminal and the attempt history is preserved.
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(spec.ledger.with_extension("log"))?;
+        let child = self.run_shell(&line, Stdio::from(log))?;
+        Ok(Box::new(ProcessHandle::new(child)))
+    }
+
+    fn fetch(&self, index: usize, artifact: Artifact, dest: &Path) -> io::Result<FetchOutcome> {
+        let paths = self.remote_paths(index);
+        let src = match artifact {
+            Artifact::Ledger => paths.ledger,
+            Artifact::Summary => paths.summary,
+        };
+        match &self.fetch_template {
+            Some(template) => {
+                // The command writes to a scratch path, not to `dest`
+                // directly: whether a file materialized *this time* is
+                // what distinguishes Copied from Missing. Deciding via
+                // `dest.exists()` would report stale bytes from an
+                // earlier fetch as Copied, and a failed command must
+                // leave the previous good copy untouched.
+                let scratch = dest.with_file_name(format!(
+                    "{}.fetch.tmp",
+                    dest.file_name()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default()
+                ));
+                let _ = std::fs::remove_file(&scratch);
+                let line = self.substitute(
+                    template,
+                    &[
+                        ("src", sh_quote(&src.display().to_string())),
+                        ("dest", sh_quote(&scratch.display().to_string())),
+                        ("index", index.to_string()),
+                        ("workdir", sh_quote(&paths.dir.display().to_string())),
+                    ],
+                );
+                // Outcome semantics matter here: `Missing` is a claim of
+                // *confirmed absence* (the driver restarts a Partial
+                // shard fresh on it), while a failed fetch command could
+                // just as well be transient unreachability — reporting
+                // that as Missing would discard a remote shard's
+                // completed work over a network blip. So: command ran
+                // and produced nothing → Missing; command failed → an
+                // error the driver treats as "try again next round".
+                let status = self.run_shell(&line, Stdio::null())?.wait()?;
+                if !status.success() {
+                    let _ = std::fs::remove_file(&scratch);
+                    return Err(io::Error::other(format!(
+                        "fetch command for shard {index} exited with {status}: {line}"
+                    )));
+                }
+                if scratch.exists() {
+                    std::fs::rename(&scratch, dest)?;
+                    Ok(FetchOutcome::Copied)
+                } else {
+                    Ok(FetchOutcome::Missing)
+                }
+            }
+            None => match std::fs::copy(&src, dest) {
+                Ok(_) => Ok(FetchOutcome::Copied),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(FetchOutcome::Missing),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    fn cleanup(&self, index: usize) -> io::Result<()> {
+        let paths = self.remote_paths(index);
+        match &self.cleanup_template {
+            Some(template) => {
+                let line = self.substitute(
+                    template,
+                    &[
+                        ("index", index.to_string()),
+                        ("workdir", sh_quote(&paths.dir.display().to_string())),
+                    ],
+                );
+                let status = self.run_shell(&line, Stdio::null())?.wait()?;
+                if status.success() {
+                    Ok(())
+                } else {
+                    Err(io::Error::other(format!(
+                        "cleanup command for shard {index} exited with {status}"
+                    )))
+                }
+            }
+            None => match std::fs::remove_dir_all(&paths.dir) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection transport (test harness)
+// ---------------------------------------------------------------------------
+
+/// A launch-time fault, keyed by `(shard, attempt)`.
+#[derive(Debug, Clone, Copy)]
+pub enum LaunchFault {
+    /// Complete `after_units` units, then die with a failing exit; with
+    /// `torn_tail`, the crash additionally tears the remote ledger's
+    /// final line mid-write.
+    Crash {
+        /// Units completed before the simulated crash.
+        after_units: usize,
+        /// Leave a torn (unparseable) trailing fragment in the ledger.
+        torn_tail: bool,
+    },
+    /// Never make progress: the handle reports `Running` until the
+    /// driver's stall timeout kills it.
+    Hang,
+    /// Do all the work, then report a failing exit status anyway — the
+    /// "exit status is advisory, the ledger is truth" drill.
+    LieAboutExit,
+}
+
+/// A copy-back fault, keyed by `(shard, nth ledger fetch that found a
+/// remote artifact)`.
+#[derive(Debug, Clone, Copy)]
+pub enum FetchFault {
+    /// Deliver only a prefix, dropping the last `drop_bytes` bytes (a
+    /// torn copy).
+    TornCopy {
+        /// Bytes missing from the end of the delivered file.
+        drop_bytes: u64,
+    },
+    /// Deliver a zero-byte artifact.
+    EmptyArtifact,
+    /// Deliver a ledger belonging to a different run (stale scratch
+    /// space from an earlier fleet) — the driver must hard-error, never
+    /// merge it.
+    StaleLedger,
+}
+
+/// **Test-only** transport that executes shards in-process (no child
+/// processes, no machines) and injects failures deterministically: the
+/// fault matrix in `tests/fleet_faults.rs` drives the driver through
+/// every remote failure mode and asserts the merged output stays
+/// byte-identical to a one-shot run in every survivable case.
+///
+/// The "remote" side is a local workdir: shard `i` writes
+/// `<workdir>/shard<i>.jsonl`, and `fetch` copies it back — faithfully,
+/// torn, empty, or stale, per the configured fault script.
+pub struct FaultyTransport {
+    config: ExperimentConfig,
+    workdir: PathBuf,
+    launch_faults: Mutex<HashMap<(usize, usize), LaunchFault>>,
+    fetch_faults: Mutex<HashMap<(usize, usize), FetchFault>>,
+    /// Ledger-fetch occurrence counter per shard (only fetches that
+    /// found a remote artifact count, so fault scripts stay independent
+    /// of how many early-round fetches saw nothing).
+    fetch_seen: Mutex<HashMap<usize, usize>>,
+    /// Shard indexes whose scratch space was cleaned up, in call order.
+    cleanups: Mutex<Vec<usize>>,
+}
+
+impl FaultyTransport {
+    /// New fault-free transport over `config`, with remote scratch space
+    /// under `workdir` (created on demand).
+    pub fn new(config: ExperimentConfig, workdir: impl Into<PathBuf>) -> Self {
+        Self {
+            config,
+            workdir: workdir.into(),
+            launch_faults: Mutex::new(HashMap::new()),
+            fetch_faults: Mutex::new(HashMap::new()),
+            fetch_seen: Mutex::new(HashMap::new()),
+            cleanups: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Script a launch fault for `(shard, attempt)`.
+    pub fn fail_launch(self, shard: usize, attempt: usize, fault: LaunchFault) -> Self {
+        self.launch_faults
+            .lock()
+            .unwrap()
+            .insert((shard, attempt), fault);
+        self
+    }
+
+    /// Script a copy-back fault for the `occurrence`-th ledger fetch of
+    /// `shard` that finds a remote artifact (0-based).
+    pub fn fail_fetch(self, shard: usize, occurrence: usize, fault: FetchFault) -> Self {
+        self.fetch_faults
+            .lock()
+            .unwrap()
+            .insert((shard, occurrence), fault);
+        self
+    }
+
+    /// Shard indexes cleaned up so far (call order).
+    pub fn cleanups(&self) -> Vec<usize> {
+        self.cleanups.lock().unwrap().clone()
+    }
+
+    fn remote_ledger(&self, index: usize) -> PathBuf {
+        self.workdir.join(format!("shard{index}.jsonl"))
+    }
+
+    /// Execute one shard attempt in-process, honoring resume and the
+    /// crash fault's unit budget — the same observable behavior as
+    /// `dpbench run --shard i/k [--resume] [--fail-after N]`.
+    fn run_shard(&self, spec: &LaunchSpec, fault: Option<LaunchFault>) -> io::Result<bool> {
+        let mut runner = Runner::new(self.config.clone());
+        runner.threads = 1;
+        let mut crash = false;
+        let mut torn_tail = false;
+        match fault {
+            Some(LaunchFault::Crash {
+                after_units,
+                torn_tail: torn,
+            }) => {
+                runner.max_units = Some(after_units);
+                crash = true;
+                torn_tail = torn;
+            }
+            Some(LaunchFault::LieAboutExit) => crash = true, // work done, exit lies
+            Some(LaunchFault::Hang) => unreachable!("hangs never reach run_shard"),
+            None => {}
+        }
+        let shard = runner.manifest().shard(spec.index, spec.procs);
+        let remote = self.remote_ledger(spec.index);
+        if spec.resume {
+            // Mirror the real child: resume over an unreadable ledger is
+            // a failed attempt, not silent data loss.
+            let ledger = match read_ledger(&remote) {
+                Ok(l) => l,
+                Err(_) => return Ok(false),
+            };
+            let mut sink = JsonlSink::append(&remote)?;
+            runner.resume(&shard, &ledger.done, &mut sink)?;
+        } else {
+            let mut sink = JsonlSink::create(&remote)?;
+            runner.run_with_sink(&shard, &mut sink)?;
+        }
+        if torn_tail {
+            // A kill mid-write: a fragment with no newline and no
+            // closing brace. `JsonlSink::append` heals it on resume.
+            let mut f = std::fs::OpenOptions::new().append(true).open(&remote)?;
+            write!(f, "{{\"t\":\"s\",\"unit\":\"00")?;
+        }
+        Ok(!crash)
+    }
+}
+
+/// Handle of an attempt that already finished (the faulty transport runs
+/// shards synchronously inside `launch`).
+struct CompletedHandle {
+    success: bool,
+}
+
+impl ShardHandle for CompletedHandle {
+    fn poll(&mut self) -> io::Result<ShardStatus> {
+        Ok(ShardStatus::Exited {
+            success: self.success,
+        })
+    }
+
+    fn kill(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Handle of a hung attempt: `Running` until killed.
+struct HangHandle {
+    killed: bool,
+}
+
+impl ShardHandle for HangHandle {
+    fn poll(&mut self) -> io::Result<ShardStatus> {
+        Ok(if self.killed {
+            ShardStatus::Exited { success: false }
+        } else {
+            ShardStatus::Running
+        })
+    }
+
+    fn kill(&mut self) -> io::Result<()> {
+        self.killed = true;
+        Ok(())
+    }
+}
+
+impl ShardTransport for FaultyTransport {
+    fn launch(&self, spec: &LaunchSpec) -> io::Result<Box<dyn ShardHandle>> {
+        std::fs::create_dir_all(&self.workdir)?;
+        let fault = self
+            .launch_faults
+            .lock()
+            .unwrap()
+            .get(&(spec.index, spec.attempt))
+            .copied();
+        if matches!(fault, Some(LaunchFault::Hang)) {
+            return Ok(Box::new(HangHandle { killed: false }));
+        }
+        let success = self.run_shard(spec, fault)?;
+        Ok(Box::new(CompletedHandle { success }))
+    }
+
+    fn fetch(&self, index: usize, artifact: Artifact, dest: &Path) -> io::Result<FetchOutcome> {
+        if artifact == Artifact::Summary {
+            return Ok(FetchOutcome::Missing); // fault tests never use --agg
+        }
+        let src = self.remote_ledger(index);
+        if !src.exists() {
+            return Ok(FetchOutcome::Missing);
+        }
+        let occurrence = {
+            let mut seen = self.fetch_seen.lock().unwrap();
+            let n = seen.entry(index).or_insert(0);
+            let occ = *n;
+            *n += 1;
+            occ
+        };
+        let fault = self
+            .fetch_faults
+            .lock()
+            .unwrap()
+            .get(&(index, occurrence))
+            .copied();
+        match fault {
+            None => {
+                std::fs::copy(&src, dest)?;
+            }
+            Some(FetchFault::TornCopy { drop_bytes }) => {
+                let bytes = std::fs::read(&src)?;
+                let keep = bytes.len().saturating_sub(drop_bytes as usize);
+                std::fs::write(dest, &bytes[..keep])?;
+            }
+            Some(FetchFault::EmptyArtifact) => {
+                std::fs::write(dest, b"")?;
+            }
+            Some(FetchFault::StaleLedger) => {
+                std::fs::write(
+                    dest,
+                    b"{\"t\":\"run\",\"fp\":\"00000000deadbeef\",\"n_trials\":1}\n",
+                )?;
+            }
+        }
+        Ok(FetchOutcome::Copied)
+    }
+
+    fn cleanup(&self, index: usize) -> io::Result<()> {
+        self.cleanups.lock().unwrap().push(index);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sh_quote_passes_plain_words_and_quotes_the_rest() {
+        assert_eq!(sh_quote("--out"), "--out");
+        assert_eq!(sh_quote("run.shard0.jsonl"), "run.shard0.jsonl");
+        assert_eq!(sh_quote("/tmp/a-b_c.1/x"), "/tmp/a-b_c.1/x");
+        // `*` is a valid identifier character (MWEM*) but must be
+        // quoted, or the remote shell globs it against its cwd.
+        assert_eq!(sh_quote("MWEM*"), "'MWEM*'");
+        assert_eq!(sh_quote("IDENTITY,MWEM*"), "'IDENTITY,MWEM*'");
+        assert_eq!(sh_quote("a b"), "'a b'");
+        assert_eq!(sh_quote("it's"), "'it'\\''s'");
+        assert_eq!(sh_quote(""), "''");
+        assert_eq!(sh_quote("$HOME"), "'$HOME'");
+    }
+
+    #[test]
+    fn command_transport_requires_cmd_placeholder() {
+        let err = CommandTransport::new("ssh host", "/tmp/w", Box::new(|_, _| vec![]))
+            .err()
+            .expect("template without {cmd} must be rejected");
+        assert!(err.to_string().contains("{cmd}"), "{err}");
+        assert!(CommandTransport::new("ssh host {cmd}", "/tmp/w", Box::new(|_, _| vec![])).is_ok());
+    }
+
+    #[test]
+    fn command_transport_shard_paths_are_per_shard() {
+        let t = CommandTransport::new("{cmd}", "/scratch/fleet", Box::new(|_, _| vec![])).unwrap();
+        let p = t.remote_paths(3);
+        assert_eq!(p.dir, PathBuf::from("/scratch/fleet/shard3"));
+        assert_eq!(
+            p.ledger,
+            PathBuf::from("/scratch/fleet/shard3/ledger.jsonl")
+        );
+        assert_eq!(
+            p.summary,
+            PathBuf::from("/scratch/fleet/shard3/ledger.agg.jsonl")
+        );
+    }
+
+    #[test]
+    fn command_transport_fetch_reports_missing_without_touching_dest() {
+        let dir = std::env::temp_dir().join(format!("dpbench-cmdt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = CommandTransport::new("{cmd}", dir.join("w"), Box::new(|_, _| vec![])).unwrap();
+        let dest = dir.join("local.jsonl");
+        std::fs::write(&dest, b"precious local bytes").unwrap();
+        assert_eq!(
+            t.fetch(0, Artifact::Ledger, &dest).unwrap(),
+            FetchOutcome::Missing
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"precious local bytes");
+        // Once the remote artifact exists, fetch copies it over.
+        std::fs::create_dir_all(t.remote_paths(0).dir).unwrap();
+        std::fs::write(t.remote_paths(0).ledger, b"remote bytes").unwrap();
+        assert_eq!(
+            t.fetch(0, Artifact::Ledger, &dest).unwrap(),
+            FetchOutcome::Copied
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"remote bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn command_transport_fetch_template_substitutes_src_and_dest() {
+        let dir = std::env::temp_dir().join(format!("dpbench-cmdt-tpl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = CommandTransport::new("{cmd}", dir.join("w"), Box::new(|_, _| vec![]))
+            .unwrap()
+            .with_fetch_template("cp {src} {dest}");
+        std::fs::create_dir_all(t.remote_paths(1).dir).unwrap();
+        std::fs::write(t.remote_paths(1).ledger, b"via template").unwrap();
+        let dest = dir.join("fetched.jsonl");
+        assert_eq!(
+            t.fetch(1, Artifact::Ledger, &dest).unwrap(),
+            FetchOutcome::Copied
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"via template");
+        // A failing fetch command is an error ("try again"), never a
+        // Missing claim that would authorize discarding remote work.
+        let t = CommandTransport::new("{cmd}", dir.join("w"), Box::new(|_, _| vec![]))
+            .unwrap()
+            .with_fetch_template("false");
+        let err = t.fetch(1, Artifact::Ledger, &dest).unwrap_err();
+        assert!(err.to_string().contains("fetch command"), "{err}");
+        // Command ran fine but produced nothing → confirmed absence —
+        // even when an earlier fetch left bytes at dest (Copied must
+        // mean "a file materialized *this time*", never stale bytes).
+        let t = CommandTransport::new("{cmd}", dir.join("w"), Box::new(|_, _| vec![]))
+            .unwrap()
+            .with_fetch_template("true");
+        assert_eq!(
+            t.fetch(1, Artifact::Ledger, &dir.join("nonexistent.jsonl"))
+                .unwrap(),
+            FetchOutcome::Missing
+        );
+        std::fs::write(&dest, b"stale earlier copy").unwrap();
+        assert_eq!(
+            t.fetch(1, Artifact::Ledger, &dest).unwrap(),
+            FetchOutcome::Missing
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"stale earlier copy");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fetch_template_survives_paths_with_spaces() {
+        // Regression: {src}/{dest}/{workdir} substitutions are quoted
+        // before hitting sh -c; an unquoted space would word-split the
+        // cp and make every fetch silently Missing.
+        let dir = std::env::temp_dir().join(format!("dpbench cmdt sp {}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = CommandTransport::new("{cmd}", dir.join("w dir"), Box::new(|_, _| vec![]))
+            .unwrap()
+            .with_fetch_template("cp {src} {dest}");
+        std::fs::create_dir_all(t.remote_paths(0).dir).unwrap();
+        std::fs::write(t.remote_paths(0).ledger, b"spacey bytes").unwrap();
+        let dest = dir.join("fetched here.jsonl");
+        assert_eq!(
+            t.fetch(0, Artifact::Ledger, &dest).unwrap(),
+            FetchOutcome::Copied
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"spacey bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn command_transport_cleanup_removes_the_shard_workdir() {
+        let dir = std::env::temp_dir().join(format!("dpbench-cmdt-clean-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = CommandTransport::new("{cmd}", dir.join("w"), Box::new(|_, _| vec![])).unwrap();
+        std::fs::create_dir_all(t.remote_paths(0).dir).unwrap();
+        std::fs::write(t.remote_paths(0).ledger, b"x").unwrap();
+        t.cleanup(0).unwrap();
+        assert!(!t.remote_paths(0).dir.exists());
+        // Cleaning an absent workdir is fine (idempotent).
+        t.cleanup(0).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,11 +17,14 @@
 //! 3. a JSONL ledger checkpoint lets [`Runner::resume`] (or a
 //!    `--shard`ed fleet of processes) reproduce the single-process run
 //!    bit-identically;
-//! 4. the [`fleet`] driver runs a whole shard fleet as one call — spawn
-//!    k processes, retry/resume failures from their ledgers, k-way
-//!    stream-merge the shard files byte-identically to a one-shot run,
-//!    and combine per-shard t-digest summaries without re-reading raw
-//!    samples.
+//! 4. the [`fleet`] driver runs a whole shard fleet as one call — over
+//!    local child processes or any pluggable [`fleet::ShardTransport`]
+//!    (templated `ssh`/`docker` command lines, test fault injectors) —
+//!    fetching remote ledgers back before validating them, retrying and
+//!    resuming failures, tailing live per-shard progress, k-way
+//!    stream-merging the shard files byte-identically to a one-shot
+//!    run, and combining per-shard t-digest summaries without
+//!    re-reading raw samples.
 
 pub mod competitive;
 pub mod config;
@@ -34,7 +37,10 @@ pub mod sink;
 pub mod tuning;
 
 pub use config::{ExperimentConfig, Setting};
-pub use fleet::{run_fleet, FleetOptions, FleetReport, ShardLauncher};
+pub use fleet::{
+    run_fleet, run_fleet_with, CommandTransport, FleetOptions, FleetReport, ShardLauncher,
+    ShardTransport,
+};
 pub use manifest::{ManifestUnit, RunManifest, UnitId};
 pub use results::{ErrorSample, ResultStore, SettingSummary};
 pub use runner::{RunStats, Runner};

@@ -926,6 +926,70 @@ fn collect_samples(
     Ok(out)
 }
 
+/// Result of one incremental [`probe_ledger`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct LedgerProbe {
+    /// Byte offset just past the last complete line consumed — pass it
+    /// back as `from_offset` next time.
+    pub offset: u64,
+    /// Completed-unit ids seen in the newly consumed lines (duplicates
+    /// possible across probes after a rewind; callers accumulate into a
+    /// set).
+    pub units: Vec<UnitId>,
+    /// The file was shorter than `from_offset` (truncated, healed, or
+    /// recreated since the last probe) and the scan restarted from 0.
+    pub rewound: bool,
+}
+
+/// Incremental progress probe over a ledger that may be **live** (a
+/// shard is appending to it right now) or a **partial copy** (a fetched
+/// snapshot of a remote shard's ledger, possibly torn anywhere).
+///
+/// Reads complete lines starting at `from_offset` and reports the
+/// completion markers among them. Deliberately *lenient* where
+/// [`read_ledger`] is strict: a probe races the writer by design, so an
+/// incomplete trailing line is simply left unconsumed (the returned
+/// offset stops before it) and a malformed line is skipped rather than
+/// fatal — progress reporting must never abort a healthy fleet. The
+/// strict readers remain the arbiters of ledger validity at merge time.
+pub fn probe_ledger(path: &Path, from_offset: u64) -> io::Result<LedgerProbe> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = File::open(path)?;
+    let len = file.metadata()?.len();
+    let (start, rewound) = if len < from_offset {
+        (0, true)
+    } else {
+        (from_offset, false)
+    };
+    if start > 0 {
+        file.seek(SeekFrom::Start(start))?;
+    }
+    let mut reader = BufReader::new(file.take(len - start));
+    let mut probe = LedgerProbe {
+        offset: start,
+        units: Vec::new(),
+        rewound,
+    };
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let n = reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        if buf.last() != Some(&b'\n') {
+            // Incomplete tail (mid-append or torn copy): leave it for a
+            // later probe; the offset stops before it.
+            break;
+        }
+        if let Line::UnitDone { id, .. } = classify(&String::from_utf8_lossy(&buf)) {
+            probe.units.push(id);
+        }
+        probe.offset += n as u64;
+    }
+    Ok(probe)
+}
+
 /// Parse the setting fields shared by sample and summary-group records.
 fn parse_setting(line: &str) -> Option<Setting> {
     Some(Setting {

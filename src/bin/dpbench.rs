@@ -13,6 +13,9 @@
 //!             [--data-cache-mb MB]
 //! dpbench fleet --procs k --out run.jsonl <run flags...>
 //!               [--retries N] [--kill-shard i:N] [--agg summary.jsonl]
+//!               [--progress] [--stall-timeout SECS]
+//!               [--launch-cmd TPL --workdir DIR [--remote-exe PATH]
+//!                [--fetch-cmd TPL] [--cleanup-cmd TPL]]
 //! dpbench merge --out merged.jsonl shard0.jsonl shard1.jsonl ...
 //! ```
 //!
@@ -23,15 +26,27 @@
 //! and `merge` interleaves shard/partial files back into the canonical
 //! byte stream a single uninterrupted process would have written.
 //!
-//! `fleet` is the one-command driver over all of that: it spawns `k`
-//! shard processes, monitors them, retries/resumes any shard that dies
+//! `fleet` is the one-command driver over all of that: it launches `k`
+//! shards, monitors them, retries/resumes any shard that dies
 //! (`--kill-shard i:N` is a built-in crash drill that kills shard `i`'s
 //! first attempt after `N` units), and stream-merges the shard ledgers
 //! into `--out` — byte-identical to a single-process run. With `--agg`,
 //! each shard also ships a mergeable t-digest summary and the fleet
 //! combines them without re-reading raw samples.
+//!
+//! By default shards are local child processes. `--launch-cmd` swaps in
+//! a templated wrapper command line — `{cmd}` is replaced by the shard
+//! command — so `ssh worker{index} {cmd}` or `docker run … {cmd}` runs
+//! the fleet over machines or containers: each shard writes into its own
+//! `--workdir` directory and the driver copies ledgers (and summaries)
+//! back before validating and merging them. `--progress` tails the
+//! (fetched) shard ledgers into live per-shard `done/total` lines, and
+//! `--stall-timeout` kills and retries a shard whose ledger stops
+//! moving.
 
-use dpbench::harness::fleet::{self, FleetOptions, ShardLauncher};
+use dpbench::harness::fleet::{
+    self, CommandTransport, FleetOptions, LaunchSpec, LocalTransport, RemotePaths, ShardLauncher,
+};
 use dpbench::harness::sink::{self, AggregatingSink, JsonlSink, MemorySink, ResultSink, Tee};
 use dpbench::harness::{config, RunManifest};
 use dpbench::prelude::*;
@@ -66,6 +81,9 @@ fn main() -> ExitCode {
             eprintln!("             [--fail-after N] [--data-cache-mb MB]");
             eprintln!("fleet: --procs K --out FILE.jsonl <run flags...>");
             eprintln!("       [--retries N] [--kill-shard i:N] [--agg FILE.jsonl]");
+            eprintln!("       [--progress] [--stall-timeout SECS]");
+            eprintln!("       [--launch-cmd TPL --workdir DIR [--remote-exe PATH]");
+            eprintln!("        [--fetch-cmd TPL] [--cleanup-cmd TPL]]");
             eprintln!("merge: --out MERGED.jsonl IN1.jsonl IN2.jsonl ...");
             return ExitCode::FAILURE;
         }
@@ -181,15 +199,71 @@ fn shapes() {
 
 /// Flags that may appear bare (`--resume`) or with an explicit value
 /// (`--resume 1`).
-const BOOL_FLAGS: &[&str] = &["resume", "verbose"];
+const BOOL_FLAGS: &[&str] = &["resume", "verbose", "progress"];
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Grid/runner flags shared by `run` and `fleet`.
+const GRID_FLAGS: &[&str] = &[
+    "dataset",
+    "algorithms",
+    "scale",
+    "domain",
+    "eps",
+    "trials",
+    "samples",
+    "workload",
+    "loss",
+    "threads",
+    "verbose",
+    "data-cache-mb",
+];
+
+/// Flags only `run` accepts (on top of [`GRID_FLAGS`]).
+const RUN_ONLY_FLAGS: &[&str] = &[
+    "csv",
+    "out",
+    "resume",
+    "shard",
+    "agg",
+    "max-units",
+    "fail-after",
+];
+
+/// Flags only `fleet` accepts (on top of [`GRID_FLAGS`]).
+const FLEET_ONLY_FLAGS: &[&str] = &[
+    "out",
+    "agg",
+    "procs",
+    "retries",
+    "kill-shard",
+    "progress",
+    "stall-timeout",
+    "launch-cmd",
+    "fetch-cmd",
+    "cleanup-cmd",
+    "workdir",
+    "remote-exe",
+];
+
+/// Parse `--flag value` pairs, rejecting flag names outside `allowed` —
+/// a misspelled flag name (`--trails`) must not silently vanish into a
+/// run with default values, for the same reason malformed flag *values*
+/// are errors.
+fn parse_flags(
+    args: &[String],
+    subcommand: &str,
+    allowed: &[&str],
+) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
+        if !GRID_FLAGS.contains(&key) && !allowed.contains(&key) {
+            return Err(format!(
+                "unknown flag --{key} for `dpbench {subcommand}` (run `dpbench` for usage)"
+            ));
+        }
         let next = args.get(i + 1);
         if BOOL_FLAGS.contains(&key) && next.is_none_or(|v| v.starts_with("--")) {
             // Bare boolean flag.
@@ -198,6 +272,14 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             continue;
         }
         let val = next.ok_or_else(|| format!("--{key} needs a value"))?;
+        // `--progress true` silently meaning "off" would be the same
+        // silent-misparse class as a malformed numeric value; explicit
+        // boolean values must be 0 or 1.
+        if BOOL_FLAGS.contains(&key) && val != "0" && val != "1" {
+            return Err(format!(
+                "bad --{key} value {val:?} (use --{key} bare, or --{key} 0/1)"
+            ));
+        }
         flags.insert(key.to_string(), val.clone());
         i += 2;
     }
@@ -231,24 +313,30 @@ fn build_spec(flags: &HashMap<String, String>) -> Result<RunSpec, String> {
             ));
         }
     }
-    let scale: u64 = flags
-        .get("scale")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
+    // Numeric grid flags parse strictly: a malformed value is an error,
+    // never a silent fall-back to the default (an operator typo must not
+    // quietly benchmark the wrong grid).
+    let scale: u64 = match flags.get("scale") {
+        Some(s) => config::parse_flag_value("scale", s)?,
+        None => 100_000,
+    };
     let domain = match flags.get("domain") {
         Some(s) => dpbench::harness::results::parse_domain(s)
             .ok_or_else(|| format!("bad --domain {s} (use N or RxC)"))?,
         None => dataset.base_domain,
     };
-    let epsilon: f64 = flags.get("eps").and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let trials: usize = flags
-        .get("trials")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
-    let samples: usize = flags
-        .get("samples")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let epsilon: f64 = match flags.get("eps") {
+        Some(s) => config::parse_flag_value("eps", s)?,
+        None => 0.1,
+    };
+    let trials: usize = match flags.get("trials") {
+        Some(s) => config::parse_flag_value("trials", s)?,
+        None => 5,
+    };
+    let samples: usize = match flags.get("samples") {
+        Some(s) => config::parse_flag_value("samples", s)?,
+        None => 1,
+    };
     let workload = match flags.get("workload").map(String::as_str) {
         None => {
             if domain.dims() == 1 {
@@ -294,12 +382,15 @@ fn build_spec(flags: &HashMap<String, String>) -> Result<RunSpec, String> {
         config,
         threads,
         verbose: flags.get("verbose").map(|v| v == "1").unwrap_or(false),
-        data_cache_mb: flags.get("data-cache-mb").and_then(|s| s.parse().ok()),
+        data_cache_mb: match flags.get("data-cache-mb") {
+            Some(s) => Some(config::parse_flag_value("data-cache-mb", s)?),
+            None => None,
+        },
     })
 }
 
 fn run(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    let flags = match parse_flags(args, "run", RUN_ONLY_FLAGS) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -317,6 +408,19 @@ fn run(args: &[String]) -> ExitCode {
     let resume = flags.get("resume").map(|v| v == "1").unwrap_or(false);
     let out = flags.get("out").cloned();
     let agg_out = flags.get("agg").cloned();
+    // A shard launched on a remote machine is the only process on that
+    // machine; nothing else can have created its workdir, so the ledger
+    // and summary writers make their own parent directories.
+    for path in [out.as_deref(), agg_out.as_deref()].into_iter().flatten() {
+        if let Some(parent) = Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("error creating directory {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     let shard: Option<(usize, usize)> = match flags.get("shard") {
         None => None,
         Some(s) => match s.split_once('/').and_then(|(i, k)| {
@@ -537,15 +641,57 @@ fn run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The shard command recipe shared by both transports: the `run`
+/// subcommand argv for one shard attempt, given where that attempt
+/// should write its ledger and summary.
+#[derive(Clone)]
+struct ShardArgs {
+    /// Shared `run` flags (everything but out/shard/resume/fail-after).
+    base_args: Vec<String>,
+    /// Crash drill: kill this shard's first attempt after N units.
+    kill_shard: Option<(usize, usize)>,
+}
+
+impl ShardArgs {
+    /// Arguments after the program name for one shard attempt.
+    fn run_args(
+        &self,
+        index: usize,
+        procs: usize,
+        ledger: &Path,
+        summary: Option<&Path>,
+        resume: bool,
+        attempt: usize,
+    ) -> Vec<String> {
+        let mut args = vec!["run".to_string()];
+        args.extend(self.base_args.iter().cloned());
+        args.push("--out".into());
+        args.push(ledger.display().to_string());
+        args.push("--shard".into());
+        args.push(format!("{index}/{procs}"));
+        if resume {
+            args.push("--resume".into());
+        }
+        if let Some(summary) = summary {
+            args.push("--agg".into());
+            args.push(summary.display().to_string());
+        }
+        if let Some((victim, units)) = self.kill_shard {
+            if victim == index && attempt == 0 {
+                args.push("--fail-after".into());
+                args.push(units.to_string());
+            }
+        }
+        args
+    }
+}
+
 /// Spawns `dpbench run --shard i/k` children, teeing each child's stderr
 /// to `<ledger>.log` so k concurrent shards don't interleave on the
 /// parent's terminal.
 struct CliShardLauncher {
     exe: PathBuf,
-    /// Shared `run` flags (everything but out/shard/resume/fail-after).
-    base_args: Vec<String>,
-    /// Crash drill: kill this shard's first attempt after N units.
-    kill_shard: Option<(usize, usize)>,
+    args: ShardArgs,
     /// Request a mergeable summary (`--agg`) from every shard.
     want_agg: bool,
     /// The fleet's merged output path (shard paths derive from it).
@@ -561,23 +707,14 @@ impl ShardLauncher for CliShardLauncher {
         resume: bool,
         attempt: usize,
     ) -> std::io::Result<std::process::Child> {
+        let summary = self
+            .want_agg
+            .then(|| fleet::shard_summary_path(&self.out, index));
         let mut cmd = std::process::Command::new(&self.exe);
-        cmd.arg("run");
-        cmd.args(&self.base_args);
-        cmd.arg("--out").arg(ledger);
-        cmd.arg("--shard").arg(format!("{index}/{procs}"));
-        if resume {
-            cmd.arg("--resume");
-        }
-        if self.want_agg {
-            cmd.arg("--agg")
-                .arg(fleet::shard_summary_path(&self.out, index));
-        }
-        if let Some((victim, units)) = self.kill_shard {
-            if victim == index && attempt == 0 {
-                cmd.arg("--fail-after").arg(units.to_string());
-            }
-        }
+        cmd.args(
+            self.args
+                .run_args(index, procs, ledger, summary.as_deref(), resume, attempt),
+        );
         // Append: the log keeps the whole attempt history of the shard.
         let log = std::fs::OpenOptions::new()
             .create(true)
@@ -589,11 +726,31 @@ impl ShardLauncher for CliShardLauncher {
     }
 }
 
-/// `dpbench fleet`: expand the manifest once, spawn `--procs` shard
-/// children, retry/resume failures, and merge to `--out` byte-identically
-/// to a single-process run.
+/// Parse and validate `--kill-shard i:N`. An out-of-range shard index is
+/// its own error (naming the range) rather than a generic format
+/// complaint — and never accepted silently: a drill that targets a
+/// nonexistent shard would otherwise "pass" by testing nothing.
+fn parse_kill_shard(s: &str, procs: usize) -> Result<(usize, usize), String> {
+    let (i, n) = s
+        .split_once(':')
+        .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)))
+        .ok_or_else(|| format!("bad --kill-shard {s} (use i:N, e.g. 1:5)"))?;
+    if i >= procs {
+        return Err(format!(
+            "--kill-shard shard index {i} is out of range (fleet has {procs} shard(s), \
+             valid indexes are 0..={})",
+            procs - 1
+        ));
+    }
+    Ok((i, n))
+}
+
+/// `dpbench fleet`: expand the manifest once, launch `--procs` shards
+/// (local children, or through a `--launch-cmd` transport with per-shard
+/// workdirs and copy-back), retry/resume failures, and merge to `--out`
+/// byte-identically to a single-process run.
 fn run_fleet_cmd(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    let flags = match parse_flags(args, "fleet", FLEET_ONLY_FLAGS) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -607,9 +764,18 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(procs) = flags.get("procs").and_then(|s| s.parse::<usize>().ok()) else {
-        eprintln!("error: fleet requires --procs K (a positive integer)");
-        return ExitCode::FAILURE;
+    let procs: usize = match flags.get("procs") {
+        None => {
+            eprintln!("error: fleet requires --procs K (a positive integer)");
+            return ExitCode::FAILURE;
+        }
+        Some(s) => match config::parse_flag_value("procs", s) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     if procs == 0 {
         eprintln!("error: --procs must be at least 1");
@@ -619,23 +785,49 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
         eprintln!("error: fleet requires --out FILE.jsonl (the merged output)");
         return ExitCode::FAILURE;
     };
-    let retries: usize = flags
-        .get("retries")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2);
-    let kill_shard: Option<(usize, usize)> = match flags.get("kill-shard") {
-        None => None,
-        Some(s) => match s
-            .split_once(':')
-            .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)))
-        {
-            Some((i, n)) if i < procs => Some((i, n)),
-            _ => {
-                eprintln!("error: bad --kill-shard {s} (use i:N with i < procs)");
+    let retries: usize = match flags.get("retries") {
+        None => 2,
+        Some(s) => match config::parse_flag_value("retries", s) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         },
     };
+    let kill_shard: Option<(usize, usize)> = match flags.get("kill-shard") {
+        None => None,
+        Some(s) => match parse_kill_shard(s, procs) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let stall_timeout = match flags.get("stall-timeout") {
+        None => None,
+        Some(s) => match config::parse_flag_value::<f64>("stall-timeout", s) {
+            // try_from_secs_f64 rejects NaN/inf/overflow; `inf` parses as
+            // a positive f64 and would panic in from_secs_f64.
+            Ok(secs) if secs > 0.0 => match std::time::Duration::try_from_secs_f64(secs) {
+                Ok(d) => Some(d),
+                Err(_) => {
+                    eprintln!("error: --stall-timeout {s} is not a representable duration");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Ok(_) => {
+                eprintln!("error: --stall-timeout must be positive");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let progress = flags.get("progress").map(|v| v == "1").unwrap_or(false);
     let agg_out = flags.get("agg").cloned();
     let exe = match std::env::current_exe() {
         Ok(p) => p,
@@ -681,19 +873,82 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
         manifest.n_trials,
         child_threads
     );
-    let launcher = CliShardLauncher {
-        exe,
+    let want_agg = agg_out.is_some();
+    let shard_args = ShardArgs {
         base_args,
         kill_shard,
-        want_agg: agg_out.is_some(),
-        out: PathBuf::from(&out),
     };
     let opts = FleetOptions {
         procs,
         max_attempts: retries + 1,
         verbose: spec.verbose,
+        progress,
+        stall_timeout,
+        fetch_summaries: want_agg,
+        ..FleetOptions::default()
     };
-    let report = match fleet::run_fleet(&manifest, &launcher, Path::new(&out), &opts) {
+
+    // Pick the transport: local child processes by default; a templated
+    // wrapper command line (ssh / docker run / sh -c) with per-shard
+    // workdirs and copy-back when --launch-cmd is given.
+    let report = if let Some(launch_cmd) = flags.get("launch-cmd") {
+        let Some(workdir) = flags.get("workdir") else {
+            eprintln!("error: --launch-cmd requires --workdir DIR (per-shard scratch space)");
+            return ExitCode::FAILURE;
+        };
+        let remote_exe = flags
+            .get("remote-exe")
+            .cloned()
+            .unwrap_or_else(|| exe.display().to_string());
+        let build = {
+            let shard_args = shard_args.clone();
+            move |spec: &LaunchSpec, paths: &RemotePaths| -> Vec<String> {
+                let summary = want_agg.then_some(paths.summary.as_path());
+                let mut argv = vec![remote_exe.clone()];
+                argv.extend(shard_args.run_args(
+                    spec.index,
+                    spec.procs,
+                    &paths.ledger,
+                    summary,
+                    spec.resume,
+                    spec.attempt,
+                ));
+                argv
+            }
+        };
+        let transport = match CommandTransport::new(launch_cmd.clone(), workdir, Box::new(build)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let transport = match flags.get("fetch-cmd") {
+            Some(t) => transport.with_fetch_template(t.clone()),
+            None => transport,
+        };
+        let transport = match flags.get("cleanup-cmd") {
+            Some(t) => transport.with_cleanup_template(t.clone()),
+            None => transport,
+        };
+        fleet::run_fleet_with(&manifest, &transport, Path::new(&out), &opts)
+    } else {
+        let launcher = CliShardLauncher {
+            exe,
+            args: shard_args,
+            want_agg,
+            out: PathBuf::from(&out),
+        };
+        fleet::run_fleet_with(
+            &manifest,
+            &LocalTransport {
+                launcher: &launcher,
+            },
+            Path::new(&out),
+            &opts,
+        )
+    };
+    let report = match report {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fleet error: {e}");
@@ -702,11 +957,16 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
     };
     for s in &report.shards {
         println!(
-            "  shard {}: {} units, {} launch(es){}",
+            "  shard {}: {} units, {} launch(es){}{}",
             s.index,
             s.units,
             s.attempts,
-            if s.resumed { ", resumed" } else { "" }
+            if s.resumed { ", resumed" } else { "" },
+            if s.stall_kills > 0 {
+                format!(", {} stall kill(s)", s.stall_kills)
+            } else {
+                String::new()
+            }
         );
     }
     println!("merged {} units into {out}", report.merged_units);

@@ -198,6 +198,263 @@ fn fleet_merges_shard_summaries_into_union_statistics() {
 }
 
 #[test]
+fn launch_cmd_fleet_with_copy_back_matches_one_shot_bytes() {
+    let dir = tmp_dir("remote");
+    let reference = reference_ledger(&dir);
+    let merged = dir.join("fleet.jsonl");
+    let workdir = dir.join("scratch");
+    // The command transport with an explicit sh wrapper: shards write
+    // into per-shard workdirs and the driver copies ledgers back before
+    // merging — the full remote protocol on one machine. The kill drill
+    // exercises crash + resume through the same path, and --progress
+    // tails the fetched ledgers.
+    let mut args = vec![
+        "fleet",
+        "--procs",
+        "2",
+        "--kill-shard",
+        "1:2",
+        "--progress",
+        "--launch-cmd",
+        "sh -c \"{cmd}\"",
+        "--workdir",
+    ];
+    args.push(workdir.to_str().unwrap());
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", merged.to_str().unwrap()]);
+    let out = dpbench(&args);
+    assert!(
+        out.status.success(),
+        "launch-cmd fleet failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&merged).unwrap(),
+        "launch-cmd fleet output differs from the one-shot run"
+    );
+    // Per-shard progress lines: present, monotone, never above the
+    // shard's unit count, and converging on done == total.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for shard in 0..2usize {
+        let prefix = format!("[fleet] shard {shard}: ");
+        let mut last = 0usize;
+        let mut total = None;
+        let mut seen = 0;
+        for line in stderr.lines().filter(|l| l.starts_with(&prefix)) {
+            let Some((done, tot)) = line[prefix.len()..]
+                .trim_end_matches(" units")
+                .split_once('/')
+                .and_then(|(d, t)| Some((d.parse::<usize>().ok()?, t.parse::<usize>().ok()?)))
+            else {
+                continue; // stall/kill lines share the prefix
+            };
+            assert!(
+                done >= last,
+                "shard {shard} progress went backwards: {stderr}"
+            );
+            assert!(
+                done <= tot,
+                "shard {shard} progress exceeds total: {stderr}"
+            );
+            last = done;
+            total = Some(tot);
+            seen += 1;
+        }
+        assert!(seen >= 1, "no progress lines for shard {shard}: {stderr}");
+        assert_eq!(Some(last), total, "shard {shard} never reached done==total");
+    }
+    // Cleanup removed the per-shard scratch dirs after the verified
+    // merge; the local shard ledgers remain as the crash record.
+    assert!(!workdir.join("shard0").exists());
+    assert!(!workdir.join("shard1").exists());
+    assert!(dir.join("fleet.shard0.jsonl").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_flag_names_are_rejected() {
+    // Regression: a misspelled flag *name* (--trails for --trials) used
+    // to land unread in the flag map, silently running the default grid
+    // — the same bug class as malformed flag values.
+    let out = dpbench(&["run", "--dataset", "MEDCOST", "--trails", "10"]);
+    assert!(!out.status.success(), "--trails accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown flag --trails"),
+        "unexpected stderr: {stderr}"
+    );
+    // run-only flags are not fleet flags…
+    let out = dpbench(&[
+        "fleet",
+        "--procs",
+        "2",
+        "--fail-after",
+        "1",
+        "--dataset",
+        "MEDCOST",
+        "--out",
+        "/tmp/never-written.jsonl",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown flag --fail-after"),
+        "unexpected stderr: {stderr}"
+    );
+    // …and fleet-only flags are not run flags.
+    let out = dpbench(&["run", "--dataset", "MEDCOST", "--procs", "2"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown flag --procs"),
+        "unexpected stderr: {stderr}"
+    );
+    // Boolean flags take bare form or 0/1 — `--progress true` silently
+    // meaning "off" would be another silent misparse.
+    let out = dpbench(&["run", "--dataset", "MEDCOST", "--verbose", "true"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("bad --verbose value"),
+        "unexpected stderr: {stderr}"
+    );
+}
+
+#[test]
+fn run_creates_missing_ledger_parent_directories() {
+    // Regression: a shard launched on a remote machine is the only
+    // process there — nothing else can have made its workdir, so
+    // `run --out` must create parent directories itself.
+    let dir = tmp_dir("mkdirs");
+    let out = dir.join("nested/deeper/run.jsonl");
+    let agg = dir.join("other/run.agg.jsonl");
+    let mut args = vec!["run"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&[
+        "--out",
+        out.to_str().unwrap(),
+        "--agg",
+        agg.to_str().unwrap(),
+    ]);
+    run_ok(&args);
+    assert!(out.exists());
+    assert!(agg.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_finite_stall_timeout_is_an_error_not_a_panic() {
+    // Regression: `inf` parses as a positive f64 and used to panic
+    // inside Duration::from_secs_f64 instead of failing cleanly.
+    for bad in ["inf", "nan", "1e300"] {
+        let mut args = vec!["fleet", "--procs", "2", "--stall-timeout", bad];
+        args.extend_from_slice(GRID);
+        args.extend_from_slice(&["--out", "/tmp/never-written.jsonl"]);
+        let out = dpbench(&args);
+        assert!(!out.status.success(), "--stall-timeout {bad} accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("error:") && stderr.contains("stall-timeout"),
+            "unexpected stderr for {bad}: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "--stall-timeout {bad} panicked: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn launch_cmd_requires_a_workdir() {
+    let mut args = vec!["fleet", "--procs", "2", "--launch-cmd", "{cmd}"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", "/tmp/never-written.jsonl"]);
+    let out = dpbench(&args);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--workdir"), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn kill_shard_out_of_range_is_rejected_at_parse_time() {
+    // Regression: an out-of-range victim index must be a loud parse
+    // error naming the valid range — a drill aimed at a nonexistent
+    // shard would otherwise "pass" while testing nothing. (The boundary
+    // index procs-1 is exercised by the kill drills above.)
+    for bad in ["2:1", "5:1"] {
+        let mut args = vec!["fleet", "--procs", "2", "--kill-shard", bad];
+        args.extend_from_slice(GRID);
+        args.extend_from_slice(&["--out", "/tmp/never-written.jsonl"]);
+        let out = dpbench(&args);
+        assert!(!out.status.success(), "--kill-shard {bad} accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("out of range") && stderr.contains("0..=1"),
+            "unexpected stderr for {bad}: {stderr}"
+        );
+    }
+    // Malformed spellings get the format error, not the range error.
+    let mut args = vec!["fleet", "--procs", "2", "--kill-shard", "1-2"];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&["--out", "/tmp/never-written.jsonl"]);
+    let out = dpbench(&args);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("use i:N"), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn malformed_numeric_flags_are_errors_not_defaults() {
+    // Regression: numeric flags used to fall back to their defaults on
+    // unparseable values, silently benchmarking the wrong grid.
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["run", "--dataset", "MEDCOST", "--trials", "abc"],
+            "--trials",
+        ),
+        (&["run", "--dataset", "MEDCOST", "--scale", "-3"], "--scale"),
+        (&["run", "--dataset", "MEDCOST", "--eps", "zero"], "--eps"),
+        (
+            &[
+                "fleet",
+                "--procs",
+                "2",
+                "--retries",
+                "x",
+                "--dataset",
+                "MEDCOST",
+                "--out",
+                "/tmp/never-written.jsonl",
+            ],
+            "--retries",
+        ),
+        (
+            &[
+                "fleet",
+                "--procs",
+                "two",
+                "--dataset",
+                "MEDCOST",
+                "--out",
+                "/tmp/never-written.jsonl",
+            ],
+            "--procs",
+        ),
+    ];
+    for (args, flag) in cases {
+        let out = dpbench(args);
+        assert!(!out.status.success(), "{args:?} accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("bad {flag} value")),
+            "unexpected stderr for {args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn bare_boolean_flags_are_accepted() {
     let dir = tmp_dir("bareflags");
     let ledger = dir.join("run.jsonl");

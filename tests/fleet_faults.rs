@@ -1,0 +1,330 @@
+//! Fault-matrix e2e suite: drive the fleet driver through the
+//! deterministic [`FaultyTransport`] across every remote failure mode —
+//! crash mid-unit, hang past the stall timeout, torn copy-back, empty
+//! artifact, stale ledger, duplicate relaunch — with and without
+//! retries, and assert the merged output stays **byte-identical** to a
+//! one-shot single-process run in every surviving case. No real
+//! machines, no child processes: the transport runs shards in-process
+//! and injects failures by script, so the matrix is exact and fast.
+
+use dpbench::harness::fleet::{
+    run_fleet_with, shard_ledger_path, FaultyTransport, FetchFault, FleetOptions, LaunchFault,
+};
+use dpbench::harness::sink::JsonlSink;
+use dpbench::prelude::*;
+use dpbench_core::Loss;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        datasets: vec![dpbench::datasets::catalog::by_name("MEDCOST").unwrap()],
+        scales: vec![10_000],
+        domains: vec![Domain::D1(128)],
+        epsilons: vec![0.5],
+        algorithms: vec!["IDENTITY".into(), "UNIFORM".into()],
+        n_samples: 2,
+        n_trials: 2,
+        workload: WorkloadSpec::Prefix,
+        loss: Loss::L2,
+    }
+}
+
+/// Fresh scratch directory for one test case.
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "dpbench-fleet-faults-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+/// One-shot single-process reference ledger (the byte oracle).
+fn reference(dir: &Path) -> Vec<u8> {
+    let path = dir.join("ref.jsonl");
+    let runner = Runner::new(tiny_config());
+    let mut sink = JsonlSink::create(&path).unwrap();
+    runner.run_with_sink(&runner.manifest(), &mut sink).unwrap();
+    drop(sink);
+    std::fs::read(&path).unwrap()
+}
+
+fn opts() -> FleetOptions {
+    FleetOptions {
+        procs: 2,
+        max_attempts: 3,
+        poll_interval: Duration::from_millis(5),
+        progress_interval: Duration::from_millis(20),
+        ..FleetOptions::default()
+    }
+}
+
+#[test]
+fn crash_mid_unit_is_resumed_and_bytes_match() {
+    let dir = tmp_dir("crash");
+    let oracle = reference(&dir);
+    let manifest = Runner::new(tiny_config()).manifest();
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote")).fail_launch(
+        1,
+        0,
+        LaunchFault::Crash {
+            after_units: 1,
+            torn_tail: false,
+        },
+    );
+    let out = dir.join("fleet.jsonl");
+    let report = run_fleet_with(&manifest, &transport, &out, &opts()).unwrap();
+    assert_eq!(report.shards[0].attempts, 1);
+    assert_eq!(report.shards[1].attempts, 2, "crashed shard retries once");
+    assert!(report.shards[1].resumed, "retry must resume, not restart");
+    assert_eq!(report.launches, 3);
+    assert_eq!(std::fs::read(&out).unwrap(), oracle);
+    // Remote scratch space is cleaned up only after the verified merge.
+    assert_eq!(transport.cleanups(), vec![0, 1]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_with_torn_remote_tail_heals_on_resume() {
+    let dir = tmp_dir("torn-tail");
+    let oracle = reference(&dir);
+    let manifest = Runner::new(tiny_config()).manifest();
+    // The crash tears the remote ledger's final line mid-write; the
+    // fetched copy is Partial (torn tail tolerated), and the resuming
+    // attempt heals the remote file before appending.
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote")).fail_launch(
+        0,
+        0,
+        LaunchFault::Crash {
+            after_units: 1,
+            torn_tail: true,
+        },
+    );
+    let out = dir.join("fleet.jsonl");
+    let report = run_fleet_with(&manifest, &transport, &out, &opts()).unwrap();
+    assert_eq!(report.shards[0].attempts, 2);
+    assert!(report.shards[0].resumed);
+    assert_eq!(std::fs::read(&out).unwrap(), oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_copy_back_triggers_a_noop_relaunch_and_refetch() {
+    let dir = tmp_dir("torn-fetch");
+    let oracle = reference(&dir);
+    let manifest = Runner::new(tiny_config()).manifest();
+    // Shard 1 finishes cleanly, but its first copy-back is torn. The
+    // driver sees a Partial local ledger, relaunches with resume (a
+    // duplicate launch of an already-complete shard — a cheap no-op on
+    // the remote side), and the re-fetch delivers the full file.
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote")).fail_fetch(
+        1,
+        0,
+        FetchFault::TornCopy { drop_bytes: 37 },
+    );
+    let out = dir.join("fleet.jsonl");
+    let report = run_fleet_with(&manifest, &transport, &out, &opts()).unwrap();
+    assert_eq!(
+        report.shards[1].attempts, 2,
+        "torn copy-back re-dispatches the shard"
+    );
+    assert_eq!(std::fs::read(&out).unwrap(), oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_artifact_redispatches_the_shard_fresh() {
+    let dir = tmp_dir("empty");
+    let oracle = reference(&dir);
+    let manifest = Runner::new(tiny_config()).manifest();
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote")).fail_fetch(
+        0,
+        0,
+        FetchFault::EmptyArtifact,
+    );
+    let out = dir.join("fleet.jsonl");
+    let report = run_fleet_with(&manifest, &transport, &out, &opts()).unwrap();
+    assert_eq!(report.shards[0].attempts, 2);
+    assert!(
+        !report.shards[0].resumed,
+        "an empty local ledger means a fresh relaunch, not a resume"
+    );
+    assert_eq!(std::fs::read(&out).unwrap(), oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hang_is_stall_killed_and_retried() {
+    let dir = tmp_dir("hang");
+    let oracle = reference(&dir);
+    let manifest = Runner::new(tiny_config()).manifest();
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote")).fail_launch(
+        1,
+        0,
+        LaunchFault::Hang,
+    );
+    let out = dir.join("fleet.jsonl");
+    let mut o = opts();
+    o.stall_timeout = Some(Duration::from_millis(150));
+    let report = run_fleet_with(&manifest, &transport, &out, &o).unwrap();
+    assert_eq!(report.shards[1].stall_kills, 1, "the hang must be killed");
+    assert_eq!(report.shards[1].attempts, 2);
+    assert_eq!(report.shards[0].stall_kills, 0);
+    assert_eq!(std::fs::read(&out).unwrap(), oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_ledger_from_a_different_run_is_a_hard_error() {
+    let dir = tmp_dir("stale");
+    let manifest = Runner::new(tiny_config()).manifest();
+    // The first copy-back delivers a ledger from some other run (stale
+    // scratch space). Merging it would poison the output; the driver
+    // must refuse loudly instead of retrying its way past it.
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote")).fail_fetch(
+        0,
+        0,
+        FetchFault::StaleLedger,
+    );
+    let out = dir.join("fleet.jsonl");
+    let err = run_fleet_with(&manifest, &transport, &out, &opts()).unwrap_err();
+    assert!(
+        err.to_string().contains("different run"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        transport.cleanups().is_empty(),
+        "failed fleets must not clean up remote evidence"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exit_status_is_advisory_the_ledger_is_truth() {
+    let dir = tmp_dir("lie");
+    let oracle = reference(&dir);
+    let manifest = Runner::new(tiny_config()).manifest();
+    // Shard 0 does all its work, then reports a failing exit (an ssh
+    // that died on the way out). The fetched ledger is complete, so no
+    // relaunch happens at all.
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote")).fail_launch(
+        0,
+        0,
+        LaunchFault::LieAboutExit,
+    );
+    let out = dir.join("fleet.jsonl");
+    let report = run_fleet_with(&manifest, &transport, &out, &opts()).unwrap();
+    assert_eq!(
+        report.shards[0].attempts, 1,
+        "a complete ledger must not be relaunched, whatever the exit said"
+    );
+    assert_eq!(std::fs::read(&out).unwrap(), oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeated_crashes_across_retries_still_converge() {
+    let dir = tmp_dir("repeat-crash");
+    let oracle = reference(&dir);
+    let manifest = Runner::new(tiny_config()).manifest();
+    // Two crashing attempts in a row; the third completes the remainder.
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote"))
+        .fail_launch(
+            1,
+            0,
+            LaunchFault::Crash {
+                after_units: 1,
+                torn_tail: false,
+            },
+        )
+        .fail_launch(
+            1,
+            1,
+            LaunchFault::Crash {
+                after_units: 0,
+                torn_tail: true,
+            },
+        );
+    let out = dir.join("fleet.jsonl");
+    let report = run_fleet_with(&manifest, &transport, &out, &opts()).unwrap();
+    assert_eq!(report.shards[1].attempts, 3);
+    assert!(report.shards[1].resumed);
+    assert_eq!(std::fs::read(&out).unwrap(), oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_local_partial_copy_with_wiped_remote_relaunches_fresh() {
+    let dir = tmp_dir("wiped-remote");
+    let oracle = reference(&dir);
+    let manifest = Runner::new(tiny_config()).manifest();
+    let out = dir.join("fleet.jsonl");
+    // A leftover *partial* local copy of shard 0 from an earlier fleet
+    // whose remote scratch space has since been wiped. Resuming is
+    // impossible (the remote has nothing to resume from); the driver
+    // must relaunch fresh instead of looping failed resume attempts.
+    let mut partial_runner = Runner::new(tiny_config());
+    partial_runner.max_units = Some(1);
+    let mut sink = JsonlSink::create(shard_ledger_path(&out, 0)).unwrap();
+    partial_runner
+        .run_with_sink(&manifest.shard(0, 2), &mut sink)
+        .unwrap();
+    drop(sink);
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote"));
+    let report = run_fleet_with(&manifest, &transport, &out, &opts()).unwrap();
+    assert_eq!(report.shards[0].attempts, 1);
+    assert!(
+        !report.shards[0].resumed,
+        "a wiped remote must trigger a fresh relaunch, not a doomed resume"
+    );
+    assert_eq!(std::fs::read(&out).unwrap(), oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_retries_fail_loudly_and_a_second_fleet_finishes_the_job() {
+    let dir = tmp_dir("exhausted");
+    let oracle = reference(&dir);
+    let manifest = Runner::new(tiny_config()).manifest();
+    // First attempt dies after one unit; the retry dies before running
+    // anything (after_units: 0), so the shard is still short when the
+    // round budget runs out.
+    let transport = FaultyTransport::new(tiny_config(), dir.join("remote"))
+        .fail_launch(
+            1,
+            0,
+            LaunchFault::Crash {
+                after_units: 1,
+                torn_tail: false,
+            },
+        )
+        .fail_launch(
+            1,
+            1,
+            LaunchFault::Crash {
+                after_units: 0,
+                torn_tail: false,
+            },
+        );
+    let out = dir.join("fleet.jsonl");
+    let mut o = opts();
+    o.max_attempts = 2;
+    let err = run_fleet_with(&manifest, &transport, &out, &o).unwrap_err();
+    assert!(
+        err.to_string().contains("shard 1 did not complete"),
+        "unexpected error: {err}"
+    );
+    // The partial shard ledger survives locally as the crash record…
+    let partial = shard_ledger_path(&out, 1);
+    assert!(partial.exists());
+    // …and a later fleet over the same scratch space resumes straight
+    // through to the byte-identical merged output.
+    let retry = FaultyTransport::new(tiny_config(), dir.join("remote"));
+    let report = run_fleet_with(&manifest, &retry, &out, &opts()).unwrap();
+    assert!(report.shards[1].resumed);
+    assert_eq!(std::fs::read(&out).unwrap(), oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -581,6 +581,62 @@ fn merge_rejects_doctored_headers_and_samples() {
 }
 
 #[test]
+fn merge_rejects_conflicting_cfg_headers() {
+    // Two shard files agreeing on fingerprint and n_trials but carrying
+    // different recorded config summaries can only come from doctored or
+    // mislabeled ledgers; the merge must refuse, not pick one.
+    let path = tmp("cfg-base");
+    let _ = std::fs::remove_file(&path);
+    let runner = Runner::new(tiny_config());
+    let mut jsonl = JsonlSink::create(&path).unwrap();
+    runner
+        .run_with_sink(&runner.manifest(), &mut jsonl)
+        .unwrap();
+    drop(jsonl);
+    let clean = std::fs::read_to_string(&path).unwrap();
+    assert!(clean.contains("loss=l2"), "cfg summary missing from header");
+    let doctored_path = tmp("cfg-doctored");
+    std::fs::write(&doctored_path, clean.replacen("loss=l2", "loss=l1", 1)).unwrap();
+    let mut out = Vec::new();
+    let err = sink::merge_jsonl(&[&path, &doctored_path], &mut out).unwrap_err();
+    assert!(err.to_string().contains("config summary"), "{err}");
+    for p in [&path, &doctored_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn merge_rejects_duplicate_unit_with_disagreeing_error_bits() {
+    // A duplicated unit must agree on every error *bit*, not just on
+    // `==`: 0.0 and -0.0 compare equal but are different results, and a
+    // merge that shrugged at the sign would hide a real reproducibility
+    // break. Hand-built ledgers give exact control over the bits.
+    let header = "{\"t\":\"run\",\"fp\":\"00000000000000aa\",\"n_trials\":1}\n";
+    let record = |err: &str| {
+        format!(
+            "{header}{{\"t\":\"s\",\"unit\":\"0000000000000001\",\"pos\":0,\
+             \"alg\":\"IDENTITY\",\"dataset\":\"MEDCOST\",\"scale\":1000,\
+             \"domain\":\"128\",\"eps\":0.1,\"sample\":0,\"trial\":0,\"err\":{err}}}\n\
+             {{\"t\":\"u\",\"unit\":\"0000000000000001\",\"pos\":0}}\n"
+        )
+    };
+    let a_path = tmp("bits-a");
+    let b_path = tmp("bits-b");
+    std::fs::write(&a_path, record("0")).unwrap();
+    std::fs::write(&b_path, record("-0")).unwrap();
+    let mut out = Vec::new();
+    let err = sink::merge_jsonl(&[&a_path, &b_path], &mut out).unwrap_err();
+    assert!(err.to_string().contains("disagrees"), "{err}");
+    // Sanity: bit-identical duplicates merge fine and emit once.
+    let mut out = Vec::new();
+    sink::merge_jsonl(&[&a_path, &a_path], &mut out).unwrap();
+    assert_eq!(out, record("0").as_bytes());
+    for p in [&a_path, &b_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn jsonl_sink_rejects_unrepresentable_identifiers() {
     // Nothing used to enforce at write time that names survive the
     // escape-free JSONL round-trip; now begin() fails fast.

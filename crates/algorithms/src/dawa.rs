@@ -12,7 +12,9 @@
 //!    of two is the original implementation's own `O(n log n)`-state
 //!    approximation.
 //! 2. **Workload-aware measurement** (ε₂ = (1−ρ)·ε): treat the buckets as
-//!    a reduced domain, map the workload onto bucket indices, and run
+//!    a reduced domain (zero-padded to the next power of two so the
+//!    per-worker hierarchy pool sees only ~log₂(n) distinct sizes), map
+//!    the workload onto bucket indices, and run
 //!    [`GreedyH`](crate::greedy_h::GreedyH) over the reduced vector;
 //!    bucket estimates are spread uniformly over their cells.
 //!
@@ -115,9 +117,18 @@ impl Dawa {
         let buckets = l1_partition_with(&noisy, eps1, eps2, ws);
         ws.give_f64(noisy);
 
-        // Stage 2: GREEDY_H over the reduced (bucket) domain.
+        // Stage 2: GREEDY_H over the reduced (bucket) domain, padded with
+        // empty buckets to the next power of two. The partition count k is
+        // noise-dependent — at ε = 0.1 it lands on a different exact value
+        // almost every trial, so keying the per-worker `HierPool` by exact
+        // k missed constantly. Padding buckets the pool to ~log₂(n)
+        // distinct sizes (hierarchy structure depends only on the domain
+        // size), while the mapped workload and the expansion below touch
+        // only the first k real buckets; the pad cells hold zero mass and
+        // merely absorb their share of measurement noise.
         let k = buckets.len();
-        let mut reduced = ws.take_f64(k);
+        let m = k.next_power_of_two();
+        let mut reduced = ws.take_f64(m);
         let mut cell_to_bucket = ws.take_usize(n);
         for (bi, &(lo, hi)) in buckets.iter().enumerate() {
             reduced[bi] = counts[lo..hi].iter().sum();
@@ -125,7 +136,7 @@ impl Dawa {
                 *cb = bi;
             }
         }
-        let reduced_x = DataVector::new(reduced, Domain::D1(k));
+        let reduced_x = DataVector::new(reduced, Domain::D1(m));
         // Workload-sized scratch: pooled through the typed slot so the
         // per-trial mapping reuses one allocation.
         let mut mapped: Box<Vec<RangeQuery>> = ws.take_typed();
@@ -137,8 +148,9 @@ impl Dawa {
         );
         ws.give_usize(cell_to_bucket);
         // The stage-2 hierarchy comes from the workspace's size-bucketed
-        // pool (`HierPool`): k is data-dependent, so it cannot live in the
-        // plan, but identical (branching, k) pairs recur across trials.
+        // pool (`HierPool`): the reduced size is data-dependent, so it
+        // cannot live in the plan, but the power-of-two padding above
+        // collapses it to ~log₂(n) distinct pool keys.
         let bucket_est = GreedyH {
             branching: self.branching,
         }
@@ -505,6 +517,40 @@ mod tests {
             ei += Loss::L2.eval(&y, &w.evaluate_cells(&i));
         }
         assert!(ed < ei, "DAWA {ed} vs IDENTITY {ei}");
+    }
+
+    #[test]
+    fn pow2_padding_reuses_hier_pool_across_noisy_partition_counts() {
+        // At ε = 0.1 the stage-1 partition count k varies trial to trial;
+        // the power-of-two padding must collapse those to a handful of
+        // pool entries so later trials hit instead of rebuilding.
+        use crate::hierarchy::HierPool;
+        let n = 256;
+        let counts: Vec<f64> = (0..n).map(|i| ((i * 31) % 17) as f64).collect();
+        let x = DataVector::new(counts, Domain::D1(n));
+        let w = Workload::prefix_1d(n);
+        let mech = Dawa::new();
+        let plan = mech.plan(&Domain::D1(n), &w).unwrap();
+        let mut ws = Workspace::new();
+        let mut rng = StdRng::seed_from_u64(94);
+        for trial in 0..16 {
+            let mut budget = BudgetLedger::new(0.1);
+            plan.execute(&x, &mut ws, &mut budget, &mut rng)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        }
+        let pool: Box<HierPool> = ws.take_typed();
+        let distinct = pool.len();
+        assert!(
+            distinct <= (n as f64).log2() as usize + 1,
+            "pow2 padding should bound distinct hierarchy sizes, got {distinct}"
+        );
+        assert!(
+            pool.hits > 0,
+            "repeated trials should hit the pool (hits={}, misses={})",
+            pool.hits,
+            pool.misses
+        );
+        ws.store_typed(pool);
     }
 
     #[test]

@@ -279,9 +279,12 @@ impl Hierarchy {
 /// whose size `k` is data-dependent, so the plan cache cannot hold its
 /// hierarchy — before this pool it was rebuilt on every trial. Because a
 /// `Hierarchy` is fully determined by `(domain, branching)`, serving a
-/// pooled instance is bit-identical to rebuilding. Stash one pool per
-/// worker in a `Workspace` typed slot (no locks); the grid runner drains
-/// the hit/miss counters into its `--verbose` stats.
+/// pooled instance is bit-identical to rebuilding. DAWA pads its reduced
+/// domain to the next power of two before asking, so the pool holds at
+/// most ~log₂(n) sizes per branching factor even when noise perturbs `k`
+/// on every trial. Stash one pool per worker in a `Workspace` typed slot
+/// (no locks); the grid runner drains the hit/miss counters into its
+/// `--verbose` stats.
 #[derive(Default)]
 pub struct HierPool {
     map: HashMap<(usize, usize), Hierarchy>,

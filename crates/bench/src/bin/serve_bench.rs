@@ -1,0 +1,162 @@
+//! Benchmark and CI drill client for `dpbench serve`.
+//!
+//! Three modes, all over the serve module's std-only HTTP client:
+//!
+//! - `bench [--out BENCH_PR6.json]` — start an in-process server on a
+//!   free port and measure release latency cold (first request per
+//!   strategy: the plan builds) vs warm (shared plan cache hot), plus
+//!   sustained requests/s; writes the numbers as JSON for CI artifacts
+//!   and PERFORMANCE.md.
+//! - `drill --addr HOST:PORT --tenant T --eps E` — POST releases against
+//!   a *running* server until it answers 429, asserting at least one
+//!   success first. Exercises the real binary over a real socket.
+//! - `verify --addr HOST:PORT --tenant T --eps E` — assert the very
+//!   first request is refused with 429 (a restarted server must refuse
+//!   from its recovered journal balance, without re-spending anything).
+
+use dpbench_core::Domain;
+use dpbench_harness::serve::{self, http, ServeConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn release(addr: &str, tenant: &str, mech: &str, eps: f64) -> (u16, String) {
+    let body = format!(
+        "{{\"tenant\":\"{tenant}\",\"dataset\":\"MEDCOST\",\"mechanism\":\"{mech}\",\"eps\":{eps}}}"
+    );
+    http::request(addr, "POST", "/v1/release", Some(&body)).expect("server reachable")
+}
+
+fn bench(args: &[String]) {
+    let out = flag(args, "--out");
+    // Big enough grant that the measurement never hits admission control.
+    let handle = serve::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        datasets: vec!["MEDCOST".into()],
+        scale: 100_000,
+        domain: Domain::D1(1024),
+        tenants: vec![("bench".into(), 1e9)],
+        journal: None,
+        threads: 4,
+        batch_window: Duration::ZERO,
+        seed: 1,
+        slo: false,
+        verbose: false,
+    })
+    .expect("start server");
+    let addr = handle.addr().to_string();
+
+    // Cold: every request plans a *distinct* strategy (DAWA at distinct
+    // ε values share one plan — vary the workload instead), so each
+    // sample pays the plan build. Simplest distinct-plan source in the
+    // registry: random workloads of distinct sizes.
+    let mut cold_ms = Vec::new();
+    for i in 0..20 {
+        let body = format!(
+            "{{\"tenant\":\"bench\",\"dataset\":\"MEDCOST\",\"mechanism\":\"GREEDY_H\",\"eps\":0.1,\"workload\":\"random:{}\"}}",
+            100 + i
+        );
+        let t0 = Instant::now();
+        let (status, resp) = http::request(&addr, "POST", "/v1/release", Some(&body)).unwrap();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(status, 200, "{resp}");
+        assert!(resp.contains("\"plan_cache_hit\":false"), "cold must build");
+        cold_ms.push(ms);
+    }
+
+    // Warm: the identical strategy repeated — same mechanism and
+    // workload shape as the cold loop (its `random:100` plan is already
+    // built), so the cold−warm gap isolates exactly the plan build.
+    let warm_body = "{\"tenant\":\"bench\",\"dataset\":\"MEDCOST\",\"mechanism\":\"GREEDY_H\",\"eps\":0.1,\"workload\":\"random:100\"}";
+    let mut warm_ms = Vec::new();
+    let sustained = Instant::now();
+    let n_warm = 200;
+    for _ in 0..n_warm {
+        let t0 = Instant::now();
+        let (status, resp) = http::request(&addr, "POST", "/v1/release", Some(warm_body)).unwrap();
+        warm_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, 200);
+        assert!(resp.contains("\"plan_cache_hit\":true"), "warm must hit");
+    }
+    let rps = n_warm as f64 / sustained.elapsed().as_secs_f64();
+
+    cold_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    warm_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let json = format!(
+        "{{\"bench\":\"serve_pr6\",\"requests\":{},\"requests_per_s\":{:.1},\
+         \"cold_p50_ms\":{:.3},\"cold_p95_ms\":{:.3},\
+         \"warm_p50_ms\":{:.3},\"warm_p95_ms\":{:.3}}}",
+        n_warm + cold_ms.len() + 1,
+        rps,
+        percentile(&cold_ms, 0.50),
+        percentile(&cold_ms, 0.95),
+        percentile(&warm_ms, 0.50),
+        percentile(&warm_ms, 0.95),
+    );
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(PathBuf::from(&path), format!("{json}\n")).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+    handle.shutdown().unwrap();
+}
+
+fn drill(args: &[String]) {
+    let addr = flag(args, "--addr").expect("--addr HOST:PORT");
+    let tenant = flag(args, "--tenant").expect("--tenant NAME");
+    let eps: f64 = flag(args, "--eps").expect("--eps E").parse().unwrap();
+    let mut granted = 0;
+    loop {
+        let (status, resp) = release(&addr, &tenant, "IDENTITY", eps);
+        match status {
+            200 => granted += 1,
+            429 => {
+                assert!(resp.contains("budget_exhausted"), "{resp}");
+                break;
+            }
+            s => panic!("unexpected status {s}: {resp}"),
+        }
+        assert!(granted < 100_000, "server never exhausted the budget");
+    }
+    assert!(granted >= 1, "drill needs at least one admitted release");
+    println!("drill: {granted} release(s) granted, then budget_exhausted");
+}
+
+fn verify(args: &[String]) {
+    let addr = flag(args, "--addr").expect("--addr HOST:PORT");
+    let tenant = flag(args, "--tenant").expect("--tenant NAME");
+    let eps: f64 = flag(args, "--eps").expect("--eps E").parse().unwrap();
+    let (status, resp) = release(&addr, &tenant, "IDENTITY", eps);
+    assert_eq!(
+        status, 429,
+        "restarted server must refuse from recovered balance: {resp}"
+    );
+    let (status, budget) =
+        http::request(&addr, "GET", &format!("/v1/tenants/{tenant}/budget"), None).unwrap();
+    assert_eq!(status, 200, "{budget}");
+    println!("verify: refused as expected; recovered balance {budget}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench") => bench(&args[1..]),
+        Some("drill") => drill(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        _ => {
+            eprintln!("usage: serve_bench <bench [--out FILE] | drill --addr A --tenant T --eps E | verify --addr A --tenant T --eps E>");
+            std::process::exit(2);
+        }
+    }
+}

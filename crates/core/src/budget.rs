@@ -162,6 +162,44 @@ impl BudgetLedger {
         rest
     }
 
+    /// Atomically check-and-reserve `eps` ahead of an execution — the
+    /// admission-control entry point of online serving. Semantically a
+    /// [`Self::spend_as`] under the label `"reserve"`: the ε is committed
+    /// the moment the reservation succeeds (a crashed caller has *spent*
+    /// its reservation — never the other way around), and a caller whose
+    /// execution then fails returns it via [`Self::refund_as`].
+    pub fn reserve(&mut self, eps: f64) -> Result<f64, BudgetExhausted> {
+        self.spend_as("reserve", eps)
+    }
+
+    /// Return `eps` of previously spent budget — the compensation for a
+    /// reservation whose execution failed before touching private data.
+    ///
+    /// Recorded in the trace as a **negative** ε so the trace still sums
+    /// to the ledger's spent total. Refunding more than was spent is a
+    /// caller bug (asserted): a refund never creates budget.
+    pub fn refund_as(&mut self, label: &str, eps: f64) {
+        assert!(
+            eps.is_finite() && eps >= 0.0,
+            "refund must be non-negative, got {eps}"
+        );
+        assert!(
+            eps <= self.spent + self.total * 1e-9,
+            "refund ε={eps} exceeds spent ε={}",
+            self.spent
+        );
+        self.spent = (self.spent - eps).max(0.0);
+        self.trace.push(SpendRecord {
+            label: label.to_string(),
+            epsilon: -eps,
+        });
+    }
+
+    /// [`Self::refund_as`] under the label `"refund"`.
+    pub fn refund(&mut self, eps: f64) {
+        self.refund_as("refund", eps)
+    }
+
     /// Split off a sub-ledger carrying `eps` of this ledger's budget
     /// (useful when delegating to a sub-mechanism such as DAWA's GREEDY_H
     /// second stage).
@@ -258,6 +296,51 @@ mod tests {
         assert_eq!(since.len(), 2);
         assert_eq!(since[0].label, "second");
         assert_eq!(since[1].label, "third");
+    }
+
+    #[test]
+    fn reserve_then_refund_replays_bit_exactly() {
+        let mut l = BudgetLedger::new(1.0);
+        l.spend_as("earlier", 0.3).unwrap();
+        let before = l.spent();
+        l.reserve(0.25).unwrap();
+        l.refund(0.25);
+        // Floating point does not promise (x + e) - e == x (one ulp of
+        // drift is allowed here); what the journal relies on is that
+        // replaying the identical op sequence lands on the identical bits.
+        assert!((l.spent() - before).abs() <= f64::EPSILON);
+        let mut replay = BudgetLedger::new(1.0);
+        for rec in l.trace() {
+            if rec.epsilon >= 0.0 {
+                replay.spend_as(&rec.label, rec.epsilon).unwrap();
+            } else {
+                replay.refund_as(&rec.label, -rec.epsilon);
+            }
+        }
+        assert_eq!(replay.spent().to_bits(), l.spent().to_bits());
+        assert_eq!(l.trace().len(), 3);
+        assert_eq!(l.trace()[1].label, "reserve");
+        assert_eq!(l.trace()[2].label, "refund");
+        assert_eq!(l.trace()[2].epsilon, -0.25);
+    }
+
+    #[test]
+    fn reserve_refuses_overdraw_like_spend() {
+        let mut l = BudgetLedger::new(0.5);
+        l.reserve(0.4).unwrap();
+        let err = l.reserve(0.2).unwrap_err();
+        assert!((err.remaining - 0.1).abs() < 1e-12);
+        // The failed reservation left no record and no spend.
+        assert_eq!(l.trace().len(), 1);
+        assert!((l.spent() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds spent")]
+    fn refund_cannot_create_budget() {
+        let mut l = BudgetLedger::new(1.0);
+        l.spend(0.1).unwrap();
+        l.refund(0.2);
     }
 
     #[test]

@@ -219,6 +219,81 @@ impl Release {
     pub fn into_estimate(self) -> Vec<f64> {
         self.estimate
     }
+
+    /// Serialize the release as one self-contained JSON object — the wire
+    /// format of the online release server (the workspace's serde is a
+    /// vendored marker stub, so all JSON in this codebase is hand-rolled,
+    /// matching the harness ledger discipline: fixed field order, floats
+    /// in Rust's shortest round-trip formatting so parse → re-format
+    /// reproduces the bytes, strings escaped minimally).
+    ///
+    /// ```text
+    /// {"mechanism":"DAWA","data_independent":false,"spent":0.1,
+    ///  "budget_trace":[{"label":"partition","eps":0.025},…],
+    ///  "estimate":[…]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.estimate.len());
+        out.push_str("{\"mechanism\":\"");
+        json_escape_into(&self.diagnostics.mechanism, &mut out);
+        out.push_str("\",\"data_independent\":");
+        out.push_str(if self.diagnostics.data_independent {
+            "true"
+        } else {
+            "false"
+        });
+        out.push_str(",\"spent\":");
+        push_f64(self.spent(), &mut out);
+        out.push_str(",\"budget_trace\":[");
+        for (i, r) in self.budget_trace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":\"");
+            json_escape_into(&r.label, &mut out);
+            out.push_str("\",\"eps\":");
+            push_f64(r.epsilon, &mut out);
+            out.push('}');
+        }
+        out.push_str("],\"estimate\":[");
+        for (i, v) in self.estimate.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_f64(*v, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Append a float in shortest round-trip formatting; non-finite values
+/// (which valid releases never produce, but a wire format must not emit
+/// bare `inf`/`NaN` tokens) become `null`.
+fn push_f64(v: f64, out: &mut String) {
+    use std::fmt::Write;
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Minimal JSON string escape: quotes, backslashes, and control bytes.
+/// Mechanism names and trace labels are internal identifiers that never
+/// contain these, but a serializer must not rely on that.
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
 }
 
 /// The executable second phase of a mechanism: all data-independent setup
@@ -613,6 +688,42 @@ mod tests {
         assert!((release.spent() - 0.5).abs() < 1e-12);
         assert_eq!(release.diagnostics.mechanism, "NULL");
         assert_eq!(release.diagnostics.measurements, Some(4));
+    }
+
+    #[test]
+    fn release_json_is_round_trip_exact() {
+        let release = Release {
+            estimate: vec![1.5, -0.25, 3.0000000000000004],
+            budget_trace: vec![
+                SpendRecord {
+                    label: "reserve".into(),
+                    epsilon: 0.1,
+                },
+                SpendRecord {
+                    label: "refund".into(),
+                    epsilon: -0.1,
+                },
+            ],
+            diagnostics: PlanDiagnostics::data_dependent("DAWA"),
+        };
+        let json = release.to_json();
+        assert!(json.starts_with("{\"mechanism\":\"DAWA\",\"data_independent\":false,"));
+        assert!(json.contains("\"budget_trace\":[{\"label\":\"reserve\",\"eps\":0.1},{\"label\":\"refund\",\"eps\":-0.1}]"));
+        // Shortest round-trip float formatting: the 17-digit value keeps
+        // every bit.
+        assert!(json.contains("3.0000000000000004"));
+        assert!(json.ends_with("\"estimate\":[1.5,-0.25,3.0000000000000004]}"));
+    }
+
+    #[test]
+    fn release_json_escapes_hostile_strings() {
+        let release = Release {
+            estimate: vec![],
+            budget_trace: vec![],
+            diagnostics: PlanDiagnostics::data_dependent("bad\"name\\\n"),
+        };
+        let json = release.to_json();
+        assert!(json.contains("bad\\\"name\\\\\\u000a"));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod manifest;
 pub mod repair;
 pub mod results;
 pub mod runner;
+pub mod serve;
 pub mod sink;
 pub mod tuning;
 

@@ -124,6 +124,19 @@ impl PlanCache {
         domain: &Domain,
         workload: &Workload,
     ) -> Result<Arc<dyn Plan>, MechError> {
+        self.plan_for_traced(mech, domain, workload).map(|(p, _)| p)
+    }
+
+    /// [`PlanCache::plan_for`] that also reports whether *this* lookup was
+    /// served by an already-built plan — the per-request cache-hit bit of
+    /// the release server (the global counters alone cannot attribute a
+    /// hit to a particular concurrent caller).
+    pub fn plan_for_traced(
+        &self,
+        mech: &dyn Mechanism,
+        domain: &Domain,
+        workload: &Workload,
+    ) -> Result<(Arc<dyn Plan>, bool), MechError> {
         let key = (
             mech.info().name,
             mech.config_fingerprint(),
@@ -137,13 +150,13 @@ impl PlanCache {
         let mut built = slot.plan.lock().expect("plan slot poisoned");
         if let Some(plan) = built.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(plan));
+            return Ok((Arc::clone(plan), true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan: Arc<dyn Plan> = Arc::from(mech.plan(domain, workload)?);
         *built = Some(Arc::clone(&plan));
         self.built.fetch_add(1, Ordering::Relaxed);
-        Ok(plan)
+        Ok((plan, false))
     }
 
     /// Current hit/miss counters.
@@ -419,6 +432,12 @@ pub struct Runner {
     /// (in manifest order). A testing/ops knob: the resulting ledger looks
     /// exactly like an interrupted run and can be `--resume`d.
     pub max_units: Option<usize>,
+    /// External cancellation flag (e.g. set from a SIGINT handler). When
+    /// it flips to `true`, workers stop claiming new units, in-flight
+    /// units drain to the sink in manifest order, and the sink is flushed
+    /// normally — the ledger looks exactly like a `max_units` stop and can
+    /// be `--resume`d.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Runner {
@@ -434,6 +453,7 @@ impl Runner {
             plan_cache: PlanCache::new(),
             data_cache_bytes: 256 << 20,
             max_units: None,
+            cancel: None,
         }
     }
 
@@ -538,6 +558,11 @@ impl Runner {
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
+                        }
+                        if let Some(cancel) = &self.cancel {
+                            if cancel.load(Ordering::Relaxed) {
+                                break;
+                            }
                         }
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= units.len() {

@@ -1,0 +1,367 @@
+//! Per-tenant budget accounting on the existing [`BudgetLedger`].
+//!
+//! Each tenant owns one ledger with its configured lifetime ε. A release
+//! request performs an **atomic check-and-reserve** before
+//! `Plan::execute`: under the tenant's lock, the ε is spent on the ledger
+//! and appended to the [`SpendJournal`] — so concurrent requests can
+//! never jointly overdraw, and the journal's per-tenant record order is
+//! exactly the order the in-memory f64 ops ran in. Replaying the journal
+//! on restart therefore reproduces every balance **bit-exactly**.
+//!
+//! A mechanism error refunds the reservation (typed `refund` record, not
+//! a negative spend). An exhausted tenant gets [`AdmissionError::Exhausted`]
+//! — the server maps it to HTTP 429 with the remaining budget, which is
+//! safe to reveal: the budget state depends only on granted requests, not
+//! on the private data.
+
+use super::journal::{JournalOp, JournalRecord, SpendJournal};
+use crate::config::is_valid_identifier;
+use dpbench_core::BudgetLedger;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Why a reservation was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// No tenant with this id is configured.
+    UnknownTenant(String),
+    /// The tenant's remaining ε cannot cover the request — the 429 case.
+    Exhausted {
+        /// ε the request asked for.
+        requested: f64,
+        /// ε the tenant still has.
+        remaining: f64,
+    },
+    /// The spend journal could not be written; the reservation was rolled
+    /// back (a release must never outrun its durable record).
+    Journal(String),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            AdmissionError::Exhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            AdmissionError::Journal(e) => write!(f, "journal write failed: {e}"),
+        }
+    }
+}
+
+/// A point-in-time view of one tenant's budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetSnapshot {
+    /// Lifetime ε granted by configuration.
+    pub total: f64,
+    /// ε spent (reservations minus refunds).
+    pub spent: f64,
+    /// ε still available.
+    pub remaining: f64,
+    /// Successful releases charged so far.
+    pub releases: u64,
+}
+
+struct TenantState {
+    ledger: BudgetLedger,
+    releases: u64,
+}
+
+/// The per-tenant budget authority of the release server.
+pub struct TenantAccountant {
+    tenants: HashMap<String, Mutex<TenantState>>,
+    journal: Option<Mutex<SpendJournal>>,
+}
+
+impl TenantAccountant {
+    /// Build the accountant from `(tenant, lifetime ε)` pairs, optionally
+    /// backed by a spend journal at `journal_path`. An existing journal
+    /// is replayed first (healing a torn tail), so a restarted server
+    /// resumes with the exact pre-crash balances.
+    pub fn new(budgets: &[(String, f64)], journal_path: Option<&Path>) -> io::Result<Self> {
+        let mut tenants = HashMap::new();
+        for (name, eps) in budgets {
+            if !is_valid_identifier(name) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("tenant name {name:?} is not a plain identifier"),
+                ));
+            }
+            if !(eps.is_finite() && *eps > 0.0) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("tenant {name}: budget must be positive and finite, got {eps}"),
+                ));
+            }
+            let prior = tenants.insert(
+                name.clone(),
+                Mutex::new(TenantState {
+                    ledger: BudgetLedger::new(*eps),
+                    releases: 0,
+                }),
+            );
+            if prior.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("tenant {name} configured twice"),
+                ));
+            }
+        }
+        let journal = match journal_path {
+            None => None,
+            Some(path) => {
+                let (journal, records) = SpendJournal::open(path)?;
+                apply_records(&tenants, &records)?;
+                Some(Mutex::new(journal))
+            }
+        };
+        Ok(Self { tenants, journal })
+    }
+
+    /// Atomically check-and-reserve `eps` for `tenant`; on success the ε
+    /// is spent on the ledger **and** durable in the journal before this
+    /// returns. Call before `Plan::execute`; pair with
+    /// [`TenantAccountant::refund`] if the mechanism then fails.
+    pub fn reserve(&self, tenant: &str, eps: f64) -> Result<(), AdmissionError> {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "requested ε must be positive and finite (validated by the router)"
+        );
+        let state = self
+            .tenants
+            .get(tenant)
+            .ok_or_else(|| AdmissionError::UnknownTenant(tenant.to_string()))?;
+        let mut state = state.lock().expect("tenant state poisoned");
+        state
+            .ledger
+            .reserve(eps)
+            .map_err(|e| AdmissionError::Exhausted {
+                requested: e.requested,
+                remaining: e.remaining,
+            })?;
+        if let Some(journal) = &self.journal {
+            let mut journal = journal.lock().expect("journal poisoned");
+            if let Err(e) = journal.append(tenant, JournalOp::Spend, eps) {
+                // Roll back: a spend that is not durable must not stand.
+                state.ledger.refund_as("journal-error", eps);
+                return Err(AdmissionError::Journal(e.to_string()));
+            }
+        }
+        state.releases += 1;
+        Ok(())
+    }
+
+    /// Return a reservation after a mechanism error. A journal write
+    /// failure here leaves the persisted balance *more* spent than the
+    /// live one — the conservative direction — and is surfaced to the
+    /// caller for logging.
+    pub fn refund(&self, tenant: &str, eps: f64) -> io::Result<()> {
+        let state = self
+            .tenants
+            .get(tenant)
+            .unwrap_or_else(|| panic!("refund for unknown tenant {tenant} (reserve admitted it)"));
+        let mut state = state.lock().expect("tenant state poisoned");
+        state.ledger.refund_as("refund", eps);
+        state.releases = state.releases.saturating_sub(1);
+        if let Some(journal) = &self.journal {
+            let mut journal = journal.lock().expect("journal poisoned");
+            journal.append(tenant, JournalOp::Refund, eps)?;
+        }
+        Ok(())
+    }
+
+    /// Current budget state of one tenant.
+    pub fn snapshot(&self, tenant: &str) -> Option<BudgetSnapshot> {
+        let state = self.tenants.get(tenant)?;
+        let state = state.lock().expect("tenant state poisoned");
+        Some(BudgetSnapshot {
+            total: state.ledger.total(),
+            spent: state.ledger.spent(),
+            remaining: state.ledger.remaining(),
+            releases: state.releases,
+        })
+    }
+
+    /// Number of configured tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenant is configured.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Flush and fsync the journal — the graceful-shutdown barrier.
+    pub fn sync(&self) -> io::Result<()> {
+        if let Some(journal) = &self.journal {
+            journal.lock().expect("journal poisoned").sync()?;
+        }
+        Ok(())
+    }
+}
+
+/// Apply replayed journal records to freshly-configured tenants —
+/// the identical ledger ops the live path ran, in the identical
+/// per-tenant order, so balances come back bit-exact.
+fn apply_records(
+    tenants: &HashMap<String, Mutex<TenantState>>,
+    records: &[JournalRecord],
+) -> io::Result<()> {
+    for rec in records {
+        let Some(state) = tenants.get(&rec.tenant) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "journal names tenant {:?} which is not configured \
+                     (tenant removal requires a fresh journal)",
+                    rec.tenant
+                ),
+            ));
+        };
+        let mut state = state.lock().expect("tenant state poisoned");
+        match rec.op {
+            JournalOp::Spend => {
+                state.releases += 1;
+                if state.ledger.reserve(rec.eps).is_err() {
+                    // The configured total shrank below the recorded
+                    // spend: clamp to fully exhausted — the conservative
+                    // reading of a journal that outspends the new grant.
+                    state.ledger.spend_all_as("replay-clamp");
+                }
+            }
+            JournalOp::Refund => {
+                state.releases = state.releases.saturating_sub(1);
+                // Under an unchanged configuration the refund can never
+                // exceed the spend it undoes; the clamp only engages
+                // after a replay-clamp above already distorted balances.
+                let eps = rec.eps.min(state.ledger.spent());
+                if eps > 0.0 {
+                    state.ledger.refund_as("refund", eps);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpbench-accountant-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("spend.jsonl")
+    }
+
+    #[test]
+    fn reserve_counts_down_and_refuses_past_zero() {
+        let acct =
+            TenantAccountant::new(&[("alice".into(), 1.0), ("bob".into(), 0.5)], None).unwrap();
+        acct.reserve("alice", 0.6).unwrap();
+        let err = acct.reserve("alice", 0.6).unwrap_err();
+        match err {
+            AdmissionError::Exhausted {
+                requested,
+                remaining,
+            } => {
+                assert_eq!(requested, 0.6);
+                assert!((remaining - 0.4).abs() < 1e-12);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        // Bob's budget is untouched by Alice's spending.
+        acct.reserve("bob", 0.5).unwrap();
+        assert!(matches!(
+            acct.reserve("carol", 0.1).unwrap_err(),
+            AdmissionError::UnknownTenant(_)
+        ));
+        let snap = acct.snapshot("alice").unwrap();
+        assert_eq!(snap.releases, 1);
+        assert!((snap.remaining - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refund_restores_budget_and_release_count() {
+        let acct = TenantAccountant::new(&[("a".into(), 1.0)], None).unwrap();
+        acct.reserve("a", 0.7).unwrap();
+        acct.refund("a", 0.7).unwrap();
+        let snap = acct.snapshot("a").unwrap();
+        assert_eq!(snap.releases, 0);
+        assert!(snap.remaining > 0.99);
+        acct.reserve("a", 0.9).unwrap();
+    }
+
+    #[test]
+    fn journal_replay_restores_balances_bit_exactly() {
+        let path = tmpfile("replay");
+        let _ = std::fs::remove_file(&path);
+        let budgets = vec![("alice".to_string(), 1.0), ("bob".to_string(), 2.0)];
+        let live = {
+            let acct = TenantAccountant::new(&budgets, Some(&path)).unwrap();
+            acct.reserve("alice", 0.1).unwrap();
+            acct.reserve("bob", 0.3).unwrap();
+            acct.reserve("alice", 0.25).unwrap();
+            acct.refund("alice", 0.25).unwrap();
+            acct.reserve("alice", 1.0 / 3.0).unwrap();
+            acct.sync().unwrap();
+            (
+                acct.snapshot("alice").unwrap(),
+                acct.snapshot("bob").unwrap(),
+            )
+        };
+        let acct = TenantAccountant::new(&budgets, Some(&path)).unwrap();
+        let alice = acct.snapshot("alice").unwrap();
+        let bob = acct.snapshot("bob").unwrap();
+        assert_eq!(alice.spent.to_bits(), live.0.spent.to_bits());
+        assert_eq!(bob.spent.to_bits(), live.1.spent.to_bits());
+        assert_eq!(alice.releases, live.0.releases);
+        // And the recovered accountant keeps enforcing from that state.
+        assert!(matches!(
+            acct.reserve("alice", 0.9),
+            Err(AdmissionError::Exhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn journal_for_unconfigured_tenant_is_rejected() {
+        let path = tmpfile("unknown");
+        let _ = std::fs::remove_file(&path);
+        {
+            let acct = TenantAccountant::new(&[("gone".into(), 1.0)], Some(&path)).unwrap();
+            acct.reserve("gone", 0.5).unwrap();
+            acct.sync().unwrap();
+        }
+        let err = TenantAccountant::new(&[("other".into(), 1.0)], Some(&path))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("gone"), "{err}");
+    }
+
+    #[test]
+    fn shrunken_grant_clamps_to_exhausted_on_replay() {
+        let path = tmpfile("shrunk");
+        let _ = std::fs::remove_file(&path);
+        {
+            let acct = TenantAccountant::new(&[("a".into(), 1.0)], Some(&path)).unwrap();
+            acct.reserve("a", 0.8).unwrap();
+            acct.sync().unwrap();
+        }
+        // Operator lowers the grant below the recorded spend.
+        let acct = TenantAccountant::new(&[("a".into(), 0.5)], Some(&path)).unwrap();
+        let snap = acct.snapshot("a").unwrap();
+        assert_eq!(snap.remaining, 0.0, "over-spent journal clamps to zero");
+        assert!(matches!(
+            acct.reserve("a", 0.01),
+            Err(AdmissionError::Exhausted { .. })
+        ));
+    }
+}

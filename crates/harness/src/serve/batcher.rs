@@ -1,0 +1,226 @@
+//! Request batching: same-strategy, same-ε releases arriving within a
+//! short window share one `Plan::execute`.
+//!
+//! The first request for a key becomes the **leader**: it sleeps out the
+//! window, unregisters the batch (so later arrivals start a fresh one),
+//! runs the execution once, and publishes the result. Requests that land
+//! on a registered batch are **followers**: they block on the batch's
+//! condvar and receive the leader's result.
+//!
+//! Privacy: a batch returns the *same released value* to every joiner.
+//! Publishing one DP release to more recipients is post-processing — it
+//! costs nothing extra against the data — yet every joiner's tenant has
+//! already reserved its own ε, so the accounting stays conservative.
+//!
+//! A zero window disables batching entirely (the default): `run` then
+//! degenerates to calling the executor inline.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A batch's shared result slot: `None` until the leader publishes.
+struct Batch<T> {
+    result: Mutex<Option<Result<Arc<T>, String>>>,
+    done: Condvar,
+}
+
+/// Cumulative batching counters for `/v1/status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Batches led (= executions actually run through the batcher).
+    pub led: u64,
+    /// Requests served by another request's execution.
+    pub followed: u64,
+}
+
+/// Groups concurrent same-key executions; generic in the result so the
+/// batching logic is testable without a live mechanism.
+pub struct Batcher<T> {
+    window: Duration,
+    open: Mutex<HashMap<u64, Arc<Batch<T>>>>,
+    led: AtomicU64,
+    followed: AtomicU64,
+}
+
+impl<T> Batcher<T> {
+    /// A batcher with the given collection window (zero disables).
+    pub fn new(window: Duration) -> Self {
+        Self {
+            window,
+            open: Mutex::new(HashMap::new()),
+            led: AtomicU64::new(0),
+            followed: AtomicU64::new(0),
+        }
+    }
+
+    /// Run `exec` for `key`, or wait for an in-flight execution of the
+    /// same key started within the window. Leaders hold no lock while
+    /// sleeping or executing, so distinct keys never serialize. The
+    /// boolean is `true` when this call was served by another request's
+    /// execution (a follower) — the response's `batched` bit.
+    pub fn run<F>(&self, key: u64, exec: F) -> Result<(Arc<T>, bool), String>
+    where
+        F: FnOnce() -> Result<T, String>,
+    {
+        if self.window.is_zero() {
+            return exec().map(|v| (Arc::new(v), false));
+        }
+        let (batch, leader) = {
+            let mut open = self.open.lock().expect("batcher poisoned");
+            match open.get(&key) {
+                Some(batch) => (Arc::clone(batch), false),
+                None => {
+                    let batch = Arc::new(Batch {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    open.insert(key, Arc::clone(&batch));
+                    (batch, true)
+                }
+            }
+        };
+        if leader {
+            std::thread::sleep(self.window);
+            // Close the batch *before* executing: anyone arriving from
+            // here on starts a new batch rather than waiting on a result
+            // drawn before they asked.
+            self.open.lock().expect("batcher poisoned").remove(&key);
+            self.led.fetch_add(1, Ordering::Relaxed);
+            let result = exec().map(Arc::new);
+            let mut slot = batch.result.lock().expect("batch poisoned");
+            *slot = Some(result.clone());
+            batch.done.notify_all();
+            result.map(|v| (v, false))
+        } else {
+            self.followed.fetch_add(1, Ordering::Relaxed);
+            let mut slot = batch.result.lock().expect("batch poisoned");
+            while slot.is_none() {
+                slot = batch.done.wait(slot).expect("batch poisoned");
+            }
+            slot.as_ref()
+                .expect("checked above")
+                .clone()
+                .map(|v| (v, true))
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            led: self.led.load(Ordering::Relaxed),
+            followed: self.followed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_window_executes_inline() {
+        let b: Batcher<u32> = Batcher::new(Duration::ZERO);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, batched) = b
+                .run(7, || {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    Ok(41)
+                })
+                .unwrap();
+            assert_eq!(*v, 41);
+            assert!(!batched);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(b.stats(), BatchStats::default());
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_share_one_execution() {
+        let b: Arc<Batcher<usize>> = Arc::new(Batcher::new(Duration::from_millis(60)));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let b = Arc::clone(&b);
+            let calls = Arc::clone(&calls);
+            handles.push(std::thread::spawn(move || {
+                b.run(42, move || {
+                    // Distinct executions would return distinct values.
+                    Ok(calls.fetch_add(1, Ordering::Relaxed))
+                })
+                .unwrap()
+            }));
+        }
+        let results: Vec<(Arc<usize>, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "six requests inside one window must execute once"
+        );
+        assert!(results.iter().all(|(v, _)| **v == 0));
+        assert_eq!(results.iter().filter(|(_, batched)| *batched).count(), 5);
+        let stats = b.stats();
+        assert_eq!(stats.led, 1);
+        assert_eq!(stats.followed, 5);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_batch() {
+        let b: Arc<Batcher<u64>> = Arc::new(Batcher::new(Duration::from_millis(30)));
+        let mut handles = Vec::new();
+        for key in 0..4_u64 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                *b.run(key, || Ok(key)).unwrap().0
+            }));
+        }
+        let mut results: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_unstable();
+        assert_eq!(results, vec![0, 1, 2, 3]);
+        assert_eq!(b.stats().led, 4);
+    }
+
+    #[test]
+    fn errors_propagate_to_all_joiners() {
+        let b: Arc<Batcher<u8>> = Arc::new(Batcher::new(Duration::from_millis(50)));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                b.run(1, || Err("mechanism failed".to_string()))
+            }));
+        }
+        for h in handles {
+            let err = h.join().unwrap().unwrap_err();
+            assert_eq!(err, "mechanism failed");
+        }
+    }
+
+    #[test]
+    fn late_arrival_after_window_starts_a_new_batch() {
+        let b: Batcher<u32> = Batcher::new(Duration::from_millis(10));
+        let calls = AtomicUsize::new(0);
+        let (first, _) = b
+            .run(9, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(1)
+            })
+            .unwrap();
+        let (second, _) = b
+            .run(9, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(2)
+            })
+            .unwrap();
+        assert_eq!((*first, *second), (1, 2));
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            2,
+            "sequential requests re-execute"
+        );
+    }
+}

@@ -1,0 +1,481 @@
+//! Minimal HTTP/1.1 for the release server: request parsing with
+//! keep-alive over `std::net::TcpStream`, response writing, and a
+//! flat-JSON body parser.
+//!
+//! The workspace is offline-vendored (no hyper, no serde), so this layer
+//! implements exactly the subset the server needs: `GET`/`POST`, header
+//! parsing, `Content-Length` bodies, persistent connections, and JSON
+//! bodies that are a single flat object of string / number / boolean /
+//! null values. Caps (16 KiB head, 1 MiB body) bound a hostile client.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 16 << 10;
+/// Largest accepted request body.
+const MAX_BODY: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (query strings are not used by this API).
+    pub path: String,
+    /// Headers with lowercased names.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// True when the client asked to close the connection after this
+    /// request (`Connection: close`); HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Read one request from `stream`, buffering partial reads in `buf` (the
+/// per-connection carry-over, so an idle-timeout retry never loses bytes
+/// and pipelined requests are preserved).
+///
+/// Returns `Ok(None)` on clean EOF at a request boundary. Timeouts
+/// (`WouldBlock` / `TimedOut`) propagate as errors so the caller can poll
+/// its shutdown flag and retry with the same `buf`.
+pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<Option<Request>> {
+    let mut chunk = [0_u8; 4096];
+    loop {
+        if let Some(req) = try_parse(buf)? {
+            return Ok(Some(req));
+        }
+        if buf.len() > MAX_HEAD + MAX_BODY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request exceeds size caps",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.iter().all(u8::is_ascii_whitespace) {
+                return Ok(None); // clean close between requests
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Try to parse one complete request from the front of `buf`, draining
+/// the consumed bytes on success.
+fn try_parse(buf: &mut Vec<u8>) -> io::Result<Option<Request>> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head exceeds 16 KiB",
+            ));
+        }
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m, p),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad request line {request_line:?}"),
+            ))
+        }
+    };
+    let mut headers = HashMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad header line {line:?}"),
+            ));
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    let content_length: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?,
+    };
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body exceeds 1 MiB",
+        ));
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None); // body not fully arrived yet
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    let req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    };
+    buf.drain(..body_start + content_length);
+    Ok(Some(req))
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write one `application/json` response; `close` controls the
+/// `Connection` header (and whether the caller should drop the stream).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if close { "close" } else { "keep-alive" }
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Flat JSON object parsing (request bodies)
+// ---------------------------------------------------------------------------
+
+/// A JSON scalar — the only value kind the release API accepts (the
+/// request schema is deliberately flat).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string (escapes decoded).
+    Str(String),
+    /// A JSON number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object (`{"k": scalar, ...}`) into a map. Nested
+/// objects and arrays are rejected with a clear message — the release API
+/// has no nested request fields, and refusing them beats half-parsing.
+pub fn parse_object(s: &str) -> Result<HashMap<String, JsonValue>, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = HashMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_scalar()?;
+            map.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}', got {:?}",
+                        other.map(char::from)
+                    ))
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after JSON object".into());
+    }
+    Ok(map)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!(
+                "expected {:?}, got {:?}",
+                char::from(want),
+                other.map(char::from)
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0_u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char).to_digit(16).ok_or("bad \\u escape digit")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {:?}", other.map(char::from))),
+                },
+                Some(b) if b < 0x20 => return Err("raw control byte in string".into()),
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences byte-wise.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or("invalid UTF-8 in string")?;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err("truncated UTF-8 sequence".into());
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'{') | Some(b'[') => {
+                Err("nested objects/arrays are not accepted by this API".into())
+            }
+            Some(b't') => self.keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.keyword("null", JsonValue::Null),
+            Some(_) => {
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+                text.parse()
+                    .map(JsonValue::Num)
+                    .map_err(|_| format!("bad number {text:?}"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal (expected {word})"))
+        }
+    }
+}
+
+/// Leading-byte length of a UTF-8 sequence (`None` for continuation or
+/// invalid leading bytes).
+fn utf8_len(b: u8) -> Option<usize> {
+    match b {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+/// One-shot HTTP client for tests, drills, and the bench binary: connect,
+/// send `method path` with an optional JSON body, return (status, body).
+/// Uses `Connection: close`, so every call is a fresh connection.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad response status line"))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pipelined_keepalive_requests_from_buffer() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(
+            b"POST /v1/release HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcdGET /v1/status HTTP/1.1\r\n\r\n",
+        );
+        let first = try_parse(&mut buf).unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.path, "/v1/release");
+        assert_eq!(first.body, b"abcd");
+        assert!(!first.wants_close());
+        let second = try_parse(&mut buf).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/v1/status");
+        assert!(second.body.is_empty());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn partial_request_returns_none_and_keeps_bytes() {
+        let mut buf = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec();
+        assert!(try_parse(&mut buf).unwrap().is_none());
+        assert!(!buf.is_empty());
+        buf.extend_from_slice(b"defghij");
+        let req = try_parse(&mut buf).unwrap().unwrap();
+        assert_eq!(req.body, b"abcdefghij");
+    }
+
+    #[test]
+    fn oversized_head_is_an_error() {
+        let mut buf = vec![b'A'; MAX_HEAD + 1];
+        assert!(try_parse(&mut buf).is_err());
+    }
+
+    #[test]
+    fn parse_object_accepts_flat_scalars_and_whitespace() {
+        let m = parse_object(
+            "{\n  \"tenant\": \"alice\",\n  \"eps\": 0.25,\n  \"slo\": true,\n  \"note\": null\n}",
+        )
+        .unwrap();
+        assert_eq!(m["tenant"].as_str(), Some("alice"));
+        assert_eq!(m["eps"].as_f64(), Some(0.25));
+        assert_eq!(m["slo"], JsonValue::Bool(true));
+        assert_eq!(m["note"], JsonValue::Null);
+    }
+
+    #[test]
+    fn parse_object_decodes_escapes() {
+        let m = parse_object(r#"{"k":"a\"b\\c\ndA"}"#).unwrap();
+        assert_eq!(m["k"].as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn parse_object_rejects_nesting_and_trailing_garbage() {
+        assert!(parse_object(r#"{"k":{"x":1}}"#).is_err());
+        assert!(parse_object(r#"{"k":[1]}"#).is_err());
+        assert!(parse_object(r#"{"k":1} extra"#).is_err());
+        assert!(parse_object(r#"{"k":}"#).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Persistent JSONL spend journal for the release server.
+//!
+//! Same discipline as the result ledger in [`crate::sink`]: one JSON
+//! object per line, fixed field order, shortest-round-trip floats, no
+//! string escapes (tenant names are validated identifiers). A malformed
+//! line mid-file is hard corruption (`InvalidData` naming the line); a
+//! torn **final** line — the only damage a crash mid-append can cause —
+//! is healed by truncation on reopen, which loses at most the one record
+//! whose spend never produced a response.
+//!
+//! Bit-exact recovery: the accountant holds its tenant lock across both
+//! the in-memory ledger op and the journal append, so per-tenant journal
+//! order equals live op order, and replaying the records performs the
+//! *identical* sequence of f64 operations — the recovered balance matches
+//! the pre-crash balance to the bit (floats round-trip exactly through
+//! the shortest `{}` formatting).
+
+use crate::sink::{bad, field, repair_tail_with, TornTail};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Journal file header (`v` guards future format changes).
+const HEADER: &str = "{\"t\":\"tenants\",\"v\":1}";
+
+/// What one journal record did to a tenant's ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalOp {
+    /// ε reserved (and, on success, spent) for a release.
+    Spend,
+    /// ε returned after a mechanism error.
+    Refund,
+}
+
+/// One replayed journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Tenant the record belongs to.
+    pub tenant: String,
+    /// Spend or refund.
+    pub op: JournalOp,
+    /// The ε amount (non-negative; refunds are typed, not signed).
+    pub eps: f64,
+}
+
+/// Append-only writer over the journal file.
+pub struct SpendJournal {
+    out: BufWriter<File>,
+    seq: u64,
+}
+
+impl SpendJournal {
+    /// Open `path` for appending, creating it (with a header) if absent,
+    /// healing a torn final line, and replaying every surviving record in
+    /// file order. Returns the writer positioned after the last record.
+    pub fn open(path: &Path) -> io::Result<(Self, Vec<JournalRecord>)> {
+        let records = if path.exists() {
+            repair_tail_with(path, |line| !matches!(classify(line), JLine::Malformed(_)))?;
+            replay(path)?
+        } else {
+            let mut f = File::create(path)?;
+            f.write_all(HEADER.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+            Vec::new()
+        };
+        let out = BufWriter::new(OpenOptions::new().append(true).open(path)?);
+        Ok((
+            Self {
+                out,
+                seq: records.len() as u64,
+            },
+            records,
+        ))
+    }
+
+    /// Append one record and flush it to the OS (a crash after `append`
+    /// returns loses nothing; a crash *during* it tears at most the final
+    /// line, which reopen truncates).
+    pub fn append(&mut self, tenant: &str, op: JournalOp, eps: f64) -> io::Result<()> {
+        debug_assert!(
+            crate::config::is_valid_identifier(tenant),
+            "tenant names are validated before journaling"
+        );
+        self.seq += 1;
+        let tag = match op {
+            JournalOp::Spend => "spend",
+            JournalOp::Refund => "refund",
+        };
+        writeln!(
+            self.out,
+            "{{\"t\":\"{tag}\",\"tenant\":\"{tenant}\",\"eps\":{eps},\"seq\":{}}}",
+            self.seq
+        )?;
+        self.out.flush()
+    }
+
+    /// Flush and fsync — the graceful-shutdown barrier.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_all()
+    }
+}
+
+/// One classified journal line.
+enum JLine {
+    Header,
+    Record(JournalRecord),
+    Blank,
+    Malformed(&'static str),
+}
+
+/// Classify (and fully parse) one line; shared by the replay reader and
+/// the tail repair so "well-formed" means the same thing to both.
+fn classify(line: &str) -> JLine {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return JLine::Blank;
+    }
+    // Structural completeness first (see `sink::classify`): a crash tear
+    // can truncate a trailing number to a shorter, still-parseable one.
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return JLine::Malformed("truncated record");
+    }
+    match field(line, "t") {
+        Some("tenants") => match field(line, "v").and_then(|v| v.parse::<u32>().ok()) {
+            Some(1) => JLine::Header,
+            _ => JLine::Malformed("unsupported journal version"),
+        },
+        Some(tag @ ("spend" | "refund")) => {
+            let tenant = field(line, "tenant");
+            let eps = field(line, "eps").and_then(|s| s.parse::<f64>().ok());
+            let seq = field(line, "seq").and_then(|s| s.parse::<u64>().ok());
+            match (tenant, eps, seq) {
+                (Some(tenant), Some(eps), Some(_)) if eps.is_finite() && eps >= 0.0 => {
+                    JLine::Record(JournalRecord {
+                        tenant: tenant.to_string(),
+                        op: if tag == "spend" {
+                            JournalOp::Spend
+                        } else {
+                            JournalOp::Refund
+                        },
+                        eps,
+                    })
+                }
+                _ => JLine::Malformed("malformed journal record"),
+            }
+        }
+        _ => JLine::Malformed("unrecognized record"),
+    }
+}
+
+/// Strict replay: every record in file order. Header required on line 1;
+/// a malformed line is tolerated only as the torn final line.
+pub fn replay(path: &Path) -> io::Result<Vec<JournalRecord>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut records = Vec::new();
+    let mut saw_header = false;
+    let mut torn = TornTail::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        match classify(&line) {
+            JLine::Blank => {}
+            JLine::Malformed(what) => torn.defer(line_no, what),
+            JLine::Header => {
+                torn.check()?;
+                if saw_header {
+                    return Err(bad(line_no, "duplicate journal header"));
+                }
+                saw_header = true;
+            }
+            JLine::Record(rec) => {
+                torn.check()?;
+                if !saw_header {
+                    return Err(bad(line_no, "journal record before header"));
+                }
+                records.push(rec);
+            }
+        }
+    }
+    if !saw_header {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: missing journal header", path.display()),
+        ));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpbench-journal-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("spend.jsonl")
+    }
+
+    #[test]
+    fn round_trips_records_bit_exactly() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let eps_values = [0.1, 0.25, 1.0 / 3.0, 1e-9, 0.30000000000000004];
+        {
+            let (mut j, replayed) = SpendJournal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            for (i, &e) in eps_values.iter().enumerate() {
+                let op = if i % 2 == 0 {
+                    JournalOp::Spend
+                } else {
+                    JournalOp::Refund
+                };
+                j.append("alice", op, e).unwrap();
+            }
+            j.sync().unwrap();
+        }
+        let (_, replayed) = SpendJournal::open(&path).unwrap();
+        assert_eq!(replayed.len(), eps_values.len());
+        for (rec, &e) in replayed.iter().zip(&eps_values) {
+            assert_eq!(rec.tenant, "alice");
+            assert_eq!(rec.eps.to_bits(), e.to_bits(), "float must round-trip");
+        }
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_on_reopen() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = SpendJournal::open(&path).unwrap();
+            j.append("a", JournalOp::Spend, 0.5).unwrap();
+            j.sync().unwrap();
+        }
+        // Simulate a crash mid-append: a second record torn mid-number.
+        let mut raw = std::fs::read_to_string(&path).unwrap();
+        raw.push_str("{\"t\":\"spend\",\"tenant\":\"a\",\"eps\":0.2");
+        std::fs::write(&path, raw).unwrap();
+        let (_, replayed) = SpendJournal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "torn record dropped, intact one kept");
+        assert_eq!(replayed[0].eps, 0.5);
+        // The heal is durable: a third open sees the same single record.
+        let (_, again) = SpendJournal::open(&path).unwrap();
+        assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let path = tmp("midfile");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = SpendJournal::open(&path).unwrap();
+            j.append("a", JournalOp::Spend, 0.5).unwrap();
+            j.sync().unwrap();
+        }
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let with_garbage = raw.replace("{\"t\":\"spend\"", "garbage\n{\"t\":\"spend\"");
+        std::fs::write(&path, with_garbage).unwrap();
+        let err = replay(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let path = tmp("noheader");
+        std::fs::write(
+            &path,
+            "{\"t\":\"spend\",\"tenant\":\"a\",\"eps\":0.5,\"seq\":1}\n",
+        )
+        .unwrap();
+        assert!(replay(&path).is_err());
+    }
+}

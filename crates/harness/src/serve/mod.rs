@@ -1,0 +1,46 @@
+//! `dpbench serve` — an online DP release server with per-tenant budget
+//! accounting.
+//!
+//! The paper evaluates mechanisms in batch, but its framing — many users
+//! each spending a small privacy budget on range-query workloads — is an
+//! online service. This module is that service, built entirely on the
+//! batch machinery the harness already trusts:
+//!
+//! - [`http`] — a hand-rolled HTTP/1.1 layer over `std::net::TcpListener`
+//!   (the workspace is offline-vendored; no tokio/hyper): request
+//!   parsing, keep-alive, and a flat-JSON body parser.
+//! - [`accountant`] — [`TenantAccountant`], per-tenant ε budgets on the
+//!   existing `BudgetLedger` with atomic check-and-reserve before
+//!   `Plan::execute`, refund on mechanism error, and 429-style admission
+//!   control once a tenant's ε is exhausted.
+//! - [`journal`] — a persistent JSONL spend journal with the sink
+//!   module's strict-reader discipline (mid-file corruption is a hard
+//!   error; only a torn final line is healed), so a restarted server
+//!   recovers **bit-exact** balances by replaying the same float ops in
+//!   the same order.
+//! - [`batcher`] — groups same-strategy, same-ε requests arriving within
+//!   a short window into one `Plan::execute`; every joiner still reserves
+//!   its own ε (sharing one released value with more recipients is
+//!   post-processing and costs nothing extra against the data).
+//! - [`server`] — the worker pool, router, and endpoints:
+//!   `POST /v1/release`, `GET /v1/tenants/:id/budget`, `GET /v1/status`.
+//! - [`shutdown`] — process-wide SIGINT/SIGTERM flag (no deps: a plain
+//!   `extern "C"` binding to `signal(2)`), polled by the accept loop and
+//!   by `dpbench run`'s cancel hook so both drain and flush before exit.
+//!
+//! The `PlanCache` is shared across requests (it was already concurrent
+//! and keyed by content), so a repeated release request skips strategy
+//! construction entirely — the response carries a per-request
+//! `plan_cache_hit` bit.
+
+pub mod accountant;
+pub mod batcher;
+pub mod http;
+pub mod journal;
+pub mod server;
+pub mod shutdown;
+
+pub use accountant::{AdmissionError, BudgetSnapshot, TenantAccountant};
+pub use batcher::Batcher;
+pub use journal::{JournalOp, JournalRecord, SpendJournal};
+pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,650 @@
+//! The release server: datasets loaded at startup, a bounded worker
+//! thread pool over the hand-rolled HTTP layer, and three endpoints.
+//!
+//! | Endpoint | Semantics |
+//! |---|---|
+//! | `POST /v1/release` | reserve ε → (batched) `Plan::execute` → JSON release with budget trace, optional SLO error block, plan-cache hit bit, latency |
+//! | `GET /v1/tenants/:id/budget` | the tenant's live balance |
+//! | `GET /v1/status` | uptime, per-mechanism counts, plan-cache and batcher counters, queue depth |
+//!
+//! Release flow: admission control happens **before** execution
+//! ([`TenantAccountant::reserve`] — atomic check-and-reserve, journaled),
+//! a mechanism failure refunds, and the response's remaining balance is
+//! read back after settlement. Plans come from one [`PlanCache`] shared
+//! by all workers (cross-request warm cache); executions of the same
+//! (mechanism, domain, workload, dataset, ε) arriving within the batch
+//! window share one noise draw through the [`Batcher`].
+
+use super::accountant::{AdmissionError, TenantAccountant};
+use super::batcher::Batcher;
+use super::http::{self, JsonValue, Request};
+use super::shutdown;
+use crate::config::WorkloadSpec;
+use crate::runner::PlanCache;
+use dpbench_algorithms::registry::mechanism_by_name;
+use dpbench_core::mechanism::execute_eps_with;
+use dpbench_core::rng::{hash_str, rng_for};
+use dpbench_core::{
+    scaled_per_query_error, DataVector, Domain, Fingerprint, Loss, Release, Workload, Workspace,
+};
+use dpbench_datasets::{catalog, DataGenerator};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration (the CLI builds this from `dpbench serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (tests).
+    pub addr: String,
+    /// Catalog names of the datasets to load at startup.
+    pub datasets: Vec<String>,
+    /// Scale every dataset is generated at.
+    pub scale: u64,
+    /// Domain every dataset is generated over (and every plan runs on).
+    pub domain: Domain,
+    /// `(tenant, lifetime ε)` grants.
+    pub tenants: Vec<(String, f64)>,
+    /// Spend journal path; `None` serves from memory only.
+    pub journal: Option<PathBuf>,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Same-strategy request batching window (zero disables).
+    pub batch_window: Duration,
+    /// Seed stirred into data generation and release noise.
+    pub seed: u64,
+    /// Operator opt-in: include the SLO error block (scaled L1/L2 vs the
+    /// true workload answers) in release responses.
+    pub slo: bool,
+    /// Log one line per request to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8787".into(),
+            datasets: vec!["MEDCOST".into()],
+            scale: 100_000,
+            domain: Domain::D1(1024),
+            tenants: Vec::new(),
+            journal: None,
+            threads: 4,
+            batch_window: Duration::ZERO,
+            seed: 0,
+            slo: false,
+            verbose: false,
+        }
+    }
+}
+
+/// One dataset materialized at startup.
+struct LoadedDataset {
+    x: DataVector,
+}
+
+/// Memo of true workload answers, keyed by (dataset, workload
+/// fingerprint) — the SLO block evaluates `W x` once per pair.
+type YTrueMemo = Mutex<HashMap<(String, u64), Arc<Vec<f64>>>>;
+
+/// Shared state of a running server — exposed through
+/// [`ServerHandle::state`] so tests can assert on counters directly.
+pub struct ServerState {
+    /// Per-tenant budgets (public: the CLI prints balances at shutdown).
+    pub accountant: TenantAccountant,
+    /// The shared cross-request plan cache.
+    pub plan_cache: PlanCache,
+    datasets: HashMap<String, LoadedDataset>,
+    batcher: Batcher<Release>,
+    domain: Domain,
+    scale: u64,
+    seed: u64,
+    slo: bool,
+    verbose: bool,
+    started: Instant,
+    requests: AtomicU64,
+    release_seq: AtomicU64,
+    queue_depth: AtomicUsize,
+    mech_counts: Mutex<HashMap<String, u64>>,
+    workload_memo: Mutex<HashMap<(u8, usize), Arc<Workload>>>,
+    y_true_memo: YTrueMemo,
+}
+
+/// Handle to a started server: address, state, and shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    joins: Vec<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live server state (counters, accountant, plan cache).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// True once every worker observed the stop flag and exited.
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, join
+    /// every thread, then flush + fsync the spend journal.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        for join in self.joins {
+            let _ = join.join();
+        }
+        self.state.accountant.sync()
+    }
+}
+
+/// Start the server; returns once the listener is bound and the worker
+/// pool is running. Shut down via [`ServerHandle::shutdown`] (or a
+/// process signal — workers also poll [`shutdown::requested`]).
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    if config.tenants.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "serve needs at least one tenant (--tenants name=eps,... or --tenant-config)",
+        ));
+    }
+    if config.datasets.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "serve needs at least one dataset",
+        ));
+    }
+    let mut datasets = HashMap::new();
+    for name in &config.datasets {
+        let ds = catalog::by_name(name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown dataset {name} (see `dpbench list-datasets`)"),
+            )
+        })?;
+        let mut rng = rng_for(
+            "serve-data",
+            &[
+                hash_str(name),
+                config.scale,
+                config.domain.n_cells() as u64,
+                config.seed,
+            ],
+        );
+        let x = DataGenerator::new().generate(&ds, config.domain, config.scale, &mut rng);
+        datasets.insert(name.clone(), LoadedDataset { x });
+    }
+    let accountant = TenantAccountant::new(&config.tenants, config.journal.as_deref())?;
+    let state = Arc::new(ServerState {
+        accountant,
+        plan_cache: PlanCache::new(),
+        datasets,
+        batcher: Batcher::new(config.batch_window),
+        domain: config.domain,
+        scale: config.scale,
+        seed: config.seed,
+        slo: config.slo,
+        verbose: config.verbose,
+        started: Instant::now(),
+        requests: AtomicU64::new(0),
+        release_seq: AtomicU64::new(0),
+        queue_depth: AtomicUsize::new(0),
+        mech_counts: Mutex::new(HashMap::new()),
+        workload_memo: Mutex::new(HashMap::new()),
+        y_true_memo: Mutex::new(HashMap::new()),
+    });
+
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut joins = Vec::with_capacity(config.threads + 1);
+
+    // Accept loop: non-blocking + 1 ms sleep — short enough that a new
+    // connection's accept latency is noise next to a release, cheap
+    // enough to idle on, and the stop flag (or a process signal) is
+    // still observed promptly.
+    {
+        let stop = Arc::clone(&stop);
+        let state = Arc::clone(&state);
+        joins.push(std::thread::spawn(move || loop {
+            if stop.load(Ordering::SeqCst) || shutdown::requested() {
+                break; // drop tx: workers drain the queue, then exit
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    state.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }));
+    }
+
+    for _ in 0..config.threads.max(1) {
+        let stop = Arc::clone(&stop);
+        let state = Arc::clone(&state);
+        let rx = Arc::clone(&rx);
+        joins.push(std::thread::spawn(move || {
+            // Per-worker scratch, reused across every request this worker
+            // serves (same discipline as the grid runner's workers).
+            let mut ws = Workspace::new();
+            loop {
+                let conn = {
+                    let rx = rx.lock().expect("connection queue poisoned");
+                    rx.recv_timeout(Duration::from_millis(50))
+                };
+                match conn {
+                    Ok(stream) => {
+                        state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        handle_connection(stream, &state, &stop, &mut ws);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if stop.load(Ordering::SeqCst) || shutdown::requested() {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        joins,
+        state,
+    })
+}
+
+/// Serve one connection with keep-alive until close, error, or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &ServerState,
+    stop: &AtomicBool,
+    ws: &mut Workspace,
+) {
+    // Short read timeout: an idle keep-alive connection re-checks the
+    // stop flag every 100 ms instead of pinning its worker.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut buf = Vec::new();
+    loop {
+        let stopping = stop.load(Ordering::SeqCst) || shutdown::requested();
+        match http::read_request(&mut stream, &mut buf) {
+            Ok(Some(req)) => {
+                let (status, body) = route(state, &req, ws);
+                let close = req.wants_close() || stopping;
+                if state.verbose {
+                    eprintln!("[serve] {} {} -> {status}", req.method, req.path);
+                }
+                if http::write_response(&mut stream, status, &body, close).is_err() || close {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean close
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stopping {
+                    break; // drain: no request in flight on this socket
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let body = error_json("bad_request", &e.to_string());
+                let _ = http::write_response(&mut stream, 400, &body, true);
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Dispatch one request to its endpoint.
+fn route(state: &ServerState, req: &Request, ws: &mut Workspace) -> (u16, String) {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/release") => handle_release(state, &req.body, ws),
+        ("GET", "/v1/status") => (200, status_json(state)),
+        ("GET", path) => {
+            if let Some(tenant) = path
+                .strip_prefix("/v1/tenants/")
+                .and_then(|rest| rest.strip_suffix("/budget"))
+            {
+                match state.accountant.snapshot(tenant) {
+                    Some(snap) => (
+                        200,
+                        format!(
+                            "{{\"tenant\":\"{tenant}\",\"total\":{},\"spent\":{},\"remaining\":{},\"releases\":{}}}",
+                            jf(snap.total),
+                            jf(snap.spent),
+                            jf(snap.remaining),
+                            snap.releases
+                        ),
+                    ),
+                    None => (404, error_json("unknown_tenant", tenant)),
+                }
+            } else {
+                (404, error_json("not_found", path))
+            }
+        }
+        ("POST", path) => (404, error_json("not_found", path)),
+        (method, _) => (405, error_json("method_not_allowed", method)),
+    }
+}
+
+/// `POST /v1/release`.
+fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> (u16, String) {
+    let t0 = Instant::now();
+    let parsed = std::str::from_utf8(body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(http::parse_object);
+    let fields = match parsed {
+        Ok(f) => f,
+        Err(e) => return (400, error_json("bad_request", &e)),
+    };
+    let str_field = |key: &str| fields.get(key).and_then(JsonValue::as_str);
+
+    let Some(tenant) = str_field("tenant") else {
+        return (400, error_json("bad_request", "missing \"tenant\""));
+    };
+    let Some(dataset_name) = str_field("dataset") else {
+        return (400, error_json("bad_request", "missing \"dataset\""));
+    };
+    let Some(eps) = fields.get("eps").and_then(JsonValue::as_f64) else {
+        return (400, error_json("bad_request", "missing numeric \"eps\""));
+    };
+    if !(eps.is_finite() && eps > 0.0) {
+        return (
+            400,
+            error_json("bad_request", "eps must be positive and finite"),
+        );
+    }
+    if let Some(domain) = str_field("domain") {
+        match crate::results::parse_domain(domain) {
+            Some(d) if d == state.domain => {}
+            _ => {
+                return (
+                    400,
+                    error_json(
+                        "bad_request",
+                        &format!(
+                            "domain {domain} does not match the served domain {}",
+                            state.domain
+                        ),
+                    ),
+                )
+            }
+        }
+    }
+    let Some(data) = state.datasets.get(dataset_name) else {
+        return (404, error_json("unknown_dataset", dataset_name));
+    };
+
+    // Mechanism: explicit name, or `auto` → DAWA where supported (the
+    // paper's overall winner), IDENTITY otherwise.
+    let requested_mech = str_field("mechanism").unwrap_or("auto");
+    let mech_name = if requested_mech == "auto" {
+        let dawa = mechanism_by_name("DAWA").expect("registry always has DAWA");
+        if dawa.supports(&state.domain) {
+            "DAWA".to_string()
+        } else {
+            "IDENTITY".to_string()
+        }
+    } else {
+        requested_mech.to_string()
+    };
+    let Some(mech) = mechanism_by_name(&mech_name) else {
+        return (400, error_json("unknown_mechanism", &mech_name));
+    };
+    if !mech.supports(&state.domain) {
+        return (
+            400,
+            error_json(
+                "bad_request",
+                &format!("{mech_name} does not support domain {}", state.domain),
+            ),
+        );
+    }
+    {
+        let mut counts = state.mech_counts.lock().expect("counts poisoned");
+        *counts.entry(mech_name.clone()).or_insert(0) += 1;
+    }
+
+    let workload = match workload_for(state, str_field("workload")) {
+        Ok(w) => w,
+        Err(e) => return (400, error_json("bad_request", &e)),
+    };
+
+    // Admission control: atomic check-and-reserve, durable before any
+    // noise is drawn.
+    match state.accountant.reserve(tenant, eps) {
+        Ok(()) => {}
+        Err(AdmissionError::UnknownTenant(t)) => return (404, error_json("unknown_tenant", &t)),
+        Err(AdmissionError::Exhausted {
+            requested,
+            remaining,
+        }) => {
+            return (
+                429,
+                format!(
+                    "{{\"error\":\"budget_exhausted\",\"requested\":{},\"remaining\":{}}}",
+                    jf(requested),
+                    jf(remaining)
+                ),
+            )
+        }
+        Err(AdmissionError::Journal(e)) => return (503, error_json("journal_unavailable", &e)),
+    }
+
+    // Everything below owes the tenant a refund on failure.
+    let refund_and = |status: u16, body: String| -> (u16, String) {
+        if let Err(e) = state.accountant.refund(tenant, eps) {
+            eprintln!("[serve] refund journal write failed for {tenant}: {e}");
+        }
+        (status, body)
+    };
+
+    let (plan, cache_hit) =
+        match state
+            .plan_cache
+            .plan_for_traced(mech.as_ref(), &state.domain, &workload)
+        {
+            Ok(pair) => pair,
+            Err(e) => return refund_and(500, error_json("plan_failed", &e.to_string())),
+        };
+
+    let (dims, da, db) = match state.domain {
+        Domain::D1(n) => (1, n as u64, 0),
+        Domain::D2(r, c) => (2, r as u64, c as u64),
+    };
+    let batch_key = Fingerprint::new()
+        .str(&mech_name)
+        .word(mech.config_fingerprint())
+        .word(dims)
+        .word(da)
+        .word(db)
+        .word(workload.fingerprint())
+        .str(dataset_name)
+        .f64(eps)
+        .finish();
+    let executed = state.batcher.run(batch_key, || {
+        let seq = state.release_seq.fetch_add(1, Ordering::Relaxed);
+        let mut rng = rng_for("serve", &[state.seed, batch_key, seq]);
+        execute_eps_with(plan.as_ref(), &data.x, eps, ws, &mut rng).map_err(|e| e.to_string())
+    });
+    let (release, batched) = match executed {
+        Ok(pair) => pair,
+        Err(e) => return refund_and(500, error_json("mechanism_failed", &e)),
+    };
+
+    // Optional SLO block (operator opt-in): scaled per-query L1/L2 error
+    // of this very release against the true workload answers.
+    let slo = state.slo.then(|| {
+        let y_true = y_true_for(state, dataset_name, &workload, &data.x);
+        let y_hat = workload.evaluate_cells(&release.estimate);
+        let scale = state.scale as f64;
+        (
+            scaled_per_query_error(&y_true, &y_hat, scale, Loss::L1),
+            scaled_per_query_error(&y_true, &y_hat, scale, Loss::L2),
+        )
+    });
+
+    let remaining = state
+        .accountant
+        .snapshot(tenant)
+        .map(|s| s.remaining)
+        .unwrap_or(0.0);
+    let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut out = String::with_capacity(256 + 16 * release.estimate.len());
+    out.push_str(&format!(
+        "{{\"tenant\":\"{tenant}\",\"dataset\":\"{dataset_name}\",\"mechanism\":\"{mech_name}\",\"eps\":{},\"remaining\":{},\"plan_cache_hit\":{cache_hit},\"batched\":{batched},\"latency_ms\":{}",
+        jf(eps),
+        jf(remaining),
+        jf(latency_ms)
+    ));
+    if let Some((l1, l2)) = slo {
+        out.push_str(&format!(
+            ",\"slo\":{{\"scaled_l1\":{},\"scaled_l2\":{}}}",
+            jf(l1),
+            jf(l2)
+        ));
+    }
+    out.push_str(",\"release\":");
+    out.push_str(&release.to_json());
+    out.push('}');
+    (200, out)
+}
+
+/// Resolve (and memoize) the workload for a request's `workload` field.
+fn workload_for(state: &ServerState, spec: Option<&str>) -> Result<Arc<Workload>, String> {
+    let spec = match spec {
+        None => {
+            if state.domain.dims() == 1 {
+                WorkloadSpec::Prefix
+            } else {
+                WorkloadSpec::RandomRanges(2000)
+            }
+        }
+        Some("prefix") => {
+            if state.domain.dims() != 1 {
+                return Err("prefix workload is 1-D only".into());
+            }
+            WorkloadSpec::Prefix
+        }
+        Some("identity") => WorkloadSpec::Identity,
+        Some(s) if s.starts_with("random:") => WorkloadSpec::RandomRanges(
+            s["random:".len()..]
+                .parse()
+                .map_err(|_| format!("bad workload {s:?}"))?,
+        ),
+        Some(s) => return Err(format!("unknown workload {s:?} (prefix|identity|random:N)")),
+    };
+    let key = match spec {
+        WorkloadSpec::Prefix => (1_u8, 0_usize),
+        WorkloadSpec::Identity => (2, 0),
+        WorkloadSpec::RandomRanges(n) => (3, n),
+    };
+    let mut memo = state.workload_memo.lock().expect("workload memo poisoned");
+    if let Some(w) = memo.get(&key) {
+        return Ok(Arc::clone(w));
+    }
+    let w = Arc::new(spec.build(state.domain));
+    memo.insert(key, Arc::clone(&w));
+    Ok(w)
+}
+
+/// True workload answers for the SLO block, memoized per (dataset,
+/// workload) — evaluating `W x` once per pair, not per request.
+fn y_true_for(
+    state: &ServerState,
+    dataset: &str,
+    workload: &Workload,
+    x: &DataVector,
+) -> Arc<Vec<f64>> {
+    let key = (dataset.to_string(), workload.fingerprint());
+    let mut memo = state.y_true_memo.lock().expect("y_true memo poisoned");
+    if let Some(y) = memo.get(&key) {
+        return Arc::clone(y);
+    }
+    let y = Arc::new(workload.evaluate(x));
+    memo.insert(key, Arc::clone(&y));
+    y
+}
+
+/// `GET /v1/status`.
+fn status_json(state: &ServerState) -> String {
+    let plan = state.plan_cache.stats();
+    let batches = state.batcher.stats();
+    let mut mechs: Vec<(String, u64)> = {
+        let counts = state.mech_counts.lock().expect("counts poisoned");
+        counts.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    };
+    mechs.sort();
+    let mech_json = mechs
+        .iter()
+        .map(|(name, count)| format!("\"{name}\":{count}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"uptime_s\":{},\"requests\":{},\"queue_depth\":{},\"tenants\":{},\"mechanisms\":{{{mech_json}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"built\":{}}},\"batches\":{{\"led\":{},\"followed\":{}}}}}",
+        jf(state.started.elapsed().as_secs_f64()),
+        state.requests.load(Ordering::Relaxed),
+        state.queue_depth.load(Ordering::Relaxed),
+        state.accountant.len(),
+        plan.hits,
+        plan.misses,
+        state.plan_cache.len(),
+        batches.led,
+        batches.followed,
+    )
+}
+
+/// `{"error": code, "detail": detail}` with minimal escaping (details are
+/// our own messages; quotes/backslashes are escaped defensively).
+fn error_json(code: &str, detail: &str) -> String {
+    let mut escaped = String::with_capacity(detail.len());
+    for c in detail.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    format!("{{\"error\":\"{code}\",\"detail\":\"{escaped}\"}}")
+}
+
+/// JSON float: shortest round-trip for finite values, `null` otherwise.
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}

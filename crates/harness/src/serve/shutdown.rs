@@ -1,0 +1,65 @@
+//! Process-wide graceful-shutdown flag, set from SIGINT/SIGTERM.
+//!
+//! The workspace vendors no libc crate, so the Unix path binds `signal(2)`
+//! directly with an `extern "C"` declaration; the handler only stores to
+//! a static `AtomicBool` (async-signal-safe — no allocation, no locks).
+//! Long-running loops — the serve accept loop, keep-alive readers, and
+//! `dpbench run`'s cancel watcher — poll [`requested`] and drain: workers
+//! finish in-flight requests/units, sinks and the spend journal flush and
+//! fsync, and only then does the process exit. A kill therefore never
+//! leaves a torn journal mid-file.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal plumbing off Unix; [`super::trigger`] still works for
+    /// in-process shutdown.
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handlers (idempotent). Call once at
+/// subcommand start, before spawning workers.
+pub fn install() {
+    imp::install();
+}
+
+/// True once a shutdown signal arrived (or [`trigger`] was called).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Request shutdown from in-process code (tests, embedders).
+pub fn trigger() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clear the flag — for tests that simulate repeated shutdown cycles.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}

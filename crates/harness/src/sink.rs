@@ -172,6 +172,15 @@ impl JsonlSink<BufWriter<File>> {
 /// Truncate a torn (unparseable) final line; newline-terminate a valid
 /// final record that lost its newline in a crash.
 fn repair_tail(path: &Path) -> io::Result<()> {
+    repair_tail_with(path, |line| !matches!(classify(line), Line::Malformed(_)))
+}
+
+/// [`repair_tail`] parametrized on what "well-formed" means, so other
+/// strict JSONL ledgers (e.g. the serve spend journal) can heal their own
+/// torn tails with their own line grammar. `is_valid` must accept exactly
+/// the lines the matching reader accepts — anything else gets truncated
+/// when it is the final line.
+pub(crate) fn repair_tail_with(path: &Path, is_valid: impl Fn(&str) -> bool) -> io::Result<()> {
     let mut reader = BufReader::new(File::open(path)?);
     let mut offset: u64 = 0;
     let mut last_start: u64 = 0;
@@ -199,10 +208,7 @@ fn repair_tail(path: &Path) -> io::Result<()> {
     if last_line.is_empty() {
         return Ok(()); // empty (or all-blank) file: nothing to repair
     }
-    let torn = matches!(
-        classify(&String::from_utf8_lossy(&last_line)),
-        Line::Malformed(_)
-    );
+    let torn = !is_valid(&String::from_utf8_lossy(&last_line));
     if torn {
         OpenOptions::new()
             .write(true)
@@ -710,7 +716,7 @@ pub struct Ledger {
     pub done: HashSet<UnitId>,
 }
 
-fn bad(line_no: usize, what: &str) -> io::Error {
+pub(crate) fn bad(line_no: usize, what: &str) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
         format!("jsonl line {}: {what}", line_no + 1),
@@ -720,7 +726,7 @@ fn bad(line_no: usize, what: &str) -> io::Error {
 /// Extract the raw value of `"key":` from a single-line JSON record
 /// (string values unquoted; this module's own writer guarantees the
 /// format, including that strings contain no escapes).
-fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let tag = format!("\"{key}\":");
     let start = line.find(&tag)? + tag.len();
     let rest = &line[start..];
@@ -804,23 +810,23 @@ fn classify(line: &str) -> Line<'_> {
 
 /// The deferred-error state of the torn-tail rule: a malformed line is
 /// held here and only becomes a hard error if another record follows it.
-struct TornTail(Option<io::Error>);
+pub(crate) struct TornTail(Option<io::Error>);
 
 impl TornTail {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self(None)
     }
 
     /// A well-formed record arrived: any held malformed line was
     /// mid-file, i.e. real corruption.
-    fn check(&mut self) -> io::Result<()> {
+    pub(crate) fn check(&mut self) -> io::Result<()> {
         match self.0.take() {
             Some(e) => Err(e),
             None => Ok(()),
         }
     }
 
-    fn defer(&mut self, line_no: usize, what: &str) {
+    pub(crate) fn defer(&mut self, line_no: usize, what: &str) {
         self.0 = Some(bad(
             line_no,
             &format!("{what} followed by further records (mid-file corruption; only a torn final line is tolerated)"),

@@ -17,6 +17,11 @@
 //!               [--launch-cmd TPL --workdir DIR [--remote-exe PATH]
 //!                [--fetch-cmd TPL] [--cleanup-cmd TPL]]
 //! dpbench merge --out merged.jsonl shard0.jsonl shard1.jsonl ...
+//! dpbench serve --port 8787 --datasets MEDCOST,NETTRACE \
+//!               --tenants alice=1.0,bob=0.5 [--tenant-config FILE]
+//!               [--journal spend.jsonl] [--scale N] [--domain N|RxC]
+//!               [--threads N] [--batch-window-ms MS] [--seed S]
+//!               [--slo] [--verbose]
 //! ```
 //!
 //! The streaming flags address the grid as a manifest of content-hashed
@@ -43,10 +48,21 @@
 //! (fetched) shard ledgers into live per-shard `done/total` lines, and
 //! `--stall-timeout` kills and retries a shard whose ledger stops
 //! moving.
+//!
+//! `serve` runs the online release server: datasets load once at
+//! startup, each `POST /v1/release` passes per-tenant admission control
+//! (atomic ε check-and-reserve against a journaled [`BudgetLedger`])
+//! before the mechanism draws noise, and `GET /v1/tenants/:id/budget` /
+//! `GET /v1/status` expose live balances and counters. SIGINT/SIGTERM
+//! drain in-flight requests and fsync the spend journal; a restart with
+//! the same `--journal` recovers every balance bit-exactly.
+//!
+//! [`BudgetLedger`]: dpbench_core::BudgetLedger
 
 use dpbench::harness::fleet::{
     self, CommandTransport, FleetOptions, LaunchSpec, LocalTransport, RemotePaths, ShardLauncher,
 };
+use dpbench::harness::serve::{self, shutdown, ServeConfig};
 use dpbench::harness::sink::{self, AggregatingSink, JsonlSink, MemorySink, ResultSink, Tee};
 use dpbench::harness::{config, RunManifest};
 use dpbench::prelude::*;
@@ -54,10 +70,17 @@ use dpbench_core::Loss;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Exit code of a `--fail-after` simulated crash (distinct from 1 so a
 /// drill is distinguishable from an ordinary CLI error).
 const SIMULATED_CRASH_EXIT: u8 = 3;
+
+/// Exit code after a graceful SIGINT/SIGTERM drain (128 + SIGINT, the
+/// shell convention — but reached only after sinks flushed cleanly).
+const INTERRUPTED_EXIT: u8 = 130;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,9 +91,10 @@ fn main() -> ExitCode {
         Some("run") => return run(&args[1..]),
         Some("fleet") => return run_fleet_cmd(&args[1..]),
         Some("merge") => return merge(&args[1..]),
+        Some("serve") => return serve_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dpbench <list-datasets|list-algorithms|shapes|run|fleet|merge> [options]"
+                "usage: dpbench <list-datasets|list-algorithms|shapes|run|fleet|merge|serve> [options]"
             );
             eprintln!("run options: --dataset NAME --algorithms A,B --scale N");
             eprintln!("             [--domain N|RxC] [--eps E] [--trials T]");
@@ -85,6 +109,10 @@ fn main() -> ExitCode {
             eprintln!("       [--launch-cmd TPL --workdir DIR [--remote-exe PATH]");
             eprintln!("        [--fetch-cmd TPL] [--cleanup-cmd TPL]]");
             eprintln!("merge: --out MERGED.jsonl IN1.jsonl IN2.jsonl ...");
+            eprintln!("serve: --tenants NAME=EPS,... [--tenant-config FILE]");
+            eprintln!("       [--port P] [--datasets A,B] [--scale N] [--domain N|RxC]");
+            eprintln!("       [--journal FILE.jsonl] [--threads N]");
+            eprintln!("       [--batch-window-ms MS] [--seed S] [--slo] [--verbose]");
             return ExitCode::FAILURE;
         }
     }
@@ -199,7 +227,7 @@ fn shapes() {
 
 /// Flags that may appear bare (`--resume`) or with an explicit value
 /// (`--resume 1`).
-const BOOL_FLAGS: &[&str] = &["resume", "verbose", "progress"];
+const BOOL_FLAGS: &[&str] = &["resume", "verbose", "progress", "slo"];
 
 /// Grid/runner flags shared by `run` and `fleet`.
 const GRID_FLAGS: &[&str] = &[
@@ -244,6 +272,30 @@ const FLEET_ONLY_FLAGS: &[&str] = &[
     "remote-exe",
 ];
 
+/// Flags `serve` accepts (a different shape from the grid: datasets are
+/// plural, there is no trial grid, and tenants replace algorithms).
+const SERVE_FLAGS: &[&str] = &[
+    "port",
+    "datasets",
+    "scale",
+    "domain",
+    "tenants",
+    "tenant-config",
+    "journal",
+    "threads",
+    "batch-window-ms",
+    "seed",
+    "slo",
+    "verbose",
+];
+
+/// [`GRID_FLAGS`] plus a subcommand's own flags — the full allow-list
+/// for `run` and `fleet` (serve passes [`SERVE_FLAGS`] alone; grid
+/// flags like `--trials` are meaningless to a server and must error).
+fn grid_plus(extra: &[&'static str]) -> Vec<&'static str> {
+    GRID_FLAGS.iter().chain(extra).copied().collect()
+}
+
 /// Parse `--flag value` pairs, rejecting flag names outside `allowed` —
 /// a misspelled flag name (`--trails`) must not silently vanish into a
 /// run with default values, for the same reason malformed flag *values*
@@ -259,7 +311,7 @@ fn parse_flags(
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
-        if !GRID_FLAGS.contains(&key) && !allowed.contains(&key) {
+        if !allowed.contains(&key) {
             return Err(format!(
                 "unknown flag --{key} for `dpbench {subcommand}` (run `dpbench` for usage)"
             ));
@@ -390,7 +442,7 @@ fn build_spec(flags: &HashMap<String, String>) -> Result<RunSpec, String> {
 }
 
 fn run(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args, "run", RUN_ONLY_FLAGS) {
+    let flags = match parse_flags(args, "run", &grid_plus(RUN_ONLY_FLAGS)) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -472,6 +524,28 @@ fn run(args: &[String]) -> ExitCode {
         runner.data_cache_bytes = mb << 20;
     }
 
+    // Graceful interruption: SIGINT/SIGTERM sets the process-wide flag;
+    // a watcher thread relays it to the runner's cancel flag, workers
+    // finish their in-flight units, and sinks flush before exit — the
+    // ledger stays resumable instead of tearing mid-record.
+    shutdown::install();
+    let cancel = Arc::new(AtomicBool::new(false));
+    runner.cancel = Some(Arc::clone(&cancel));
+    let watcher_stop = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let cancel = Arc::clone(&cancel);
+        let stop = Arc::clone(&watcher_stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if shutdown::requested() {
+                    cancel.store(true, Ordering::Relaxed);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
     let full = runner.manifest();
     let manifest = match shard {
         Some((i, k)) => full.shard(i, k),
@@ -542,6 +616,8 @@ fn run(args: &[String]) -> ExitCode {
         let mut tee = Tee::new(vec![&mut memory as &mut dyn ResultSink, &mut agg]);
         runner.run_with_sink(&manifest, &mut tee)
     };
+    watcher_stop.store(true, Ordering::Relaxed);
+    let _ = watcher.join();
     let stats = match stats {
         Ok(s) => s,
         Err(e) => {
@@ -549,6 +625,13 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if shutdown::requested() && fail_after.is_none() {
+        eprintln!(
+            "interrupted: {} unit(s) completed and flushed; resume with --resume",
+            stats.units
+        );
+        return ExitCode::from(INTERRUPTED_EXIT);
+    }
     if let Some(n) = fail_after {
         eprintln!(
             "simulated crash: stopped after {} unit(s) (--fail-after {n}); \
@@ -639,6 +722,157 @@ fn run(args: &[String]) -> ExitCode {
         println!("\nraw samples written to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// Parse `--tenants alice=1.0,bob=0.5` grants.
+fn parse_tenants_flag(s: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut tenants = Vec::new();
+    for part in s.split(',') {
+        let (name, eps) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad tenant grant {part:?} (use name=eps)"))?;
+        let eps: f64 = eps
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad epsilon in tenant grant {part:?}"))?;
+        tenants.push((name.trim().to_string(), eps));
+    }
+    Ok(tenants)
+}
+
+/// Parse a tenant-config file: the TOML subset of `name = eps` lines,
+/// with `#` comments and an optional `[tenants]` section header. Strict
+/// like every other config path — an unrecognized line is an error, not
+/// a silently skipped grant.
+fn parse_tenant_config(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut tenants = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line == "[tenants]" {
+            continue;
+        }
+        let (name, eps) = line
+            .split_once('=')
+            .ok_or_else(|| format!("{path} line {}: expected name = eps", line_no + 1))?;
+        let eps: f64 = eps
+            .trim()
+            .parse()
+            .map_err(|_| format!("{path} line {}: bad epsilon {:?}", line_no + 1, eps.trim()))?;
+        tenants.push((name.trim().trim_matches('"').to_string(), eps));
+    }
+    Ok(tenants)
+}
+
+/// `dpbench serve`: start the online release server and run until a
+/// shutdown signal, then drain and fsync the spend journal.
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args, "serve", SERVE_FLAGS) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = (|| -> Result<ServeConfig, String> {
+        let port: u16 = match flags.get("port") {
+            Some(s) => config::parse_flag_value("port", s)?,
+            None => 8787,
+        };
+        let datasets: Vec<String> = flags
+            .get("datasets")
+            .map(|s| s.split(',').map(str::to_string).collect())
+            .unwrap_or_else(|| vec!["MEDCOST".into()]);
+        for name in &datasets {
+            if dpbench::datasets::catalog::by_name(name).is_none() {
+                return Err(format!(
+                    "unknown dataset {name} (see `dpbench list-datasets`)"
+                ));
+            }
+        }
+        let scale: u64 = match flags.get("scale") {
+            Some(s) => config::parse_flag_value("scale", s)?,
+            None => 100_000,
+        };
+        let domain = match flags.get("domain") {
+            Some(s) => dpbench::harness::results::parse_domain(s)
+                .ok_or_else(|| format!("bad --domain {s} (use N or RxC)"))?,
+            None => {
+                // Default to the first dataset's base domain — every
+                // loaded dataset serves at one common domain.
+                dpbench::datasets::catalog::by_name(&datasets[0])
+                    .expect("validated above")
+                    .base_domain
+            }
+        };
+        let mut tenants = Vec::new();
+        if let Some(path) = flags.get("tenant-config") {
+            tenants.extend(parse_tenant_config(path)?);
+        }
+        if let Some(s) = flags.get("tenants") {
+            tenants.extend(parse_tenants_flag(s)?);
+        }
+        let threads: usize = match flags.get("threads") {
+            Some(s) => config::parse_flag_value("threads", s)?,
+            None => 4,
+        };
+        let batch_ms: u64 = match flags.get("batch-window-ms") {
+            Some(s) => config::parse_flag_value("batch-window-ms", s)?,
+            None => 0,
+        };
+        let seed: u64 = match flags.get("seed") {
+            Some(s) => config::parse_flag_value("seed", s)?,
+            None => 0,
+        };
+        Ok(ServeConfig {
+            addr: format!("127.0.0.1:{port}"),
+            datasets,
+            scale,
+            domain,
+            tenants,
+            journal: flags.get("journal").map(PathBuf::from),
+            threads,
+            batch_window: Duration::from_millis(batch_ms),
+            seed,
+            slo: flags.get("slo").map(|v| v == "1").unwrap_or(false),
+            verbose: flags.get("verbose").map(|v| v == "1").unwrap_or(false),
+        })
+    })();
+    let cfg = match parsed {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    shutdown::install();
+    let n_tenants = cfg.tenants.len();
+    let handle = match serve::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error starting server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving on http://{} ({n_tenants} tenant(s); POST /v1/release, \
+         GET /v1/tenants/:id/budget, GET /v1/status)",
+        handle.addr()
+    );
+    while !shutdown::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested: draining in-flight requests...");
+    match handle.shutdown() {
+        Ok(()) => {
+            eprintln!("spend journal synced; bye");
+            ExitCode::from(INTERRUPTED_EXIT)
+        }
+        Err(e) => {
+            eprintln!("error syncing spend journal: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The shard command recipe shared by both transports: the `run`
@@ -750,7 +984,7 @@ fn parse_kill_shard(s: &str, procs: usize) -> Result<(usize, usize), String> {
 /// workdirs and copy-back), retry/resume failures, and merge to `--out`
 /// byte-identically to a single-process run.
 fn run_fleet_cmd(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args, "fleet", FLEET_ONLY_FLAGS) {
+    let flags = match parse_flags(args, "fleet", &grid_plus(FLEET_ONLY_FLAGS)) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");

@@ -93,6 +93,47 @@ fn cached_plan_reduces_wall_clock_on_data_independent_grid() {
     );
 }
 
+/// The serve-path contract: N worker threads racing `plan_for` on the
+/// same (mechanism, domain, workload) key build the strategy exactly
+/// once — everyone else blocks on the per-slot lock and then hits. The
+/// barrier makes the race real: all threads issue their first lookup at
+/// the same instant.
+#[test]
+fn concurrent_same_key_lookups_build_exactly_once() {
+    use std::sync::{Arc, Barrier};
+    let n_threads = 8;
+    let domain = Domain::D1(512);
+    let w = Arc::new(Workload::prefix_1d(512));
+    let cache = Arc::new(PlanCache::new());
+    let barrier = Arc::new(Barrier::new(n_threads));
+    let handles: Vec<_> = (0..n_threads)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let w = Arc::clone(&w);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mech = mechanism_by_name("GREEDY_H").unwrap();
+                barrier.wait();
+                let plan = cache.plan_for(mech.as_ref(), &domain, &w).unwrap();
+                // A second lookup from the same thread must be a pure hit.
+                let again = cache.plan_for(mech.as_ref(), &domain, &w).unwrap();
+                assert!(Arc::ptr_eq(&plan, &again), "same slot must be shared");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = cache.stats();
+    assert_eq!(cache.len(), 1, "one key, one plan");
+    assert_eq!(stats.misses, 1, "exactly one thread may build");
+    assert_eq!(
+        stats.hits,
+        2 * n_threads as u64 - 1,
+        "every other lookup is a hit"
+    );
+}
+
 /// The grid runner's cache key must separate workloads sharing a domain:
 /// two runs over the same domain with different workload specs produce
 /// different GREEDY_H allocations, and the cache must never conflate them.

@@ -200,6 +200,29 @@ impl BudgetLedger {
         self.refund_as("refund", eps)
     }
 
+    /// Adjust the total grant in place — the online tenant hot-reload
+    /// primitive. Growing (or shrinking while still above the recorded
+    /// spend) keeps `spent` untouched; shrinking **below** the recorded
+    /// spend clamps `spent` down to the new total, which is exactly the
+    /// state a journal replay against the new grant reproduces (replay's
+    /// failing reserve clamps to fully exhausted the same way). The clamp
+    /// is recorded in the trace so the trace still sums to `spent`.
+    pub fn adjust_total(&mut self, total: f64) {
+        assert!(
+            total.is_finite() && total > 0.0,
+            "privacy budget must be positive and finite, got {total}"
+        );
+        self.total = total;
+        if self.spent > total {
+            let excess = self.spent - total;
+            self.spent = total;
+            self.trace.push(SpendRecord {
+                label: "reload-clamp".to_string(),
+                epsilon: -excess,
+            });
+        }
+    }
+
     /// Split off a sub-ledger carrying `eps` of this ledger's budget
     /// (useful when delegating to a sub-mechanism such as DAWA's GREEDY_H
     /// second stage).
@@ -341,6 +364,25 @@ mod tests {
         let mut l = BudgetLedger::new(1.0);
         l.spend(0.1).unwrap();
         l.refund(0.2);
+    }
+
+    #[test]
+    fn adjust_total_grows_and_clamps_like_replay() {
+        let mut l = BudgetLedger::new(1.0);
+        l.spend(0.8).unwrap();
+        // Growing keeps the spend and re-opens headroom.
+        l.adjust_total(2.0);
+        assert_eq!(l.spent(), 0.8);
+        assert!((l.remaining() - 1.2).abs() < 1e-12);
+        // Shrinking below the spend clamps to exhausted — bit-identical
+        // to what replaying the journal against the new grant produces.
+        l.adjust_total(0.5);
+        assert_eq!(l.spent().to_bits(), 0.5_f64.to_bits());
+        assert_eq!(l.remaining(), 0.0);
+        assert!(l.reserve(0.01).is_err());
+        // The trace still sums to the ledger's spent total.
+        let sum: f64 = l.trace().iter().map(|r| r.epsilon).sum();
+        assert!((sum - l.spent()).abs() < 1e-12);
     }
 
     #[test]

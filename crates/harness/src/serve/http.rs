@@ -6,16 +6,47 @@
 //! implements exactly the subset the server needs: `GET`/`POST`, header
 //! parsing, `Content-Length` bodies, persistent connections, and JSON
 //! bodies that are a single flat object of string / number / boolean /
-//! null values. Caps (16 KiB head, 1 MiB body) bound a hostile client.
+//! null values.
+//!
+//! The parser is written for a hostile peer: every malformed input maps
+//! to a typed [`Reject`] carrying the right 4xx status (431 for oversized
+//! heads or too many headers, 413 for oversized bodies, 400 for
+//! everything structurally wrong) — never a panic, never an unbounded
+//! buffer. Caps: 16 KiB head, 64 headers, 1 MiB body.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
 /// Largest accepted request head (request line + headers).
-const MAX_HEAD: usize = 16 << 10;
+pub const MAX_HEAD: usize = 16 << 10;
 /// Largest accepted request body.
-const MAX_BODY: usize = 1 << 20;
+pub const MAX_BODY: usize = 1 << 20;
+/// Most header lines accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// A request the parser refuses to serve: the status and error code the
+/// connection should answer with before closing. Parsing is total — any
+/// byte stream either yields requests, needs more bytes, or rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reject {
+    /// HTTP status (400/413/431).
+    pub status: u16,
+    /// Stable machine-readable error code for the JSON body.
+    pub code: &'static str,
+    /// Human detail.
+    pub detail: String,
+}
+
+impl Reject {
+    fn new(status: u16, code: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            status,
+            code,
+            detail: detail.into(),
+        }
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug)]
@@ -40,73 +71,73 @@ impl Request {
     }
 }
 
-/// Read one request from `stream`, buffering partial reads in `buf` (the
-/// per-connection carry-over, so an idle-timeout retry never loses bytes
-/// and pipelined requests are preserved).
-///
-/// Returns `Ok(None)` on clean EOF at a request boundary. Timeouts
-/// (`WouldBlock` / `TimedOut`) propagate as errors so the caller can poll
-/// its shutdown flag and retry with the same `buf`.
-pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<Option<Request>> {
-    let mut chunk = [0_u8; 4096];
-    loop {
-        if let Some(req) = try_parse(buf)? {
-            return Ok(Some(req));
-        }
-        if buf.len() > MAX_HEAD + MAX_BODY {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request exceeds size caps",
-            ));
-        }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            if buf.iter().all(u8::is_ascii_whitespace) {
-                return Ok(None); // clean close between requests
-            }
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-request",
-            ));
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    }
-}
-
 /// Try to parse one complete request from the front of `buf`, draining
-/// the consumed bytes on success.
-fn try_parse(buf: &mut Vec<u8>) -> io::Result<Option<Request>> {
+/// the consumed bytes on success. `Ok(None)` means more bytes are needed
+/// (and the bytes so far are within every cap); `Err` is a typed
+/// [`Reject`] the connection must answer and then close on — after a
+/// reject the buffer is poisoned (a hostile prefix makes every later
+/// byte untrustworthy), so no resynchronization is attempted.
+pub fn try_parse(buf: &mut Vec<u8>) -> Result<Option<Request>, Reject> {
     let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request head exceeds 16 KiB",
+            return Err(Reject::new(
+                431,
+                "header_too_large",
+                format!("request head exceeds {} KiB", MAX_HEAD >> 10),
             ));
         }
         return Ok(None);
     };
+    if head_end > MAX_HEAD {
+        return Err(Reject::new(
+            431,
+            "header_too_large",
+            format!("request head exceeds {} KiB", MAX_HEAD >> 10),
+        ));
+    }
     let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
+        .map_err(|_| Reject::new(400, "bad_request", "non-UTF-8 request head"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
     let (method, path) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m, p),
         _ => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
+            return Err(Reject::new(
+                400,
+                "bad_request_line",
                 format!("bad request line {request_line:?}"),
             ))
         }
     };
+    // A split/continued request line ("GET /x HTTP/1.1 extra") is how
+    // request-smuggling probes hide a second path; exactly three tokens
+    // or nothing.
+    if parts.next().is_some() {
+        return Err(Reject::new(
+            400,
+            "bad_request_line",
+            format!("trailing tokens on request line {request_line:?}"),
+        ));
+    }
     let mut headers = HashMap::new();
+    let mut n_headers = 0_usize;
     for line in lines {
         if line.is_empty() {
             continue;
         }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(Reject::new(
+                431,
+                "too_many_headers",
+                format!("more than {MAX_HEADERS} header lines"),
+            ));
+        }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
+            return Err(Reject::new(
+                400,
+                "bad_header",
                 format!("bad header line {line:?}"),
             ));
         };
@@ -114,14 +145,29 @@ fn try_parse(buf: &mut Vec<u8>) -> io::Result<Option<Request>> {
     }
     let content_length: usize = match headers.get("content-length") {
         None => 0,
-        Some(v) => v
-            .parse()
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?,
+        // Strict digits-only: `usize::parse` would accept a leading `+`,
+        // and a negative/garbage length must be a clean 400 — a
+        // disagreement about body length is how desync attacks start.
+        Some(v) if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) => {
+            return Err(Reject::new(
+                400,
+                "bad_content_length",
+                format!("Content-Length {v:?} is not a non-negative integer"),
+            ))
+        }
+        Some(v) => v.parse().map_err(|_| {
+            Reject::new(
+                400,
+                "bad_content_length",
+                format!("Content-Length {v:?} overflows"),
+            )
+        })?,
     };
     if content_length > MAX_BODY {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "request body exceeds 1 MiB",
+        return Err(Reject::new(
+            413,
+            "body_too_large",
+            format!("request body exceeds {} MiB", MAX_BODY >> 20),
         ));
     }
     let body_start = head_end + 4;
@@ -152,18 +198,39 @@ pub fn write_response(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
+    write_response_ex(stream, status, body, close, None)
+}
+
+/// [`write_response`] with an optional `Retry-After: N` header — the
+/// contractual half of load shedding and rate limiting: a 429/503
+/// without a retry hint just teaches clients to hammer.
+pub fn write_response_ex<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &str,
+    close: bool,
+    retry_after_s: Option<u64>,
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     };
+    let retry = match retry_after_s {
+        Some(s) => format!("Retry-After: {s}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
         body.len(),
         if close { "close" } else { "keep-alive" }
     );
@@ -448,8 +515,75 @@ mod tests {
     }
 
     #[test]
-    fn oversized_head_is_an_error() {
+    fn oversized_head_is_a_431() {
         let mut buf = vec![b'A'; MAX_HEAD + 1];
+        let rej = try_parse(&mut buf).unwrap_err();
+        assert_eq!(rej.status, 431);
+        // A complete head that is itself oversized is also refused.
+        let mut buf = b"GET /x HTTP/1.1\r\n".to_vec();
+        buf.extend_from_slice(&vec![b'a'; MAX_HEAD]);
+        buf.extend_from_slice(b": v\r\n\r\n");
+        assert_eq!(try_parse(&mut buf).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn oversized_header_count_is_a_431() {
+        let mut buf = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            buf.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        buf.extend_from_slice(b"\r\n");
+        let rej = try_parse(&mut buf).unwrap_err();
+        assert_eq!((rej.status, rej.code), (431, "too_many_headers"));
+        // Exactly the cap is still fine.
+        let mut buf = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADERS {
+            buf.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        buf.extend_from_slice(b"\r\n");
+        assert!(try_parse(&mut buf).unwrap().is_some());
+    }
+
+    #[test]
+    fn hostile_content_length_values_are_400s() {
+        for bad in ["-1", "+5", "4e2", "0x10", "", "9999999999999999999999999"] {
+            let mut buf = format!("POST /x HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n").into_bytes();
+            let rej = try_parse(&mut buf).unwrap_err();
+            assert_eq!(rej.status, 400, "Content-Length {bad:?}");
+            assert_eq!(rej.code, "bad_content_length", "Content-Length {bad:?}");
+        }
+        // Oversized (but well-formed) body length is a 413, not a 400.
+        let mut buf = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        )
+        .into_bytes();
+        assert_eq!(try_parse(&mut buf).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn split_request_line_is_a_400() {
+        for line in [
+            "GET /x HTTP/1.1 HTTP/1.1",
+            "GET /x HTTP/1.1 smuggled",
+            "GET /x",
+            "GET",
+            "",
+            "gar bage here",
+        ] {
+            let mut buf = format!("{line}\r\n\r\n").into_bytes();
+            let rej = try_parse(&mut buf).unwrap_err();
+            assert_eq!(rej.status, 400, "request line {line:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_interleaved_after_a_valid_request_rejects() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GET /v1/status HTTP/1.1\r\n\r\n\x00\xff garbage\r\n\r\n");
+        let first = try_parse(&mut buf).unwrap().unwrap();
+        assert_eq!(first.path, "/v1/status");
+        // The pipelined garbage that follows must reject, not hang or parse.
         assert!(try_parse(&mut buf).is_err());
     }
 

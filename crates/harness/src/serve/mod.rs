@@ -22,11 +22,23 @@
 //!   a short window into one `Plan::execute`; every joiner still reserves
 //!   its own ε (sharing one released value with more recipients is
 //!   post-processing and costs nothing extra against the data).
-//! - [`server`] — the worker pool, router, and endpoints:
-//!   `POST /v1/release`, `GET /v1/tenants/:id/budget`, `GET /v1/status`.
+//! - [`server`] — the rotation-scheduled worker pool, router, and
+//!   endpoints: `POST /v1/release`, `GET /v1/tenants/:id/budget`,
+//!   `GET /v1/status`, `GET /v1/healthz`, `GET /v1/readyz`,
+//!   `POST /v1/admin/reload`. Connections rotate through a shared queue
+//!   of nonblocking sockets, so a slow or idle peer never pins a worker.
+//! - [`limits`] — the hostile-world knobs: connection caps, header/idle/
+//!   write deadlines, admission-queue bounds, and per-tenant token-bucket
+//!   rate limits. Violations answer with clean 408/413/429/431/503 (see
+//!   the README's "Failure modes & error contract" table).
+//! - [`fault`] — deterministic fault injection ([`fault::FaultyIo`]) for
+//!   the journal's [`journal::JournalIo`] seam: short writes, fsync
+//!   errors, torn tails, ENOSPC — so crash consistency is a seeded test
+//!   matrix, not a hope.
 //! - [`shutdown`] — process-wide SIGINT/SIGTERM flag (no deps: a plain
 //!   `extern "C"` binding to `signal(2)`), polled by the accept loop and
-//!   by `dpbench run`'s cancel hook so both drain and flush before exit.
+//!   by `dpbench run`'s cancel hook so both drain and flush before exit;
+//!   plus the SIGHUP → tenant-reload flag for `dpbench serve`.
 //!
 //! The `PlanCache` is shared across requests (it was already concurrent
 //! and keyed by content), so a repeated release request skips strategy
@@ -35,12 +47,18 @@
 
 pub mod accountant;
 pub mod batcher;
+pub mod fault;
 pub mod http;
 pub mod journal;
+pub mod limits;
 pub mod server;
 pub mod shutdown;
 
-pub use accountant::{AdmissionError, BudgetSnapshot, TenantAccountant};
+pub use accountant::{
+    parse_tenant_grants, AdmissionError, BudgetSnapshot, ReloadOutcome, TenantAccountant,
+};
 pub use batcher::Batcher;
-pub use journal::{JournalOp, JournalRecord, SpendJournal};
+pub use fault::{AppendFault, FaultyIo};
+pub use journal::{FileIo, JournalIo, JournalOp, JournalRecord, SpendJournal};
+pub use limits::{Limits, RateLimit, RateLimiter};
 pub use server::{start, ServeConfig, ServerHandle};

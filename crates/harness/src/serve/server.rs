@@ -1,23 +1,40 @@
-//! The release server: datasets loaded at startup, a bounded worker
-//! thread pool over the hand-rolled HTTP layer, and three endpoints.
+//! The release server: datasets loaded at startup, a rotation-scheduled
+//! worker pool over the hand-rolled HTTP layer, and six endpoints.
 //!
 //! | Endpoint | Semantics |
 //! |---|---|
-//! | `POST /v1/release` | reserve ε → (batched) `Plan::execute` → JSON release with budget trace, optional SLO error block, plan-cache hit bit, latency |
+//! | `POST /v1/release` | shed check → rate limit → reserve ε → (batched) `Plan::execute` → JSON release |
 //! | `GET /v1/tenants/:id/budget` | the tenant's live balance |
-//! | `GET /v1/status` | uptime, per-mechanism counts, plan-cache and batcher counters, queue depth |
+//! | `GET /v1/status` | uptime, per-mechanism counts, plan-cache/batcher/robustness counters |
+//! | `GET /v1/healthz` | liveness: 200 whenever the process can answer |
+//! | `GET /v1/readyz` | readiness: 503 while draining, at the connection cap, or overloaded |
+//! | `POST /v1/admin/reload` | re-read `--tenant-config` and apply grants without restart |
 //!
-//! Release flow: admission control happens **before** execution
-//! ([`TenantAccountant::reserve`] — atomic check-and-reserve, journaled),
-//! a mechanism failure refunds, and the response's remaining balance is
-//! read back after settlement. Plans come from one [`PlanCache`] shared
-//! by all workers (cross-request warm cache); executions of the same
-//! (mechanism, domain, workload, dataset, ε) arriving within the batch
-//! window share one noise draw through the [`Batcher`].
+//! ## Scheduling
+//!
+//! Workers do not own connections; connections **rotate**. Every accepted
+//! socket is nonblocking and lives in a shared queue; a worker pops one,
+//! drains whatever bytes have arrived, serves any complete requests, and
+//! either requeues it or closes it. A slowloris client dribbling one byte
+//! a second therefore costs one queue slot and a few syscalls per
+//! rotation — never a pinned worker — and its 408 fires from whichever
+//! worker touches it after the deadline. Deadlines and caps live in
+//! [`Limits`]; violations answer with clean 408/413/429/431/503 per the
+//! error contract in the README.
+//!
+//! Release flow: load shedding and rate limiting run **before**
+//! admission ([`TenantAccountant::reserve`] — atomic check-and-reserve,
+//! journaled), so a shed request costs zero ε. A mechanism failure
+//! refunds, and the response's remaining balance is read back after
+//! settlement. Plans come from one [`PlanCache`] shared by all workers;
+//! executions of the same (mechanism, domain, workload, dataset, ε)
+//! arriving within the batch window share one noise draw through the
+//! [`Batcher`].
 
-use super::accountant::{AdmissionError, TenantAccountant};
+use super::accountant::{parse_tenant_grants, AdmissionError, ReloadOutcome, TenantAccountant};
 use super::batcher::Batcher;
 use super::http::{self, JsonValue, Request};
+use super::limits::{Limits, RateLimiter};
 use super::shutdown;
 use crate::config::WorkloadSpec;
 use crate::runner::PlanCache;
@@ -28,13 +45,12 @@ use dpbench_core::{
     scaled_per_query_error, DataVector, Domain, Fingerprint, Loss, Release, Workload, Workspace,
 };
 use dpbench_datasets::{catalog, DataGenerator};
-use std::collections::HashMap;
-use std::io;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -51,12 +67,17 @@ pub struct ServeConfig {
     pub domain: Domain,
     /// `(tenant, lifetime ε)` grants.
     pub tenants: Vec<(String, f64)>,
+    /// Tenant-config file the grants came from; kept so SIGHUP or
+    /// `POST /v1/admin/reload` can re-read it without restart.
+    pub tenant_config: Option<PathBuf>,
     /// Spend journal path; `None` serves from memory only.
     pub journal: Option<PathBuf>,
     /// Worker threads handling connections.
     pub threads: usize,
     /// Same-strategy request batching window (zero disables).
     pub batch_window: Duration,
+    /// Connection caps, deadlines, and rate limits.
+    pub limits: Limits,
     /// Seed stirred into data generation and release noise.
     pub seed: u64,
     /// Operator opt-in: include the SLO error block (scaled L1/L2 vs the
@@ -74,9 +95,11 @@ impl Default for ServeConfig {
             scale: 100_000,
             domain: Domain::D1(1024),
             tenants: Vec::new(),
+            tenant_config: None,
             journal: None,
             threads: 4,
             batch_window: Duration::ZERO,
+            limits: Limits::default(),
             seed: 0,
             slo: false,
             verbose: false,
@@ -93,6 +116,76 @@ struct LoadedDataset {
 /// fingerprint) — the SLO block evaluates `W x` once per pair.
 type YTrueMemo = Mutex<HashMap<(String, u64), Arc<Vec<f64>>>>;
 
+/// Robustness counters — every shed, timeout, and reject is counted so
+/// the chaos tests (and operators) can see exactly where hostile traffic
+/// went. All monotonic; exposed in `/v1/status` under `"robustness"`.
+#[derive(Default)]
+pub struct Robustness {
+    /// Connects refused at the concurrent-connection cap.
+    pub shed_conns: AtomicU64,
+    /// Connects refused because the rotation queue was full.
+    pub shed_queue: AtomicU64,
+    /// Releases shed because the estimated queue wait was too long.
+    pub shed_wait: AtomicU64,
+    /// 408s: connections that dribbled a partial request past the
+    /// header deadline (slowloris).
+    pub timeouts: AtomicU64,
+    /// 429s from the token bucket (NOT budget exhaustion).
+    pub rate_limited: AtomicU64,
+    /// Idle keep-alive connections reaped silently.
+    pub reaped_idle: AtomicU64,
+    /// Parser rejects (4xx from hostile bytes).
+    pub rejects: AtomicU64,
+}
+
+/// One live connection parked in (or rotating through) the queue.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Last time bytes arrived or a request was served (idle reaping).
+    last_activity: Instant,
+    /// Set while an incomplete request sits in `buf` (408 deadline).
+    partial_since: Option<Instant>,
+}
+
+/// The connection rotation queue: a condvar-signalled deque shared by
+/// the accept loop (pushes fresh sockets) and every worker (pops, serves
+/// a slice, requeues).
+struct ConnQueue {
+    q: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, conn: Conn) {
+        self.q.lock().expect("conn queue poisoned").push_back(conn);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self, timeout: Duration) -> Option<Conn> {
+        let mut q = self.q.lock().expect("conn queue poisoned");
+        if let Some(c) = q.pop_front() {
+            return Some(c);
+        }
+        let (mut q, _) = self
+            .ready
+            .wait_timeout(q, timeout)
+            .expect("conn queue poisoned");
+        q.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.q.lock().expect("conn queue poisoned").len()
+    }
+}
+
 /// Shared state of a running server — exposed through
 /// [`ServerHandle::state`] so tests can assert on counters directly.
 pub struct ServerState {
@@ -100,20 +193,70 @@ pub struct ServerState {
     pub accountant: TenantAccountant,
     /// The shared cross-request plan cache.
     pub plan_cache: PlanCache,
+    /// Robustness counters (sheds, timeouts, rejects).
+    pub robust: Robustness,
+    /// The caps and deadlines this server enforces.
+    pub limits: Limits,
     datasets: HashMap<String, LoadedDataset>,
     batcher: Batcher<Release>,
+    rate_limiter: Option<RateLimiter>,
+    tenant_config: Option<PathBuf>,
+    queue: Arc<ConnQueue>,
     domain: Domain,
     scale: u64,
+    threads: usize,
     seed: u64,
     slo: bool,
     verbose: bool,
     started: Instant,
     requests: AtomicU64,
     release_seq: AtomicU64,
-    queue_depth: AtomicUsize,
+    /// Live connections (accepted, not yet closed).
+    conn_count: AtomicUsize,
+    /// Releases currently executing (the shed estimator's input).
+    inflight: AtomicUsize,
+    /// EWMA of successful release service time, microseconds.
+    ewma_us: AtomicU64,
+    /// Bumped whenever any connection makes progress — the workers'
+    /// anti-spin damper watches it.
+    progress_epoch: AtomicU64,
+    stopping: AtomicBool,
     mech_counts: Mutex<HashMap<String, u64>>,
     workload_memo: Mutex<HashMap<(u8, usize), Arc<Workload>>>,
     y_true_memo: YTrueMemo,
+}
+
+impl ServerState {
+    /// Estimated queue wait for a newly-arriving release, in ms: releases
+    /// beyond the worker count, times the smoothed service time.
+    fn est_wait_ms(&self) -> f64 {
+        let inflight = self.inflight.load(Ordering::Relaxed);
+        let waiting = (inflight + 1).saturating_sub(self.threads.max(1));
+        waiting as f64 * self.ewma_us.load(Ordering::Relaxed) as f64 / 1e3
+    }
+
+    /// Fold one successful release's service time into the EWMA.
+    fn observe_service_us(&self, us: u64) {
+        let old = self.ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { old - old / 8 + us / 8 };
+        self.ewma_us.store(new, Ordering::Relaxed);
+    }
+
+    /// Re-read the tenant-config file and apply the grants (see
+    /// [`TenantAccountant::reload`]).
+    pub fn reload_tenants(&self) -> io::Result<ReloadOutcome> {
+        let Some(path) = &self.tenant_config else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no --tenant-config file to reload from",
+            ));
+        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        let grants = parse_tenant_grants(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.accountant.reload(&grants)
+    }
 }
 
 /// Handle to a started server: address, state, and shutdown.
@@ -135,15 +278,22 @@ impl ServerHandle {
         &self.state
     }
 
-    /// True once every worker observed the stop flag and exited.
+    /// True once shutdown has been requested.
     pub fn is_stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Hot-reload tenant grants from the configured tenant-config file
+    /// (the SIGHUP handler path).
+    pub fn reload(&self) -> io::Result<ReloadOutcome> {
+        self.state.reload_tenants()
     }
 
     /// Graceful shutdown: stop accepting, drain in-flight requests, join
     /// every thread, then flush + fsync the spend journal.
     pub fn shutdown(self) -> io::Result<()> {
         self.stop.store(true, Ordering::SeqCst);
+        self.state.stopping.store(true, Ordering::SeqCst);
         for join in self.joins {
             let _ = join.join();
         }
@@ -188,20 +338,31 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         datasets.insert(name.clone(), LoadedDataset { x });
     }
     let accountant = TenantAccountant::new(&config.tenants, config.journal.as_deref())?;
+    let queue = Arc::new(ConnQueue::new());
     let state = Arc::new(ServerState {
         accountant,
         plan_cache: PlanCache::new(),
+        robust: Robustness::default(),
+        rate_limiter: config.limits.rate_limit.map(RateLimiter::new),
+        limits: config.limits.clone(),
+        tenant_config: config.tenant_config.clone(),
+        queue: Arc::clone(&queue),
         datasets,
         batcher: Batcher::new(config.batch_window),
         domain: config.domain,
         scale: config.scale,
+        threads: config.threads.max(1),
         seed: config.seed,
         slo: config.slo,
         verbose: config.verbose,
         started: Instant::now(),
         requests: AtomicU64::new(0),
         release_seq: AtomicU64::new(0),
-        queue_depth: AtomicUsize::new(0),
+        conn_count: AtomicUsize::new(0),
+        inflight: AtomicUsize::new(0),
+        ewma_us: AtomicU64::new(0),
+        progress_epoch: AtomicU64::new(0),
+        stopping: AtomicBool::new(false),
         mech_counts: Mutex::new(HashMap::new()),
         workload_memo: Mutex::new(HashMap::new()),
         y_true_memo: Mutex::new(HashMap::new()),
@@ -211,32 +372,34 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<TcpStream>();
-    let rx = Arc::new(Mutex::new(rx));
     let mut joins = Vec::with_capacity(config.threads + 1);
 
-    // Accept loop: non-blocking + 1 ms sleep — short enough that a new
-    // connection's accept latency is noise next to a release, cheap
-    // enough to idle on, and the stop flag (or a process signal) is
-    // still observed promptly.
+    // Accept loop: non-blocking accept with exponential idle backoff
+    // (1 → 16 ms) — an idle server sleeps instead of burning a core,
+    // while a busy one accepts with ~1 ms latency. Caps are enforced
+    // here: a connect beyond --max-conns / --max-queue gets a one-shot
+    // 503 with Retry-After and is never queued.
     {
         let stop = Arc::clone(&stop);
         let state = Arc::clone(&state);
-        joins.push(std::thread::spawn(move || loop {
-            if stop.load(Ordering::SeqCst) || shutdown::requested() {
-                break; // drop tx: workers drain the queue, then exit
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    state.queue_depth.fetch_add(1, Ordering::Relaxed);
-                    if tx.send(stream).is_err() {
-                        break;
+        let queue = Arc::clone(&queue);
+        joins.push(std::thread::spawn(move || {
+            let mut idle_backoff = Duration::from_millis(1);
+            loop {
+                if stop.load(Ordering::SeqCst) || shutdown::requested() {
+                    break; // workers drain the queue, then exit
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        idle_backoff = Duration::from_millis(1);
+                        admit_conn(stream, &state, &queue);
                     }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(idle_backoff);
+                        idle_backoff = (idle_backoff * 2).min(Duration::from_millis(16));
+                    }
+                    Err(_) => std::thread::sleep(idle_backoff),
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(1)),
             }
         }));
     }
@@ -244,27 +407,49 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     for _ in 0..config.threads.max(1) {
         let stop = Arc::clone(&stop);
         let state = Arc::clone(&state);
-        let rx = Arc::clone(&rx);
+        let queue = Arc::clone(&queue);
         joins.push(std::thread::spawn(move || {
             // Per-worker scratch, reused across every request this worker
             // serves (same discipline as the grid runner's workers).
             let mut ws = Workspace::new();
+            // Anti-spin damper: when a full rotation over the parked
+            // connections makes no progress anywhere, sleep briefly
+            // instead of re-polling the same idle sockets in a hot loop.
+            let mut fruitless = 0_usize;
+            let mut seen_epoch = state.progress_epoch.load(Ordering::Relaxed);
             loop {
-                let conn = {
-                    let rx = rx.lock().expect("connection queue poisoned");
-                    rx.recv_timeout(Duration::from_millis(50))
-                };
-                match conn {
-                    Ok(stream) => {
-                        state.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        handle_connection(stream, &state, &stop, &mut ws);
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        if stop.load(Ordering::SeqCst) || shutdown::requested() {
+                let stopping = stop.load(Ordering::SeqCst) || shutdown::requested();
+                if stopping {
+                    state.stopping.store(true, Ordering::SeqCst);
+                }
+                match queue.pop(Duration::from_millis(50)) {
+                    Some(mut conn) => match service_conn(&mut conn, &state, stopping, &mut ws) {
+                        Fate::Keep { progressed } => {
+                            if progressed {
+                                state.progress_epoch.fetch_add(1, Ordering::Relaxed);
+                                fruitless = 0;
+                            } else {
+                                fruitless += 1;
+                                if fruitless >= queue.len().max(4) {
+                                    let epoch = state.progress_epoch.load(Ordering::Relaxed);
+                                    if epoch == seen_epoch {
+                                        std::thread::sleep(Duration::from_millis(2));
+                                    }
+                                    seen_epoch = epoch;
+                                    fruitless = 0;
+                                }
+                            }
+                            queue.push(conn);
+                        }
+                        Fate::Close => {
+                            state.conn_count.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    },
+                    None => {
+                        if stopping {
                             break;
                         }
                     }
-                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
         }));
@@ -278,65 +463,215 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     })
 }
 
-/// Serve one connection with keep-alive until close, error, or shutdown.
-fn handle_connection(
-    mut stream: TcpStream,
-    state: &ServerState,
-    stop: &AtomicBool,
-    ws: &mut Workspace,
-) {
-    // Short read timeout: an idle keep-alive connection re-checks the
-    // stop flag every 100 ms instead of pinning its worker.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+/// Admit (or shed) one freshly-accepted connection.
+fn admit_conn(stream: TcpStream, state: &ServerState, queue: &ConnQueue) {
+    let limits = &state.limits;
+    let over_conns = state.conn_count.load(Ordering::Relaxed) >= limits.max_conns;
+    let over_queue = queue.len() >= limits.max_queue;
+    if over_conns || over_queue {
+        if over_conns {
+            state.robust.shed_conns.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.robust.shed_queue.fetch_add(1, Ordering::Relaxed);
+        }
+        // Best-effort one-shot 503: a short write deadline so a client
+        // that refuses to read can't stall the accept loop.
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+        let mut s = &stream;
+        let _ = http::write_response_ex(
+            &mut s,
+            503,
+            &error_json(
+                "overloaded",
+                if over_conns {
+                    "connection cap reached"
+                } else {
+                    "admission queue full"
+                },
+            ),
+            true,
+            Some(1),
+        );
+        return; // dropped, never queued
+    }
+    state.conn_count.fetch_add(1, Ordering::Relaxed);
+    state.progress_epoch.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_nodelay(true);
-    let mut buf = Vec::new();
+    let _ = stream.set_nonblocking(true);
+    queue.push(Conn {
+        stream,
+        buf: Vec::new(),
+        last_activity: Instant::now(),
+        partial_since: None,
+    });
+}
+
+/// What a worker should do with a connection after one service slice.
+enum Fate {
+    /// Requeue for the next rotation.
+    Keep {
+        /// Whether this slice read bytes or served a request (the
+        /// anti-spin damper input).
+        progressed: bool,
+    },
+    /// Drop the connection (count is decremented by the caller).
+    Close,
+}
+
+/// One service slice: drain arrived bytes, serve every complete request,
+/// enforce deadlines. Never blocks on reads — writes use a bounded
+/// deadline — so a slow peer can only waste its own slice.
+fn service_conn(conn: &mut Conn, state: &ServerState, stopping: bool, ws: &mut Workspace) -> Fate {
+    let limits = &state.limits;
+    // 1. Drain whatever bytes have arrived (nonblocking).
+    let mut eof = false;
+    let mut progressed = false;
+    let mut chunk = [0_u8; 4096];
     loop {
-        let stopping = stop.load(Ordering::SeqCst) || shutdown::requested();
-        match http::read_request(&mut stream, &mut buf) {
-            Ok(Some(req)) => {
-                let (status, body) = route(state, &req, ws);
-                let close = req.wants_close() || stopping;
-                if state.verbose {
-                    eprintln!("[serve] {} {} -> {status}", req.method, req.path);
-                }
-                if http::write_response(&mut stream, status, &body, close).is_err() || close {
-                    break;
-                }
-            }
-            Ok(None) => break, // clean close
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if stopping {
-                    break; // drain: no request in flight on this socket
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let body = error_json("bad_request", &e.to_string());
-                let _ = http::write_response(&mut stream, 400, &body, true);
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                eof = true;
                 break;
             }
-            Err(_) => break,
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Fate::Close,
+        }
+    }
+    if progressed {
+        conn.last_activity = Instant::now();
+    }
+
+    // 2. Serve every complete request already buffered (including, on a
+    // half-closed connection, requests that arrived before the FIN).
+    loop {
+        match http::try_parse(&mut conn.buf) {
+            Ok(Some(req)) => {
+                progressed = true;
+                conn.partial_since = None;
+                conn.last_activity = Instant::now();
+                let resp = route(state, &req, ws, stopping);
+                let close = req.wants_close() || stopping;
+                if state.verbose {
+                    eprintln!("[serve] {} {} -> {}", req.method, req.path, resp.status);
+                }
+                if send_response(
+                    conn,
+                    state,
+                    resp.status,
+                    &resp.body,
+                    close,
+                    resp.retry_after,
+                )
+                .is_err()
+                    || close
+                {
+                    return Fate::Close;
+                }
+            }
+            Ok(None) => break,
+            Err(rej) => {
+                state.robust.rejects.fetch_add(1, Ordering::Relaxed);
+                let body = error_json(rej.code, &rej.detail);
+                let _ = send_response(conn, state, rej.status, &body, true, None);
+                return Fate::Close;
+            }
+        }
+    }
+
+    // 3. Deadlines. A partial request is on the 408 clock (slow headers
+    // and slow bodies alike); an empty buffer is on the idle clock.
+    if eof || stopping {
+        return Fate::Close;
+    }
+    if conn.buf.is_empty() {
+        conn.partial_since = None;
+        if conn.last_activity.elapsed() > limits.idle_timeout {
+            state.robust.reaped_idle.fetch_add(1, Ordering::Relaxed);
+            return Fate::Close;
+        }
+    } else {
+        let since = *conn.partial_since.get_or_insert_with(Instant::now);
+        if since.elapsed() > limits.header_timeout {
+            state.robust.timeouts.fetch_add(1, Ordering::Relaxed);
+            let body = error_json("request_timeout", "request not completed in time");
+            let _ = send_response(conn, state, 408, &body, true, None);
+            return Fate::Close;
+        }
+    }
+    Fate::Keep { progressed }
+}
+
+/// Write one response under the write deadline: the socket flips to
+/// blocking-with-timeout for the write, then back to nonblocking for the
+/// next rotation. A peer that stops reading turns into a clean write
+/// error (and a closed connection), not a pinned worker.
+fn send_response(
+    conn: &mut Conn,
+    state: &ServerState,
+    status: u16,
+    body: &str,
+    close: bool,
+    retry_after: Option<u64>,
+) -> io::Result<()> {
+    conn.stream.set_nonblocking(false)?;
+    conn.stream
+        .set_write_timeout(Some(state.limits.write_timeout))?;
+    let result = {
+        let mut s = &conn.stream;
+        http::write_response_ex(&mut s, status, body, close, retry_after)
+    };
+    if !close {
+        conn.stream.set_nonblocking(true)?;
+    }
+    result
+}
+
+/// One routed response.
+struct Resp {
+    status: u16,
+    body: String,
+    retry_after: Option<u64>,
+}
+
+impl Resp {
+    fn new(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+
+    fn retry(status: u16, body: String, after_s: u64) -> Self {
+        Self {
+            status,
+            body,
+            retry_after: Some(after_s),
         }
     }
 }
 
 /// Dispatch one request to its endpoint.
-fn route(state: &ServerState, req: &Request, ws: &mut Workspace) -> (u16, String) {
+fn route(state: &ServerState, req: &Request, ws: &mut Workspace, stopping: bool) -> Resp {
     state.requests.fetch_add(1, Ordering::Relaxed);
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/release") => handle_release(state, &req.body, ws),
-        ("GET", "/v1/status") => (200, status_json(state)),
+        ("POST", "/v1/admin/reload") => handle_reload(state),
+        ("GET", "/v1/status") => Resp::new(200, status_json(state)),
+        ("GET", "/v1/healthz") => Resp::new(200, "{\"ok\":true}".to_string()),
+        ("GET", "/v1/readyz") => handle_readyz(state, stopping),
         ("GET", path) => {
             if let Some(tenant) = path
                 .strip_prefix("/v1/tenants/")
                 .and_then(|rest| rest.strip_suffix("/budget"))
             {
                 match state.accountant.snapshot(tenant) {
-                    Some(snap) => (
+                    Some(snap) => Resp::new(
                         200,
                         format!(
                             "{{\"tenant\":\"{tenant}\",\"total\":{},\"spent\":{},\"remaining\":{},\"releases\":{}}}",
@@ -346,40 +681,107 @@ fn route(state: &ServerState, req: &Request, ws: &mut Workspace) -> (u16, String
                             snap.releases
                         ),
                     ),
-                    None => (404, error_json("unknown_tenant", tenant)),
+                    None => Resp::new(404, error_json("unknown_tenant", tenant)),
                 }
             } else {
-                (404, error_json("not_found", path))
+                Resp::new(404, error_json("not_found", path))
             }
         }
-        ("POST", path) => (404, error_json("not_found", path)),
-        (method, _) => (405, error_json("method_not_allowed", method)),
+        ("POST", path) => Resp::new(404, error_json("not_found", path)),
+        (method, _) => Resp::new(405, error_json("method_not_allowed", method)),
     }
 }
 
+/// `GET /v1/readyz`: degrade *before* collapse — a load balancer pulls
+/// this node while it still answers health checks.
+fn handle_readyz(state: &ServerState, stopping: bool) -> Resp {
+    if stopping || state.stopping.load(Ordering::SeqCst) {
+        return Resp::new(503, error_json("draining", "shutting down"));
+    }
+    let conns = state.conn_count.load(Ordering::Relaxed);
+    if conns >= state.limits.max_conns {
+        return Resp::retry(
+            503,
+            error_json("at_connection_cap", "connection cap reached"),
+            1,
+        );
+    }
+    let est_wait_ms = state.est_wait_ms();
+    if est_wait_ms > state.limits.max_wait.as_secs_f64() * 1e3 {
+        return Resp::retry(
+            503,
+            error_json("overloaded", "estimated wait exceeds --max-wait-ms"),
+            retry_after_s(est_wait_ms),
+        );
+    }
+    Resp::new(
+        200,
+        format!(
+            "{{\"ready\":true,\"conns\":{conns},\"est_wait_ms\":{}}}",
+            jf(est_wait_ms)
+        ),
+    )
+}
+
+/// `POST /v1/admin/reload`: re-read the tenant-config file and apply it.
+fn handle_reload(state: &ServerState) -> Resp {
+    if state.tenant_config.is_none() {
+        return Resp::new(
+            409,
+            error_json(
+                "no_tenant_config",
+                "server was started without --tenant-config; nothing to reload",
+            ),
+        );
+    }
+    match state.reload_tenants() {
+        Ok(outcome) => Resp::new(
+            200,
+            format!(
+                "{{\"reloaded\":true,\"added\":{},\"extended\":{},\"shrunk\":{},\"unchanged\":{},\"tenants\":{}}}",
+                outcome.added,
+                outcome.extended,
+                outcome.shrunk,
+                outcome.unchanged,
+                state.accountant.len()
+            ),
+        ),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            Resp::new(400, error_json("bad_tenant_config", &e.to_string()))
+        }
+        Err(e) => Resp::new(500, error_json("reload_failed", &e.to_string())),
+    }
+}
+
+/// Ceiling of `ms` in whole seconds, floored at 1 — `Retry-After` is an
+/// integer header and "retry immediately" defeats the point of shedding.
+fn retry_after_s(ms: f64) -> u64 {
+    (ms / 1e3).ceil().max(1.0) as u64
+}
+
 /// `POST /v1/release`.
-fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> (u16, String) {
+fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> Resp {
     let t0 = Instant::now();
     let parsed = std::str::from_utf8(body)
         .map_err(|_| "body is not UTF-8".to_string())
         .and_then(http::parse_object);
     let fields = match parsed {
         Ok(f) => f,
-        Err(e) => return (400, error_json("bad_request", &e)),
+        Err(e) => return Resp::new(400, error_json("bad_request", &e)),
     };
     let str_field = |key: &str| fields.get(key).and_then(JsonValue::as_str);
 
     let Some(tenant) = str_field("tenant") else {
-        return (400, error_json("bad_request", "missing \"tenant\""));
+        return Resp::new(400, error_json("bad_request", "missing \"tenant\""));
     };
     let Some(dataset_name) = str_field("dataset") else {
-        return (400, error_json("bad_request", "missing \"dataset\""));
+        return Resp::new(400, error_json("bad_request", "missing \"dataset\""));
     };
     let Some(eps) = fields.get("eps").and_then(JsonValue::as_f64) else {
-        return (400, error_json("bad_request", "missing numeric \"eps\""));
+        return Resp::new(400, error_json("bad_request", "missing numeric \"eps\""));
     };
     if !(eps.is_finite() && eps > 0.0) {
-        return (
+        return Resp::new(
             400,
             error_json("bad_request", "eps must be positive and finite"),
         );
@@ -388,7 +790,7 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> (u16,
         match crate::results::parse_domain(domain) {
             Some(d) if d == state.domain => {}
             _ => {
-                return (
+                return Resp::new(
                     400,
                     error_json(
                         "bad_request",
@@ -402,8 +804,34 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> (u16,
         }
     }
     let Some(data) = state.datasets.get(dataset_name) else {
-        return (404, error_json("unknown_dataset", dataset_name));
+        return Resp::new(404, error_json("unknown_dataset", dataset_name));
     };
+
+    // Overload control — runs BEFORE any ε is charged, so a shed or
+    // rate-limited request costs the tenant nothing.
+    let est_wait_ms = state.est_wait_ms();
+    if est_wait_ms > state.limits.max_wait.as_secs_f64() * 1e3 {
+        state.robust.shed_wait.fetch_add(1, Ordering::Relaxed);
+        return Resp::retry(
+            503,
+            format!(
+                "{{\"error\":\"overloaded\",\"detail\":\"estimated wait {}ms exceeds limit\",\"est_wait_ms\":{}}}",
+                est_wait_ms.round(),
+                jf(est_wait_ms)
+            ),
+            retry_after_s(est_wait_ms),
+        );
+    }
+    if let Some(rl) = &state.rate_limiter {
+        if let Err(wait_s) = rl.admit(tenant, Instant::now()) {
+            state.robust.rate_limited.fetch_add(1, Ordering::Relaxed);
+            return Resp::retry(
+                429,
+                error_json("rate_limited", "per-tenant request rate exceeded"),
+                retry_after_s(wait_s * 1e3),
+            );
+        }
+    }
 
     // Mechanism: explicit name, or `auto` → DAWA where supported (the
     // paper's overall winner), IDENTITY otherwise.
@@ -419,10 +847,10 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> (u16,
         requested_mech.to_string()
     };
     let Some(mech) = mechanism_by_name(&mech_name) else {
-        return (400, error_json("unknown_mechanism", &mech_name));
+        return Resp::new(400, error_json("unknown_mechanism", &mech_name));
     };
     if !mech.supports(&state.domain) {
-        return (
+        return Resp::new(
             400,
             error_json(
                 "bad_request",
@@ -437,19 +865,21 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> (u16,
 
     let workload = match workload_for(state, str_field("workload")) {
         Ok(w) => w,
-        Err(e) => return (400, error_json("bad_request", &e)),
+        Err(e) => return Resp::new(400, error_json("bad_request", &e)),
     };
 
     // Admission control: atomic check-and-reserve, durable before any
     // noise is drawn.
     match state.accountant.reserve(tenant, eps) {
         Ok(()) => {}
-        Err(AdmissionError::UnknownTenant(t)) => return (404, error_json("unknown_tenant", &t)),
+        Err(AdmissionError::UnknownTenant(t)) => {
+            return Resp::new(404, error_json("unknown_tenant", &t))
+        }
         Err(AdmissionError::Exhausted {
             requested,
             remaining,
         }) => {
-            return (
+            return Resp::new(
                 429,
                 format!(
                     "{{\"error\":\"budget_exhausted\",\"requested\":{},\"remaining\":{}}}",
@@ -458,16 +888,21 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> (u16,
                 ),
             )
         }
-        Err(AdmissionError::Journal(e)) => return (503, error_json("journal_unavailable", &e)),
+        Err(AdmissionError::Journal(e)) => {
+            return Resp::new(503, error_json("journal_unavailable", &e))
+        }
     }
 
     // Everything below owes the tenant a refund on failure.
-    let refund_and = |status: u16, body: String| -> (u16, String) {
+    let refund_and = |status: u16, body: String| -> Resp {
         if let Err(e) = state.accountant.refund(tenant, eps) {
             eprintln!("[serve] refund journal write failed for {tenant}: {e}");
         }
-        (status, body)
+        Resp::new(status, body)
     };
+
+    state.inflight.fetch_add(1, Ordering::Relaxed);
+    let _inflight = Gauge(&state.inflight);
 
     let (plan, cache_hit) =
         match state
@@ -519,7 +954,9 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> (u16,
         .snapshot(tenant)
         .map(|s| s.remaining)
         .unwrap_or(0.0);
-    let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let elapsed = t0.elapsed();
+    state.observe_service_us(elapsed.as_micros() as u64);
+    let latency_ms = elapsed.as_secs_f64() * 1e3;
     let mut out = String::with_capacity(256 + 16 * release.estimate.len());
     out.push_str(&format!(
         "{{\"tenant\":\"{tenant}\",\"dataset\":\"{dataset_name}\",\"mechanism\":\"{mech_name}\",\"eps\":{},\"remaining\":{},\"plan_cache_hit\":{cache_hit},\"batched\":{batched},\"latency_ms\":{}",
@@ -537,7 +974,17 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> (u16,
     out.push_str(",\"release\":");
     out.push_str(&release.to_json());
     out.push('}');
-    (200, out)
+    Resp::new(200, out)
+}
+
+/// Decrement-on-drop guard for the inflight gauge (covers every early
+/// return between reserve and response).
+struct Gauge<'a>(&'a AtomicUsize);
+
+impl Drop for Gauge<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Resolve (and memoize) the workload for a request's `workload` field.
@@ -610,17 +1057,26 @@ fn status_json(state: &ServerState) -> String {
         .map(|(name, count)| format!("\"{name}\":{count}"))
         .collect::<Vec<_>>()
         .join(",");
+    let r = &state.robust;
     format!(
-        "{{\"uptime_s\":{},\"requests\":{},\"queue_depth\":{},\"tenants\":{},\"mechanisms\":{{{mech_json}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"built\":{}}},\"batches\":{{\"led\":{},\"followed\":{}}}}}",
+        "{{\"uptime_s\":{},\"requests\":{},\"queue_depth\":{},\"tenants\":{},\"mechanisms\":{{{mech_json}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"built\":{}}},\"batches\":{{\"led\":{},\"followed\":{}}},\"conns\":{},\"robustness\":{{\"shed_conns\":{},\"shed_queue\":{},\"shed_wait\":{},\"timeouts\":{},\"rate_limited\":{},\"reaped_idle\":{},\"rejects\":{}}}}}",
         jf(state.started.elapsed().as_secs_f64()),
         state.requests.load(Ordering::Relaxed),
-        state.queue_depth.load(Ordering::Relaxed),
+        state.queue.len(),
         state.accountant.len(),
         plan.hits,
         plan.misses,
         state.plan_cache.len(),
         batches.led,
         batches.followed,
+        state.conn_count.load(Ordering::Relaxed),
+        r.shed_conns.load(Ordering::Relaxed),
+        r.shed_queue.load(Ordering::Relaxed),
+        r.shed_wait.load(Ordering::Relaxed),
+        r.timeouts.load(Ordering::Relaxed),
+        r.rate_limited.load(Ordering::Relaxed),
+        r.reaped_idle.load(Ordering::Relaxed),
+        r.rejects.load(Ordering::Relaxed),
     )
 }
 

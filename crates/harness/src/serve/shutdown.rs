@@ -12,11 +12,13 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod imp {
     use std::sync::atomic::Ordering;
 
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
@@ -28,10 +30,20 @@ mod imp {
         super::SHUTDOWN.store(true, Ordering::SeqCst);
     }
 
+    extern "C" fn on_reload(_sig: i32) {
+        super::RELOAD.store(true, Ordering::SeqCst);
+    }
+
     pub fn install() {
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn install_reload() {
+        unsafe {
+            signal(SIGHUP, on_reload);
         }
     }
 }
@@ -41,6 +53,8 @@ mod imp {
     /// No signal plumbing off Unix; [`super::trigger`] still works for
     /// in-process shutdown.
     pub fn install() {}
+
+    pub fn install_reload() {}
 }
 
 /// Install the SIGINT/SIGTERM handlers (idempotent). Call once at
@@ -62,4 +76,17 @@ pub fn trigger() {
 /// Clear the flag — for tests that simulate repeated shutdown cycles.
 pub fn reset() {
     SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Install the SIGHUP → tenant-reload handler (separate from [`install`]
+/// so only `dpbench serve` opts in; other subcommands keep the default
+/// SIGHUP disposition of terminating).
+pub fn install_reload() {
+    imp::install_reload();
+}
+
+/// Consume a pending reload request (SIGHUP since the last call). The
+/// serve loop polls this and re-reads the tenant config when true.
+pub fn take_reload() -> bool {
+    RELOAD.swap(false, Ordering::SeqCst)
 }

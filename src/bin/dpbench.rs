@@ -22,6 +22,9 @@
 //!               [--journal spend.jsonl] [--scale N] [--domain N|RxC]
 //!               [--threads N] [--batch-window-ms MS] [--seed S]
 //!               [--slo] [--verbose]
+//!               [--max-conns N] [--max-queue N] [--max-wait-ms MS]
+//!               [--header-timeout-ms MS] [--idle-timeout-ms MS]
+//!               [--write-timeout-ms MS] [--rate-limit RPS[:BURST]]
 //! ```
 //!
 //! The streaming flags address the grid as a manifest of content-hashed
@@ -62,7 +65,7 @@
 use dpbench::harness::fleet::{
     self, CommandTransport, FleetOptions, LaunchSpec, LocalTransport, RemotePaths, ShardLauncher,
 };
-use dpbench::harness::serve::{self, shutdown, ServeConfig};
+use dpbench::harness::serve::{self, shutdown, Limits, RateLimit, ServeConfig};
 use dpbench::harness::sink::{self, AggregatingSink, JsonlSink, MemorySink, ResultSink, Tee};
 use dpbench::harness::{config, RunManifest};
 use dpbench::prelude::*;
@@ -113,6 +116,9 @@ fn main() -> ExitCode {
             eprintln!("       [--port P] [--datasets A,B] [--scale N] [--domain N|RxC]");
             eprintln!("       [--journal FILE.jsonl] [--threads N]");
             eprintln!("       [--batch-window-ms MS] [--seed S] [--slo] [--verbose]");
+            eprintln!("       [--max-conns N] [--max-queue N] [--max-wait-ms MS]");
+            eprintln!("       [--header-timeout-ms MS] [--idle-timeout-ms MS]");
+            eprintln!("       [--write-timeout-ms MS] [--rate-limit RPS[:BURST]]");
             return ExitCode::FAILURE;
         }
     }
@@ -281,6 +287,13 @@ const SERVE_FLAGS: &[&str] = &[
     "domain",
     "tenants",
     "tenant-config",
+    "max-conns",
+    "max-queue",
+    "max-wait-ms",
+    "header-timeout-ms",
+    "idle-timeout-ms",
+    "write-timeout-ms",
+    "rate-limit",
     "journal",
     "threads",
     "batch-window-ms",
@@ -740,28 +753,11 @@ fn parse_tenants_flag(s: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(tenants)
 }
 
-/// Parse a tenant-config file: the TOML subset of `name = eps` lines,
-/// with `#` comments and an optional `[tenants]` section header. Strict
-/// like every other config path — an unrecognized line is an error, not
-/// a silently skipped grant.
+/// Parse a tenant-config file (grammar lives in the harness so the
+/// server's hot-reload path reads the file exactly as startup does).
 fn parse_tenant_config(path: &str) -> Result<Vec<(String, f64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let mut tenants = Vec::new();
-    for (line_no, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() || line == "[tenants]" {
-            continue;
-        }
-        let (name, eps) = line
-            .split_once('=')
-            .ok_or_else(|| format!("{path} line {}: expected name = eps", line_no + 1))?;
-        let eps: f64 = eps
-            .trim()
-            .parse()
-            .map_err(|_| format!("{path} line {}: bad epsilon {:?}", line_no + 1, eps.trim()))?;
-        tenants.push((name.trim().trim_matches('"').to_string(), eps));
-    }
-    Ok(tenants)
+    serve::parse_tenant_grants(&text).map_err(|e| format!("{path} {e}"))
 }
 
 /// `dpbench serve`: start the online release server and run until a
@@ -824,15 +820,47 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             Some(s) => config::parse_flag_value("seed", s)?,
             None => 0,
         };
+        let mut limits = Limits::default();
+        if let Some(s) = flags.get("max-conns") {
+            limits.max_conns = config::parse_flag_value("max-conns", s)?;
+        }
+        if let Some(s) = flags.get("max-queue") {
+            limits.max_queue = config::parse_flag_value("max-queue", s)?;
+        }
+        let ms_flag = |name: &str| -> Result<Option<Duration>, String> {
+            match flags.get(name) {
+                Some(s) => Ok(Some(Duration::from_millis(config::parse_flag_value(
+                    name, s,
+                )?))),
+                None => Ok(None),
+            }
+        };
+        if let Some(d) = ms_flag("max-wait-ms")? {
+            limits.max_wait = d;
+        }
+        if let Some(d) = ms_flag("header-timeout-ms")? {
+            limits.header_timeout = d;
+        }
+        if let Some(d) = ms_flag("idle-timeout-ms")? {
+            limits.idle_timeout = d;
+        }
+        if let Some(d) = ms_flag("write-timeout-ms")? {
+            limits.write_timeout = d;
+        }
+        if let Some(s) = flags.get("rate-limit") {
+            limits.rate_limit = Some(RateLimit::parse(s)?);
+        }
         Ok(ServeConfig {
             addr: format!("127.0.0.1:{port}"),
             datasets,
             scale,
             domain,
             tenants,
+            tenant_config: flags.get("tenant-config").map(PathBuf::from),
             journal: flags.get("journal").map(PathBuf::from),
             threads,
             batch_window: Duration::from_millis(batch_ms),
+            limits,
             seed,
             slo: flags.get("slo").map(|v| v == "1").unwrap_or(false),
             verbose: flags.get("verbose").map(|v| v == "1").unwrap_or(false),
@@ -846,6 +874,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         }
     };
     shutdown::install();
+    shutdown::install_reload();
     let n_tenants = cfg.tenants.len();
     let handle = match serve::start(cfg) {
         Ok(h) => h,
@@ -856,10 +885,20 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     };
     println!(
         "serving on http://{} ({n_tenants} tenant(s); POST /v1/release, \
-         GET /v1/tenants/:id/budget, GET /v1/status)",
+         GET /v1/tenants/:id/budget, GET /v1/status, GET /v1/healthz)",
         handle.addr()
     );
     while !shutdown::requested() {
+        if shutdown::take_reload() {
+            // SIGHUP: re-read the tenant config and apply it in place.
+            match handle.reload() {
+                Ok(o) => eprintln!(
+                    "tenant config reloaded: {} added, {} extended, {} shrunk, {} unchanged",
+                    o.added, o.extended, o.shrunk, o.unchanged
+                ),
+                Err(e) => eprintln!("tenant config reload failed (grants unchanged): {e}"),
+            }
+        }
         std::thread::sleep(Duration::from_millis(50));
     }
     eprintln!("shutdown requested: draining in-flight requests...");

@@ -30,8 +30,7 @@ fn test_server(
         threads: 4,
         batch_window: Duration::from_millis(batch_ms),
         seed: 7,
-        slo: false,
-        verbose: false,
+        ..ServeConfig::default()
     })
     .unwrap()
 }

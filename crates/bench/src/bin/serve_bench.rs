@@ -1,6 +1,6 @@
-//! Benchmark, CI drill, and chaos client for `dpbench serve`.
+//! Benchmark, CI drill, chaos, and saturation client for `dpbench serve`.
 //!
-//! Five modes, all over the serve module's std-only HTTP client:
+//! Six modes, all over the serve module's std-only HTTP client:
 //!
 //! - `bench [--out BENCH_PR6.json]` — start an in-process server on a
 //!   free port and measure release latency cold (first request per
@@ -24,13 +24,23 @@
 //!   real binary: hold two slowloris connections and a garbage probe,
 //!   then assert a healthy release still answers 200 within its
 //!   deadline.
+//! - `saturate [--addr A] [--pipeline N] [--open-loop RPS] [--tiny]
+//!   [--assert-min-rps R] [--out BENCH_PR8.json]` — sweep keep-alive
+//!   concurrency (1→128 connections, closed loop, optional pipelining),
+//!   record req/s and p50/p95/p99 per step, and report the saturation
+//!   knee: the smallest concurrency delivering ≥95% of peak throughput.
+//!   `--open-loop RPS` adds a fixed-arrival-rate pass at the knee, where
+//!   queueing delay surfaces as latency instead of hiding in a slower
+//!   send loop.
 
+use dpbench_core::Domain;
 use dpbench_harness::serve::{self, http, Limits, ServeConfig, TenantAccountant};
+use std::collections::VecDeque;
 use std::io::Write;
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -408,6 +418,307 @@ fn chaos_drill(args: &[String]) {
     println!("chaos-drill: healthy release in {ms:.1} ms with 2 slowloris connections held");
 }
 
+// ---------------------------------------------------------------------------
+// Saturation sweep
+// ---------------------------------------------------------------------------
+
+/// One measured point on the saturation curve.
+struct StepResult {
+    conns: usize,
+    rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    errors: u64,
+}
+
+/// Closed-loop worker: one keep-alive connection keeping `pipeline`
+/// requests in flight until the deadline, recording per-response latency
+/// (responses come back in order, so send times queue in a VecDeque).
+fn closed_loop_worker(
+    addr: &str,
+    body: &str,
+    pipeline: usize,
+    start: &Barrier,
+    deadline_from_start: Duration,
+) -> (Vec<f64>, u64) {
+    let mut conn = http::ClientConn::connect(addr).expect("saturate connect");
+    let mut lat_ms = Vec::new();
+    let mut errors = 0_u64;
+    let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(pipeline);
+    start.wait();
+    let deadline = Instant::now() + deadline_from_start;
+    for _ in 0..pipeline.max(1) {
+        conn.send("POST", "/v1/release", Some(body))
+            .expect("saturate send");
+        inflight.push_back(Instant::now());
+    }
+    while let Some(sent) = inflight.pop_front() {
+        let (status, _resp) = conn.recv().expect("saturate recv");
+        lat_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        if status != 200 {
+            errors += 1;
+        }
+        if Instant::now() < deadline {
+            conn.send("POST", "/v1/release", Some(body))
+                .expect("saturate send");
+            inflight.push_back(Instant::now());
+        }
+    }
+    (lat_ms, errors)
+}
+
+/// Run one closed-loop step at `conns` connections; wall-clock starts at
+/// a barrier after every connection is established, so connect cost never
+/// dilutes the throughput number.
+fn run_step(addr: &str, body: &str, conns: usize, pipeline: usize, dur: Duration) -> StepResult {
+    let start = Arc::new(Barrier::new(conns + 1));
+    let mut joins = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let (addr, body, start) = (addr.to_string(), body.to_string(), Arc::clone(&start));
+        joins.push(std::thread::spawn(move || {
+            closed_loop_worker(&addr, &body, pipeline, &start, dur)
+        }));
+    }
+    start.wait();
+    let t0 = Instant::now();
+    let mut lat_ms = Vec::new();
+    let mut errors = 0;
+    for j in joins {
+        let (l, e) = j.join().expect("saturate worker panicked");
+        lat_ms.extend(l);
+        errors += e;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert!(
+        !lat_ms.is_empty(),
+        "step at {conns} conns completed nothing"
+    );
+    StepResult {
+        conns,
+        rps: lat_ms.len() as f64 / elapsed,
+        p50_ms: percentile(&lat_ms, 0.50),
+        p95_ms: percentile(&lat_ms, 0.95),
+        p99_ms: percentile(&lat_ms, 0.99),
+        errors,
+    }
+}
+
+/// Open-loop worker: requests depart on a fixed schedule whether or not
+/// earlier responses came back (arrival rate is the independent variable,
+/// so queueing delay shows up as latency instead of vanishing into a
+/// slower send loop).
+fn open_loop_worker(
+    addr: &str,
+    body: &str,
+    interval: Duration,
+    start: &Barrier,
+    deadline_from_start: Duration,
+) -> (Vec<f64>, u64) {
+    let mut conn = http::ClientConn::connect(addr).expect("open-loop connect");
+    conn.set_read_timeout(Duration::from_millis(2))
+        .expect("set timeout");
+    let mut lat_ms = Vec::new();
+    let mut errors = 0_u64;
+    let mut inflight: VecDeque<Instant> = VecDeque::new();
+    start.wait();
+    let t0 = Instant::now();
+    let deadline = t0 + deadline_from_start;
+    let mut next_send = t0;
+    loop {
+        let now = Instant::now();
+        if now >= deadline && inflight.is_empty() {
+            break;
+        }
+        if now < deadline && now >= next_send {
+            conn.send("POST", "/v1/release", Some(body))
+                .expect("open-loop send");
+            inflight.push_back(Instant::now());
+            next_send += interval;
+            continue;
+        }
+        match conn.try_recv().expect("open-loop recv") {
+            Some((status, _)) => {
+                let sent = inflight.pop_front().expect("response without a send");
+                lat_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                if status != 200 {
+                    errors += 1;
+                }
+            }
+            None => {
+                if now >= deadline {
+                    // Drain the tail with a blocking recv (bounded by the
+                    // connection's read deadline).
+                    conn.set_read_timeout(Duration::from_secs(10)).unwrap();
+                    while let Some(sent) = inflight.pop_front() {
+                        let (status, _) = conn.recv().expect("open-loop drain");
+                        lat_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                        if status != 200 {
+                            errors += 1;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    (lat_ms, errors)
+}
+
+/// Sweep concurrency over a running (or in-process) server, find the
+/// saturation knee, and write the curve as JSON.
+fn saturate(args: &[String]) {
+    let out = flag(args, "--out");
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let pipeline: usize = flag(args, "--pipeline")
+        .map(|s| s.parse().expect("--pipeline N"))
+        .unwrap_or(1);
+    let assert_min_rps: Option<f64> =
+        flag(args, "--assert-min-rps").map(|s| s.parse().expect("--assert-min-rps R"));
+    let open_loop_rps: Option<f64> =
+        flag(args, "--open-loop").map(|s| s.parse().expect("--open-loop RPS"));
+    let tenant = flag(args, "--tenant").unwrap_or_else(|| "bench".into());
+    let eps: f64 = flag(args, "--eps")
+        .map(|s| s.parse().expect("--eps E"))
+        .unwrap_or(1e-6);
+
+    // External server via --addr, or an in-process one sized so the
+    // mechanism is cheap and the event loop is what saturates: IDENTITY
+    // over a small 1-D domain (the PR 6 bench measured GREEDY_H@1024 —
+    // a mechanism benchmark; this is a scheduler benchmark).
+    let mut handle = None;
+    let addr = match flag(args, "--addr") {
+        Some(a) => a,
+        None => {
+            let h = serve::start(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                tenants: vec![("bench".into(), 1e9)],
+                domain: Domain::D1(256),
+                scale: 10_000,
+                threads: 4,
+                seed: 1,
+                ..ServeConfig::default()
+            })
+            .expect("start server");
+            let a = h.addr().to_string();
+            handle = Some(h);
+            a
+        }
+    };
+    let body = format!(
+        "{{\"tenant\":\"{tenant}\",\"dataset\":\"MEDCOST\",\"mechanism\":\"IDENTITY\",\"eps\":{eps}}}"
+    );
+
+    let steps: &[usize] = if tiny {
+        &[1, 2, 4, 8, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
+    let dur = if tiny {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(2)
+    };
+
+    let mut results = Vec::with_capacity(steps.len());
+    for &conns in steps {
+        let r = run_step(&addr, &body, conns, pipeline, dur);
+        eprintln!(
+            "saturate: conns={:<4} rps={:<9.1} p50={:.3}ms p95={:.3}ms p99={:.3}ms errors={}",
+            r.conns, r.rps, r.p50_ms, r.p95_ms, r.p99_ms, r.errors
+        );
+        results.push(r);
+    }
+
+    // The knee: the smallest concurrency already delivering ≥95% of the
+    // peak — past it, added connections buy latency, not throughput.
+    let peak_rps = results.iter().map(|r| r.rps).fold(0.0, f64::max);
+    let knee = results
+        .iter()
+        .find(|r| r.rps >= 0.95 * peak_rps)
+        .expect("at least one step ran");
+    let knee_summary = (knee.conns, knee.rps, knee.p99_ms);
+
+    // Optional open-loop pass at a fixed arrival rate, spread across the
+    // knee's connection count.
+    let open_loop = open_loop_rps.map(|target| {
+        let conns = knee_summary.0;
+        let interval = Duration::from_secs_f64(conns as f64 / target);
+        let start = Arc::new(Barrier::new(conns + 1));
+        let mut joins = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            let (addr, body, start) = (addr.clone(), body.clone(), Arc::clone(&start));
+            joins.push(std::thread::spawn(move || {
+                open_loop_worker(&addr, &body, interval, &start, dur)
+            }));
+        }
+        start.wait();
+        let t0 = Instant::now();
+        let mut lat_ms = Vec::new();
+        let mut errors = 0;
+        for j in joins {
+            let (l, e) = j.join().expect("open-loop worker panicked");
+            lat_ms.extend(l);
+            errors += e;
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(!lat_ms.is_empty(), "open-loop pass completed nothing");
+        eprintln!(
+            "saturate: open-loop target={target:.0} rps achieved={:.1} p99={:.3}ms errors={errors}",
+            lat_ms.len() as f64 / elapsed,
+            percentile(&lat_ms, 0.99)
+        );
+        (
+            target,
+            lat_ms.len() as f64 / elapsed,
+            percentile(&lat_ms, 0.99),
+        )
+    });
+
+    let steps_json = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"conns\":{},\"rps\":{:.1},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\"errors\":{}}}",
+                r.conns, r.rps, r.p50_ms, r.p95_ms, r.p99_ms, r.errors
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut json = format!(
+        "{{\"bench\":\"serve_pr8_saturate\",\"mechanism\":\"IDENTITY\",\"pipeline\":{pipeline},\
+         \"step_s\":{:.1},\"steps\":[{steps_json}],\
+         \"knee_conns\":{},\"knee_rps\":{:.1},\"knee_p99_ms\":{:.3},\"peak_rps\":{peak_rps:.1}",
+        dur.as_secs_f64(),
+        knee_summary.0,
+        knee_summary.1,
+        knee_summary.2,
+    );
+    if let Some((target, achieved, p99)) = open_loop {
+        json.push_str(&format!(
+            ",\"open_loop\":{{\"target_rps\":{target:.1},\"achieved_rps\":{achieved:.1},\"p99_ms\":{p99:.3}}}"
+        ));
+    }
+    json.push('}');
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(PathBuf::from(&path), format!("{json}\n")).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+    if let Some(h) = handle {
+        h.shutdown().expect("graceful shutdown");
+    }
+    if let Some(min) = assert_min_rps {
+        assert!(
+            peak_rps >= min,
+            "saturation peak {peak_rps:.1} req/s is below the floor {min:.1}"
+        );
+        eprintln!("saturate: peak {peak_rps:.1} req/s clears the {min:.1} floor");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -416,11 +727,14 @@ fn main() {
         Some("verify") => verify(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         Some("chaos-drill") => chaos_drill(&args[1..]),
+        Some("saturate") => saturate(&args[1..]),
         _ => {
             eprintln!(
                 "usage: serve_bench <bench [--out FILE] | drill --addr A --tenant T --eps E | \
                  verify --addr A --tenant T --eps E | chaos [--out FILE] | \
-                 chaos-drill --addr A --tenant T --eps E>"
+                 chaos-drill --addr A --tenant T --eps E | \
+                 saturate [--addr A] [--tenant T] [--eps E] [--pipeline N] \
+                 [--open-loop RPS] [--assert-min-rps R] [--tiny] [--out FILE]>"
             );
             std::process::exit(2);
         }

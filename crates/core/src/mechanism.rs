@@ -234,8 +234,17 @@ impl Release {
     /// ```
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64 + 16 * self.estimate.len());
+        self.to_json_into(&mut out);
+        out
+    }
+
+    /// Append the [`Release::to_json`] serialization to `out` — the
+    /// release server's hot path reuses one response buffer across
+    /// keep-alive requests instead of allocating per release.
+    pub fn to_json_into(&self, out: &mut String) {
+        out.reserve(64 + 16 * self.estimate.len());
         out.push_str("{\"mechanism\":\"");
-        json_escape_into(&self.diagnostics.mechanism, &mut out);
+        json_escape_into(&self.diagnostics.mechanism, out);
         out.push_str("\",\"data_independent\":");
         out.push_str(if self.diagnostics.data_independent {
             "true"
@@ -243,16 +252,16 @@ impl Release {
             "false"
         });
         out.push_str(",\"spent\":");
-        push_f64(self.spent(), &mut out);
+        push_f64(self.spent(), out);
         out.push_str(",\"budget_trace\":[");
         for (i, r) in self.budget_trace.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str("{\"label\":\"");
-            json_escape_into(&r.label, &mut out);
+            json_escape_into(&r.label, out);
             out.push_str("\",\"eps\":");
-            push_f64(r.epsilon, &mut out);
+            push_f64(r.epsilon, out);
             out.push('}');
         }
         out.push_str("],\"estimate\":[");
@@ -260,10 +269,9 @@ impl Release {
             if i > 0 {
                 out.push(',');
             }
-            push_f64(*v, &mut out);
+            push_f64(*v, out);
         }
         out.push_str("]}");
-        out
     }
 }
 

@@ -78,6 +78,16 @@ impl Request {
 /// reject the buffer is poisoned (a hostile prefix makes every later
 /// byte untrustworthy), so no resynchronization is attempted.
 pub fn try_parse(buf: &mut Vec<u8>) -> Result<Option<Request>, Reject> {
+    let mut scratch = Vec::new();
+    try_parse_with(buf, &mut scratch)
+}
+
+/// [`try_parse`] with a caller-owned body buffer: on success the parsed
+/// request's `body` takes over `scratch`'s allocation (scratch is left
+/// empty); hand it back afterwards with `mem::take(&mut req.body)` so a
+/// keep-alive connection reuses one body allocation across requests
+/// instead of allocating per request.
+pub fn try_parse_with(buf: &mut Vec<u8>, scratch: &mut Vec<u8>) -> Result<Option<Request>, Reject> {
     let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD {
             return Err(Reject::new(
@@ -174,7 +184,9 @@ pub fn try_parse(buf: &mut Vec<u8>) -> Result<Option<Request>, Reject> {
     if buf.len() < body_start + content_length {
         return Ok(None); // body not fully arrived yet
     }
-    let body = buf[body_start..body_start + content_length].to_vec();
+    scratch.clear();
+    scratch.extend_from_slice(&buf[body_start..body_start + content_length]);
+    let body = std::mem::take(scratch);
     let req = Request {
         method: method.to_string(),
         path: path.to_string(),
@@ -211,7 +223,53 @@ pub fn write_response_ex<W: Write>(
     close: bool,
     retry_after_s: Option<u64>,
 ) -> io::Result<()> {
-    let reason = match status {
+    let retry = match retry_after_s {
+        Some(s) => format!("Retry-After: {s}\r\n"),
+        None => String::new(),
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+        reason = reason(status),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Serialize one complete response (head + body) into `out` without any
+/// I/O — the event-driven scheduler appends into a per-connection output
+/// buffer it flushes nonblockingly, so responses survive a peer that
+/// stalls mid-read.
+pub fn write_response_into(
+    out: &mut Vec<u8>,
+    status: u16,
+    body: &str,
+    close: bool,
+    retry_after_s: Option<u64>,
+) {
+    out.reserve(128 + body.len());
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    if let Some(s) = retry_after_s {
+        let _ = write!(out, "Retry-After: {s}\r\n");
+    }
+    out.extend_from_slice(if close {
+        b"Connection: close\r\n\r\n"
+    } else {
+        b"Connection: keep-alive\r\n\r\n"
+    });
+    out.extend_from_slice(body.as_bytes());
+}
+
+/// Canonical reason phrase for the statuses this API emits.
+fn reason(status: u16) -> &'static str {
+    match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
@@ -224,19 +282,7 @@ pub fn write_response_ex<W: Write>(
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
-    };
-    let retry = match retry_after_s {
-        Some(s) => format!("Retry-After: {s}\r\n"),
-        None => String::new(),
-    };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
-        body.len(),
-        if close { "close" } else { "keep-alive" }
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -482,6 +528,138 @@ pub fn request(
     Ok((status, body))
 }
 
+/// A persistent keep-alive HTTP/1.1 client connection for load
+/// generation and tests: send any number of requests (pipelining
+/// allowed — `send` never reads), then collect responses in order with
+/// `recv`/`try_recv`. Responses are framed by `Content-Length`, so
+/// leftover bytes after one response stay buffered for the next.
+pub struct ClientConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+}
+
+impl ClientConn {
+    /// Connect with TCP_NODELAY and a read deadline (default 30 s).
+    pub fn connect(addr: &str) -> io::Result<ClientConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        Ok(ClientConn {
+            stream,
+            rbuf: Vec::new(),
+        })
+    }
+
+    /// Change the read deadline (`try_recv` uses it as its poll slice).
+    pub fn set_read_timeout(&mut self, d: std::time::Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(d))
+    }
+
+    /// Write one keep-alive request; does not wait for the response.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<()> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Block until the next in-order response arrives; returns
+    /// `(status, body)`.
+    pub fn recv(&mut self) -> io::Result<(u16, String)> {
+        loop {
+            if let Some(resp) = self.parse_buffered()? {
+                return Ok(resp);
+            }
+            self.fill(true)?;
+        }
+    }
+
+    /// Nonblocking-ish receive: returns `Ok(None)` when no complete
+    /// response is buffered and the read deadline passes without bytes.
+    pub fn try_recv(&mut self) -> io::Result<Option<(u16, String)>> {
+        if let Some(resp) = self.parse_buffered()? {
+            return Ok(Some(resp));
+        }
+        match self.fill(false) {
+            Ok(()) => self.parse_buffered(),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One round trip: send, then wait for the response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
+
+    /// Read more bytes into `rbuf`; with `must_progress`, a timeout is an
+    /// error (for `recv`), otherwise it is a quiet no-op (for `try_recv`).
+    fn fill(&mut self, must_progress: bool) -> io::Result<()> {
+        let mut chunk = [0_u8; 16 << 10];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            )),
+            Ok(n) => {
+                self.rbuf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+            Err(e)
+                if !must_progress
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Pop one complete response off the front of `rbuf`, if present.
+    fn parse_buffered(&mut self) -> io::Result<Option<(u16, String)>> {
+        let Some(head_end) = find_head_end(&self.rbuf) else {
+            return Ok(None);
+        };
+        let head = String::from_utf8_lossy(&self.rbuf[..head_end]).into_owned();
+        let status: u16 = head
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "bad response status line")
+            })?;
+        let content_length = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse::<usize>().ok())?
+            })
+            .unwrap_or(0);
+        let total = head_end + 4 + content_length;
+        if self.rbuf.len() < total {
+            return Ok(None);
+        }
+        let body = String::from_utf8_lossy(&self.rbuf[head_end + 4..total]).into_owned();
+        self.rbuf.drain(..total);
+        Ok(Some((status, body)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +781,35 @@ mod tests {
     fn parse_object_decodes_escapes() {
         let m = parse_object(r#"{"k":"a\"b\\c\ndA"}"#).unwrap();
         assert_eq!(m["k"].as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn try_parse_with_recycles_the_body_allocation() {
+        let mut scratch = Vec::with_capacity(4096);
+        scratch.extend_from_slice(b"stale bytes from the last request");
+        let cap_before = scratch.capacity();
+        let mut buf = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd".to_vec();
+        let mut req = try_parse_with(&mut buf, &mut scratch).unwrap().unwrap();
+        assert_eq!(req.body, b"abcd", "stale scratch content must not leak");
+        assert!(scratch.is_empty(), "request took over the scratch buffer");
+        // The serve loop hands the allocation back for the next request.
+        scratch = std::mem::take(&mut req.body);
+        assert_eq!(scratch.capacity(), cap_before, "allocation is recycled");
+    }
+
+    #[test]
+    fn write_response_into_matches_the_streaming_writer() {
+        for (status, close, retry) in [(200, false, None), (503, true, Some(3_u64))] {
+            let mut streamed = Vec::new();
+            write_response_ex(&mut streamed, status, "{\"x\":1}", close, retry).unwrap();
+            let mut buffered = Vec::new();
+            write_response_into(&mut buffered, status, "{\"x\":1}", close, retry);
+            assert_eq!(
+                String::from_utf8_lossy(&buffered),
+                String::from_utf8_lossy(&streamed),
+                "status {status}"
+            );
+        }
     }
 
     #[test]

@@ -13,9 +13,12 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone)]
 pub struct Limits {
     /// Hard cap on concurrent connections; excess connects get an
-    /// immediate 503 and are never queued.
+    /// immediate 503 and are never queued. Each parked connection costs
+    /// a few hundred bytes plus pooled buffers, so values in the
+    /// thousands are practical.
     pub max_conns: usize,
-    /// Bound on the connection rotation queue; accepts beyond it shed.
+    /// Bound on connections parked on the readiness poller awaiting
+    /// events or deadlines; accepts beyond it shed with a 503.
     pub max_queue: usize,
     /// Shed a release when its estimated queue wait exceeds this.
     pub max_wait: Duration,
@@ -35,8 +38,8 @@ pub struct Limits {
 impl Default for Limits {
     fn default() -> Self {
         Self {
-            max_conns: 256,
-            max_queue: 128,
+            max_conns: 1024,
+            max_queue: 1024,
             max_wait: Duration::from_secs(2),
             header_timeout: Duration::from_secs(2),
             idle_timeout: Duration::from_secs(30),

@@ -22,11 +22,16 @@
 //!   a short window into one `Plan::execute`; every joiner still reserves
 //!   its own ε (sharing one released value with more recipients is
 //!   post-processing and costs nothing extra against the data).
-//! - [`server`] — the rotation-scheduled worker pool, router, and
-//!   endpoints: `POST /v1/release`, `GET /v1/tenants/:id/budget`,
-//!   `GET /v1/status`, `GET /v1/healthz`, `GET /v1/readyz`,
-//!   `POST /v1/admin/reload`. Connections rotate through a shared queue
-//!   of nonblocking sockets, so a slow or idle peer never pins a worker.
+//! - [`poller`] — the readiness layer: a raw `extern "C"` epoll binding
+//!   on Linux (one-shot events, any worker can wait), a serialized
+//!   `poll(2)` fallback for other unixes, a dependency-free timer wheel
+//!   for connection deadlines, and a self-pipe wakeup.
+//! - [`server`] — the event-driven worker pool, router, and endpoints:
+//!   `POST /v1/release`, `GET /v1/tenants/:id/budget`, `GET /v1/status`,
+//!   `GET /v1/healthz`, `GET /v1/readyz`, `POST /v1/admin/reload`.
+//!   Connections park on the poller between requests, so a slow or idle
+//!   peer costs a wakeup per byte — never a pinned worker or a scan
+//!   cadence.
 //! - [`limits`] — the hostile-world knobs: connection caps, header/idle/
 //!   write deadlines, admission-queue bounds, and per-tenant token-bucket
 //!   rate limits. Violations answer with clean 408/413/429/431/503 (see
@@ -51,6 +56,7 @@ pub mod fault;
 pub mod http;
 pub mod journal;
 pub mod limits;
+pub mod poller;
 pub mod server;
 pub mod shutdown;
 
@@ -61,4 +67,5 @@ pub use batcher::Batcher;
 pub use fault::{AppendFault, FaultyIo};
 pub use journal::{FileIo, JournalIo, JournalOp, JournalRecord, SpendJournal};
 pub use limits::{Limits, RateLimit, RateLimiter};
+pub use poller::{Backend, Poller, TimerWheel};
 pub use server::{start, ServeConfig, ServerHandle};

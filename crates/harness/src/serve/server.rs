@@ -1,26 +1,31 @@
-//! The release server: datasets loaded at startup, a rotation-scheduled
+//! The release server: datasets loaded at startup, an event-driven
 //! worker pool over the hand-rolled HTTP layer, and six endpoints.
 //!
 //! | Endpoint | Semantics |
 //! |---|---|
 //! | `POST /v1/release` | shed check → rate limit → reserve ε → (batched) `Plan::execute` → JSON release |
 //! | `GET /v1/tenants/:id/budget` | the tenant's live balance |
-//! | `GET /v1/status` | uptime, per-mechanism counts, plan-cache/batcher/robustness counters |
+//! | `GET /v1/status` | uptime, per-mechanism counts, plan-cache/batcher/poller/robustness counters |
 //! | `GET /v1/healthz` | liveness: 200 whenever the process can answer |
 //! | `GET /v1/readyz` | readiness: 503 while draining, at the connection cap, or overloaded |
 //! | `POST /v1/admin/reload` | re-read `--tenant-config` and apply grants without restart |
 //!
 //! ## Scheduling
 //!
-//! Workers do not own connections; connections **rotate**. Every accepted
-//! socket is nonblocking and lives in a shared queue; a worker pops one,
-//! drains whatever bytes have arrived, serves any complete requests, and
-//! either requeues it or closes it. A slowloris client dribbling one byte
-//! a second therefore costs one queue slot and a few syscalls per
-//! rotation — never a pinned worker — and its 408 fires from whichever
-//! worker touches it after the deadline. Deadlines and caps live in
-//! [`Limits`]; violations answer with clean 408/413/429/431/503 per the
-//! error contract in the README.
+//! Workers do not own connections; connections are **parked** on a
+//! readiness [`Poller`] (`epoll` on Linux, `poll(2)` on other unixes —
+//! see [`super::poller`]). The listener and every parked socket register
+//! one-shot read/write interest; workers block on `poller.wait()` and
+//! each delivered event hands exactly one connection to exactly one
+//! worker, which drains arrived bytes, serves any complete requests,
+//! queues response bytes for nonblocking flush, and re-parks. A
+//! slowloris client dribbling one byte a second therefore costs one
+//! wakeup per byte — never a pinned worker, never a polling cadence —
+//! and its 408 fires from the [`TimerWheel`]: every parked connection
+//! arms a deadline (write/partial/idle) keyed by the next-expiry
+//! instant, so reaping is exact rather than cadence-quantized.
+//! Deadlines and caps live in [`Limits`]; violations answer with clean
+//! 408/413/429/431/503 per the error contract in the README.
 //!
 //! Release flow: load shedding and rate limiting run **before**
 //! admission ([`TenantAccountant::reserve`] — atomic check-and-reserve,
@@ -29,12 +34,15 @@
 //! settlement. Plans come from one [`PlanCache`] shared by all workers;
 //! executions of the same (mechanism, domain, workload, dataset, ε)
 //! arriving within the batch window share one noise draw through the
-//! [`Batcher`].
+//! [`Batcher`]. Per-connection buffers (read, body, response, output)
+//! are pooled across keep-alive requests, so the steady-state request
+//! path allocates only inside the mechanism itself.
 
 use super::accountant::{parse_tenant_grants, AdmissionError, ReloadOutcome, TenantAccountant};
 use super::batcher::Batcher;
 use super::http::{self, JsonValue, Request};
 use super::limits::{Limits, RateLimiter};
+use super::poller::{Backend, Event, Interest, Poller, TimerWheel};
 use super::shutdown;
 use crate::config::WorkloadSpec;
 use crate::runner::PlanCache;
@@ -45,14 +53,22 @@ use dpbench_core::{
     scaled_per_query_error, DataVector, Domain, Fingerprint, Loss, Release, Workload, Workspace,
 };
 use dpbench_datasets::{catalog, DataGenerator};
-use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The listener's poller token; connection tokens start above it.
+const LISTENER_TOKEN: u64 = 0;
+
+/// Cap on any single `poller.wait` so workers notice the stop flag and
+/// process signals promptly even when no deadline is near.
+const STOP_POLL: Duration = Duration::from_millis(50);
 
 /// Server configuration (the CLI builds this from `dpbench serve` flags).
 #[derive(Debug, Clone)]
@@ -78,6 +94,10 @@ pub struct ServeConfig {
     pub batch_window: Duration,
     /// Connection caps, deadlines, and rate limits.
     pub limits: Limits,
+    /// Readiness backend (`Auto` resolves to epoll on Linux, `poll(2)`
+    /// on other unixes). `Poll` forces the portable fallback — the
+    /// fallback test suite runs the full hostile contract against it.
+    pub poller: Backend,
     /// Seed stirred into data generation and release noise.
     pub seed: u64,
     /// Operator opt-in: include the SLO error block (scaled L1/L2 vs the
@@ -100,6 +120,7 @@ impl Default for ServeConfig {
             threads: 4,
             batch_window: Duration::ZERO,
             limits: Limits::default(),
+            poller: Backend::Auto,
             seed: 0,
             slo: false,
             verbose: false,
@@ -123,7 +144,7 @@ type YTrueMemo = Mutex<HashMap<(String, u64), Arc<Vec<f64>>>>;
 pub struct Robustness {
     /// Connects refused at the concurrent-connection cap.
     pub shed_conns: AtomicU64,
-    /// Connects refused because the rotation queue was full.
+    /// Connects refused because the parked-connection set was full.
     pub shed_queue: AtomicU64,
     /// Releases shed because the estimated queue wait was too long.
     pub shed_wait: AtomicU64,
@@ -138,52 +159,86 @@ pub struct Robustness {
     pub rejects: AtomicU64,
 }
 
-/// One live connection parked in (or rotating through) the queue.
+/// One live connection, either parked in the readiness map or being
+/// serviced by exactly one worker. All buffers are pooled across the
+/// connection's keep-alive lifetime.
 struct Conn {
     stream: TcpStream,
+    /// The poller/timer token (unique for the server's lifetime — fd
+    /// reuse after close can never alias a stale event to a new conn).
+    token: u64,
+    /// Accumulated inbound bytes not yet parsed.
     buf: Vec<u8>,
+    /// Recycled request-body allocation (see [`http::try_parse_with`]).
+    body_scratch: Vec<u8>,
+    /// Recycled response-body build buffer.
+    resp_body: String,
+    /// Serialized response bytes not yet written to the socket.
+    out: Vec<u8>,
+    /// How much of `out` has been written.
+    out_pos: usize,
     /// Last time bytes arrived or a request was served (idle reaping).
     last_activity: Instant,
     /// Set while an incomplete request sits in `buf` (408 deadline).
     partial_since: Option<Instant>,
+    /// Set while a response is stuck behind a slow-reading peer.
+    write_since: Option<Instant>,
+    /// Close once `out` is fully flushed.
+    close_after_flush: bool,
 }
 
-/// The connection rotation queue: a condvar-signalled deque shared by
-/// the accept loop (pushes fresh sockets) and every worker (pops, serves
-/// a slice, requeues).
-struct ConnQueue {
-    q: Mutex<VecDeque<Conn>>,
-    ready: Condvar,
-}
-
-impl ConnQueue {
-    fn new() -> Self {
+impl Conn {
+    fn new(stream: TcpStream, token: u64) -> Self {
         Self {
-            q: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
+            stream,
+            token,
+            buf: Vec::new(),
+            body_scratch: Vec::new(),
+            resp_body: String::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            last_activity: Instant::now(),
+            partial_since: None,
+            write_since: None,
+            close_after_flush: false,
         }
     }
 
-    fn push(&self, conn: Conn) {
-        self.q.lock().expect("conn queue poisoned").push_back(conn);
-        self.ready.notify_one();
+    /// Unwritten response bytes pending on this connection.
+    fn pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
     }
 
-    fn pop(&self, timeout: Duration) -> Option<Conn> {
-        let mut q = self.q.lock().expect("conn queue poisoned");
-        if let Some(c) = q.pop_front() {
-            return Some(c);
+    /// The earliest deadline this connection is on: flush-to-peer, then
+    /// partial-request (408), then keep-alive idle.
+    fn next_deadline(&self, limits: &Limits) -> Instant {
+        if self.pending_out() {
+            self.write_since.unwrap_or_else(Instant::now) + limits.write_timeout
+        } else if let Some(t) = self.partial_since {
+            t + limits.header_timeout
+        } else {
+            self.last_activity + limits.idle_timeout
         }
-        let (mut q, _) = self
-            .ready
-            .wait_timeout(q, timeout)
-            .expect("conn queue poisoned");
-        q.pop_front()
     }
 
-    fn len(&self) -> usize {
-        self.q.lock().expect("conn queue poisoned").len()
+    /// The readiness the connection is waiting on.
+    fn interest(&self) -> Interest {
+        if self.pending_out() {
+            Interest::WRITE
+        } else {
+            Interest::READ
+        }
     }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(s: &T) -> i32 {
+    s.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_s: &T) -> i32 {
+    0 // the Sim backend never touches real fds
 }
 
 /// Shared state of a running server — exposed through
@@ -201,7 +256,16 @@ pub struct ServerState {
     batcher: Batcher<Release>,
     rate_limiter: Option<RateLimiter>,
     tenant_config: Option<PathBuf>,
-    queue: Arc<ConnQueue>,
+    /// The readiness poller every worker blocks on.
+    poller: Poller,
+    /// Deadline timers for every parked connection.
+    wheel: TimerWheel,
+    /// Parked connections by token; taking one out of the map is the
+    /// exclusive claim to service it.
+    parked: Mutex<HashMap<u64, Conn>>,
+    /// Monotonic token source (never reused; starts above the listener).
+    next_token: AtomicU64,
+    listener: TcpListener,
     domain: Domain,
     scale: u64,
     threads: usize,
@@ -217,9 +281,6 @@ pub struct ServerState {
     inflight: AtomicUsize,
     /// EWMA of successful release service time, microseconds.
     ewma_us: AtomicU64,
-    /// Bumped whenever any connection makes progress — the workers'
-    /// anti-spin damper watches it.
-    progress_epoch: AtomicU64,
     stopping: AtomicBool,
     mech_counts: Mutex<HashMap<String, u64>>,
     workload_memo: Mutex<HashMap<(u8, usize), Arc<Workload>>>,
@@ -240,6 +301,15 @@ impl ServerState {
         let old = self.ewma_us.load(Ordering::Relaxed);
         let new = if old == 0 { us } else { old - old / 8 + us / 8 };
         self.ewma_us.store(new, Ordering::Relaxed);
+    }
+
+    fn parked_len(&self) -> usize {
+        self.parked.lock().expect("parked map poisoned").len()
+    }
+
+    /// Live readiness-poller counters (also in `/v1/status`).
+    pub fn poller_stats(&self) -> super::poller::PollerStats {
+        self.poller.stats()
     }
 
     /// Re-read the tenant-config file and apply the grants (see
@@ -294,6 +364,7 @@ impl ServerHandle {
     pub fn shutdown(self) -> io::Result<()> {
         self.stop.store(true, Ordering::SeqCst);
         self.state.stopping.store(true, Ordering::SeqCst);
+        self.state.poller.wake();
         for join in self.joins {
             let _ = join.join();
         }
@@ -338,7 +409,12 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         datasets.insert(name.clone(), LoadedDataset { x });
     }
     let accountant = TenantAccountant::new(&config.tenants, config.journal.as_deref())?;
-    let queue = Arc::new(ConnQueue::new());
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new(config.poller)?;
+    poller.register(raw_fd(&listener), LISTENER_TOKEN, Interest::READ)?;
+
     let state = Arc::new(ServerState {
         accountant,
         plan_cache: PlanCache::new(),
@@ -346,7 +422,11 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         rate_limiter: config.limits.rate_limit.map(RateLimiter::new),
         limits: config.limits.clone(),
         tenant_config: config.tenant_config.clone(),
-        queue: Arc::clone(&queue),
+        poller,
+        wheel: TimerWheel::new(),
+        parked: Mutex::new(HashMap::new()),
+        next_token: AtomicU64::new(LISTENER_TOKEN + 1),
+        listener,
         datasets,
         batcher: Batcher::new(config.batch_window),
         domain: config.domain,
@@ -361,98 +441,18 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         conn_count: AtomicUsize::new(0),
         inflight: AtomicUsize::new(0),
         ewma_us: AtomicU64::new(0),
-        progress_epoch: AtomicU64::new(0),
         stopping: AtomicBool::new(false),
         mech_counts: Mutex::new(HashMap::new()),
         workload_memo: Mutex::new(HashMap::new()),
         y_true_memo: Mutex::new(HashMap::new()),
     });
 
-    let listener = TcpListener::bind(&config.addr)?;
-    let addr = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let mut joins = Vec::with_capacity(config.threads + 1);
-
-    // Accept loop: non-blocking accept with exponential idle backoff
-    // (1 → 16 ms) — an idle server sleeps instead of burning a core,
-    // while a busy one accepts with ~1 ms latency. Caps are enforced
-    // here: a connect beyond --max-conns / --max-queue gets a one-shot
-    // 503 with Retry-After and is never queued.
-    {
+    let mut joins = Vec::with_capacity(state.threads);
+    for _ in 0..state.threads {
         let stop = Arc::clone(&stop);
         let state = Arc::clone(&state);
-        let queue = Arc::clone(&queue);
-        joins.push(std::thread::spawn(move || {
-            let mut idle_backoff = Duration::from_millis(1);
-            loop {
-                if stop.load(Ordering::SeqCst) || shutdown::requested() {
-                    break; // workers drain the queue, then exit
-                }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        idle_backoff = Duration::from_millis(1);
-                        admit_conn(stream, &state, &queue);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(idle_backoff);
-                        idle_backoff = (idle_backoff * 2).min(Duration::from_millis(16));
-                    }
-                    Err(_) => std::thread::sleep(idle_backoff),
-                }
-            }
-        }));
-    }
-
-    for _ in 0..config.threads.max(1) {
-        let stop = Arc::clone(&stop);
-        let state = Arc::clone(&state);
-        let queue = Arc::clone(&queue);
-        joins.push(std::thread::spawn(move || {
-            // Per-worker scratch, reused across every request this worker
-            // serves (same discipline as the grid runner's workers).
-            let mut ws = Workspace::new();
-            // Anti-spin damper: when a full rotation over the parked
-            // connections makes no progress anywhere, sleep briefly
-            // instead of re-polling the same idle sockets in a hot loop.
-            let mut fruitless = 0_usize;
-            let mut seen_epoch = state.progress_epoch.load(Ordering::Relaxed);
-            loop {
-                let stopping = stop.load(Ordering::SeqCst) || shutdown::requested();
-                if stopping {
-                    state.stopping.store(true, Ordering::SeqCst);
-                }
-                match queue.pop(Duration::from_millis(50)) {
-                    Some(mut conn) => match service_conn(&mut conn, &state, stopping, &mut ws) {
-                        Fate::Keep { progressed } => {
-                            if progressed {
-                                state.progress_epoch.fetch_add(1, Ordering::Relaxed);
-                                fruitless = 0;
-                            } else {
-                                fruitless += 1;
-                                if fruitless >= queue.len().max(4) {
-                                    let epoch = state.progress_epoch.load(Ordering::Relaxed);
-                                    if epoch == seen_epoch {
-                                        std::thread::sleep(Duration::from_millis(2));
-                                    }
-                                    seen_epoch = epoch;
-                                    fruitless = 0;
-                                }
-                            }
-                            queue.push(conn);
-                        }
-                        Fate::Close => {
-                            state.conn_count.fetch_sub(1, Ordering::Relaxed);
-                        }
-                    },
-                    None => {
-                        if stopping {
-                            break;
-                        }
-                    }
-                }
-            }
-        }));
+        joins.push(std::thread::spawn(move || worker_loop(&state, &stop)));
     }
 
     Ok(ServerHandle {
@@ -463,11 +463,142 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     })
 }
 
+/// One event-driven worker: block on the poller (timeout capped at the
+/// next timer-wheel deadline), service whatever readiness or expiry it
+/// is handed, re-park or close, repeat. There is no accept thread and no
+/// rotation cadence — an idle server makes zero syscalls between
+/// wakeups.
+fn worker_loop(state: &ServerState, stop: &AtomicBool) {
+    // Per-worker scratch, reused across every request this worker serves
+    // (same discipline as the grid runner's workers).
+    let mut ws = Workspace::new();
+    let mut events: Vec<Event> = Vec::with_capacity(64);
+    let mut due: Vec<u64> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) || shutdown::requested() {
+            state.stopping.store(true, Ordering::SeqCst);
+            // Cascade the stop to the other blocked workers, then drain.
+            state.poller.wake();
+            drain_on_stop(state, &mut ws);
+            break;
+        }
+        let timeout = state
+            .wheel
+            .next_deadline()
+            .map(|at| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(STOP_POLL)
+            .min(STOP_POLL);
+        events.clear();
+        if state.poller.wait(&mut events, timeout).is_err() {
+            // A broken wait must not become a hot loop.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        let mut handled = 0_usize;
+        for ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                accept_ready(state);
+                handled += 1;
+            } else if let Some(conn) = take_parked(state, ev.token) {
+                // A map miss is a stale event (conn closed or already
+                // claimed via its timer) — drop it.
+                dispatch(state, conn, &mut ws);
+                handled += 1;
+            }
+        }
+        due.clear();
+        state.wheel.pop_due(Instant::now(), &mut due);
+        if !due.is_empty() {
+            state.poller.note_timer_fires(due.len() as u64);
+        }
+        for &token in &due {
+            if let Some(conn) = take_parked(state, token) {
+                // The service slice re-checks the deadline against live
+                // state: bytes that raced the expiry simply get served.
+                dispatch(state, conn, &mut ws);
+                handled += 1;
+            }
+        }
+        if handled == 0 {
+            state.poller.note_spurious();
+        }
+    }
+}
+
+/// Remove a connection from the parked map, claiming it exclusively;
+/// cancels its pending deadline.
+fn take_parked(state: &ServerState, token: u64) -> Option<Conn> {
+    let conn = state
+        .parked
+        .lock()
+        .expect("parked map poisoned")
+        .remove(&token)?;
+    state.wheel.cancel(token);
+    Some(conn)
+}
+
+/// Service one claimed connection, then re-park or close it.
+fn dispatch(state: &ServerState, mut conn: Conn, ws: &mut Workspace) {
+    let stopping = state.stopping.load(Ordering::SeqCst);
+    match service_conn(&mut conn, state, stopping, ws) {
+        Fate::Keep => park(state, conn),
+        Fate::Close => close_conn(state, conn),
+    }
+}
+
+/// Park a serviced connection: into the map first (so a delivered event
+/// always finds it), deadline armed second, readiness re-armed last —
+/// this ordering is what makes a wakeup between any two steps harmless.
+fn park(state: &ServerState, conn: Conn) {
+    let token = conn.token;
+    let fd = raw_fd(&conn.stream);
+    let interest = conn.interest();
+    let deadline = conn.next_deadline(&state.limits);
+    state
+        .parked
+        .lock()
+        .expect("parked map poisoned")
+        .insert(token, conn);
+    state.wheel.arm(token, deadline);
+    if state.poller.rearm(fd, token, interest).is_err() {
+        // Unwatchable connection: nothing will ever wake it — close it.
+        if let Some(conn) = take_parked(state, token) {
+            close_conn(state, conn);
+        }
+    }
+}
+
+/// Close a claimed connection and release its resources.
+fn close_conn(state: &ServerState, conn: Conn) {
+    state.poller.deregister(raw_fd(&conn.stream), conn.token);
+    state.conn_count.fetch_sub(1, Ordering::Relaxed);
+    // The stream drops (and the fd closes) here.
+}
+
+/// Accept every pending connect, then re-arm the listener. Any worker
+/// can handle the listener's readiness event; one-shot delivery means
+/// exactly one does.
+fn accept_ready(state: &ServerState) {
+    loop {
+        match state.listener.accept() {
+            Ok((stream, _)) => admit_conn(stream, state),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    if !state.stopping.load(Ordering::SeqCst) {
+        let _ = state
+            .poller
+            .rearm(raw_fd(&state.listener), LISTENER_TOKEN, Interest::READ);
+    }
+}
+
 /// Admit (or shed) one freshly-accepted connection.
-fn admit_conn(stream: TcpStream, state: &ServerState, queue: &ConnQueue) {
+fn admit_conn(stream: TcpStream, state: &ServerState) {
     let limits = &state.limits;
     let over_conns = state.conn_count.load(Ordering::Relaxed) >= limits.max_conns;
-    let over_queue = queue.len() >= limits.max_queue;
+    let over_queue = state.parked_len() >= limits.max_queue;
     if over_conns || over_queue {
         if over_conns {
             state.robust.shed_conns.fetch_add(1, Ordering::Relaxed);
@@ -475,7 +606,7 @@ fn admit_conn(stream: TcpStream, state: &ServerState, queue: &ConnQueue) {
             state.robust.shed_queue.fetch_add(1, Ordering::Relaxed);
         }
         // Best-effort one-shot 503: a short write deadline so a client
-        // that refuses to read can't stall the accept loop.
+        // that refuses to read can't stall the accepting worker.
         let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
         let mut s = &stream;
         let _ = http::write_response_ex(
@@ -492,37 +623,86 @@ fn admit_conn(stream: TcpStream, state: &ServerState, queue: &ConnQueue) {
             true,
             Some(1),
         );
-        return; // dropped, never queued
+        return; // dropped, never parked
     }
     state.conn_count.fetch_add(1, Ordering::Relaxed);
-    state.progress_epoch.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_nonblocking(true);
-    queue.push(Conn {
-        stream,
-        buf: Vec::new(),
-        last_activity: Instant::now(),
-        partial_since: None,
-    });
+    let token = state.next_token.fetch_add(1, Ordering::Relaxed);
+    let conn = Conn::new(stream, token);
+    let fd = raw_fd(&conn.stream);
+    let deadline = conn.next_deadline(&state.limits);
+    state
+        .parked
+        .lock()
+        .expect("parked map poisoned")
+        .insert(token, conn);
+    state.wheel.arm(token, deadline);
+    if state.poller.register(fd, token, Interest::READ).is_err() {
+        if let Some(conn) = take_parked(state, token) {
+            close_conn(state, conn);
+        }
+    }
+}
+
+/// Shutdown drain: claim every parked connection, serve whatever
+/// complete requests it already buffered, flush (bounded, blocking —
+/// the last response must not be torn by shutdown), and close.
+fn drain_on_stop(state: &ServerState, ws: &mut Workspace) {
+    loop {
+        let token = {
+            let parked = state.parked.lock().expect("parked map poisoned");
+            parked.keys().next().copied()
+        };
+        let Some(token) = token else { break };
+        let Some(mut conn) = take_parked(state, token) else {
+            continue; // another draining worker got it first
+        };
+        if matches!(service_conn(&mut conn, state, true, ws), Fate::Keep) {
+            // Response bytes still pending for a live peer.
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn
+                .stream
+                .set_write_timeout(Some(state.limits.write_timeout));
+            let mut s = &conn.stream;
+            let _ = s.write_all(&conn.out[conn.out_pos..]);
+        }
+        close_conn(state, conn);
+    }
 }
 
 /// What a worker should do with a connection after one service slice.
 enum Fate {
-    /// Requeue for the next rotation.
-    Keep {
-        /// Whether this slice read bytes or served a request (the
-        /// anti-spin damper input).
-        progressed: bool,
-    },
-    /// Drop the connection (count is decremented by the caller).
+    /// Re-park on the poller until readiness or a deadline.
+    Keep,
+    /// Drop the connection (the caller closes and decrements the count).
     Close,
 }
 
-/// One service slice: drain arrived bytes, serve every complete request,
-/// enforce deadlines. Never blocks on reads — writes use a bounded
-/// deadline — so a slow peer can only waste its own slice.
+/// One service slice: flush pending output, drain arrived bytes, serve
+/// every complete request into the pooled buffers, flush again, enforce
+/// deadlines. Never blocks — a slow peer costs exactly one wakeup.
 fn service_conn(conn: &mut Conn, state: &ServerState, stopping: bool, ws: &mut Workspace) -> Fate {
     let limits = &state.limits;
+
+    // 0. Finish any response the peer stalled on before reading more.
+    match try_flush(conn) {
+        Flush::Done => {}
+        Flush::Pending => {
+            if conn
+                .write_since
+                .is_some_and(|t| t.elapsed() > limits.write_timeout)
+            {
+                return Fate::Close; // peer stopped reading: cut it loose
+            }
+            return Fate::Keep;
+        }
+        Flush::Error => return Fate::Close,
+    }
+    if conn.close_after_flush {
+        return Fate::Close;
+    }
+
     // 1. Drain whatever bytes have arrived (nonblocking).
     let mut eof = false;
     let mut progressed = false;
@@ -548,42 +728,57 @@ fn service_conn(conn: &mut Conn, state: &ServerState, stopping: bool, ws: &mut W
 
     // 2. Serve every complete request already buffered (including, on a
     // half-closed connection, requests that arrived before the FIN).
+    // Responses accumulate in `out` — pipelined requests flush as one
+    // write.
     loop {
-        match http::try_parse(&mut conn.buf) {
-            Ok(Some(req)) => {
-                progressed = true;
+        match http::try_parse_with(&mut conn.buf, &mut conn.body_scratch) {
+            Ok(Some(mut req)) => {
                 conn.partial_since = None;
                 conn.last_activity = Instant::now();
-                let resp = route(state, &req, ws, stopping);
                 let close = req.wants_close() || stopping;
+                conn.resp_body.clear();
+                let meta = route(state, &req, ws, stopping, &mut conn.resp_body);
                 if state.verbose {
-                    eprintln!("[serve] {} {} -> {}", req.method, req.path, resp.status);
+                    eprintln!("[serve] {} {} -> {}", req.method, req.path, meta.status);
                 }
-                if send_response(
-                    conn,
-                    state,
-                    resp.status,
-                    &resp.body,
+                // Hand the body allocation back for the next request.
+                conn.body_scratch = std::mem::take(&mut req.body);
+                http::write_response_into(
+                    &mut conn.out,
+                    meta.status,
+                    &conn.resp_body,
                     close,
-                    resp.retry_after,
-                )
-                .is_err()
-                    || close
-                {
-                    return Fate::Close;
+                    meta.retry_after,
+                );
+                if close {
+                    conn.close_after_flush = true;
+                    break;
                 }
             }
             Ok(None) => break,
             Err(rej) => {
                 state.robust.rejects.fetch_add(1, Ordering::Relaxed);
-                let body = error_json(rej.code, &rej.detail);
-                let _ = send_response(conn, state, rej.status, &body, true, None);
-                return Fate::Close;
+                conn.resp_body.clear();
+                error_json_into(rej.code, &rej.detail, &mut conn.resp_body);
+                http::write_response_into(&mut conn.out, rej.status, &conn.resp_body, true, None);
+                conn.close_after_flush = true;
+                break;
             }
         }
     }
 
-    // 3. Deadlines. A partial request is on the 408 clock (slow headers
+    // 3. Push the accumulated responses out.
+    match try_flush(conn) {
+        Flush::Done => {
+            if conn.close_after_flush {
+                return Fate::Close;
+            }
+        }
+        Flush::Pending => return Fate::Keep, // parks with WRITE interest
+        Flush::Error => return Fate::Close,
+    }
+
+    // 4. Deadlines. A partial request is on the 408 clock (slow headers
     // and slow bodies alike); an empty buffer is on the idle clock.
     if eof || stopping {
         return Fate::Close;
@@ -598,158 +793,190 @@ fn service_conn(conn: &mut Conn, state: &ServerState, stopping: bool, ws: &mut W
         let since = *conn.partial_since.get_or_insert_with(Instant::now);
         if since.elapsed() > limits.header_timeout {
             state.robust.timeouts.fetch_add(1, Ordering::Relaxed);
-            let body = error_json("request_timeout", "request not completed in time");
-            let _ = send_response(conn, state, 408, &body, true, None);
-            return Fate::Close;
+            conn.resp_body.clear();
+            error_json_into(
+                "request_timeout",
+                "request not completed in time",
+                &mut conn.resp_body,
+            );
+            http::write_response_into(&mut conn.out, 408, &conn.resp_body, true, None);
+            conn.close_after_flush = true;
+            return match try_flush(conn) {
+                Flush::Done | Flush::Error => Fate::Close,
+                Flush::Pending => Fate::Keep,
+            };
         }
     }
-    Fate::Keep { progressed }
+    Fate::Keep
 }
 
-/// Write one response under the write deadline: the socket flips to
-/// blocking-with-timeout for the write, then back to nonblocking for the
-/// next rotation. A peer that stops reading turns into a clean write
-/// error (and a closed connection), not a pinned worker.
-fn send_response(
-    conn: &mut Conn,
-    state: &ServerState,
-    status: u16,
-    body: &str,
-    close: bool,
-    retry_after: Option<u64>,
-) -> io::Result<()> {
-    conn.stream.set_nonblocking(false)?;
-    conn.stream
-        .set_write_timeout(Some(state.limits.write_timeout))?;
-    let result = {
-        let mut s = &conn.stream;
-        http::write_response_ex(&mut s, status, body, close, retry_after)
-    };
-    if !close {
-        conn.stream.set_nonblocking(true)?;
+/// Result of a nonblocking flush attempt.
+enum Flush {
+    /// Everything written; `out` is reset.
+    Done,
+    /// The socket backed up; remaining bytes stay queued.
+    Pending,
+    /// The peer is gone.
+    Error,
+}
+
+/// Write as much of `out` as the socket accepts right now.
+fn try_flush(conn: &mut Conn) -> Flush {
+    while conn.pending_out() {
+        match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Flush::Error,
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // The write deadline starts when the peer first stalls.
+                conn.write_since.get_or_insert_with(Instant::now);
+                return Flush::Pending;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Flush::Error,
+        }
     }
-    result
+    conn.out.clear();
+    conn.out_pos = 0;
+    conn.write_since = None;
+    Flush::Done
 }
 
-/// One routed response.
-struct Resp {
+/// Status and retry hint of one routed response; the body is built in
+/// the connection's pooled buffer.
+struct RespMeta {
     status: u16,
-    body: String,
     retry_after: Option<u64>,
 }
 
-impl Resp {
-    fn new(status: u16, body: String) -> Self {
+impl RespMeta {
+    fn new(status: u16) -> Self {
         Self {
             status,
-            body,
             retry_after: None,
         }
     }
 
-    fn retry(status: u16, body: String, after_s: u64) -> Self {
+    fn retry(status: u16, after_s: u64) -> Self {
         Self {
             status,
-            body,
             retry_after: Some(after_s),
         }
     }
 }
 
-/// Dispatch one request to its endpoint.
-fn route(state: &ServerState, req: &Request, ws: &mut Workspace, stopping: bool) -> Resp {
+/// Replace `out` with a `{"error":code,...}` body and return the status.
+fn err_meta(out: &mut String, status: u16, code: &str, detail: &str) -> RespMeta {
+    out.clear();
+    error_json_into(code, detail, out);
+    RespMeta::new(status)
+}
+
+/// Dispatch one request to its endpoint; the response body is written
+/// into `out` (cleared by the caller).
+fn route(
+    state: &ServerState,
+    req: &Request,
+    ws: &mut Workspace,
+    stopping: bool,
+    out: &mut String,
+) -> RespMeta {
     state.requests.fetch_add(1, Ordering::Relaxed);
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/release") => handle_release(state, &req.body, ws),
-        ("POST", "/v1/admin/reload") => handle_reload(state),
-        ("GET", "/v1/status") => Resp::new(200, status_json(state)),
-        ("GET", "/v1/healthz") => Resp::new(200, "{\"ok\":true}".to_string()),
-        ("GET", "/v1/readyz") => handle_readyz(state, stopping),
+        ("POST", "/v1/release") => handle_release(state, &req.body, ws, out),
+        ("POST", "/v1/admin/reload") => handle_reload(state, out),
+        ("GET", "/v1/status") => {
+            out.push_str(&status_json(state));
+            RespMeta::new(200)
+        }
+        ("GET", "/v1/healthz") => {
+            out.push_str("{\"ok\":true}");
+            RespMeta::new(200)
+        }
+        ("GET", "/v1/readyz") => handle_readyz(state, stopping, out),
         ("GET", path) => {
             if let Some(tenant) = path
                 .strip_prefix("/v1/tenants/")
                 .and_then(|rest| rest.strip_suffix("/budget"))
             {
                 match state.accountant.snapshot(tenant) {
-                    Some(snap) => Resp::new(
-                        200,
-                        format!(
+                    Some(snap) => {
+                        let _ = write!(
+                            out,
                             "{{\"tenant\":\"{tenant}\",\"total\":{},\"spent\":{},\"remaining\":{},\"releases\":{}}}",
                             jf(snap.total),
                             jf(snap.spent),
                             jf(snap.remaining),
                             snap.releases
-                        ),
-                    ),
-                    None => Resp::new(404, error_json("unknown_tenant", tenant)),
+                        );
+                        RespMeta::new(200)
+                    }
+                    None => err_meta(out, 404, "unknown_tenant", tenant),
                 }
             } else {
-                Resp::new(404, error_json("not_found", path))
+                err_meta(out, 404, "not_found", path)
             }
         }
-        ("POST", path) => Resp::new(404, error_json("not_found", path)),
-        (method, _) => Resp::new(405, error_json("method_not_allowed", method)),
+        ("POST", path) => err_meta(out, 404, "not_found", path),
+        (method, _) => err_meta(out, 405, "method_not_allowed", method),
     }
 }
 
 /// `GET /v1/readyz`: degrade *before* collapse — a load balancer pulls
 /// this node while it still answers health checks.
-fn handle_readyz(state: &ServerState, stopping: bool) -> Resp {
+fn handle_readyz(state: &ServerState, stopping: bool, out: &mut String) -> RespMeta {
     if stopping || state.stopping.load(Ordering::SeqCst) {
-        return Resp::new(503, error_json("draining", "shutting down"));
+        return err_meta(out, 503, "draining", "shutting down");
     }
     let conns = state.conn_count.load(Ordering::Relaxed);
     if conns >= state.limits.max_conns {
-        return Resp::retry(
-            503,
-            error_json("at_connection_cap", "connection cap reached"),
-            1,
-        );
+        let meta = err_meta(out, 503, "at_connection_cap", "connection cap reached");
+        return RespMeta::retry(meta.status, 1);
     }
     let est_wait_ms = state.est_wait_ms();
     if est_wait_ms > state.limits.max_wait.as_secs_f64() * 1e3 {
-        return Resp::retry(
+        err_meta(
+            out,
             503,
-            error_json("overloaded", "estimated wait exceeds --max-wait-ms"),
-            retry_after_s(est_wait_ms),
+            "overloaded",
+            "estimated wait exceeds --max-wait-ms",
         );
+        return RespMeta::retry(503, retry_after_s(est_wait_ms));
     }
-    Resp::new(
-        200,
-        format!(
-            "{{\"ready\":true,\"conns\":{conns},\"est_wait_ms\":{}}}",
-            jf(est_wait_ms)
-        ),
-    )
+    let _ = write!(
+        out,
+        "{{\"ready\":true,\"conns\":{conns},\"est_wait_ms\":{}}}",
+        jf(est_wait_ms)
+    );
+    RespMeta::new(200)
 }
 
 /// `POST /v1/admin/reload`: re-read the tenant-config file and apply it.
-fn handle_reload(state: &ServerState) -> Resp {
+fn handle_reload(state: &ServerState, out: &mut String) -> RespMeta {
     if state.tenant_config.is_none() {
-        return Resp::new(
+        return err_meta(
+            out,
             409,
-            error_json(
-                "no_tenant_config",
-                "server was started without --tenant-config; nothing to reload",
-            ),
+            "no_tenant_config",
+            "server was started without --tenant-config; nothing to reload",
         );
     }
     match state.reload_tenants() {
-        Ok(outcome) => Resp::new(
-            200,
-            format!(
+        Ok(outcome) => {
+            let _ = write!(
+                out,
                 "{{\"reloaded\":true,\"added\":{},\"extended\":{},\"shrunk\":{},\"unchanged\":{},\"tenants\":{}}}",
                 outcome.added,
                 outcome.extended,
                 outcome.shrunk,
                 outcome.unchanged,
                 state.accountant.len()
-            ),
-        ),
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            Resp::new(400, error_json("bad_tenant_config", &e.to_string()))
+            );
+            RespMeta::new(200)
         }
-        Err(e) => Resp::new(500, error_json("reload_failed", &e.to_string())),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            err_meta(out, 400, "bad_tenant_config", &e.to_string())
+        }
+        Err(e) => err_meta(out, 500, "reload_failed", &e.to_string()),
     }
 }
 
@@ -760,51 +987,52 @@ fn retry_after_s(ms: f64) -> u64 {
 }
 
 /// `POST /v1/release`.
-fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> Resp {
+fn handle_release(
+    state: &ServerState,
+    body: &[u8],
+    ws: &mut Workspace,
+    out: &mut String,
+) -> RespMeta {
     let t0 = Instant::now();
     let parsed = std::str::from_utf8(body)
         .map_err(|_| "body is not UTF-8".to_string())
         .and_then(http::parse_object);
     let fields = match parsed {
         Ok(f) => f,
-        Err(e) => return Resp::new(400, error_json("bad_request", &e)),
+        Err(e) => return err_meta(out, 400, "bad_request", &e),
     };
     let str_field = |key: &str| fields.get(key).and_then(JsonValue::as_str);
 
     let Some(tenant) = str_field("tenant") else {
-        return Resp::new(400, error_json("bad_request", "missing \"tenant\""));
+        return err_meta(out, 400, "bad_request", "missing \"tenant\"");
     };
     let Some(dataset_name) = str_field("dataset") else {
-        return Resp::new(400, error_json("bad_request", "missing \"dataset\""));
+        return err_meta(out, 400, "bad_request", "missing \"dataset\"");
     };
     let Some(eps) = fields.get("eps").and_then(JsonValue::as_f64) else {
-        return Resp::new(400, error_json("bad_request", "missing numeric \"eps\""));
+        return err_meta(out, 400, "bad_request", "missing numeric \"eps\"");
     };
     if !(eps.is_finite() && eps > 0.0) {
-        return Resp::new(
-            400,
-            error_json("bad_request", "eps must be positive and finite"),
-        );
+        return err_meta(out, 400, "bad_request", "eps must be positive and finite");
     }
     if let Some(domain) = str_field("domain") {
         match crate::results::parse_domain(domain) {
             Some(d) if d == state.domain => {}
             _ => {
-                return Resp::new(
+                return err_meta(
+                    out,
                     400,
-                    error_json(
-                        "bad_request",
-                        &format!(
-                            "domain {domain} does not match the served domain {}",
-                            state.domain
-                        ),
+                    "bad_request",
+                    &format!(
+                        "domain {domain} does not match the served domain {}",
+                        state.domain
                     ),
                 )
             }
         }
     }
     let Some(data) = state.datasets.get(dataset_name) else {
-        return Resp::new(404, error_json("unknown_dataset", dataset_name));
+        return err_meta(out, 404, "unknown_dataset", dataset_name);
     };
 
     // Overload control — runs BEFORE any ε is charged, so a shed or
@@ -812,24 +1040,19 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> Resp 
     let est_wait_ms = state.est_wait_ms();
     if est_wait_ms > state.limits.max_wait.as_secs_f64() * 1e3 {
         state.robust.shed_wait.fetch_add(1, Ordering::Relaxed);
-        return Resp::retry(
-            503,
-            format!(
-                "{{\"error\":\"overloaded\",\"detail\":\"estimated wait {}ms exceeds limit\",\"est_wait_ms\":{}}}",
-                est_wait_ms.round(),
-                jf(est_wait_ms)
-            ),
-            retry_after_s(est_wait_ms),
+        let _ = write!(
+            out,
+            "{{\"error\":\"overloaded\",\"detail\":\"estimated wait {}ms exceeds limit\",\"est_wait_ms\":{}}}",
+            est_wait_ms.round(),
+            jf(est_wait_ms)
         );
+        return RespMeta::retry(503, retry_after_s(est_wait_ms));
     }
     if let Some(rl) = &state.rate_limiter {
         if let Err(wait_s) = rl.admit(tenant, Instant::now()) {
             state.robust.rate_limited.fetch_add(1, Ordering::Relaxed);
-            return Resp::retry(
-                429,
-                error_json("rate_limited", "per-tenant request rate exceeded"),
-                retry_after_s(wait_s * 1e3),
-            );
+            error_json_into("rate_limited", "per-tenant request rate exceeded", out);
+            return RespMeta::retry(429, retry_after_s(wait_s * 1e3));
         }
     }
 
@@ -847,15 +1070,14 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> Resp 
         requested_mech.to_string()
     };
     let Some(mech) = mechanism_by_name(&mech_name) else {
-        return Resp::new(400, error_json("unknown_mechanism", &mech_name));
+        return err_meta(out, 400, "unknown_mechanism", &mech_name);
     };
     if !mech.supports(&state.domain) {
-        return Resp::new(
+        return err_meta(
+            out,
             400,
-            error_json(
-                "bad_request",
-                &format!("{mech_name} does not support domain {}", state.domain),
-            ),
+            "bad_request",
+            &format!("{mech_name} does not support domain {}", state.domain),
         );
     }
     {
@@ -865,40 +1087,34 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> Resp 
 
     let workload = match workload_for(state, str_field("workload")) {
         Ok(w) => w,
-        Err(e) => return Resp::new(400, error_json("bad_request", &e)),
+        Err(e) => return err_meta(out, 400, "bad_request", &e),
     };
 
     // Admission control: atomic check-and-reserve, durable before any
     // noise is drawn.
     match state.accountant.reserve(tenant, eps) {
         Ok(()) => {}
-        Err(AdmissionError::UnknownTenant(t)) => {
-            return Resp::new(404, error_json("unknown_tenant", &t))
-        }
+        Err(AdmissionError::UnknownTenant(t)) => return err_meta(out, 404, "unknown_tenant", &t),
         Err(AdmissionError::Exhausted {
             requested,
             remaining,
         }) => {
-            return Resp::new(
-                429,
-                format!(
-                    "{{\"error\":\"budget_exhausted\",\"requested\":{},\"remaining\":{}}}",
-                    jf(requested),
-                    jf(remaining)
-                ),
-            )
+            let _ = write!(
+                out,
+                "{{\"error\":\"budget_exhausted\",\"requested\":{},\"remaining\":{}}}",
+                jf(requested),
+                jf(remaining)
+            );
+            return RespMeta::new(429);
         }
-        Err(AdmissionError::Journal(e)) => {
-            return Resp::new(503, error_json("journal_unavailable", &e))
-        }
+        Err(AdmissionError::Journal(e)) => return err_meta(out, 503, "journal_unavailable", &e),
     }
 
     // Everything below owes the tenant a refund on failure.
-    let refund_and = |status: u16, body: String| -> Resp {
+    let refund = || {
         if let Err(e) = state.accountant.refund(tenant, eps) {
             eprintln!("[serve] refund journal write failed for {tenant}: {e}");
         }
-        Resp::new(status, body)
     };
 
     state.inflight.fetch_add(1, Ordering::Relaxed);
@@ -910,7 +1126,10 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> Resp 
             .plan_for_traced(mech.as_ref(), &state.domain, &workload)
         {
             Ok(pair) => pair,
-            Err(e) => return refund_and(500, error_json("plan_failed", &e.to_string())),
+            Err(e) => {
+                refund();
+                return err_meta(out, 500, "plan_failed", &e.to_string());
+            }
         };
 
     let (dims, da, db) = match state.domain {
@@ -934,7 +1153,10 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> Resp 
     });
     let (release, batched) = match executed {
         Ok(pair) => pair,
-        Err(e) => return refund_and(500, error_json("mechanism_failed", &e)),
+        Err(e) => {
+            refund();
+            return err_meta(out, 500, "mechanism_failed", &e);
+        }
     };
 
     // Optional SLO block (operator opt-in): scaled per-query L1/L2 error
@@ -957,24 +1179,26 @@ fn handle_release(state: &ServerState, body: &[u8], ws: &mut Workspace) -> Resp 
     let elapsed = t0.elapsed();
     state.observe_service_us(elapsed.as_micros() as u64);
     let latency_ms = elapsed.as_secs_f64() * 1e3;
-    let mut out = String::with_capacity(256 + 16 * release.estimate.len());
-    out.push_str(&format!(
+    out.reserve(256 + 16 * release.estimate.len());
+    let _ = write!(
+        out,
         "{{\"tenant\":\"{tenant}\",\"dataset\":\"{dataset_name}\",\"mechanism\":\"{mech_name}\",\"eps\":{},\"remaining\":{},\"plan_cache_hit\":{cache_hit},\"batched\":{batched},\"latency_ms\":{}",
         jf(eps),
         jf(remaining),
         jf(latency_ms)
-    ));
+    );
     if let Some((l1, l2)) = slo {
-        out.push_str(&format!(
+        let _ = write!(
+            out,
             ",\"slo\":{{\"scaled_l1\":{},\"scaled_l2\":{}}}",
             jf(l1),
             jf(l2)
-        ));
+        );
     }
     out.push_str(",\"release\":");
-    out.push_str(&release.to_json());
+    release.to_json_into(out);
     out.push('}');
-    Resp::new(200, out)
+    RespMeta::new(200)
 }
 
 /// Decrement-on-drop guard for the inflight gauge (covers every early
@@ -1047,6 +1271,7 @@ fn y_true_for(
 fn status_json(state: &ServerState) -> String {
     let plan = state.plan_cache.stats();
     let batches = state.batcher.stats();
+    let poll = state.poller.stats();
     let mut mechs: Vec<(String, u64)> = {
         let counts = state.mech_counts.lock().expect("counts poisoned");
         counts.iter().map(|(k, v)| (k.clone(), *v)).collect()
@@ -1059,10 +1284,10 @@ fn status_json(state: &ServerState) -> String {
         .join(",");
     let r = &state.robust;
     format!(
-        "{{\"uptime_s\":{},\"requests\":{},\"queue_depth\":{},\"tenants\":{},\"mechanisms\":{{{mech_json}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"built\":{}}},\"batches\":{{\"led\":{},\"followed\":{}}},\"conns\":{},\"robustness\":{{\"shed_conns\":{},\"shed_queue\":{},\"shed_wait\":{},\"timeouts\":{},\"rate_limited\":{},\"reaped_idle\":{},\"rejects\":{}}}}}",
+        "{{\"uptime_s\":{},\"requests\":{},\"queue_depth\":{},\"tenants\":{},\"mechanisms\":{{{mech_json}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"built\":{}}},\"batches\":{{\"led\":{},\"followed\":{}}},\"conns\":{},\"poller\":{{\"backend\":\"{}\",\"wakeups\":{},\"events\":{},\"spurious\":{},\"timer_fires\":{},\"registered\":{}}},\"robustness\":{{\"shed_conns\":{},\"shed_queue\":{},\"shed_wait\":{},\"timeouts\":{},\"rate_limited\":{},\"reaped_idle\":{},\"rejects\":{}}}}}",
         jf(state.started.elapsed().as_secs_f64()),
         state.requests.load(Ordering::Relaxed),
-        state.queue.len(),
+        state.parked_len(),
         state.accountant.len(),
         plan.hits,
         plan.misses,
@@ -1070,6 +1295,12 @@ fn status_json(state: &ServerState) -> String {
         batches.led,
         batches.followed,
         state.conn_count.load(Ordering::Relaxed),
+        state.poller.backend_name(),
+        poll.wakeups,
+        poll.events,
+        poll.spurious,
+        poll.timer_fires,
+        poll.registered,
         r.shed_conns.load(Ordering::Relaxed),
         r.shed_queue.load(Ordering::Relaxed),
         r.shed_wait.load(Ordering::Relaxed),
@@ -1083,17 +1314,26 @@ fn status_json(state: &ServerState) -> String {
 /// `{"error": code, "detail": detail}` with minimal escaping (details are
 /// our own messages; quotes/backslashes are escaped defensively).
 fn error_json(code: &str, detail: &str) -> String {
-    let mut escaped = String::with_capacity(detail.len());
+    let mut out = String::with_capacity(32 + detail.len());
+    error_json_into(code, detail, &mut out);
+    out
+}
+
+/// Append the [`error_json`] body to `out` (the pooled-buffer path).
+fn error_json_into(code: &str, detail: &str, out: &mut String) {
+    let _ = write!(out, "{{\"error\":\"{code}\",\"detail\":\"");
     for c in detail.chars() {
         match c {
-            '"' => escaped.push_str("\\\""),
-            '\\' => escaped.push_str("\\\\"),
-            '\n' => escaped.push_str("\\n"),
-            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
-            c => escaped.push(c),
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
         }
     }
-    format!("{{\"error\":\"{code}\",\"detail\":\"{escaped}\"}}")
+    out.push_str("\"}");
 }
 
 /// JSON float: shortest round-trip for finite values, `null` otherwise.

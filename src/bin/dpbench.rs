@@ -25,6 +25,7 @@
 //!               [--max-conns N] [--max-queue N] [--max-wait-ms MS]
 //!               [--header-timeout-ms MS] [--idle-timeout-ms MS]
 //!               [--write-timeout-ms MS] [--rate-limit RPS[:BURST]]
+//!               [--poller auto|epoll|poll]
 //! ```
 //!
 //! The streaming flags address the grid as a manifest of content-hashed
@@ -117,8 +118,11 @@ fn main() -> ExitCode {
             eprintln!("       [--journal FILE.jsonl] [--threads N]");
             eprintln!("       [--batch-window-ms MS] [--seed S] [--slo] [--verbose]");
             eprintln!("       [--max-conns N] [--max-queue N] [--max-wait-ms MS]");
+            eprintln!("          (connections park on a readiness poller between requests,");
+            eprintln!("           so --max-conns in the thousands is practical; default 1024)");
             eprintln!("       [--header-timeout-ms MS] [--idle-timeout-ms MS]");
             eprintln!("       [--write-timeout-ms MS] [--rate-limit RPS[:BURST]]");
+            eprintln!("       [--poller auto|epoll|poll] (auto = epoll on Linux)");
             return ExitCode::FAILURE;
         }
     }
@@ -294,6 +298,7 @@ const SERVE_FLAGS: &[&str] = &[
     "idle-timeout-ms",
     "write-timeout-ms",
     "rate-limit",
+    "poller",
     "journal",
     "threads",
     "batch-window-ms",
@@ -850,6 +855,10 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         if let Some(s) = flags.get("rate-limit") {
             limits.rate_limit = Some(RateLimit::parse(s)?);
         }
+        let poller = match flags.get("poller") {
+            Some(s) => serve::Backend::parse(s)?,
+            None => serve::Backend::Auto,
+        };
         Ok(ServeConfig {
             addr: format!("127.0.0.1:{port}"),
             datasets,
@@ -861,6 +870,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             threads,
             batch_window: Duration::from_millis(batch_ms),
             limits,
+            poller,
             seed,
             slo: flags.get("slo").map(|v| v == "1").unwrap_or(false),
             verbose: flags.get("verbose").map(|v| v == "1").unwrap_or(false),

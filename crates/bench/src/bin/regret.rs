@@ -48,7 +48,8 @@ fn main() {
                     .collect()
             })
             .collect();
-        let regrets = geometric_mean_regret(&errors);
+        let regrets = geometric_mean_regret(&errors)
+            .unwrap_or_else(|e| panic!("regret over {dims}-D grid: {e}"));
         let mut rows: Vec<Vec<String>> = algorithms
             .iter()
             .zip(&regrets)

@@ -32,9 +32,19 @@
 //!   `--open-loop RPS` adds a fixed-arrival-rate pass at the knee, where
 //!   queueing delay surfaces as latency instead of hiding in a slower
 //!   send loop.
+//! - `route [--out BENCH_PR9.json]` — profile a 2-mechanism grid at the
+//!   served setting, start an in-process server with `--profile`, and
+//!   measure (a) warm p50 of `auto` vs the same mechanism requested
+//!   explicitly (asserted within 10%: per-request selection must be
+//!   effectively free) and (b) mean SLO error of `auto` vs fixed DAWA.
 
-use dpbench_core::Domain;
+use dpbench_core::{Domain, Loss};
+use dpbench_datasets::catalog;
+use dpbench_harness::config::WorkloadSpec;
 use dpbench_harness::serve::{self, http, Limits, ServeConfig, TenantAccountant};
+use dpbench_harness::{
+    AggregatingSink, ExperimentConfig, Runner, SelectionProfile, SelectorQuery, ShapeClass,
+};
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::TcpStream;
@@ -128,6 +138,169 @@ fn bench(args: &[String]) {
         eprintln!("wrote {path}");
     }
     handle.shutdown().unwrap();
+}
+
+/// Numeric field extractor for the flat keys of a release/status response.
+fn json_num(resp: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let i = resp.find(&pat).unwrap_or_else(|| panic!("{key} in {resp}")) + pat.len();
+    let rest = &resp[i..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated {key}"));
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} not numeric: {}", &rest[..end]))
+}
+
+fn route(args: &[String]) {
+    let out = flag(args, "--out");
+
+    // 1. Profile a two-mechanism grid at exactly the setting the server
+    //    will serve (MEDCOST, 256-cell 1-D domain, scale 1000, ε = 0.1,
+    //    Prefix workload) — the profiled cell is the one `auto` hits.
+    let domain = Domain::D1(256);
+    let scale = 1_000_u64;
+    let eps = 0.1_f64;
+    let grid = ExperimentConfig {
+        datasets: vec![catalog::by_name("MEDCOST").expect("MEDCOST in catalog")],
+        scales: vec![scale],
+        domains: vec![domain],
+        epsilons: vec![eps],
+        algorithms: vec!["DAWA".into(), "IDENTITY".into()],
+        n_samples: 2,
+        n_trials: 5,
+        workload: WorkloadSpec::Prefix,
+        loss: Loss::L2,
+    };
+    let runner = Runner::new(grid);
+    let mut sink = AggregatingSink::new();
+    runner
+        .run_with_sink(&runner.manifest(), &mut sink)
+        .expect("profile grid");
+    let profile = SelectionProfile::build(std::slice::from_ref(&sink));
+    let rec = profile
+        .lookup(&SelectorQuery {
+            domain,
+            shape: Some(ShapeClass::of_dataset("MEDCOST")),
+            scale,
+            epsilon: eps,
+        })
+        .expect("grid covered the served setting");
+    let winner = rec.cell.winner().mechanism.clone();
+    let profile_path =
+        std::env::temp_dir().join(format!("dpbench-route-{}.profile", std::process::id()));
+    profile.write_file(&profile_path).expect("write profile");
+
+    // 2. Serve with the profile; SLO block on for the error comparison.
+    let handle = serve::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        datasets: vec!["MEDCOST".into()],
+        scale,
+        domain,
+        tenants: vec![("bench".into(), 1e9)],
+        threads: 4,
+        seed: 1,
+        slo: true,
+        profile: Some(profile_path.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr().to_string();
+
+    // 3. Selection overhead on the PR 6 warm workload: `auto` resolves to
+    //    the profiled winner, so requesting that winner explicitly runs
+    //    the identical plan — the only delta is the per-request profile
+    //    lookup. Interleaved samples cancel thermal/scheduler drift.
+    let body_for = |mech: &str| {
+        format!(
+            "{{\"tenant\":\"bench\",\"dataset\":\"MEDCOST\",\"mechanism\":\"{mech}\",\"eps\":{eps},\"workload\":\"random:100\"}}"
+        )
+    };
+    let auto_body = body_for("auto");
+    let explicit_body = body_for(&winner);
+    for body in [&auto_body, &explicit_body] {
+        let (status, resp) = http::request(&addr, "POST", "/v1/release", Some(body)).unwrap();
+        assert_eq!(status, 200, "{resp}");
+    }
+    let n = 200;
+    let mut auto_ms = Vec::with_capacity(n);
+    let mut explicit_ms = Vec::with_capacity(n);
+    for _ in 0..n {
+        for (body, samples) in [
+            (&auto_body, &mut auto_ms),
+            (&explicit_body, &mut explicit_ms),
+        ] {
+            let t0 = Instant::now();
+            let (status, resp) = http::request(&addr, "POST", "/v1/release", Some(body)).unwrap();
+            samples.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(status, 200, "{resp}");
+            assert!(resp.contains("\"plan_cache_hit\":true"), "warm must hit");
+        }
+    }
+    auto_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    explicit_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let auto_p50 = percentile(&auto_ms, 0.50);
+    let explicit_p50 = percentile(&explicit_ms, 0.50);
+    // The acceptance bound: profile-routed auto within 10% of explicit
+    // (plus 20µs absolute slack so a sub-ms p50 can't fail on clock
+    // granularity alone).
+    assert!(
+        auto_p50 <= explicit_p50 * 1.10 + 0.02,
+        "auto routing overhead too high: auto p50 {auto_p50:.3}ms vs explicit {explicit_p50:.3}ms"
+    );
+
+    // 4. Error comparison on the profiled grid's workload (Prefix, the
+    //    serve default): mean scaled L2 of `auto` vs always-DAWA.
+    let mean_slo = |mech: &str| {
+        let body = format!(
+            "{{\"tenant\":\"bench\",\"dataset\":\"MEDCOST\",\"mechanism\":\"{mech}\",\"eps\":{eps}}}"
+        );
+        let mut total = 0.0;
+        let trials = 30;
+        for _ in 0..trials {
+            let (status, resp) = http::request(&addr, "POST", "/v1/release", Some(&body)).unwrap();
+            assert_eq!(status, 200, "{resp}");
+            total += json_num(&resp, "scaled_l2");
+        }
+        total / trials as f64
+    };
+    let auto_err = mean_slo("auto");
+    let dawa_err = mean_slo("DAWA");
+
+    // 5. The status counters must show the profile actually routed.
+    let (status, status_body) = http::request(&addr, "GET", "/v1/status", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        status_body.contains("\"profile_loaded\":true"),
+        "{status_body}"
+    );
+    let auto_requests = json_num(&status_body, "auto_requests") as u64;
+    let exact = json_num(&status_body, "exact") as u64;
+    assert!(
+        exact > 0,
+        "auto never routed through the profile: {status_body}"
+    );
+
+    let json = format!(
+        "{{\"bench\":\"serve_pr9\",\"profile_cells\":{},\"winner\":\"{winner}\",\
+         \"auto_warm_p50_ms\":{auto_p50:.3},\"auto_warm_p95_ms\":{:.3},\
+         \"explicit_warm_p50_ms\":{explicit_p50:.3},\"explicit_warm_p95_ms\":{:.3},\
+         \"overhead_pct\":{:.1},\
+         \"auto_mean_scaled_l2\":{auto_err:.6},\"fixed_dawa_mean_scaled_l2\":{dawa_err:.6},\
+         \"auto_requests\":{auto_requests},\"exact\":{exact}}}",
+        profile.cells.len(),
+        percentile(&auto_ms, 0.95),
+        percentile(&explicit_ms, 0.95),
+        (auto_p50 / explicit_p50 - 1.0) * 100.0,
+    );
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(PathBuf::from(&path), format!("{json}\n")).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_file(&profile_path);
 }
 
 fn drill(args: &[String]) {
@@ -728,13 +901,15 @@ fn main() {
         Some("chaos") => chaos(&args[1..]),
         Some("chaos-drill") => chaos_drill(&args[1..]),
         Some("saturate") => saturate(&args[1..]),
+        Some("route") => route(&args[1..]),
         _ => {
             eprintln!(
                 "usage: serve_bench <bench [--out FILE] | drill --addr A --tenant T --eps E | \
                  verify --addr A --tenant T --eps E | chaos [--out FILE] | \
                  chaos-drill --addr A --tenant T --eps E | \
                  saturate [--addr A] [--tenant T] [--eps E] [--pipeline N] \
-                 [--open-loop RPS] [--assert-min-rps R] [--tiny] [--out FILE]>"
+                 [--open-loop RPS] [--assert-min-rps R] [--tiny] [--out FILE] | \
+                 route [--out FILE]>"
             );
             std::process::exit(2);
         }

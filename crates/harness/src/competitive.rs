@@ -4,10 +4,20 @@
 //! algorithm statistically indistinguishable from it (Welch t-test at
 //! Bonferroni-corrected α) are *competitive*. Tables 3a/3b report, per
 //! scale, on how many datasets each algorithm is competitive.
+//!
+//! Since PR 9 the machinery runs on **sufficient statistics**
+//! ([`ErrorMoments`]) rather than raw samples: Welch's test needs only
+//! (n, mean, variance) and the risk-averse profile only a p95 estimate,
+//! all of which a merged [`AggregatingSink`] t-digest summary carries. Any
+//! fleet's summary file is therefore enough to compute competitive sets —
+//! no re-running trials, no raw-sample ledger. [`ResultStore`] implements
+//! the same [`ErrorSource`] interface (with exact percentiles), so the
+//! raw-sample path produces byte-identical decisions to before.
 
 use crate::config::Setting;
 use crate::results::ResultStore;
-use dpbench_stats::{competitive_set, percentile};
+use crate::sink::AggregatingSink;
+use dpbench_stats::{competitive_set_moments, percentile, Moments};
 use std::collections::BTreeMap;
 
 /// Which error statistic drives the competitiveness test.
@@ -19,46 +29,116 @@ pub enum RiskProfile {
     P95,
 }
 
+/// Sufficient statistics of one (algorithm, setting) error distribution:
+/// what the competitive-set tests actually consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorMoments {
+    /// Welch moments (n, mean, unbiased variance).
+    pub moments: Moments,
+    /// 95th-percentile error. Exact from a [`ResultStore`]; a t-digest
+    /// estimate from an [`AggregatingSink`] (documented tolerance in
+    /// `dpbench_stats::tdigest`).
+    pub p95: f64,
+}
+
+/// Anything that can answer "what were the error statistics of algorithm
+/// `a` in setting `s`". The competitive analysis (and the selector's
+/// profile builder) is written against this, so it runs identically on an
+/// in-memory raw-sample store and on merged fleet summary files.
+pub trait ErrorSource {
+    /// Distinct settings covered, in the source's canonical order.
+    fn settings(&self) -> Vec<Setting>;
+
+    /// Sufficient statistics for one (algorithm, setting), or `None` when
+    /// the source holds no samples for the pair.
+    fn error_moments(&self, algorithm: &str, setting: &Setting) -> Option<ErrorMoments>;
+}
+
+impl ErrorSource for ResultStore {
+    fn settings(&self) -> Vec<Setting> {
+        ResultStore::settings(self).to_vec()
+    }
+
+    fn error_moments(&self, algorithm: &str, setting: &Setting) -> Option<ErrorMoments> {
+        let errs = self.errors_for(algorithm, setting);
+        if errs.is_empty() {
+            return None;
+        }
+        Some(ErrorMoments {
+            moments: Moments {
+                n: errs.len() as u64,
+                mean: dpbench_stats::mean(errs),
+                variance: dpbench_stats::variance(errs),
+            },
+            p95: percentile(errs, 95.0),
+        })
+    }
+}
+
+impl ErrorSource for AggregatingSink {
+    fn settings(&self) -> Vec<Setting> {
+        let mut seen = Vec::new();
+        for (_, setting, _) in self.groups() {
+            if !seen.contains(setting) {
+                seen.push(setting.clone());
+            }
+        }
+        seen
+    }
+
+    fn error_moments(&self, algorithm: &str, setting: &Setting) -> Option<ErrorMoments> {
+        let key = setting.to_string();
+        for (alg, s, summary) in self.groups() {
+            if alg == algorithm && s.to_string() == key && summary.count() > 0 {
+                let sum = summary.to_summary();
+                return Some(ErrorMoments {
+                    moments: Moments {
+                        n: summary.count(),
+                        mean: summary.mean(),
+                        variance: summary.variance(),
+                    },
+                    p95: sum.p95,
+                });
+            }
+        }
+        None
+    }
+}
+
 /// Competitive algorithms in one setting.
-pub fn competitive_in_setting(
-    store: &ResultStore,
+pub fn competitive_in_setting<S: ErrorSource + ?Sized>(
+    source: &S,
     setting: &Setting,
     algorithms: &[String],
     profile: RiskProfile,
 ) -> Vec<String> {
-    let samples: Vec<(String, Vec<f64>)> = algorithms
+    let stats: Vec<(String, ErrorMoments)> = algorithms
         .iter()
-        .filter_map(|a| {
-            let errs = store.errors_for(a, setting);
-            if errs.is_empty() {
-                None
-            } else {
-                Some((a.clone(), errs.to_vec()))
-            }
-        })
+        .filter_map(|a| source.error_moments(a, setting).map(|m| (a.clone(), m)))
         .collect();
-    if samples.is_empty() {
+    if stats.is_empty() {
         return Vec::new();
     }
     match profile {
         RiskProfile::Mean => {
-            let vecs: Vec<Vec<f64>> = samples.iter().map(|(_, e)| e.clone()).collect();
-            competitive_set(&vecs)
+            let moments: Vec<Moments> = stats.iter().map(|(_, m)| m.moments).collect();
+            competitive_set_moments(&moments)
                 .into_iter()
-                .map(|i| samples[i].0.clone())
+                .map(|i| stats[i].0.clone())
                 .collect()
         }
         RiskProfile::P95 => {
             // For the risk-averse profile the paper compares the 95th
             // percentile directly; we report the minimizer (a single
             // winner) plus anything within 5 % of it.
-            let p95s: Vec<f64> = samples.iter().map(|(_, e)| percentile(e, 95.0)).collect();
-            let best = p95s.iter().copied().fold(f64::INFINITY, f64::min);
-            samples
+            let best = stats
                 .iter()
-                .zip(&p95s)
-                .filter(|(_, &p)| p <= best * 1.05)
-                .map(|((a, _), _)| a.clone())
+                .map(|(_, m)| m.p95)
+                .fold(f64::INFINITY, f64::min);
+            stats
+                .iter()
+                .filter(|(_, m)| m.p95 <= best * 1.05)
+                .map(|(a, _)| a.clone())
                 .collect()
         }
     }
@@ -66,14 +146,14 @@ pub fn competitive_in_setting(
 
 /// Table 3-style counts: for each scale, the number of datasets on which
 /// each algorithm is competitive. Returns `scale → algorithm → count`.
-pub fn competitive_counts(
-    store: &ResultStore,
+pub fn competitive_counts<S: ErrorSource + ?Sized>(
+    source: &S,
     algorithms: &[String],
     profile: RiskProfile,
 ) -> BTreeMap<u64, BTreeMap<String, usize>> {
     let mut out: BTreeMap<u64, BTreeMap<String, usize>> = BTreeMap::new();
-    for setting in store.settings() {
-        let winners = competitive_in_setting(store, setting, algorithms, profile);
+    for setting in source.settings() {
+        let winners = competitive_in_setting(source, &setting, algorithms, profile);
         let per_scale = out.entry(setting.scale).or_default();
         for w in winners {
             *per_scale.entry(w).or_insert(0) += 1;
@@ -188,5 +268,48 @@ mod tests {
         let p95_winners = competitive_in_setting(&store, &s, &algs, RiskProfile::P95);
         assert!(mean_winners.contains(&"volatile".to_string()));
         assert_eq!(p95_winners, vec!["stable"]);
+    }
+
+    #[test]
+    fn summary_source_agrees_with_raw_store() {
+        // The same samples seen through a raw store and through an
+        // aggregating sink must produce the same Mean-profile decision
+        // (Welch from streaming moments == Welch from raw samples).
+        use crate::manifest::ManifestUnit;
+        use crate::sink::ResultSink;
+
+        let s = setting("ADULT", 1000);
+        let mut store = ResultStore::new();
+        let mut sink = AggregatingSink::new();
+        for (alg, base) in [("DAWA", 0.001), ("IDENTITY", 0.1)] {
+            let samples: Vec<ErrorSample> = (0..10)
+                .map(|trial| ErrorSample {
+                    algorithm: alg.into(),
+                    setting: s.clone(),
+                    sample: 0,
+                    trial,
+                    error: base * (1.0 + 0.01 * (trial % 3) as f64),
+                })
+                .collect();
+            for e in &samples {
+                store.push(e.clone());
+            }
+            let unit = ManifestUnit {
+                id: crate::manifest::UnitId(0),
+                pos: 0,
+                algorithm: alg.into(),
+                setting: s.clone(),
+                sample: 0,
+            };
+            sink.unit_complete(&unit, &samples).unwrap();
+        }
+        let algs = vec!["DAWA".to_string(), "IDENTITY".to_string()];
+        for profile in [RiskProfile::Mean, RiskProfile::P95] {
+            assert_eq!(
+                competitive_in_setting(&store, &s, &algs, profile),
+                competitive_in_setting(&sink, &s, &algs, profile),
+                "{profile:?}"
+            );
+        }
     }
 }

@@ -33,6 +33,7 @@ pub mod manifest;
 pub mod repair;
 pub mod results;
 pub mod runner;
+pub mod selector;
 pub mod serve;
 pub mod sink;
 pub mod tuning;
@@ -45,4 +46,5 @@ pub use fleet::{
 pub use manifest::{ManifestUnit, RunManifest, UnitId};
 pub use results::{ErrorSample, ResultStore, SettingSummary};
 pub use runner::{RunStats, Runner};
+pub use selector::{SelectionProfile, SelectorQuery, ShapeClass};
 pub use sink::{AggregatingSink, JsonlSink, MemorySink, ResultSink, Tee};

@@ -46,6 +46,7 @@ use super::poller::{Backend, Event, Interest, Poller, TimerWheel};
 use super::shutdown;
 use crate::config::WorkloadSpec;
 use crate::runner::PlanCache;
+use crate::selector::{Confidence, SelectionProfile, SelectorQuery, ShapeClass};
 use dpbench_algorithms::registry::mechanism_by_name;
 use dpbench_core::mechanism::execute_eps_with;
 use dpbench_core::rng::{hash_str, rng_for};
@@ -103,6 +104,10 @@ pub struct ServeConfig {
     /// Operator opt-in: include the SLO error block (scaled L1/L2 vs the
     /// true workload answers) in release responses.
     pub slo: bool,
+    /// Selection-profile file (`dpbench recommend --profile`); when set,
+    /// `"mechanism":"auto"` resolves through the profile per request and
+    /// SIGHUP / `POST /v1/admin/reload` re-reads it without restart.
+    pub profile: Option<PathBuf>,
     /// Log one line per request to stderr.
     pub verbose: bool,
 }
@@ -123,6 +128,7 @@ impl Default for ServeConfig {
             poller: Backend::Auto,
             seed: 0,
             slo: false,
+            profile: None,
             verbose: false,
         }
     }
@@ -131,6 +137,9 @@ impl Default for ServeConfig {
 /// One dataset materialized at startup.
 struct LoadedDataset {
     x: DataVector,
+    /// Shape class of the catalog base shape — the selector's lookup key
+    /// component that depends on *which* data is being released.
+    shape: ShapeClass,
 }
 
 /// Memo of true workload answers, keyed by (dataset, workload
@@ -285,6 +294,28 @@ pub struct ServerState {
     mech_counts: Mutex<HashMap<String, u64>>,
     workload_memo: Mutex<HashMap<(u8, usize), Arc<Workload>>>,
     y_true_memo: YTrueMemo,
+    /// Profile file `auto` routing resolves through; kept for hot reload.
+    profile_path: Option<PathBuf>,
+    /// The loaded selection profile (swapped atomically on reload).
+    selector: Mutex<Option<Arc<SelectionProfile>>>,
+    /// Auto-routing counters (also in `/v1/status`).
+    pub selector_stats: SelectorStats,
+}
+
+/// Counters for profile-driven `auto` routing.
+#[derive(Default)]
+pub struct SelectorStats {
+    /// Requests that asked for `"mechanism":"auto"`.
+    pub auto_requests: AtomicU64,
+    /// Auto requests answered from an exactly-matching profile cell.
+    pub exact: AtomicU64,
+    /// Auto requests answered from a nearest-cell fallback.
+    pub near: AtomicU64,
+    /// Auto requests that fell through to the built-in default (no
+    /// profile loaded, or no cell for this domain).
+    pub fallback_default: AtomicU64,
+    /// Successful profile (re)loads, including the one at startup.
+    pub reloads: AtomicU64,
 }
 
 impl ServerState {
@@ -327,6 +358,27 @@ impl ServerState {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         self.accountant.reload(&grants)
     }
+
+    /// Re-read the selection-profile file and swap it in. Errors leave
+    /// the previously-loaded profile serving.
+    pub fn reload_profile(&self) -> io::Result<()> {
+        let Some(path) = &self.profile_path else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no --profile file to reload from",
+            ));
+        };
+        let profile = SelectionProfile::read_file(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        *self.selector.lock().expect("selector poisoned") = Some(Arc::new(profile));
+        self.selector_stats.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The currently-loaded selection profile, if any.
+    fn current_profile(&self) -> Option<Arc<SelectionProfile>> {
+        self.selector.lock().expect("selector poisoned").clone()
+    }
 }
 
 /// Handle to a started server: address, state, and shutdown.
@@ -353,10 +405,25 @@ impl ServerHandle {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Hot-reload tenant grants from the configured tenant-config file
-    /// (the SIGHUP handler path).
+    /// Hot-reload from the configured files (the SIGHUP handler path):
+    /// tenant grants if `--tenant-config` was given, then the selection
+    /// profile if `--profile` was. Errors from either abort the reload.
     pub fn reload(&self) -> io::Result<ReloadOutcome> {
-        self.state.reload_tenants()
+        if self.state.tenant_config.is_none() && self.state.profile_path.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "nothing to reload: neither --tenant-config nor --profile configured",
+            ));
+        }
+        let outcome = if self.state.tenant_config.is_some() {
+            self.state.reload_tenants()?
+        } else {
+            ReloadOutcome::default()
+        };
+        if self.state.profile_path.is_some() {
+            self.state.reload_profile()?;
+        }
+        Ok(outcome)
     }
 
     /// Graceful shutdown: stop accepting, drain in-flight requests, join
@@ -406,8 +473,17 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
             ],
         );
         let x = DataGenerator::new().generate(&ds, config.domain, config.scale, &mut rng);
-        datasets.insert(name.clone(), LoadedDataset { x });
+        let shape = ShapeClass::of_dataset(name);
+        datasets.insert(name.clone(), LoadedDataset { x, shape });
     }
+    let selector = match &config.profile {
+        Some(path) => {
+            let profile = SelectionProfile::read_file(path)
+                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+            Some(Arc::new(profile))
+        }
+        None => None,
+    };
     let accountant = TenantAccountant::new(&config.tenants, config.journal.as_deref())?;
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -445,7 +521,13 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         mech_counts: Mutex::new(HashMap::new()),
         workload_memo: Mutex::new(HashMap::new()),
         y_true_memo: Mutex::new(HashMap::new()),
+        profile_path: config.profile.clone(),
+        selector: Mutex::new(selector),
+        selector_stats: SelectorStats::default(),
     });
+    if state.current_profile().is_some() {
+        state.selector_stats.reloads.fetch_add(1, Ordering::Relaxed);
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let mut joins = Vec::with_capacity(state.threads);
@@ -950,34 +1032,54 @@ fn handle_readyz(state: &ServerState, stopping: bool, out: &mut String) -> RespM
     RespMeta::new(200)
 }
 
-/// `POST /v1/admin/reload`: re-read the tenant-config file and apply it.
+/// `POST /v1/admin/reload`: re-read the tenant-config file and apply it,
+/// then re-read the selection profile when one is configured.
 fn handle_reload(state: &ServerState, out: &mut String) -> RespMeta {
-    if state.tenant_config.is_none() {
+    if state.tenant_config.is_none() && state.profile_path.is_none() {
         return err_meta(
             out,
             409,
             "no_tenant_config",
-            "server was started without --tenant-config; nothing to reload",
+            "server was started without --tenant-config or --profile; nothing to reload",
         );
     }
-    match state.reload_tenants() {
-        Ok(outcome) => {
-            let _ = write!(
-                out,
-                "{{\"reloaded\":true,\"added\":{},\"extended\":{},\"shrunk\":{},\"unchanged\":{},\"tenants\":{}}}",
-                outcome.added,
-                outcome.extended,
-                outcome.shrunk,
-                outcome.unchanged,
-                state.accountant.len()
-            );
-            RespMeta::new(200)
+    let outcome = if state.tenant_config.is_some() {
+        match state.reload_tenants() {
+            Ok(outcome) => outcome,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return err_meta(out, 400, "bad_tenant_config", &e.to_string())
+            }
+            Err(e) => return err_meta(out, 500, "reload_failed", &e.to_string()),
         }
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            err_meta(out, 400, "bad_tenant_config", &e.to_string())
+    } else {
+        ReloadOutcome::default()
+    };
+    let mut profile_cells = None;
+    if state.profile_path.is_some() {
+        match state.reload_profile() {
+            Ok(()) => {
+                profile_cells = state.current_profile().map(|p| p.cells.len());
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return err_meta(out, 400, "bad_profile", &e.to_string())
+            }
+            Err(e) => return err_meta(out, 500, "reload_failed", &e.to_string()),
         }
-        Err(e) => err_meta(out, 500, "reload_failed", &e.to_string()),
     }
+    let _ = write!(
+        out,
+        "{{\"reloaded\":true,\"added\":{},\"extended\":{},\"shrunk\":{},\"unchanged\":{},\"tenants\":{}",
+        outcome.added,
+        outcome.extended,
+        outcome.shrunk,
+        outcome.unchanged,
+        state.accountant.len()
+    );
+    if let Some(cells) = profile_cells {
+        let _ = write!(out, ",\"profile_cells\":{cells}");
+    }
+    out.push('}');
+    RespMeta::new(200)
 }
 
 /// Ceiling of `ms` in whole seconds, floored at 1 — `Retry-After` is an
@@ -1056,16 +1158,62 @@ fn handle_release(
         }
     }
 
-    // Mechanism: explicit name, or `auto` → DAWA where supported (the
-    // paper's overall winner), IDENTITY otherwise.
+    // Mechanism: explicit name, or `auto` resolved through the loaded
+    // selection profile per request (nearest-cell fallback), falling
+    // back to the paper's overall winner — DAWA where supported,
+    // IDENTITY otherwise — only when no profile covers this request.
     let requested_mech = str_field("mechanism").unwrap_or("auto");
+    let mut selection: Option<String> = None;
     let mech_name = if requested_mech == "auto" {
-        let dawa = mechanism_by_name("DAWA").expect("registry always has DAWA");
-        if dawa.supports(&state.domain) {
-            "DAWA".to_string()
-        } else {
-            "IDENTITY".to_string()
-        }
+        state
+            .selector_stats
+            .auto_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let routed = state.current_profile().and_then(|profile| {
+            let q = SelectorQuery {
+                domain: state.domain,
+                shape: Some(data.shape),
+                scale: state.scale,
+                epsilon: eps,
+            };
+            let rec = profile.lookup(&q)?;
+            // First ranked mechanism the served domain supports: a 1-D
+            // profile entry can name a mechanism without a 2-D plan.
+            let chosen = rec.cell.ranked.iter().find(|r| {
+                mechanism_by_name(&r.mechanism)
+                    .map(|m| m.supports(&state.domain))
+                    .unwrap_or(false)
+            })?;
+            match rec.confidence {
+                Confidence::Exact => &state.selector_stats.exact,
+                Confidence::Near => &state.selector_stats.near,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            selection = Some(format!(
+                "{{\"source\":\"profile\",\"confidence\":\"{}\",\"regret\":{},\"reason\":\"{}\"}}",
+                rec.confidence.as_str(),
+                jf(chosen.regret),
+                rec.reason()
+            ));
+            Some(chosen.mechanism.clone())
+        });
+        routed.unwrap_or_else(|| {
+            state
+                .selector_stats
+                .fallback_default
+                .fetch_add(1, Ordering::Relaxed);
+            let dawa = mechanism_by_name("DAWA").expect("registry always has DAWA");
+            let name = if dawa.supports(&state.domain) {
+                "DAWA"
+            } else {
+                "IDENTITY"
+            };
+            selection = Some(
+                "{\"source\":\"default\",\"confidence\":\"none\",\"reason\":\"no profile cell covers this request\"}"
+                    .to_string(),
+            );
+            name.to_string()
+        })
     } else {
         requested_mech.to_string()
     };
@@ -1182,11 +1330,14 @@ fn handle_release(
     out.reserve(256 + 16 * release.estimate.len());
     let _ = write!(
         out,
-        "{{\"tenant\":\"{tenant}\",\"dataset\":\"{dataset_name}\",\"mechanism\":\"{mech_name}\",\"eps\":{},\"remaining\":{},\"plan_cache_hit\":{cache_hit},\"batched\":{batched},\"latency_ms\":{}",
+        "{{\"tenant\":\"{tenant}\",\"dataset\":\"{dataset_name}\",\"mechanism\":\"{mech_name}\",\"requested_mechanism\":\"{requested_mech}\",\"eps\":{},\"remaining\":{},\"plan_cache_hit\":{cache_hit},\"batched\":{batched},\"latency_ms\":{}",
         jf(eps),
         jf(remaining),
         jf(latency_ms)
     );
+    if let Some(sel) = &selection {
+        let _ = write!(out, ",\"selection\":{sel}");
+    }
     if let Some((l1, l2)) = slo {
         let _ = write!(
             out,
@@ -1283,8 +1434,13 @@ fn status_json(state: &ServerState) -> String {
         .collect::<Vec<_>>()
         .join(",");
     let r = &state.robust;
+    let sel = &state.selector_stats;
+    let (profile_loaded, profile_cells) = match state.current_profile() {
+        Some(p) => (true, p.cells.len()),
+        None => (false, 0),
+    };
     format!(
-        "{{\"uptime_s\":{},\"requests\":{},\"queue_depth\":{},\"tenants\":{},\"mechanisms\":{{{mech_json}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"built\":{}}},\"batches\":{{\"led\":{},\"followed\":{}}},\"conns\":{},\"poller\":{{\"backend\":\"{}\",\"wakeups\":{},\"events\":{},\"spurious\":{},\"timer_fires\":{},\"registered\":{}}},\"robustness\":{{\"shed_conns\":{},\"shed_queue\":{},\"shed_wait\":{},\"timeouts\":{},\"rate_limited\":{},\"reaped_idle\":{},\"rejects\":{}}}}}",
+        "{{\"uptime_s\":{},\"requests\":{},\"queue_depth\":{},\"tenants\":{},\"mechanisms\":{{{mech_json}}},\"plan_cache\":{{\"hits\":{},\"misses\":{},\"built\":{}}},\"batches\":{{\"led\":{},\"followed\":{}}},\"conns\":{},\"poller\":{{\"backend\":\"{}\",\"wakeups\":{},\"events\":{},\"spurious\":{},\"timer_fires\":{},\"registered\":{}}},\"robustness\":{{\"shed_conns\":{},\"shed_queue\":{},\"shed_wait\":{},\"timeouts\":{},\"rate_limited\":{},\"reaped_idle\":{},\"rejects\":{}}},\"selector\":{{\"profile_loaded\":{profile_loaded},\"cells\":{profile_cells},\"auto_requests\":{},\"exact\":{},\"near\":{},\"default\":{},\"reloads\":{}}}}}",
         jf(state.started.elapsed().as_secs_f64()),
         state.requests.load(Ordering::Relaxed),
         state.parked_len(),
@@ -1308,6 +1464,11 @@ fn status_json(state: &ServerState) -> String {
         r.rate_limited.load(Ordering::Relaxed),
         r.reaped_idle.load(Ordering::Relaxed),
         r.rejects.load(Ordering::Relaxed),
+        sel.auto_requests.load(Ordering::Relaxed),
+        sel.exact.load(Ordering::Relaxed),
+        sel.near.load(Ordering::Relaxed),
+        sel.fallback_default.load(Ordering::Relaxed),
+        sel.reloads.load(Ordering::Relaxed),
     )
 }
 

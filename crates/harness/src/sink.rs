@@ -359,6 +359,18 @@ impl AggregatingSink {
             .collect()
     }
 
+    /// Iterate the live per-group streaming summaries (algorithm,
+    /// setting, summary), ordered by algorithm then setting key. Unlike
+    /// [`AggregatingSink::summaries`] this exposes the mergeable state
+    /// itself, so consumers (the selector's profile builder) can pool
+    /// groups across runs with different fingerprints — a combination
+    /// [`AggregatingSink::merge_from`] deliberately refuses.
+    pub fn groups(&self) -> impl Iterator<Item = (&str, &Setting, &StreamingSummary)> {
+        self.groups
+            .iter()
+            .map(|((alg, _), (setting, s))| (alg.as_str(), setting, s))
+    }
+
     /// Streaming mean of one (algorithm, setting) group (NaN if absent).
     pub fn mean_error(&self, algorithm: &str, setting: &Setting) -> f64 {
         self.groups

@@ -7,28 +7,81 @@
 //! geometric mean over settings of `err(alg) / err(oracle)`. DAWA achieves
 //! regret 1.32 (1D) and 1.73 (2D) in the paper.
 
+use std::fmt;
+
+/// Why a regret computation could not proceed. The indices refer to the
+/// caller's `errors` matrix so the offending algorithm/setting can be
+/// named by whoever owns the labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegretError {
+    /// `errors` was empty: no algorithms to rank.
+    NoAlgorithms,
+    /// Algorithms were given but every per-algorithm vector is empty.
+    NoSettings,
+    /// Algorithm `algorithm` covers `got` settings where the first
+    /// algorithm covers `expected` — the matrix is ragged, so no
+    /// per-setting oracle exists.
+    SettingCountMismatch {
+        /// Index of the offending algorithm in the caller's matrix.
+        algorithm: usize,
+        /// Setting count of algorithm 0 (the reference).
+        expected: usize,
+        /// Setting count of the offending algorithm.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RegretError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegretError::NoAlgorithms => write!(f, "regret: no algorithms"),
+            RegretError::NoSettings => write!(f, "regret: no settings"),
+            RegretError::SettingCountMismatch {
+                algorithm,
+                expected,
+                got,
+            } => write!(
+                f,
+                "regret: algorithm #{algorithm} covers {got} settings, expected {expected} \
+                 (all algorithms must cover the same settings)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegretError {}
+
 /// Geometric mean of per-setting error ratios of one algorithm against the
 /// setting-wise minimum over all algorithms.
 ///
 /// `errors[a][s]` is the error of algorithm `a` in setting `s`; returns one
 /// regret value per algorithm. Settings where the oracle error is zero are
-/// skipped (no meaningful ratio). Panics if algorithms disagree on the
-/// number of settings.
-pub fn geometric_mean_regret(errors: &[Vec<f64>]) -> Vec<f64> {
-    assert!(!errors.is_empty(), "no algorithms");
+/// skipped (no meaningful ratio). Errors (instead of panicking) when the
+/// matrix is empty or ragged, naming the offending algorithm index.
+pub fn geometric_mean_regret(errors: &[Vec<f64>]) -> Result<Vec<f64>, RegretError> {
+    if errors.is_empty() {
+        return Err(RegretError::NoAlgorithms);
+    }
     let n_settings = errors[0].len();
-    assert!(
-        errors.iter().all(|e| e.len() == n_settings),
-        "all algorithms must cover the same settings"
-    );
-    assert!(n_settings > 0, "no settings");
+    for (a, e) in errors.iter().enumerate() {
+        if e.len() != n_settings {
+            return Err(RegretError::SettingCountMismatch {
+                algorithm: a,
+                expected: n_settings,
+                got: e.len(),
+            });
+        }
+    }
+    if n_settings == 0 {
+        return Err(RegretError::NoSettings);
+    }
 
     // Oracle: per-setting minimum.
     let oracle: Vec<f64> = (0..n_settings)
         .map(|s| errors.iter().map(|e| e[s]).fold(f64::INFINITY, f64::min))
         .collect();
 
-    errors
+    Ok(errors
         .iter()
         .map(|e| {
             let mut log_sum = 0.0;
@@ -45,7 +98,7 @@ pub fn geometric_mean_regret(errors: &[Vec<f64>]) -> Vec<f64> {
                 (log_sum / count as f64).exp()
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -56,7 +109,7 @@ mod tests {
     fn oracle_algorithm_has_regret_one() {
         // alg0 is best everywhere.
         let errors = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]];
-        let r = geometric_mean_regret(&errors);
+        let r = geometric_mean_regret(&errors).unwrap();
         assert!((r[0] - 1.0).abs() < 1e-12);
         assert!((r[1] - 2.0).abs() < 1e-12);
     }
@@ -65,7 +118,7 @@ mod tests {
     fn mixed_winners() {
         // alg0 wins setting 0 by 2x, loses setting 1 by 2x → regret √2 each.
         let errors = vec![vec![1.0, 4.0], vec![2.0, 2.0]];
-        let r = geometric_mean_regret(&errors);
+        let r = geometric_mean_regret(&errors).unwrap();
         assert!((r[0] - 2.0_f64.sqrt()).abs() < 1e-12);
         assert!((r[1] - 2.0_f64.sqrt()).abs() < 1e-12);
     }
@@ -73,15 +126,35 @@ mod tests {
     #[test]
     fn zero_oracle_settings_skipped() {
         let errors = vec![vec![0.0, 1.0], vec![0.5, 2.0]];
-        let r = geometric_mean_regret(&errors);
+        let r = geometric_mean_regret(&errors).unwrap();
         // Setting 0 skipped (oracle 0); only setting 1 counts.
         assert!((r[0] - 1.0).abs() < 1e-12);
         assert!((r[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "same settings")]
-    fn mismatched_settings_panic() {
-        geometric_mean_regret(&[vec![1.0], vec![1.0, 2.0]]);
+    fn mismatched_settings_name_the_offender() {
+        let err = geometric_mean_regret(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert_eq!(
+            err,
+            RegretError::SettingCountMismatch {
+                algorithm: 1,
+                expected: 1,
+                got: 2
+            }
+        );
+        assert!(err.to_string().contains("algorithm #1"));
+    }
+
+    #[test]
+    fn empty_inputs_are_errors_not_panics() {
+        assert_eq!(
+            geometric_mean_regret(&[]).unwrap_err(),
+            RegretError::NoAlgorithms
+        );
+        assert_eq!(
+            geometric_mean_regret(&[vec![], vec![]]).unwrap_err(),
+            RegretError::NoSettings
+        );
     }
 }

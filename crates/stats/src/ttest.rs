@@ -20,18 +20,49 @@ pub struct TTestResult {
     pub p_value: f64,
 }
 
+/// Sufficient statistics of one error sample: everything Welch's test
+/// needs. A `StreamingSummary` (and therefore a merged fleet summary
+/// file) carries exactly these, so the competitive-set machinery runs on
+/// t-digest summaries without raw samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Number of observations.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance (n − 1 denominator).
+    pub variance: f64,
+}
+
 /// Welch's unpaired two-sample t-test (unequal variances).
 ///
 /// Returns `None` when either sample has fewer than two observations or
 /// both have zero variance *and* equal means (no evidence either way —
 /// treated as "not significant" by callers).
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
-    if a.len() < 2 || b.len() < 2 {
+    let ma = Moments {
+        n: a.len() as u64,
+        mean: crate::describe::mean(a),
+        variance: crate::describe::variance(a),
+    };
+    let mb = Moments {
+        n: b.len() as u64,
+        mean: crate::describe::mean(b),
+        variance: crate::describe::variance(b),
+    };
+    welch_t_test_moments(ma, mb)
+}
+
+/// Welch's test from sufficient statistics alone — the identical
+/// computation as [`welch_t_test`] (which delegates here), usable on
+/// streaming summaries where raw samples were never kept.
+pub fn welch_t_test_moments(a: Moments, b: Moments) -> Option<TTestResult> {
+    if a.n < 2 || b.n < 2 {
         return None;
     }
-    let (ma, mb) = (crate::describe::mean(a), crate::describe::mean(b));
-    let (va, vb) = (crate::describe::variance(a), crate::describe::variance(b));
-    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (ma, mb) = (a.mean, b.mean);
+    let (va, vb) = (a.variance, b.variance);
+    let (na, nb) = (a.n as f64, b.n as f64);
     let se2 = va / na + vb / nb;
     if se2 == 0.0 {
         // Identical constants: significant iff means differ at all.
@@ -65,24 +96,39 @@ pub fn bonferroni_alpha(n_algs: usize) -> f64 {
 /// other algorithm is competitive when the Welch test against the best
 /// fails to reject equality at the Bonferroni-corrected α.
 pub fn competitive_set(samples: &[Vec<f64>]) -> Vec<usize> {
-    assert!(!samples.is_empty());
-    if samples.len() == 1 {
+    let moments: Vec<Moments> = samples
+        .iter()
+        .map(|s| Moments {
+            n: s.len() as u64,
+            mean: crate::describe::mean(s),
+            variance: crate::describe::variance(s),
+        })
+        .collect();
+    competitive_set_moments(&moments)
+}
+
+/// [`competitive_set`] from sufficient statistics: the best-mean entry is
+/// always competitive; any other is competitive when Welch's test against
+/// the best fails to reject at the Bonferroni-corrected α. Identical
+/// decisions to the raw-sample path (which delegates here).
+pub fn competitive_set_moments(moments: &[Moments]) -> Vec<usize> {
+    assert!(!moments.is_empty());
+    if moments.len() == 1 {
         return vec![0];
     }
-    let means: Vec<f64> = samples.iter().map(|s| crate::describe::mean(s)).collect();
-    let best = means
+    let best = moments
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN mean"))
+        .min_by(|a, b| a.1.mean.partial_cmp(&b.1.mean).expect("NaN mean"))
         .map(|(i, _)| i)
         .expect("non-empty");
-    let alpha = bonferroni_alpha(samples.len());
+    let alpha = bonferroni_alpha(moments.len());
     let mut out = vec![best];
-    for (i, s) in samples.iter().enumerate() {
+    for (i, m) in moments.iter().enumerate() {
         if i == best {
             continue;
         }
-        let significant = match welch_t_test(s, &samples[best]) {
+        let significant = match welch_t_test_moments(*m, moments[best]) {
             Some(r) => r.p_value < alpha,
             None => false,
         };
@@ -167,5 +213,29 @@ mod tests {
     #[test]
     fn competitive_single_algorithm() {
         assert_eq!(competitive_set(&[vec![1.0, 2.0]]), vec![0]);
+    }
+
+    #[test]
+    fn moments_path_matches_raw_samples_bit_exactly() {
+        let samples: Vec<Vec<f64>> = (0..4)
+            .map(|a| {
+                (0..15)
+                    .map(|i| 1.0 + a as f64 * 0.3 + 0.05 * ((i * 7 + a) % 5) as f64)
+                    .collect()
+            })
+            .collect();
+        // Same sufficient statistics → same t, df, p, same competitive set.
+        let m: Vec<Moments> = samples
+            .iter()
+            .map(|s| Moments {
+                n: s.len() as u64,
+                mean: crate::describe::mean(s),
+                variance: crate::describe::variance(s),
+            })
+            .collect();
+        let raw = welch_t_test(&samples[0], &samples[1]).unwrap();
+        let from_m = welch_t_test_moments(m[0], m[1]).unwrap();
+        assert_eq!(raw, from_m);
+        assert_eq!(competitive_set(&samples), competitive_set_moments(&m));
     }
 }

@@ -63,7 +63,7 @@ fn main() {
     }
 
     // Regret of committing to one algorithm.
-    let regrets = geometric_mean_regret(&errors);
+    let regrets = geometric_mean_regret(&errors).expect("rectangular error matrix");
     println!("\nregret of committing to a single algorithm across all signals:");
     let mut order: Vec<usize> = (0..algorithms.len()).collect();
     order.sort_by(|&a, &b| regrets[a].partial_cmp(&regrets[b]).unwrap());

@@ -17,11 +17,14 @@
 //!               [--launch-cmd TPL --workdir DIR [--remote-exe PATH]
 //!                [--fetch-cmd TPL] [--cleanup-cmd TPL]]
 //! dpbench merge --out merged.jsonl shard0.jsonl shard1.jsonl ...
+//! dpbench recommend --summaries a.sum.jsonl,b.sum.jsonl
+//!                   [--profile profile.json] [--dataset NAME]
+//!                   [--domain N|RxC --scale S --eps E]
 //! dpbench serve --port 8787 --datasets MEDCOST,NETTRACE \
 //!               --tenants alice=1.0,bob=0.5 [--tenant-config FILE]
 //!               [--journal spend.jsonl] [--scale N] [--domain N|RxC]
 //!               [--threads N] [--batch-window-ms MS] [--seed S]
-//!               [--slo] [--verbose]
+//!               [--slo] [--profile profile.json] [--verbose]
 //!               [--max-conns N] [--max-queue N] [--max-wait-ms MS]
 //!               [--header-timeout-ms MS] [--idle-timeout-ms MS]
 //!               [--write-timeout-ms MS] [--rate-limit RPS[:BURST]]
@@ -52,6 +55,13 @@
 //! (fetched) shard ledgers into live per-shard `done/total` lines, and
 //! `--stall-timeout` kills and retries a shard whose ledger stops
 //! moving.
+//!
+//! `recommend` turns merged `--agg` summary files into a *selection
+//! profile*: per (dimensionality, shape class, scale bucket, ε bucket)
+//! cell, the regret-ranked mechanism list with competitive-tie sets and
+//! tuned free parameters. The profile file is deterministic (byte-
+//! identical regardless of summary merge order) and is what
+//! `serve --profile` routes `"mechanism":"auto"` through.
 //!
 //! `serve` runs the online release server: datasets load once at
 //! startup, each `POST /v1/release` passes per-tenant admission control
@@ -95,10 +105,11 @@ fn main() -> ExitCode {
         Some("run") => return run(&args[1..]),
         Some("fleet") => return run_fleet_cmd(&args[1..]),
         Some("merge") => return merge(&args[1..]),
+        Some("recommend") => return recommend_cmd(&args[1..]),
         Some("serve") => return serve_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dpbench <list-datasets|list-algorithms|shapes|run|fleet|merge|serve> [options]"
+                "usage: dpbench <list-datasets|list-algorithms|shapes|run|fleet|merge|recommend|serve> [options]"
             );
             eprintln!("run options: --dataset NAME --algorithms A,B --scale N");
             eprintln!("             [--domain N|RxC] [--eps E] [--trials T]");
@@ -113,10 +124,13 @@ fn main() -> ExitCode {
             eprintln!("       [--launch-cmd TPL --workdir DIR [--remote-exe PATH]");
             eprintln!("        [--fetch-cmd TPL] [--cleanup-cmd TPL]]");
             eprintln!("merge: --out MERGED.jsonl IN1.jsonl IN2.jsonl ...");
+            eprintln!("recommend: --summaries A.jsonl,B.jsonl [--profile OUT.json]");
+            eprintln!("           [--dataset NAME] [--domain N|RxC --scale S --eps E]");
             eprintln!("serve: --tenants NAME=EPS,... [--tenant-config FILE]");
             eprintln!("       [--port P] [--datasets A,B] [--scale N] [--domain N|RxC]");
             eprintln!("       [--journal FILE.jsonl] [--threads N]");
             eprintln!("       [--batch-window-ms MS] [--seed S] [--slo] [--verbose]");
+            eprintln!("       [--profile FILE.json] (auto routes through the profile)");
             eprintln!("       [--max-conns N] [--max-queue N] [--max-wait-ms MS]");
             eprintln!("          (connections park on a readiness poller between requests,");
             eprintln!("           so --max-conns in the thousands is practical; default 1024)");
@@ -304,8 +318,12 @@ const SERVE_FLAGS: &[&str] = &[
     "batch-window-ms",
     "seed",
     "slo",
+    "profile",
     "verbose",
 ];
+
+/// Flags `recommend` accepts.
+const RECOMMEND_FLAGS: &[&str] = &["summaries", "profile", "dataset", "domain", "scale", "eps"];
 
 /// [`GRID_FLAGS`] plus a subcommand's own flags — the full allow-list
 /// for `run` and `fleet` (serve passes [`SERVE_FLAGS`] alone; grid
@@ -765,6 +783,140 @@ fn parse_tenant_config(path: &str) -> Result<Vec<(String, f64)>, String> {
     serve::parse_tenant_grants(&text).map_err(|e| format!("{path} {e}"))
 }
 
+/// `dpbench recommend`: build a selection profile from merged `--agg`
+/// summary files, optionally write it to a file `serve --profile` can
+/// route through, and (given `--domain --scale --eps`) print the
+/// regret-ranked recommendation for that concrete query.
+fn recommend_cmd(args: &[String]) -> ExitCode {
+    use dpbench::harness::{SelectionProfile, SelectorQuery, ShapeClass};
+    let flags = match parse_flags(args, "recommend", RECOMMEND_FLAGS) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = (|| -> Result<(), String> {
+        let Some(summaries) = flags.get("summaries") else {
+            return Err("recommend requires --summaries FILE[,FILE...]".into());
+        };
+        let paths: Vec<PathBuf> = summaries
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(PathBuf::from)
+            .collect();
+        if paths.is_empty() {
+            return Err("--summaries needs at least one file".into());
+        }
+        let profile = SelectionProfile::from_summary_files(&paths)
+            .map_err(|e| format!("building profile: {e}"))?;
+        println!(
+            "profile: {} cell(s) from {} summary file(s), {} error sample(s)",
+            profile.cells.len(),
+            profile.sources,
+            profile.total_samples
+        );
+        if let Some(out) = flags.get("profile") {
+            profile
+                .write_file(out)
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            println!("wrote profile to {out}");
+        }
+
+        let query_parts = ["domain", "scale", "eps"]
+            .iter()
+            .filter(|f| flags.contains_key(**f))
+            .count();
+        if query_parts == 0 {
+            if !flags.contains_key("profile") {
+                return Err(
+                    "nothing to do: give --profile OUT.json and/or a query (--domain N|RxC --scale S --eps E)"
+                        .into(),
+                );
+            }
+            return Ok(());
+        }
+        if query_parts != 3 {
+            return Err("a query needs all three of --domain, --scale, and --eps".into());
+        }
+        let domain_s = flags.get("domain").expect("checked above");
+        let domain = dpbench::harness::results::parse_domain(domain_s)
+            .ok_or_else(|| format!("bad --domain {domain_s} (use N or RxC)"))?;
+        let scale: u64 = config::parse_flag_value("scale", flags.get("scale").expect("checked"))?;
+        let eps: f64 = config::parse_flag_value("eps", flags.get("eps").expect("checked"))?;
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err("--eps must be positive and finite".into());
+        }
+        let shape = match flags.get("dataset") {
+            Some(name) => {
+                if dpbench::datasets::catalog::by_name(name).is_none() {
+                    return Err(format!(
+                        "unknown dataset {name} (see `dpbench list-datasets`)"
+                    ));
+                }
+                Some(ShapeClass::of_dataset(name))
+            }
+            None => None,
+        };
+        let query = SelectorQuery {
+            domain,
+            shape,
+            scale,
+            epsilon: eps,
+        };
+        let Some(rec) = profile.lookup(&query) else {
+            return Err(format!(
+                "profile has no cell for domain {domain}; run a fleet at this dimensionality first"
+            ));
+        };
+        match shape {
+            Some(s) => println!(
+                "query: domain={domain} scale={scale} eps={eps} shape={} ({})",
+                s.as_str(),
+                flags.get("dataset").expect("shape implies dataset")
+            ),
+            None => println!("query: domain={domain} scale={scale} eps={eps}"),
+        }
+        println!("decided by: {}", rec.reason());
+        println!(
+            "{:<4} {:<11} {:>8} {:>13} {:>13} {:>6}  {:<4} params",
+            "rank", "mechanism", "regret", "mean err", "p95 err", "n", "tie"
+        );
+        for (i, m) in rec.cell.ranked.iter().enumerate() {
+            println!(
+                "{:<4} {:<11} {:>8.3} {:>13.6} {:>13.6} {:>6}  {:<4} {}",
+                i + 1,
+                m.mechanism,
+                m.regret,
+                m.mean_error,
+                m.p95_error,
+                m.n,
+                if m.competitive { "yes" } else { "" },
+                m.params.as_deref().unwrap_or("-"),
+            );
+        }
+        let winner = rec.cell.winner();
+        println!(
+            "winner: {} (regret {:.3}, confidence {})",
+            winner.mechanism,
+            winner.regret,
+            rec.confidence.as_str()
+        );
+        let ties = rec.cell.ties();
+        if ties.len() > 1 {
+            println!("competitive tie set: {}", ties.join(", "));
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `dpbench serve`: start the online release server and run until a
 /// shutdown signal, then drain and fsync the spend journal.
 fn serve_cmd(args: &[String]) -> ExitCode {
@@ -873,6 +1025,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             poller,
             seed,
             slo: flags.get("slo").map(|v| v == "1").unwrap_or(false),
+            profile: flags.get("profile").map(PathBuf::from),
             verbose: flags.get("verbose").map(|v| v == "1").unwrap_or(false),
         })
     })();
@@ -900,13 +1053,14 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     );
     while !shutdown::requested() {
         if shutdown::take_reload() {
-            // SIGHUP: re-read the tenant config and apply it in place.
+            // SIGHUP: re-read the tenant config (and selection profile,
+            // when one is configured) and apply them in place.
             match handle.reload() {
                 Ok(o) => eprintln!(
-                    "tenant config reloaded: {} added, {} extended, {} shrunk, {} unchanged",
+                    "config reloaded: {} added, {} extended, {} shrunk, {} unchanged",
                     o.added, o.extended, o.shrunk, o.unchanged
                 ),
-                Err(e) => eprintln!("tenant config reload failed (grants unchanged): {e}"),
+                Err(e) => eprintln!("reload failed (config unchanged): {e}"),
             }
         }
         std::thread::sleep(Duration::from_millis(50));

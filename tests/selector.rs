@@ -1,0 +1,140 @@
+//! Selection-profile integration tests (the PR 9 contract): a profile
+//! built from several shard summary files must be **byte-identical**
+//! however those files are ordered on the command line, and every
+//! recommendation drawn from it must be order-independent too. Shard
+//! summaries come from real tiny grid runs with distinct fingerprints —
+//! exactly the cross-run pooling `AggregatingSink::merge_from` refuses
+//! and the selector deliberately performs.
+
+use dpbench::harness::sink::AggregatingSink;
+use dpbench::harness::{SelectionProfile, SelectorQuery, ShapeClass};
+use dpbench::prelude::*;
+use dpbench_core::Loss;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dpbench-selector-{name}-{}", std::process::id()));
+    p
+}
+
+/// One tiny two-mechanism grid (a distinct run fingerprint per call).
+fn grid(dataset: &str, scale: u64, eps: f64) -> ExperimentConfig {
+    ExperimentConfig {
+        datasets: vec![dpbench::datasets::catalog::by_name(dataset).unwrap()],
+        scales: vec![scale],
+        domains: vec![Domain::D1(256)],
+        epsilons: vec![eps],
+        algorithms: vec!["IDENTITY".into(), "DAWA".into()],
+        n_samples: 1,
+        n_trials: 3,
+        workload: WorkloadSpec::Prefix,
+        loss: Loss::L2,
+    }
+}
+
+#[test]
+fn profile_is_invariant_to_summary_merge_order() {
+    // Four shards from four distinct runs: different datasets, scales,
+    // and ε, so cells overlap (two shards land in the same scale/ε
+    // bucket) without being identical.
+    let shards = [
+        ("MEDCOST", 1_000_u64, 0.1),
+        ("ADULT", 1_000, 0.1),
+        ("MEDCOST", 100_000, 1.0),
+        ("HEPTH", 10_000, 0.01),
+    ];
+    let mut paths = Vec::new();
+    for (i, (ds, scale, eps)) in shards.iter().enumerate() {
+        let runner = Runner::new(grid(ds, *scale, *eps));
+        let mut sink = AggregatingSink::new();
+        runner.run_with_sink(&runner.manifest(), &mut sink).unwrap();
+        let path = tmp(&format!("shard{i}"));
+        sink.write_summary_file(&path).unwrap();
+        paths.push(path);
+    }
+
+    // The reference profile and its answers to a spread of queries
+    // (exact hits, a shaped query, and an off-grid near-fallback).
+    let reference = SelectionProfile::from_summary_files(&paths).unwrap();
+    assert!(
+        reference.cells.len() >= 3,
+        "expected several cells, got {}",
+        reference.cells.len()
+    );
+    let ref_path = tmp("profile-ref");
+    reference.write_file(&ref_path).unwrap();
+    let ref_bytes = std::fs::read(&ref_path).unwrap();
+    assert_eq!(
+        SelectionProfile::read_file(&ref_path).unwrap(),
+        reference,
+        "profile must round-trip through its file form"
+    );
+
+    let queries = [
+        SelectorQuery {
+            domain: Domain::D1(256),
+            shape: None,
+            scale: 1_000,
+            epsilon: 0.1,
+        },
+        SelectorQuery {
+            domain: Domain::D1(256),
+            shape: Some(ShapeClass::of_dataset("ADULT")),
+            scale: 1_000,
+            epsilon: 0.1,
+        },
+        SelectorQuery {
+            domain: Domain::D1(256),
+            shape: None,
+            scale: 100_000,
+            epsilon: 1.0,
+        },
+        // Off every measured bucket: answered by nearest-cell fallback.
+        SelectorQuery {
+            domain: Domain::D1(256),
+            shape: None,
+            scale: 77,
+            epsilon: 3.3,
+        },
+    ];
+    let answer = |profile: &SelectionProfile, q: &SelectorQuery| {
+        let rec = profile.lookup(q).expect("a same-dims cell always exists");
+        format!("{} via {}", rec.cell.winner().mechanism, rec.reason())
+    };
+    let ref_answers: Vec<String> = queries.iter().map(|q| answer(&reference, q)).collect();
+
+    // Every rotation of the input list, plus seeded shuffles, must
+    // produce the same bytes and the same recommendations.
+    let mut lcg: u64 = 0x9e37_79b9_7f4a_7c15;
+    for round in 0..7 {
+        let mut order = paths.clone();
+        if round < 4 {
+            order.rotate_left(round);
+        } else {
+            for i in (1..order.len()).rev() {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                order.swap(i, (lcg >> 33) as usize % (i + 1));
+            }
+        }
+        let profile = SelectionProfile::from_summary_files(&order).unwrap();
+        let path = tmp(&format!("profile-{round}"));
+        profile.write_file(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            bytes, ref_bytes,
+            "summary order {order:?} changed the profile bytes"
+        );
+        for (q, want) in queries.iter().zip(&ref_answers) {
+            assert_eq!(&answer(&profile, q), want, "order {order:?}");
+        }
+    }
+
+    for p in &paths {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&ref_path).ok();
+}

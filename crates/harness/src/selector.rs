@@ -632,28 +632,116 @@ fn bad(lineno: usize, msg: &str) -> io::Error {
     )
 }
 
-/// Extract the raw token after `"key":` up to the next top-level comma
-/// or closing brace. Values are either quoted strings (returned with
+/// Extract the raw token after `"key":`. The key is matched only where
+/// a key can actually occur — at the top level of the record object,
+/// outside any quoted string — so a key-looking pattern inside an
+/// earlier string value (e.g. a params string containing `"n":`) can
+/// never match. Values are either quoted strings (returned with
 /// quotes), numbers, or booleans — the profile writer never nests
 /// objects inside these fields.
 fn field(line: &str, key: &str) -> Option<String> {
     let pat = format!("{key}:");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let mut end = rest.len();
+    let bytes = line.as_bytes();
     let mut depth = 0i32;
-    for (i, c) in rest.char_indices() {
-        match c {
-            '[' | '{' => depth += 1,
-            ']' | '}' if depth > 0 => depth -= 1,
-            ',' | '}' | ']' if depth == 0 => {
-                end = i;
-                break;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                if depth == 1 && line[i..].starts_with(&pat) {
+                    return value_token(&line[i + pat.len()..]);
+                }
+                i = skip_string(bytes, i)?;
             }
-            _ => {}
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth -= 1;
+                i += 1;
+            }
+            _ => i += 1,
         }
     }
-    Some(rest[..end].to_string())
+    None
+}
+
+/// Advance past the quoted string opening at `bytes[i] == b'"'`;
+/// returns the index just past the closing quote, `None` if the string
+/// never terminates.
+fn skip_string(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return Some(j + 1),
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// The raw value token from the start of `rest` up to the next `,`, `}`
+/// or `]` that is both top-level and outside quotes — commas inside a
+/// quoted value (AHP's `"rho=…,eta=…"` params) don't cut it short.
+fn value_token(rest: &str) -> Option<String> {
+    let bytes = rest.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => i = skip_string(bytes, i)?,
+            b'[' | b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b']' | b'}' if depth > 0 => {
+                depth -= 1;
+                i += 1;
+            }
+            b',' | b'}' | b']' if depth == 0 => return Some(rest[..i].to_string()),
+            _ => i += 1,
+        }
+    }
+    Some(rest.to_string())
+}
+
+/// Split the body of a JSON array of flat objects into one complete
+/// `{…}` slice per record, tracking quoted strings so a `},{` sequence
+/// inside a value can never split a record. `None` on anything that
+/// isn't a comma-separated list of objects.
+fn split_records(body: &str) -> Option<Vec<&str>> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if depth > 0 => i = skip_string(bytes, i)?,
+            b'{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+                if depth == 0 {
+                    out.push(&body[start..=i]);
+                }
+                i += 1;
+            }
+            b',' if depth == 0 => i += 1,
+            _ if depth == 0 => return None,
+            _ => i += 1,
+        }
+    }
+    (depth == 0).then_some(out)
 }
 
 fn parse_field<T: std::str::FromStr>(line: &str, key: &str, lineno: usize) -> io::Result<T> {
@@ -683,43 +771,35 @@ fn parse_cell(line: &str, lineno: usize) -> io::Result<(CellKey, Cell)> {
     };
     let settings: u32 = parse_field(line, "\"settings\"", lineno)?;
 
-    let arr_start = line
-        .find("\"ranked\":[")
-        .ok_or_else(|| bad(lineno, "missing ranked list"))?
-        + "\"ranked\":[".len();
-    let arr_end = line[arr_start..]
-        .rfind(']')
-        .map(|i| arr_start + i)
-        .ok_or_else(|| bad(lineno, "unterminated ranked list"))?;
-    let body = &line[arr_start..arr_end];
+    let arr_tok = field(line, "\"ranked\"").ok_or_else(|| bad(lineno, "missing ranked list"))?;
+    let body = arr_tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| bad(lineno, "malformed ranked list"))?;
     let mut ranked = Vec::new();
-    if !body.is_empty() {
-        for obj in body.split("},{") {
-            let obj = obj.trim_start_matches('{').trim_end_matches('}');
-            let obj = format!("{{{obj}}}");
-            let mech_tok =
-                field(&obj, "\"m\"").ok_or_else(|| bad(lineno, "mech record missing name"))?;
-            let mechanism = unquote(&mech_tok)
-                .ok_or_else(|| bad(lineno, "mech name not a string"))?
-                .to_string();
-            let params = match field(&obj, "\"params\"") {
-                Some(tok) => Some(
-                    unquote(&tok)
-                        .ok_or_else(|| bad(lineno, "params not a string"))?
-                        .to_string(),
-                ),
-                None => None,
-            };
-            ranked.push(MechRecord {
-                mechanism,
-                regret: parse_field(&obj, "\"regret\"", lineno)?,
-                mean_error: parse_field(&obj, "\"mean\"", lineno)?,
-                p95_error: parse_field(&obj, "\"p95\"", lineno)?,
-                n: parse_field(&obj, "\"n\"", lineno)?,
-                competitive: parse_field(&obj, "\"comp\"", lineno)?,
-                params,
-            });
-        }
+    for obj in split_records(body).ok_or_else(|| bad(lineno, "malformed ranked list"))? {
+        let mech_tok =
+            field(obj, "\"m\"").ok_or_else(|| bad(lineno, "mech record missing name"))?;
+        let mechanism = unquote(&mech_tok)
+            .ok_or_else(|| bad(lineno, "mech name not a string"))?
+            .to_string();
+        let params = match field(obj, "\"params\"") {
+            Some(tok) => Some(
+                unquote(&tok)
+                    .ok_or_else(|| bad(lineno, "params not a string"))?
+                    .to_string(),
+            ),
+            None => None,
+        };
+        ranked.push(MechRecord {
+            mechanism,
+            regret: parse_field(obj, "\"regret\"", lineno)?,
+            mean_error: parse_field(obj, "\"mean\"", lineno)?,
+            p95_error: parse_field(obj, "\"p95\"", lineno)?,
+            n: parse_field(obj, "\"n\"", lineno)?,
+            competitive: parse_field(obj, "\"comp\"", lineno)?,
+            params,
+        });
     }
     if ranked.is_empty() {
         return Err(bad(lineno, "cell with no mechanisms"));
@@ -897,5 +977,59 @@ mod tests {
         assert_eq!(w.params.as_deref(), Some("T=10"));
         let identity = r.cell.ranked.iter().find(|m| m.mechanism == "IDENTITY");
         assert!(identity.unwrap().params.is_none());
+    }
+
+    /// AHP's tuned params contain a comma (`rho=…,eta=…`); the reader
+    /// must not cut the quoted value at it (regression: the old scanner
+    /// split on any top-level comma and rejected its own output).
+    #[test]
+    fn ahp_comma_params_roundtrip() {
+        let mut sink = AggregatingSink::new();
+        let s = setting("MEDCOST", 1_000, 0.1);
+        fabricate(&mut sink, "AHP*", &s, 0.01);
+        fabricate(&mut sink, "IDENTITY", &s, 0.50);
+        let p = SelectionProfile::build(std::slice::from_ref(&sink));
+        let cell = p.cells.values().next().unwrap();
+        let ahp = cell.ranked.iter().find(|m| m.mechanism == "AHP*").unwrap();
+        let params = ahp.params.as_deref().expect("AHP* carries tuned params");
+        assert!(
+            params.contains(','),
+            "schedule params are comma-joined: {params}"
+        );
+
+        let dir = std::env::temp_dir().join(format!("dpbench-selector-ahp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        p.write_file(&path).unwrap();
+        let bytes1 = std::fs::read(&path).unwrap();
+        let reread = SelectionProfile::read_file(&path).unwrap();
+        assert_eq!(p, reread);
+        reread.write_file(&path).unwrap();
+        assert_eq!(bytes1, std::fs::read(&path).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Keys are matched only at top level outside strings: a value that
+    /// happens to contain a key-looking pattern must not shadow the
+    /// real field, and commas inside quoted values don't end a token.
+    #[test]
+    fn field_scanner_is_string_aware() {
+        let line = "{\"t\":\"cell\",\"note\":\"fake \\\"dims\\\": 9,\",\"dims\":2}";
+        assert_eq!(field(line, "\"dims\"").as_deref(), Some("2"));
+        assert_eq!(
+            field(line, "\"note\"").as_deref(),
+            Some("\"fake \\\"dims\\\": 9,\"")
+        );
+        let rec = "{\"m\":\"AHP*\",\"n\":64,\"params\":\"rho=0.85,eta=1.5\"}";
+        assert_eq!(field(rec, "\"n\"").as_deref(), Some("64"));
+        assert_eq!(
+            field(rec, "\"params\"").as_deref(),
+            Some("\"rho=0.85,eta=1.5\"")
+        );
+        assert_eq!(
+            split_records("{\"a\":1},{\"b\":\"},{\"}").map(|v| v.len()),
+            Some(2)
+        );
+        assert!(split_records("{\"a\":1}garbage").is_none());
     }
 }

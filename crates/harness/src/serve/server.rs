@@ -343,9 +343,9 @@ impl ServerState {
         self.poller.stats()
     }
 
-    /// Re-read the tenant-config file and apply the grants (see
-    /// [`TenantAccountant::reload`]).
-    pub fn reload_tenants(&self) -> io::Result<ReloadOutcome> {
+    /// Read and parse the tenant-config file without applying anything
+    /// — the commit half is [`TenantAccountant::reload`].
+    fn stage_tenants(&self) -> io::Result<Vec<(String, f64)>> {
         let Some(path) = &self.tenant_config else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -354,24 +354,40 @@ impl ServerState {
         };
         let text = std::fs::read_to_string(path)
             .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
-        let grants = parse_tenant_grants(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        self.accountant.reload(&grants)
+        parse_tenant_grants(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
-    /// Re-read the selection-profile file and swap it in. Errors leave
-    /// the previously-loaded profile serving.
-    pub fn reload_profile(&self) -> io::Result<()> {
+    /// Read and parse the selection-profile file without applying
+    /// anything — the commit half is [`apply_profile`](Self::apply_profile).
+    fn stage_profile(&self) -> io::Result<SelectionProfile> {
         let Some(path) = &self.profile_path else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "no --profile file to reload from",
             ));
         };
-        let profile = SelectionProfile::read_file(path)
-            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        SelectionProfile::read_file(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+    }
+
+    /// Swap a staged profile in.
+    fn apply_profile(&self, profile: SelectionProfile) {
         *self.selector.lock().expect("selector poisoned") = Some(Arc::new(profile));
         self.selector_stats.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Re-read the tenant-config file and apply the grants (see
+    /// [`TenantAccountant::reload`]).
+    pub fn reload_tenants(&self) -> io::Result<ReloadOutcome> {
+        let grants = self.stage_tenants()?;
+        self.accountant.reload(&grants)
+    }
+
+    /// Re-read the selection-profile file and swap it in. Errors leave
+    /// the previously-loaded profile serving.
+    pub fn reload_profile(&self) -> io::Result<()> {
+        let profile = self.stage_profile()?;
+        self.apply_profile(profile);
         Ok(())
     }
 
@@ -406,8 +422,10 @@ impl ServerHandle {
     }
 
     /// Hot-reload from the configured files (the SIGHUP handler path):
-    /// tenant grants if `--tenant-config` was given, then the selection
-    /// profile if `--profile` was. Errors from either abort the reload.
+    /// tenant grants if `--tenant-config` was given, and the selection
+    /// profile if `--profile` was. Both files are parsed before either
+    /// is applied, so an error from one aborts the whole reload without
+    /// leaving the other half-committed.
     pub fn reload(&self) -> io::Result<ReloadOutcome> {
         if self.state.tenant_config.is_none() && self.state.profile_path.is_none() {
             return Err(io::Error::new(
@@ -415,13 +433,20 @@ impl ServerHandle {
                 "nothing to reload: neither --tenant-config nor --profile configured",
             ));
         }
-        let outcome = if self.state.tenant_config.is_some() {
-            self.state.reload_tenants()?
-        } else {
-            ReloadOutcome::default()
+        let grants = match self.state.tenant_config {
+            Some(_) => Some(self.state.stage_tenants()?),
+            None => None,
         };
-        if self.state.profile_path.is_some() {
-            self.state.reload_profile()?;
+        let profile = match self.state.profile_path {
+            Some(_) => Some(self.state.stage_profile()?),
+            None => None,
+        };
+        let outcome = match grants {
+            Some(g) => self.state.accountant.reload(&g)?,
+            None => ReloadOutcome::default(),
+        };
+        if let Some(p) = profile {
+            self.state.apply_profile(p);
         }
         Ok(outcome)
     }
@@ -577,16 +602,30 @@ fn worker_loop(state: &ServerState, stop: &AtomicBool) {
             continue;
         }
         let mut handled = 0_usize;
+        // One wait can harvest many ready connections. Claim at most one
+        // to service inline; re-arm the rest so idle workers pick them
+        // up concurrently — servicing a whole harvest serially here
+        // would head-of-line block every later connection behind the
+        // first slow request (e.g. a batch-window leader's sleep).
+        let mut claimed: Option<Conn> = None;
         for ev in &events {
             if ev.token == LISTENER_TOKEN {
                 accept_ready(state);
                 handled += 1;
-            } else if let Some(conn) = take_parked(state, ev.token) {
+            } else if claimed.is_none() {
                 // A map miss is a stale event (conn closed or already
                 // claimed via its timer) — drop it.
-                dispatch(state, conn, &mut ws);
+                if let Some(conn) = take_parked(state, ev.token) {
+                    claimed = Some(conn);
+                    handled += 1;
+                }
+            } else {
+                requeue_ready(state, ev.token);
                 handled += 1;
             }
+        }
+        if let Some(conn) = claimed {
+            dispatch(state, conn, &mut ws);
         }
         due.clear();
         state.wheel.pop_due(Instant::now(), &mut due);
@@ -617,6 +656,28 @@ fn take_parked(state: &ServerState, token: u64) -> Option<Conn> {
         .remove(&token)?;
     state.wheel.cancel(token);
     Some(conn)
+}
+
+/// Hand a ready-but-unclaimed connection back to the poller: the conn
+/// stays parked with its deadline armed, and re-arming its one-shot
+/// interest (still satisfied) re-fires immediately for whichever worker
+/// waits next — instead of queueing behind this worker's inline request.
+fn requeue_ready(state: &ServerState, token: u64) {
+    let armed = {
+        let parked = state.parked.lock().expect("parked map poisoned");
+        // A map miss is a stale event — drop it.
+        parked
+            .get(&token)
+            .map(|conn| (raw_fd(&conn.stream), conn.interest()))
+    };
+    if let Some((fd, interest)) = armed {
+        if state.poller.rearm(fd, token, interest).is_err() {
+            // Unwatchable connection: nothing will ever wake it — close it.
+            if let Some(conn) = take_parked(state, token) {
+                close_conn(state, conn);
+            }
+        }
+    }
 }
 
 /// Service one claimed connection, then re-park or close it.
@@ -1032,8 +1093,10 @@ fn handle_readyz(state: &ServerState, stopping: bool, out: &mut String) -> RespM
     RespMeta::new(200)
 }
 
-/// `POST /v1/admin/reload`: re-read the tenant-config file and apply it,
-/// then re-read the selection profile when one is configured.
+/// `POST /v1/admin/reload`: parse the tenant-config file and the
+/// selection profile (whichever are configured), then apply both —
+/// staging before applying so a bad profile can't leave freshly
+/// committed tenant grants behind as a partial reload.
 fn handle_reload(state: &ServerState, out: &mut String) -> RespMeta {
     if state.tenant_config.is_none() && state.profile_path.is_none() {
         return err_meta(
@@ -1043,28 +1106,39 @@ fn handle_reload(state: &ServerState, out: &mut String) -> RespMeta {
             "server was started without --tenant-config or --profile; nothing to reload",
         );
     }
-    let outcome = if state.tenant_config.is_some() {
-        match state.reload_tenants() {
-            Ok(outcome) => outcome,
+    let grants = if state.tenant_config.is_some() {
+        match state.stage_tenants() {
+            Ok(grants) => Some(grants),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 return err_meta(out, 400, "bad_tenant_config", &e.to_string())
             }
             Err(e) => return err_meta(out, 500, "reload_failed", &e.to_string()),
         }
     } else {
-        ReloadOutcome::default()
+        None
     };
-    let mut profile_cells = None;
-    if state.profile_path.is_some() {
-        match state.reload_profile() {
-            Ok(()) => {
-                profile_cells = state.current_profile().map(|p| p.cells.len());
-            }
+    let profile = if state.profile_path.is_some() {
+        match state.stage_profile() {
+            Ok(profile) => Some(profile),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 return err_meta(out, 400, "bad_profile", &e.to_string())
             }
             Err(e) => return err_meta(out, 500, "reload_failed", &e.to_string()),
         }
+    } else {
+        None
+    };
+    let outcome = match grants {
+        Some(grants) => match state.accountant.reload(&grants) {
+            Ok(outcome) => outcome,
+            Err(e) => return err_meta(out, 500, "reload_failed", &e.to_string()),
+        },
+        None => ReloadOutcome::default(),
+    };
+    let mut profile_cells = None;
+    if let Some(profile) = profile {
+        profile_cells = Some(profile.cells.len());
+        state.apply_profile(profile);
     }
     let _ = write!(
         out,

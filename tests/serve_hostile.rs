@@ -328,6 +328,88 @@ fn admin_reload_adds_extends_and_clamps_shrunken_grants() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A reload touching both `--tenant-config` and `--profile` is
+/// all-or-nothing: a broken profile rejects the whole reload, so tenant
+/// changes staged in the same call must not land (no partial reload).
+#[test]
+fn reload_is_atomic_across_tenants_and_profile() {
+    use dpbench::harness::sink::AggregatingSink;
+    use dpbench::harness::SelectionProfile;
+
+    let dir = std::env::temp_dir().join(format!("dpbench-reload-atomic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = dir.join("tenants.toml");
+    std::fs::write(&cfg, "alice = 1.0\n").unwrap();
+
+    // A real (tiny) profile so the server starts with `auto` routable.
+    let prof = dir.join("profile.json");
+    let runner = Runner::new(ExperimentConfig {
+        datasets: vec![dpbench::datasets::catalog::by_name("MEDCOST").unwrap()],
+        scales: vec![10_000],
+        domains: vec![Domain::D1(256)],
+        epsilons: vec![1.0],
+        algorithms: vec!["IDENTITY".into(), "DAWA".into()],
+        n_samples: 1,
+        n_trials: 2,
+        workload: WorkloadSpec::Prefix,
+        loss: dpbench_core::Loss::L2,
+    });
+    let mut sink = AggregatingSink::new();
+    runner.run_with_sink(&runner.manifest(), &mut sink).unwrap();
+    let good_profile = SelectionProfile::build(std::slice::from_ref(&sink));
+    good_profile.write_file(&prof).unwrap();
+
+    let handle = serve::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        datasets: vec!["MEDCOST".into()],
+        scale: 10_000,
+        domain: Domain::D1(256),
+        tenants: vec![("alice".into(), 1.0)],
+        threads: 2,
+        seed: 7,
+        tenant_config: Some(cfg.clone()),
+        profile: Some(prof.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let body = |t: &str| {
+        format!(
+            "{{\"tenant\":\"{t}\",\"dataset\":\"MEDCOST\",\"mechanism\":\"IDENTITY\",\"eps\":0.1}}"
+        )
+    };
+
+    // Stage a tenant addition alongside a broken profile: the reload
+    // must fail wholesale, leaving bob ungranted.
+    std::fs::write(&cfg, "alice = 1.0\nbob = 2.0\n").unwrap();
+    std::fs::write(
+        &prof,
+        "{\"t\":\"dpbench-profile\",\"v\":99,\"cells\":0,\"sources\":0,\"samples\":0}\n",
+    )
+    .unwrap();
+    let (status, resp) = http::request(&addr, "POST", "/v1/admin/reload", None).unwrap();
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("bad_profile"), "{resp}");
+    let (status, resp) = http::request(&addr, "POST", "/v1/release", Some(&body("bob"))).unwrap();
+    assert_eq!(
+        status, 404,
+        "tenant change must not land on a failed reload: {resp}"
+    );
+    assert!(resp.contains("unknown_tenant"), "{resp}");
+
+    // Restore the profile: the same staged tenant change now commits.
+    good_profile.write_file(&prof).unwrap();
+    let (status, resp) = http::request(&addr, "POST", "/v1/admin/reload", None).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"added\":1"), "{resp}");
+    assert!(resp.contains("\"profile_cells\":"), "{resp}");
+    let (status, resp) = http::request(&addr, "POST", "/v1/release", Some(&body("bob"))).unwrap();
+    assert_eq!(status, 200, "{resp}");
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Without `--tenant-config`, the reload endpoint answers a structured
 /// 409 rather than guessing.
 #[test]

@@ -1,0 +1,265 @@
+//! Elastic-fleet benchmark (PR 10): quantifies the two scheduling wins —
+//! straggler tail re-deal and O(new-bytes) incremental fetch — over the
+//! deterministic in-process [`FaultyTransport`]. No real machines and no
+//! network: per-unit delays are injected per slot, so the numbers
+//! isolate the driver's own behavior.
+//!
+//! Two measurement groups, one JSON line:
+//!
+//! - **Straggler drill** — five slots, one of them 10× slower. Three
+//!   fleets run: balanced (all fast), straggler with stealing, and
+//!   straggler with stealing disabled. The report records the three
+//!   wall clocks and the steal/no-steal ratios over the balanced
+//!   baseline; every merged output is byte-checked against a one-shot
+//!   single-process run before its number counts.
+//! - **Fetch traffic** — the same fleet twice over two slow slots, once
+//!   with whole-ledger copy-backs and once with the ranged protocol.
+//!   The report records total bytes moved per mode, the final ledger
+//!   size, and the per-probe-tick byte trajectory (full mode re-copies
+//!   the growing file every tick; ranged mode moves each byte once).
+//!
+//! `fleet_bench [--tiny] [--out BENCH_PR10.json]` — `--tiny` shrinks the
+//! grid for CI smoke, `--out` writes the JSON line for artifact upload.
+
+use dpbench_core::{Domain, Loss};
+use dpbench_datasets::catalog;
+use dpbench_harness::config::WorkloadSpec;
+use dpbench_harness::fleet::{run_fleet_with, FaultyTransport, FleetOptions, FleetReport};
+use dpbench_harness::sink::JsonlSink;
+use dpbench_harness::{ExperimentConfig, Runner};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The benchmark grid: one setting, two algorithms, `n_samples` samples
+/// each — `2 * n_samples` units of identical cost.
+fn grid(n_samples: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        datasets: vec![catalog::by_name("MEDCOST").expect("MEDCOST in catalog")],
+        scales: vec![10_000],
+        domains: vec![Domain::D1(128)],
+        epsilons: vec![0.5],
+        algorithms: vec!["IDENTITY".into(), "UNIFORM".into()],
+        n_samples,
+        n_trials: 2,
+        workload: WorkloadSpec::Prefix,
+        loss: Loss::L2,
+    }
+}
+
+/// One-shot single-process ledger: the byte oracle every fleet run is
+/// checked against.
+fn oracle(cfg: &ExperimentConfig, dir: &Path) -> Vec<u8> {
+    let path = dir.join("oracle.jsonl");
+    let runner = Runner::new(cfg.clone());
+    let mut sink = JsonlSink::create(&path).expect("create oracle ledger");
+    runner
+        .run_with_sink(&runner.manifest(), &mut sink)
+        .expect("one-shot oracle run");
+    drop(sink);
+    std::fs::read(&path).expect("read oracle ledger")
+}
+
+fn opts(procs: usize, steal: bool) -> FleetOptions {
+    FleetOptions {
+        procs,
+        max_attempts: 3,
+        poll_interval: Duration::from_millis(5),
+        progress_interval: Duration::from_millis(20),
+        steal,
+        ..FleetOptions::default()
+    }
+}
+
+/// Run one fleet, byte-check it, and return (wall clock, report).
+fn run_case(
+    cfg: &ExperimentConfig,
+    dir: &Path,
+    name: &str,
+    transport: &FaultyTransport,
+    o: &FleetOptions,
+    want: &[u8],
+) -> (Duration, FleetReport) {
+    let out = dir.join(format!("{name}.jsonl"));
+    let manifest = Runner::new(cfg.clone()).manifest();
+    let t0 = Instant::now();
+    let report = run_fleet_with(&manifest, transport, &out, o).expect("fleet run");
+    let elapsed = t0.elapsed();
+    assert_eq!(
+        std::fs::read(&out).expect("read merged ledger"),
+        want,
+        "{name}: merged bytes differ from the one-shot run"
+    );
+    (elapsed, report)
+}
+
+fn json_u64s(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = flag(&args, "--out");
+
+    let dir = std::env::temp_dir().join(format!("dpbench-fleet-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    // ---- Straggler drill -------------------------------------------------
+    let procs = 5;
+    let cfg = grid(if tiny { 10 } else { 30 }); // 20 / 60 units
+    let units = Runner::new(cfg.clone()).manifest().len();
+    let want = oracle(&cfg, &dir);
+    let fast = Duration::from_millis(if tiny { 20 } else { 40 });
+    let slow = fast * 10;
+
+    // Every slot gets a delay entry so all five run concurrently on
+    // transport threads (a delay-free fault-free launch runs
+    // synchronously inside the driver's launch loop).
+    let all_fast = |remote: &str| {
+        let mut t = FaultyTransport::new(cfg.clone(), dir.join(remote));
+        for slot in 0..procs {
+            t = t.slow_slot(slot, fast);
+        }
+        t
+    };
+    let one_slow = |remote: &str| {
+        let mut t = FaultyTransport::new(cfg.clone(), dir.join(remote)).slow_slot(0, slow);
+        for slot in 1..procs {
+            t = t.slow_slot(slot, fast);
+        }
+        t
+    };
+
+    let (balanced, _) = run_case(
+        &cfg,
+        &dir,
+        "balanced",
+        &all_fast("r-bal"),
+        &opts(procs, true),
+        &want,
+    );
+    let (steal_t, steal_rep) = run_case(
+        &cfg,
+        &dir,
+        "straggler-steal",
+        &one_slow("r-steal"),
+        &opts(procs, true),
+        &want,
+    );
+    let (nosteal_t, _) = run_case(
+        &cfg,
+        &dir,
+        "straggler-nosteal",
+        &one_slow("r-nosteal"),
+        &opts(procs, false),
+        &want,
+    );
+    let steal_ratio = steal_t.as_secs_f64() / balanced.as_secs_f64();
+    let nosteal_ratio = nosteal_t.as_secs_f64() / balanced.as_secs_f64();
+    eprintln!(
+        "straggler: balanced {:.0} ms, with stealing {:.0} ms ({steal_ratio:.2}x), \
+         without {:.0} ms ({nosteal_ratio:.2}x), {} tail(s) stolen",
+        balanced.as_secs_f64() * 1e3,
+        steal_t.as_secs_f64() * 1e3,
+        nosteal_t.as_secs_f64() * 1e3,
+        steal_rep.steal_launches
+    );
+    assert!(
+        steal_rep.steal_launches >= 1,
+        "straggler drill produced no steals"
+    );
+    assert!(
+        steal_t < nosteal_t,
+        "stealing did not beat the no-steal straggler: {steal_t:?} vs {nosteal_t:?}"
+    );
+
+    // ---- Fetch traffic ---------------------------------------------------
+    // Two slots, both slow enough to span many probe ticks. Full mode
+    // re-copies each whole shard ledger every tick; ranged mode moves
+    // only the bytes appended since the previous tick.
+    let fetch_cfg = grid(if tiny { 10 } else { 30 });
+    let fetch_want = &want; // same grid, same oracle
+    let per_unit = Duration::from_millis(if tiny { 25 } else { 50 });
+    let two_slow = |remote: &str, ranged: bool| {
+        let mut t = FaultyTransport::new(fetch_cfg.clone(), dir.join(remote));
+        if ranged {
+            t = t.with_ranged();
+        }
+        t.slow_slot(0, per_unit).slow_slot(1, per_unit)
+    };
+    let (_, full_rep) = run_case(
+        &fetch_cfg,
+        &dir,
+        "fetch-full",
+        &two_slow("r-full", false),
+        &opts(2, true),
+        fetch_want,
+    );
+    let (_, ranged_rep) = run_case(
+        &fetch_cfg,
+        &dir,
+        "fetch-ranged",
+        &two_slow("r-ranged", true),
+        &opts(2, true),
+        fetch_want,
+    );
+    let ledger_bytes = fetch_want.len() as u64;
+    eprintln!(
+        "fetch: ledger {} byte(s); full mode moved {} byte(s) over {} probe tick(s), \
+         ranged mode moved {} byte(s) over {} tick(s)",
+        ledger_bytes,
+        full_rep.fetch_full_bytes,
+        full_rep.probe_fetch_bytes.len(),
+        ranged_rep.fetch_ranged_bytes,
+        ranged_rep.probe_fetch_bytes.len()
+    );
+    assert!(
+        ranged_rep.fetch_ranged_bytes > 0,
+        "ranged mode never used the ranged path"
+    );
+    assert!(
+        ranged_rep.fetch_ranged_bytes < full_rep.fetch_full_bytes,
+        "ranged fetch moved no fewer bytes than whole-ledger copies: {} vs {}",
+        ranged_rep.fetch_ranged_bytes,
+        full_rep.fetch_full_bytes
+    );
+
+    let json = format!(
+        "{{\"bench\":\"fleet_pr10\",\"units\":{units},\"procs\":{procs},\
+         \"fast_ms_per_unit\":{},\"slow_ms_per_unit\":{},\
+         \"balanced_ms\":{:.0},\"straggler_steal_ms\":{:.0},\"straggler_nosteal_ms\":{:.0},\
+         \"steal_over_balanced\":{steal_ratio:.2},\"nosteal_over_balanced\":{nosteal_ratio:.2},\
+         \"steal_launches\":{},\"tails_stolen\":{},\
+         \"ledger_bytes\":{ledger_bytes},\
+         \"full_fetch_bytes\":{},\"full_probe_ticks\":{},\"full_probe_bytes\":{},\
+         \"ranged_fetch_bytes\":{},\"ranged_probe_ticks\":{},\"ranged_probe_bytes\":{}}}",
+        fast.as_millis(),
+        slow.as_millis(),
+        balanced.as_secs_f64() * 1e3,
+        steal_t.as_secs_f64() * 1e3,
+        nosteal_t.as_secs_f64() * 1e3,
+        steal_rep.steal_launches,
+        steal_rep.shards[0].tails_stolen,
+        full_rep.fetch_full_bytes,
+        full_rep.probe_fetch_bytes.len(),
+        json_u64s(&full_rep.probe_fetch_bytes),
+        ranged_rep.fetch_ranged_bytes,
+        ranged_rep.probe_fetch_bytes.len(),
+        json_u64s(&ranged_rep.probe_fetch_bytes),
+    );
+    println!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(PathBuf::from(&path), format!("{json}\n")).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -30,12 +30,12 @@ pub mod progress;
 pub mod transport;
 
 pub use driver::{
-    run_fleet, run_fleet_with, shard_ledger_path, shard_summary_path, FleetOptions, FleetReport,
-    ShardOutcome,
+    run_fleet, run_fleet_with, shard_ledger_path, shard_summary_path, steal_ledger_path,
+    FleetOptions, FleetReport, ShardOutcome, StealEvent,
 };
 pub use progress::ProgressTailer;
 pub use transport::{
     sh_quote, Artifact, CommandTransport, FaultyTransport, FetchFault, FetchOutcome, LaunchFault,
-    LaunchSpec, LocalTransport, ProcessHandle, RemotePaths, ShardCommandBuilder, ShardHandle,
-    ShardLauncher, ShardStatus, ShardTransport,
+    LaunchSpec, LocalTransport, ProcessHandle, RangedFetch, RemotePaths, ShardCommandBuilder,
+    ShardHandle, ShardLauncher, ShardStatus, ShardTransport, StealSpec,
 };

@@ -59,6 +59,23 @@ impl ProgressTailer {
         self.total
     }
 
+    /// Byte offset of the first unconsumed line in the tailed file —
+    /// complete lines only, so it is exactly the prefix a ranged
+    /// (incremental) fetch may treat as already-delivered: everything
+    /// before it has been validated line-by-line, and any torn fragment
+    /// beyond it is disposable.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Every completed-unit id observed so far. The fleet driver unions
+    /// these across a victim's own ledger and its steal ledgers to decide
+    /// coverage (and to keep the fleet-level progress count monotone
+    /// across re-deals: sets only grow).
+    pub fn done(&self) -> &HashSet<UnitId> {
+        &self.done
+    }
+
     /// Read any new complete lines of `path` and return the updated
     /// count. A missing file (shard not started, fetch not landed yet)
     /// reports the existing count; read errors are surfaced but leave

@@ -38,28 +38,58 @@
 
 use crate::config::ExperimentConfig;
 use crate::runner::Runner;
-use crate::sink::{read_ledger, JsonlSink};
+use crate::sink::{read_ledger, JsonlSink, Throttle};
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A stolen tail: re-deal `victim`'s units with full-run positions in
+/// `from_pos..until_pos` to another (idle) slot as a fresh sub-shard
+/// launch. The sub-shard manifest is
+/// `manifest.shard(victim, procs).span(from_pos, until_pos)`, so the
+/// re-dealt units keep their ids, positions, and per-trial RNG streams —
+/// the steal ledger merges back bit-identically, and overlap with the
+/// victim's own in-flight unit is harmless (the merge verifies duplicate
+/// units agree bit-exactly and emits them once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealSpec {
+    /// The straggler shard whose units are being re-dealt.
+    pub victim: usize,
+    /// First full-run position in the stolen range (inclusive).
+    pub from_pos: usize,
+    /// End of the stolen range (exclusive).
+    pub until_pos: usize,
+    /// Fleet-wide steal sequence number — names the steal's own ledger
+    /// ([`Artifact::Steal`]), distinct from every shard ledger.
+    pub seq: usize,
+}
 
 /// Everything a transport needs to start one shard attempt.
 #[derive(Debug, Clone)]
 pub struct LaunchSpec {
-    /// Shard index in `0..procs`.
+    /// The slot (machine / worker) this attempt runs on, in `0..procs`.
+    /// For a primary attempt this is also the shard being run; for a
+    /// steal it is the idle slot doing the stealing, and the work is
+    /// described by `steal`.
     pub index: usize,
     /// Total shard count (`k` in `--shard i/k`).
     pub procs: usize,
-    /// The driver-side ledger path for this shard. Local transports
+    /// The driver-side ledger path for this attempt. Local transports
     /// write it directly; remote transports write into their own workdir
     /// and copy back to this path on [`ShardTransport::fetch`].
     pub ledger: PathBuf,
-    /// True when a prior ledger holds completed units to skip.
+    /// True when a prior ledger holds completed units to skip. Always
+    /// false for steals (each steal gets a fresh ledger).
     pub resume: bool,
-    /// Launch round, counted from 0 across the whole fleet run.
+    /// Per-shard launch attempt, counted from 0 (0 for steals).
     pub attempt: usize,
+    /// `Some` when this launch is a stolen tail rather than a primary
+    /// shard attempt.
+    pub steal: Option<StealSpec>,
 }
 
 /// What a polled shard attempt is doing.
@@ -92,6 +122,13 @@ pub enum Artifact {
     Ledger,
     /// The mergeable `--agg` t-digest summary.
     Summary,
+    /// The ledger of steal `seq` (a stolen tail's own fresh ledger,
+    /// written by whichever slot ran the steal — the `index` argument of
+    /// [`ShardTransport::fetch`] names that slot).
+    Steal {
+        /// Fleet-wide steal sequence number (see [`StealSpec::seq`]).
+        seq: usize,
+    },
 }
 
 /// Result of a copy-back attempt.
@@ -104,6 +141,46 @@ pub enum FetchOutcome {
     Copied,
     /// The shard has not produced this artifact (yet) — the destination
     /// was left untouched.
+    Missing,
+}
+
+/// Result of an incremental (offset-based) copy-back attempt — the
+/// O(new-bytes) alternative to re-copying a whole ledger every probe.
+///
+/// The caller passes `from`, the byte offset of its validated
+/// complete-line prefix (see [`crate::fleet::ProgressTailer::offset`]);
+/// a supporting transport delivers only the remote bytes past that
+/// offset. Correctness rests on the append-only ledger discipline plus
+/// fresh-relaunch byte determinism: a shard either appends to the exact
+/// byte stream it was writing, or restarts it from byte 0 — in which
+/// case the remote file is *shorter* than (or diverges only beyond) any
+/// previously validated prefix, and the transport reports
+/// [`RangedFetch::Rewound`] after falling back to a full copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangedFetch {
+    /// This transport (or this template) cannot range; the caller must
+    /// use [`ShardTransport::fetch`] instead. The destination was left
+    /// untouched.
+    Unsupported,
+    /// `bytes` new bytes were appended to the destination after
+    /// truncating it to `from` (discarding any torn tail past the
+    /// validated prefix).
+    Appended {
+        /// Bytes transferred (the new tail only).
+        bytes: u64,
+    },
+    /// The remote artifact was shorter than `from` (fresh relaunch) or
+    /// the local copy was behind it; the destination was replaced by a
+    /// full copy of `bytes` bytes.
+    Rewound {
+        /// Bytes transferred (the whole artifact).
+        bytes: u64,
+    },
+    /// The remote artifact has exactly `from` bytes — nothing new. The
+    /// destination was truncated to `from` (dropping any torn tail).
+    Unchanged,
+    /// Confirmed absence of the remote artifact (same contract as
+    /// [`FetchOutcome::Missing`]); the destination was left untouched.
     Missing,
 }
 
@@ -129,12 +206,85 @@ pub trait ShardTransport {
     /// retries the fetch next round rather than discarding remote work.
     fn fetch(&self, index: usize, artifact: Artifact, dest: &Path) -> io::Result<FetchOutcome>;
 
+    /// Incremental copy-back: deliver only the remote bytes past `from`
+    /// (the caller's validated complete-line prefix). The default —
+    /// correct for every transport — reports
+    /// [`RangedFetch::Unsupported`], making the caller fall back to a
+    /// full [`ShardTransport::fetch`]. Error semantics match `fetch`:
+    /// `Missing` is confirmed absence, an `Err` is "try again".
+    fn fetch_ranged(
+        &self,
+        index: usize,
+        artifact: Artifact,
+        dest: &Path,
+        from: u64,
+    ) -> io::Result<RangedFetch> {
+        let _ = (index, artifact, dest, from);
+        Ok(RangedFetch::Unsupported)
+    }
+
     /// Remove shard `index`'s remote scratch space. Called only after
     /// the merged output has been verified; local transports no-op.
     fn cleanup(&self, index: usize) -> io::Result<()> {
         let _ = index;
         Ok(())
     }
+
+    /// Remove steal `seq`'s remote scratch space (it ran on slot
+    /// `slot`). Called only after the merged output has been verified;
+    /// local transports no-op.
+    fn cleanup_steal(&self, seq: usize, slot: usize) -> io::Result<()> {
+        let _ = (seq, slot);
+        Ok(())
+    }
+}
+
+/// Shared native (filesystem-reachable) implementation of the ranged
+/// fetch contract: used by [`CommandTransport`] when no fetch template
+/// is configured, and by [`FaultyTransport`] when ranging is enabled.
+fn ranged_copy(src: &Path, dest: &Path, from: u64) -> io::Result<RangedFetch> {
+    use std::io::{Read, Seek, SeekFrom};
+    let src_len = match std::fs::metadata(src) {
+        Ok(m) => m.len(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(RangedFetch::Missing),
+        Err(e) => return Err(e),
+    };
+    let dest_len = std::fs::metadata(dest).map(|m| m.len()).unwrap_or(0);
+    if dest_len < from || src_len < from {
+        // Local copy is behind the claimed prefix, or the remote shard
+        // restarted its stream: splicing would corrupt — full copy.
+        let bytes = std::fs::copy(src, dest)?;
+        return Ok(RangedFetch::Rewound { bytes });
+    }
+    // Drop any torn tail past the validated prefix, then splice the new
+    // remote bytes after it. The remote file may keep growing while we
+    // read — reading to EOF just delivers a longer (possibly torn) tail,
+    // which the caller's line-oriented probes already tolerate.
+    let trunc = std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false) // set_len(from) below keeps the validated prefix
+        .open(dest)?;
+    trunc.set_len(from)?;
+    drop(trunc);
+    if src_len == from {
+        return Ok(RangedFetch::Unchanged);
+    }
+    let mut input = std::fs::File::open(src)?;
+    input.seek(SeekFrom::Start(from))?;
+    let mut output = std::fs::OpenOptions::new().append(true).open(dest)?;
+    let mut buf = [0u8; 64 * 1024];
+    let mut bytes = 0u64;
+    loop {
+        let n = input.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        output.write_all(&buf[..n])?;
+        bytes += n as u64;
+    }
+    output.flush()?;
+    Ok(RangedFetch::Appended { bytes })
 }
 
 // ---------------------------------------------------------------------------
@@ -146,17 +296,10 @@ pub trait ShardTransport {
 /// to do with the exit status. This is the PR 4 trait, kept as the
 /// simplest way to plug a local child process into [`LocalTransport`].
 pub trait ShardLauncher {
-    /// Launch shard `index` of `procs`, writing its ledger to `ledger`.
-    /// `resume` is true when a prior ledger holds completed units to
-    /// skip; `attempt` counts launch rounds from 0.
-    fn launch(
-        &self,
-        index: usize,
-        procs: usize,
-        ledger: &Path,
-        resume: bool,
-        attempt: usize,
-    ) -> io::Result<Child>;
+    /// Launch one attempt described by `spec` — a primary shard when
+    /// `spec.steal` is `None`, a stolen tail otherwise — writing its
+    /// ledger to `spec.ledger`.
+    fn launch(&self, spec: &LaunchSpec) -> io::Result<Child>;
 }
 
 /// A [`Child`] process as a pollable shard handle.
@@ -218,13 +361,7 @@ pub struct LocalTransport<'a> {
 
 impl ShardTransport for LocalTransport<'_> {
     fn launch(&self, spec: &LaunchSpec) -> io::Result<Box<dyn ShardHandle>> {
-        let child = self.launcher.launch(
-            spec.index,
-            spec.procs,
-            &spec.ledger,
-            spec.resume,
-            spec.attempt,
-        )?;
+        let child = self.launcher.launch(spec)?;
         Ok(Box::new(ProcessHandle::new(child)))
     }
 
@@ -327,6 +464,26 @@ impl CommandTransport {
         }
     }
 
+    /// The remote paths steal `seq` writes to. Steals get their own
+    /// scratch directory (not the victim's, not the stealing slot's):
+    /// the slot's primary shard may still be fetched from its own dir,
+    /// and two steals must never collide.
+    pub fn remote_steal_paths(&self, seq: usize) -> RemotePaths {
+        let dir = self.workdir.join(format!("steal{seq}"));
+        RemotePaths {
+            ledger: dir.join("ledger.jsonl"),
+            summary: dir.join("ledger.agg.jsonl"),
+            dir,
+        }
+    }
+
+    fn remote_paths_for(&self, spec: &LaunchSpec) -> RemotePaths {
+        match &spec.steal {
+            Some(st) => self.remote_steal_paths(st.seq),
+            None => self.remote_paths(spec.index),
+        }
+    }
+
     fn substitute(&self, template: &str, spec: &[(&str, String)]) -> String {
         let mut out = template.to_string();
         for (key, value) in spec {
@@ -363,7 +520,7 @@ pub fn sh_quote(arg: &str) -> String {
 
 impl ShardTransport for CommandTransport {
     fn launch(&self, spec: &LaunchSpec) -> io::Result<Box<dyn ShardHandle>> {
-        let paths = self.remote_paths(spec.index);
+        let paths = self.remote_paths_for(spec);
         // Harmless when the workdir is genuinely remote (the path simply
         // also exists locally); required for the local-wrapper cases.
         std::fs::create_dir_all(&paths.dir)?;
@@ -398,9 +555,12 @@ impl ShardTransport for CommandTransport {
     }
 
     fn fetch(&self, index: usize, artifact: Artifact, dest: &Path) -> io::Result<FetchOutcome> {
-        let paths = self.remote_paths(index);
+        let paths = match artifact {
+            Artifact::Steal { seq } => self.remote_steal_paths(seq),
+            _ => self.remote_paths(index),
+        };
         let src = match artifact {
-            Artifact::Ledger => paths.ledger,
+            Artifact::Ledger | Artifact::Steal { .. } => paths.ledger,
             Artifact::Summary => paths.summary,
         };
         match &self.fetch_template {
@@ -418,12 +578,15 @@ impl ShardTransport for CommandTransport {
                         .unwrap_or_default()
                 ));
                 let _ = std::fs::remove_file(&scratch);
+                // A ranged-capable template ({offset}) doubles as the
+                // full-fetch command with offset 0.
                 let line = self.substitute(
                     template,
                     &[
                         ("src", sh_quote(&src.display().to_string())),
                         ("dest", sh_quote(&scratch.display().to_string())),
                         ("index", index.to_string()),
+                        ("offset", "0".to_string()),
                         ("workdir", sh_quote(&paths.dir.display().to_string())),
                     ],
                 );
@@ -452,6 +615,119 @@ impl ShardTransport for CommandTransport {
             None => match std::fs::copy(&src, dest) {
                 Ok(_) => Ok(FetchOutcome::Copied),
                 Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(FetchOutcome::Missing),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    fn fetch_ranged(
+        &self,
+        index: usize,
+        artifact: Artifact,
+        dest: &Path,
+        from: u64,
+    ) -> io::Result<RangedFetch> {
+        let paths = match artifact {
+            Artifact::Steal { seq } => self.remote_steal_paths(seq),
+            _ => self.remote_paths(index),
+        };
+        let src = match artifact {
+            Artifact::Ledger | Artifact::Steal { .. } => paths.ledger,
+            Artifact::Summary => paths.summary,
+        };
+        match &self.fetch_template {
+            // No template: the workdir is filesystem-reachable, so range
+            // natively with seek + append.
+            None => ranged_copy(&src, dest, from),
+            // A template can range only if it takes the offset; plain
+            // `scp {src} {dest}` templates fall back to full fetches.
+            Some(template) if !template.contains("{offset}") => Ok(RangedFetch::Unsupported),
+            Some(template) => {
+                if std::fs::metadata(dest).map(|m| m.len()).unwrap_or(0) < from {
+                    // The local copy does not hold the claimed prefix;
+                    // splicing a remote tail after it would corrupt.
+                    return Ok(RangedFetch::Unsupported);
+                }
+                let scratch = dest.with_file_name(format!(
+                    "{}.fetch.tmp",
+                    dest.file_name()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default()
+                ));
+                let _ = std::fs::remove_file(&scratch);
+                let line = self.substitute(
+                    template,
+                    &[
+                        ("src", sh_quote(&src.display().to_string())),
+                        ("dest", sh_quote(&scratch.display().to_string())),
+                        ("index", index.to_string()),
+                        ("offset", from.to_string()),
+                        ("workdir", sh_quote(&paths.dir.display().to_string())),
+                    ],
+                );
+                // Same Missing-vs-Err split as the full fetch: command
+                // ran and produced nothing → confirmed absence; command
+                // failed → "try again next round".
+                let status = self.run_shell(&line, Stdio::null())?.wait()?;
+                if !status.success() {
+                    let _ = std::fs::remove_file(&scratch);
+                    return Err(io::Error::other(format!(
+                        "ranged fetch command for shard {index} exited with {status}: {line}"
+                    )));
+                }
+                if !scratch.exists() {
+                    return Ok(RangedFetch::Missing);
+                }
+                let bytes = std::fs::metadata(&scratch)?.len();
+                // Splice: drop any torn tail past the validated prefix,
+                // then append the delivered range.
+                let trunc = std::fs::OpenOptions::new()
+                    .write(true)
+                    .create(true)
+                    .truncate(false) // set_len(from) keeps the validated prefix
+                    .open(dest)?;
+                trunc.set_len(from)?;
+                drop(trunc);
+                let mut input = std::fs::File::open(&scratch)?;
+                let mut output = std::fs::OpenOptions::new().append(true).open(dest)?;
+                io::copy(&mut input, &mut output)?;
+                output.flush()?;
+                let _ = std::fs::remove_file(&scratch);
+                if bytes == 0 {
+                    Ok(RangedFetch::Unchanged)
+                } else {
+                    Ok(RangedFetch::Appended { bytes })
+                }
+            }
+        }
+    }
+
+    fn cleanup_steal(&self, seq: usize, slot: usize) -> io::Result<()> {
+        let paths = self.remote_steal_paths(seq);
+        match &self.cleanup_template {
+            Some(template) => {
+                // {index} names the slot the steal ran on, so templates
+                // like `ssh worker{index} rm -rf {workdir}` reach the
+                // right machine.
+                let line = self.substitute(
+                    template,
+                    &[
+                        ("index", slot.to_string()),
+                        ("workdir", sh_quote(&paths.dir.display().to_string())),
+                    ],
+                );
+                let status = self.run_shell(&line, Stdio::null())?.wait()?;
+                if status.success() {
+                    Ok(())
+                } else {
+                    Err(io::Error::other(format!(
+                        "cleanup command for steal {seq} exited with {status}"
+                    )))
+                }
+            }
+            None => match std::fs::remove_dir_all(&paths.dir) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
                 Err(e) => Err(e),
             },
         }
@@ -526,6 +802,11 @@ pub enum FetchFault {
     /// space from an earlier fleet) — the driver must hard-error, never
     /// merge it.
     StaleLedger,
+    /// The fetch fails outright (unreachable host / transport error):
+    /// an `Err`, not a `Missing` claim. The driver must *defer* the
+    /// shard — retry the fetch next round without burning one of its
+    /// launch attempts, since the remote work may be fine.
+    Unreachable,
 }
 
 /// **Test-only** transport that executes shards in-process (no child
@@ -548,6 +829,17 @@ pub struct FaultyTransport {
     fetch_seen: Mutex<HashMap<usize, usize>>,
     /// Shard indexes whose scratch space was cleaned up, in call order.
     cleanups: Mutex<Vec<usize>>,
+    /// Per-unit delay by *slot* — a property of the (simulated) machine,
+    /// so it applies to every launch on that slot: primary attempts and
+    /// steals alike. Delayed launches run on a background thread (a
+    /// synchronous slow launch would serialize the whole fleet), which
+    /// is exactly what lets the driver observe them mid-flight and
+    /// steal their tails.
+    slow_slots: Mutex<HashMap<usize, Duration>>,
+    /// When true, [`ShardTransport::fetch_ranged`] ranges natively
+    /// (seek + append) instead of reporting `Unsupported`. The ranged
+    /// path bypasses the fetch-fault script and its occurrence counters.
+    ranged: bool,
 }
 
 impl FaultyTransport {
@@ -561,7 +853,22 @@ impl FaultyTransport {
             fetch_faults: Mutex::new(HashMap::new()),
             fetch_seen: Mutex::new(HashMap::new()),
             cleanups: Mutex::new(Vec::new()),
+            slow_slots: Mutex::new(HashMap::new()),
+            ranged: false,
         }
+    }
+
+    /// Make every launch on `slot` (primary or steal) take `per_unit`
+    /// per completed unit — the straggler simulator.
+    pub fn slow_slot(self, slot: usize, per_unit: Duration) -> Self {
+        self.slow_slots.lock().unwrap().insert(slot, per_unit);
+        self
+    }
+
+    /// Enable native offset-based [`ShardTransport::fetch_ranged`].
+    pub fn with_ranged(mut self) -> Self {
+        self.ranged = true;
+        self
     }
 
     /// Script a launch fault for `(shard, attempt)`.
@@ -592,50 +899,97 @@ impl FaultyTransport {
         self.workdir.join(format!("shard{index}.jsonl"))
     }
 
-    /// Execute one shard attempt in-process, honoring resume and the
-    /// crash fault's unit budget — the same observable behavior as
-    /// `dpbench run --shard i/k [--resume] [--fail-after N]`.
-    fn run_shard(&self, spec: &LaunchSpec, fault: Option<LaunchFault>) -> io::Result<bool> {
-        let mut runner = Runner::new(self.config.clone());
-        runner.threads = 1;
-        let mut crash = false;
-        let mut torn_tail = false;
-        match fault {
-            Some(LaunchFault::Crash {
-                after_units,
-                torn_tail: torn,
-            }) => {
-                runner.max_units = Some(after_units);
-                crash = true;
-                torn_tail = torn;
-            }
-            Some(LaunchFault::LieAboutExit) => crash = true, // work done, exit lies
-            Some(LaunchFault::Hang) => unreachable!("hangs never reach run_shard"),
-            None => {}
-        }
-        let shard = runner.manifest().shard(spec.index, spec.procs);
-        let remote = self.remote_ledger(spec.index);
-        if spec.resume {
-            // Mirror the real child: resume over an unreadable ledger is
-            // a failed attempt, not silent data loss.
-            let ledger = match read_ledger(&remote) {
-                Ok(l) => l,
-                Err(_) => return Ok(false),
-            };
-            let mut sink = JsonlSink::append(&remote)?;
-            runner.resume(&shard, &ledger.done, &mut sink)?;
-        } else {
-            let mut sink = JsonlSink::create(&remote)?;
-            runner.run_with_sink(&shard, &mut sink)?;
-        }
-        if torn_tail {
-            // A kill mid-write: a fragment with no newline and no
-            // closing brace. `JsonlSink::append` heals it on resume.
-            let mut f = std::fs::OpenOptions::new().append(true).open(&remote)?;
-            write!(f, "{{\"t\":\"s\",\"unit\":\"00")?;
-        }
-        Ok(!crash)
+    fn remote_steal_ledger(&self, seq: usize) -> PathBuf {
+        self.workdir.join(format!("steal{seq}.jsonl"))
     }
+
+    fn remote_ledger_for(&self, spec: &LaunchSpec) -> PathBuf {
+        match &spec.steal {
+            Some(st) => self.remote_steal_ledger(st.seq),
+            None => self.remote_ledger(spec.index),
+        }
+    }
+}
+
+/// Execute one attempt in-process, honoring resume and the crash fault's
+/// unit budget — the same observable behavior as `dpbench run --shard
+/// i/k [--resume] [--fail-after N] [--from-pos/--until-pos]
+/// [--unit-delay-ms]`. A free function (not a method) so slow-slot
+/// launches can run it on a background thread with owned state.
+fn execute_faulty_shard(
+    config: &ExperimentConfig,
+    spec: &LaunchSpec,
+    remote: &Path,
+    fault: Option<LaunchFault>,
+    delay: Option<Duration>,
+    cancel: Option<Arc<AtomicBool>>,
+) -> io::Result<bool> {
+    let mut runner = Runner::new(config.clone());
+    runner.threads = 1;
+    let mut crash = false;
+    let mut torn_tail = false;
+    match fault {
+        Some(LaunchFault::Crash {
+            after_units,
+            torn_tail: torn,
+        }) => {
+            runner.max_units = Some(after_units);
+            crash = true;
+            torn_tail = torn;
+        }
+        Some(LaunchFault::LieAboutExit) => crash = true, // work done, exit lies
+        Some(LaunchFault::Hang) => unreachable!("hangs never reach run_shard"),
+        None => {}
+    }
+    let shard = match &spec.steal {
+        Some(st) => runner
+            .manifest()
+            .shard(st.victim, spec.procs)
+            .span(st.from_pos, st.until_pos),
+        None => runner.manifest().shard(spec.index, spec.procs),
+    };
+    if spec.resume {
+        // Mirror the real child: resume over an unreadable ledger is
+        // a failed attempt, not silent data loss.
+        let ledger = match read_ledger(remote) {
+            Ok(l) => l,
+            Err(_) => return Ok(false),
+        };
+        let mut sink = JsonlSink::append(remote)?;
+        match delay {
+            Some(d) => {
+                let mut slow = Throttle::new(&mut sink, d);
+                if let Some(flag) = cancel {
+                    slow = slow.with_cancel(flag);
+                }
+                runner.resume(&shard, &ledger.done, &mut slow)?;
+            }
+            None => {
+                runner.resume(&shard, &ledger.done, &mut sink)?;
+            }
+        }
+    } else {
+        let mut sink = JsonlSink::create(remote)?;
+        match delay {
+            Some(d) => {
+                let mut slow = Throttle::new(&mut sink, d);
+                if let Some(flag) = cancel {
+                    slow = slow.with_cancel(flag);
+                }
+                runner.run_with_sink(&shard, &mut slow)?;
+            }
+            None => {
+                runner.run_with_sink(&shard, &mut sink)?;
+            }
+        }
+    }
+    if torn_tail {
+        // A kill mid-write: a fragment with no newline and no
+        // closing brace. `JsonlSink::append` heals it on resume.
+        let mut f = std::fs::OpenOptions::new().append(true).open(remote)?;
+        write!(f, "{{\"t\":\"s\",\"unit\":\"00")?;
+    }
+    Ok(!crash)
 }
 
 /// Handle of an attempt that already finished (the faulty transport runs
@@ -676,25 +1030,103 @@ impl ShardHandle for HangHandle {
     }
 }
 
+/// Handle of a slow-slot attempt running on a background thread.
+struct ThreadHandle {
+    done: Arc<AtomicBool>,
+    success: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
+}
+
+impl ShardHandle for ThreadHandle {
+    fn poll(&mut self) -> io::Result<ShardStatus> {
+        Ok(if self.done.load(Ordering::SeqCst) {
+            ShardStatus::Exited {
+                success: self.success.load(Ordering::SeqCst),
+            }
+        } else {
+            ShardStatus::Running
+        })
+    }
+
+    fn kill(&mut self) -> io::Result<()> {
+        // The throttle's cancel check notices within one sleep slice;
+        // poll reports Exited once the thread winds down (the "after a
+        // kill, poll must eventually report Exited" contract).
+        self.kill.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
 impl ShardTransport for FaultyTransport {
     fn launch(&self, spec: &LaunchSpec) -> io::Result<Box<dyn ShardHandle>> {
         std::fs::create_dir_all(&self.workdir)?;
-        let fault = self
-            .launch_faults
-            .lock()
-            .unwrap()
-            .get(&(spec.index, spec.attempt))
-            .copied();
+        // Launch faults script *primary* attempts; steals inherit only
+        // the slot's speed (a machine property), never the victim's
+        // scripted faults.
+        let fault = if spec.steal.is_none() {
+            self.launch_faults
+                .lock()
+                .unwrap()
+                .get(&(spec.index, spec.attempt))
+                .copied()
+        } else {
+            None
+        };
         if matches!(fault, Some(LaunchFault::Hang)) {
             return Ok(Box::new(HangHandle { killed: false }));
         }
-        let success = self.run_shard(spec, fault)?;
-        Ok(Box::new(CompletedHandle { success }))
+        let remote = self.remote_ledger_for(spec);
+        let delay = self.slow_slots.lock().unwrap().get(&spec.index).copied();
+        if delay.is_none() && spec.steal.is_none() {
+            // Fast primary launches run synchronously inside launch — the
+            // original behavior every pre-existing fault drill relies on
+            // (the driver never observes them mid-flight, so no steals).
+            let success = execute_faulty_shard(&self.config, spec, &remote, fault, None, None)?;
+            return Ok(Box::new(CompletedHandle { success }));
+        }
+        // Slow slots — and every steal, even on a fast slot — run on a
+        // background thread so the driver's probe loop sees them
+        // mid-flight (synchronous steals would serialize inside one
+        // probe tick and block the loop).
+        let done = Arc::new(AtomicBool::new(false));
+        let success = Arc::new(AtomicBool::new(false));
+        let kill = Arc::new(AtomicBool::new(false));
+        let handle = ThreadHandle {
+            done: Arc::clone(&done),
+            success: Arc::clone(&success),
+            kill: Arc::clone(&kill),
+        };
+        let config = self.config.clone();
+        let spec = spec.clone();
+        std::thread::spawn(move || {
+            let ok = execute_faulty_shard(
+                &config,
+                &spec,
+                &remote,
+                fault,
+                delay,
+                Some(Arc::clone(&kill)),
+            )
+            .unwrap_or(false);
+            success.store(ok, Ordering::SeqCst);
+            done.store(true, Ordering::SeqCst);
+        });
+        Ok(Box::new(handle))
     }
 
     fn fetch(&self, index: usize, artifact: Artifact, dest: &Path) -> io::Result<FetchOutcome> {
         if artifact == Artifact::Summary {
             return Ok(FetchOutcome::Missing); // fault tests never use --agg
+        }
+        // Steal ledgers fetch plainly — the fault script (and its
+        // occurrence counters) stays keyed to primary shard ledgers.
+        if let Artifact::Steal { seq } = artifact {
+            let src = self.remote_steal_ledger(seq);
+            if !src.exists() {
+                return Ok(FetchOutcome::Missing);
+            }
+            std::fs::copy(&src, dest)?;
+            return Ok(FetchOutcome::Copied);
         }
         let src = self.remote_ledger(index);
         if !src.exists() {
@@ -731,8 +1163,33 @@ impl ShardTransport for FaultyTransport {
                     b"{\"t\":\"run\",\"fp\":\"00000000deadbeef\",\"n_trials\":1}\n",
                 )?;
             }
+            Some(FetchFault::Unreachable) => {
+                // A transport failure, not an absence claim: dest is
+                // untouched and the driver must defer, not relaunch.
+                return Err(io::Error::other(format!(
+                    "injected fault: shard {index} unreachable"
+                )));
+            }
         }
         Ok(FetchOutcome::Copied)
+    }
+
+    fn fetch_ranged(
+        &self,
+        index: usize,
+        artifact: Artifact,
+        dest: &Path,
+        from: u64,
+    ) -> io::Result<RangedFetch> {
+        if !self.ranged {
+            return Ok(RangedFetch::Unsupported);
+        }
+        let src = match artifact {
+            Artifact::Summary => return Ok(RangedFetch::Missing),
+            Artifact::Steal { seq } => self.remote_steal_ledger(seq),
+            Artifact::Ledger => self.remote_ledger(index),
+        };
+        ranged_copy(&src, dest, from)
     }
 
     fn cleanup(&self, index: usize) -> io::Result<()> {
@@ -870,6 +1327,150 @@ mod tests {
             FetchOutcome::Copied
         );
         assert_eq!(std::fs::read(&dest).unwrap(), b"spacey bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn native_ranged_fetch_appends_rewinds_and_confirms_absence() {
+        let dir = std::env::temp_dir().join(format!("dpbench-ranged-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = CommandTransport::new("{cmd}", dir.join("w"), Box::new(|_, _| vec![])).unwrap();
+        let dest = dir.join("local.jsonl");
+
+        // Absent remote: Missing, dest untouched.
+        assert_eq!(
+            t.fetch_ranged(0, Artifact::Ledger, &dest, 0).unwrap(),
+            RangedFetch::Missing
+        );
+        assert!(!dest.exists());
+
+        // First delivery from offset 0 appends everything.
+        std::fs::create_dir_all(t.remote_paths(0).dir).unwrap();
+        let remote = t.remote_paths(0).ledger;
+        std::fs::write(&remote, b"line one\nline two\n").unwrap();
+        assert_eq!(
+            t.fetch_ranged(0, Artifact::Ledger, &dest, 0).unwrap(),
+            RangedFetch::Appended { bytes: 18 }
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"line one\nline two\n");
+
+        // Nothing new: Unchanged, and a torn local tail past the
+        // validated prefix is dropped.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&dest)
+            .unwrap();
+        f.write_all(b"torn frag").unwrap();
+        drop(f);
+        assert_eq!(
+            t.fetch_ranged(0, Artifact::Ledger, &dest, 18).unwrap(),
+            RangedFetch::Unchanged
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"line one\nline two\n");
+
+        // Remote growth delivers only the new tail.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&remote)
+            .unwrap();
+        f.write_all(b"line three\n").unwrap();
+        drop(f);
+        assert_eq!(
+            t.fetch_ranged(0, Artifact::Ledger, &dest, 18).unwrap(),
+            RangedFetch::Appended { bytes: 11 }
+        );
+        assert_eq!(
+            std::fs::read(&dest).unwrap(),
+            b"line one\nline two\nline three\n"
+        );
+
+        // Remote shrank below the prefix (fresh relaunch): full re-copy.
+        std::fs::write(&remote, b"fresh\n").unwrap();
+        assert_eq!(
+            t.fetch_ranged(0, Artifact::Ledger, &dest, 18).unwrap(),
+            RangedFetch::Rewound { bytes: 6 }
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"fresh\n");
+
+        // Local copy behind the claimed prefix: full re-copy, never a
+        // corrupting splice.
+        std::fs::write(&remote, b"0123456789\n").unwrap();
+        std::fs::write(&dest, b"012").unwrap();
+        assert_eq!(
+            t.fetch_ranged(0, Artifact::Ledger, &dest, 7).unwrap(),
+            RangedFetch::Rewound { bytes: 11 }
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"0123456789\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn template_ranged_fetch_requires_offset_placeholder() {
+        let dir = std::env::temp_dir().join(format!("dpbench-ranged-tpl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A template without {offset} cannot range: fall back to full.
+        let t = CommandTransport::new("{cmd}", dir.join("w"), Box::new(|_, _| vec![]))
+            .unwrap()
+            .with_fetch_template("cp {src} {dest}");
+        let dest = dir.join("local.jsonl");
+        assert_eq!(
+            t.fetch_ranged(0, Artifact::Ledger, &dest, 0).unwrap(),
+            RangedFetch::Unsupported
+        );
+
+        // With {offset}, the delivered range is spliced after the
+        // validated prefix — the shell-arithmetic form CI uses (tail -c
+        // +N is 1-based).
+        let t = CommandTransport::new("{cmd}", dir.join("w"), Box::new(|_, _| vec![]))
+            .unwrap()
+            .with_fetch_template("tail -c +$(({offset}+1)) {src} > {dest}");
+        std::fs::create_dir_all(t.remote_paths(2).dir).unwrap();
+        let remote = t.remote_paths(2).ledger;
+        std::fs::write(&remote, b"abcdefgh").unwrap();
+        assert_eq!(
+            t.fetch_ranged(2, Artifact::Ledger, &dest, 0).unwrap(),
+            RangedFetch::Appended { bytes: 8 }
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"abcdefgh");
+        std::fs::write(&remote, b"abcdefghij").unwrap();
+        assert_eq!(
+            t.fetch_ranged(2, Artifact::Ledger, &dest, 8).unwrap(),
+            RangedFetch::Appended { bytes: 2 }
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"abcdefghij");
+        // And the same template serves full fetches with offset 0.
+        let full = dir.join("full.jsonl");
+        assert_eq!(
+            t.fetch(2, Artifact::Ledger, &full).unwrap(),
+            FetchOutcome::Copied
+        );
+        assert_eq!(std::fs::read(&full).unwrap(), b"abcdefghij");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn steal_artifacts_use_their_own_scratch_dirs() {
+        let dir = std::env::temp_dir().join(format!("dpbench-stealdir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = CommandTransport::new("{cmd}", dir.join("w"), Box::new(|_, _| vec![])).unwrap();
+        let p = t.remote_steal_paths(4);
+        assert_eq!(p.dir, dir.join("w/steal4"));
+        assert_eq!(p.ledger, dir.join("w/steal4/ledger.jsonl"));
+        std::fs::create_dir_all(&p.dir).unwrap();
+        std::fs::write(&p.ledger, b"stolen tail bytes").unwrap();
+        let dest = dir.join("steal4.jsonl");
+        // Fetching Artifact::Steal ignores the slot's shard dir.
+        assert_eq!(
+            t.fetch(1, Artifact::Steal { seq: 4 }, &dest).unwrap(),
+            FetchOutcome::Copied
+        );
+        assert_eq!(std::fs::read(&dest).unwrap(), b"stolen tail bytes");
+        t.cleanup_steal(4, 1).unwrap();
+        assert!(!p.dir.exists());
+        t.cleanup_steal(4, 1).unwrap(); // idempotent
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -164,6 +164,26 @@ impl RunManifest {
         }
     }
 
+    /// Restrict to the units whose full-run `pos` lies in
+    /// `from..until` — the sub-shard filter behind work stealing: a
+    /// stolen tail is expressed as `shard(victim, k).span(from, until)`,
+    /// so the re-dealt units keep their original ids and positions and
+    /// the steal ledger merges back exactly like any other shard ledger.
+    pub fn span(&self, from: usize, until: usize) -> Self {
+        Self {
+            fingerprint: self.fingerprint,
+            config_summary: self.config_summary.clone(),
+            n_trials: self.n_trials,
+            total_units: self.total_units,
+            units: self
+                .units
+                .iter()
+                .filter(|u| u.pos >= from && u.pos < until)
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Drop every unit whose id appears in `done` (the resume filter).
     pub fn without(&self, done: &HashSet<UnitId>) -> Self {
         Self {
@@ -242,6 +262,29 @@ mod tests {
         assert!(s1.units.iter().all(|u| u.pos % 3 == 1));
         assert_eq!(s1.fingerprint, m.fingerprint);
         assert_eq!(s1.total_units, m.total_units);
+    }
+
+    #[test]
+    fn span_restricts_by_position_and_composes_with_shard() {
+        let m = RunManifest::from_config(&cfg());
+        let s = m.span(3, 9);
+        assert!(s.units.iter().all(|u| u.pos >= 3 && u.pos < 9));
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.fingerprint, m.fingerprint);
+        assert_eq!(s.total_units, m.total_units);
+        // A stolen tail: shard-then-span keeps only the victim's units
+        // inside the range, and splitting a shard into spans partitions
+        // it exactly.
+        let victim = m.shard(1, 3);
+        let mid = victim.units[victim.len() / 2].pos;
+        let head = victim.span(0, mid);
+        let tail = victim.span(mid, usize::MAX);
+        assert_eq!(head.len() + tail.len(), victim.len());
+        let mut seen = HashSet::new();
+        for u in head.units.iter().chain(&tail.units) {
+            assert!(seen.insert(u.id), "unit appears in two spans");
+            assert!(u.pos % 3 == 1, "span must not leave the shard");
+        }
     }
 
     #[test]

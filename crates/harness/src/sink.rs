@@ -460,10 +460,14 @@ impl AggregatingSink {
         out.flush()
     }
 
-    /// Convenience: [`AggregatingSink::write_summary`] to a file.
+    /// Convenience: [`AggregatingSink::write_summary`] to a file —
+    /// atomically ([`atomic_write`]), so a concurrent reader (the fleet
+    /// driver fetching summaries, a dashboard) never observes a torn
+    /// half-written summary.
     pub fn write_summary_file<P: AsRef<Path>>(&mut self, path: P) -> io::Result<()> {
-        let mut out = BufWriter::new(File::create(path)?);
-        self.write_summary(&mut out)
+        let mut buf = Vec::new();
+        self.write_summary(&mut buf)?;
+        atomic_write(path.as_ref(), &buf)
     }
 
     /// Fold one sample into its (algorithm, setting) group — the
@@ -497,6 +501,91 @@ pub fn summary_from_ledger<P: AsRef<Path>>(path: P) -> io::Result<AggregatingSin
         sink.push_sample(s);
     }
     Ok(sink)
+}
+
+/// Write `bytes` to `path` via a sibling temp file and an atomic
+/// rename, so a polling reader can never observe a torn or half-written
+/// file — the producer-side dual of the strict readers' corruption
+/// policy. Used for every small per-round JSON the fleet driver emits
+/// (the `--status-file` feed, merged summaries); the append-only ledgers
+/// keep their flush-per-unit discipline instead, because their readers
+/// are torn-tail-aware by design.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_file_name(format!(
+        "{}.tmp",
+        path.file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    ));
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.flush()?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// A [`ResultSink`] wrapper that sleeps for a fixed duration before
+/// forwarding each completed unit — the slow-machine simulator behind
+/// `dpbench run --unit-delay-ms` and the fleet's straggler drills. The
+/// sleep happens in small increments so an optional cancel flag (a kill
+/// from the fleet driver) interrupts promptly; a cancelled unit is *not*
+/// forwarded, exactly like a worker killed mid-computation.
+pub struct Throttle<'a> {
+    inner: &'a mut dyn ResultSink,
+    per_unit: std::time::Duration,
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl<'a> Throttle<'a> {
+    /// Wrap `inner`, delaying each unit by `per_unit`.
+    pub fn new(inner: &'a mut dyn ResultSink, per_unit: std::time::Duration) -> Self {
+        Self {
+            inner,
+            per_unit,
+            cancel: None,
+        }
+    }
+
+    /// Abort (with an `Interrupted` error) when the flag goes true
+    /// mid-sleep.
+    pub fn with_cancel(mut self, cancel: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+}
+
+impl ResultSink for Throttle<'_> {
+    fn begin(&mut self, manifest: &RunManifest) -> io::Result<()> {
+        self.inner.begin(manifest)
+    }
+
+    fn unit_complete(&mut self, unit: &ManifestUnit, samples: &[ErrorSample]) -> io::Result<()> {
+        let mut remaining = self.per_unit;
+        let slice = std::time::Duration::from_millis(5);
+        while !remaining.is_zero() {
+            if let Some(cancel) = &self.cancel {
+                if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "throttled unit cancelled",
+                    ));
+                }
+            }
+            let step = remaining.min(slice);
+            std::thread::sleep(step);
+            remaining -= step;
+        }
+        self.inner.unit_complete(unit, samples)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.inner.finish()
+    }
 }
 
 /// True when `path` holds no well-formed record at all — only blank

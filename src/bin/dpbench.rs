@@ -9,11 +9,13 @@
 //!             [--workload prefix|identity|random:2000] [--loss l1|l2]
 //!             [--threads N] [--verbose] [--csv out.csv]
 //!             [--out run.jsonl] [--resume] [--shard i/k]
-//!             [--agg summary.jsonl] [--max-units N] [--fail-after N]
+//!             [--from-pos N --until-pos M] [--agg summary.jsonl]
+//!             [--max-units N] [--fail-after N] [--unit-delay-ms MS]
 //!             [--data-cache-mb MB]
 //! dpbench fleet --procs k --out run.jsonl <run flags...>
 //!               [--retries N] [--kill-shard i:N] [--agg summary.jsonl]
-//!               [--progress] [--stall-timeout SECS]
+//!               [--progress] [--stall-timeout SECS] [--steal 0/1]
+//!               [--status-file FILE.json] [--slow-shard i:MS]
 //!               [--launch-cmd TPL --workdir DIR [--remote-exe PATH]
 //!                [--fetch-cmd TPL] [--cleanup-cmd TPL]]
 //! dpbench merge --out merged.jsonl shard0.jsonl shard1.jsonl ...
@@ -55,6 +57,20 @@
 //! (fetched) shard ledgers into live per-shard `done/total` lines, and
 //! `--stall-timeout` kills and retries a shard whose ledger stops
 //! moving.
+//!
+//! The fleet is *elastic*: when some shards finish early while a
+//! straggler still grinds, the driver re-deals the straggler's
+//! unfinished tail to the idle slots as sub-shard launches
+//! (`run --shard v/k --from-pos N --until-pos M`) and releases the
+//! victim once its units are covered — the merged output is still
+//! byte-identical to a one-shot run (`--steal 0` disables).
+//! `--status-file` writes an atomically-replaced one-line JSON snapshot
+//! of fleet progress (per-shard done counts, attempts, stall kills, and
+//! steal events) on every probe tick, safe to poll from dashboards.
+//! `--slow-shard i:MS` is the built-in straggler drill (per-unit delay
+//! injected on slot `i`), the elasticity analogue of `--kill-shard`.
+//! A `--fetch-cmd` template that accepts `{offset}` upgrades copy-backs
+//! to incremental, O(new-bytes) ranged fetches.
 //!
 //! `recommend` turns merged `--agg` summary files into a *selection
 //! profile*: per (dimensionality, shape class, scale bucket, ε bucket)
@@ -116,11 +132,14 @@ fn main() -> ExitCode {
             eprintln!("             [--samples S] [--workload prefix|identity|random:N]");
             eprintln!("             [--loss l1|l2] [--threads N] [--verbose]");
             eprintln!("             [--csv FILE] [--out FILE.jsonl] [--resume]");
-            eprintln!("             [--shard i/k] [--agg FILE.jsonl] [--max-units N]");
-            eprintln!("             [--fail-after N] [--data-cache-mb MB]");
+            eprintln!("             [--shard i/k] [--from-pos N --until-pos M]");
+            eprintln!("             [--agg FILE.jsonl] [--max-units N]");
+            eprintln!("             [--fail-after N] [--unit-delay-ms MS]");
+            eprintln!("             [--data-cache-mb MB]");
             eprintln!("fleet: --procs K --out FILE.jsonl <run flags...>");
             eprintln!("       [--retries N] [--kill-shard i:N] [--agg FILE.jsonl]");
-            eprintln!("       [--progress] [--stall-timeout SECS]");
+            eprintln!("       [--progress] [--stall-timeout SECS] [--steal 0/1]");
+            eprintln!("       [--status-file FILE.json] [--slow-shard i:MS]");
             eprintln!("       [--launch-cmd TPL --workdir DIR [--remote-exe PATH]");
             eprintln!("        [--fetch-cmd TPL] [--cleanup-cmd TPL]]");
             eprintln!("merge: --out MERGED.jsonl IN1.jsonl IN2.jsonl ...");
@@ -251,7 +270,7 @@ fn shapes() {
 
 /// Flags that may appear bare (`--resume`) or with an explicit value
 /// (`--resume 1`).
-const BOOL_FLAGS: &[&str] = &["resume", "verbose", "progress", "slo"];
+const BOOL_FLAGS: &[&str] = &["resume", "verbose", "progress", "slo", "steal"];
 
 /// Grid/runner flags shared by `run` and `fleet`.
 const GRID_FLAGS: &[&str] = &[
@@ -275,9 +294,12 @@ const RUN_ONLY_FLAGS: &[&str] = &[
     "out",
     "resume",
     "shard",
+    "from-pos",
+    "until-pos",
     "agg",
     "max-units",
     "fail-after",
+    "unit-delay-ms",
 ];
 
 /// Flags only `fleet` accepts (on top of [`GRID_FLAGS`]).
@@ -287,8 +309,11 @@ const FLEET_ONLY_FLAGS: &[&str] = &[
     "procs",
     "retries",
     "kill-shard",
+    "slow-shard",
     "progress",
     "stall-timeout",
+    "steal",
+    "status-file",
     "launch-cmd",
     "fetch-cmd",
     "cleanup-cmd",
@@ -523,6 +548,41 @@ fn run(args: &[String]) -> ExitCode {
             }
         },
     };
+    // --from-pos/--until-pos restrict to a span of full-run positions —
+    // the sub-shard form the fleet's work stealing launches
+    // (`--shard v/k --from-pos N --until-pos M` runs the victim's tail).
+    let from_pos: Option<usize> = match flags.get("from-pos") {
+        None => None,
+        Some(s) => match s.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: bad --from-pos {s}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let until_pos: Option<usize> = match flags.get("until-pos") {
+        None => None,
+        Some(s) => match s.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: bad --until-pos {s}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    // --unit-delay-ms throttles unit completion — the deterministic
+    // straggler behind `fleet --slow-shard` drills.
+    let unit_delay: Option<Duration> = match flags.get("unit-delay-ms") {
+        None => None,
+        Some(s) => match s.parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => {
+                eprintln!("error: bad --unit-delay-ms {s}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let max_units: Option<usize> = match flags.get("max-units") {
         None => None,
         Some(s) => match s.parse() {
@@ -587,6 +647,11 @@ fn run(args: &[String]) -> ExitCode {
         Some((i, k)) => full.shard(i, k),
         None => full,
     };
+    let manifest = if from_pos.is_some() || until_pos.is_some() {
+        manifest.span(from_pos.unwrap_or(0), until_pos.unwrap_or(usize::MAX))
+    } else {
+        manifest
+    };
     println!(
         "running {} units ({} trials each{})...",
         manifest.len(),
@@ -633,7 +698,14 @@ fn run(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        runner.resume(&manifest, &ledger.done, &mut jsonl)
+        match unit_delay {
+            Some(d) => runner.resume(
+                &manifest,
+                &ledger.done,
+                &mut sink::Throttle::new(&mut jsonl, d),
+            ),
+            None => runner.resume(&manifest, &ledger.done, &mut jsonl),
+        }
     } else if let Some(path) = out.as_deref() {
         let mut jsonl = match JsonlSink::create(path) {
             Ok(s) => s,
@@ -647,10 +719,16 @@ fn run(args: &[String]) -> ExitCode {
             &mut jsonl,
             &mut agg,
         ]);
-        runner.run_with_sink(&manifest, &mut tee)
+        match unit_delay {
+            Some(d) => runner.run_with_sink(&manifest, &mut sink::Throttle::new(&mut tee, d)),
+            None => runner.run_with_sink(&manifest, &mut tee),
+        }
     } else {
         let mut tee = Tee::new(vec![&mut memory as &mut dyn ResultSink, &mut agg]);
-        runner.run_with_sink(&manifest, &mut tee)
+        match unit_delay {
+            Some(d) => runner.run_with_sink(&manifest, &mut sink::Throttle::new(&mut tee, d)),
+            None => runner.run_with_sink(&manifest, &mut tee),
+        }
     };
     watcher_stop.store(true, Ordering::Relaxed);
     let _ = watcher.join();
@@ -1087,26 +1165,33 @@ struct ShardArgs {
     base_args: Vec<String>,
     /// Crash drill: kill this shard's first attempt after N units.
     kill_shard: Option<(usize, usize)>,
+    /// Straggler drill: per-unit delay injected on this *slot* — a
+    /// machine property, so a stolen tail running on a fast slot runs
+    /// fast even when its victim is the slow one.
+    slow_shard: Option<(usize, u64)>,
 }
 
 impl ShardArgs {
-    /// Arguments after the program name for one shard attempt.
-    fn run_args(
-        &self,
-        index: usize,
-        procs: usize,
-        ledger: &Path,
-        summary: Option<&Path>,
-        resume: bool,
-        attempt: usize,
-    ) -> Vec<String> {
+    /// Arguments after the program name for one attempt — a primary
+    /// shard, or a stolen tail (`--shard victim/k --from-pos/--until-pos`,
+    /// never resumed, never crash-drilled).
+    fn run_args(&self, spec: &LaunchSpec, ledger: &Path, summary: Option<&Path>) -> Vec<String> {
         let mut args = vec!["run".to_string()];
         args.extend(self.base_args.iter().cloned());
         args.push("--out".into());
         args.push(ledger.display().to_string());
         args.push("--shard".into());
-        args.push(format!("{index}/{procs}"));
-        if resume {
+        match spec.steal {
+            Some(st) => {
+                args.push(format!("{}/{}", st.victim, spec.procs));
+                args.push("--from-pos".into());
+                args.push(st.from_pos.to_string());
+                args.push("--until-pos".into());
+                args.push(st.until_pos.to_string());
+            }
+            None => args.push(format!("{}/{}", spec.index, spec.procs)),
+        }
+        if spec.resume {
             args.push("--resume".into());
         }
         if let Some(summary) = summary {
@@ -1114,9 +1199,15 @@ impl ShardArgs {
             args.push(summary.display().to_string());
         }
         if let Some((victim, units)) = self.kill_shard {
-            if victim == index && attempt == 0 {
+            if spec.steal.is_none() && victim == spec.index && spec.attempt == 0 {
                 args.push("--fail-after".into());
                 args.push(units.to_string());
+            }
+        }
+        if let Some((slot, ms)) = self.slow_shard {
+            if slot == spec.index {
+                args.push("--unit-delay-ms".into());
+                args.push(ms.to_string());
             }
         }
         args
@@ -1136,27 +1227,18 @@ struct CliShardLauncher {
 }
 
 impl ShardLauncher for CliShardLauncher {
-    fn launch(
-        &self,
-        index: usize,
-        procs: usize,
-        ledger: &Path,
-        resume: bool,
-        attempt: usize,
-    ) -> std::io::Result<std::process::Child> {
-        let summary = self
-            .want_agg
-            .then(|| fleet::shard_summary_path(&self.out, index));
+    fn launch(&self, spec: &LaunchSpec) -> std::io::Result<std::process::Child> {
+        // Steals ship no summary: the fleet's t-digest merge reads the
+        // primaries, and the merged ledger is the canonical artifact.
+        let summary = (self.want_agg && spec.steal.is_none())
+            .then(|| fleet::shard_summary_path(&self.out, spec.index));
         let mut cmd = std::process::Command::new(&self.exe);
-        cmd.args(
-            self.args
-                .run_args(index, procs, ledger, summary.as_deref(), resume, attempt),
-        );
+        cmd.args(self.args.run_args(spec, &spec.ledger, summary.as_deref()));
         // Append: the log keeps the whole attempt history of the shard.
         let log = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(ledger.with_extension("log"))?;
+            .open(spec.ledger.with_extension("log"))?;
         cmd.stdout(std::process::Stdio::null());
         cmd.stderr(std::process::Stdio::from(log));
         cmd.spawn()
@@ -1180,6 +1262,23 @@ fn parse_kill_shard(s: &str, procs: usize) -> Result<(usize, usize), String> {
         ));
     }
     Ok((i, n))
+}
+
+/// Parse and validate `--slow-shard i:MS` — same shape and same
+/// out-of-range contract as `--kill-shard`.
+fn parse_slow_shard(s: &str, procs: usize) -> Result<(usize, u64), String> {
+    let (i, ms) = s
+        .split_once(':')
+        .and_then(|(i, ms)| Some((i.parse::<usize>().ok()?, ms.parse::<u64>().ok()?)))
+        .ok_or_else(|| format!("bad --slow-shard {s} (use i:MS, e.g. 1:200)"))?;
+    if i >= procs {
+        return Err(format!(
+            "--slow-shard shard index {i} is out of range (fleet has {procs} shard(s), \
+             valid indexes are 0..={})",
+            procs - 1
+        ));
+    }
+    Ok((i, ms))
 }
 
 /// `dpbench fleet`: expand the manifest once, launch `--procs` shards
@@ -1242,6 +1341,18 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
             }
         },
     };
+    let slow_shard: Option<(usize, u64)> = match flags.get("slow-shard") {
+        None => None,
+        Some(s) => match parse_slow_shard(s, procs) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let steal = flags.get("steal").map(|v| v == "1").unwrap_or(true);
+    let status_file = flags.get("status-file").map(PathBuf::from);
     let stall_timeout = match flags.get("stall-timeout") {
         None => None,
         Some(s) => match config::parse_flag_value::<f64>("stall-timeout", s) {
@@ -1314,6 +1425,7 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
     let shard_args = ShardArgs {
         base_args,
         kill_shard,
+        slow_shard,
     };
     let opts = FleetOptions {
         procs,
@@ -1322,6 +1434,8 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
         progress,
         stall_timeout,
         fetch_summaries: want_agg,
+        steal,
+        status_file,
         ..FleetOptions::default()
     };
 
@@ -1340,16 +1454,9 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
         let build = {
             let shard_args = shard_args.clone();
             move |spec: &LaunchSpec, paths: &RemotePaths| -> Vec<String> {
-                let summary = want_agg.then_some(paths.summary.as_path());
+                let summary = (want_agg && spec.steal.is_none()).then_some(paths.summary.as_path());
                 let mut argv = vec![remote_exe.clone()];
-                argv.extend(shard_args.run_args(
-                    spec.index,
-                    spec.procs,
-                    &paths.ledger,
-                    summary,
-                    spec.resume,
-                    spec.attempt,
-                ));
+                argv.extend(shard_args.run_args(spec, &paths.ledger, summary));
                 argv
             }
         };
@@ -1394,7 +1501,7 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
     };
     for s in &report.shards {
         println!(
-            "  shard {}: {} units, {} launch(es){}{}",
+            "  shard {}: {} units, {} launch(es){}{}{}",
             s.index,
             s.units,
             s.attempts,
@@ -1403,7 +1510,26 @@ fn run_fleet_cmd(args: &[String]) -> ExitCode {
                 format!(", {} stall kill(s)", s.stall_kills)
             } else {
                 String::new()
+            },
+            if s.tails_stolen > 0 {
+                format!(", {} tail(s) stolen", s.tails_stolen)
+            } else {
+                String::new()
             }
+        );
+    }
+    for ev in &report.steals {
+        println!(
+            "  steal {}: {} unit(s) of shard {} (pos {}..{}) ran on slot {}",
+            ev.seq, ev.units, ev.victim, ev.from_pos, ev.until_pos, ev.slot
+        );
+    }
+    if spec.verbose {
+        println!(
+            "  copy-back traffic: {} byte(s) full, {} byte(s) ranged over {} probe tick(s)",
+            report.fetch_full_bytes,
+            report.fetch_ranged_bytes,
+            report.probe_fetch_bytes.len()
         );
     }
     println!("merged {} units into {out}", report.merged_units);

@@ -522,3 +522,47 @@ fn resume_mismatch_names_the_diverging_config_field() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn slow_shard_fleet_with_status_file_converges_byte_identically() {
+    let dir = tmp_dir("elastic");
+    let reference = reference_ledger(&dir);
+    let merged = dir.join("fleet.jsonl");
+    let status = dir.join("status.json");
+    // Straggler drill against the real binary: shard 1 sleeps 150 ms per
+    // unit while shard 0 runs at full speed, and a status file tracks
+    // the fleet. Whether the driver steals shard 1's tail is a timing
+    // race at this scale (6 units); the byte oracle and the status feed
+    // must hold either way.
+    let mut args = vec![
+        "fleet",
+        "--procs",
+        "2",
+        "--slow-shard",
+        "1:150",
+        "--progress",
+    ];
+    args.extend_from_slice(GRID);
+    args.extend_from_slice(&[
+        "--out",
+        merged.to_str().unwrap(),
+        "--status-file",
+        status.to_str().unwrap(),
+    ]);
+    let stdout = run_ok(&args);
+    assert!(stdout.contains("merged 6 units"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&merged).unwrap(),
+        "slow-shard fleet output differs from the one-shot run"
+    );
+    // The final status snapshot is a single complete line.
+    let s = std::fs::read_to_string(&status).unwrap();
+    assert!(
+        s.starts_with("{\"t\":\"fleet-status\"") && s.ends_with("}\n"),
+        "malformed status file: {s:?}"
+    );
+    assert!(s.contains("\"complete\":true"), "{s}");
+    assert!(s.contains("\"units_done\":6"), "{s}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
